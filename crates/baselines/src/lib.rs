@@ -1,0 +1,157 @@
+//! Runtime baseline data loaders (the paper's Sec. 7 comparison points).
+//!
+//! The evaluation compares NoPFS against PyTorch's built-in
+//! `DataLoader` (double buffering with prefetch workers), DALI
+//! (double buffering with GPU-offloaded preprocessing), the LBANN data
+//! store (first-touch in-memory caching with owner-served remote
+//! fetches), and a synthetic-data "No I/O" lower bound. This crate
+//! implements each of those loaders **on the same substrates NoPFS
+//! uses** — the synthetic PFS, the modelled interconnect, the throttled
+//! storage backends — so that runtime comparisons isolate the policy,
+//! exactly as the paper's head-to-head experiments do.
+//!
+//! All loaders implement [`DataLoader`], and so does
+//! `nopfs_core::WorkerHandle`, so training loops and benches are
+//! generic over the policy.
+
+pub mod double_buffer;
+pub mod lbann;
+pub mod naive;
+pub mod noio;
+
+use bytes::Bytes;
+use nopfs_core::stats::WorkerStats;
+use nopfs_core::SampleId;
+
+pub use double_buffer::DoubleBufferRunner;
+pub use lbann::LbannRunner;
+pub use naive::NaiveRunner;
+pub use noio::NoIoRunner;
+
+/// The common loader interface: iterator-style access to `(id, bytes)`
+/// pairs in the loader's delivery order, plus statistics.
+pub trait DataLoader: Send {
+    /// This worker's rank.
+    fn rank(&self) -> usize;
+
+    /// Samples per epoch for this worker.
+    fn epoch_len(&self) -> u64;
+
+    /// Total samples the loader will yield.
+    fn total_len(&self) -> u64;
+
+    /// Per-worker mini-batch size.
+    fn batch_size(&self) -> usize;
+
+    /// Next sample, blocking on I/O; `None` when exhausted.
+    fn next_sample(&mut self) -> Option<(SampleId, Bytes)>;
+
+    /// I/O statistics so far.
+    fn stats(&self) -> WorkerStats;
+
+    /// Next mini-batch (never crosses an epoch boundary).
+    fn next_batch(&mut self) -> Option<Vec<(SampleId, Bytes)>> {
+        let consumed = self.stats().samples_consumed;
+        if consumed >= self.total_len() {
+            return None;
+        }
+        let epoch_len = self.epoch_len();
+        let into_epoch = if epoch_len == 0 { 0 } else { consumed % epoch_len };
+        let want = (self.batch_size() as u64).min(epoch_len - into_epoch) as usize;
+        let mut batch = Vec::with_capacity(want);
+        for _ in 0..want {
+            match self.next_sample() {
+                Some(item) => batch.push(item),
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            None
+        } else {
+            Some(batch)
+        }
+    }
+}
+
+impl DataLoader for nopfs_core::WorkerHandle {
+    fn rank(&self) -> usize {
+        nopfs_core::WorkerHandle::rank(self)
+    }
+
+    fn epoch_len(&self) -> u64 {
+        nopfs_core::WorkerHandle::epoch_len(self)
+    }
+
+    fn total_len(&self) -> u64 {
+        self.len()
+    }
+
+    fn batch_size(&self) -> usize {
+        // The handle enforces its configured batch size internally.
+        usize::MAX
+    }
+
+    fn next_sample(&mut self) -> Option<(SampleId, Bytes)> {
+        nopfs_core::WorkerHandle::next_sample(self)
+    }
+
+    fn stats(&self) -> WorkerStats {
+        nopfs_core::WorkerHandle::stats(self)
+    }
+
+    fn next_batch(&mut self) -> Option<Vec<(SampleId, Bytes)>> {
+        nopfs_core::WorkerHandle::next_batch(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trait's default `next_batch` respects epoch boundaries.
+    struct Fake {
+        yielded: u64,
+    }
+
+    impl DataLoader for Fake {
+        fn rank(&self) -> usize {
+            0
+        }
+        fn epoch_len(&self) -> u64 {
+            5
+        }
+        fn total_len(&self) -> u64 {
+            10
+        }
+        fn batch_size(&self) -> usize {
+            3
+        }
+        fn next_sample(&mut self) -> Option<(SampleId, Bytes)> {
+            if self.yielded >= 10 {
+                return None;
+            }
+            self.yielded += 1;
+            Some((self.yielded - 1, Bytes::from_static(b"x")))
+        }
+        fn stats(&self) -> WorkerStats {
+            WorkerStats {
+                local_fetches: 0,
+                remote_fetches: 0,
+                pfs_fetches: 0,
+                false_positives: 0,
+                heuristic_skips: 0,
+                pfs_errors: 0,
+                stall_time: std::time::Duration::ZERO,
+                samples_consumed: self.yielded,
+            }
+        }
+    }
+
+    #[test]
+    fn default_next_batch_respects_epochs() {
+        let mut f = Fake { yielded: 0 };
+        let sizes: Vec<usize> = std::iter::from_fn(|| f.next_batch().map(|b| b.len())).collect();
+        // Epoch of 5 with batch 3: 3+2, twice.
+        assert_eq!(sizes, vec![3, 2, 3, 2]);
+    }
+}

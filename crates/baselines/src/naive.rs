@@ -1,0 +1,173 @@
+//! The naive loader: synchronous PFS reads, no prefetching, no caching
+//! (the simulator's `Naive` policy, as a runtime loader).
+//!
+//! Every `next_sample` blocks for the full PFS fetch plus preprocessing
+//! — the worst case the paper's Fig. 8 shows to be 1.7× slower than
+//! any buffered policy even on small datasets.
+
+use crate::DataLoader;
+use bytes::Bytes;
+use nopfs_clairvoyance::stream::AccessStream;
+use nopfs_core::stats::{StatsCollector, WorkerStats};
+use nopfs_core::{JobConfig, SampleId};
+use nopfs_pfs::{Pfs, PfsError};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Launches naive loaders, one per worker thread.
+pub struct NaiveRunner {
+    config: JobConfig,
+    sizes: Arc<Vec<u64>>,
+}
+
+impl NaiveRunner {
+    /// Creates the runner.
+    pub fn new(config: JobConfig, sizes: Arc<Vec<u64>>) -> Self {
+        assert!(!sizes.is_empty(), "dataset must contain samples");
+        Self { config, sizes }
+    }
+
+    /// Runs `f` once per worker.
+    pub fn run<R, F>(&self, pfs: &Pfs, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut dyn DataLoader) -> R + Sync,
+    {
+        let n = self.config.system.workers;
+        let spec = self.config.shuffle_spec(self.sizes.len() as u64);
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|rank| {
+                    let config = self.config.clone();
+                    let pfs = pfs.clone();
+                    s.spawn(move || {
+                        let stream =
+                            AccessStream::new(spec, rank, config.epochs).materialize();
+                        let mut loader = NaiveLoader {
+                            rank,
+                            config,
+                            pfs,
+                            stream,
+                            stats: StatsCollector::new(),
+                            consumed: 0,
+                            epoch_len: spec.worker_epoch_len(rank),
+                        };
+                        f(&mut loader)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+    }
+}
+
+struct NaiveLoader {
+    rank: usize,
+    config: JobConfig,
+    pfs: Pfs,
+    stream: Vec<SampleId>,
+    stats: Arc<StatsCollector>,
+    consumed: u64,
+    epoch_len: u64,
+}
+
+impl DataLoader for NaiveLoader {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn epoch_len(&self) -> u64 {
+        self.epoch_len
+    }
+
+    fn total_len(&self) -> u64 {
+        self.stream.len() as u64
+    }
+
+    fn batch_size(&self) -> usize {
+        self.config.batch_size
+    }
+
+    fn next_sample(&mut self) -> Option<(SampleId, Bytes)> {
+        if self.consumed >= self.stream.len() as u64 {
+            return None;
+        }
+        let k = self.stream[self.consumed as usize];
+        let t0 = Instant::now();
+        let data = loop {
+            match self.pfs.read(k) {
+                Ok(d) => break d,
+                Err(PfsError::NotFound(_)) => panic!("sample {k} missing from the PFS"),
+                Err(PfsError::Io(_)) => self.stats.count_pfs_error(),
+            }
+        };
+        let wt = self.config.system.write_time(data.len() as u64);
+        self.config.scale.wait(wt);
+        // The whole read is a stall: nothing overlaps it.
+        self.stats.add_stall(t0.elapsed());
+        self.stats.count_pfs();
+        self.stats.count_consumed();
+        self.consumed += 1;
+        Some((k, data))
+    }
+
+    fn stats(&self) -> WorkerStats {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nopfs_perfmodel::presets::fig8_small_cluster;
+    use nopfs_util::timing::TimeScale;
+
+    #[test]
+    fn reads_everything_from_the_pfs() {
+        let config = JobConfig::new(5, 2, 4, fig8_small_cluster(), TimeScale::new(1e-6));
+        let sizes = Arc::new(vec![256u64; 32]);
+        let runner = NaiveRunner::new(config, Arc::clone(&sizes));
+        let pfs = Pfs::in_memory(
+            nopfs_perfmodel::ThroughputCurve::flat(1e12),
+            TimeScale::new(1e-6),
+        );
+        for id in 0..32u64 {
+            pfs.put(id, Bytes::from(vec![id as u8; 256]));
+        }
+        let stats = runner.run(&pfs, |loader| {
+            while let Some((id, data)) = loader.next_sample() {
+                assert_eq!(data[0], id as u8);
+            }
+            loader.stats()
+        });
+        let total_pfs: u64 = stats.iter().map(|s| s.pfs_fetches).sum();
+        assert_eq!(total_pfs, 64, "every access is a PFS read");
+        assert!(stats.iter().all(|s| s.local_fetches == 0));
+        assert!(stats.iter().all(|s| s.stall_time.as_nanos() > 0));
+    }
+
+    #[test]
+    fn retries_transient_faults() {
+        let config = JobConfig::new(5, 1, 2, fig8_small_cluster(), TimeScale::new(1e-6));
+        let mut cfg = config;
+        cfg.system.workers = 2;
+        let sizes = Arc::new(vec![64u64; 8]);
+        let runner = NaiveRunner::new(cfg, Arc::clone(&sizes));
+        let pfs = Pfs::in_memory(
+            nopfs_perfmodel::ThroughputCurve::flat(1e12),
+            TimeScale::new(1e-6),
+        );
+        for id in 0..8u64 {
+            pfs.put(id, Bytes::from(vec![0u8; 64]));
+        }
+        pfs.inject_fault(3, 2);
+        let counts = runner.run(&pfs, |l| {
+            std::iter::from_fn(|| l.next_sample()).count()
+        });
+        assert_eq!(counts.iter().sum::<usize>(), 8);
+    }
+}

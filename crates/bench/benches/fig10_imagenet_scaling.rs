@@ -1,0 +1,83 @@
+//! Fig. 10: epoch and batch times for ResNet-50/ImageNet-1k training
+//! on Piz Daint (left) and Lassen (right), scaling the worker count.
+//!
+//! Shapes to reproduce (paper Sec. 7.1): NoPFS is the fastest loader at
+//! every scale and its advantage grows with workers as PFS contention
+//! throttles PyTorch/DALI (up to 2.2× on Piz Daint, 5.4× on Lassen);
+//! DALI only modestly improves on PyTorch; LBANN sits between PyTorch
+//! and NoPFS; batch-time tails are an order of magnitude shorter for
+//! NoPFS after epoch 0.
+
+use nopfs_bench::runtime::{run_policy, Experiment, RuntimePolicy};
+use nopfs_bench::scenarios::SystemKind;
+use nopfs_bench::{env_u64, report};
+
+fn main() {
+    let max_workers = env_u64("NOPFS_BENCH_WORKERS", 8) as usize;
+    let worker_counts: Vec<usize> = [2usize, 4, 8, 16]
+        .into_iter()
+        .filter(|&n| n <= max_workers)
+        .collect();
+
+    for kind in [SystemKind::PizDaint, SystemKind::Lassen] {
+        let policies: &[RuntimePolicy] = match kind {
+            SystemKind::PizDaint => &[
+                RuntimePolicy::PyTorch,
+                RuntimePolicy::Dali,
+                RuntimePolicy::NoPfs,
+                RuntimePolicy::NoIo,
+            ],
+            SystemKind::Lassen => &[
+                RuntimePolicy::PyTorch,
+                RuntimePolicy::Lbann,
+                RuntimePolicy::NoPfs,
+                RuntimePolicy::NoIo,
+            ],
+        };
+        report::banner(
+            "Fig. 10",
+            &format!("ImageNet-1k epoch & batch times on {} (scaled)", kind.name()),
+        );
+        for &n in &worker_counts {
+            let exp = Experiment::imagenet(kind, n);
+            report::section(&format!("{n} workers"));
+            let mut pytorch_epoch = None;
+            let mut nopfs_epoch = None;
+            for &policy in policies {
+                match run_policy(&exp, policy) {
+                    Some(run) => {
+                        let epoch = run.median_epoch_time();
+                        let batches = run.batch_summary(true);
+                        println!(
+                            "{:<14} epoch {:>8.4}s   batch {}",
+                            policy.name(),
+                            epoch,
+                            report::dist(&batches)
+                        );
+                        match policy {
+                            RuntimePolicy::PyTorch => pytorch_epoch = Some(epoch),
+                            RuntimePolicy::NoPfs => nopfs_epoch = Some(epoch),
+                            _ => {}
+                        }
+                    }
+                    None => println!(
+                        "{:<14} unsupported (dataset exceeds aggregate memory)",
+                        policy.name()
+                    ),
+                }
+            }
+            if let (Some(pt), Some(np)) = (pytorch_epoch, nopfs_epoch) {
+                println!(
+                    "  -> NoPFS speedup over PyTorch: {}",
+                    report::ratio(pt, np)
+                );
+            }
+        }
+        println!();
+        println!(
+            "paper reference: NoPFS up to {} faster than PyTorch on {}, growing with scale.",
+            if kind == SystemKind::PizDaint { "2.2x" } else { "5.4x" },
+            kind.name()
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Fig. 11: epoch-0 batch times for ImageNet-1k on Piz Daint.
+//!
+//! The paper's point: in the *first* epoch all loaders must touch the
+//! PFS, so NoPFS's batch-time distribution is only slightly tighter
+//! than PyTorch/DALI's — but for those loaders every epoch looks like
+//! the first ("without caching, it is always 'the first epoch' for a
+//! data loader"), while NoPFS's later epochs are served from caches.
+
+use nopfs_bench::runtime::{run_policy, Experiment, RuntimePolicy};
+use nopfs_bench::scenarios::SystemKind;
+use nopfs_bench::{env_u64, report};
+
+fn main() {
+    let n = env_u64("NOPFS_BENCH_WORKERS", 4) as usize;
+    let exp = Experiment::imagenet(SystemKind::PizDaint, n);
+    report::banner(
+        "Fig. 11",
+        &format!("Epoch-0 batch times, ImageNet-1k, Piz Daint, {n} workers (scaled)"),
+    );
+    for policy in [
+        RuntimePolicy::PyTorch,
+        RuntimePolicy::Dali,
+        RuntimePolicy::NoPfs,
+    ] {
+        let run = run_policy(&exp, policy).expect("policy supported");
+        let first = run.first_epoch_batches();
+        let later = run.batch_summary(true);
+        println!(
+            "{:<14} epoch-0 batch {}   later epochs {}",
+            policy.name(),
+            report::dist(&first),
+            report::dist(&later),
+        );
+        let ratio = if later.median() > 0.0 {
+            first.median() / later.median()
+        } else {
+            1.0
+        };
+        println!("{:<14}   epoch-0 / later median ratio: {ratio:.2}x", "");
+    }
+    println!();
+    println!(
+        "paper reference: all loaders are comparable in epoch 0; only NoPFS \
+         improves afterwards (PyTorch/DALI epoch-0 variance persists forever)."
+    );
+}

@@ -1,0 +1,51 @@
+//! Fig. 13: batch-size sensitivity — ResNet-50/ImageNet-1k on Lassen at
+//! a fixed worker count, sweeping the per-worker batch size.
+//!
+//! Shapes to reproduce: NoPFS is faster at every batch size; per-batch
+//! time necessarily grows with batch size for everyone; PyTorch's
+//! batch-time *variance* grows with batch size (more I/O per step) while
+//! NoPFS's stays roughly constant.
+
+use nopfs_bench::runtime::{run_policy, Experiment, RuntimePolicy};
+use nopfs_bench::scenarios::SystemKind;
+use nopfs_bench::{env_u64, report};
+
+fn main() {
+    let n = env_u64("NOPFS_BENCH_WORKERS", 4) as usize;
+    report::banner(
+        "Fig. 13",
+        &format!("Batch-size sweep, ImageNet-1k, Lassen, {n} workers (scaled)"),
+    );
+    println!(
+        "{:>6} {:<10} {:>12} {:>40} {:>10}",
+        "batch", "policy", "epoch (s)", "batch time (excl. epoch 0)", "rel stdev"
+    );
+    for batch in [4usize, 8, 16, 32] {
+        for policy in [
+            RuntimePolicy::PyTorch,
+            RuntimePolicy::NoPfs,
+            RuntimePolicy::NoIo,
+        ] {
+            let exp = Experiment::imagenet(SystemKind::Lassen, n).with_batch(batch);
+            let run = run_policy(&exp, policy).expect("supported");
+            let batches = run.batch_summary(true);
+            let rel_sd = if batches.mean() > 0.0 {
+                batches.std_dev() / batches.mean()
+            } else {
+                0.0
+            };
+            println!(
+                "{batch:>6} {:<10} {:>12.4} {:>40} {:>9.1}%",
+                policy.name(),
+                run.median_epoch_time(),
+                report::dist(&batches),
+                rel_sd * 100.0,
+            );
+        }
+    }
+    println!();
+    println!(
+        "paper reference: NoPFS faster at every batch size; PyTorch's variance \
+         grows with batch size, NoPFS's stays roughly constant."
+    );
+}

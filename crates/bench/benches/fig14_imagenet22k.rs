@@ -1,0 +1,47 @@
+//! Fig. 14: epoch and batch times for ImageNet-22k on Lassen — the
+//! "many more samples" stress test (1.3 TB, 14.2M files at full scale).
+//!
+//! Shapes to reproduce: NoPFS up to 2.4× faster than PyTorch, with the
+//! gap growing at scale; RAM alone cannot hold the working set, so the
+//! SSD tier (hardware independence) carries the caching.
+
+use nopfs_bench::runtime::{run_policy, Experiment, RuntimePolicy};
+use nopfs_bench::{env_u64, report};
+
+fn main() {
+    let max_workers = env_u64("NOPFS_BENCH_WORKERS", 8) as usize;
+    report::banner("Fig. 14", "ImageNet-22k epoch & batch times on Lassen (scaled)");
+    for n in [2usize, 4, 8, 16] {
+        if n > max_workers {
+            continue;
+        }
+        let exp = Experiment::imagenet_22k(n);
+        report::section(&format!("{n} workers"));
+        let mut pytorch = None;
+        let mut nopfs = None;
+        for policy in [
+            RuntimePolicy::PyTorch,
+            RuntimePolicy::NoPfs,
+            RuntimePolicy::NoIo,
+        ] {
+            let run = run_policy(&exp, policy).expect("supported");
+            let epoch = run.median_epoch_time();
+            println!(
+                "{:<10} epoch {:>8.4}s   batch {}",
+                policy.name(),
+                epoch,
+                report::dist(&run.batch_summary(true))
+            );
+            match policy {
+                RuntimePolicy::PyTorch => pytorch = Some(epoch),
+                RuntimePolicy::NoPfs => nopfs = Some(epoch),
+                _ => {}
+            }
+        }
+        if let (Some(pt), Some(np)) = (pytorch, nopfs) {
+            println!("  -> NoPFS speedup over PyTorch: {}", report::ratio(pt, np));
+        }
+    }
+    println!();
+    println!("paper reference: NoPFS up to 2.4x faster at 1024 GPUs.");
+}

@@ -1,0 +1,87 @@
+//! Fig. 8: the simulator's policy comparison across the paper's six
+//! dataset/regime scenarios (MNIST, ImageNet-1k, OpenImages,
+//! ImageNet-22k, CosmoFlow, CosmoFlow-512³).
+//!
+//! Prints, per scenario, each policy's execution time (converted back
+//! to the paper's units), the stacked time breakdown
+//! (staging/local/remote/PFS), coverage notes, and the paper's
+//! published Naive / NoPFS / lower-bound values for comparison.
+
+use nopfs_bench::scenarios::fig8_scenarios;
+use nopfs_bench::{bench_scale, report};
+use nopfs_simulator::{run, Policy, SimError};
+
+fn main() {
+    let extra = bench_scale();
+    for sc in fig8_scenarios() {
+        let (scenario, factor) = sc.build(extra);
+        report::banner(
+            &format!("Fig. 8{}", sc.tag),
+            &format!("{} — {}", scenario.name, sc.regime),
+        );
+        report::config_line(&format!(
+            "N={} E={} B={} c={} MB/s  F={} (count scale {factor:.4})  regime {}",
+            scenario.system.workers,
+            scenario.epochs,
+            scenario.batch_size,
+            sc.compute_mbps,
+            scenario.num_samples(),
+            scenario.regime(),
+        ));
+        println!(
+            "{:<20} {:>12} {:>7} {:>7} {:>7} {:>7}  {}",
+            "Policy",
+            format!("time ({})", sc.unit),
+            "stg%",
+            "loc%",
+            "rem%",
+            "pfs%",
+            "notes"
+        );
+        let mut lb = None;
+        let mut nopfs = None;
+        let mut naive = None;
+        for policy in Policy::ALL {
+            match run(&scenario, policy) {
+                Ok(r) => {
+                    let t = sc.to_paper_units(r.execution_time, factor);
+                    let (s, l, rem, p) = r.breakdown.fractions();
+                    let note = r.note.clone().unwrap_or_default();
+                    println!(
+                        "{:<20} {:>12.3} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%  {note}",
+                        policy.name(),
+                        t,
+                        s * 100.0,
+                        l * 100.0,
+                        rem * 100.0,
+                        p * 100.0,
+                    );
+                    match policy {
+                        Policy::Perfect => lb = Some(t),
+                        Policy::NoPfs => nopfs = Some(t),
+                        Policy::Naive => naive = Some(t),
+                        _ => {}
+                    }
+                }
+                Err(SimError::Unsupported(why)) => {
+                    println!("{:<20} {:>12}  {why}", policy.name(), "n/a");
+                }
+            }
+        }
+        println!();
+        println!(
+            "paper ({}): Naive {:.2}  NoPFS {:.2}  Lower Bound {:.2}",
+            sc.unit, sc.paper_naive, sc.paper_nopfs, sc.paper_lower_bound
+        );
+        if let (Some(lb), Some(np), Some(nv)) = (lb, nopfs, naive) {
+            println!(
+                "measured   : Naive {nv:.2}  NoPFS {np:.2}  Lower Bound {lb:.2}   \
+                 (Naive/LB {}  NoPFS/LB {};  paper: {} / {})",
+                report::ratio(nv, lb),
+                report::ratio(np, lb),
+                report::ratio(sc.paper_naive, sc.paper_lower_bound),
+                report::ratio(sc.paper_nopfs, sc.paper_lower_bound),
+            );
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Criterion microbenchmarks for the hot paths.
+//!
+//! The paper claims NoPFS's overhead is small: "it only needs to
+//! compute the access sequence in advance, which is fast". These
+//! benches quantify that claim for our implementation — shuffle
+//! generation, stream materialization, frequency analysis, placement —
+//! plus the core data-path structures (staging buffer, token bucket,
+//! simulator step rate).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nopfs_clairvoyance::frequency::{expected_tail_count, FrequencyTable};
+use nopfs_clairvoyance::placement::CacheAssignment;
+use nopfs_clairvoyance::sampler::ShuffleSpec;
+use nopfs_clairvoyance::stream::AccessStream;
+use nopfs_perfmodel::presets::fig8_small_cluster;
+use nopfs_simulator::{run, Policy, Scenario};
+use nopfs_storage::StagingBuffer;
+use nopfs_util::rate::TokenBucket;
+use nopfs_util::rng::Xoshiro256pp;
+use std::hint::black_box;
+
+fn bench_shuffle(c: &mut Criterion) {
+    c.bench_function("epoch_shuffle_100k", |b| {
+        let spec = ShuffleSpec::new(1, 100_000, 16, 64, false);
+        let mut epoch = 0u64;
+        b.iter(|| {
+            epoch += 1;
+            black_box(spec.epoch_shuffle(epoch));
+        });
+    });
+}
+
+fn bench_stream(c: &mut Criterion) {
+    c.bench_function("stream_materialize_10_epochs", |b| {
+        let spec = ShuffleSpec::new(2, 50_000, 8, 32, false);
+        let stream = AccessStream::new(spec, 0, 10);
+        b.iter(|| black_box(stream.materialize()));
+    });
+}
+
+fn bench_frequency(c: &mut Criterion) {
+    c.bench_function("frequency_table_50k_x_10", |b| {
+        let spec = ShuffleSpec::new(3, 50_000, 8, 32, false);
+        b.iter(|| black_box(FrequencyTable::build(&spec, 10)));
+    });
+    c.bench_function("binomial_tail_imagenet", |b| {
+        b.iter(|| black_box(expected_tail_count(1_281_167, 90, 16, 0.8)));
+    });
+}
+
+fn bench_placement(c: &mut Criterion) {
+    c.bench_function("cache_assignment_100k", |b| {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let freq: Vec<u16> = (0..100_000).map(|_| (rng.next_below(16)) as u16).collect();
+        let first: Vec<u64> = (0..100_000u64).collect();
+        let sizes = vec![100_000u64; 100_000];
+        let caps = vec![2_000_000_000u64, 6_000_000_000];
+        b.iter(|| {
+            black_box(CacheAssignment::compute(&freq, &first, &sizes, &caps));
+        });
+    });
+}
+
+fn bench_staging(c: &mut Criterion) {
+    c.bench_function("staging_buffer_push_pop", |b| {
+        let buf = StagingBuffer::new(1_000_000_000);
+        let payload = bytes::Bytes::from(vec![0u8; 4_096]);
+        b.iter_batched(
+            || payload.clone(),
+            |p| {
+                buf.push(1, p);
+                black_box(buf.pop());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_token_bucket(c: &mut Criterion) {
+    c.bench_function("token_bucket_acquire_hot", |b| {
+        let tb = TokenBucket::new(1e15, 1e15);
+        b.iter(|| tb.acquire(black_box(4_096)));
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("simulator_nopfs_2k_samples_3_epochs", |b| {
+        let sys = fig8_small_cluster();
+        let scenario = Scenario::new("micro", sys, vec![100_000u64; 2_000], 3, 8, 5);
+        b.iter(|| black_box(run(&scenario, Policy::NoPfs).expect("runs")));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_shuffle, bench_stream, bench_frequency, bench_placement,
+              bench_staging, bench_token_bucket, bench_simulator
+}
+criterion_main!(benches);

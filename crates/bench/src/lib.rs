@@ -1,0 +1,41 @@
+//! Shared harness for the paper-reproduction benchmarks.
+//!
+//! Every figure and table in the paper's evaluation has a bench target
+//! under `benches/` (run `cargo bench -p nopfs-bench --bench <name>`);
+//! this library holds what they share: scaled scenario builders
+//! ([`scenarios`]), the runtime experiment runner driving real loaders
+//! on the synthetic substrates ([`runtime`]), and table printing
+//! ([`report`]).
+//!
+//! Scaling: experiments run at laptop scale by multiplying sample
+//! counts *and* storage capacities by the same factor, which preserves
+//! the paper's storage regimes (`S` vs `d_1`, `D`, `N·D`) and therefore
+//! the relative behaviour of the policies. Set `NOPFS_BENCH_SCALE`
+//! (default `1.0`) to grow or shrink every experiment together, e.g.
+//! `NOPFS_BENCH_SCALE=10 cargo bench -p nopfs-bench --bench
+//! fig8_simulation` for a 10x larger run.
+
+pub mod report;
+pub mod runtime;
+pub mod scenarios;
+
+/// Reads an `f64` environment knob with a default.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads a `u64` environment knob with a default.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The global bench scale factor (`NOPFS_BENCH_SCALE`, default 1).
+pub fn bench_scale() -> f64 {
+    env_f64("NOPFS_BENCH_SCALE", 1.0)
+}

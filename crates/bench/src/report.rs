@@ -1,0 +1,42 @@
+//! Plain-text table printing for the reproduction benches.
+//!
+//! Each bench prints the same rows/series the paper's figure reports,
+//! in a stable text format that EXPERIMENTS.md quotes.
+
+use nopfs_util::stats::Summary;
+
+/// Prints a figure/table banner.
+pub fn banner(id: &str, caption: &str) {
+    println!();
+    println!("=== {id} — {caption} ===");
+}
+
+/// Prints a section sub-header.
+pub fn section(title: &str) {
+    println!();
+    println!("--- {title} ---");
+}
+
+/// Prints a key/value configuration line.
+pub fn config_line(text: &str) {
+    println!("    [{text}]");
+}
+
+/// Formats a batch-time distribution like the paper's violin annotations.
+pub fn dist(summary: &Summary) -> String {
+    format!(
+        "median {:>8.4}s  p95 {:>8.4}s  max {:>8.4}s",
+        summary.median(),
+        summary.percentile(95.0),
+        summary.max()
+    )
+}
+
+/// Formats `a/b` as a ratio with a `x` suffix (e.g. speedups).
+pub fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.2}x", a / b)
+    }
+}

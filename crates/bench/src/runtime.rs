@@ -1,0 +1,275 @@
+//! The runtime experiment runner: drives real loaders (NoPFS and the
+//! baselines) through the timed training loop on the synthetic
+//! substrates, and aggregates the numbers the Sec. 7 figures report.
+
+use nopfs_baselines::{
+    DataLoader, DoubleBufferRunner, LbannRunner, NaiveRunner, NoIoRunner,
+};
+use nopfs_core::stats::WorkerStats;
+use nopfs_core::{Job, JobConfig};
+use nopfs_datasets::DatasetProfile;
+use nopfs_net::{cluster, Endpoint, NetConfig};
+use nopfs_perfmodel::SystemSpec;
+use nopfs_pfs::Pfs;
+use nopfs_train::{run_training_loop, RunMetrics, TrainLoopConfig};
+use nopfs_util::stats::Summary;
+use nopfs_util::timing::TimeScale;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The loader policies the runtime experiments compare (the paper's
+/// Sec. 7 frameworks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimePolicy {
+    /// Synthetic in-RAM data: the "No I/O" lower bound.
+    NoIo,
+    /// PyTorch's built-in double-buffering `DataLoader`.
+    PyTorch,
+    /// DALI: double buffering with GPU-offloaded preprocessing.
+    Dali,
+    /// The LBANN data store (dynamic mode).
+    Lbann,
+    /// NoPFS.
+    NoPfs,
+    /// Synchronous PFS reads (reference only; not in the paper's
+    /// runtime figures).
+    Naive,
+}
+
+impl RuntimePolicy {
+    /// Figure label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RuntimePolicy::NoIo => "No I/O",
+            RuntimePolicy::PyTorch => "PyTorch",
+            RuntimePolicy::Dali => "PyTorch+DALI",
+            RuntimePolicy::Lbann => "LBANN",
+            RuntimePolicy::NoPfs => "NoPFS",
+            RuntimePolicy::Naive => "Naive",
+        }
+    }
+}
+
+/// One runtime experiment configuration.
+#[derive(Clone)]
+pub struct Experiment {
+    /// The modelled system (includes worker count).
+    pub system: SystemSpec,
+    /// The dataset (already scaled).
+    pub profile: DatasetProfile,
+    /// Training epochs.
+    pub epochs: u64,
+    /// Per-worker batch size.
+    pub batch: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Model-to-wall mapping.
+    pub scale: TimeScale,
+    /// Compute throughput `c`, model bytes/s.
+    pub compute: f64,
+    /// Emulated gradient elements per allreduce.
+    pub grad_elems: usize,
+}
+
+/// Aggregated outcome of one `(policy, experiment)` run.
+pub struct PolicyRun {
+    /// Which policy ran.
+    pub policy: RuntimePolicy,
+    /// Per-worker metrics.
+    pub per_worker: Vec<RunMetrics>,
+    /// Per-epoch times: max across workers (the bulk-synchronous epoch
+    /// time), model seconds.
+    pub epoch_times: Vec<f64>,
+}
+
+impl PolicyRun {
+    /// Median epoch time excluding epoch 0 (the figures' convention).
+    pub fn median_epoch_time(&self) -> f64 {
+        let tail: Vec<f64> = self.epoch_times.iter().copied().skip(1).collect();
+        if tail.is_empty() {
+            return self.epoch_times.first().copied().unwrap_or(0.0);
+        }
+        Summary::new(&tail).median()
+    }
+
+    /// Pooled batch times across workers, optionally excluding epoch 0.
+    pub fn batch_summary(&self, skip_first_epoch: bool) -> Summary {
+        let mut all = Vec::new();
+        for m in &self.per_worker {
+            if skip_first_epoch {
+                all.extend_from_slice(m.batches_after_warmup());
+            } else {
+                all.extend_from_slice(&m.batch_times);
+            }
+        }
+        if all.is_empty() {
+            all.push(0.0);
+        }
+        Summary::new(&all)
+    }
+
+    /// Batch times of epoch 0 only (Fig. 11).
+    pub fn first_epoch_batches(&self) -> Summary {
+        let mut all = Vec::new();
+        for m in &self.per_worker {
+            if !m.batches_per_epoch.is_empty() {
+                all.extend_from_slice(m.epoch_batches(0));
+            }
+        }
+        if all.is_empty() {
+            all.push(0.0);
+        }
+        Summary::new(&all)
+    }
+
+    /// Cluster-merged loader statistics.
+    pub fn merged_stats(&self) -> WorkerStats {
+        let mut merged = self.per_worker[0].stats.clone();
+        for m in &self.per_worker[1..] {
+            merged.merge(&m.stats);
+        }
+        merged
+    }
+}
+
+impl Experiment {
+    /// The scaled ImageNet-1k runtime experiment behind Figs. 10–13:
+    /// dataset and capacities scaled together so the paper's caching
+    /// regimes survive, PFS saturating at 256 MB/s so contention sets
+    /// in around four workers.
+    pub fn imagenet(kind: crate::scenarios::SystemKind, workers: usize) -> Self {
+        use crate::scenarios::{runtime_system, SystemKind};
+        let cap_scale = match kind {
+            SystemKind::PizDaint => 1.0 / 2_000.0,
+            SystemKind::Lassen => 1.0 / 500.0,
+        };
+        Self {
+            system: runtime_system(kind, workers, cap_scale, 192.0),
+            profile: DatasetProfile::imagenet_1k().scaled(1.0 / 2_000.0, 1.0),
+            epochs: 4,
+            batch: 8,
+            seed: 0xF1_6A,
+            scale: TimeScale::new(1.0),
+            compute: 64.0e6,
+            grad_elems: 256,
+        }
+    }
+
+    /// The scaled ImageNet-22k experiment (Fig. 14): many more samples
+    /// relative to RAM, so the SSD tier carries the caching.
+    pub fn imagenet_22k(workers: usize) -> Self {
+        use crate::scenarios::{runtime_system, SystemKind};
+        Self {
+            system: runtime_system(SystemKind::Lassen, workers, 1.0 / 10_000.0, 192.0),
+            profile: DatasetProfile::imagenet_22k().scaled(1.0 / 20_000.0, 1.0),
+            epochs: 3,
+            batch: 8,
+            seed: 0xF1_6B,
+            scale: TimeScale::new(1.0),
+            compute: 64.0e6,
+            grad_elems: 256,
+        }
+    }
+
+    /// The scaled CosmoFlow experiment (Fig. 15): few large fixed-size
+    /// samples; the dataset exceeds cluster storage at small worker
+    /// counts.
+    pub fn cosmoflow(workers: usize) -> Self {
+        use crate::scenarios::{runtime_system, SystemKind};
+        Self {
+            system: runtime_system(SystemKind::Lassen, workers, 1.0 / 2_000.0, 192.0),
+            profile: DatasetProfile::cosmoflow().scaled(1.0 / 200.0, 1.0 / 50.0),
+            epochs: 3,
+            batch: 4,
+            seed: 0xF1_6C,
+            scale: TimeScale::new(0.25),
+            compute: 64.0e6,
+            grad_elems: 256,
+        }
+    }
+
+    /// Returns a copy with a different per-worker batch size (Fig. 13).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+}
+
+/// Runs one policy on one experiment. Returns `None` when the policy
+/// cannot support the configuration (LBANN with an over-sized dataset).
+pub fn run_policy(exp: &Experiment, policy: RuntimePolicy) -> Option<PolicyRun> {
+    let n = exp.system.workers;
+    let sizes = Arc::new(exp.profile.sizes());
+    // drop_last keeps every worker's batch count identical, which the
+    // per-step allreduce requires (ragged counts would deadlock the
+    // collective — the same reason frameworks drop the last partial
+    // global batch in distributed training).
+    let config = JobConfig::new(exp.seed, exp.epochs, exp.batch, exp.system.clone(), exp.scale)
+        .drop_last(true);
+    let loop_cfg = TrainLoopConfig {
+        compute_rate: exp.compute,
+        scale: exp.scale,
+        grad_elems: exp.grad_elems,
+    };
+    // A dedicated gradient-allreduce cluster, one endpoint per rank.
+    let grad_endpoints: Mutex<Vec<Option<Endpoint<Vec<f32>>>>> = Mutex::new(
+        cluster::<Vec<f32>>(n, NetConfig::new(exp.system.interconnect, exp.scale))
+            .into_iter()
+            .map(Some)
+            .collect(),
+    );
+    let body = |loader: &mut dyn DataLoader| {
+        let ep = grad_endpoints.lock()[loader.rank()]
+            .take()
+            .expect("each rank takes its endpoint once");
+        run_training_loop(loader, &loop_cfg, Some(&ep))
+    };
+
+    let needs_pfs = !matches!(policy, RuntimePolicy::NoIo);
+    let pfs = Pfs::in_memory(exp.system.pfs_read.clone(), exp.scale);
+    if needs_pfs {
+        exp.profile.materialize(&pfs);
+    }
+
+    let per_worker: Vec<RunMetrics> = match policy {
+        RuntimePolicy::NoIo => NoIoRunner::new(config, sizes).run(body),
+        RuntimePolicy::PyTorch => {
+            DoubleBufferRunner::pytorch_like(config, sizes).run(&pfs, body)
+        }
+        RuntimePolicy::Dali => DoubleBufferRunner::dali_like(config, sizes).run(&pfs, body),
+        RuntimePolicy::Naive => NaiveRunner::new(config, sizes).run(&pfs, body),
+        RuntimePolicy::Lbann => {
+            let ram = exp.system.classes.first().map_or(0, |c| c.capacity);
+            let total: u64 = sizes.iter().sum();
+            if total > ram.saturating_mul(n as u64) {
+                return None; // the store's documented limitation
+            }
+            LbannRunner::new(config, sizes).run(&pfs, body)
+        }
+        RuntimePolicy::NoPfs => {
+            let job = Job::new(config, sizes);
+            job.run(&pfs, |w| body(w))
+        }
+    };
+
+    // Bulk-synchronous epoch time: the slowest worker defines it.
+    let epochs = per_worker
+        .iter()
+        .map(|m| m.epoch_times.len())
+        .min()
+        .unwrap_or(0);
+    let epoch_times: Vec<f64> = (0..epochs)
+        .map(|e| {
+            per_worker
+                .iter()
+                .map(|m| m.epoch_times[e])
+                .fold(0.0, f64::max)
+        })
+        .collect();
+
+    Some(PolicyRun {
+        policy,
+        per_worker,
+        epoch_times,
+    })
+}

@@ -1,0 +1,273 @@
+//! Scaled reproductions of the paper's simulation scenarios (Fig. 8,
+//! Fig. 9) and the runtime systems for the Sec. 7 experiments.
+//!
+//! Two calibration substitutions, both recorded in EXPERIMENTS.md:
+//!
+//! 1. **Saturating PFS curves.** The paper lists near-linear Lassen
+//!    benchmark points for `t(γ)`; under those numbers alone the
+//!    staging-buffer policy would never stall at N=4, yet the paper's
+//!    own Fig. 8 shows it 25–30% over the lower bound. We therefore use
+//!    PFS curves that saturate (the behaviour Sec. 5.1 describes:
+//!    "t(γ)/γ is often constant or decreasing with many readers"),
+//!    with the saturation level calibrated per scenario so the
+//!    staging-buffer baseline lands at the paper's ≈1.3× — every other
+//!    policy's placement is then *predicted*, not fitted.
+//! 2. **Epoch counts / compute rates.** The paper omits `E` for Fig. 8;
+//!    we choose the `(E, c)` pairs that reproduce the published lower
+//!    bounds from the published dataset sizes.
+
+use nopfs_datasets::DatasetProfile;
+use nopfs_perfmodel::curve::ThroughputCurve;
+use nopfs_perfmodel::presets::{fig8_small_cluster, saturating_pfs_curve, thrashing_pfs_curve};
+use nopfs_perfmodel::SystemSpec;
+use nopfs_simulator::Scenario;
+use nopfs_util::units::MB;
+
+/// One Fig. 8 subplot: a dataset, its calibrated run parameters, and
+/// the paper's published lower bound for comparison.
+pub struct Fig8Scenario {
+    /// Subplot tag ("a".."f").
+    pub tag: &'static str,
+    /// Regime label as printed in the paper.
+    pub regime: &'static str,
+    /// The dataset profile (unscaled).
+    pub profile: DatasetProfile,
+    /// Epochs `E` (calibrated; see module docs).
+    pub epochs: u64,
+    /// Compute throughput `c`, MB/s (calibrated for e/f).
+    pub compute_mbps: f64,
+    /// Per-worker batch size.
+    pub batch: usize,
+    /// Workers `N`.
+    pub workers: usize,
+    /// PFS thrashing point: `(clients, aggregate MB/s)` at collapse.
+    pub pfs_collapse: (f64, f64),
+    /// Default count-scale factor for bench runs.
+    pub default_scale: f64,
+    /// The paper's published execution time for the lower bound, hours
+    /// (seconds for MNIST — see `lower_bound_unit`).
+    pub paper_lower_bound: f64,
+    /// The paper's published NoPFS time, same unit.
+    pub paper_nopfs: f64,
+    /// The paper's published Naive time, same unit.
+    pub paper_naive: f64,
+    /// `"s"` or `"hrs"`.
+    pub unit: &'static str,
+}
+
+/// The six Fig. 8 subplots with the paper's published reference values.
+pub fn fig8_scenarios() -> Vec<Fig8Scenario> {
+    vec![
+        Fig8Scenario {
+            tag: "a",
+            regime: "S < d1",
+            profile: DatasetProfile::mnist(),
+            epochs: 5,
+            compute_mbps: 64.0,
+            batch: 32,
+            workers: 4,
+            pfs_collapse: (32.0, 272.0),
+            default_scale: 1.0,
+            paper_lower_bound: 0.73,
+            paper_nopfs: 0.73,
+            paper_naive: 1.24,
+            unit: "s",
+        },
+        Fig8Scenario {
+            tag: "b",
+            regime: "d1 < S < D",
+            profile: DatasetProfile::imagenet_1k(),
+            epochs: 5,
+            compute_mbps: 64.0,
+            batch: 32,
+            workers: 4,
+            pfs_collapse: (32.0, 272.0),
+            default_scale: 0.01,
+            paper_lower_bound: 0.75,
+            paper_nopfs: 0.79,
+            paper_naive: 1.27,
+            unit: "hrs",
+        },
+        Fig8Scenario {
+            tag: "c",
+            regime: "d1 < S < N*D",
+            profile: DatasetProfile::openimages(),
+            epochs: 5,
+            compute_mbps: 64.0,
+            batch: 32,
+            workers: 4,
+            pfs_collapse: (32.0, 272.0),
+            default_scale: 0.01,
+            paper_lower_bound: 2.78,
+            paper_nopfs: 2.91,
+            paper_naive: 4.72,
+            unit: "hrs",
+        },
+        Fig8Scenario {
+            tag: "d",
+            regime: "D < S < N*D",
+            profile: DatasetProfile::imagenet_22k(),
+            // E=4: the 64-byte clipping of the sigma=0.2 size normal
+            // inflates the mean sample size ~35% over the paper's mu,
+            // so four epochs reproduce the published lower bound.
+            epochs: 4,
+            compute_mbps: 64.0,
+            batch: 32,
+            workers: 4,
+            pfs_collapse: (32.0, 272.0),
+            default_scale: 0.002,
+            paper_lower_bound: 8.29,
+            paper_nopfs: 8.71,
+            paper_naive: 14.09,
+            unit: "hrs",
+        },
+        Fig8Scenario {
+            tag: "e",
+            regime: "N*D < S",
+            profile: DatasetProfile::cosmoflow(),
+            epochs: 3,
+            compute_mbps: 81.6,
+            batch: 16,
+            workers: 4,
+            pfs_collapse: (32.0, 272.0),
+            default_scale: 0.02,
+            paper_lower_bound: 11.38,
+            paper_nopfs: 11.95,
+            paper_naive: 19.33,
+            unit: "hrs",
+        },
+        Fig8Scenario {
+            tag: "f",
+            regime: "N*D < S (N=8)",
+            profile: DatasetProfile::cosmoflow_512(),
+            epochs: 2,
+            compute_mbps: 200.0,
+            batch: 1,
+            workers: 8,
+            pfs_collapse: (64.0, 1_363.0),
+            default_scale: 0.2,
+            paper_lower_bound: 3.48,
+            paper_nopfs: 3.65,
+            paper_naive: 7.30,
+            unit: "hrs",
+        },
+    ]
+}
+
+impl Fig8Scenario {
+    /// Builds the scaled simulator scenario. `extra_scale` multiplies
+    /// the scenario's default count scale (the `NOPFS_BENCH_SCALE`
+    /// hook); both sample counts and capacities shrink together, so the
+    /// storage regime is preserved.
+    ///
+    /// Returns the scenario plus the count factor actually applied.
+    pub fn build(&self, extra_scale: f64) -> (Scenario, f64) {
+        let factor = (self.default_scale * extra_scale).min(1.0);
+        let profile = self.profile.scaled(factor, 1.0);
+        let mut system = fig8_small_cluster()
+            .with_compute_mbps(self.compute_mbps, 200.0)
+            .with_workers(self.workers);
+        scale_capacities(&mut system, factor);
+        system.pfs_read =
+            thrashing_pfs_curve(self.pfs_collapse.0, self.pfs_collapse.1 * MB);
+        let sizes = profile.sizes();
+        let scenario = Scenario::new(
+            profile.name.clone(),
+            system,
+            sizes,
+            self.epochs,
+            self.batch,
+            0xF18_0000 + self.tag.as_bytes()[0] as u64,
+        );
+        (scenario, factor)
+    }
+
+    /// Converts a simulated (scaled) execution time back to the paper's
+    /// unit for side-by-side reporting: times scale linearly with the
+    /// count factor.
+    pub fn to_paper_units(&self, sim_seconds: f64, factor: f64) -> f64 {
+        let full = sim_seconds / factor;
+        match self.unit {
+            "hrs" => full / 3_600.0,
+            _ => full,
+        }
+    }
+}
+
+/// Scales every capacity of a system (staging + classes) by `factor`.
+pub fn scale_capacities(system: &mut SystemSpec, factor: f64) {
+    system.staging.capacity = ((system.staging.capacity as f64 * factor) as u64).max(4_096);
+    for class in &mut system.classes {
+        class.capacity = ((class.capacity as f64 * factor) as u64).max(1);
+    }
+}
+
+/// The Fig. 9 base scenario: ImageNet-22k with 5× compute and
+/// preprocessing throughput ("representative of future machine learning
+/// accelerators").
+pub fn fig9_base(extra_scale: f64) -> (Scenario, f64) {
+    let factor = (0.002 * extra_scale).min(1.0);
+    let profile = DatasetProfile::imagenet_22k().scaled(factor, 1.0);
+    let mut system = fig8_small_cluster().with_compute_mbps(5.0 * 64.0, 5.0 * 200.0);
+    scale_capacities(&mut system, factor);
+    system.pfs_read = thrashing_pfs_curve(32.0, 846.0 * MB);
+    let sizes = profile.sizes();
+    let scenario = Scenario::new(
+        profile.name.clone(),
+        system,
+        sizes,
+        3,
+        32,
+        0xF19_0001,
+    );
+    (scenario, factor)
+}
+
+/// Which runtime system a Sec. 7 experiment models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// Piz-Daint-like: RAM only, no local SSD.
+    PizDaint,
+    /// Lassen-like: RAM + SSD per rank.
+    Lassen,
+}
+
+impl SystemKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemKind::PizDaint => "Piz Daint",
+            SystemKind::Lassen => "Lassen",
+        }
+    }
+}
+
+/// Builds a scaled runtime system: capacities shrink by `cap_scale`
+/// while rates stay at face value, and the PFS saturates at
+/// `pfs_sat_mbps` so contention sets in as workers are added — the
+/// effect behind the paper's Figs. 10–15 scaling curves.
+pub fn runtime_system(
+    kind: SystemKind,
+    workers: usize,
+    cap_scale: f64,
+    pfs_sat_mbps: f64,
+) -> SystemSpec {
+    let mut system = match kind {
+        SystemKind::PizDaint => nopfs_perfmodel::presets::piz_daint_like(),
+        SystemKind::Lassen => nopfs_perfmodel::presets::lassen_like(),
+    };
+    system.workers = workers;
+    scale_capacities(&mut system, cap_scale);
+    system.pfs_read = saturating_pfs_curve(pfs_sat_mbps * MB, 8.0);
+    // Runtime experiments use fewer staging threads than the paper's
+    // HPC ranks so thread counts stay sane at 8-16 in-process workers.
+    system.staging.threads = 4;
+    system.validate();
+    system
+}
+
+/// A deliberately fast PFS curve for experiments that should not be
+/// PFS-bound (unit-style benches).
+pub fn uncontended_pfs() -> ThroughputCurve {
+    ThroughputCurve::flat(1e12)
+}

@@ -1,0 +1,379 @@
+//! Probabilistic analysis of access frequencies (paper Sec. 3.1).
+//!
+//! Fix a worker and a sample. Whether the worker accesses the sample in
+//! epoch `e` is `X_e ~ Bernoulli(1/N)`, so the total access frequency over
+//! `E` epochs is `X = Σ X_e ~ Binomial(E, 1/N)` with mean `μ = E/N`. The
+//! paper exploits the spread of this distribution: although each sample is
+//! accessed `E/N` times *on average* by a worker, a long tail of samples
+//! is accessed far more often by that worker — and (Lemma 1)
+//! correspondingly less often by some other worker. Caching decisions
+//! follow the tail.
+//!
+//! This module provides the exact Binomial PMF/CDF/tail (via a Lanczos
+//! log-gamma so that `E` in the thousands stays stable), the paper's
+//! expected tail count `F·P(X > (1+δ)μ)`, Lemma 1's bound, and
+//! [`FrequencyTable`] — the empirical counterpart computed from the real
+//! access streams (the paper's Monte-Carlo verification and Fig. 3).
+
+use crate::sampler::ShuffleSpec;
+use crate::{SampleId, WorkerId};
+use nopfs_util::stats::Histogram;
+
+/// Natural log of the gamma function, Lanczos approximation (g = 7,
+/// 9 coefficients). Accurate to ~1e-13 over the ranges used here.
+fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument");
+    const COEFFS: [f64; 8] = [
+        676.5203681218851,
+        -1259.1392167224028,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.984_369_578_019_572e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy for small x.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = 0.999_999_999_999_809_9;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        acc += c / (x + (i + 1) as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (std::f64::consts::TAU).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+fn ln_choose(n: u64, k: u64) -> f64 {
+    debug_assert!(k <= n);
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Exact Binomial PMF `P(X = k)` for `X ~ Binomial(n, p)`.
+///
+/// # Panics
+/// Panics unless `p ∈ [0, 1]`.
+pub fn binomial_pmf(n: u64, p: f64, k: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    (ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+}
+
+/// Binomial survival function `P(X ≥ k)` (inclusive tail).
+pub fn binomial_sf(n: u64, p: f64, k: u64) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    // Sum from the smaller side for accuracy.
+    let mean = n as f64 * p;
+    if (k as f64) > mean {
+        (k..=n).map(|j| binomial_pmf(n, p, j)).sum()
+    } else {
+        1.0 - (0..k).map(|j| binomial_pmf(n, p, j)).sum::<f64>()
+    }
+}
+
+/// Binomial CDF `P(X ≤ k)`.
+pub fn binomial_cdf(n: u64, p: f64, k: u64) -> f64 {
+    1.0 - binomial_sf(n, p, k + 1)
+}
+
+/// The paper's expected number of samples a fixed worker accesses more
+/// than `(1+δ)·μ` times: `F · P(X ≥ ⌈(1+δ)·E/N⌉)` with
+/// `X ~ Binomial(E, 1/N)` (Sec. 3.1).
+///
+/// For the paper's running example (`N=16, E=90, F=1,281,167, δ=0.8`)
+/// this evaluates to ≈31,635, matching both the paper's calculation and
+/// its Monte-Carlo count of 31,863.
+pub fn expected_tail_count(num_samples: u64, epochs: u64, num_workers: usize, delta: f64) -> f64 {
+    assert!(num_workers > 0, "need at least one worker");
+    assert!(delta >= 0.0, "delta must be non-negative");
+    let mu = epochs as f64 / num_workers as f64;
+    let threshold = ((1.0 + delta) * mu).ceil() as u64;
+    num_samples as f64 * binomial_sf(epochs, 1.0 / num_workers as f64, threshold)
+}
+
+/// Lemma 1's complementary bound: if some worker accesses a sample
+/// `⌈(1+δ)·E/N⌉` times, then at least one other worker accesses it at
+/// most `⌈((N−1−δ)/(N−1))·E/N⌉` times.
+///
+/// Returns that upper bound on the under-accessing worker's frequency.
+///
+/// # Panics
+/// Panics if `num_workers < 2` (the lemma needs another worker) or if
+/// `delta` is outside `[0, N−1]` (the lemma's stated range).
+pub fn lemma1_upper_bound(epochs: u64, num_workers: usize, delta: f64) -> u64 {
+    assert!(num_workers >= 2, "Lemma 1 requires at least two workers");
+    let n = num_workers as f64;
+    assert!(
+        (0.0..=n - 1.0).contains(&delta),
+        "Lemma 1 requires delta in [0, N-1]"
+    );
+    let mu = epochs as f64 / n;
+    (((n - 1.0 - delta) / (n - 1.0)) * mu).ceil() as u64
+}
+
+/// Empirical per-worker access frequencies over a full training run —
+/// the quantity `r_k` used by the placement policy (Sec. 5.1), and the
+/// histogram of Fig. 3.
+///
+/// Built by replaying the clairvoyant access streams; `counts(w)[k]` is
+/// exactly how many times worker `w` will read sample `k` during
+/// training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequencyTable {
+    num_workers: usize,
+    epochs: u64,
+    /// `counts[w][k]` = times worker `w` accesses sample `k`.
+    counts: Vec<Vec<u16>>,
+}
+
+impl FrequencyTable {
+    /// Builds the table for all workers by generating each epoch shuffle
+    /// once and attributing positions to workers. Cost: `O(E·F)` time,
+    /// `O(N·F)` memory.
+    pub fn build(spec: &ShuffleSpec, epochs: u64) -> Self {
+        assert!(epochs > 0, "at least one epoch");
+        let n = spec.num_workers;
+        let f = spec.num_samples as usize;
+        let mut counts = vec![vec![0u16; f]; n];
+        for e in 0..epochs {
+            let shuffle = spec.epoch_shuffle(e);
+            for (pos, &id) in shuffle.global_order().iter().enumerate() {
+                counts[pos % n][id as usize] += 1;
+            }
+        }
+        Self {
+            num_workers: n,
+            epochs,
+            counts,
+        }
+    }
+
+    /// Number of workers covered.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Number of epochs counted.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Per-sample access counts for one worker.
+    pub fn counts(&self, worker: WorkerId) -> &[u16] {
+        &self.counts[worker]
+    }
+
+    /// How often `worker` accesses `sample`.
+    pub fn frequency(&self, worker: WorkerId, sample: SampleId) -> u16 {
+        self.counts[worker][sample as usize]
+    }
+
+    /// Total accesses of `sample` across all workers. With full
+    /// randomization and no `drop_last` this is exactly `E` for every
+    /// sample (each sample is read once per epoch).
+    pub fn total_frequency(&self, sample: SampleId) -> u32 {
+        self.counts.iter().map(|c| u32::from(c[sample as usize])).sum()
+    }
+
+    /// Number of samples `worker` accesses at least `k` times — the
+    /// empirical counterpart of [`expected_tail_count`].
+    pub fn count_at_least(&self, worker: WorkerId, k: u16) -> u64 {
+        self.counts[worker].iter().filter(|&&c| c >= k).count() as u64
+    }
+
+    /// Access-frequency histogram for one worker (Fig. 3): bucket `i`
+    /// counts samples accessed exactly `i` times, with frequencies at or
+    /// above `max_frequency` clamped into the last bucket.
+    pub fn histogram(&self, worker: WorkerId, max_frequency: u16) -> Histogram {
+        assert!(max_frequency > 0);
+        let mut h = Histogram::new(max_frequency as usize + 1, 1);
+        for &c in &self.counts[worker] {
+            h.record(u64::from(c));
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=√π
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-11);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-11);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for (n, p) in [(10u64, 0.3), (90, 1.0 / 16.0), (500, 0.01)] {
+            let total: f64 = (0..=n).map(|k| binomial_pmf(n, p, k)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "n={n} p={p} total={total}");
+        }
+    }
+
+    #[test]
+    fn pmf_known_values() {
+        // Binomial(4, 0.5): P(X=2) = 6/16.
+        assert!((binomial_pmf(4, 0.5, 2) - 0.375).abs() < 1e-12);
+        // Degenerate p.
+        assert_eq!(binomial_pmf(5, 0.0, 0), 1.0);
+        assert_eq!(binomial_pmf(5, 0.0, 1), 0.0);
+        assert_eq!(binomial_pmf(5, 1.0, 5), 1.0);
+        assert_eq!(binomial_pmf(5, 0.5, 6), 0.0);
+    }
+
+    #[test]
+    fn sf_and_cdf_consistent() {
+        let (n, p) = (90u64, 1.0 / 16.0);
+        for k in 0..=n {
+            let sf = binomial_sf(n, p, k);
+            let cdf_prev = if k == 0 { 0.0 } else { binomial_cdf(n, p, k - 1) };
+            assert!((sf + cdf_prev - 1.0).abs() < 1e-10, "k={k}");
+        }
+        assert_eq!(binomial_sf(10, 0.5, 0), 1.0);
+        assert_eq!(binomial_sf(10, 0.5, 11), 0.0);
+    }
+
+    /// The paper's running example: N=16, E=90, F=1,281,167, δ=0.8 gives
+    /// an expected tail of ~31,635 samples accessed more than 10 times.
+    #[test]
+    fn paper_example_tail_count() {
+        let expect = expected_tail_count(1_281_167, 90, 16, 0.8);
+        assert!(
+            (expect - 31_634.7).abs() < 1.0,
+            "paper reports ~31,635, got {expect}"
+        );
+    }
+
+    #[test]
+    fn lemma1_bound_values() {
+        // N=2: if one worker over-accesses by δ, the other under-accesses
+        // symmetrically: bound = ceil((1-δ)·E/2).
+        assert_eq!(lemma1_upper_bound(90, 2, 1.0), 0);
+        // ((16-1-0.8)/(16-1)) * 90/16 = 5.325, ceil = 6.
+        assert_eq!(lemma1_upper_bound(90, 16, 0.8), 6);
+        // δ=0 degenerates to the mean.
+        assert_eq!(lemma1_upper_bound(90, 16, 0.0), 6); // ceil(5.625)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two workers")]
+    fn lemma1_needs_two_workers() {
+        lemma1_upper_bound(10, 1, 0.5);
+    }
+
+    fn small_table() -> (ShuffleSpec, FrequencyTable) {
+        let spec = ShuffleSpec::new(77, 200, 4, 8, false);
+        let table = FrequencyTable::build(&spec, 12);
+        (spec, table)
+    }
+
+    #[test]
+    fn totals_equal_epochs() {
+        // Every sample is read exactly once per epoch across workers.
+        let (_, table) = small_table();
+        for k in 0..200 {
+            assert_eq!(table.total_frequency(k), 12, "sample {k}");
+        }
+    }
+
+    #[test]
+    fn counts_sum_matches_stream_lengths() {
+        let (spec, table) = small_table();
+        for w in 0..4 {
+            let total: u64 = table.counts(w).iter().map(|&c| u64::from(c)).sum();
+            assert_eq!(total, spec.worker_epoch_len(w) * 12);
+        }
+    }
+
+    #[test]
+    fn table_matches_explicit_stream_replay() {
+        let (spec, table) = small_table();
+        let stream = crate::stream::AccessStream::new(spec, 2, 12);
+        let mut counts = vec![0u16; 200];
+        for id in stream.iter() {
+            counts[id as usize] += 1;
+        }
+        assert_eq!(table.counts(2), counts.as_slice());
+    }
+
+    #[test]
+    fn count_at_least_is_monotone() {
+        let (_, table) = small_table();
+        let mut prev = u64::MAX;
+        for k in 0..10 {
+            let c = table.count_at_least(0, k);
+            assert!(c <= prev);
+            prev = c;
+        }
+        assert_eq!(table.count_at_least(0, 0), 200);
+    }
+
+    #[test]
+    fn histogram_total_is_sample_count() {
+        let (_, table) = small_table();
+        let h = table.histogram(1, 12);
+        assert_eq!(h.total(), 200);
+    }
+
+    #[test]
+    fn empirical_tail_tracks_binomial_prediction() {
+        // A modest Monte-Carlo check mirroring the paper's Fig. 3
+        // verification, scaled down: N=4, E=40, F=20,000.
+        let spec = ShuffleSpec::new(2024, 20_000, 4, 16, false);
+        let table = FrequencyTable::build(&spec, 40);
+        let delta = 0.5;
+        let mu = 40.0f64 / 4.0;
+        let threshold = ((1.0 + delta) * mu).ceil() as u16;
+        let empirical = table.count_at_least(0, threshold) as f64;
+        let predicted = expected_tail_count(20_000, 40, 4, delta);
+        let rel = (empirical - predicted).abs() / predicted;
+        assert!(
+            rel < 0.15,
+            "empirical {empirical} vs predicted {predicted} (rel {rel})"
+        );
+    }
+
+    #[test]
+    fn lemma1_holds_empirically() {
+        // For every sample, if some worker hits the (1+δ)μ threshold,
+        // some other worker must be at or below the Lemma 1 bound.
+        let spec = ShuffleSpec::new(5, 500, 4, 4, false);
+        let epochs = 20;
+        let table = FrequencyTable::build(&spec, epochs);
+        let delta = 1.0;
+        let hi = ((1.0 + delta) * epochs as f64 / 4.0).ceil() as u16;
+        let bound = lemma1_upper_bound(epochs, 4, delta) as u16;
+        for k in 0..500u64 {
+            let counts: Vec<u16> = (0..4).map(|w| table.frequency(w, k)).collect();
+            if counts.iter().any(|&c| c >= hi) {
+                assert!(
+                    counts.iter().any(|&c| c <= bound),
+                    "sample {k}: counts {counts:?} violate Lemma 1 (bound {bound})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Clairvoyant access-stream generation and analysis.
+//!
+//! Mini-batch SGD shuffles the dataset indices once per epoch with a
+//! seeded PRNG and partitions the shuffle among workers; therefore, given
+//! the seed, *every* worker can compute exactly which worker will access
+//! which sample at which point of training — arbitrarily far in the
+//! future. The paper (Sec. 2) calls this **clairvoyance**, and everything
+//! NoPFS does flows from it.
+//!
+//! This crate implements:
+//! - [`sampler`] — the seeded epoch shuffle and the PyTorch
+//!   `DistributedSampler`-style partitioning of each epoch among workers.
+//! - [`stream`] — per-worker access streams `R` (lazy and materialized),
+//!   the object the prefetching rules of Sec. 3 operate on.
+//! - [`frequency`] — the probabilistic access-frequency analysis of
+//!   Sec. 3.1: exact Binomial(E, 1/N) tail bounds, Monte-Carlo counting,
+//!   and the Fig. 3 histogram.
+//! - [`placement`] — the frequency-ranked mapping of samples to storage
+//!   classes (Sec. 5.1) that every worker computes for every other worker
+//!   without any communication.
+
+pub mod frequency;
+pub mod placement;
+pub mod sampler;
+pub mod stream;
+
+pub use frequency::{binomial_pmf, binomial_sf, expected_tail_count, FrequencyTable};
+pub use placement::{CacheAssignment, GlobalPlacement};
+pub use sampler::{EpochShuffle, ShuffleSpec};
+pub use stream::AccessStream;
+
+/// Index of a sample within a dataset (0-based, dense).
+pub type SampleId = u64;
+
+/// Rank of a worker within the job (0-based, dense).
+pub type WorkerId = usize;

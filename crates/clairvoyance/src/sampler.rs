@@ -1,0 +1,331 @@
+//! Seeded epoch shuffles and worker partitioning.
+//!
+//! One epoch of mini-batch SGD (paper Sec. 2): shuffle the indices
+//! `0..F` with a PRNG seeded from `(job_seed, epoch)`, then hand worker
+//! `i` of `N` the strided positions `i, i+N, i+2N, …` of the shuffle —
+//! the semantics of PyTorch's `DistributedSampler`, which the paper's
+//! implementation wraps. Consecutive runs of `b` samples form the
+//! worker's local mini-batches (global batch size `B = N·b`).
+//!
+//! Everything here is a pure function of [`ShuffleSpec`] and the epoch
+//! number, which is precisely the clairvoyance property: any worker can
+//! evaluate any other worker's sequence.
+
+use crate::{SampleId, WorkerId};
+use nopfs_util::rng::{mix64, Xoshiro256pp};
+
+/// Parameters that fully determine every worker's access order for an
+/// entire training run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShuffleSpec {
+    /// Seed of the PRNG generating the access stream (the paper's "given
+    /// the seed…" premise).
+    pub seed: u64,
+    /// Number of samples in the dataset (`F` in Table 2).
+    pub num_samples: u64,
+    /// Number of workers (`N`).
+    pub num_workers: usize,
+    /// Per-worker mini-batch size (`b_i`; the paper's global batch is
+    /// `B = N·b`).
+    pub batch_size: usize,
+    /// If true, drop the trailing partial global batch each epoch so all
+    /// iterations are full (the paper's `⌊F/B⌋` case); if false, keep the
+    /// small final iteration (`⌈F/B⌉`).
+    pub drop_last: bool,
+}
+
+impl ShuffleSpec {
+    /// Creates a spec, validating parameters.
+    ///
+    /// # Panics
+    /// Panics if there are zero samples, workers, or batch size, or if
+    /// `drop_last` would drop the whole dataset (fewer samples than one
+    /// global batch).
+    pub fn new(
+        seed: u64,
+        num_samples: u64,
+        num_workers: usize,
+        batch_size: usize,
+        drop_last: bool,
+    ) -> Self {
+        assert!(num_samples > 0, "dataset must contain samples");
+        assert!(num_workers > 0, "need at least one worker");
+        assert!(batch_size > 0, "batch size must be positive");
+        let global_batch = (num_workers * batch_size) as u64;
+        if drop_last {
+            assert!(
+                num_samples >= global_batch,
+                "drop_last would drop the entire dataset \
+                 ({num_samples} samples < global batch {global_batch})"
+            );
+        }
+        Self {
+            seed,
+            num_samples,
+            num_workers,
+            batch_size,
+            drop_last,
+        }
+    }
+
+    /// Global batch size `B = N·b`.
+    pub fn global_batch(&self) -> u64 {
+        (self.num_workers * self.batch_size) as u64
+    }
+
+    /// Number of samples actually consumed per epoch (equals
+    /// `num_samples`, or the largest multiple of the global batch when
+    /// `drop_last`).
+    pub fn samples_per_epoch(&self) -> u64 {
+        if self.drop_last {
+            self.num_samples - self.num_samples % self.global_batch()
+        } else {
+            self.num_samples
+        }
+    }
+
+    /// Iterations (global mini-batches) per epoch: `⌊F/B⌋` or `⌈F/B⌉`
+    /// (paper Sec. 4).
+    pub fn iterations_per_epoch(&self) -> u64 {
+        if self.drop_last {
+            self.samples_per_epoch() / self.global_batch()
+        } else {
+            self.num_samples.div_ceil(self.global_batch())
+        }
+    }
+
+    /// Derives the epoch-`e` shuffle seed. Stateless, so epoch `e` can be
+    /// generated without generating epochs `0..e`.
+    fn epoch_seed(&self, epoch: u64) -> u64 {
+        mix64(self.seed, epoch)
+    }
+
+    /// Generates the full epoch-`e` shuffle (an [`EpochShuffle`]).
+    pub fn epoch_shuffle(&self, epoch: u64) -> EpochShuffle {
+        let mut rng = Xoshiro256pp::seed_from_u64(self.epoch_seed(epoch));
+        let mut perm = rng.permutation(self.num_samples);
+        perm.truncate(self.samples_per_epoch() as usize);
+        EpochShuffle {
+            spec: *self,
+            epoch,
+            perm,
+        }
+    }
+
+    /// Number of samples worker `worker` consumes in one epoch.
+    ///
+    /// Without `drop_last` the final partial global batch is split
+    /// among the lowest-ranked workers, so counts may differ by one.
+    pub fn worker_epoch_len(&self, worker: WorkerId) -> u64 {
+        assert!(worker < self.num_workers, "worker {worker} out of range");
+        let n = self.num_workers as u64;
+        let total = self.samples_per_epoch();
+        let base = total / n;
+        let extra = total % n;
+        base + u64::from((worker as u64) < extra)
+    }
+}
+
+/// One epoch's shuffled index sequence, with worker partitioning views.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochShuffle {
+    spec: ShuffleSpec,
+    epoch: u64,
+    perm: Vec<SampleId>,
+}
+
+impl EpochShuffle {
+    /// The epoch this shuffle belongs to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The full (possibly `drop_last`-truncated) shuffled sequence of
+    /// sample ids consumed this epoch, in global consumption order.
+    pub fn global_order(&self) -> &[SampleId] {
+        &self.perm
+    }
+
+    /// Worker `worker`'s sample sequence for this epoch: strided
+    /// positions `worker, worker+N, …` of the global order.
+    pub fn worker_sequence(&self, worker: WorkerId) -> Vec<SampleId> {
+        assert!(
+            worker < self.spec.num_workers,
+            "worker {worker} out of range"
+        );
+        self.perm
+            .iter()
+            .skip(worker)
+            .step_by(self.spec.num_workers)
+            .copied()
+            .collect()
+    }
+
+    /// Worker `worker`'s sequence split into its local mini-batches (all
+    /// of size `batch_size` except possibly the last).
+    pub fn worker_batches(&self, worker: WorkerId) -> Vec<Vec<SampleId>> {
+        let seq = self.worker_sequence(worker);
+        seq.chunks(self.spec.batch_size)
+            .map(|c| c.to_vec())
+            .collect()
+    }
+
+    /// Which worker consumes the sample at global position `pos`.
+    pub fn owner_of_position(&self, pos: usize) -> WorkerId {
+        pos % self.spec.num_workers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn spec(f: u64, n: usize, b: usize, drop_last: bool) -> ShuffleSpec {
+        ShuffleSpec::new(1234, f, n, b, drop_last)
+    }
+
+    #[test]
+    fn epoch_shuffle_is_permutation() {
+        let s = spec(1000, 4, 8, false);
+        let shuf = s.epoch_shuffle(0);
+        let set: HashSet<_> = shuf.global_order().iter().collect();
+        assert_eq!(set.len(), 1000);
+        assert_eq!(shuf.global_order().len(), 1000);
+    }
+
+    #[test]
+    fn different_epochs_shuffle_differently() {
+        let s = spec(500, 2, 4, false);
+        let a = s.epoch_shuffle(0);
+        let b = s.epoch_shuffle(1);
+        assert_ne!(a.global_order(), b.global_order());
+    }
+
+    #[test]
+    fn shuffle_is_reproducible() {
+        let s = spec(500, 2, 4, false);
+        assert_eq!(
+            s.epoch_shuffle(7).global_order(),
+            s.epoch_shuffle(7).global_order()
+        );
+    }
+
+    #[test]
+    fn epoch_generation_is_random_access() {
+        // Epoch 5's shuffle must not depend on having generated 0..5.
+        let s = spec(100, 2, 4, false);
+        let direct = s.epoch_shuffle(5);
+        for e in 0..5 {
+            let _ = s.epoch_shuffle(e);
+        }
+        assert_eq!(direct.global_order(), s.epoch_shuffle(5).global_order());
+    }
+
+    #[test]
+    fn workers_partition_each_epoch() {
+        let s = spec(103, 4, 8, false);
+        let shuf = s.epoch_shuffle(3);
+        let mut all: Vec<SampleId> = vec![];
+        for w in 0..4 {
+            all.extend(shuf.worker_sequence(w));
+        }
+        all.sort_unstable();
+        let mut expect: Vec<SampleId> = shuf.global_order().to_vec();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn strided_assignment_matches_pytorch_distributed_sampler() {
+        let s = spec(10, 2, 2, false);
+        let shuf = s.epoch_shuffle(0);
+        let g = shuf.global_order().to_vec();
+        assert_eq!(
+            shuf.worker_sequence(0),
+            vec![g[0], g[2], g[4], g[6], g[8]]
+        );
+        assert_eq!(
+            shuf.worker_sequence(1),
+            vec![g[1], g[3], g[5], g[7], g[9]]
+        );
+    }
+
+    #[test]
+    fn drop_last_truncates_to_global_batches() {
+        let s = spec(103, 4, 8, true); // B = 32; 103 -> 96
+        assert_eq!(s.samples_per_epoch(), 96);
+        assert_eq!(s.iterations_per_epoch(), 3);
+        let shuf = s.epoch_shuffle(0);
+        assert_eq!(shuf.global_order().len(), 96);
+        for w in 0..4 {
+            assert_eq!(shuf.worker_sequence(w).len(), 24);
+            assert_eq!(s.worker_epoch_len(w), 24);
+        }
+    }
+
+    #[test]
+    fn keep_last_preserves_every_sample() {
+        let s = spec(103, 4, 8, false);
+        assert_eq!(s.samples_per_epoch(), 103);
+        assert_eq!(s.iterations_per_epoch(), 4); // ceil(103/32)
+        let lens: Vec<u64> = (0..4).map(|w| s.worker_epoch_len(w)).collect();
+        assert_eq!(lens.iter().sum::<u64>(), 103);
+        // 103 = 4*25 + 3: workers 0..3 get 26, worker 3 gets 25.
+        assert_eq!(lens, vec![26, 26, 26, 25]);
+        let shuf = s.epoch_shuffle(0);
+        for w in 0..4 {
+            assert_eq!(shuf.worker_sequence(w).len() as u64, lens[w]);
+        }
+    }
+
+    #[test]
+    fn worker_batches_chunked_correctly() {
+        let s = spec(20, 2, 3, false);
+        let shuf = s.epoch_shuffle(0);
+        let batches = shuf.worker_batches(0);
+        // Worker 0 gets 10 samples -> batches of 3,3,3,1.
+        let sizes: Vec<usize> = batches.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+        let flat: Vec<SampleId> = batches.into_iter().flatten().collect();
+        assert_eq!(flat, shuf.worker_sequence(0));
+    }
+
+    #[test]
+    fn owner_of_position_round_robin() {
+        let s = spec(16, 4, 2, false);
+        let shuf = s.epoch_shuffle(0);
+        assert_eq!(shuf.owner_of_position(0), 0);
+        assert_eq!(shuf.owner_of_position(5), 1);
+        assert_eq!(shuf.owner_of_position(7), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn worker_sequence_bounds_checked() {
+        let s = spec(10, 2, 2, false);
+        s.epoch_shuffle(0).worker_sequence(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop the entire dataset")]
+    fn drop_last_rejects_tiny_dataset() {
+        spec(5, 4, 8, true);
+    }
+
+    #[test]
+    fn exactly_once_per_epoch_property() {
+        // "a given sample is accessed exactly once in each epoch" (Sec. 2)
+        let s = spec(257, 3, 5, false);
+        for e in 0..4 {
+            let shuf = s.epoch_shuffle(e);
+            let mut counts = vec![0u32; 257];
+            for w in 0..3 {
+                for id in shuf.worker_sequence(w) {
+                    counts[id as usize] += 1;
+                }
+            }
+            assert!(counts.iter().all(|&c| c == 1), "epoch {e} not exactly-once");
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Per-worker access streams.
+//!
+//! The access stream `R` of worker `i` (paper Sec. 4) is the concatenation
+//! over epochs of the worker's per-epoch sample sequence:
+//! `R = (B^{1,i}_1, B^{1,i}_2, …, B^{2,i}_1, …)`. NoPFS prefetches the
+//! staging buffer strictly in `R` order (optimal-prefetching Rule 1) and
+//! uses `R` to derive access frequencies and placement.
+//!
+//! Streams are exposed both lazily ([`AccessStream::iter`] generates one
+//! epoch at a time, so a 90-epoch ImageNet stream never materializes) and
+//! eagerly ([`AccessStream::materialize`]) for small cases and tests.
+
+use crate::sampler::ShuffleSpec;
+use crate::{SampleId, WorkerId};
+
+/// The clairvoyantly-known access stream `R` of one worker across an
+/// entire training run.
+///
+/// A pure view: two `AccessStream`s built from equal `(spec, worker,
+/// epochs)` yield identical sequences, no matter which machine computes
+/// them — this is what lets every worker know every other worker's
+/// future accesses without communication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessStream {
+    spec: ShuffleSpec,
+    worker: WorkerId,
+    epochs: u64,
+}
+
+impl AccessStream {
+    /// Creates the stream for `worker` over `epochs` epochs.
+    ///
+    /// # Panics
+    /// Panics if the worker rank is out of range or `epochs == 0`.
+    pub fn new(spec: ShuffleSpec, worker: WorkerId, epochs: u64) -> Self {
+        assert!(
+            worker < spec.num_workers,
+            "worker {worker} out of range for {} workers",
+            spec.num_workers
+        );
+        assert!(epochs > 0, "a training run has at least one epoch");
+        Self {
+            spec,
+            worker,
+            epochs,
+        }
+    }
+
+    /// The generating spec.
+    pub fn spec(&self) -> &ShuffleSpec {
+        &self.spec
+    }
+
+    /// The worker whose stream this is.
+    pub fn worker(&self) -> WorkerId {
+        self.worker
+    }
+
+    /// Number of training epochs covered.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Samples this worker consumes per epoch.
+    pub fn epoch_len(&self) -> u64 {
+        self.spec.worker_epoch_len(self.worker)
+    }
+
+    /// Total stream length `|R|`.
+    pub fn len(&self) -> u64 {
+        self.epoch_len() * self.epochs
+    }
+
+    /// Whether the stream is empty (only possible for degenerate specs
+    /// where this worker receives no samples).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Offset in `R` where epoch `e` begins.
+    pub fn epoch_offset(&self, epoch: u64) -> u64 {
+        assert!(epoch < self.epochs, "epoch {epoch} out of range");
+        self.epoch_len() * epoch
+    }
+
+    /// This worker's sample sequence for one epoch.
+    pub fn epoch_sequence(&self, epoch: u64) -> Vec<SampleId> {
+        assert!(epoch < self.epochs, "epoch {epoch} out of range");
+        self.spec.epoch_shuffle(epoch).worker_sequence(self.worker)
+    }
+
+    /// Lazy iterator over the whole stream, one epoch generated at a time.
+    pub fn iter(&self) -> StreamIter {
+        StreamIter {
+            stream: *self,
+            epoch: 0,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Materializes the entire stream. Intended for tests and small runs;
+    /// memory is `8 · E · F/N` bytes.
+    pub fn materialize(&self) -> Vec<SampleId> {
+        let mut out = Vec::with_capacity(self.len() as usize);
+        for e in 0..self.epochs {
+            out.extend(self.epoch_sequence(e));
+        }
+        out
+    }
+
+    /// First position in `R` at which each sample appears, as a dense
+    /// vector indexed by sample id (`u64::MAX` for samples this worker
+    /// never accesses). Class prefetchers fetch their assigned samples in
+    /// ascending first-access order (Rule 1 applied per class).
+    pub fn first_access_positions(&self) -> Vec<u64> {
+        let mut first = vec![u64::MAX; self.spec.num_samples as usize];
+        let mut pos = 0u64;
+        for e in 0..self.epochs {
+            for id in self.epoch_sequence(e) {
+                let slot = &mut first[id as usize];
+                if *slot == u64::MAX {
+                    *slot = pos;
+                }
+                pos += 1;
+            }
+        }
+        first
+    }
+}
+
+/// Lazy iterator over an [`AccessStream`]; see [`AccessStream::iter`].
+#[derive(Debug, Clone)]
+pub struct StreamIter {
+    stream: AccessStream,
+    epoch: u64,
+    buf: Vec<SampleId>,
+    pos: usize,
+}
+
+impl Iterator for StreamIter {
+    type Item = SampleId;
+
+    fn next(&mut self) -> Option<SampleId> {
+        if self.pos >= self.buf.len() {
+            if self.epoch >= self.stream.epochs {
+                return None;
+            }
+            self.buf = self.stream.epoch_sequence(self.epoch);
+            self.epoch += 1;
+            self.pos = 0;
+            if self.buf.is_empty() {
+                return None;
+            }
+        }
+        let id = self.buf[self.pos];
+        self.pos += 1;
+        Some(id)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining_epochs = self.stream.epochs - self.epoch;
+        let n = (self.buf.len() - self.pos) as u64
+            + remaining_epochs * self.stream.epoch_len();
+        (n as usize, Some(n as usize))
+    }
+}
+
+impl ExactSizeIterator for StreamIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(f: u64, n: usize) -> ShuffleSpec {
+        ShuffleSpec::new(42, f, n, 4, false)
+    }
+
+    #[test]
+    fn lazy_and_eager_agree() {
+        let s = AccessStream::new(spec(101, 3), 1, 5);
+        let eager = s.materialize();
+        let lazy: Vec<SampleId> = s.iter().collect();
+        assert_eq!(eager, lazy);
+        assert_eq!(eager.len() as u64, s.len());
+    }
+
+    #[test]
+    fn every_worker_can_compute_every_stream() {
+        // The clairvoyance property: identical (spec, worker, epochs)
+        // yields identical streams regardless of who computes them.
+        let sp = spec(64, 4);
+        for w in 0..4 {
+            let a = AccessStream::new(sp, w, 3).materialize();
+            let b = AccessStream::new(sp, w, 3).materialize();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn epoch_offsets_and_slices() {
+        let s = AccessStream::new(spec(40, 2), 0, 4);
+        assert_eq!(s.epoch_len(), 20);
+        assert_eq!(s.epoch_offset(2), 40);
+        let all = s.materialize();
+        assert_eq!(&all[40..60], s.epoch_sequence(2).as_slice());
+    }
+
+    #[test]
+    fn stream_len_accounts_for_uneven_split() {
+        // 10 samples, 3 workers: lens 4,3,3.
+        let sp = ShuffleSpec::new(9, 10, 3, 2, false);
+        assert_eq!(AccessStream::new(sp, 0, 2).len(), 8);
+        assert_eq!(AccessStream::new(sp, 1, 2).len(), 6);
+        assert_eq!(AccessStream::new(sp, 2, 2).len(), 6);
+    }
+
+    #[test]
+    fn first_access_positions_match_materialized() {
+        let s = AccessStream::new(spec(30, 2), 0, 3);
+        let first = s.first_access_positions();
+        let all = s.materialize();
+        for (id, &fpos) in first.iter().enumerate() {
+            let found = all.iter().position(|&x| x == id as u64);
+            match found {
+                Some(p) => assert_eq!(fpos, p as u64, "sample {id}"),
+                None => assert_eq!(fpos, u64::MAX, "sample {id}"),
+            }
+        }
+    }
+
+    #[test]
+    fn exact_size_iterator() {
+        let s = AccessStream::new(spec(25, 2), 1, 2);
+        let mut it = s.iter();
+        assert_eq!(it.len() as u64, s.len());
+        it.next();
+        assert_eq!(it.len() as u64, s.len() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_worker() {
+        AccessStream::new(spec(10, 2), 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one epoch")]
+    fn rejects_zero_epochs() {
+        AccessStream::new(spec(10, 2), 0, 0);
+    }
+
+    #[test]
+    fn per_epoch_access_exactly_once_across_workers() {
+        let sp = spec(37, 3);
+        let streams: Vec<_> = (0..3).map(|w| AccessStream::new(sp, w, 2)).collect();
+        for e in 0..2 {
+            let mut counts = vec![0u32; 37];
+            for s in &streams {
+                for id in s.epoch_sequence(e) {
+                    counts[id as usize] += 1;
+                }
+            }
+            assert!(counts.iter().all(|&c| c == 1));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the clairvoyance invariants — the facts the
+//! entire NoPFS design rests on.
+
+use nopfs_clairvoyance::frequency::{binomial_pmf, binomial_sf, FrequencyTable};
+use nopfs_clairvoyance::placement::{CacheAssignment, UNASSIGNED};
+use nopfs_clairvoyance::sampler::ShuffleSpec;
+use nopfs_clairvoyance::stream::AccessStream;
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = ShuffleSpec> {
+    (any::<u64>(), 1u64..400, 1usize..6, 1usize..9).prop_map(|(seed, f, n, b)| {
+        ShuffleSpec::new(seed, f, n, b, false)
+    })
+}
+
+proptest! {
+    /// Each epoch's global order is a permutation of the dataset.
+    #[test]
+    fn epoch_is_permutation(spec in arb_spec(), epoch in 0u64..6) {
+        let shuffle = spec.epoch_shuffle(epoch);
+        let mut got: Vec<u64> = shuffle.global_order().to_vec();
+        got.sort_unstable();
+        prop_assert_eq!(got, (0..spec.num_samples).collect::<Vec<_>>());
+    }
+
+    /// Worker sequences partition each epoch: every sample appears in
+    /// exactly one worker's sequence, exactly once.
+    #[test]
+    fn workers_partition_epoch(spec in arb_spec(), epoch in 0u64..4) {
+        let shuffle = spec.epoch_shuffle(epoch);
+        let mut counts = vec![0u32; spec.num_samples as usize];
+        for w in 0..spec.num_workers {
+            for id in shuffle.worker_sequence(w) {
+                counts[id as usize] += 1;
+            }
+        }
+        prop_assert!(counts.iter().all(|&c| c == 1));
+    }
+
+    /// Clairvoyance: streams are pure functions of (seed, worker, epochs),
+    /// identical no matter who computes them or how often.
+    #[test]
+    fn streams_are_reproducible(spec in arb_spec(), epochs in 1u64..4) {
+        for w in 0..spec.num_workers {
+            let a = AccessStream::new(spec, w, epochs).materialize();
+            let b = AccessStream::new(spec, w, epochs).materialize();
+            prop_assert_eq!(&a, &b);
+            let lazy: Vec<u64> = AccessStream::new(spec, w, epochs).iter().collect();
+            prop_assert_eq!(a, lazy);
+        }
+    }
+
+    /// Frequency counts are conserved: per-sample totals equal the epoch
+    /// count and per-worker totals equal the worker's stream length.
+    #[test]
+    fn frequency_conservation(spec in arb_spec(), epochs in 1u64..5) {
+        let table = FrequencyTable::build(&spec, epochs);
+        for k in 0..spec.num_samples {
+            prop_assert_eq!(u64::from(table.total_frequency(k)), epochs);
+        }
+        for w in 0..spec.num_workers {
+            let total: u64 = table.counts(w).iter().map(|&c| u64::from(c)).sum();
+            prop_assert_eq!(total, spec.worker_epoch_len(w) * epochs);
+        }
+    }
+
+    /// The Binomial PMF is a distribution and the survival function is
+    /// monotone non-increasing, for any parameters.
+    #[test]
+    fn binomial_is_a_distribution(n in 1u64..200, p in 0.0f64..1.0) {
+        let total: f64 = (0..=n).map(|k| binomial_pmf(n, p, k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+        let mut prev = 1.0f64;
+        for k in 0..=n {
+            let sf = binomial_sf(n, p, k);
+            prop_assert!(sf <= prev + 1e-12);
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&sf));
+            prev = sf;
+        }
+    }
+
+    /// Placement never overfills a class, never double-assigns a sample,
+    /// and ranks strictly by frequency: any unassigned sample must not
+    /// have a higher frequency than some assigned one it would displace
+    /// (checked via the weakest assigned frequency per class).
+    #[test]
+    fn placement_capacity_and_rank(
+        freqs in prop::collection::vec(0u16..20, 1..200),
+        cap_a in 0u64..2_000,
+        cap_b in 0u64..2_000,
+    ) {
+        let f = freqs.len();
+        let first: Vec<u64> = (0..f as u64).collect();
+        let sizes = vec![10u64; f];
+        let a = CacheAssignment::compute(&freqs, &first, &sizes, &[cap_a, cap_b]);
+        // Capacity respected.
+        prop_assert!(a.used_bytes(0) <= cap_a);
+        prop_assert!(a.used_bytes(1) <= cap_b);
+        // No double assignment: class lists are disjoint.
+        let mut seen = std::collections::HashSet::new();
+        for class in 0..a.num_classes() {
+            for &k in a.prefetch_order(class) {
+                prop_assert!(seen.insert(k), "sample {k} assigned twice");
+            }
+        }
+        // Rank respected with uniform sizes: an unassigned sample's
+        // frequency cannot exceed the minimum assigned frequency.
+        let min_assigned = a
+            .class_map()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != UNASSIGNED)
+            .map(|(k, _)| freqs[k])
+            .min();
+        if let Some(min_assigned) = min_assigned {
+            for (k, &c) in a.class_map().iter().enumerate() {
+                if c == UNASSIGNED && seen.len() * 10 < (cap_a + cap_b) as usize {
+                    // Only binding when capacity was the constraint.
+                    prop_assert!(freqs[k] <= min_assigned);
+                }
+            }
+        }
+    }
+
+    /// First-access positions point at genuine first occurrences.
+    #[test]
+    fn first_access_is_first(spec in arb_spec(), epochs in 1u64..3) {
+        let stream = AccessStream::new(spec, 0, epochs);
+        let first = stream.first_access_positions();
+        let all = stream.materialize();
+        for (pos, &id) in all.iter().enumerate() {
+            prop_assert!(first[id as usize] <= pos as u64);
+        }
+        for (id, &p) in first.iter().enumerate() {
+            if p != u64::MAX {
+                prop_assert_eq!(all[p as usize], id as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! The `Job`: NoPFS's user-facing entry point (paper Fig. 7).
+//!
+//! A [`Job`] owns the clairvoyant precomputation — access streams,
+//! frequency analysis, hierarchical placement — and spawns one worker
+//! per rank of the in-process cluster, each with its own prefetchers,
+//! caches, and serving loop. Integration mirrors the paper's three-line
+//! change to a PyTorch script:
+//!
+//! ```
+//! use nopfs_core::{Job, JobConfig};
+//! use nopfs_perfmodel::presets::fig8_small_cluster;
+//! use nopfs_util::timing::TimeScale;
+//! use std::sync::Arc;
+//!
+//! let mut system = fig8_small_cluster();
+//! system.workers = 2;
+//! let config = JobConfig::new(42, 1, 4, system, TimeScale::new(1e-6));
+//! let sizes = Arc::new(vec![1_000u64; 64]);
+//! let job = Job::new(config, sizes.clone());
+//!
+//! // Materialize a dataset and train.
+//! let pfs = job.make_pfs();
+//! for id in 0..64u64 {
+//!     pfs.put(id, bytes::Bytes::from(vec![id as u8; 1_000]));
+//! }
+//! let consumed = job.run(&pfs, |worker| {
+//!     let mut n = 0;
+//!     while let Some((_id, _data)) = worker.next_sample() {
+//!         n += 1;
+//!     }
+//!     n
+//! });
+//! assert_eq!(consumed.iter().sum::<u64>(), 64);
+//! ```
+
+use crate::config::JobConfig;
+use crate::msg::Msg;
+use crate::worker::{Shared, WorkerHandle};
+use nopfs_clairvoyance::placement::GlobalPlacement;
+use nopfs_net::{cluster, NetConfig};
+use nopfs_pfs::Pfs;
+use std::sync::Arc;
+
+/// A NoPFS job: clairvoyant precomputation plus the worker launcher.
+pub struct Job {
+    shared: Arc<Shared>,
+}
+
+impl Job {
+    /// Builds the job: computes every worker's access stream, access
+    /// frequencies, and storage-class assignment from the seed (the
+    /// paper: this precomputation "is fast" — a few passes over the
+    /// shuffles).
+    ///
+    /// `sizes[k]` is the size in bytes of sample `k`; the dataset later
+    /// materialized in the PFS must match.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or inconsistent configuration.
+    pub fn new(config: JobConfig, sizes: Arc<Vec<u64>>) -> Self {
+        assert!(!sizes.is_empty(), "dataset must contain samples");
+        let spec = config.shuffle_spec(sizes.len() as u64);
+        let capacities: Vec<Vec<u64>> = (0..config.system.workers)
+            .map(|_| config.system.class_capacities())
+            .collect();
+        // Placement is a pure function of the seed; computed once here
+        // and shared — every worker would derive the identical map.
+        let placement = Arc::new(GlobalPlacement::compute(
+            &spec,
+            config.epochs,
+            &sizes,
+            &capacities,
+        ));
+        let class_index: Vec<Arc<Vec<u32>>> = (0..config.system.workers)
+            .map(|w| {
+                let mut idx = vec![u32::MAX; sizes.len()];
+                let assignment = placement.assignment(w);
+                for class in 0..assignment.num_classes() {
+                    for (i, &k) in assignment.prefetch_order(class).iter().enumerate() {
+                        idx[k as usize] = i as u32;
+                    }
+                }
+                Arc::new(idx)
+            })
+            .collect();
+        Self {
+            shared: Arc::new(Shared {
+                config,
+                sizes,
+                placement,
+                spec,
+                class_index,
+            }),
+        }
+    }
+
+    /// The job's configuration.
+    pub fn config(&self) -> &JobConfig {
+        &self.shared.config
+    }
+
+    /// The computed cluster-wide placement.
+    pub fn placement(&self) -> &GlobalPlacement {
+        &self.shared.placement
+    }
+
+    /// Convenience: an in-memory synthetic PFS matching the job's
+    /// system curve and time scale.
+    pub fn make_pfs(&self) -> Pfs {
+        Pfs::in_memory(
+            self.shared.config.system.pfs_read.clone(),
+            self.shared.config.scale,
+        )
+    }
+
+    /// Launches one worker thread per rank, hands each a
+    /// [`WorkerHandle`], and returns the per-rank results of `f`.
+    ///
+    /// `f` runs on the worker's thread (the training loop). When it
+    /// returns, the worker is shut down cleanly: prefetchers stop, the
+    /// cluster synchronizes, serving loops exit. If a worker panics the
+    /// whole `run` panics.
+    pub fn run<R, F>(&self, pfs: &Pfs, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut WorkerHandle) -> R + Sync,
+    {
+        let n = self.shared.config.system.workers;
+        let endpoints = cluster::<Msg>(
+            n,
+            NetConfig::new(
+                self.shared.config.system.interconnect,
+                self.shared.config.scale,
+            ),
+        );
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = endpoints
+                .into_iter()
+                .enumerate()
+                .map(|(rank, endpoint)| {
+                    let shared = Arc::clone(&self.shared);
+                    let pfs = pfs.clone();
+                    s.spawn(move || {
+                        let mut handle = WorkerHandle::launch(rank, shared, pfs, endpoint);
+                        let result = f(&mut handle);
+                        handle.shutdown();
+                        result
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::WorkerStats;
+    use bytes::Bytes;
+    use nopfs_perfmodel::presets::fig8_small_cluster;
+    use nopfs_perfmodel::SystemSpec;
+    use nopfs_util::timing::TimeScale;
+
+    /// A small 4-worker system with fast substrates (compressed time).
+    fn small_system() -> SystemSpec {
+        let mut sys = fig8_small_cluster();
+        sys.staging.capacity = 64 * 1_000; // 64 samples of 1 KB
+        sys.staging.threads = 4;
+        sys.classes[0].capacity = 40 * 1_000;
+        sys.classes[1].capacity = 80 * 1_000;
+        sys
+    }
+
+    fn materialize(pfs: &Pfs, sizes: &[u64]) {
+        for (id, &s) in sizes.iter().enumerate() {
+            // Content encodes the id for integrity checking.
+            let mut v = vec![0u8; s as usize];
+            v[0] = (id % 256) as u8;
+            if s >= 2 {
+                v[1] = ((id / 256) % 256) as u8;
+            }
+            pfs.put(id as u64, Bytes::from(v));
+        }
+    }
+
+    fn run_job(epochs: u64, num_samples: usize) -> (Vec<Vec<u64>>, Vec<WorkerStats>, u64) {
+        let sizes = Arc::new(vec![1_000u64; num_samples]);
+        let config = JobConfig::new(77, epochs, 8, small_system(), TimeScale::new(1e-6));
+        let job = Job::new(config, Arc::clone(&sizes));
+        let pfs = job.make_pfs();
+        materialize(&pfs, &sizes);
+        let out = job.run(&pfs, |w| {
+            let mut ids = Vec::new();
+            while let Some((id, data)) = w.next_sample() {
+                assert_eq!(data[0], (id % 256) as u8, "corrupt sample {id}");
+                assert_eq!(data.len(), 1_000);
+                ids.push(id);
+            }
+            (ids, w.stats())
+        });
+        let (ids, stats): (Vec<_>, Vec<_>) = out.into_iter().unzip();
+        let (pfs_reads, _, _, _) = pfs.stats();
+        (ids, stats, pfs_reads)
+    }
+
+    #[test]
+    fn delivers_every_sample_once_per_epoch_in_stream_order() {
+        let epochs = 3;
+        let f = 100usize;
+        let (per_worker, _, _) = run_job(epochs, f);
+        // Exact stream-order delivery, verified against clairvoyance.
+        let config = JobConfig::new(77, epochs, 8, small_system(), TimeScale::new(1e-6));
+        let spec = config.shuffle_spec(f as u64);
+        for (w, got) in per_worker.iter().enumerate() {
+            let expect =
+                nopfs_clairvoyance::stream::AccessStream::new(spec, w, epochs).materialize();
+            assert_eq!(got, &expect, "worker {w} deviated from its stream");
+        }
+        // Exactly-once per epoch across the cluster.
+        let mut counts = vec![0u32; f];
+        for ids in &per_worker {
+            for &id in ids {
+                counts[id as usize] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == epochs as u32));
+    }
+
+    #[test]
+    fn stats_cover_all_fetches_and_report_cache_use() {
+        let (per_worker, stats, pfs_reads) = run_job(4, 120);
+        let total_consumed: u64 = per_worker.iter().map(|v| v.len() as u64).sum();
+        let mut merged = stats[0].clone();
+        for s in &stats[1..] {
+            merged.merge(s);
+        }
+        assert_eq!(merged.samples_consumed, total_consumed);
+        assert_eq!(merged.total_fetches(), total_consumed);
+        // Multi-epoch run over a cacheable dataset: caches must serve a
+        // meaningful share after epoch 0.
+        assert!(
+            merged.local_fetches + merged.remote_fetches > total_consumed / 4,
+            "caches barely used: {merged:?}"
+        );
+        // The PFS itself must have been read (class prefetchers fill
+        // from it even when staging never misses).
+        assert!(pfs_reads > 0, "nothing ever read the PFS");
+    }
+
+    #[test]
+    fn batches_respect_epoch_boundaries() {
+        let sizes = Arc::new(vec![500u64; 50]);
+        let config = JobConfig::new(9, 2, 8, small_system(), TimeScale::new(1e-6));
+        let job = Job::new(config, Arc::clone(&sizes));
+        let pfs = job.make_pfs();
+        materialize(&pfs, &sizes);
+        let batch_shapes = job.run(&pfs, |w| {
+            let mut shapes = Vec::new();
+            while let Some(batch) = w.next_batch() {
+                shapes.push(batch.len());
+            }
+            shapes
+        });
+        for (w, shapes) in batch_shapes.iter().enumerate() {
+            // 50 samples / 4 workers: workers 0,1 get 13/epoch, 2,3 get 12.
+            let epoch_len = if w < 2 { 13 } else { 12 };
+            let per_epoch: Vec<usize> = if epoch_len == 13 {
+                vec![8, 5]
+            } else {
+                vec![8, 4]
+            };
+            let mut expect = per_epoch.clone();
+            expect.extend(per_epoch);
+            assert_eq!(shapes, &expect, "worker {w}");
+        }
+    }
+
+    #[test]
+    fn survives_transient_pfs_faults() {
+        let sizes = Arc::new(vec![1_000u64; 40]);
+        let config = JobConfig::new(5, 1, 4, small_system(), TimeScale::new(1e-6));
+        let job = Job::new(config, Arc::clone(&sizes));
+        let pfs = job.make_pfs();
+        materialize(&pfs, &sizes);
+        // Several samples fail twice before succeeding.
+        for id in [3u64, 17, 29] {
+            pfs.inject_fault(id, 2);
+        }
+        let counts = job.run(&pfs, |w| w.by_ref().count());
+        assert_eq!(counts.iter().sum::<usize>(), 40);
+    }
+
+    #[test]
+    fn early_stop_shuts_down_cleanly() {
+        let sizes = Arc::new(vec![1_000u64; 200]);
+        let config = JobConfig::new(3, 5, 8, small_system(), TimeScale::new(1e-6));
+        let job = Job::new(config, Arc::clone(&sizes));
+        let pfs = job.make_pfs();
+        materialize(&pfs, &sizes);
+        // Every worker stops after 10 samples; shutdown must not hang.
+        let got = job.run(&pfs, |w| {
+            let mut n = 0;
+            for _ in 0..10 {
+                if w.next_sample().is_none() {
+                    break;
+                }
+                n += 1;
+            }
+            n
+        });
+        assert_eq!(got, vec![10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn heuristic_false_positives_are_rare() {
+        // The paper: "we confirmed that, in practice, there are very
+        // few false positives."
+        let (_, stats, _) = run_job(4, 120);
+        let mut merged = stats[0].clone();
+        for s in &stats[1..] {
+            merged.merge(s);
+        }
+        let attempts = merged.remote_fetches + merged.false_positives;
+        if attempts > 0 {
+            let fp_rate = merged.false_positives as f64 / attempts as f64;
+            assert!(
+                fp_rate < 0.25,
+                "false-positive rate {fp_rate} too high ({merged:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn single_worker_runs_without_peers() {
+        let mut sys = small_system();
+        sys.workers = 1;
+        let sizes = Arc::new(vec![800u64; 30]);
+        let config = JobConfig::new(2, 2, 4, sys, TimeScale::new(1e-6));
+        let job = Job::new(config, Arc::clone(&sizes));
+        let pfs = job.make_pfs();
+        materialize(&pfs, &sizes);
+        let counts = job.run(&pfs, |w| w.by_ref().count());
+        assert_eq!(counts, vec![60]);
+    }
+
+    #[test]
+    fn placement_is_exposed_and_consistent() {
+        let sizes = Arc::new(vec![1_000u64; 64]);
+        let config = JobConfig::new(1, 2, 4, small_system(), TimeScale::new(1e-6));
+        let job = Job::new(config, Arc::clone(&sizes));
+        let p = job.placement();
+        for k in 0..64u64 {
+            for &(w, c) in p.holders(k) {
+                assert_eq!(p.assignment(w).class_of(k), Some(c));
+            }
+        }
+    }
+}

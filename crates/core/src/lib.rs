@@ -1,0 +1,44 @@
+//! NoPFS: the Near-optimal PreFetching System (paper Sec. 5).
+//!
+//! This crate is the runtime middleware — the paper's primary
+//! contribution. Given the PRNG seed that generates the SGD access
+//! stream, every worker knows exactly which process will access which
+//! sample when, arbitrarily far into the future. NoPFS turns that
+//! clairvoyance into an integrated prefetching and caching system:
+//!
+//! 1. **Staging prefetch in access order** (Rule 1): `p_0` threads fill
+//!    a position-ordered staging buffer strictly along the worker's
+//!    stream `R`; consumed samples are dropped immediately
+//!    (approximating Rules 2–4, since a consumed sample's next use is
+//!    at least an epoch away).
+//! 2. **Frequency-ranked hierarchical placement**: each worker caches
+//!    the samples *it* will access most often in its fastest storage
+//!    class, then slower ones — and computes every other worker's
+//!    placement locally, with zero metadata traffic.
+//! 3. **Performance-model source selection**: each staging fetch goes
+//!    to the fastest of {local class, remote worker's cache, PFS} by
+//!    the model of `nopfs-perfmodel`, with live PFS contention (γ)
+//!    observed from the synthetic PFS.
+//! 4. **Progress-heuristic remote fetches**: a remote cache is only
+//!    asked for a sample if this worker's own prefetch progress
+//!    suggests the remote has cached it; misses fall back to the PFS
+//!    and are counted (the paper's false-positive discussion).
+//!
+//! The user-facing API mirrors the paper's Fig. 7: build a [`Job`] from
+//! a [`JobConfig`] and a dataset, then iterate samples per worker
+//! through [`WorkerHandle`] — a drop-in replacement for a framework
+//! data loader.
+
+pub mod config;
+pub mod job;
+pub mod msg;
+pub mod stats;
+pub mod worker;
+
+pub use config::JobConfig;
+pub use job::Job;
+pub use stats::WorkerStats;
+pub use worker::WorkerHandle;
+
+/// Sample identifier (dense index into the dataset).
+pub type SampleId = u64;

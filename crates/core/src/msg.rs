@@ -1,0 +1,75 @@
+//! The inter-worker message protocol.
+//!
+//! Three message kinds cross the interconnect: the setup allgather that
+//! distributes access-stream digests, sample requests to remote caches,
+//! and shutdown markers. Replies carry their payload through an
+//! in-process channel embedded in the request (the natural zero-copy
+//! idiom here), but the *server* pays the modelled wire cost for the
+//! payload via `Endpoint::pace` before replying, so timing matches a
+//! real transport.
+
+use crate::SampleId;
+use bytes::Bytes;
+use crossbeam::channel::Sender;
+use nopfs_net::Wire;
+
+/// Reply to a remote sample request.
+#[derive(Debug, Clone)]
+pub struct RemoteReply {
+    /// The requested sample.
+    pub sample: SampleId,
+    /// The payload, or `None` when the serving worker had not cached
+    /// the sample (a progress-heuristic false positive — the paper:
+    /// "the failure of this heuristic is not an error").
+    pub data: Option<Bytes>,
+}
+
+/// Messages between workers.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Access-stream digest for the setup allgather (Sec. 5.2.2: the
+    /// distributed manager distributes each worker's `R`; streams are
+    /// recomputable from the seed, so a digest suffices to verify
+    /// agreement).
+    Digest(u64),
+    /// Request for a cached sample.
+    Request {
+        /// The sample wanted.
+        sample: SampleId,
+        /// Where to deliver the reply.
+        reply: Sender<RemoteReply>,
+    },
+    /// The cluster is done; the serving loop may exit.
+    Shutdown,
+}
+
+impl Wire for Msg {
+    fn wire_size(&self) -> u64 {
+        match self {
+            // Digest and request are metadata-sized messages.
+            Msg::Digest(_) => 8,
+            Msg::Request { .. } => 16,
+            Msg::Shutdown => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_are_metadata_scale() {
+        let (tx, _rx) = crossbeam::channel::bounded(1);
+        assert_eq!(Msg::Digest(1).wire_size(), 8);
+        assert_eq!(
+            Msg::Request {
+                sample: 3,
+                reply: tx
+            }
+            .wire_size(),
+            16
+        );
+        assert_eq!(Msg::Shutdown.wire_size(), 1);
+    }
+}

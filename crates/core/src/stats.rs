@@ -1,0 +1,215 @@
+//! Runtime statistics (the numbers behind Fig. 12).
+//!
+//! Each worker counts where its staging prefetches were served from
+//! (local class, remote cache, PFS), how long the trainer stalled
+//! waiting for the staging buffer, and how the progress heuristic
+//! behaved (remote attempts that came back `NotCached` are the paper's
+//! false positives). All counters are atomics updated by the prefetch
+//! threads and snapshot by the consumer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared counters, updated lock-free from the worker's threads.
+#[derive(Debug, Default)]
+pub struct StatsCollector {
+    local: AtomicU64,
+    remote: AtomicU64,
+    pfs: AtomicU64,
+    false_positives: AtomicU64,
+    heuristic_skips: AtomicU64,
+    pfs_errors: AtomicU64,
+    stall_nanos: AtomicU64,
+    consumed: AtomicU64,
+}
+
+impl StatsCollector {
+    /// A fresh collector behind an [`Arc`].
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    pub fn count_local(&self) {
+        self.local.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count_remote(&self) {
+        self.remote.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count_pfs(&self) {
+        self.pfs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count_false_positive(&self) {
+        self.false_positives.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count_heuristic_skip(&self) {
+        self.heuristic_skips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count_pfs_error(&self) {
+        self.pfs_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_stall(&self, d: Duration) {
+        self.stall_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub fn count_consumed(&self) {
+        self.consumed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> WorkerStats {
+        WorkerStats {
+            local_fetches: self.local.load(Ordering::Relaxed),
+            remote_fetches: self.remote.load(Ordering::Relaxed),
+            pfs_fetches: self.pfs.load(Ordering::Relaxed),
+            false_positives: self.false_positives.load(Ordering::Relaxed),
+            heuristic_skips: self.heuristic_skips.load(Ordering::Relaxed),
+            pfs_errors: self.pfs_errors.load(Ordering::Relaxed),
+            stall_time: Duration::from_nanos(self.stall_nanos.load(Ordering::Relaxed)),
+            samples_consumed: self.consumed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time view of one worker's I/O statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Staging fetches served from a local storage class.
+    pub local_fetches: u64,
+    /// Staging fetches served from a remote worker's cache.
+    pub remote_fetches: u64,
+    /// Staging fetches served from the PFS.
+    pub pfs_fetches: u64,
+    /// Remote requests answered `NotCached` (progress-heuristic false
+    /// positives; each also produced a PFS fetch).
+    pub false_positives: u64,
+    /// Remote fetches not attempted because the heuristic said the
+    /// holder had not prefetched the sample yet.
+    pub heuristic_skips: u64,
+    /// PFS read errors that were retried.
+    pub pfs_errors: u64,
+    /// Total time the consumer stalled waiting on the staging buffer.
+    pub stall_time: Duration,
+    /// Samples delivered to the consumer.
+    pub samples_consumed: u64,
+}
+
+impl WorkerStats {
+    /// Total staging fetches.
+    pub fn total_fetches(&self) -> u64 {
+        self.local_fetches + self.remote_fetches + self.pfs_fetches
+    }
+
+    /// `(local, remote, pfs)` fetch fractions (zeros when nothing was
+    /// fetched).
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total_fetches();
+        if t == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.local_fetches as f64 / t as f64,
+            self.remote_fetches as f64 / t as f64,
+            self.pfs_fetches as f64 / t as f64,
+        )
+    }
+
+    /// Merges per-worker stats into cluster totals.
+    pub fn merge(&mut self, other: &WorkerStats) {
+        self.local_fetches += other.local_fetches;
+        self.remote_fetches += other.remote_fetches;
+        self.pfs_fetches += other.pfs_fetches;
+        self.false_positives += other.false_positives;
+        self.heuristic_skips += other.heuristic_skips;
+        self.pfs_errors += other.pfs_errors;
+        self.stall_time += other.stall_time;
+        self.samples_consumed += other.samples_consumed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = StatsCollector::new();
+        c.count_local();
+        c.count_local();
+        c.count_remote();
+        c.count_pfs();
+        c.count_false_positive();
+        c.count_heuristic_skip();
+        c.count_pfs_error();
+        c.add_stall(Duration::from_millis(5));
+        c.count_consumed();
+        let s = c.snapshot();
+        assert_eq!(s.local_fetches, 2);
+        assert_eq!(s.remote_fetches, 1);
+        assert_eq!(s.pfs_fetches, 1);
+        assert_eq!(s.false_positives, 1);
+        assert_eq!(s.heuristic_skips, 1);
+        assert_eq!(s.pfs_errors, 1);
+        assert_eq!(s.stall_time, Duration::from_millis(5));
+        assert_eq!(s.samples_consumed, 1);
+        assert_eq!(s.total_fetches(), 4);
+    }
+
+    #[test]
+    fn fractions_sum_to_one_when_nonempty() {
+        let c = StatsCollector::new();
+        c.count_local();
+        c.count_pfs();
+        let (l, r, p) = c.snapshot().fractions();
+        assert!((l + r + p - 1.0).abs() < 1e-12);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn empty_fractions_are_zero() {
+        assert_eq!(
+            StatsCollector::new().snapshot().fractions(),
+            (0.0, 0.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn merge_totals() {
+        let a = StatsCollector::new();
+        a.count_local();
+        let b = StatsCollector::new();
+        b.count_pfs();
+        b.add_stall(Duration::from_millis(2));
+        let mut total = a.snapshot();
+        total.merge(&b.snapshot());
+        assert_eq!(total.local_fetches, 1);
+        assert_eq!(total.pfs_fetches, 1);
+        assert_eq!(total.stall_time, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let c = StatsCollector::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.count_pfs();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.snapshot().pfs_fetches, 40_000);
+    }
+}

@@ -1,0 +1,492 @@
+//! The per-worker runtime: prefetcher threads, the serving loop, and
+//! the iterator-style consumer handle.
+//!
+//! Each worker (one per rank, as in the paper's MPI deployment) runs:
+//!
+//! - **class prefetchers** — one per storage class, draining the
+//!   clairvoyant assignment list in first-access order from the PFS
+//!   into the class's backend (the per-class thread counts `p_j` are
+//!   modelled by the backends' aggregate throughput curves);
+//! - **staging prefetchers** — `p_0` threads that walk the access
+//!   stream `R`, pick the fastest source for each sample via the
+//!   performance model, and fill the position-ordered staging buffer;
+//! - **a serving loop** — answers other workers' sample requests from
+//!   the local caches, paying the modelled wire cost;
+//! - **the consumer** — [`WorkerHandle`], the training loop's
+//!   iterator over `(sample id, bytes)` in exact `R` order.
+
+use crate::config::JobConfig;
+use crate::msg::{Msg, RemoteReply};
+use crate::stats::{StatsCollector, WorkerStats};
+use crate::SampleId;
+use bytes::Bytes;
+use nopfs_clairvoyance::placement::GlobalPlacement;
+use nopfs_clairvoyance::sampler::ShuffleSpec;
+use nopfs_clairvoyance::stream::AccessStream;
+use nopfs_net::Endpoint;
+use nopfs_perfmodel::Location;
+use nopfs_pfs::{Pfs, PfsError};
+use nopfs_storage::{MemoryBackend, MetadataStore, ReorderStage, StorageBackend, ThrottledBackend};
+use nopfs_util::rng::mix64;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Job-wide immutable state shared by all of a worker's threads.
+pub(crate) struct Shared {
+    pub config: JobConfig,
+    pub sizes: Arc<Vec<u64>>,
+    pub placement: Arc<GlobalPlacement>,
+    pub spec: ShuffleSpec,
+    /// `class_index[w][k]` = position of sample `k` in worker `w`'s
+    /// class prefetch list (`u32::MAX` when unassigned) — the input to
+    /// the remote-progress heuristic.
+    pub class_index: Vec<Arc<Vec<u32>>>,
+}
+
+impl Shared {
+    /// Digest of worker `w`'s access stream; used in the setup
+    /// allgather to verify that every worker derived identical streams
+    /// from the seed (the runtime's clairvoyance check).
+    pub fn stream_digest(&self, worker: usize) -> u64 {
+        let stream = AccessStream::new(self.spec, worker, self.config.epochs);
+        let mut acc = 0xC1A1_5C0Du64 ^ worker as u64;
+        for id in stream.iter() {
+            acc = mix64(acc, id);
+        }
+        acc
+    }
+}
+
+/// Reads `id` from the PFS with bounded retries on transient errors.
+///
+/// # Panics
+/// Panics when the object is missing or still failing after the retry
+/// budget — either means the dataset itself is broken, which no loader
+/// policy can paper over.
+fn pfs_read_retry(pfs: &Pfs, id: SampleId, stats: &StatsCollector) -> Bytes {
+    const ATTEMPTS: u32 = 5;
+    let mut last_err = None;
+    for attempt in 0..ATTEMPTS {
+        match pfs.read(id) {
+            Ok(data) => return data,
+            Err(PfsError::NotFound(_)) => {
+                panic!("sample {id} missing from the PFS: dataset not materialized?")
+            }
+            Err(e @ PfsError::Io(_)) => {
+                stats.count_pfs_error();
+                last_err = Some(e);
+                // Tiny backoff; transient faults in tests clear quickly.
+                std::thread::sleep(std::time::Duration::from_micros(50 << attempt));
+            }
+        }
+    }
+    panic!("PFS read of sample {id} failed after {ATTEMPTS} attempts: {last_err:?}");
+}
+
+struct WorkerCtx {
+    rank: usize,
+    shared: Arc<Shared>,
+    pfs: Pfs,
+    endpoint: Arc<Endpoint<Msg>>,
+    backends: Vec<Arc<dyn StorageBackend>>,
+    metadata: Arc<MetadataStore>,
+    stats: Arc<StatsCollector>,
+    stop: Arc<AtomicBool>,
+    /// Per-class prefetch progress (index into the class list).
+    progress: Arc<Vec<AtomicU64>>,
+    /// For each sample this worker holds, the holder rank to ask per
+    /// class is this worker itself; for remote fetches we need the
+    /// rank of the fastest holder. Derived from placement on the fly.
+    stage: ReorderStage,
+}
+
+impl WorkerCtx {
+    /// Picks a source and fetches one sample for the staging buffer.
+    fn fetch_for_staging(&self, k: SampleId) -> Bytes {
+        let sys = &self.shared.config.system;
+        let size = self.shared.sizes[k as usize];
+
+        let mut candidates: Vec<Location> = Vec::with_capacity(3);
+        let local_class = self.metadata.lookup(k);
+        if let Some(c) = local_class {
+            candidates.push(Location::Local(c));
+        }
+        // Remote candidates pass the progress heuristic: our own class-c
+        // prefetcher's position is the proxy for the holder's (paper
+        // Sec. 5.2.2 — load-balanced prefetching advances in lockstep).
+        let mut best_remote: Option<(usize, u8)> = None;
+        for &(o, c) in self.shared.placement.holders(k) {
+            if o == self.rank {
+                continue;
+            }
+            let idx = self.shared.class_index[o][k as usize];
+            let my_progress = self
+                .progress
+                .get(c as usize)
+                .map_or(0, |p| p.load(Ordering::Relaxed));
+            if u64::from(idx) < my_progress {
+                if best_remote.is_none_or(|(_, bc)| c < bc) {
+                    best_remote = Some((o, c));
+                }
+            } else {
+                self.stats.count_heuristic_skip();
+            }
+        }
+        if let Some((_, c)) = best_remote {
+            candidates.push(Location::Remote(c));
+        }
+        candidates.push(Location::Pfs);
+
+        // Live PFS contention: the readers already in flight plus us.
+        let gamma = self.pfs.reader_count() + 1;
+        let choice = sys
+            .fastest_source(&candidates, size, gamma)
+            .expect("candidate list always contains the PFS");
+
+        let data = match choice {
+            Location::Local(c) => match self.backends[c as usize].get(k) {
+                Some(d) => {
+                    self.stats.count_local();
+                    d
+                }
+                // Catalog raced an eviction (not expected under NoPFS's
+                // no-eviction placement, but recoverable): go to the PFS.
+                None => {
+                    self.stats.count_pfs();
+                    pfs_read_retry(&self.pfs, k, &self.stats)
+                }
+            },
+            Location::Remote(_) => {
+                let (owner, _) = best_remote.expect("remote choice implies a holder");
+                match self.request_remote(owner, k) {
+                    Some(d) => {
+                        self.stats.count_remote();
+                        d
+                    }
+                    None => {
+                        // Heuristic false positive: the holder had not
+                        // prefetched the sample yet. Not an error.
+                        self.stats.count_false_positive();
+                        self.stats.count_pfs();
+                        pfs_read_retry(&self.pfs, k, &self.stats)
+                    }
+                }
+            }
+            Location::Pfs => {
+                self.stats.count_pfs();
+                pfs_read_retry(&self.pfs, k, &self.stats)
+            }
+            Location::Staging => unreachable!("staging is never a fetch candidate"),
+        };
+
+        // Self-healing fill: if this sample is assigned to one of our
+        // classes but the class prefetcher has not cached it yet, the
+        // staging fetch doubles as the fill.
+        if local_class.is_none() {
+            if let Some(c) = self.shared.placement.assignment(self.rank).class_of(k) {
+                if self.backends[c as usize].insert(k, data.clone()).is_ok() {
+                    self.metadata.mark_cached(k, c);
+                }
+            }
+        }
+        data
+    }
+
+    fn request_remote(&self, owner: usize, k: SampleId) -> Option<Bytes> {
+        let (tx, rx) = crossbeam::channel::bounded::<RemoteReply>(1);
+        self.endpoint
+            .send(owner, Msg::Request { sample: k, reply: tx })
+            .ok()?;
+        let reply = rx.recv().ok()?;
+        debug_assert_eq!(reply.sample, k);
+        reply.data
+    }
+}
+
+/// The per-worker loader handle: the paper's `get`/iterator interface.
+///
+/// Yields `(sample id, bytes)` in exactly the clairvoyant access-stream
+/// order. Created by [`crate::job::Job::run`].
+pub struct WorkerHandle {
+    ctx: Arc<WorkerCtx>,
+    stream: Arc<Vec<SampleId>>,
+    threads: Vec<JoinHandle<()>>,
+    server: Option<JoinHandle<()>>,
+    consumed: u64,
+    epoch_len: u64,
+    batch_size: usize,
+    finished: bool,
+}
+
+impl WorkerHandle {
+    pub(crate) fn launch(
+        rank: usize,
+        shared: Arc<Shared>,
+        pfs: Pfs,
+        endpoint: Endpoint<Msg>,
+    ) -> Self {
+        let endpoint = Arc::new(endpoint);
+        let sys = &shared.config.system;
+        let scale = shared.config.scale;
+
+        // Setup allgather: exchange access-stream digests and verify
+        // that every worker derived the same streams from the seed.
+        let my_digest = shared.stream_digest(rank);
+        let digests = endpoint
+            .allgather(Msg::Digest(my_digest))
+            .expect("setup allgather failed");
+        for (o, msg) in digests.iter().enumerate() {
+            let Msg::Digest(d) = msg else {
+                panic!("unexpected setup message from rank {o}");
+            };
+            assert_eq!(
+                *d,
+                shared.stream_digest(o),
+                "worker {o}'s access stream diverged from the seed — clairvoyance broken"
+            );
+        }
+
+        let backends: Vec<Arc<dyn StorageBackend>> = sys
+            .classes
+            .iter()
+            .map(|class| {
+                let p = f64::from(class.prefetch_threads.max(1));
+                Arc::new(ThrottledBackend::new(
+                    MemoryBackend::new(class.name.clone(), class.capacity),
+                    class.read.at(p),
+                    class.write.at(p),
+                    scale,
+                )) as Arc<dyn StorageBackend>
+            })
+            .collect();
+
+        let metadata = Arc::new(MetadataStore::new());
+        let stats = StatsCollector::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let progress = Arc::new(
+            (0..sys.classes.len())
+                .map(|_| AtomicU64::new(0))
+                .collect::<Vec<_>>(),
+        );
+        let stage = ReorderStage::new(sys.staging.capacity);
+        let stream = Arc::new(
+            AccessStream::new(shared.spec, rank, shared.config.epochs).materialize(),
+        );
+        let epoch_len = shared.spec.worker_epoch_len(rank);
+
+        let ctx = Arc::new(WorkerCtx {
+            rank,
+            shared: Arc::clone(&shared),
+            pfs,
+            endpoint,
+            backends,
+            metadata,
+            stats,
+            stop,
+            progress,
+            stage,
+        });
+
+        let mut threads = Vec::new();
+
+        // Class prefetchers: one thread per storage class, draining the
+        // assignment in first-access order.
+        for class in 0..ctx.backends.len() {
+            let ctx = Arc::clone(&ctx);
+            threads.push(std::thread::spawn(move || {
+                let assignment = ctx.shared.placement.assignment(ctx.rank);
+                for (idx, &k) in assignment.prefetch_order(class).iter().enumerate() {
+                    if ctx.stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if !ctx.metadata.is_cached(k) {
+                        let data = pfs_read_retry(&ctx.pfs, k, &ctx.stats);
+                        if ctx.backends[class].insert(k, data).is_ok() {
+                            ctx.metadata.mark_cached(k, class as u8);
+                        }
+                    }
+                    ctx.progress[class].store(idx as u64 + 1, Ordering::Relaxed);
+                }
+            }));
+        }
+
+        // Staging prefetchers: p0 threads claiming stream positions.
+        let position = Arc::new(AtomicU64::new(0));
+        for _ in 0..sys.staging.threads.max(1) {
+            let ctx = Arc::clone(&ctx);
+            let stream = Arc::clone(&stream);
+            let position = Arc::clone(&position);
+            threads.push(std::thread::spawn(move || loop {
+                if ctx.stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let pos = position.fetch_add(1, Ordering::SeqCst);
+                if pos >= stream.len() as u64 {
+                    break;
+                }
+                let k = stream[pos as usize];
+                let data = ctx.fetch_for_staging(k);
+                // Preprocess-and-store: the model's write_i(k). Each of
+                // the p0 threads pays it independently, so the aggregate
+                // preprocessing rate scales with the thread count, as in
+                // the performance model.
+                let wt = ctx
+                    .shared
+                    .config
+                    .system
+                    .write_time(data.len() as u64);
+                ctx.shared.config.scale.wait(wt);
+                if !ctx.stage.push(pos, k, data) {
+                    break; // stage closed
+                }
+            }));
+        }
+
+        // Serving loop: answer remote requests until shutdown.
+        let server = {
+            let ctx = Arc::clone(&ctx);
+            std::thread::spawn(move || loop {
+                match ctx.endpoint.recv() {
+                    Ok(env) => match env.msg {
+                        Msg::Request { sample, reply } => {
+                            let data = ctx
+                                .metadata
+                                .lookup(sample)
+                                .and_then(|c| ctx.backends[c as usize].get(sample));
+                            if let Some(d) = &data {
+                                // Pay the wire cost of the payload.
+                                ctx.endpoint.pace(d.len() as u64);
+                            }
+                            let _ = reply.send(RemoteReply { sample, data });
+                        }
+                        Msg::Shutdown => break,
+                        Msg::Digest(_) => {
+                            // Setup finished before this loop started.
+                        }
+                    },
+                    Err(_) => break,
+                }
+            })
+        };
+
+        Self {
+            ctx,
+            stream,
+            threads,
+            server: Some(server),
+            consumed: 0,
+            epoch_len,
+            batch_size: shared.config.batch_size,
+            finished: false,
+        }
+    }
+
+    /// This worker's rank.
+    pub fn rank(&self) -> usize {
+        self.ctx.rank
+    }
+
+    /// Total samples this handle will yield over the whole run.
+    pub fn len(&self) -> u64 {
+        self.stream.len() as u64
+    }
+
+    /// Whether the run yields no samples (degenerate configurations).
+    pub fn is_empty(&self) -> bool {
+        self.stream.is_empty()
+    }
+
+    /// Samples this worker consumes per epoch.
+    pub fn epoch_len(&self) -> u64 {
+        self.epoch_len
+    }
+
+    /// The epoch of the *next* sample to be yielded.
+    pub fn current_epoch(&self) -> u64 {
+        if self.epoch_len == 0 {
+            0
+        } else {
+            self.consumed / self.epoch_len
+        }
+    }
+
+    /// Next sample in access-stream order, blocking on the staging
+    /// buffer; `None` once the run is exhausted. Blocked time is
+    /// recorded as consumer stall.
+    pub fn next_sample(&mut self) -> Option<(SampleId, Bytes)> {
+        if self.consumed >= self.stream.len() as u64 {
+            return None;
+        }
+        let t0 = Instant::now();
+        let item = self.ctx.stage.pop()?;
+        self.ctx.stats.add_stall(t0.elapsed());
+        self.ctx.stats.count_consumed();
+        self.consumed += 1;
+        Some(item)
+    }
+
+    /// Next local mini-batch (up to `batch_size` samples, never
+    /// crossing an epoch boundary); `None` once exhausted.
+    pub fn next_batch(&mut self) -> Option<Vec<(SampleId, Bytes)>> {
+        if self.consumed >= self.stream.len() as u64 {
+            return None;
+        }
+        let into_epoch = self.consumed % self.epoch_len;
+        let left_in_epoch = self.epoch_len - into_epoch;
+        let want = (self.batch_size as u64).min(left_in_epoch) as usize;
+        let mut batch = Vec::with_capacity(want);
+        for _ in 0..want {
+            match self.next_sample() {
+                Some(item) => batch.push(item),
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            None
+        } else {
+            Some(batch)
+        }
+    }
+
+    /// Current I/O statistics snapshot.
+    pub fn stats(&self) -> WorkerStats {
+        self.ctx.stats.snapshot()
+    }
+
+    /// Synchronizes all workers (bulk-synchronous step boundary).
+    pub fn barrier(&self) {
+        self.ctx.endpoint.barrier();
+    }
+
+    /// Stops prefetchers, waits for the whole cluster to finish, and
+    /// shuts down the serving loop. Called automatically by
+    /// [`crate::job::Job::run`]; idempotent.
+    pub(crate) fn shutdown(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.ctx.stop.store(true, Ordering::SeqCst);
+        self.ctx.stage.close();
+        for t in self.threads.drain(..) {
+            t.join().expect("worker thread panicked");
+        }
+        // All our outbound requests are done; wait for everyone else
+        // before killing the serving loop they may still depend on.
+        self.ctx.endpoint.barrier();
+        let _ = self.ctx.endpoint.send(self.ctx.rank, Msg::Shutdown);
+        if let Some(s) = self.server.take() {
+            s.join().expect("server thread panicked");
+        }
+    }
+}
+
+impl Iterator for WorkerHandle {
+    type Item = (SampleId, Bytes);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_sample()
+    }
+}

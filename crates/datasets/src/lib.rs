@@ -1,0 +1,366 @@
+//! Synthetic datasets matching the paper's evaluation workloads.
+//!
+//! The real datasets (ImageNet-1k/22k, OpenImages, MNIST, CosmoFlow)
+//! are not available here, but a data loader's I/O behaviour is fully
+//! determined by the *file-size distribution* and *sample count* — which
+//! the paper publishes for every workload (Sec. 6.1: sizes "distributed
+//! normally", with the μ/σ/F per dataset). [`DatasetProfile`] encodes
+//! those parameters, generates reproducible per-sample sizes, and
+//! materializes content-verifiable synthetic samples into the synthetic
+//! PFS.
+//!
+//! Every sample's payload is deterministic from `(dataset seed, id)`:
+//! an 16-byte header (id + label) followed by a seeded byte pattern, so
+//! integrity can be checked after any number of cache/network hops and
+//! labels can be decoded by the training loop without side channels.
+//!
+//! [`DatasetProfile::scaled`] shrinks a profile for laptop-scale runs
+//! while preserving the ratios that select the paper's storage regimes.
+
+use bytes::Bytes;
+use nopfs_pfs::Pfs;
+use nopfs_util::rng::{mix64, splitmix64, splitmix64_mix, Xoshiro256pp};
+use nopfs_util::units::{KB, MB};
+
+/// Minimum sample size: the normal distribution is clipped here so no
+/// sample degenerates to zero bytes (real files have headers too).
+pub const MIN_SAMPLE_BYTES: u64 = 64;
+
+/// Length of the verifiable sample header: 8 bytes id + 4 bytes label +
+/// 4 bytes magic.
+pub const HEADER_BYTES: usize = 16;
+
+const MAGIC: u32 = 0x4E6F_5046; // "NoPF"
+
+/// A synthetic dataset: the paper's published size statistics plus a
+/// seed making every byte reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetProfile {
+    /// Dataset name as used in the paper's figures.
+    pub name: String,
+    /// Number of samples `F`.
+    pub num_samples: u64,
+    /// Mean sample size μ, bytes.
+    pub mean_size: f64,
+    /// Size standard deviation σ, bytes.
+    pub std_size: f64,
+    /// Number of label classes.
+    pub num_classes: u32,
+    /// Seed for sizes, labels, and payloads.
+    pub seed: u64,
+}
+
+impl DatasetProfile {
+    /// MNIST (Sec. 6.1 scenario 1): μ=0.76 KB, σ=0, F=50,000; 40 MB.
+    pub fn mnist() -> Self {
+        Self::new("MNIST", 50_000, 0.76 * KB, 0.0, 10, 0x4D4E)
+    }
+
+    /// ImageNet-1k (scenario 2): μ=0.1077 MB, σ=0.1 MB, F=1,281,167;
+    /// 135 GB, 1000 classes.
+    pub fn imagenet_1k() -> Self {
+        Self::new("ImageNet-1k", 1_281_167, 0.1077 * MB, 0.1 * MB, 1_000, 0x494E31)
+    }
+
+    /// OpenImages (scenario 2): μ=0.2937 MB, σ=0.2 MB, F=1,743,042;
+    /// 500 GB.
+    pub fn openimages() -> Self {
+        Self::new("OpenImages", 1_743_042, 0.2937 * MB, 0.2 * MB, 600, 0x4F49)
+    }
+
+    /// ImageNet-22k (scenario 3): μ=0.1077 MB, σ=0.2 MB, F=14,197,122;
+    /// 1.5 TB, 21,841 classes.
+    pub fn imagenet_22k() -> Self {
+        Self::new(
+            "ImageNet-22k",
+            14_197_122,
+            0.1077 * MB,
+            0.2 * MB,
+            21_841,
+            0x494E32,
+        )
+    }
+
+    /// CosmoFlow (scenario 4): μ=17 MB, σ=0, F=262,144; ~4.5 TB of
+    /// fixed-size 128³ volumes (regression task: classes = 1).
+    pub fn cosmoflow() -> Self {
+        Self::new("CosmoFlow", 262_144, 17.0 * MB, 0.0, 1, 0x4346)
+    }
+
+    /// CosmoFlow-512³ (scenario 4): μ=1000 MB, σ=0, F=10,000; 10 TB.
+    pub fn cosmoflow_512() -> Self {
+        Self::new("CosmoFlow-512", 10_000, 1_000.0 * MB, 0.0, 1, 0x4347)
+    }
+
+    /// All six paper profiles, in Fig. 8 order.
+    pub fn paper_profiles() -> Vec<Self> {
+        vec![
+            Self::mnist(),
+            Self::imagenet_1k(),
+            Self::openimages(),
+            Self::imagenet_22k(),
+            Self::cosmoflow(),
+            Self::cosmoflow_512(),
+        ]
+    }
+
+    /// Builds a profile.
+    ///
+    /// # Panics
+    /// Panics on zero samples/classes or a non-positive mean.
+    pub fn new(
+        name: impl Into<String>,
+        num_samples: u64,
+        mean_size: f64,
+        std_size: f64,
+        num_classes: u32,
+        seed: u64,
+    ) -> Self {
+        assert!(num_samples > 0, "a dataset has samples");
+        assert!(mean_size > 0.0, "mean size must be positive");
+        assert!(std_size >= 0.0, "size std-dev must be non-negative");
+        assert!(num_classes > 0, "at least one class");
+        Self {
+            name: name.into(),
+            num_samples,
+            mean_size,
+            std_size,
+            num_classes,
+            seed,
+        }
+    }
+
+    /// Scales the profile: multiply the sample count by `count_factor`
+    /// and sizes by `size_factor` (both in `(0, 1]` for shrinking; >1
+    /// allowed for growth studies). At least one sample remains.
+    pub fn scaled(&self, count_factor: f64, size_factor: f64) -> Self {
+        assert!(count_factor > 0.0 && size_factor > 0.0);
+        Self {
+            name: format!("{}@{count_factor}x{size_factor}", self.name),
+            num_samples: ((self.num_samples as f64 * count_factor) as u64).max(1),
+            mean_size: (self.mean_size * size_factor).max(MIN_SAMPLE_BYTES as f64),
+            std_size: self.std_size * size_factor,
+            num_classes: self.num_classes,
+            seed: self.seed,
+        }
+    }
+
+    /// Per-sample sizes in bytes: normal(μ, σ) clipped at
+    /// [`MIN_SAMPLE_BYTES`], deterministic from the seed.
+    pub fn sizes(&self) -> Vec<u64> {
+        let mut rng = Xoshiro256pp::seed_from_u64(mix64(self.seed, 0x5129E5));
+        (0..self.num_samples)
+            .map(|_| {
+                if self.std_size == 0.0 {
+                    (self.mean_size as u64).max(MIN_SAMPLE_BYTES)
+                } else {
+                    let s = rng.next_normal(self.mean_size, self.std_size);
+                    (s.max(MIN_SAMPLE_BYTES as f64)) as u64
+                }
+            })
+            .collect()
+    }
+
+    /// Total dataset size `S` in bytes (sums the generated sizes).
+    pub fn total_bytes(&self) -> u64 {
+        self.sizes().iter().sum()
+    }
+
+    /// The label of sample `id` (deterministic, roughly uniform).
+    pub fn label_of(&self, id: u64) -> u32 {
+        (mix64(self.seed ^ 0x1ABE1, id) % u64::from(self.num_classes)) as u32
+    }
+
+    /// Generates sample `id`'s full payload: verifiable header plus a
+    /// seeded byte pattern of the given size.
+    pub fn sample_bytes(&self, id: u64, size: u64) -> Bytes {
+        let size = size.max(HEADER_BYTES as u64) as usize;
+        let mut v = Vec::with_capacity(size);
+        v.extend_from_slice(&id.to_le_bytes());
+        v.extend_from_slice(&self.label_of(id).to_le_bytes());
+        v.extend_from_slice(&MAGIC.to_le_bytes());
+        // Payload pattern: a splitmix64 stream seeded by (seed, id);
+        // cheap to generate and to verify at any offset.
+        let mut state = mix64(self.seed, id);
+        while v.len() < size {
+            splitmix64(&mut state);
+            let chunk = splitmix64_mix(state).to_le_bytes();
+            let take = chunk.len().min(size - v.len());
+            v.extend_from_slice(&chunk[..take]);
+        }
+        Bytes::from(v)
+    }
+
+    /// Decodes and verifies a sample payload; returns `(id, label)`.
+    ///
+    /// Checks the header magic and (for the first payload words) the
+    /// seeded pattern, so corruption anywhere near the front is caught.
+    pub fn decode(&self, data: &Bytes) -> Result<(u64, u32), String> {
+        if data.len() < HEADER_BYTES {
+            return Err(format!("sample too short: {} bytes", data.len()));
+        }
+        let id = u64::from_le_bytes(data[0..8].try_into().expect("length checked"));
+        let label = u32::from_le_bytes(data[8..12].try_into().expect("length checked"));
+        let magic = u32::from_le_bytes(data[12..16].try_into().expect("length checked"));
+        if magic != MAGIC {
+            return Err(format!("bad magic 0x{magic:08X} in sample {id}"));
+        }
+        if label != self.label_of(id) {
+            return Err(format!("label mismatch for sample {id}"));
+        }
+        // Verify up to the first 8 pattern bytes.
+        if data.len() > HEADER_BYTES {
+            let mut state = mix64(self.seed, id);
+            splitmix64(&mut state);
+            let expect = splitmix64_mix(state).to_le_bytes();
+            let have = &data[HEADER_BYTES..(HEADER_BYTES + 8).min(data.len())];
+            if have != &expect[..have.len()] {
+                return Err(format!("payload corruption in sample {id}"));
+            }
+        }
+        Ok((id, label))
+    }
+
+    /// Writes every sample into the PFS ("all runs begin with data at
+    /// rest on a PFS", Sec. 7). Returns the per-sample sizes actually
+    /// materialized.
+    pub fn materialize(&self, pfs: &Pfs) -> Vec<u64> {
+        let sizes = self.sizes();
+        for (id, &size) in sizes.iter().enumerate() {
+            pfs.put(id as u64, self.sample_bytes(id as u64, size));
+        }
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nopfs_perfmodel::ThroughputCurve;
+    use nopfs_util::timing::TimeScale;
+    use nopfs_util::units::{GB, TB};
+
+    #[test]
+    fn paper_totals_match_published_sizes() {
+        // MNIST: "40 MB".
+        let mnist = DatasetProfile::mnist();
+        let total = mnist.total_bytes() as f64;
+        assert!((total - 38.0 * MB).abs() < 3.0 * MB, "MNIST total {total}");
+
+        // CosmoFlow: 262,144 x 17 MB ≈ 4.46 TB (the paper's "4 TB").
+        let cf = DatasetProfile::cosmoflow();
+        assert_eq!(cf.total_bytes(), 262_144 * 17_000_000);
+        assert!((cf.total_bytes() as f64 - 4.456 * TB).abs() < 0.01 * TB);
+
+        // CosmoFlow-512: 10,000 x 1 GB = 10 TB.
+        assert_eq!(DatasetProfile::cosmoflow_512().total_bytes(), 10_000_000_000_000);
+    }
+
+    #[test]
+    fn imagenet_scale_totals_are_plausible() {
+        // Clipping the normal at 64 B shifts ImageNet-1k's mean slightly
+        // above 0.1077 MB; the paper's 135 GB should hold within ~15%.
+        let scaled = DatasetProfile::imagenet_1k().scaled(0.01, 1.0);
+        let mean = scaled.total_bytes() as f64 / scaled.num_samples as f64;
+        let implied_full = mean * 1_281_167.0;
+        assert!(
+            (implied_full - 135.0 * GB).abs() < 25.0 * GB,
+            "implied ImageNet-1k total {implied_full}"
+        );
+    }
+
+    #[test]
+    fn sizes_are_deterministic_and_clipped() {
+        let p = DatasetProfile::imagenet_1k().scaled(0.001, 1.0);
+        let a = p.sizes();
+        let b = p.sizes();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&s| s >= MIN_SAMPLE_BYTES));
+        // σ > 0 implies variety.
+        assert!(a.iter().collect::<std::collections::HashSet<_>>().len() > 10);
+    }
+
+    #[test]
+    fn fixed_size_dataset_has_uniform_sizes() {
+        let p = DatasetProfile::cosmoflow().scaled(0.0001, 0.001);
+        let sizes = p.sizes();
+        assert!(sizes.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn scaled_keeps_at_least_one_sample() {
+        let p = DatasetProfile::mnist().scaled(1e-9, 1.0);
+        assert_eq!(p.num_samples, 1);
+    }
+
+    #[test]
+    fn labels_are_stable_and_in_range() {
+        let p = DatasetProfile::mnist();
+        for id in 0..100 {
+            let l = p.label_of(id);
+            assert!(l < 10);
+            assert_eq!(l, p.label_of(id));
+        }
+        // Roughly uniform across 10 classes for 1000 samples.
+        let mut counts = [0u32; 10];
+        for id in 0..1000 {
+            counts[p.label_of(id) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 50), "{counts:?}");
+    }
+
+    #[test]
+    fn sample_round_trip_encodes_and_verifies() {
+        let p = DatasetProfile::mnist();
+        let data = p.sample_bytes(123, 778);
+        assert_eq!(data.len(), 778);
+        let (id, label) = p.decode(&data).unwrap();
+        assert_eq!(id, 123);
+        assert_eq!(label, p.label_of(123));
+    }
+
+    #[test]
+    fn decode_detects_corruption() {
+        let p = DatasetProfile::mnist();
+        let data = p.sample_bytes(5, 100);
+        let mut bad = data.to_vec();
+        bad[20] ^= 0xFF;
+        assert!(p.decode(&Bytes::from(bad)).is_err());
+        let mut bad_magic = data.to_vec();
+        bad_magic[13] ^= 0xFF;
+        assert!(p.decode(&Bytes::from(bad_magic)).is_err());
+        assert!(p.decode(&Bytes::from_static(b"tiny")).is_err());
+    }
+
+    #[test]
+    fn materialize_puts_every_sample() {
+        let p = DatasetProfile::mnist().scaled(0.001, 1.0); // 50 samples
+        let pfs = Pfs::in_memory(ThroughputCurve::flat(1e12), TimeScale::realtime());
+        let sizes = p.materialize(&pfs);
+        assert_eq!(pfs.len(), 50);
+        for (id, &s) in sizes.iter().enumerate() {
+            let data = pfs.read(id as u64).unwrap();
+            assert_eq!(data.len() as u64, s.max(HEADER_BYTES as u64));
+            p.decode(&data).unwrap();
+        }
+    }
+
+    #[test]
+    fn profiles_cover_papers_six_workloads() {
+        let names: Vec<String> = DatasetProfile::paper_profiles()
+            .into_iter()
+            .map(|p| p.name)
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "MNIST",
+                "ImageNet-1k",
+                "OpenImages",
+                "ImageNet-22k",
+                "CosmoFlow",
+                "CosmoFlow-512"
+            ]
+        );
+    }
+}

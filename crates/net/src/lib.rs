@@ -1,0 +1,426 @@
+//! An in-process cluster substrate.
+//!
+//! The paper's NoPFS implementation runs one MPI rank per worker and
+//! uses the interconnect for three things: an allgather of access
+//! streams at setup, point-to-point sample serving between workers, and
+//! (in the training framework underneath) gradient allreduces. This
+//! crate substitutes that substrate with an in-process cluster: workers
+//! are OS threads, every node owns an [`Endpoint`] with an inbox
+//! channel, and all traffic is paced through a per-node egress
+//! [`TokenBucket`] at the modelled interconnect bandwidth `b_c` plus a
+//! fixed latency. Real bytes cross real thread boundaries, so
+//! correctness (ordering, integrity, graceful shutdown) is exercised the
+//! way a real transport would exercise it, while transfer *times* follow
+//! the performance model.
+//!
+//! Collectives (barrier, allgather, allreduce) are built on the same
+//! point-to-point layer, naive-star style — adequate for the ≤16-worker
+//! clusters these experiments run.
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use nopfs_util::rate::TokenBucket;
+use nopfs_util::timing::{precise_wait, TimeScale};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Messages must report their wire size so the NIC model can pace them.
+pub trait Wire: Send + 'static {
+    /// Bytes this message would occupy on the wire.
+    fn wire_size(&self) -> u64;
+}
+
+impl Wire for bytes::Bytes {
+    fn wire_size(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl Wire for Vec<f32> {
+    fn wire_size(&self) -> u64 {
+        (self.len() * 4) as u64
+    }
+}
+
+impl Wire for u64 {
+    fn wire_size(&self) -> u64 {
+        8
+    }
+}
+
+/// A delivered message with its sender.
+#[derive(Debug)]
+pub struct Envelope<T> {
+    /// Sending rank.
+    pub from: usize,
+    /// The payload.
+    pub msg: T,
+}
+
+/// Interconnect parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Per-node interconnect bandwidth `b_c`, model bytes/second.
+    pub bandwidth: f64,
+    /// One-way message latency, model seconds.
+    pub latency: f64,
+    /// Model-to-wall time mapping.
+    pub scale: TimeScale,
+}
+
+impl NetConfig {
+    /// A configuration with the given bandwidth (model bytes/s), 10 µs
+    /// latency, and the given time scale.
+    pub fn new(bandwidth: f64, scale: TimeScale) -> Self {
+        assert!(bandwidth > 0.0 && bandwidth.is_finite());
+        Self {
+            bandwidth,
+            latency: 10e-6,
+            scale,
+        }
+    }
+}
+
+/// Errors surfaced by the transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The peer's endpoint was dropped.
+    Disconnected,
+    /// No message arrived within the timeout.
+    Timeout,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Timeout => write!(f, "receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// One node's connection to the cluster.
+pub struct Endpoint<T: Wire> {
+    rank: usize,
+    peers: Vec<Sender<Envelope<T>>>,
+    inbox: Receiver<Envelope<T>>,
+    egress: Arc<TokenBucket>,
+    config: NetConfig,
+    barrier: Arc<std::sync::Barrier>,
+}
+
+impl<T: Wire> Endpoint<T> {
+    /// This node's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Cluster size.
+    pub fn world_size(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Sends `msg` to `to`, blocking for the modelled transfer time
+    /// (egress pacing plus latency) before it is delivered.
+    ///
+    /// Sending to self is allowed and skips the latency (loopback).
+    pub fn send(&self, to: usize, msg: T) -> Result<(), NetError> {
+        assert!(to < self.peers.len(), "rank {to} out of range");
+        let size = msg.wire_size();
+        if to != self.rank {
+            self.egress.acquire(size);
+            precise_wait(self.config.scale.to_wall(self.config.latency));
+        }
+        self.peers[to]
+            .send(Envelope {
+                from: self.rank,
+                msg,
+            })
+            .map_err(|_| NetError::Disconnected)
+    }
+
+    /// Blocks until a message arrives.
+    pub fn recv(&self) -> Result<Envelope<T>, NetError> {
+        self.inbox.recv().map_err(|_| NetError::Disconnected)
+    }
+
+    /// Blocks until a message arrives or `timeout` (wall time) elapses.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope<T>, NetError> {
+        self.inbox.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => NetError::Timeout,
+            RecvTimeoutError::Disconnected => NetError::Disconnected,
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<T>> {
+        self.inbox.try_recv().ok()
+    }
+
+    /// Synchronizes all ranks (the bulk-synchronous barrier between
+    /// training iterations).
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Pays the wire cost of transferring `bytes` from this node without
+    /// sending a message — used when a payload travels out of band (an
+    /// in-process reply channel) but must still occupy the modelled NIC.
+    pub fn pace(&self, bytes: u64) {
+        self.egress.acquire(bytes);
+        precise_wait(self.config.scale.to_wall(self.config.latency));
+    }
+}
+
+impl<T: Wire + Clone> Endpoint<T> {
+    /// Naive allgather: every rank contributes one value and receives
+    /// everyone's, indexed by rank. This is how workers exchange access
+    /// streams at setup ("distributing a worker's access sequence R to
+    /// all other workers", Sec. 5.2.2).
+    ///
+    /// All ranks must call this collectively, with no other traffic in
+    /// flight on the same endpoint.
+    pub fn allgather(&self, value: T) -> Result<Vec<T>, NetError> {
+        let n = self.world_size();
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        slots[self.rank] = Some(value.clone());
+        for to in 0..n {
+            if to != self.rank {
+                self.send(to, value.clone())?;
+            }
+        }
+        for _ in 0..n - 1 {
+            let env = self.recv()?;
+            assert!(
+                slots[env.from].is_none(),
+                "duplicate allgather contribution from rank {}",
+                env.from
+            );
+            slots[env.from] = Some(env.msg);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("all contributions received"))
+            .collect())
+    }
+}
+
+impl Endpoint<Vec<f32>> {
+    /// Sum-allreduce over `buf`, star topology through rank 0 — the
+    /// gradient synchronization of data-parallel SGD. All ranks must
+    /// call collectively with equal-length buffers.
+    pub fn allreduce_sum(&self, buf: &mut [f32]) -> Result<(), NetError> {
+        let n = self.world_size();
+        if n == 1 {
+            return Ok(());
+        }
+        if self.rank == 0 {
+            for _ in 0..n - 1 {
+                let env = self.recv()?;
+                assert_eq!(env.msg.len(), buf.len(), "allreduce length mismatch");
+                for (a, b) in buf.iter_mut().zip(&env.msg) {
+                    *a += b;
+                }
+            }
+            for to in 1..n {
+                self.send(to, buf.to_vec())?;
+            }
+        } else {
+            self.send(0, buf.to_vec())?;
+            let env = self.recv()?;
+            assert_eq!(env.from, 0, "unexpected allreduce reply origin");
+            buf.copy_from_slice(&env.msg);
+        }
+        Ok(())
+    }
+}
+
+/// Creates a cluster of `n` connected endpoints.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn cluster<T: Wire>(n: usize, config: NetConfig) -> Vec<Endpoint<T>> {
+    assert!(n > 0, "a cluster needs at least one node");
+    let mut senders = Vec::with_capacity(n);
+    let mut inboxes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = channel::unbounded::<Envelope<T>>();
+        senders.push(tx);
+        inboxes.push(rx);
+    }
+    let barrier = Arc::new(std::sync::Barrier::new(n));
+    inboxes
+        .into_iter()
+        .enumerate()
+        .map(|(rank, inbox)| Endpoint {
+            rank,
+            peers: senders.clone(),
+            inbox,
+            egress: Arc::new(TokenBucket::with_burst_window(
+                config.scale.rate_to_wall(config.bandwidth),
+                0.005,
+            )),
+            config,
+            barrier: Arc::clone(&barrier),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use std::time::Instant;
+
+    fn fast_config() -> NetConfig {
+        NetConfig {
+            bandwidth: 1.0e12,
+            latency: 0.0,
+            scale: TimeScale::realtime(),
+        }
+    }
+
+    #[test]
+    fn point_to_point_delivery() {
+        let mut eps = cluster::<Bytes>(2, fast_config());
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(1, Bytes::from_static(b"hello")).unwrap();
+        let env = b.recv().unwrap();
+        assert_eq!(env.from, 0);
+        assert_eq!(env.msg, Bytes::from_static(b"hello"));
+    }
+
+    #[test]
+    fn self_send_is_loopback() {
+        let eps = cluster::<u64>(1, fast_config());
+        eps[0].send(0, 42).unwrap();
+        assert_eq!(eps[0].recv().unwrap().msg, 42);
+    }
+
+    #[test]
+    fn transfer_time_follows_bandwidth() {
+        // 10 MB/s: a 1 MB message should take ~100 ms to send.
+        let cfg = NetConfig {
+            bandwidth: 10.0e6,
+            latency: 0.0,
+            scale: TimeScale::realtime(),
+        };
+        let mut eps = cluster::<Bytes>(2, cfg);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let payload = Bytes::from(vec![0u8; 1_000_000]);
+        a.send(1, payload.clone()).unwrap(); // drain burst
+        b.recv().unwrap();
+        let t0 = Instant::now();
+        a.send(1, payload).unwrap();
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(dt > 0.07, "send too fast: {dt}s");
+        assert!(dt < 0.5, "send too slow: {dt}s");
+        b.recv().unwrap();
+    }
+
+    #[test]
+    fn latency_is_applied() {
+        let cfg = NetConfig {
+            bandwidth: 1.0e12,
+            latency: 0.02, // 20 ms model
+            scale: TimeScale::realtime(),
+        };
+        let mut eps = cluster::<u64>(2, cfg);
+        let _b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let t0 = Instant::now();
+        a.send(1, 1).unwrap();
+        assert!(t0.elapsed().as_secs_f64() >= 0.02);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let eps = cluster::<u64>(2, fast_config());
+        assert_eq!(
+            eps[0].recv_timeout(Duration::from_millis(20)).unwrap_err(),
+            NetError::Timeout
+        );
+    }
+
+    #[test]
+    fn disconnected_peer_is_reported() {
+        let mut eps = cluster::<u64>(2, fast_config());
+        let a = eps.remove(0);
+        drop(eps); // drop rank 1
+        assert_eq!(a.send(1, 5).unwrap_err(), NetError::Disconnected);
+    }
+
+    #[test]
+    fn allgather_collects_rank_indexed() {
+        let eps = cluster::<u64>(4, fast_config());
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|ep| {
+                std::thread::spawn(move || {
+                    let rank = ep.rank() as u64;
+                    ep.allgather(rank * 10).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![0, 10, 20, 30]);
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let eps = cluster::<Vec<f32>>(4, fast_config());
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|ep| {
+                std::thread::spawn(move || {
+                    let mut buf = vec![ep.rank() as f32 + 1.0, 2.0];
+                    ep.allreduce_sum(&mut buf).unwrap();
+                    buf
+                })
+            })
+            .collect();
+        for h in handles {
+            // 1+2+3+4 = 10; 2*4 = 8.
+            assert_eq!(h.join().unwrap(), vec![10.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let eps = cluster::<u64>(3, fast_config());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|ep| {
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    ep.barrier();
+                    // Everyone must have incremented before anyone passes.
+                    assert_eq!(counter.load(Ordering::SeqCst), 3);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn message_order_is_preserved_per_sender() {
+        let mut eps = cluster::<u64>(2, fast_config());
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        for i in 0..100 {
+            a.send(1, i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(b.recv().unwrap().msg, i);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the cluster substrate: collectives are
+//! correct for any world size and payload.
+
+use nopfs_net::{cluster, NetConfig};
+use nopfs_util::timing::TimeScale;
+use proptest::prelude::*;
+
+fn fast() -> NetConfig {
+    NetConfig {
+        bandwidth: 1e12,
+        latency: 0.0,
+        scale: TimeScale::realtime(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Allgather returns everyone's contribution, rank-indexed, on
+    /// every rank, for any world size.
+    #[test]
+    fn allgather_correct(n in 1usize..6, base in any::<u64>()) {
+        let eps = cluster::<u64>(n, fast());
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|ep| {
+                std::thread::spawn(move || {
+                    let mine = base.wrapping_add(ep.rank() as u64);
+                    ep.allgather(mine).expect("allgather")
+                })
+            })
+            .collect();
+        let expect: Vec<u64> = (0..n).map(|r| base.wrapping_add(r as u64)).collect();
+        for h in handles {
+            prop_assert_eq!(h.join().expect("rank"), expect.clone());
+        }
+    }
+
+    /// Allreduce computes the exact sum on every rank for arbitrary
+    /// float vectors (within f32 associativity tolerance).
+    #[test]
+    fn allreduce_sums(
+        n in 1usize..6,
+        values in prop::collection::vec(-1e3f32..1e3, 1..20),
+    ) {
+        let eps = cluster::<Vec<f32>>(n, fast());
+        let len = values.len();
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|ep| {
+                let mut buf: Vec<f32> = values
+                    .iter()
+                    .map(|v| v + ep.rank() as f32)
+                    .collect();
+                std::thread::spawn(move || {
+                    ep.allreduce_sum(&mut buf).expect("allreduce");
+                    buf
+                })
+            })
+            .collect();
+        // Expected: n*v + (0 + 1 + ... + n-1) per element.
+        let rank_sum = (n * (n - 1) / 2) as f32;
+        let expect: Vec<f32> = values.iter().map(|v| v * n as f32 + rank_sum).collect();
+        for h in handles {
+            let got = h.join().expect("rank");
+            prop_assert_eq!(got.len(), len);
+            for (g, e) in got.iter().zip(&expect) {
+                prop_assert!((g - e).abs() <= 1e-2 + e.abs() * 1e-5, "{g} vs {e}");
+            }
+        }
+    }
+
+    /// Per-sender FIFO ordering holds for any message count.
+    #[test]
+    fn fifo_per_sender(count in 1u64..200) {
+        let mut eps = cluster::<u64>(2, fast());
+        let b = eps.pop().expect("rank 1");
+        let a = eps.pop().expect("rank 0");
+        let sender = std::thread::spawn(move || {
+            for i in 0..count {
+                a.send(1, i).expect("send");
+            }
+        });
+        for i in 0..count {
+            prop_assert_eq!(b.recv().expect("recv").msg, i);
+        }
+        sender.join().expect("sender");
+    }
+}

@@ -1,0 +1,554 @@
+//! The "system-wide configuration file" of Sec. 5.2.2.
+//!
+//! NoPFS reads its performance-model parameters from a small INI-style
+//! file; unmeasured curve points are inferred by the linear regression
+//! built into [`ThroughputCurve`]. The format:
+//!
+//! ```ini
+//! # comments with '#' or ';'
+//! [system]
+//! name = my-cluster
+//! workers = 4
+//! compute_mbps = 64
+//! preprocess_mbps = 200
+//! interconnect_mbps = 24000
+//!
+//! [pfs]
+//! read_mbps = 1:330, 2:730, 4:1540, 8:2870   # count:MB/s pairs, or one flat rate
+//!
+//! [staging]
+//! capacity_gb = 5
+//! threads = 8
+//! read_mbps = 8:111000
+//!
+//! [class.ram]          # classes appear fastest-first
+//! capacity_gb = 120
+//! threads = 4
+//! read_mbps = 4:85000
+//! # write_mbps defaults to read_mbps
+//! ```
+//!
+//! No external serialization crate is used: the approved dependency list
+//! has no format crate for `serde`, and this format is simple enough
+//! that a hand-rolled parser with precise line-numbered errors is the
+//! more maintainable choice.
+
+use crate::curve::ThroughputCurve;
+use crate::system::{StagingSpec, StorageClass, SystemSpec};
+use nopfs_util::units::{GB, MB};
+
+/// A parse or validation error, with the 1-based line it occurred on
+/// (0 for whole-document errors such as a missing section).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line number; 0 when no single line is at fault.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "config error: {}", self.message)
+        } else {
+            write!(f, "config error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ConfigError> {
+    Err(ConfigError {
+        line,
+        message: message.into(),
+    })
+}
+
+#[derive(Debug)]
+struct Section {
+    name: String,
+    line: usize,
+    entries: Vec<(String, String, usize)>,
+}
+
+impl Section {
+    fn get(&self, key: &str) -> Option<(&str, usize)> {
+        self.entries
+            .iter()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, v, l)| (v.as_str(), *l))
+    }
+
+    fn require(&self, key: &str) -> Result<(&str, usize), ConfigError> {
+        self.get(key).ok_or(ConfigError {
+            line: self.line,
+            message: format!("section [{}] is missing required key '{key}'", self.name),
+        })
+    }
+}
+
+fn tokenize(text: &str) -> Result<Vec<Section>, ConfigError> {
+    let mut sections: Vec<Section> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = match raw.find(['#', ';']) {
+            Some(idx) => &raw[..idx],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[') {
+            let Some(name) = name.strip_suffix(']') else {
+                return err(line_no, "unterminated section header");
+            };
+            let name = name.trim();
+            if name.is_empty() {
+                return err(line_no, "empty section name");
+            }
+            if sections.iter().any(|s| s.name == name) {
+                return err(line_no, format!("duplicate section [{name}]"));
+            }
+            sections.push(Section {
+                name: name.to_string(),
+                line: line_no,
+                entries: Vec::new(),
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return err(line_no, format!("expected 'key = value', got '{line}'"));
+        };
+        let key = key.trim().to_string();
+        let value = value.trim().to_string();
+        if key.is_empty() {
+            return err(line_no, "empty key");
+        }
+        let Some(section) = sections.last_mut() else {
+            return err(line_no, "key/value pair before any [section]");
+        };
+        if section.entries.iter().any(|(k, _, _)| *k == key) {
+            return err(
+                line_no,
+                format!("duplicate key '{key}' in section [{}]", section.name),
+            );
+        }
+        section.entries.push((key, value, line_no));
+    }
+    Ok(sections)
+}
+
+fn parse_f64(value: &str, line: usize) -> Result<f64, ConfigError> {
+    match value.parse::<f64>() {
+        Ok(x) if x.is_finite() => Ok(x),
+        _ => err(line, format!("'{value}' is not a finite number")),
+    }
+}
+
+fn parse_u32(value: &str, line: usize) -> Result<u32, ConfigError> {
+    value
+        .parse::<u32>()
+        .map_err(|_| ConfigError {
+            line,
+            message: format!("'{value}' is not a non-negative integer"),
+        })
+}
+
+fn parse_usize(value: &str, line: usize) -> Result<usize, ConfigError> {
+    value.parse::<usize>().map_err(|_| ConfigError {
+        line,
+        message: format!("'{value}' is not a non-negative integer"),
+    })
+}
+
+/// Parses a curve value: either `count:MB/s` pairs separated by commas,
+/// or a single flat MB/s rate.
+fn parse_curve_mbps(value: &str, line: usize) -> Result<ThroughputCurve, ConfigError> {
+    let mut points = Vec::new();
+    for part in value.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            return err(line, "empty curve point");
+        }
+        match part.split_once(':') {
+            Some((x, y)) => {
+                let x = parse_f64(x.trim(), line)?;
+                let y = parse_f64(y.trim(), line)?;
+                points.push((x, y * MB));
+            }
+            None => {
+                let y = parse_f64(part, line)?;
+                points.push((1.0, y * MB));
+            }
+        }
+    }
+    if points.is_empty() {
+        return err(line, "curve needs at least one point");
+    }
+    for &(x, y) in &points {
+        if x <= 0.0 || y <= 0.0 {
+            return err(line, "curve points must be positive");
+        }
+    }
+    points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    for w in points.windows(2) {
+        if w[0].0 >= w[1].0 {
+            return err(line, format!("duplicate curve point for count {}", w[0].0));
+        }
+    }
+    Ok(ThroughputCurve::from_points(&points))
+}
+
+/// Parses capacity from `capacity_gb` or `capacity_mb` (exactly one must
+/// be present).
+fn parse_capacity(section: &Section) -> Result<u64, ConfigError> {
+    match (section.get("capacity_gb"), section.get("capacity_mb")) {
+        (Some(_), Some((_, l))) => err(
+            l,
+            format!(
+                "section [{}] has both capacity_gb and capacity_mb",
+                section.name
+            ),
+        ),
+        (Some((v, l)), None) => {
+            let gb = parse_f64(v, l)?;
+            if gb < 0.0 {
+                return err(l, "capacity must be non-negative");
+            }
+            Ok((gb * GB) as u64)
+        }
+        (None, Some((v, l))) => {
+            let mb = parse_f64(v, l)?;
+            if mb < 0.0 {
+                return err(l, "capacity must be non-negative");
+            }
+            Ok((mb * MB) as u64)
+        }
+        (None, None) => err(
+            section.line,
+            format!(
+                "section [{}] needs capacity_gb or capacity_mb",
+                section.name
+            ),
+        ),
+    }
+}
+
+fn parse_class(section: &Section) -> Result<StorageClass, ConfigError> {
+    let name = section
+        .name
+        .strip_prefix("class.")
+        .expect("caller filtered class sections")
+        .to_string();
+    if name.is_empty() {
+        return err(section.line, "class sections are named [class.<name>]");
+    }
+    let capacity = parse_capacity(section)?;
+    let (threads_v, threads_l) = section.require("threads")?;
+    let threads = parse_u32(threads_v, threads_l)?;
+    if threads == 0 {
+        return err(threads_l, "class prefetch threads must be >= 1");
+    }
+    let (read_v, read_l) = section.require("read_mbps")?;
+    let read = parse_curve_mbps(read_v, read_l)?;
+    let write = match section.get("write_mbps") {
+        Some((v, l)) => parse_curve_mbps(v, l)?,
+        None => read.clone(),
+    };
+    Ok(StorageClass {
+        name,
+        capacity,
+        prefetch_threads: threads,
+        read,
+        write,
+    })
+}
+
+/// Parses a full [`SystemSpec`] from configuration text.
+pub fn parse_system_spec(text: &str) -> Result<SystemSpec, ConfigError> {
+    let sections = tokenize(text)?;
+    let find = |name: &str| sections.iter().find(|s| s.name == name);
+
+    let system = find("system")
+        .ok_or_else(|| ConfigError {
+            line: 0,
+            message: "missing required section [system]".into(),
+        })?;
+    let name = system
+        .get("name")
+        .map(|(v, _)| v.to_string())
+        .unwrap_or_else(|| "unnamed".to_string());
+    let (workers_v, workers_l) = system.require("workers")?;
+    let workers = parse_usize(workers_v, workers_l)?;
+    if workers == 0 {
+        return err(workers_l, "workers must be >= 1");
+    }
+    let (c_v, c_l) = system.require("compute_mbps")?;
+    let compute = parse_f64(c_v, c_l)? * MB;
+    let (b_v, b_l) = system.require("preprocess_mbps")?;
+    let preprocess = parse_f64(b_v, b_l)? * MB;
+    let (i_v, i_l) = system.require("interconnect_mbps")?;
+    let interconnect = parse_f64(i_v, i_l)? * MB;
+    if compute <= 0.0 || preprocess <= 0.0 || interconnect <= 0.0 {
+        return err(system.line, "system rates must be positive");
+    }
+
+    let pfs = find("pfs").ok_or_else(|| ConfigError {
+        line: 0,
+        message: "missing required section [pfs]".into(),
+    })?;
+    let (pfs_v, pfs_l) = pfs.require("read_mbps")?;
+    let pfs_read = parse_curve_mbps(pfs_v, pfs_l)?;
+
+    let staging = find("staging").ok_or_else(|| ConfigError {
+        line: 0,
+        message: "missing required section [staging]".into(),
+    })?;
+    let capacity = parse_capacity(staging)?;
+    let (t_v, t_l) = staging.require("threads")?;
+    let threads = parse_u32(t_v, t_l)?;
+    if threads == 0 {
+        return err(t_l, "staging threads must be >= 1 (p_0 >= 1)");
+    }
+    let (r_v, r_l) = staging.require("read_mbps")?;
+    let read = parse_curve_mbps(r_v, r_l)?;
+    let write = match staging.get("write_mbps") {
+        Some((v, l)) => parse_curve_mbps(v, l)?,
+        None => read.clone(),
+    };
+    let staging = StagingSpec {
+        capacity,
+        threads,
+        read,
+        write,
+    };
+
+    let mut classes = Vec::new();
+    for section in &sections {
+        if section.name.starts_with("class.") {
+            classes.push(parse_class(section)?);
+        } else if !["system", "pfs", "staging"].contains(&section.name.as_str()) {
+            return err(section.line, format!("unknown section [{}]", section.name));
+        }
+    }
+
+    let spec = SystemSpec {
+        name,
+        workers,
+        compute,
+        preprocess,
+        interconnect,
+        pfs_read,
+        staging,
+        classes,
+    };
+    spec.validate();
+    Ok(spec)
+}
+
+fn curve_to_string(curve: &ThroughputCurve) -> String {
+    curve
+        .points()
+        .iter()
+        .map(|(x, y)| format!("{}:{}", x, y / MB))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Serializes a spec back to configuration text (round-trips through
+/// [`parse_system_spec`] up to float formatting).
+pub fn to_config_string(spec: &SystemSpec) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "[system]").unwrap();
+    writeln!(out, "name = {}", spec.name).unwrap();
+    writeln!(out, "workers = {}", spec.workers).unwrap();
+    writeln!(out, "compute_mbps = {}", spec.compute / MB).unwrap();
+    writeln!(out, "preprocess_mbps = {}", spec.preprocess / MB).unwrap();
+    writeln!(out, "interconnect_mbps = {}", spec.interconnect / MB).unwrap();
+    writeln!(out).unwrap();
+    writeln!(out, "[pfs]").unwrap();
+    writeln!(out, "read_mbps = {}", curve_to_string(&spec.pfs_read)).unwrap();
+    writeln!(out).unwrap();
+    writeln!(out, "[staging]").unwrap();
+    writeln!(out, "capacity_mb = {}", spec.staging.capacity as f64 / MB).unwrap();
+    writeln!(out, "threads = {}", spec.staging.threads).unwrap();
+    writeln!(out, "read_mbps = {}", curve_to_string(&spec.staging.read)).unwrap();
+    writeln!(out, "write_mbps = {}", curve_to_string(&spec.staging.write)).unwrap();
+    for class in &spec.classes {
+        writeln!(out).unwrap();
+        writeln!(out, "[class.{}]", class.name).unwrap();
+        writeln!(out, "capacity_mb = {}", class.capacity as f64 / MB).unwrap();
+        writeln!(out, "threads = {}", class.prefetch_threads).unwrap();
+        writeln!(out, "read_mbps = {}", curve_to_string(&class.read)).unwrap();
+        writeln!(out, "write_mbps = {}", curve_to_string(&class.write)).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    const GOOD: &str = r#"
+# the paper's Fig. 8 cluster
+[system]
+name = fig8
+workers = 4
+compute_mbps = 64
+preprocess_mbps = 200
+interconnect_mbps = 24000
+
+[pfs]
+read_mbps = 1:330, 2:730, 4:1540, 8:2870
+
+[staging]
+capacity_gb = 5
+threads = 8
+read_mbps = 8:111000
+
+[class.ram]
+capacity_gb = 120
+threads = 4
+read_mbps = 4:85000
+
+[class.ssd]
+capacity_gb = 900
+threads = 2
+read_mbps = 2:4000   ; trailing comment
+"#;
+
+    #[test]
+    fn parses_full_config() {
+        let spec = parse_system_spec(GOOD).unwrap();
+        assert_eq!(spec.name, "fig8");
+        assert_eq!(spec.workers, 4);
+        assert_eq!(spec.classes.len(), 2);
+        assert_eq!(spec.classes[0].name, "ram");
+        assert_eq!(spec.classes[1].name, "ssd");
+        assert_eq!(spec.staging.threads, 8);
+        // Curve round-trips: t(4) = 1540 MB/s.
+        assert!((spec.pfs_read.at(4.0) - 1_540.0 * MB).abs() < 1.0);
+        // write defaults to read.
+        assert_eq!(spec.classes[0].write, spec.classes[0].read);
+    }
+
+    #[test]
+    fn parsed_config_matches_preset() {
+        let parsed = parse_system_spec(GOOD).unwrap();
+        let preset = presets::fig8_small_cluster();
+        assert_eq!(parsed.workers, preset.workers);
+        assert_eq!(parsed.compute, preset.compute);
+        assert_eq!(parsed.staging.capacity, preset.staging.capacity);
+        assert_eq!(
+            parsed.classes[1].capacity,
+            preset.classes[1].capacity
+        );
+    }
+
+    #[test]
+    fn round_trip_through_serializer() {
+        let spec = presets::lassen_like();
+        let text = to_config_string(&spec);
+        let back = parse_system_spec(&text).unwrap();
+        assert_eq!(back.name, spec.name);
+        assert_eq!(back.workers, spec.workers);
+        assert_eq!(back.classes.len(), spec.classes.len());
+        assert!((back.compute - spec.compute).abs() < 1.0);
+        assert!((back.pfs_read.at(4.0) - spec.pfs_read.at(4.0)).abs() < 1.0);
+        for (a, b) in back.classes.iter().zip(&spec.classes) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.capacity, b.capacity);
+            assert_eq!(a.prefetch_threads, b.prefetch_threads);
+        }
+    }
+
+    #[test]
+    fn flat_curve_shorthand() {
+        let text = GOOD.replace("1:330, 2:730, 4:1540, 8:2870", "500");
+        let spec = parse_system_spec(&text).unwrap();
+        assert!((spec.pfs_read.at(1.0) - 500.0 * MB).abs() < 1.0);
+        assert!((spec.pfs_read.at(32.0) - 500.0 * MB).abs() < 1.0);
+    }
+
+    fn expect_err(text: &str, needle: &str) {
+        match parse_system_spec(text) {
+            Err(e) => assert!(
+                e.to_string().contains(needle),
+                "error '{e}' does not mention '{needle}'"
+            ),
+            Ok(_) => panic!("expected error mentioning '{needle}'"),
+        }
+    }
+
+    #[test]
+    fn missing_section_is_reported() {
+        expect_err("[system]\nworkers=1\ncompute_mbps=1\npreprocess_mbps=1\ninterconnect_mbps=1\n", "[pfs]");
+    }
+
+    #[test]
+    fn missing_key_is_reported() {
+        expect_err(&GOOD.replace("workers = 4", "w = 4"), "'workers'");
+    }
+
+    #[test]
+    fn bad_number_is_reported_with_line() {
+        let text = GOOD.replace("compute_mbps = 64", "compute_mbps = fast");
+        let e = parse_system_spec(&text).unwrap_err();
+        assert!(e.line > 0);
+        assert!(e.message.contains("not a finite number"));
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let text = GOOD.replace("workers = 4", "workers = 4\nworkers = 8");
+        expect_err(&text, "duplicate key");
+    }
+
+    #[test]
+    fn duplicate_section_rejected() {
+        let text = format!("{GOOD}\n[pfs]\nread_mbps = 100\n");
+        expect_err(&text, "duplicate section");
+    }
+
+    #[test]
+    fn unknown_section_rejected() {
+        let text = format!("{GOOD}\n[gpu]\ncount = 4\n");
+        expect_err(&text, "unknown section");
+    }
+
+    #[test]
+    fn orphan_key_rejected() {
+        expect_err("workers = 4\n", "before any [section]");
+    }
+
+    #[test]
+    fn zero_staging_threads_rejected() {
+        let text = GOOD.replace("threads = 8", "threads = 0");
+        expect_err(&text, "p_0 >= 1");
+    }
+
+    #[test]
+    fn both_capacity_units_rejected() {
+        let text = GOOD.replace(
+            "[class.ram]\ncapacity_gb = 120",
+            "[class.ram]\ncapacity_gb = 120\ncapacity_mb = 1",
+        );
+        expect_err(&text, "both capacity_gb and capacity_mb");
+    }
+
+    #[test]
+    fn bad_curve_point_rejected() {
+        let text = GOOD.replace("2:4000", "2:-5");
+        expect_err(&text, "positive");
+    }
+
+    #[test]
+    fn unterminated_section_rejected() {
+        expect_err("[system\nworkers = 1\n", "unterminated");
+    }
+}

@@ -1,0 +1,227 @@
+//! System presets used in the paper.
+//!
+//! - [`fig8_small_cluster`] — the exact configuration of the Sec. 6.1
+//!   simulation study ("based on benchmarks of the Lassen
+//!   supercomputer"): N=4 workers, c=64 MB/s, β=200 MB/s, b_c=24 GB/s,
+//!   5 GB staging / 120 GB RAM / 900 GB SSD with 8/4/2 prefetch
+//!   threads and r₀(8)=111 GB/s, r₁(4)=85 GB/s, r₂(2)=4 GB/s, PFS
+//!   t(1)=330, t(2)=730, t(4)=1540, t(8)=2870 MB/s.
+//! - [`piz_daint_like`] / [`lassen_like`] — the evaluation hierarchies of
+//!   Sec. 7 (Fig. 1): Piz Daint ranks get a 5 GiB staging buffer with 4
+//!   threads plus 40 GiB RAM with 2 threads (no local SSD); Lassen ranks
+//!   get 5 GiB staging with 8 threads, 25 GiB RAM with 4 threads, and
+//!   300 GiB SSD with 2 threads. Interconnect and PFS rates follow
+//!   Fig. 1's published link speeds; where the paper gives no measured
+//!   PFS curve for these systems we reuse the Lassen-benchmark shape
+//!   scaled to the system's peak, documented in EXPERIMENTS.md.
+
+use crate::curve::ThroughputCurve;
+use crate::system::{StagingSpec, StorageClass, SystemSpec};
+use nopfs_util::units::{GB, MB};
+
+/// Write curves are rarely measured separately for RAM-like devices; the
+/// paper's simulation config only lists read rates, so presets default
+/// writes to the read curve (correct for RAM, conservative for SSD).
+fn class(
+    name: &str,
+    capacity: f64,
+    threads: u32,
+    read: ThroughputCurve,
+) -> StorageClass {
+    StorageClass {
+        name: name.to_string(),
+        capacity: capacity as u64,
+        prefetch_threads: threads,
+        write: read.clone(),
+        read,
+    }
+}
+
+/// The Lassen-derived PFS curve from Sec. 6.1: near-linear scaling at
+/// ~360 MB/s per additional client over the measured range.
+pub fn lassen_pfs_curve() -> ThroughputCurve {
+    ThroughputCurve::from_points(&[
+        (1.0, 330.0 * MB),
+        (2.0, 730.0 * MB),
+        (4.0, 1_540.0 * MB),
+        (8.0, 2_870.0 * MB),
+    ])
+}
+
+/// A PFS curve that saturates: scales like the Lassen curve up to
+/// `saturation_clients`, then stays flat at `peak` — the behaviour that
+/// creates the contention wall for Naive/double-buffering policies at
+/// scale (PFS bandwidth "often constant or decreasing with many
+/// readers", Sec. 5.1).
+pub fn saturating_pfs_curve(peak: f64, saturation_clients: f64) -> ThroughputCurve {
+    let per_client = peak / saturation_clients;
+    ThroughputCurve::from_points(&[
+        (1.0, per_client),
+        (saturation_clients / 2.0, peak / 2.0),
+        (saturation_clients, peak),
+        (saturation_clients * 4.0, peak * 1.02),
+        (saturation_clients * 16.0, peak * 1.03),
+    ])
+}
+
+/// A PFS curve that *thrashes*: it follows the measured Lassen points
+/// (near-linear, ~360 MB/s per client) up to 8 clients, then aggregate
+/// throughput *decreases* toward `collapse_total` at `collapse_clients`
+/// — the paper's `t(γ)/γ` "often constant or decreasing with many
+/// readers" (Sec. 5.1). Policies with a few synchronous readers see the
+/// fast region; policies whose prefetch threads pile onto the PFS see
+/// the collapse.
+///
+/// # Panics
+/// Panics unless `collapse_clients > 8` and `collapse_total` is
+/// positive.
+pub fn thrashing_pfs_curve(collapse_clients: f64, collapse_total: f64) -> ThroughputCurve {
+    assert!(collapse_clients > 8.0, "collapse must lie beyond the measured range");
+    assert!(collapse_total > 0.0);
+    ThroughputCurve::from_points(&[
+        (1.0, 330.0 * MB),
+        (2.0, 730.0 * MB),
+        (4.0, 1_540.0 * MB),
+        (8.0, 2_870.0 * MB),
+        (collapse_clients, collapse_total),
+    ])
+}
+
+/// The Sec. 6.1 small-cluster simulation configuration (drives Fig. 8).
+pub fn fig8_small_cluster() -> SystemSpec {
+    let spec = SystemSpec {
+        name: "fig8-small-cluster".to_string(),
+        workers: 4,
+        compute: 64.0 * MB,
+        preprocess: 200.0 * MB,
+        interconnect: 24_000.0 * MB,
+        pfs_read: lassen_pfs_curve(),
+        staging: StagingSpec {
+            capacity: (5.0 * GB) as u64,
+            threads: 8,
+            read: ThroughputCurve::from_points(&[(8.0, 111_000.0 * MB)]),
+            write: ThroughputCurve::from_points(&[(8.0, 111_000.0 * MB)]),
+        },
+        classes: vec![
+            class(
+                "ram",
+                120.0 * GB,
+                4,
+                ThroughputCurve::from_points(&[(4.0, 85_000.0 * MB)]),
+            ),
+            class(
+                "ssd",
+                900.0 * GB,
+                2,
+                ThroughputCurve::from_points(&[(2.0, 4_000.0 * MB)]),
+            ),
+        ],
+    };
+    spec.validate();
+    spec
+}
+
+/// A Piz-Daint-like worker (Sec. 7 / Fig. 1): Cray XC50, one P100 rank
+/// per node, 64 GB node RAM (40 GiB usable for NoPFS), Lustre PFS,
+/// Aries dragonfly at ~10 GB/s. No node-local SSD — the configuration
+/// that makes hardware independence matter.
+pub fn piz_daint_like() -> SystemSpec {
+    let spec = SystemSpec {
+        name: "piz-daint".to_string(),
+        workers: 8,
+        compute: 64.0 * MB,
+        preprocess: 200.0 * MB,
+        interconnect: 10_000.0 * MB,
+        // Lustre under contention: saturates near 6 GB/s for this
+        // allocation size (scaled shape; see EXPERIMENTS.md).
+        pfs_read: saturating_pfs_curve(6_000.0 * MB, 16.0),
+        staging: StagingSpec {
+            capacity: (5.0 * GB) as u64,
+            threads: 4,
+            read: ThroughputCurve::from_points(&[(4.0, 60_000.0 * MB)]),
+            write: ThroughputCurve::from_points(&[(4.0, 60_000.0 * MB)]),
+        },
+        classes: vec![class(
+            "ram",
+            40.0 * GB,
+            2,
+            ThroughputCurve::from_points(&[(2.0, 50_000.0 * MB)]),
+        )],
+    };
+    spec.validate();
+    spec
+}
+
+/// A Lassen-like rank (Sec. 7 / Fig. 1): four V100 ranks per node,
+/// 25 GiB RAM + 300 GiB of the node's 1.6 TB NVMe per rank, GPFS,
+/// EDR InfiniBand fat tree (~6 GB/s per rank).
+pub fn lassen_like() -> SystemSpec {
+    let spec = SystemSpec {
+        name: "lassen".to_string(),
+        workers: 8,
+        compute: 64.0 * MB,
+        preprocess: 200.0 * MB,
+        interconnect: 6_000.0 * MB,
+        pfs_read: lassen_pfs_curve(),
+        staging: StagingSpec {
+            capacity: (5.0 * GB) as u64,
+            threads: 8,
+            read: ThroughputCurve::from_points(&[(8.0, 111_000.0 * MB)]),
+            write: ThroughputCurve::from_points(&[(8.0, 111_000.0 * MB)]),
+        },
+        classes: vec![
+            class(
+                "ram",
+                25.0 * GB,
+                4,
+                ThroughputCurve::from_points(&[(4.0, 85_000.0 * MB)]),
+            ),
+            class(
+                "ssd",
+                300.0 * GB,
+                2,
+                ThroughputCurve::from_points(&[(2.0, 4_000.0 * MB)]),
+            ),
+        ],
+    };
+    spec.validate();
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        fig8_small_cluster().validate();
+        piz_daint_like().validate();
+        lassen_like().validate();
+    }
+
+    #[test]
+    fn piz_daint_has_no_ssd() {
+        assert_eq!(piz_daint_like().classes.len(), 1);
+        assert_eq!(piz_daint_like().classes[0].name, "ram");
+    }
+
+    #[test]
+    fn lassen_has_ram_and_ssd() {
+        let l = lassen_like();
+        assert_eq!(l.classes.len(), 2);
+        assert!(l.classes[0].capacity < l.classes[1].capacity);
+        assert!(l.classes[0].read_per_thread() > l.classes[1].read_per_thread());
+    }
+
+    #[test]
+    fn saturating_curve_flattens() {
+        let c = saturating_pfs_curve(6_000.0 * MB, 16.0);
+        let at16 = c.at(16.0);
+        let at64 = c.at(64.0);
+        assert!((at16 - 6_000.0 * MB).abs() < 1.0);
+        // Beyond saturation the aggregate barely grows...
+        assert!(at64 < 6_500.0 * MB);
+        // ...so per-client throughput collapses (the contention wall).
+        assert!(c.per_thread(64.0) < c.per_thread(4.0) / 2.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests of the performance model: physical sanity of
+//! the equations for any inputs.
+
+use nopfs_perfmodel::equations::consume_timeline;
+use nopfs_perfmodel::presets::fig8_small_cluster;
+use nopfs_perfmodel::{Location, ThroughputCurve};
+use proptest::prelude::*;
+
+proptest! {
+    /// Interpolation stays within the envelope of neighbouring
+    /// measurements inside the measured range.
+    #[test]
+    fn interpolation_within_envelope(
+        ys in prop::collection::vec(1.0f64..1e9, 2..8),
+        q in 0.0f64..1.0,
+    ) {
+        let points: Vec<(f64, f64)> = ys
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| ((i + 1) as f64, y))
+            .collect();
+        let curve = ThroughputCurve::from_points(&points);
+        let x = 1.0 + q * (points.len() as f64 - 1.0);
+        let v = curve.at(x);
+        let idx = ((x - 1.0).floor() as usize).min(points.len() - 2);
+        let (lo, hi) = (
+            points[idx].1.min(points[idx + 1].1),
+            points[idx].1.max(points[idx + 1].1),
+        );
+        prop_assert!(v >= lo - 1e-6 && v <= hi + 1e-6, "{v} outside [{lo}, {hi}]");
+    }
+
+    /// Curves never report non-positive throughput, even extrapolated.
+    #[test]
+    fn curves_stay_positive(
+        ys in prop::collection::vec(1.0f64..1e9, 1..6),
+        x in 0.001f64..10_000.0,
+    ) {
+        let points: Vec<(f64, f64)> = ys
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| ((i + 1) as f64, y))
+            .collect();
+        let curve = ThroughputCurve::from_points(&points);
+        prop_assert!(curve.at(x) > 0.0);
+    }
+
+    /// Fetch times are positive and ordered sensibly for the preset
+    /// system: local RAM <= remote RAM (network can only slow it) and a
+    /// PFS read under more contention is never faster.
+    #[test]
+    fn fetch_time_orderings(size in 1u64..100_000_000, g1 in 1usize..8, extra in 0usize..32) {
+        let sys = fig8_small_cluster();
+        let local = sys.fetch_time(Location::Local(0), size, 1);
+        let remote = sys.fetch_time(Location::Remote(0), size, 1);
+        prop_assert!(local > 0.0 && remote >= local);
+        let g2 = g1 + extra;
+        let near = sys.fetch_pfs(size, g1);
+        let far = sys.fetch_pfs(size, g2);
+        // The Lassen curve's per-client share is non-increasing in γ
+        // beyond its superlinear start, up to a small wobble where the
+        // regression extrapolation takes over past the measured range.
+        if g1 >= 4 {
+            prop_assert!(far >= near * 0.98, "γ={g1}->{g2}: {near} -> {far}");
+        }
+    }
+
+    /// The consumption recurrence is monotone (times never go backward)
+    /// and total time is at least both the pure-compute and the
+    /// pure-I/O bound.
+    #[test]
+    fn recurrence_bounds(
+        reads in prop::collection::vec(0.0f64..2.0, 1..60),
+        sizes in prop::collection::vec(1u64..10_000, 1..60),
+        compute in 1.0f64..1e7,
+        p0 in 1u32..8,
+    ) {
+        let n = reads.len().min(sizes.len());
+        let (reads, sizes) = (&reads[..n], &sizes[..n]);
+        let tl = consume_timeline(reads, sizes, compute, p0);
+        let mut prev = 0.0;
+        for a in &tl.accesses {
+            prop_assert!(a.consumed >= prev - 1e-12);
+            prop_assert!(a.stall >= 0.0);
+            prev = a.consumed;
+        }
+        let compute_bound: f64 = sizes.iter().map(|&s| s as f64 / compute).sum();
+        let io_bound: f64 = reads.iter().sum::<f64>() / f64::from(p0);
+        prop_assert!(tl.total_time >= compute_bound - 1e-9);
+        prop_assert!(tl.total_time >= io_bound - 1e-9);
+        prop_assert!(tl.total_stall <= tl.total_time + 1e-9);
+    }
+}

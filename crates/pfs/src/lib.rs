@@ -1,0 +1,411 @@
+//! A synthetic parallel filesystem (PFS) for runtime experiments.
+//!
+//! The paper's experiments start with data at rest on GPFS or Lustre and
+//! revolve around one property of such systems: aggregate random-read
+//! throughput is a function `t(γ)` of the number of concurrent clients —
+//! near-linear at first, then saturating, so that per-client bandwidth
+//! collapses as training jobs scale out. No real PFS is available here,
+//! so this crate substitutes one: objects live in memory or in a local
+//! directory, and every read is paced through a shared regulator whose
+//! aggregate rate tracks a configurable `t(γ)` curve of the *live reader
+//! count*. Real bytes move through the same code paths a real PFS client
+//! would exercise (lookup, read, checksum-able contents), and the
+//! contention behaviour — the thing the paper's results hinge on — is
+//! reproduced faithfully.
+//!
+//! Reads optionally inject faults for failure-path testing.
+
+use bytes::Bytes;
+use nopfs_perfmodel::ThroughputCurve;
+use nopfs_util::rate::TokenBucket;
+use nopfs_util::timing::TimeScale;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Object key: the dense sample id used across the workspace.
+pub type ObjectId = u64;
+
+/// PFS errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PfsError {
+    /// No object with this id exists.
+    NotFound(ObjectId),
+    /// An injected or real I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for PfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PfsError::NotFound(id) => write!(f, "object {id} not found"),
+            PfsError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PfsError {}
+
+/// Where object payloads live.
+enum Store {
+    Memory(RwLock<HashMap<ObjectId, Bytes>>),
+    Disk {
+        dir: PathBuf,
+        /// Sizes are kept in memory so metadata queries don't touch disk.
+        sizes: RwLock<HashMap<ObjectId, u64>>,
+    },
+}
+
+/// Cumulative counters for reporting.
+#[derive(Debug, Default)]
+struct Stats {
+    reads: AtomicU64,
+    bytes_read: AtomicU64,
+    writes: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+/// The synthetic parallel filesystem. Cloneable handle (`Arc` inside);
+/// every clone shares the same regulator — that is the contention.
+#[derive(Clone)]
+pub struct Pfs {
+    inner: Arc<PfsInner>,
+}
+
+struct PfsInner {
+    store: Store,
+    curve: ThroughputCurve,
+    scale: TimeScale,
+    regulator: TokenBucket,
+    readers: AtomicUsize,
+    stats: Stats,
+    /// Injected faults: id → remaining failures to serve.
+    faults: Mutex<HashMap<ObjectId, u32>>,
+}
+
+impl Pfs {
+    /// An in-memory PFS paced by `curve` (model bytes/s as a function of
+    /// reader count) under `scale`.
+    pub fn in_memory(curve: ThroughputCurve, scale: TimeScale) -> Self {
+        Self::build(Store::Memory(RwLock::new(HashMap::new())), curve, scale)
+    }
+
+    /// A disk-backed PFS storing objects as files under `dir`
+    /// (created if missing).
+    ///
+    /// # Panics
+    /// Panics if the directory cannot be created.
+    pub fn on_disk(dir: impl Into<PathBuf>, curve: ThroughputCurve, scale: TimeScale) -> Self {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).expect("failed to create PFS directory");
+        Self::build(
+            Store::Disk {
+                dir,
+                sizes: RwLock::new(HashMap::new()),
+            },
+            curve,
+            scale,
+        )
+    }
+
+    fn build(store: Store, curve: ThroughputCurve, scale: TimeScale) -> Self {
+        let initial = scale.rate_to_wall(curve.at(1.0));
+        Self {
+            inner: Arc::new(PfsInner {
+                store,
+                curve,
+                scale,
+                regulator: TokenBucket::with_burst_window(initial, 0.01),
+                readers: AtomicUsize::new(0),
+                stats: Stats::default(),
+                faults: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    fn object_path(dir: &std::path::Path, id: ObjectId) -> PathBuf {
+        // Two-level fan-out keeps directories small for large datasets.
+        dir.join(format!("{:03}", id % 997)).join(format!("{id}.bin"))
+    }
+
+    /// Stores an object (dataset materialization; not paced — the paper's
+    /// runs start "with data at rest on a PFS").
+    pub fn put(&self, id: ObjectId, data: Bytes) {
+        self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        match &self.inner.store {
+            Store::Memory(map) => {
+                map.write().insert(id, data);
+            }
+            Store::Disk { dir, sizes } => {
+                let path = Self::object_path(dir, id);
+                std::fs::create_dir_all(path.parent().expect("object path has a parent"))
+                    .expect("failed to create PFS fan-out directory");
+                std::fs::write(&path, &data).expect("failed to write PFS object");
+                sizes.write().insert(id, data.len() as u64);
+            }
+        }
+    }
+
+    /// Size of an object without reading it (metadata operation, free).
+    pub fn size_of(&self, id: ObjectId) -> Option<u64> {
+        match &self.inner.store {
+            Store::Memory(map) => map.read().get(&id).map(|b| b.len() as u64),
+            Store::Disk { sizes, .. } => sizes.read().get(&id).copied(),
+        }
+    }
+
+    /// Whether an object exists.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.size_of(id).is_some()
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        match &self.inner.store {
+            Store::Memory(map) => map.read().len(),
+            Store::Disk { sizes, .. } => sizes.read().len(),
+        }
+    }
+
+    /// Whether the PFS is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads an object, paying the contention-modelled cost: the caller
+    /// joins the reader set, the shared regulator's aggregate rate is
+    /// set to `t(γ)` for the live reader count `γ`, and the read is
+    /// paced through it.
+    pub fn read(&self, id: ObjectId) -> Result<Bytes, PfsError> {
+        // Injected faults fire before any pacing, like a failed RPC.
+        if let Some(remaining) = self.inner.faults.lock().get_mut(&id) {
+            if *remaining > 0 {
+                *remaining -= 1;
+                return Err(PfsError::Io(format!("injected fault for object {id}")));
+            }
+        }
+
+        let guard = ReaderGuard::enter(&self.inner);
+        let data = match &self.inner.store {
+            Store::Memory(map) => map
+                .read()
+                .get(&id)
+                .cloned()
+                .ok_or(PfsError::NotFound(id))?,
+            Store::Disk { dir, .. } => {
+                let path = Self::object_path(dir, id);
+                match std::fs::read(&path) {
+                    Ok(v) => Bytes::from(v),
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                        return Err(PfsError::NotFound(id))
+                    }
+                    Err(e) => return Err(PfsError::Io(e.to_string())),
+                }
+            }
+        };
+        // Pace the transfer at the current per-reader share.
+        self.inner.regulator.acquire(data.len() as u64);
+        drop(guard);
+        self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .bytes_read
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(data)
+    }
+
+    /// Current number of in-flight readers (`γ`).
+    pub fn reader_count(&self) -> usize {
+        self.inner.readers.load(Ordering::Relaxed)
+    }
+
+    /// The modelled aggregate read rate at `gamma` clients, model bytes/s.
+    pub fn rate_at(&self, gamma: usize) -> f64 {
+        self.inner.curve.at(gamma.max(1) as f64)
+    }
+
+    /// Makes the next `times` reads of `id` fail with an I/O error
+    /// (failure-injection hook for tests).
+    pub fn inject_fault(&self, id: ObjectId, times: u32) {
+        self.inner.faults.lock().insert(id, times);
+    }
+
+    /// `(reads, bytes_read, writes, bytes_written)` so far.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.inner.stats.reads.load(Ordering::Relaxed),
+            self.inner.stats.bytes_read.load(Ordering::Relaxed),
+            self.inner.stats.writes.load(Ordering::Relaxed),
+            self.inner.stats.bytes_written.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// RAII reader registration: adjusts γ and retunes the shared regulator
+/// on entry and exit.
+struct ReaderGuard<'a> {
+    inner: &'a PfsInner,
+}
+
+impl<'a> ReaderGuard<'a> {
+    fn enter(inner: &'a PfsInner) -> Self {
+        let gamma = inner.readers.fetch_add(1, Ordering::SeqCst) + 1;
+        inner
+            .regulator
+            .set_rate(inner.scale.rate_to_wall(inner.curve.at(gamma as f64)).max(1.0));
+        Self { inner }
+    }
+}
+
+impl Drop for ReaderGuard<'_> {
+    fn drop(&mut self) {
+        let prev = self.inner.readers.fetch_sub(1, Ordering::SeqCst);
+        let gamma = prev.saturating_sub(1).max(1);
+        self.inner
+            .regulator
+            .set_rate(self.inner.scale.rate_to_wall(self.inner.curve.at(gamma as f64)).max(1.0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn fast_curve() -> ThroughputCurve {
+        ThroughputCurve::flat(1.0e9)
+    }
+
+    #[test]
+    fn put_and_read_round_trip() {
+        let pfs = Pfs::in_memory(fast_curve(), TimeScale::realtime());
+        pfs.put(7, Bytes::from(vec![1, 2, 3]));
+        assert_eq!(pfs.read(7).unwrap(), Bytes::from(vec![1, 2, 3]));
+        assert_eq!(pfs.size_of(7), Some(3));
+        assert!(pfs.contains(7));
+        assert_eq!(pfs.len(), 1);
+    }
+
+    #[test]
+    fn missing_object_is_not_found() {
+        let pfs = Pfs::in_memory(fast_curve(), TimeScale::realtime());
+        assert_eq!(pfs.read(1), Err(PfsError::NotFound(1)));
+        assert_eq!(pfs.size_of(1), None);
+    }
+
+    #[test]
+    fn disk_backed_round_trip() {
+        let dir = std::env::temp_dir().join(format!("nopfs-pfs-test-{}", std::process::id()));
+        let pfs = Pfs::on_disk(&dir, fast_curve(), TimeScale::realtime());
+        let payload = Bytes::from((0..=255u8).collect::<Vec<_>>());
+        pfs.put(123, payload.clone());
+        assert_eq!(pfs.read(123).unwrap(), payload);
+        assert_eq!(pfs.size_of(123), Some(256));
+        assert_eq!(pfs.read(99), Err(PfsError::NotFound(99)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reads_are_paced_by_the_curve() {
+        // 1 MB/s model rate, realtime: 100 KB should take ~100 ms.
+        let pfs = Pfs::in_memory(ThroughputCurve::flat(1.0e6), TimeScale::realtime());
+        pfs.put(1, Bytes::from(vec![0u8; 100_000]));
+        pfs.read(1).unwrap(); // drain the small burst allowance
+        let t0 = Instant::now();
+        pfs.read(1).unwrap();
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(dt > 0.06, "read unrealistically fast: {dt}s");
+        assert!(dt < 0.5, "read unrealistically slow: {dt}s");
+    }
+
+    #[test]
+    fn time_scale_compresses_read_time() {
+        // Same data, 100x compressed time: ~1 ms instead of ~100 ms.
+        let pfs = Pfs::in_memory(ThroughputCurve::flat(1.0e6), TimeScale::new(0.01));
+        pfs.put(1, Bytes::from(vec![0u8; 100_000]));
+        pfs.read(1).unwrap();
+        let t0 = Instant::now();
+        pfs.read(1).unwrap();
+        assert!(t0.elapsed().as_secs_f64() < 0.05);
+    }
+
+    #[test]
+    fn contention_throttles_aggregate_rate() {
+        // Saturating curve: t(1) = 4 MB/s, flat at 4 MB/s for more
+        // readers. Two concurrent readers should each see ~half.
+        let curve = ThroughputCurve::from_points(&[(1.0, 4.0e6), (8.0, 4.1e6)]);
+        let pfs = Pfs::in_memory(curve, TimeScale::realtime());
+        let size = 200_000; // 50 ms alone, ~100 ms with contention
+        pfs.put(1, Bytes::from(vec![0u8; size]));
+        pfs.put(2, Bytes::from(vec![0u8; size]));
+        pfs.read(1).unwrap(); // drain burst
+        let t0 = Instant::now();
+        let p2 = pfs.clone();
+        let h = std::thread::spawn(move || p2.read(2).unwrap());
+        pfs.read(1).unwrap();
+        h.join().unwrap();
+        let both = t0.elapsed().as_secs_f64();
+        // 400 KB total at 4 MB/s aggregate = 100 ms, not 50.
+        assert!(both > 0.08, "contention not applied: {both}s");
+    }
+
+    #[test]
+    fn reader_count_tracks_inflight_reads() {
+        let pfs = Pfs::in_memory(ThroughputCurve::flat(2.0e6), TimeScale::realtime());
+        pfs.put(1, Bytes::from(vec![0u8; 300_000]));
+        assert_eq!(pfs.reader_count(), 0);
+        let p2 = pfs.clone();
+        let h = std::thread::spawn(move || p2.read(1).unwrap());
+        // Poll while the read is in flight.
+        let mut saw_reader = false;
+        for _ in 0..200 {
+            if pfs.reader_count() > 0 {
+                saw_reader = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        h.join().unwrap();
+        assert!(saw_reader, "reader never observed in flight");
+        assert_eq!(pfs.reader_count(), 0);
+    }
+
+    #[test]
+    fn fault_injection_fails_then_recovers() {
+        let pfs = Pfs::in_memory(fast_curve(), TimeScale::realtime());
+        pfs.put(5, Bytes::from(vec![9u8; 10]));
+        pfs.inject_fault(5, 2);
+        assert!(matches!(pfs.read(5), Err(PfsError::Io(_))));
+        assert!(matches!(pfs.read(5), Err(PfsError::Io(_))));
+        assert_eq!(pfs.read(5).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let pfs = Pfs::in_memory(fast_curve(), TimeScale::realtime());
+        pfs.put(1, Bytes::from(vec![0u8; 100]));
+        pfs.put(2, Bytes::from(vec![0u8; 50]));
+        pfs.read(1).unwrap();
+        pfs.read(1).unwrap();
+        let (reads, bytes_read, writes, bytes_written) = pfs.stats();
+        assert_eq!(reads, 2);
+        assert_eq!(bytes_read, 200);
+        assert_eq!(writes, 2);
+        assert_eq!(bytes_written, 150);
+    }
+
+    #[test]
+    fn rate_at_follows_curve() {
+        let curve = ThroughputCurve::from_points(&[(1.0, 330.0e6), (8.0, 2_870.0e6)]);
+        let pfs = Pfs::in_memory(curve, TimeScale::realtime());
+        assert!((pfs.rate_at(1) - 330.0e6).abs() < 1.0);
+        assert!((pfs.rate_at(8) - 2_870.0e6).abs() < 1.0);
+        assert_eq!(pfs.rate_at(0), pfs.rate_at(1));
+    }
+}

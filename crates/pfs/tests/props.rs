@@ -1,0 +1,60 @@
+//! Property-based tests for the synthetic PFS: storage is faithful for
+//! arbitrary objects, and fault injection is exact.
+
+use bytes::Bytes;
+use nopfs_pfs::{Pfs, PfsError};
+use nopfs_perfmodel::ThroughputCurve;
+use nopfs_util::timing::TimeScale;
+use proptest::prelude::*;
+
+fn fast() -> Pfs {
+    Pfs::in_memory(ThroughputCurve::flat(1e12), TimeScale::realtime())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever is put is read back byte-for-byte, sizes agree, and
+    /// overwrites take effect.
+    #[test]
+    fn round_trip_arbitrary_objects(
+        objects in prop::collection::hash_map(any::<u64>(), prop::collection::vec(any::<u8>(), 0..512), 1..30)
+    ) {
+        let pfs = fast();
+        for (&id, data) in &objects {
+            pfs.put(id, Bytes::from(data.clone()));
+        }
+        prop_assert_eq!(pfs.len(), objects.len());
+        for (&id, data) in &objects {
+            prop_assert_eq!(pfs.size_of(id), Some(data.len() as u64));
+            let read = pfs.read(id).expect("present");
+            prop_assert_eq!(read.as_ref(), data.as_slice());
+        }
+        // Overwrite one object and confirm the replacement wins.
+        if let Some((&id, _)) = objects.iter().next() {
+            pfs.put(id, Bytes::from_static(b"replacement"));
+            prop_assert_eq!(pfs.read(id).expect("present"), Bytes::from_static(b"replacement"));
+        }
+    }
+
+    /// Injected faults fire exactly `times` times, then reads recover.
+    #[test]
+    fn fault_injection_is_exact(times in 0u32..5) {
+        let pfs = fast();
+        pfs.put(1, Bytes::from_static(b"x"));
+        pfs.inject_fault(1, times);
+        for _ in 0..times {
+            prop_assert!(matches!(pfs.read(1), Err(PfsError::Io(_))));
+        }
+        prop_assert!(pfs.read(1).is_ok());
+    }
+
+    /// Reads of absent objects report NotFound, never panic, for any id.
+    #[test]
+    fn absent_objects_are_not_found(id in any::<u64>()) {
+        let pfs = fast();
+        prop_assert_eq!(pfs.read(id), Err(PfsError::NotFound(id)));
+        prop_assert_eq!(pfs.size_of(id), None);
+        prop_assert!(!pfs.contains(id));
+    }
+}

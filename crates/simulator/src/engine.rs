@@ -1,0 +1,437 @@
+//! The lockstep simulation engine.
+//!
+//! Workers advance iteration by iteration (global mini-batch by global
+//! mini-batch, the bulk-synchronous structure of data-parallel SGD). For
+//! every access the active policy picks a fetch source; the engine turns
+//! that into a `read_i` time via the performance model, feeds the
+//! `t_{i,f}` recurrence, and attributes the resulting stall to the
+//! source (see [`crate::result::Breakdown`]).
+//!
+//! PFS contention is tracked dynamically: `γ` is the number of PFS
+//! *clients* (reader threads) observed in the previous iteration —
+//! `p_0` per prefetching worker, one for synchronous readers — so
+//! policies that stop hitting the PFS (because caches warmed up) see
+//! the per-client share `t(γ)/γ` improve as the run progresses, while
+//! policies that hammer the PFS see it collapse as workers are added.
+//! This is the feedback loop behind the paper's scaling results.
+
+use crate::policies;
+use crate::policy::Policy;
+use crate::result::{Breakdown, SimError, SimResult};
+use crate::scenario::Scenario;
+use nopfs_perfmodel::equations::ConsumeAccumulator;
+use nopfs_perfmodel::Location;
+
+/// Per-worker consumption state: either the pipelined `t_{i,f}`
+/// recurrence (policies with prefetch threads) or fully serialized
+/// consumption (the Naive policy, which reads synchronously).
+enum Acc {
+    Overlapped(ConsumeAccumulator),
+    Serial {
+        compute: f64,
+        t: f64,
+        prev_size: u64,
+        stall: f64,
+    },
+}
+
+impl Acc {
+    fn new(compute: f64, p0: u32, overlapped: bool) -> Self {
+        if overlapped {
+            Acc::Overlapped(ConsumeAccumulator::new(compute, p0))
+        } else {
+            Acc::Serial {
+                compute,
+                t: 0.0,
+                prev_size: 0,
+                stall: 0.0,
+            }
+        }
+    }
+
+    /// Records an access; returns `(consumed_at, stall)`.
+    fn push(&mut self, read: f64, size: u64) -> (f64, f64) {
+        match self {
+            Acc::Overlapped(a) => {
+                let timing = a.push(read, size);
+                (timing.consumed, timing.stall)
+            }
+            Acc::Serial {
+                compute,
+                t,
+                prev_size,
+                stall,
+            } => {
+                // No overlap: the trainer finishes computing, then waits
+                // out the entire read.
+                let ready = *t + *prev_size as f64 / *compute;
+                let consumed = ready + read;
+                *t = consumed;
+                *prev_size = size;
+                *stall += read;
+                (consumed, read)
+            }
+        }
+    }
+
+    fn last(&self) -> f64 {
+        match self {
+            Acc::Overlapped(a) => a.last_consumed(),
+            Acc::Serial { t, .. } => *t,
+        }
+    }
+
+    fn total_stall(&self) -> f64 {
+        match self {
+            Acc::Overlapped(a) => a.total_stall(),
+            Acc::Serial { stall, .. } => *stall,
+        }
+    }
+
+    fn finish(&self) -> f64 {
+        match self {
+            Acc::Overlapped(a) => a.finish(),
+            Acc::Serial {
+                compute,
+                t,
+                prev_size,
+                ..
+            } => *t + *prev_size as f64 / *compute,
+        }
+    }
+}
+
+fn loc_index(loc: Location) -> usize {
+    match loc {
+        Location::Staging => 0,
+        Location::Local(_) => 1,
+        Location::Remote(_) => 2,
+        Location::Pfs => 3,
+    }
+}
+
+/// Simulates `policy` on `scenario`.
+///
+/// Returns [`SimError::Unsupported`] when the policy cannot run the
+/// scenario (e.g. the LBANN data store with a dataset larger than
+/// aggregate worker memory).
+pub fn run(scenario: &Scenario, policy: Policy) -> Result<SimResult, SimError> {
+    let mut p = policies::build(policy, scenario)?;
+    let sys = &scenario.system;
+    let n = sys.workers;
+    let b = scenario.batch_size;
+    let spec = scenario.shuffle_spec();
+
+    let mut accs: Vec<Acc> = (0..n)
+        .map(|_| Acc::new(sys.compute, sys.staging.threads, p.overlapped()))
+        .collect();
+    let mut prev_consumed = vec![0.0f64; n];
+    let mut breakdown = Breakdown::default();
+    let mut fetch_counts = [0u64; 4];
+
+    // γ: PFS clients observed last iteration. Starts pessimistic (every
+    // worker's readers on the PFS), which epoch 0 will realize anyway.
+    let threads_per_worker = if p.overlapped() {
+        sys.staging.threads as usize
+    } else {
+        1
+    };
+    let mut gamma = (n * threads_per_worker).max(1);
+
+    for epoch in 0..scenario.epochs {
+        let shuffle = spec.epoch_shuffle(epoch);
+        p.on_epoch_start(epoch);
+        let seqs: Vec<Vec<u64>> = (0..n).map(|w| shuffle.worker_sequence(w)).collect();
+        let seqs = p.transform_epoch(epoch, seqs, &shuffle);
+        let iterations = seqs
+            .iter()
+            .map(|s| s.len().div_ceil(b))
+            .max()
+            .unwrap_or(0);
+        for h in 0..iterations {
+            let mut pfs_workers = 0usize;
+            for w in 0..n {
+                let seq = &seqs[w];
+                let lo = h * b;
+                if lo >= seq.len() {
+                    continue;
+                }
+                let hi = ((h + 1) * b).min(seq.len());
+                let mut used_pfs = false;
+                for &k in &seq[lo..hi] {
+                    let now = accs[w].last();
+                    let size = scenario.sizes[k as usize];
+                    let loc = p.source(w, k, size, now, gamma);
+                    let read = sys.read_time(loc, size, gamma);
+                    let (consumed, stall) = accs[w].push(read, size);
+                    let interval = consumed - prev_consumed[w];
+                    // Attribute to the fetch source both the stall and
+                    // the overlapped fetch activity within the interval
+                    // (Fig. 8's bars show where fetch time was spent,
+                    // not only where the trainer blocked).
+                    let busy = (interval - stall).max(0.0);
+                    let overlapped_fetch = read.min(busy);
+                    breakdown.attribute(loc, stall + overlapped_fetch, busy - overlapped_fetch);
+                    prev_consumed[w] = consumed;
+                    fetch_counts[loc_index(loc)] += 1;
+                    used_pfs |= matches!(loc, Location::Pfs);
+                    p.on_consumed(w, k, consumed);
+                }
+                if used_pfs {
+                    pfs_workers += 1;
+                }
+            }
+            gamma = (pfs_workers * threads_per_worker).max(1);
+        }
+        if std::env::var_os("NOPFS_SIM_DEBUG").is_some() {
+            eprintln!(
+                "epoch {epoch}: w0 consumed={:.3} stall={:.3} pfs_total={} gamma={gamma}",
+                accs[0].last(),
+                accs[0].total_stall(),
+                fetch_counts[3],
+            );
+        }
+    }
+
+    let prestage = p.prestage_seconds();
+    if prestage > 0.0 {
+        // The prestaging phase reads from the PFS on every worker
+        // simultaneously and nothing overlaps it.
+        breakdown.pfs += prestage * n as f64;
+    }
+    let per_worker_time: Vec<f64> = accs.iter().map(|a| a.finish() + prestage).collect();
+    let per_worker_stall: Vec<f64> = accs.iter().map(Acc::total_stall).collect();
+    let execution_time = per_worker_time.iter().copied().fold(0.0, f64::max);
+
+    Ok(SimResult {
+        policy,
+        execution_time,
+        per_worker_time,
+        prestage_time: prestage,
+        per_worker_stall,
+        breakdown,
+        fetch_counts,
+        coverage: p.coverage(),
+        note: p.note(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nopfs_perfmodel::presets::{fig8_small_cluster, saturating_pfs_curve};
+    use nopfs_util::units::MB;
+
+    /// A small scenario where the PFS is a genuine bottleneck: aggregate
+    /// PFS saturates at ~2x one worker's compute demand, so policies
+    /// that keep hitting the PFS stall while cache-based policies don't.
+    fn contended_scenario() -> Scenario {
+        let mut sys = fig8_small_cluster();
+        // Aggregate PFS saturates below the cluster's compute demand
+        // (4 workers x 64 MB/s = 256 MB/s demand vs 200 MB/s PFS), so
+        // PFS-bound policies stall while cache-based policies do not.
+        sys.pfs_read = saturating_pfs_curve(200.0 * MB, 8.0);
+        // Shrink caches so the dataset (~200 MB) spans RAM + SSD:
+        // 60 MB RAM, 200 MB SSD per worker.
+        sys.classes[0].capacity = 60 * 1_000_000;
+        sys.classes[1].capacity = 200 * 1_000_000;
+        sys.staging.capacity = 16 * 1_000_000;
+        Scenario::new(
+            "contended",
+            sys,
+            vec![100_000u64; 2_000], // 200 MB, 2000 samples
+            3,
+            8,
+            42,
+        )
+    }
+
+    #[test]
+    fn perfect_has_negligible_stall() {
+        let r = run(&contended_scenario(), Policy::Perfect).unwrap();
+        // Only pipeline-warmup stall is allowed (first few accesses).
+        assert!(
+            r.total_stall() < 0.05 * r.execution_time,
+            "stall {} vs exec {}",
+            r.total_stall(),
+            r.execution_time
+        );
+        let (staging, _, _, pfs) = r.breakdown.fractions();
+        assert!(staging > 0.95, "staging fraction {staging}");
+        assert!(pfs < 0.01);
+    }
+
+    #[test]
+    fn naive_is_the_slowest() {
+        let s = contended_scenario();
+        let naive = run(&s, Policy::Naive).unwrap();
+        for p in [
+            Policy::Perfect,
+            Policy::StagingBuffer,
+            Policy::NoPfs,
+            Policy::LocalityAware,
+        ] {
+            let r = run(&s, p).unwrap();
+            assert!(
+                naive.execution_time >= r.execution_time,
+                "Naive ({}) should not beat {p} ({})",
+                naive.execution_time,
+                r.execution_time
+            );
+        }
+    }
+
+    #[test]
+    fn nopfs_beats_staging_buffer_under_contention() {
+        let s = contended_scenario();
+        let nopfs = run(&s, Policy::NoPfs).unwrap();
+        let sb = run(&s, Policy::StagingBuffer).unwrap();
+        assert!(
+            nopfs.execution_time < sb.execution_time,
+            "NoPFS {} vs StagingBuffer {}",
+            nopfs.execution_time,
+            sb.execution_time
+        );
+    }
+
+    #[test]
+    fn nopfs_is_close_to_lower_bound() {
+        let s = contended_scenario();
+        let nopfs = run(&s, Policy::NoPfs).unwrap();
+        let lb = run(&s, Policy::Perfect).unwrap();
+        assert!(nopfs.execution_time >= lb.execution_time * 0.999);
+        assert!(
+            nopfs.execution_time < lb.execution_time * 1.35,
+            "NoPFS {} too far from bound {}",
+            nopfs.execution_time,
+            lb.execution_time
+        );
+    }
+
+    #[test]
+    fn staging_buffer_time_is_all_pfs_or_staging() {
+        let r = run(&contended_scenario(), Policy::StagingBuffer).unwrap();
+        let (_, local, remote, _) = r.breakdown.fractions();
+        assert_eq!(local, 0.0);
+        assert_eq!(remote, 0.0);
+        assert_eq!(r.fetch_counts[1], 0);
+        assert_eq!(r.fetch_counts[2], 0);
+    }
+
+    #[test]
+    fn fetch_counts_cover_every_access() {
+        let s = contended_scenario();
+        let expected: u64 = (0..4)
+            .map(|w| s.shuffle_spec().worker_epoch_len(w) * s.epochs)
+            .sum();
+        for p in [Policy::Naive, Policy::NoPfs, Policy::LbannDynamic] {
+            let r = run(&s, p).unwrap();
+            let total: u64 = r.fetch_counts.iter().sum();
+            assert_eq!(total, expected, "{p}");
+        }
+    }
+
+    #[test]
+    fn nopfs_pfs_traffic_drops_after_first_epoch() {
+        // Caches warm up during the run: PFS fetches must be well below
+        // the all-PFS policies' count (every access) and leave a
+        // substantial cached share.
+        let s = contended_scenario();
+        let r = run(&s, Policy::NoPfs).unwrap();
+        let total: u64 = r.fetch_counts.iter().sum();
+        assert!(
+            (r.fetch_counts[3] as f64) < 0.6 * total as f64,
+            "PFS fetches {} of {total} — caches never warmed up",
+            r.fetch_counts[3]
+        );
+        assert!(r.fetch_counts[1] + r.fetch_counts[2] > 0);
+    }
+
+    #[test]
+    fn lbann_unsupported_when_dataset_exceeds_memory() {
+        let mut s = contended_scenario();
+        // Shrink RAM so aggregate memory (4 x 30 MB) < 200 MB dataset.
+        s.system.classes[0].capacity = 30 * 1_000_000;
+        match run(&s, Policy::LbannDynamic) {
+            Err(SimError::Unsupported(msg)) => {
+                assert!(msg.contains("memory"), "msg: {msg}")
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_staging_notes_partial_coverage() {
+        let mut s = contended_scenario();
+        // Worker storage D = 40 MB < S = 200 MB: shards can't hold all.
+        s.system.classes[0].capacity = 20 * 1_000_000;
+        s.system.classes[1].capacity = 20 * 1_000_000;
+        let r = run(&s, Policy::ParallelStaging).unwrap();
+        assert!(r.coverage < 1.0);
+        assert!(r.note.is_some());
+        assert!(r.prestage_time > 0.0);
+    }
+
+    #[test]
+    fn parallel_staging_full_dataset_when_it_fits() {
+        let s = contended_scenario(); // D = 260 MB > S = 200 MB
+        let r = run(&s, Policy::ParallelStaging).unwrap();
+        assert_eq!(r.coverage, 1.0);
+        assert!(r.note.is_none());
+        // After staging, no PFS access at all.
+        assert_eq!(r.fetch_counts[3], 0);
+    }
+
+    #[test]
+    fn deep_io_opportunistic_never_reads_pfs_after_prestage() {
+        let r = run(&contended_scenario(), Policy::DeepIoOpportunistic).unwrap();
+        assert_eq!(r.fetch_counts[3], 0);
+    }
+
+    #[test]
+    fn deep_io_ordered_reads_uncached_from_pfs() {
+        let mut s = contended_scenario();
+        // RAM (the only class DeepIO uses) holds 1/4 of the shard needs.
+        s.system.classes[0].capacity = 10 * 1_000_000;
+        let r = run(&s, Policy::DeepIoOrdered).unwrap();
+        assert!(r.fetch_counts[3] > 0, "ordered mode must hit the PFS");
+        assert_eq!(r.coverage, 1.0, "ordered mode accesses everything");
+    }
+
+    #[test]
+    fn lbann_dynamic_epoch0_is_all_pfs() {
+        let s = contended_scenario();
+        let r = run(&s, Policy::LbannDynamic).unwrap();
+        // Epoch 0 reads the whole dataset from the PFS; later epochs are
+        // local/remote only.
+        assert_eq!(r.fetch_counts[3], s.num_samples());
+        assert_eq!(r.fetch_counts[1] + r.fetch_counts[2], s.num_samples() * 2);
+    }
+
+    #[test]
+    fn preloading_pays_prestage_but_never_reads_pfs() {
+        let s = contended_scenario();
+        let r = run(&s, Policy::LbannPreloading).unwrap();
+        assert!(r.prestage_time > 0.0);
+        assert_eq!(r.fetch_counts[3], 0);
+    }
+
+    #[test]
+    fn per_worker_times_are_positive_and_close() {
+        let r = run(&contended_scenario(), Policy::NoPfs).unwrap();
+        let min = r.per_worker_time.iter().copied().fold(f64::MAX, f64::min);
+        assert!(min > 0.0);
+        assert!(r.execution_time >= min);
+        // Homogeneous workers finish within 25% of each other.
+        assert!(r.execution_time < min * 1.25);
+    }
+
+    #[test]
+    fn more_epochs_take_longer() {
+        let mut s = contended_scenario();
+        let t3 = run(&s, Policy::NoPfs).unwrap().execution_time;
+        s.epochs = 6;
+        let t6 = run(&s, Policy::NoPfs).unwrap().execution_time;
+        assert!(t6 > t3 * 1.5, "t3={t3} t6={t6}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Environment (design-space) evaluation — paper Sec. 6.2 / Fig. 9.
+//!
+//! Beyond comparing policies, the simulator quantifies how *hardware
+//! changes* affect training time: sweep staging-buffer, RAM, and SSD
+//! capacities and simulate NoPFS on each configuration. The paper uses
+//! this to show that (a) below some size the staging buffer is not the
+//! limiting factor, (b) RAM and SSD trade off against each other, and
+//! (c) an I/O framework must adapt to whatever hierarchy it finds —
+//! conclusions [`sweep`] reproduces on any scenario.
+
+use crate::engine::run;
+use crate::policy::Policy;
+use crate::result::SimError;
+use crate::scenario::Scenario;
+
+/// One simulated hardware configuration and its predicted runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvPoint {
+    /// Staging-buffer capacity, bytes.
+    pub staging: u64,
+    /// RAM class capacity, bytes.
+    pub ram: u64,
+    /// SSD class capacity, bytes (0 = no SSD class).
+    pub ssd: u64,
+    /// Predicted execution time, seconds.
+    pub execution_time: f64,
+}
+
+/// Builds a copy of `base` with the given storage configuration.
+///
+/// The base scenario's system must have a RAM class at index 0; an SSD
+/// class is kept, resized, or dropped depending on `ssd`.
+fn with_storage(base: &Scenario, staging: u64, ram: u64, ssd: u64) -> Scenario {
+    let mut s = base.clone();
+    s.system.staging.capacity = staging;
+    assert!(
+        !s.system.classes.is_empty(),
+        "environment sweep requires at least a RAM class"
+    );
+    s.system.classes[0].capacity = ram;
+    if ssd == 0 {
+        s.system.classes.truncate(1);
+    } else if s.system.classes.len() >= 2 {
+        s.system.classes[1].capacity = ssd;
+        s.system.classes.truncate(2);
+    } else {
+        // Clone the RAM class shape as a stand-in SSD if the base system
+        // had none; callers normally sweep systems that do have one.
+        let mut ssd_class = s.system.classes[0].clone();
+        ssd_class.name = "ssd".to_string();
+        ssd_class.capacity = ssd;
+        s.system.classes.push(ssd_class);
+    }
+    s
+}
+
+/// Simulates `policy` over the cross product of staging, RAM, and SSD
+/// capacities. Points are returned in sweep order (staging-major, then
+/// RAM, then SSD).
+pub fn sweep(
+    base: &Scenario,
+    policy: Policy,
+    staging_sizes: &[u64],
+    ram_sizes: &[u64],
+    ssd_sizes: &[u64],
+) -> Result<Vec<EnvPoint>, SimError> {
+    let mut out =
+        Vec::with_capacity(staging_sizes.len() * ram_sizes.len() * ssd_sizes.len());
+    for &staging in staging_sizes {
+        for &ram in ram_sizes {
+            for &ssd in ssd_sizes {
+                let scenario = with_storage(base, staging, ram, ssd);
+                let result = run(&scenario, policy)?;
+                out.push(EnvPoint {
+                    staging,
+                    ram,
+                    ssd,
+                    execution_time: result.execution_time,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nopfs_perfmodel::presets::{fig8_small_cluster, saturating_pfs_curve};
+    use nopfs_util::units::MB;
+
+    fn base() -> Scenario {
+        let mut sys = fig8_small_cluster();
+        // Saturation well below cluster demand, so steady-state epochs
+        // stall whenever the caches are too small — the regime where
+        // Fig. 9's capacity tradeoffs are visible.
+        sys.pfs_read = saturating_pfs_curve(100.0 * MB, 8.0);
+        Scenario::new(
+            "env",
+            sys,
+            vec![100_000u64; 1_500], // 150 MB
+            3,
+            8,
+            5,
+        )
+    }
+
+    #[test]
+    fn sweep_covers_cross_product() {
+        let pts = sweep(
+            &base(),
+            Policy::NoPfs,
+            &[4_000_000],
+            &[10_000_000, 40_000_000],
+            &[0, 50_000_000],
+        )
+        .unwrap();
+        assert_eq!(pts.len(), 4);
+        assert!(pts.iter().all(|p| p.execution_time > 0.0));
+    }
+
+    #[test]
+    fn more_ram_helps_when_fills_complete() {
+        // Fig. 9's monotonicity holds in the regime the paper sweeps:
+        // cache fills complete early relative to the run, so a larger
+        // class strictly increases hit rates. (In very short runs a
+        // larger class can transiently *hurt*, because the first-access
+        // fill order dilutes hot samples with cold ones — see the
+        // ablation bench.)
+        let mut b = base();
+        b.epochs = 8;
+        let pts = sweep(
+            &b,
+            Policy::NoPfs,
+            &[4_000_000],
+            &[5_000_000, 10_000_000, 20_000_000, 40_000_000],
+            &[0],
+        )
+        .unwrap();
+        for w in pts.windows(2) {
+            assert!(
+                w[1].execution_time <= w[0].execution_time * 1.02,
+                "RAM {} -> {} worsened time {} -> {}",
+                w[0].ram,
+                w[1].ram,
+                w[0].execution_time,
+                w[1].execution_time
+            );
+        }
+        assert!(
+            pts.last().unwrap().execution_time < pts[0].execution_time,
+            "growing RAM 8x should strictly help"
+        );
+    }
+
+    #[test]
+    fn ssd_compensates_for_small_ram() {
+        // Fig. 9's tradeoff: a small-RAM + large-SSD config beats a
+        // small-RAM + no-SSD config.
+        let pts = sweep(
+            &base(),
+            Policy::NoPfs,
+            &[4_000_000],
+            &[10_000_000],
+            &[0, 150_000_000],
+        )
+        .unwrap();
+        assert!(
+            pts[1].execution_time < pts[0].execution_time,
+            "adding an SSD should help: {} vs {}",
+            pts[1].execution_time,
+            pts[0].execution_time
+        );
+    }
+
+    #[test]
+    fn ssd_dropped_when_zero() {
+        let s = with_storage(&base(), 1_000_000, 2_000_000, 0);
+        assert_eq!(s.system.classes.len(), 1);
+        let s2 = with_storage(&base(), 1_000_000, 2_000_000, 7_000_000);
+        assert_eq!(s2.system.classes.len(), 2);
+        assert_eq!(s2.system.classes[1].capacity, 7_000_000);
+    }
+}

@@ -1,0 +1,34 @@
+//! The NoPFS I/O performance simulator (paper Sec. 6).
+//!
+//! The simulator predicts the end-to-end execution time of a training
+//! run under different data-loading policies, on an arbitrary dataset
+//! and storage hierarchy described by the `nopfs-perfmodel` crate. As in
+//! the paper, it does "not aim for a precise simulation of training, but
+//! rather to capture the relative performance of different I/O
+//! strategies": compute is modelled by the throughput `c`, I/O is
+//! overlapped to the greatest extent each policy allows, and PFS
+//! contention follows the measured `t(γ)` curve with `γ` tracked
+//! iteration by iteration.
+//!
+//! Ten policies are implemented (Sec. 6's list):
+//! [`Policy::Perfect`] (no-stall lower bound), [`Policy::Naive`],
+//! [`Policy::StagingBuffer`] (PyTorch double-buffering / `tf.data`),
+//! [`Policy::DeepIoOrdered`] and [`Policy::DeepIoOpportunistic`],
+//! [`Policy::ParallelStaging`] (data sharding),
+//! [`Policy::LbannDynamic`] and [`Policy::LbannPreloading`],
+//! [`Policy::LocalityAware`] (Yang & Cong), and [`Policy::NoPfs`].
+//!
+//! Beyond the policy comparison (Fig. 8), the simulator powers the
+//! environment/design-space evaluation of Fig. 9 via [`environment`].
+
+pub mod engine;
+pub mod environment;
+pub mod policies;
+pub mod policy;
+pub mod result;
+pub mod scenario;
+
+pub use engine::run;
+pub use policy::{Capabilities, Policy};
+pub use result::{Breakdown, SimError, SimResult};
+pub use scenario::{Scenario, StorageRegime};

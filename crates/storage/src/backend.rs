@@ -1,0 +1,447 @@
+//! Storage backends (paper Sec. 5.2.2).
+//!
+//! "Storage backends need only implement a generic interface, and NoPFS
+//! currently supports filesystem- and memory-based storage backends,
+//! which are sufficient to support most storage classes (including RAM,
+//! SSDs, and HDDs)." The same split exists here: [`StorageBackend`] is
+//! the generic interface, [`MemoryBackend`] and [`FsBackend`] are the
+//! two implementations, and [`ThrottledBackend`] wraps either with
+//! aggregate read/write token buckets so that a RAM-backed store can
+//! stand in for any device with `r_j(p)`/`w_j(p)` curves — how the
+//! runtime experiments model SSD tiers without SSD hardware.
+
+use crate::SampleId;
+use bytes::Bytes;
+use nopfs_util::rate::TokenBucket;
+use nopfs_util::timing::TimeScale;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Backend errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// The sample would exceed the backend's capacity.
+    Full {
+        /// Bytes the insert needed.
+        needed: u64,
+        /// Bytes still free.
+        available: u64,
+    },
+    /// Underlying I/O failed.
+    Io(String),
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::Full { needed, available } => {
+                write!(f, "backend full: need {needed} bytes, {available} free")
+            }
+            BackendError::Io(msg) => write!(f, "backend I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// The generic storage-backend interface: a capacity-bounded map from
+/// sample id to bytes. All methods are thread-safe.
+pub trait StorageBackend: Send + Sync {
+    /// Human-readable name ("memory", "fs", "ram", "ssd", …).
+    fn name(&self) -> &str;
+
+    /// Capacity in bytes.
+    fn capacity(&self) -> u64;
+
+    /// Bytes currently stored.
+    fn used(&self) -> u64;
+
+    /// Stores a sample. Fails with [`BackendError::Full`] when it does
+    /// not fit (NoPFS placement never overfills, so this signals a
+    /// policy bug or a raced insert).
+    fn insert(&self, id: SampleId, data: Bytes) -> Result<(), BackendError>;
+
+    /// Retrieves a sample, paying the backend's read cost.
+    fn get(&self, id: SampleId) -> Option<Bytes>;
+
+    /// Whether the sample is present (metadata only; free).
+    fn contains(&self, id: SampleId) -> bool;
+
+    /// Removes a sample, returning whether it was present.
+    fn evict(&self, id: SampleId) -> bool;
+
+    /// Number of stored samples.
+    fn count(&self) -> usize;
+}
+
+/// An in-memory backend (models RAM classes).
+pub struct MemoryBackend {
+    name: String,
+    capacity: u64,
+    used: AtomicU64,
+    map: RwLock<HashMap<SampleId, Bytes>>,
+}
+
+impl MemoryBackend {
+    /// Creates a memory backend with the given byte capacity.
+    pub fn new(name: impl Into<String>, capacity: u64) -> Self {
+        Self {
+            name: name.into(),
+            capacity,
+            used: AtomicU64::new(0),
+            map: RwLock::new(HashMap::new()),
+        }
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    fn insert(&self, id: SampleId, data: Bytes) -> Result<(), BackendError> {
+        let size = data.len() as u64;
+        let mut map = self.map.write();
+        let used = self.used.load(Ordering::Relaxed);
+        let existing = map.get(&id).map_or(0, |b| b.len() as u64);
+        let new_used = used - existing + size;
+        if new_used > self.capacity {
+            return Err(BackendError::Full {
+                needed: size,
+                available: self.capacity.saturating_sub(used - existing),
+            });
+        }
+        map.insert(id, data);
+        self.used.store(new_used, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn get(&self, id: SampleId) -> Option<Bytes> {
+        self.map.read().get(&id).cloned()
+    }
+
+    fn contains(&self, id: SampleId) -> bool {
+        self.map.read().contains_key(&id)
+    }
+
+    fn evict(&self, id: SampleId) -> bool {
+        let mut map = self.map.write();
+        if let Some(b) = map.remove(&id) {
+            self.used.fetch_sub(b.len() as u64, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn count(&self) -> usize {
+        self.map.read().len()
+    }
+}
+
+/// A filesystem backend storing one file per sample (models node-local
+/// SSD/HDD classes; the paper's implementation uses `mmap`, ours uses
+/// plain reads — the throttle wrapper supplies realistic timing either
+/// way).
+pub struct FsBackend {
+    name: String,
+    capacity: u64,
+    dir: PathBuf,
+    used: AtomicU64,
+    /// Present ids and sizes (avoids stat calls).
+    index: RwLock<HashMap<SampleId, u64>>,
+}
+
+impl FsBackend {
+    /// Creates a filesystem backend rooted at `dir` (created if absent).
+    ///
+    /// # Panics
+    /// Panics if the directory cannot be created.
+    pub fn new(name: impl Into<String>, dir: impl Into<PathBuf>, capacity: u64) -> Self {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).expect("failed to create backend directory");
+        Self {
+            name: name.into(),
+            capacity,
+            dir,
+            used: AtomicU64::new(0),
+            index: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn path(&self, id: SampleId) -> PathBuf {
+        self.dir.join(format!("{id}.smp"))
+    }
+}
+
+impl StorageBackend for FsBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    fn insert(&self, id: SampleId, data: Bytes) -> Result<(), BackendError> {
+        let size = data.len() as u64;
+        let mut index = self.index.write();
+        let existing = index.get(&id).copied().unwrap_or(0);
+        let used = self.used.load(Ordering::Relaxed);
+        let new_used = used - existing + size;
+        if new_used > self.capacity {
+            return Err(BackendError::Full {
+                needed: size,
+                available: self.capacity.saturating_sub(used - existing),
+            });
+        }
+        std::fs::write(self.path(id), &data).map_err(|e| BackendError::Io(e.to_string()))?;
+        index.insert(id, size);
+        self.used.store(new_used, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn get(&self, id: SampleId) -> Option<Bytes> {
+        if !self.index.read().contains_key(&id) {
+            return None;
+        }
+        std::fs::read(self.path(id)).ok().map(Bytes::from)
+    }
+
+    fn contains(&self, id: SampleId) -> bool {
+        self.index.read().contains_key(&id)
+    }
+
+    fn evict(&self, id: SampleId) -> bool {
+        let mut index = self.index.write();
+        if let Some(size) = index.remove(&id) {
+            self.used.fetch_sub(size, Ordering::Relaxed);
+            std::fs::remove_file(self.path(id)).ok();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn count(&self) -> usize {
+        self.index.read().len()
+    }
+}
+
+/// Wraps a backend with aggregate read/write token buckets so its
+/// timing follows modelled `r_j(p)`/`w_j(p)` device curves.
+pub struct ThrottledBackend<B: StorageBackend> {
+    inner: B,
+    read_bucket: Arc<TokenBucket>,
+    write_bucket: Arc<TokenBucket>,
+}
+
+impl<B: StorageBackend> ThrottledBackend<B> {
+    /// Creates a throttle with aggregate `read_rate`/`write_rate` in
+    /// model bytes/second under `scale`.
+    pub fn new(inner: B, read_rate: f64, write_rate: f64, scale: TimeScale) -> Self {
+        Self {
+            inner,
+            read_bucket: Arc::new(TokenBucket::with_burst_window(
+                scale.rate_to_wall(read_rate),
+                0.005,
+            )),
+            write_bucket: Arc::new(TokenBucket::with_burst_window(
+                scale.rate_to_wall(write_rate),
+                0.005,
+            )),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+}
+
+impl<B: StorageBackend> StorageBackend for ThrottledBackend<B> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.inner.capacity()
+    }
+
+    fn used(&self) -> u64 {
+        self.inner.used()
+    }
+
+    fn insert(&self, id: SampleId, data: Bytes) -> Result<(), BackendError> {
+        self.write_bucket.acquire(data.len() as u64);
+        self.inner.insert(id, data)
+    }
+
+    fn get(&self, id: SampleId) -> Option<Bytes> {
+        let data = self.inner.get(id)?;
+        self.read_bucket.acquire(data.len() as u64);
+        Some(data)
+    }
+
+    fn contains(&self, id: SampleId) -> bool {
+        self.inner.contains(id)
+    }
+
+    fn evict(&self, id: SampleId) -> bool {
+        self.inner.evict(id)
+    }
+
+    fn count(&self) -> usize {
+        self.inner.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "nopfs-backend-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn backend_contract(b: &dyn StorageBackend) {
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.count(), 0);
+        b.insert(1, Bytes::from(vec![1u8; 40])).unwrap();
+        b.insert(2, Bytes::from(vec![2u8; 40])).unwrap();
+        assert_eq!(b.used(), 80);
+        assert_eq!(b.count(), 2);
+        assert!(b.contains(1));
+        assert_eq!(b.get(1).unwrap(), Bytes::from(vec![1u8; 40]));
+        // Third insert exceeds the 100-byte capacity.
+        match b.insert(3, Bytes::from(vec![3u8; 40])) {
+            Err(BackendError::Full { needed, available }) => {
+                assert_eq!(needed, 40);
+                assert_eq!(available, 20);
+            }
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Replacing an existing sample reuses its space.
+        b.insert(1, Bytes::from(vec![9u8; 50])).unwrap();
+        assert_eq!(b.used(), 90);
+        assert_eq!(b.get(1).unwrap()[0], 9);
+        assert!(b.evict(2));
+        assert!(!b.evict(2));
+        assert_eq!(b.used(), 50);
+        assert!(b.get(2).is_none());
+        assert!(!b.contains(2));
+    }
+
+    #[test]
+    fn memory_backend_contract() {
+        backend_contract(&MemoryBackend::new("memory", 100));
+    }
+
+    #[test]
+    fn fs_backend_contract() {
+        let dir = tmp_dir("contract");
+        backend_contract(&FsBackend::new("fs", &dir, 100));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fs_backend_persists_real_files() {
+        let dir = tmp_dir("files");
+        let b = FsBackend::new("fs", &dir, 1_000);
+        b.insert(42, Bytes::from_static(b"payload")).unwrap();
+        let on_disk = std::fs::read(dir.join("42.smp")).unwrap();
+        assert_eq!(on_disk, b"payload");
+        b.evict(42);
+        assert!(!dir.join("42.smp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn throttled_reads_follow_rate() {
+        // 10 MB/s read rate: reading 1 MB takes ~100 ms.
+        let b = ThrottledBackend::new(
+            MemoryBackend::new("ssd", 10_000_000),
+            10.0e6,
+            1.0e9,
+            TimeScale::realtime(),
+        );
+        b.insert(1, Bytes::from(vec![0u8; 1_000_000])).unwrap();
+        b.get(1).unwrap(); // drain burst
+        let t0 = Instant::now();
+        b.get(1).unwrap();
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(dt > 0.07, "read too fast: {dt}");
+        assert!(dt < 0.5, "read too slow: {dt}");
+    }
+
+    #[test]
+    fn throttled_writes_follow_rate() {
+        let b = ThrottledBackend::new(
+            MemoryBackend::new("ssd", 10_000_000),
+            1.0e9,
+            10.0e6,
+            TimeScale::realtime(),
+        );
+        b.insert(1, Bytes::from(vec![0u8; 200_000])).unwrap();
+        let t0 = Instant::now();
+        b.insert(2, Bytes::from(vec![0u8; 1_000_000])).unwrap();
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(dt > 0.07, "write too fast: {dt}");
+    }
+
+    #[test]
+    fn throttle_preserves_contract() {
+        let b = ThrottledBackend::new(
+            MemoryBackend::new("memory", 100),
+            1.0e12,
+            1.0e12,
+            TimeScale::realtime(),
+        );
+        backend_contract(&b);
+        assert_eq!(b.name(), "memory");
+        assert_eq!(b.inner().name(), "memory");
+    }
+
+    #[test]
+    fn concurrent_inserts_respect_capacity() {
+        let b = Arc::new(MemoryBackend::new("memory", 1_000));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    let mut ok = 0;
+                    for i in 0..50u64 {
+                        if b.insert(t * 100 + i, Bytes::from(vec![0u8; 10])).is_ok() {
+                            ok += 1;
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 100, "exactly capacity/size inserts succeed");
+        assert_eq!(b.used(), 1_000);
+    }
+}

@@ -1,0 +1,29 @@
+//! Storage substrates for the NoPFS runtime (paper Sec. 5.2.2).
+//!
+//! The C++ NoPFS core is built from a staging buffer ("filled in a
+//! circular manner", shared with the framework via a producer/consumer
+//! queue), generic storage backends ("filesystem- and memory-based …
+//! sufficient to support most storage classes"), and a metadata store
+//! ("a catalog of locally cached samples"). This crate reproduces each:
+//!
+//! - [`staging::StagingBuffer`] — a byte-capacity-bounded FIFO of
+//!   samples with blocking produce/consume, the boundary between
+//!   prefetcher threads and the training loop.
+//! - [`backend`] — the [`backend::StorageBackend`] trait with memory
+//!   and filesystem implementations, plus throughput throttles that
+//!   make a RAM-backed store behave like the `r_j(p)`/`w_j(p)` curves
+//!   of whatever device it models.
+//! - [`metadata::MetadataStore`] — the thread-safe local cache catalog.
+
+pub mod backend;
+pub mod metadata;
+pub mod reorder;
+pub mod staging;
+
+pub use backend::{FsBackend, MemoryBackend, StorageBackend, ThrottledBackend};
+pub use metadata::MetadataStore;
+pub use reorder::ReorderStage;
+pub use staging::StagingBuffer;
+
+/// Sample identifier (dense index into the dataset).
+pub type SampleId = u64;

@@ -1,0 +1,106 @@
+//! The metadata store: "a catalog of locally cached samples"
+//! (paper Sec. 5.2.2).
+//!
+//! Tracks which storage class currently holds each locally cached
+//! sample. Because NoPFS placement is clairvoyant, the catalog needs no
+//! distributed synchronization — every worker maintains only its own —
+//! but it is updated concurrently by that worker's class prefetchers
+//! and queried by its staging prefetchers and the remote-serving
+//! thread, so it must be thread-safe.
+
+use crate::SampleId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Thread-safe catalog of locally cached samples.
+#[derive(Debug, Default)]
+pub struct MetadataStore {
+    map: RwLock<HashMap<SampleId, u8>>,
+}
+
+impl MetadataStore {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `id` is cached in storage class `class`.
+    pub fn mark_cached(&self, id: SampleId, class: u8) {
+        self.map.write().insert(id, class);
+    }
+
+    /// The class caching `id`, if any.
+    pub fn lookup(&self, id: SampleId) -> Option<u8> {
+        self.map.read().get(&id).copied()
+    }
+
+    /// Whether `id` is cached locally.
+    pub fn is_cached(&self, id: SampleId) -> bool {
+        self.map.read().contains_key(&id)
+    }
+
+    /// Removes `id` from the catalog (eviction), returning its class.
+    pub fn remove(&self, id: SampleId) -> Option<u8> {
+        self.map.write().remove(&id)
+    }
+
+    /// Number of cached samples.
+    pub fn cached_count(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Number cached in a specific class.
+    pub fn cached_in_class(&self, class: u8) -> usize {
+        self.map.read().values().filter(|&&c| c == class).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mark_lookup_remove() {
+        let m = MetadataStore::new();
+        assert!(!m.is_cached(1));
+        m.mark_cached(1, 0);
+        m.mark_cached(2, 1);
+        assert_eq!(m.lookup(1), Some(0));
+        assert_eq!(m.lookup(2), Some(1));
+        assert_eq!(m.cached_count(), 2);
+        assert_eq!(m.cached_in_class(0), 1);
+        assert_eq!(m.remove(1), Some(0));
+        assert_eq!(m.remove(1), None);
+        assert_eq!(m.cached_count(), 1);
+    }
+
+    #[test]
+    fn reclassification_overwrites() {
+        let m = MetadataStore::new();
+        m.mark_cached(5, 1);
+        m.mark_cached(5, 0); // promoted to a faster class
+        assert_eq!(m.lookup(5), Some(0));
+        assert_eq!(m.cached_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_marking_is_consistent() {
+        let m = Arc::new(MetadataStore::new());
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..250u64 {
+                        m.mark_cached(t * 250 + i, (t % 2) as u8);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.cached_count(), 1_000);
+        assert_eq!(m.cached_in_class(0) + m.cached_in_class(1), 1_000);
+    }
+}

@@ -1,0 +1,277 @@
+//! Position-ordered staging: out-of-order fills, in-order consumption.
+//!
+//! NoPFS runs `p_0` staging prefetch threads in parallel; their fetches
+//! complete out of order, but the trainer must consume samples in exact
+//! access-stream order (Rule 1 requires the *buffer* to be filled in
+//! `R` order, and SGD consumes it sequentially). The paper's circular
+//! staging buffer assigns each sample a slot by stream position; this
+//! type reproduces that: producers insert `(position, sample)` in any
+//! order, the consumer pops positions `0, 1, 2, …` strictly.
+//!
+//! Capacity is bounded in bytes with one escape hatch: the sample the
+//! consumer is waiting for (`position == next`) is always admitted, so
+//! a burst of out-of-order completions can never deadlock the pipeline.
+
+use crate::SampleId;
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct State {
+    next: u64,
+    pending: BTreeMap<u64, (SampleId, Bytes)>,
+    used: u64,
+    closed: bool,
+    max_used: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    capacity: u64,
+    state: Mutex<State>,
+    space: Condvar,
+    data: Condvar,
+}
+
+/// A byte-bounded reorder buffer keyed by stream position. Clone to
+/// share between prefetcher threads and the consumer.
+#[derive(Debug, Clone)]
+pub struct ReorderStage {
+    inner: Arc<Inner>,
+}
+
+impl ReorderStage {
+    /// Creates a stage with the given byte capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "stage needs capacity");
+        Self {
+            inner: Arc::new(Inner {
+                capacity,
+                state: Mutex::new(State {
+                    next: 0,
+                    pending: BTreeMap::new(),
+                    used: 0,
+                    closed: false,
+                    max_used: 0,
+                }),
+                space: Condvar::new(),
+                data: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Inserts the sample for stream position `pos`, blocking while the
+    /// stage is full — unless `pos` is the position the consumer needs
+    /// next, which is always admitted immediately.
+    ///
+    /// Returns `false` if the stage was closed.
+    ///
+    /// # Panics
+    /// Panics if `pos` was already pushed or already consumed (every
+    /// stream position is fetched exactly once).
+    pub fn push(&self, pos: u64, id: SampleId, data: Bytes) -> bool {
+        let size = data.len() as u64;
+        let mut st = self.inner.state.lock();
+        assert!(pos >= st.next, "position {pos} already consumed");
+        loop {
+            if st.closed {
+                return false;
+            }
+            if pos == st.next || st.used + size <= self.inner.capacity {
+                break;
+            }
+            self.inner.space.wait(&mut st);
+        }
+        let prev = st.pending.insert(pos, (id, data));
+        assert!(prev.is_none(), "position {pos} pushed twice");
+        st.used += size;
+        st.max_used = st.max_used.max(st.used);
+        drop(st);
+        self.inner.data.notify_all();
+        true
+    }
+
+    /// Pops the sample at the next stream position, blocking until it
+    /// arrives. Returns `None` once closed and the head is unavailable.
+    pub fn pop(&self) -> Option<(SampleId, Bytes)> {
+        let mut st = self.inner.state.lock();
+        loop {
+            let next = st.next;
+            if let Some((id, data)) = st.pending.remove(&next) {
+                st.used -= data.len() as u64;
+                st.next += 1;
+                drop(st);
+                self.inner.space.notify_all();
+                return Some((id, data));
+            }
+            if st.closed {
+                return None;
+            }
+            self.inner.data.wait(&mut st);
+        }
+    }
+
+    /// Like [`Self::pop`] with a wall-clock timeout.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<(SampleId, Bytes)> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock();
+        loop {
+            let next = st.next;
+            if let Some((id, data)) = st.pending.remove(&next) {
+                st.used -= data.len() as u64;
+                st.next += 1;
+                drop(st);
+                self.inner.space.notify_all();
+                return Some((id, data));
+            }
+            if st.closed {
+                return None;
+            }
+            if self.inner.data.wait_until(&mut st, deadline).timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// Closes the stage; blocked producers and consumers return.
+    pub fn close(&self) {
+        let mut st = self.inner.state.lock();
+        st.closed = true;
+        drop(st);
+        self.inner.space.notify_all();
+        self.inner.data.notify_all();
+    }
+
+    /// Bytes currently buffered.
+    pub fn used(&self) -> u64 {
+        self.inner.state.lock().used
+    }
+
+    /// The stream position the consumer will receive next.
+    pub fn next_position(&self) -> u64 {
+        self.inner.state.lock().next
+    }
+
+    /// High-water mark of buffered bytes.
+    pub fn max_used(&self) -> u64 {
+        self.inner.state.lock().max_used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn out_of_order_push_in_order_pop() {
+        let stage = ReorderStage::new(1_000);
+        stage.push(2, 102, Bytes::from_static(b"c"));
+        stage.push(0, 100, Bytes::from_static(b"a"));
+        stage.push(1, 101, Bytes::from_static(b"b"));
+        assert_eq!(stage.pop().unwrap().0, 100);
+        assert_eq!(stage.pop().unwrap().0, 101);
+        assert_eq!(stage.pop().unwrap().0, 102);
+    }
+
+    #[test]
+    fn consumer_waits_for_the_head_not_just_any_sample() {
+        let stage = ReorderStage::new(1_000);
+        stage.push(1, 11, Bytes::from_static(b"later"));
+        let s2 = stage.clone();
+        let consumer = thread::spawn(move || s2.pop().unwrap());
+        thread::sleep(Duration::from_millis(20));
+        assert!(!consumer.is_finished(), "pop must wait for position 0");
+        stage.push(0, 10, Bytes::from_static(b"first"));
+        assert_eq!(consumer.join().unwrap().0, 10);
+    }
+
+    #[test]
+    fn head_position_is_always_admitted() {
+        // Fill the stage with a future position, then push the head:
+        // it must not block even though capacity is exceeded.
+        let stage = ReorderStage::new(10);
+        stage.push(1, 1, Bytes::from(vec![0u8; 10]));
+        let t0 = Instant::now();
+        assert!(stage.push(0, 0, Bytes::from(vec![0u8; 10])));
+        assert!(t0.elapsed() < Duration::from_millis(50));
+        assert_eq!(stage.pop().unwrap().0, 0);
+        assert_eq!(stage.pop().unwrap().0, 1);
+    }
+
+    #[test]
+    fn non_head_producer_blocks_when_full() {
+        let stage = ReorderStage::new(10);
+        stage.push(1, 1, Bytes::from(vec![0u8; 10]));
+        let s2 = stage.clone();
+        let producer = thread::spawn(move || s2.push(2, 2, Bytes::from(vec![0u8; 10])));
+        thread::sleep(Duration::from_millis(20));
+        assert!(!producer.is_finished(), "position 2 should block");
+        stage.push(0, 0, Bytes::from(vec![0u8; 4]));
+        stage.pop().unwrap(); // frees pos 0's bytes and advances next
+        stage.pop().unwrap(); // consumes pos 1, frees space
+        assert!(producer.join().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed twice")]
+    fn duplicate_position_panics() {
+        let stage = ReorderStage::new(100);
+        stage.push(0, 1, Bytes::from_static(b"a"));
+        stage.push(0, 2, Bytes::from_static(b"b"));
+    }
+
+    #[test]
+    fn close_unblocks_everyone() {
+        let stage = ReorderStage::new(10);
+        let s2 = stage.clone();
+        let consumer = thread::spawn(move || s2.pop());
+        thread::sleep(Duration::from_millis(10));
+        stage.close();
+        assert_eq!(consumer.join().unwrap(), None);
+        assert!(!stage.push(0, 0, Bytes::from_static(b"x")));
+    }
+
+    #[test]
+    fn pop_timeout_on_missing_head() {
+        let stage = ReorderStage::new(100);
+        stage.push(5, 5, Bytes::from_static(b"future"));
+        assert!(stage.pop_timeout(Duration::from_millis(20)).is_none());
+    }
+
+    #[test]
+    fn many_producers_full_stream_integrity() {
+        let stage = ReorderStage::new(64);
+        let n = 500u64;
+        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let producers: Vec<_> = (0..4)
+            .map(|_| {
+                let stage = stage.clone();
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || loop {
+                    let pos = counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    if pos >= n {
+                        break;
+                    }
+                    // Sample id encodes the position for verification.
+                    stage.push(pos, pos * 3, Bytes::from(vec![(pos % 256) as u8; 8]));
+                })
+            })
+            .collect();
+        for pos in 0..n {
+            let (id, data) = stage.pop().unwrap();
+            assert_eq!(id, pos * 3, "wrong sample at position {pos}");
+            assert_eq!(data[0], (pos % 256) as u8);
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        assert_eq!(stage.used(), 0);
+    }
+}

@@ -1,0 +1,324 @@
+//! The staging buffer: the producer/consumer boundary between NoPFS's
+//! prefetcher threads and the training loop.
+//!
+//! The paper describes "a special prefetcher for the staging buffer,
+//! which is filled in a circular manner" and coordinates with the
+//! consumer "via a producer/consumer queue to ensure that the consumer
+//! knows when samples are available, and that the prefetcher knows when
+//! samples have been consumed (and therefore can be replaced)". This
+//! implementation reproduces those semantics with a byte-capacity-
+//! bounded FIFO of reference-counted buffers: producers block while the
+//! buffer is full, the consumer blocks while it is empty, samples leave
+//! in exactly the order they entered (access-stream order, Rule 1), and
+//! consuming frees capacity immediately (drop-after-use, the paper's
+//! approximation of Rules 2–4).
+
+use crate::SampleId;
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct State {
+    queue: VecDeque<(SampleId, Bytes)>,
+    used: u64,
+    closed: bool,
+    /// High-water mark of `used`, for reporting.
+    max_used: u64,
+    total_pushed: u64,
+    total_popped: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    capacity: u64,
+    state: Mutex<State>,
+    /// Signalled when space frees up (producers wait on this).
+    space: Condvar,
+    /// Signalled when data arrives (consumers wait on this).
+    data: Condvar,
+}
+
+/// A byte-capacity-bounded FIFO staging buffer. Clone to share between
+/// prefetcher threads and the consumer.
+#[derive(Debug, Clone)]
+pub struct StagingBuffer {
+    inner: Arc<Inner>,
+}
+
+impl StagingBuffer {
+    /// Creates a buffer holding up to `capacity` bytes of samples.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "staging buffer needs capacity");
+        Self {
+            inner: Arc::new(Inner {
+                capacity,
+                state: Mutex::new(State {
+                    queue: VecDeque::new(),
+                    used: 0,
+                    closed: false,
+                    max_used: 0,
+                    total_pushed: 0,
+                    total_popped: 0,
+                }),
+                space: Condvar::new(),
+                data: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.inner.capacity
+    }
+
+    /// Bytes currently buffered.
+    pub fn used(&self) -> u64 {
+        self.inner.state.lock().used
+    }
+
+    /// Samples currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().queue.len()
+    }
+
+    /// Whether the buffer is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a sample, blocking while the buffer lacks space.
+    ///
+    /// A sample larger than the whole capacity is admitted when the
+    /// buffer is empty (otherwise it could never be staged at all);
+    /// it simply occupies the buffer alone.
+    ///
+    /// Returns `false` if the buffer was closed (sample dropped).
+    pub fn push(&self, id: SampleId, data: Bytes) -> bool {
+        let size = data.len() as u64;
+        let mut st = self.inner.state.lock();
+        loop {
+            if st.closed {
+                return false;
+            }
+            let fits = st.used + size <= self.inner.capacity
+                || (st.queue.is_empty() && st.used == 0);
+            if fits {
+                break;
+            }
+            self.inner.space.wait(&mut st);
+        }
+        st.used += size;
+        st.max_used = st.max_used.max(st.used);
+        st.total_pushed += 1;
+        st.queue.push_back((id, data));
+        drop(st);
+        self.inner.data.notify_one();
+        true
+    }
+
+    /// Removes the oldest sample, blocking until one is available.
+    /// Returns `None` once the buffer is closed *and* drained.
+    pub fn pop(&self) -> Option<(SampleId, Bytes)> {
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some((id, data)) = st.queue.pop_front() {
+                st.used -= data.len() as u64;
+                st.total_popped += 1;
+                drop(st);
+                self.inner.space.notify_all();
+                return Some((id, data));
+            }
+            if st.closed {
+                return None;
+            }
+            self.inner.data.wait(&mut st);
+        }
+    }
+
+    /// Like [`Self::pop`] but gives up after `timeout`.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<(SampleId, Bytes)> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some((id, data)) = st.queue.pop_front() {
+                st.used -= data.len() as u64;
+                st.total_popped += 1;
+                drop(st);
+                self.inner.space.notify_all();
+                return Some((id, data));
+            }
+            if st.closed {
+                return None;
+            }
+            if self.inner.data.wait_until(&mut st, deadline).timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// Closes the buffer: producers fail fast, the consumer drains what
+    /// remains and then sees `None`.
+    pub fn close(&self) {
+        let mut st = self.inner.state.lock();
+        st.closed = true;
+        drop(st);
+        self.inner.space.notify_all();
+        self.inner.data.notify_all();
+    }
+
+    /// Whether [`Self::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.state.lock().closed
+    }
+
+    /// `(total_pushed, total_popped, max_used_bytes)`.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        let st = self.inner.state.lock();
+        (st.total_pushed, st.total_popped, st.max_used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let buf = StagingBuffer::new(1_000_000);
+        for i in 0..10u64 {
+            assert!(buf.push(i, Bytes::from(vec![i as u8; 10])));
+        }
+        for i in 0..10u64 {
+            let (id, data) = buf.pop().unwrap();
+            assert_eq!(id, i);
+            assert_eq!(data[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let buf = StagingBuffer::new(100);
+        buf.push(1, Bytes::from(vec![0u8; 60]));
+        assert_eq!(buf.used(), 60);
+        buf.push(2, Bytes::from(vec![0u8; 40]));
+        assert_eq!(buf.used(), 100);
+        buf.pop().unwrap();
+        assert_eq!(buf.used(), 40);
+        let (pushed, popped, max) = buf.stats();
+        assert_eq!((pushed, popped, max), (2, 1, 100));
+    }
+
+    #[test]
+    fn producer_blocks_until_consumer_frees_space() {
+        let buf = StagingBuffer::new(100);
+        buf.push(1, Bytes::from(vec![0u8; 80]));
+        let b2 = buf.clone();
+        let t0 = Instant::now();
+        let producer = thread::spawn(move || {
+            b2.push(2, Bytes::from(vec![0u8; 80]));
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert!(!producer.is_finished(), "producer should be blocked");
+        buf.pop().unwrap();
+        producer.join().unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn consumer_blocks_until_data_arrives() {
+        let buf = StagingBuffer::new(100);
+        let b2 = buf.clone();
+        let consumer = thread::spawn(move || b2.pop().unwrap());
+        thread::sleep(Duration::from_millis(20));
+        assert!(!consumer.is_finished(), "consumer should be blocked");
+        buf.push(9, Bytes::from_static(b"x"));
+        let (id, _) = consumer.join().unwrap();
+        assert_eq!(id, 9);
+    }
+
+    #[test]
+    fn oversized_sample_admitted_when_empty() {
+        let buf = StagingBuffer::new(10);
+        assert!(buf.push(1, Bytes::from(vec![0u8; 100])));
+        assert_eq!(buf.pop().unwrap().1.len(), 100);
+    }
+
+    #[test]
+    fn close_unblocks_consumer_with_none() {
+        let buf = StagingBuffer::new(10);
+        let b2 = buf.clone();
+        let consumer = thread::spawn(move || b2.pop());
+        thread::sleep(Duration::from_millis(10));
+        buf.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn close_drains_remaining_samples_first() {
+        let buf = StagingBuffer::new(100);
+        buf.push(1, Bytes::from_static(b"a"));
+        buf.push(2, Bytes::from_static(b"b"));
+        buf.close();
+        assert!(buf.pop().is_some());
+        assert!(buf.pop().is_some());
+        assert!(buf.pop().is_none());
+    }
+
+    #[test]
+    fn push_after_close_is_rejected() {
+        let buf = StagingBuffer::new(100);
+        buf.close();
+        assert!(!buf.push(1, Bytes::from_static(b"a")));
+    }
+
+    #[test]
+    fn pop_timeout_expires_when_empty() {
+        let buf = StagingBuffer::new(10);
+        let t0 = Instant::now();
+        assert!(buf.pop_timeout(Duration::from_millis(25)).is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumer_lose_nothing() {
+        let buf = StagingBuffer::new(1_000);
+        let per_producer = 500u64;
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let b = buf.clone();
+                thread::spawn(move || {
+                    for i in 0..per_producer {
+                        let id = p * per_producer + i;
+                        assert!(b.push(id, Bytes::from(vec![(id % 251) as u8; 16])));
+                    }
+                })
+            })
+            .collect();
+        let consumer = {
+            let b = buf.clone();
+            thread::spawn(move || {
+                let mut seen = std::collections::HashSet::new();
+                for _ in 0..4 * per_producer {
+                    let (id, data) = b.pop().unwrap();
+                    assert_eq!(data[0], (id % 251) as u8, "corrupted sample {id}");
+                    assert!(seen.insert(id), "duplicate sample {id}");
+                }
+                seen
+            })
+        };
+        for p in producers {
+            p.join().unwrap();
+        }
+        let seen = consumer.join().unwrap();
+        assert_eq!(seen.len(), 2_000);
+        assert_eq!(buf.used(), 0);
+    }
+}

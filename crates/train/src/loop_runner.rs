@@ -1,0 +1,215 @@
+//! The timed bulk-synchronous consumption loop.
+//!
+//! Reproduces the timing structure of distributed SGD: per step, each
+//! worker (1) pulls its mini-batch from the loader — stalling if I/O
+//! is behind, (2) "computes" for `batch_bytes / c` model seconds (the
+//! paper models compute as a throughput, Sec. 4), and (3) allreduces a
+//! gradient buffer through the modelled interconnect, which
+//! synchronizes the step on the slowest worker — the mechanism that
+//! turns I/O noise into a scalability barrier (Sec. 7.1's discussion).
+
+use nopfs_baselines::DataLoader;
+use nopfs_core::stats::WorkerStats;
+use nopfs_net::Endpoint;
+use nopfs_util::timing::TimeScale;
+
+/// Parameters of the timed loop.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainLoopConfig {
+    /// Compute throughput `c`, model bytes/second.
+    pub compute_rate: f64,
+    /// Model-to-wall time mapping (must match the loader's substrates).
+    pub scale: TimeScale,
+    /// Elements in the emulated gradient allreduce (0 disables the
+    /// synchronization entirely — single-worker or unsynchronized runs).
+    pub grad_elems: usize,
+}
+
+impl TrainLoopConfig {
+    /// A config with the given compute rate and scale and a small
+    /// default gradient.
+    pub fn new(compute_rate: f64, scale: TimeScale) -> Self {
+        assert!(compute_rate > 0.0 && compute_rate.is_finite());
+        Self {
+            compute_rate,
+            scale,
+            grad_elems: 256,
+        }
+    }
+}
+
+/// What one worker measured over a run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Per-epoch times, model seconds.
+    pub epoch_times: Vec<f64>,
+    /// Per-batch times across all epochs, model seconds.
+    pub batch_times: Vec<f64>,
+    /// Batch count per epoch (to slice `batch_times` by epoch).
+    pub batches_per_epoch: Vec<usize>,
+    /// The loader's final I/O statistics.
+    pub stats: WorkerStats,
+}
+
+impl RunMetrics {
+    /// Batch times of epoch `e`.
+    pub fn epoch_batches(&self, e: usize) -> &[f64] {
+        let start: usize = self.batches_per_epoch[..e].iter().sum();
+        &self.batch_times[start..start + self.batches_per_epoch[e]]
+    }
+
+    /// Batch times excluding epoch 0 (the figures' "excl. epoch 0").
+    pub fn batches_after_warmup(&self) -> &[f64] {
+        if self.batches_per_epoch.is_empty() {
+            return &self.batch_times;
+        }
+        &self.batch_times[self.batches_per_epoch[0]..]
+    }
+}
+
+/// Runs the timed loop to exhaustion of the loader.
+///
+/// `sync`: the per-step gradient allreduce endpoint (pass `None` for
+/// unsynchronized consumption). All workers of a job must make the
+/// same choice **and have identical batch counts** (use `drop_last`
+/// when the dataset does not divide evenly), or the collective
+/// deadlocks — the same constraint real distributed training has.
+pub fn run_training_loop(
+    loader: &mut dyn DataLoader,
+    cfg: &TrainLoopConfig,
+    sync: Option<&Endpoint<Vec<f32>>>,
+) -> RunMetrics {
+    let mut epoch_times = Vec::new();
+    let mut batch_times = Vec::new();
+    let mut batches_per_epoch = Vec::new();
+    let epoch_len = loader.epoch_len().max(1);
+    let mut consumed_in_epoch = 0u64;
+    let mut epoch_start = std::time::Instant::now();
+    let mut batches_this_epoch = 0usize;
+    let mut grad = vec![0.0f32; cfg.grad_elems];
+
+    loop {
+        let t0 = std::time::Instant::now();
+        let Some(batch) = loader.next_batch() else {
+            break;
+        };
+        let bytes: u64 = batch.iter().map(|(_, d)| d.len() as u64).sum();
+        // The modelled forward/backward pass.
+        cfg.scale.wait(bytes as f64 / cfg.compute_rate);
+        // The gradient allreduce: the bulk-synchronous barrier.
+        if let Some(ep) = sync {
+            if cfg.grad_elems > 0 {
+                ep.allreduce_sum(&mut grad).expect("allreduce failed");
+            }
+        }
+        batch_times.push(cfg.scale.to_model(t0.elapsed()));
+        batches_this_epoch += 1;
+        consumed_in_epoch += batch.len() as u64;
+        if consumed_in_epoch >= epoch_len {
+            epoch_times.push(cfg.scale.to_model(epoch_start.elapsed()));
+            batches_per_epoch.push(batches_this_epoch);
+            consumed_in_epoch = 0;
+            batches_this_epoch = 0;
+            epoch_start = std::time::Instant::now();
+        }
+    }
+    if batches_this_epoch > 0 {
+        epoch_times.push(cfg.scale.to_model(epoch_start.elapsed()));
+        batches_per_epoch.push(batches_this_epoch);
+    }
+
+    RunMetrics {
+        epoch_times,
+        batch_times,
+        batches_per_epoch,
+        stats: loader.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nopfs_baselines::NoIoRunner;
+    use nopfs_core::JobConfig;
+    use nopfs_perfmodel::presets::fig8_small_cluster;
+    use std::sync::Arc;
+
+    fn config(workers: usize, epochs: u64) -> JobConfig {
+        let mut sys = fig8_small_cluster();
+        sys.workers = workers;
+        JobConfig::new(3, epochs, 4, sys, TimeScale::new(1e-6))
+    }
+
+    #[test]
+    fn counts_epochs_and_batches() {
+        let cfg = config(2, 3);
+        let sizes = Arc::new(vec![1_000u64; 40]); // 20/worker/epoch
+        let runner = NoIoRunner::new(cfg.clone(), sizes);
+        let loop_cfg = TrainLoopConfig {
+            compute_rate: 1e9,
+            scale: cfg.scale,
+            grad_elems: 0,
+        };
+        let metrics = runner.run(|loader| run_training_loop(loader, &loop_cfg, None));
+        for m in metrics {
+            assert_eq!(m.epoch_times.len(), 3);
+            // 20 samples / batch 4 = 5 batches per epoch.
+            assert_eq!(m.batches_per_epoch, vec![5, 5, 5]);
+            assert_eq!(m.batch_times.len(), 15);
+            assert_eq!(m.epoch_batches(1).len(), 5);
+            assert_eq!(m.batches_after_warmup().len(), 10);
+            assert_eq!(m.stats.samples_consumed, 60);
+            assert!(m.epoch_times.iter().all(|&t| t > 0.0));
+        }
+    }
+
+    #[test]
+    fn compute_rate_dominates_no_io_epoch_time() {
+        // With a slow modelled GPU, epoch time ≈ bytes/c. The scale must
+        // map modelled durations well above wall-clock overhead
+        // (1 model second = 10 ms here), or scheduling noise dominates.
+        let mut cfg = config(1, 1);
+        cfg.scale = TimeScale::new(1e-2);
+        let sizes = Arc::new(vec![10_000u64; 16]);
+        let runner = NoIoRunner::new(cfg.clone(), sizes);
+        let loop_cfg = TrainLoopConfig {
+            compute_rate: 1e6, // 160 KB at 1 MB/s = 0.16 model seconds
+            scale: cfg.scale,
+            grad_elems: 0,
+        };
+        let metrics = runner.run(|l| run_training_loop(l, &loop_cfg, None));
+        let t = metrics[0].epoch_times[0];
+        assert!((t - 0.16).abs() < 0.06, "epoch time {t}");
+    }
+
+    #[test]
+    fn allreduce_synchronizes_batch_times() {
+        // Two workers advance in lockstep because of the allreduce.
+        let mut cfg = config(2, 1);
+        cfg.scale = TimeScale::new(1e-2);
+        let sizes = Arc::new(vec![5_000u64; 16]);
+        let endpoints = parking_lot::Mutex::new(
+            nopfs_net::cluster::<Vec<f32>>(
+                2,
+                nopfs_net::NetConfig::new(1e12, cfg.scale),
+            )
+            .into_iter()
+            .map(Some)
+            .collect::<Vec<_>>(),
+        );
+        let runner = NoIoRunner::new(cfg.clone(), sizes);
+        let loop_cfg = TrainLoopConfig {
+            compute_rate: 1e6,
+            scale: cfg.scale,
+            grad_elems: 64,
+        };
+        let metrics = runner.run(|loader| {
+            let ep = endpoints.lock()[loader.rank()].take().expect("one take per rank");
+            run_training_loop(loader, &loop_cfg, Some(&ep))
+        });
+        assert_eq!(metrics.len(), 2);
+        let (a, b) = (metrics[0].epoch_times[0], metrics[1].epoch_times[0]);
+        let rel = (a - b).abs() / a.max(b);
+        assert!(rel < 0.35, "synchronized workers diverged: {a} vs {b}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Foundation utilities for the NoPFS reproduction.
+//!
+//! This crate deliberately has no external dependencies beyond
+//! `parking_lot`. In particular it implements its own pseudorandom number
+//! generator: clairvoyance (the paper's key idea) requires that the random
+//! access stream be *exactly* reproducible from a seed, forever, on every
+//! platform. `rand`'s `StdRng` is documented as not portable across
+//! versions, so we implement splitmix64 and xoshiro256++ from their
+//! published reference specifications instead.
+//!
+//! Modules:
+//! - [`rng`] — deterministic PRNG, Fisher–Yates shuffling, normal deviates.
+//! - [`stats`] — summary statistics, percentiles, histograms.
+//! - [`rate`] — token-bucket rate limiting for bandwidth-throttled backends.
+//! - [`timing`] — time scaling and precise waits for runtime experiments.
+//! - [`units`] — byte-size constants and formatting.
+
+pub mod rate;
+pub mod rng;
+pub mod stats;
+pub mod timing;
+pub mod units;
+
+pub use rate::TokenBucket;
+pub use rng::Xoshiro256pp;
+pub use stats::Summary;
+pub use timing::TimeScale;

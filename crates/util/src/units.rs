@@ -1,0 +1,85 @@
+//! Byte-size units and formatting.
+//!
+//! The paper expresses all sizes and rates in decimal megabytes (Table 2:
+//! MB, MB/s); this module fixes those conventions in one place so every
+//! crate agrees on what "135 GB dataset" means.
+
+/// One kilobyte (decimal), in bytes.
+pub const KB: f64 = 1_000.0;
+/// One megabyte (decimal), in bytes.
+pub const MB: f64 = 1_000_000.0;
+/// One gigabyte (decimal), in bytes.
+pub const GB: f64 = 1_000_000_000.0;
+/// One terabyte (decimal), in bytes.
+pub const TB: f64 = 1_000_000_000_000.0;
+
+/// Formats a byte count with an adaptive decimal unit, e.g. `1.35 GB`.
+pub fn format_bytes(bytes: f64) -> String {
+    let abs = bytes.abs();
+    if abs >= TB {
+        format!("{:.2} TB", bytes / TB)
+    } else if abs >= GB {
+        format!("{:.2} GB", bytes / GB)
+    } else if abs >= MB {
+        format!("{:.2} MB", bytes / MB)
+    } else if abs >= KB {
+        format!("{:.2} KB", bytes / KB)
+    } else {
+        format!("{bytes:.0} B")
+    }
+}
+
+/// Formats a rate in bytes/second, e.g. `2.87 GB/s`.
+pub fn format_rate(bytes_per_sec: f64) -> String {
+    format!("{}/s", format_bytes(bytes_per_sec))
+}
+
+/// Formats a duration in seconds adaptively (`ms`, `s`, `min`, `hrs`),
+/// matching the mixed units in the paper's figures.
+pub fn format_seconds(secs: f64) -> String {
+    let abs = secs.abs();
+    if abs >= 3_600.0 {
+        format!("{:.2} hrs", secs / 3_600.0)
+    } else if abs >= 60.0 {
+        format!("{:.2} min", secs / 60.0)
+    } else if abs >= 1.0 {
+        format!("{secs:.2} s")
+    } else {
+        format!("{:.2} ms", secs * 1_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constants_are_decimal() {
+        assert_eq!(MB, 1e6);
+        assert_eq!(GB, 1e9);
+        assert_eq!(KB * 1000.0, MB);
+        assert_eq!(MB * 1000.0, GB);
+        assert_eq!(GB * 1000.0, TB);
+    }
+
+    #[test]
+    fn formats_bytes_adaptively() {
+        assert_eq!(format_bytes(512.0), "512 B");
+        assert_eq!(format_bytes(1_350.0), "1.35 KB");
+        assert_eq!(format_bytes(135.0 * GB), "135.00 GB");
+        assert_eq!(format_bytes(4.0 * TB), "4.00 TB");
+    }
+
+    #[test]
+    fn formats_rates() {
+        assert_eq!(format_rate(2_870.0 * MB), "2.87 GB/s");
+    }
+
+    #[test]
+    fn formats_seconds_adaptively() {
+        assert_eq!(format_seconds(0.5), "500.00 ms");
+        assert_eq!(format_seconds(42.0), "42.00 s");
+        assert_eq!(format_seconds(90.0), "1.50 min");
+        assert_eq!(format_seconds(4.72 * 3600.0), "4.72 hrs");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the foundation utilities.
+
+use nopfs_util::rng::{mix64, Xoshiro256pp};
+use nopfs_util::stats::{linear_fit, Histogram, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bounded draws always land in range, for any seed and bound.
+    #[test]
+    fn next_below_in_range(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    /// Shuffling any vector yields a permutation of it.
+    #[test]
+    fn shuffle_is_permutation(seed in any::<u64>(), n in 0usize..300) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut v: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    /// The PRNG stream is a pure function of the seed.
+    #[test]
+    fn stream_reproducible(seed in any::<u64>()) {
+        let mut a = Xoshiro256pp::seed_from_u64(seed);
+        let mut b = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// f64 draws stay in [0, 1) and open draws in (0, 1].
+    #[test]
+    fn unit_interval_draws(seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..100 {
+            let x = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&x));
+            let y = rng.next_f64_open();
+            prop_assert!(y > 0.0 && y <= 1.0);
+        }
+    }
+
+    /// mix64 is deterministic and (statistically) input-sensitive.
+    #[test]
+    fn mix64_deterministic(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(mix64(a, b), mix64(a, b));
+        prop_assert_ne!(mix64(a, b), mix64(a, b.wrapping_add(1)));
+    }
+
+    /// Summary order statistics are consistent: min <= p25 <= median <=
+    /// p75 <= max, and the mean lies within [min, max].
+    #[test]
+    fn summary_order_statistics(data in prop::collection::vec(-1e9f64..1e9, 1..200)) {
+        let s = Summary::new(&data);
+        prop_assert!(s.min() <= s.percentile(25.0) + 1e-9);
+        prop_assert!(s.percentile(25.0) <= s.median() + 1e-9);
+        prop_assert!(s.median() <= s.percentile(75.0) + 1e-9);
+        prop_assert!(s.percentile(75.0) <= s.max() + 1e-9);
+        prop_assert!(s.mean() >= s.min() - 1e-9 && s.mean() <= s.max() + 1e-9);
+        let (lo, hi) = s.median_ci95();
+        prop_assert!(lo <= s.median() + 1e-9 && s.median() <= hi + 1e-9);
+    }
+
+    /// Histograms never lose observations, whatever the values.
+    #[test]
+    fn histogram_conserves_counts(
+        values in prop::collection::vec(any::<u64>(), 0..200),
+        buckets in 1usize..20,
+        width in 1u64..1000,
+    ) {
+        let mut h = Histogram::new(buckets, width);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.total(), values.len() as u64);
+    }
+
+    /// Linear regression exactly recovers noiseless lines.
+    #[test]
+    fn linear_fit_recovers_lines(
+        a in -100.0f64..100.0,
+        b in -100.0f64..100.0,
+        n in 2usize..20,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| a + b * x).collect();
+        let (ia, ib) = linear_fit(&xs, &ys);
+        prop_assert!((ia - a).abs() < 1e-6 * (1.0 + a.abs()));
+        prop_assert!((ib - b).abs() < 1e-6 * (1.0 + b.abs()));
+    }
+}

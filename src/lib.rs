@@ -1,0 +1,34 @@
+//! NoPFS — a reproduction of "Clairvoyant Prefetching for Distributed
+//! Machine Learning I/O" (Dryden, Böhringer, Ben-Nun, Hoefler; SC 2021).
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! - [`core`] — the NoPFS middleware itself (paper Sec. 5).
+//! - [`clairvoyance`] — seeded access streams, frequency analysis,
+//!   placement (Secs. 2–3).
+//! - [`perfmodel`] — the storage-hierarchy performance model (Sec. 4).
+//! - [`simulator`] — the I/O policy simulator (Sec. 6).
+//! - [`baselines`] — PyTorch-like, DALI-like, LBANN-like, naive, and
+//!   no-I/O runtime loaders (Sec. 7's comparison points).
+//! - [`pfs`], [`net`], [`storage`] — the synthetic substrates standing
+//!   in for GPFS/Lustre, MPI, and tiered node-local storage.
+//! - [`datasets`] — synthetic datasets with the paper's published size
+//!   distributions.
+//! - [`train`] — the bulk-synchronous training loop and a tiny real
+//!   model for end-to-end runs.
+//! - [`util`] — deterministic PRNG, statistics, pacing, timing.
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use nopfs_baselines as baselines;
+pub use nopfs_clairvoyance as clairvoyance;
+pub use nopfs_core as core;
+pub use nopfs_datasets as datasets;
+pub use nopfs_net as net;
+pub use nopfs_perfmodel as perfmodel;
+pub use nopfs_pfs as pfs;
+pub use nopfs_simulator as simulator;
+pub use nopfs_storage as storage;
+pub use nopfs_train as train;
+pub use nopfs_util as util;
