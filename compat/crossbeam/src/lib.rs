@@ -1,0 +1,9 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the subset this workspace uses: [`channel`] with
+//! `bounded`/`unbounded` MPMC channels whose `Sender` and `Receiver`
+//! are both `Clone + Send + Sync`, matching crossbeam's semantics
+//! (which `std::sync::mpsc` does not: its bounded sender is a distinct
+//! type and its receiver is neither `Clone` nor `Sync`).
+
+pub mod channel;

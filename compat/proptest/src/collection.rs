@@ -1,0 +1,156 @@
+//! Collection strategies: `vec` and `hash_map`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+/// An inclusive-of-min, exclusive-of-max collection size range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        debug_assert!(self.min < self.max_exclusive);
+        self.min + rng.below((self.max_exclusive - self.min) as u64) as usize
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            min: *r.start(),
+            max_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+/// A strategy for `Vec`s whose elements come from `element` and whose
+/// length falls in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec()`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy for `HashMap`s with keys from `keys`, values from
+/// `values`, and size in `size` (collisions permitting — with fewer
+/// distinct keys than the minimum size the map may come up short, as in
+/// real proptest).
+pub fn hash_map<K: Strategy, V: Strategy>(
+    keys: K,
+    values: V,
+    size: impl Into<SizeRange>,
+) -> HashMapStrategy<K, V>
+where
+    K::Value: Hash + Eq,
+{
+    HashMapStrategy {
+        keys,
+        values,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`hash_map`].
+#[derive(Debug, Clone)]
+pub struct HashMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for HashMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Hash + Eq,
+{
+    type Value = HashMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.pick(rng);
+        let mut map = HashMap::with_capacity(target);
+        // Bounded retries so key spaces smaller than `target` terminate.
+        let mut attempts = 0usize;
+        while map.len() < target && attempts < target * 10 + 16 {
+            map.insert(self.keys.generate(rng), self.values.generate(rng));
+            attempts += 1;
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_respects_size_and_element_ranges() {
+        let strat = vec(3u8..7, 2..5);
+        let mut rng = TestRng::new(1);
+        for _ in 0..128 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|e| (3..7).contains(e)));
+        }
+    }
+
+    #[test]
+    fn hash_map_hits_target_size_with_large_key_space() {
+        let strat = hash_map(any::<u64>(), 0u8..4, 5..8);
+        let mut rng = TestRng::new(2);
+        for _ in 0..64 {
+            let m = strat.generate(&mut rng);
+            assert!((5..8).contains(&m.len()));
+        }
+    }
+
+    #[test]
+    fn hash_map_terminates_on_tiny_key_space() {
+        let strat = hash_map(0u8..2, 0u8..2, 5..6);
+        let m = strat.generate(&mut TestRng::new(3));
+        assert!(m.len() <= 2);
+    }
+}

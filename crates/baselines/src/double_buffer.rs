@@ -151,8 +151,7 @@ impl DoubleBufferLoader {
                     }
                 };
                 stats.count_pfs();
-                let wt =
-                    config.system.write_time(data.len() as u64) * preprocess_factor;
+                let wt = config.system.write_time(data.len() as u64) * preprocess_factor;
                 config.scale.wait(wt);
                 if !stage.push(pos, k, data) {
                     break;

@@ -139,7 +139,13 @@ impl Ctx {
             let (tx, rx) = crossbeam::channel::bounded::<RemoteReply>(1);
             if self
                 .endpoint
-                .send(owner, Msg::Request { sample: k, reply: tx })
+                .send(
+                    owner,
+                    Msg::Request {
+                        sample: k,
+                        reply: tx,
+                    },
+                )
                 .is_ok()
             {
                 if let Ok(reply) = rx.recv() {
@@ -225,7 +231,7 @@ impl LbannLoader {
                     break;
                 }
                 let k = stream[pos as usize];
-                let epoch = if ctx.epoch_len == 0 { 0 } else { pos / ctx.epoch_len };
+                let epoch = pos.checked_div(ctx.epoch_len).unwrap_or(0);
                 let data = ctx.fetch(k, epoch);
                 let wt = ctx.config.system.write_time(data.len() as u64);
                 ctx.config.scale.wait(wt);
@@ -237,9 +243,9 @@ impl LbannLoader {
 
         let server = {
             let ctx = Arc::clone(&ctx);
-            std::thread::spawn(move || loop {
-                match ctx.endpoint.recv() {
-                    Ok(env) => match env.msg {
+            std::thread::spawn(move || {
+                while let Ok(env) = ctx.endpoint.recv() {
+                    match env.msg {
                         Msg::Request { sample, reply } => {
                             let data = ctx
                                 .metadata
@@ -252,8 +258,7 @@ impl LbannLoader {
                         }
                         Msg::Shutdown => break,
                         Msg::Digest(_) => {}
-                    },
-                    Err(_) => break,
+                    }
                 }
             })
         };

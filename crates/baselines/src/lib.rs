@@ -56,7 +56,11 @@ pub trait DataLoader: Send {
             return None;
         }
         let epoch_len = self.epoch_len();
-        let into_epoch = if epoch_len == 0 { 0 } else { consumed % epoch_len };
+        let into_epoch = if epoch_len == 0 {
+            0
+        } else {
+            consumed % epoch_len
+        };
         let want = (self.batch_size() as u64).min(epoch_len - into_epoch) as usize;
         let mut batch = Vec::with_capacity(want);
         for _ in 0..want {

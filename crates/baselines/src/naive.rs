@@ -42,8 +42,7 @@ impl NaiveRunner {
                     let config = self.config.clone();
                     let pfs = pfs.clone();
                     s.spawn(move || {
-                        let stream =
-                            AccessStream::new(spec, rank, config.epochs).materialize();
+                        let stream = AccessStream::new(spec, rank, config.epochs).materialize();
                         let mut loader = NaiveLoader {
                             rank,
                             config,
@@ -165,9 +164,7 @@ mod tests {
             pfs.put(id, Bytes::from(vec![0u8; 64]));
         }
         pfs.inject_fault(3, 2);
-        let counts = runner.run(&pfs, |l| {
-            std::iter::from_fn(|| l.next_sample()).count()
-        });
+        let counts = runner.run(&pfs, |l| std::iter::from_fn(|| l.next_sample()).count());
         assert_eq!(counts.iter().sum::<usize>(), 8);
     }
 }

@@ -40,8 +40,7 @@ impl NoIoRunner {
                     let sizes = Arc::clone(&self.sizes);
                     let config = self.config.clone();
                     s.spawn(move || {
-                        let stream =
-                            AccessStream::new(spec, rank, config.epochs).materialize();
+                        let stream = AccessStream::new(spec, rank, config.epochs).materialize();
                         // "We pregenerate random samples in RAM of the
                         // appropriate size": one random pool, sliced
                         // zero-copy per sample.

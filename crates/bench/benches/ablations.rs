@@ -29,18 +29,14 @@ fn contended(ram: u64, ssd: u64, epochs: u64) -> Scenario {
     sys.classes[0].capacity = ram;
     sys.classes[1].capacity = ssd;
     sys.staging.capacity = 16 * 1_000_000;
-    Scenario::new(
-        "ablation",
-        sys,
-        vec![100_000u64; 2_000],
-        epochs,
-        8,
-        0xAB1,
-    )
+    Scenario::new("ablation", sys, vec![100_000u64; 2_000], epochs, 8, 0xAB1)
 }
 
 fn main() {
-    report::banner("Ablations", "Design-choice isolation on a contended cluster");
+    report::banner(
+        "Ablations",
+        "Design-choice isolation on a contended cluster",
+    );
 
     report::section("1. Placement policy (same substrates, same budget)");
     let s = contended(60_000_000, 200_000_000, 4);
@@ -63,7 +59,12 @@ fn main() {
     }
 
     report::section("2. Prefetching and caching vs prefetching alone");
-    for policy in [Policy::NoPfs, Policy::StagingBuffer, Policy::Naive, Policy::Perfect] {
+    for policy in [
+        Policy::NoPfs,
+        Policy::StagingBuffer,
+        Policy::Naive,
+        Policy::Perfect,
+    ] {
         let r = run(&s, policy).expect("supported");
         println!(
             "{:<20} {:>8.3}s  ({} of lower bound)",
@@ -105,5 +106,7 @@ fn main() {
         );
     }
     println!();
-    println!("paper reference: 'we confirmed that, in practice, there are very few false positives.'");
+    println!(
+        "paper reference: 'we confirmed that, in practice, there are very few false positives.'"
+    );
 }

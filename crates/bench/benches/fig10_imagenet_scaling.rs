@@ -36,7 +36,10 @@ fn main() {
         };
         report::banner(
             "Fig. 10",
-            &format!("ImageNet-1k epoch & batch times on {} (scaled)", kind.name()),
+            &format!(
+                "ImageNet-1k epoch & batch times on {} (scaled)",
+                kind.name()
+            ),
         );
         for &n in &worker_counts {
             let exp = Experiment::imagenet(kind, n);
@@ -67,16 +70,17 @@ fn main() {
                 }
             }
             if let (Some(pt), Some(np)) = (pytorch_epoch, nopfs_epoch) {
-                println!(
-                    "  -> NoPFS speedup over PyTorch: {}",
-                    report::ratio(pt, np)
-                );
+                println!("  -> NoPFS speedup over PyTorch: {}", report::ratio(pt, np));
             }
         }
         println!();
         println!(
             "paper reference: NoPFS up to {} faster than PyTorch on {}, growing with scale.",
-            if kind == SystemKind::PizDaint { "2.2x" } else { "5.4x" },
+            if kind == SystemKind::PizDaint {
+                "2.2x"
+            } else {
+                "5.4x"
+            },
             kind.name()
         );
     }

@@ -10,7 +10,10 @@ use nopfs_bench::{env_u64, report};
 
 fn main() {
     let max_workers = env_u64("NOPFS_BENCH_WORKERS", 8) as usize;
-    report::banner("Fig. 14", "ImageNet-22k epoch & batch times on Lassen (scaled)");
+    report::banner(
+        "Fig. 14",
+        "ImageNet-22k epoch & batch times on Lassen (scaled)",
+    );
     for n in [2usize, 4, 8, 16] {
         if n > max_workers {
             continue;

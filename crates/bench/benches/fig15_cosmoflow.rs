@@ -22,15 +22,15 @@ fn largest_gap_fraction(s: &Summary) -> f64 {
     if spread <= 0.0 {
         return 0.0;
     }
-    v.windows(2)
-        .map(|w| w[1] - w[0])
-        .fold(0.0f64, f64::max)
-        / spread
+    v.windows(2).map(|w| w[1] - w[0]).fold(0.0f64, f64::max) / spread
 }
 
 fn main() {
     let max_workers = env_u64("NOPFS_BENCH_WORKERS", 8) as usize;
-    report::banner("Fig. 15", "CosmoFlow epoch & batch times on Lassen (scaled)");
+    report::banner(
+        "Fig. 15",
+        "CosmoFlow epoch & batch times on Lassen (scaled)",
+    );
     for n in [2usize, 4, 8, 16] {
         if n > max_workers {
             continue;

@@ -65,7 +65,7 @@ fn train_worker(
         }
         model.apply(&grad, LR);
         consumed += batch.len() as u64;
-        if consumed % epoch_len == 0 {
+        if consumed.is_multiple_of(epoch_len) {
             curve.push(EpochPoint {
                 time: scale.to_model(t0.elapsed()),
                 accuracy: model.accuracy(eval),
@@ -123,7 +123,7 @@ fn main() {
         "Fig. 16",
         "End-to-end training: accuracy vs time and epochs (scaled)",
     );
-    let profile = DatasetProfile::new("Fig16-Synthetic", 1_200, 20_000.0, 0.0, 2, 0xF16_D);
+    let profile = DatasetProfile::new("Fig16-Synthetic", 1_200, 20_000.0, 0.0, 2, 0xF16D);
     let sizes = Arc::new(profile.sizes());
     report::config_line(&format!(
         "{WORKERS} workers, {EPOCHS} epochs, F={}, logistic model dim={DIM}",
@@ -148,7 +148,10 @@ fn main() {
 
     report::section("Summary (paper: 111 min PyTorch vs 78 min NoPFS, both 76.5%)");
     for (policy, time, acc) in &finals {
-        println!("{policy:<8} finished at {time:>8.3}s with accuracy {:>5.1}%", acc * 100.0);
+        println!(
+            "{policy:<8} finished at {time:>8.3}s with accuracy {:>5.1}%",
+            acc * 100.0
+        );
     }
     let pt = finals.iter().find(|f| f.0 == "pytorch").expect("ran");
     let np = finals.iter().find(|f| f.0 == "nopfs").expect("ran");

@@ -25,7 +25,7 @@ fn main() {
         if f < full_f { " (scaled)" } else { "" }
     ));
 
-    let spec = ShuffleSpec::new(0xF16_3, f, workers, 64, false);
+    let spec = ShuffleSpec::new(0xF163, f, workers, 64, false);
     let table = FrequencyTable::build(&spec, epochs);
     let hist = table.histogram(0, 18);
 

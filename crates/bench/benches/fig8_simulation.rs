@@ -29,14 +29,13 @@ fn main() {
             scenario.regime(),
         ));
         println!(
-            "{:<20} {:>12} {:>7} {:>7} {:>7} {:>7}  {}",
+            "{:<20} {:>12} {:>7} {:>7} {:>7} {:>7}  notes",
             "Policy",
             format!("time ({})", sc.unit),
             "stg%",
             "loc%",
             "rem%",
-            "pfs%",
-            "notes"
+            "pfs%"
         );
         let mut lb = None;
         let mut nopfs = None;

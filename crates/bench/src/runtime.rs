@@ -2,9 +2,7 @@
 //! baselines) through the timed training loop on the synthetic
 //! substrates, and aggregates the numbers the Sec. 7 figures report.
 
-use nopfs_baselines::{
-    DataLoader, DoubleBufferRunner, LbannRunner, NaiveRunner, NoIoRunner,
-};
+use nopfs_baselines::{DataLoader, DoubleBufferRunner, LbannRunner, NaiveRunner, NoIoRunner};
 use nopfs_core::stats::WorkerStats;
 use nopfs_core::{Job, JobConfig};
 use nopfs_datasets::DatasetProfile;
@@ -204,8 +202,14 @@ pub fn run_policy(exp: &Experiment, policy: RuntimePolicy) -> Option<PolicyRun> 
     // per-step allreduce requires (ragged counts would deadlock the
     // collective — the same reason frameworks drop the last partial
     // global batch in distributed training).
-    let config = JobConfig::new(exp.seed, exp.epochs, exp.batch, exp.system.clone(), exp.scale)
-        .drop_last(true);
+    let config = JobConfig::new(
+        exp.seed,
+        exp.epochs,
+        exp.batch,
+        exp.system.clone(),
+        exp.scale,
+    )
+    .drop_last(true);
     let loop_cfg = TrainLoopConfig {
         compute_rate: exp.compute,
         scale: exp.scale,
@@ -233,9 +237,7 @@ pub fn run_policy(exp: &Experiment, policy: RuntimePolicy) -> Option<PolicyRun> 
 
     let per_worker: Vec<RunMetrics> = match policy {
         RuntimePolicy::NoIo => NoIoRunner::new(config, sizes).run(body),
-        RuntimePolicy::PyTorch => {
-            DoubleBufferRunner::pytorch_like(config, sizes).run(&pfs, body)
-        }
+        RuntimePolicy::PyTorch => DoubleBufferRunner::pytorch_like(config, sizes).run(&pfs, body),
         RuntimePolicy::Dali => DoubleBufferRunner::dali_like(config, sizes).run(&pfs, body),
         RuntimePolicy::Naive => NaiveRunner::new(config, sizes).run(&pfs, body),
         RuntimePolicy::Lbann => {

@@ -168,8 +168,7 @@ impl Fig8Scenario {
             .with_compute_mbps(self.compute_mbps, 200.0)
             .with_workers(self.workers);
         scale_capacities(&mut system, factor);
-        system.pfs_read =
-            thrashing_pfs_curve(self.pfs_collapse.0, self.pfs_collapse.1 * MB);
+        system.pfs_read = thrashing_pfs_curve(self.pfs_collapse.0, self.pfs_collapse.1 * MB);
         let sizes = profile.sizes();
         let scenario = Scenario::new(
             profile.name.clone(),
@@ -212,14 +211,7 @@ pub fn fig9_base(extra_scale: f64) -> (Scenario, f64) {
     scale_capacities(&mut system, factor);
     system.pfs_read = thrashing_pfs_curve(32.0, 846.0 * MB);
     let sizes = profile.sizes();
-    let scenario = Scenario::new(
-        profile.name.clone(),
-        system,
-        sizes,
-        3,
-        32,
-        0xF19_0001,
-    );
+    let scenario = Scenario::new(profile.name.clone(), system, sizes, 3, 32, 0xF19_0001);
     (scenario, factor)
 }
 

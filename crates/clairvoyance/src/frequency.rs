@@ -190,7 +190,10 @@ impl FrequencyTable {
     /// randomization and no `drop_last` this is exactly `E` for every
     /// sample (each sample is read once per epoch).
     pub fn total_frequency(&self, sample: SampleId) -> u32 {
-        self.counts.iter().map(|c| u32::from(c[sample as usize])).sum()
+        self.counts
+            .iter()
+            .map(|c| u32::from(c[sample as usize]))
+            .sum()
     }
 
     /// Number of samples `worker` accesses at least `k` times — the
@@ -249,7 +252,11 @@ mod tests {
         let (n, p) = (90u64, 1.0 / 16.0);
         for k in 0..=n {
             let sf = binomial_sf(n, p, k);
-            let cdf_prev = if k == 0 { 0.0 } else { binomial_cdf(n, p, k - 1) };
+            let cdf_prev = if k == 0 {
+                0.0
+            } else {
+                binomial_cdf(n, p, k - 1)
+            };
             assert!((sf + cdf_prev - 1.0).abs() < 1e-10, "k={k}");
         }
         assert_eq!(binomial_sf(10, 0.5, 0), 1.0);

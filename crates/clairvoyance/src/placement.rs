@@ -87,8 +87,8 @@ impl CacheAssignment {
             // rank list once per class starting from the first
             // still-unassigned entry.
             let mut next_cursor = None;
-            for idx in cursor..f {
-                let k = rank[idx] as usize;
+            for (idx, &ranked) in rank.iter().enumerate().skip(cursor) {
+                let k = ranked as usize;
                 if class_of[k] != UNASSIGNED {
                     continue;
                 }
@@ -199,8 +199,7 @@ impl GlobalPlacement {
             })
             .collect();
 
-        let mut holders: Vec<Vec<(WorkerId, u8)>> =
-            vec![Vec::new(); spec.num_samples as usize];
+        let mut holders: Vec<Vec<(WorkerId, u8)>> = vec![Vec::new(); spec.num_samples as usize];
         for (w, a) in assignments.iter().enumerate() {
             for (k, &c) in a.class_map().iter().enumerate() {
                 if c != UNASSIGNED {

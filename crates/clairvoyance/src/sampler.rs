@@ -241,14 +241,8 @@ mod tests {
         let s = spec(10, 2, 2, false);
         let shuf = s.epoch_shuffle(0);
         let g = shuf.global_order().to_vec();
-        assert_eq!(
-            shuf.worker_sequence(0),
-            vec![g[0], g[2], g[4], g[6], g[8]]
-        );
-        assert_eq!(
-            shuf.worker_sequence(1),
-            vec![g[1], g[3], g[5], g[7], g[9]]
-        );
+        assert_eq!(shuf.worker_sequence(0), vec![g[0], g[2], g[4], g[6], g[8]]);
+        assert_eq!(shuf.worker_sequence(1), vec![g[1], g[3], g[5], g[7], g[9]]);
     }
 
     #[test]
@@ -274,8 +268,8 @@ mod tests {
         // 103 = 4*25 + 3: workers 0..3 get 26, worker 3 gets 25.
         assert_eq!(lens, vec![26, 26, 26, 25]);
         let shuf = s.epoch_shuffle(0);
-        for w in 0..4 {
-            assert_eq!(shuf.worker_sequence(w).len() as u64, lens[w]);
+        for (w, &len) in lens.iter().enumerate() {
+            assert_eq!(shuf.worker_sequence(w).len() as u64, len);
         }
     }
 

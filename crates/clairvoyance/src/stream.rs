@@ -160,8 +160,7 @@ impl Iterator for StreamIter {
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         let remaining_epochs = self.stream.epochs - self.epoch;
-        let n = (self.buf.len() - self.pos) as u64
-            + remaining_epochs * self.stream.epoch_len();
+        let n = (self.buf.len() - self.pos) as u64 + remaining_epochs * self.stream.epoch_len();
         (n as usize, Some(n as usize))
     }
 }
@@ -255,7 +254,7 @@ mod tests {
         let sp = spec(37, 3);
         let streams: Vec<_> = (0..3).map(|w| AccessStream::new(sp, w, 2)).collect();
         for e in 0..2 {
-            let mut counts = vec![0u32; 37];
+            let mut counts = [0u32; 37];
             for s in &streams {
                 for id in s.epoch_sequence(e) {
                     counts[id as usize] += 1;

@@ -8,9 +8,8 @@ use nopfs_clairvoyance::stream::AccessStream;
 use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = ShuffleSpec> {
-    (any::<u64>(), 1u64..400, 1usize..6, 1usize..9).prop_map(|(seed, f, n, b)| {
-        ShuffleSpec::new(seed, f, n, b, false)
-    })
+    (any::<u64>(), 1u64..400, 1usize..6, 1usize..9)
+        .prop_map(|(seed, f, n, b)| ShuffleSpec::new(seed, f, n, b, false))
 }
 
 proptest! {

@@ -197,7 +197,13 @@ impl WorkerCtx {
     fn request_remote(&self, owner: usize, k: SampleId) -> Option<Bytes> {
         let (tx, rx) = crossbeam::channel::bounded::<RemoteReply>(1);
         self.endpoint
-            .send(owner, Msg::Request { sample: k, reply: tx })
+            .send(
+                owner,
+                Msg::Request {
+                    sample: k,
+                    reply: tx,
+                },
+            )
             .ok()?;
         let reply = rx.recv().ok()?;
         debug_assert_eq!(reply.sample, k);
@@ -247,6 +253,10 @@ impl WorkerHandle {
                 "worker {o}'s access stream diverged from the seed — clairvoyance broken"
             );
         }
+        // The allgather requires exclusive use of the endpoints: a rank
+        // that finished early could otherwise start its prefetchers and
+        // inject sample requests into a peer still collecting digests.
+        endpoint.barrier();
 
         let backends: Vec<Arc<dyn StorageBackend>> = sys
             .classes
@@ -271,9 +281,8 @@ impl WorkerHandle {
                 .collect::<Vec<_>>(),
         );
         let stage = ReorderStage::new(sys.staging.capacity);
-        let stream = Arc::new(
-            AccessStream::new(shared.spec, rank, shared.config.epochs).materialize(),
-        );
+        let stream =
+            Arc::new(AccessStream::new(shared.spec, rank, shared.config.epochs).materialize());
         let epoch_len = shared.spec.worker_epoch_len(rank);
 
         let ctx = Arc::new(WorkerCtx {
@@ -332,11 +341,7 @@ impl WorkerHandle {
                 // the p0 threads pays it independently, so the aggregate
                 // preprocessing rate scales with the thread count, as in
                 // the performance model.
-                let wt = ctx
-                    .shared
-                    .config
-                    .system
-                    .write_time(data.len() as u64);
+                let wt = ctx.shared.config.system.write_time(data.len() as u64);
                 ctx.shared.config.scale.wait(wt);
                 if !ctx.stage.push(pos, k, data) {
                     break; // stage closed
@@ -347,9 +352,9 @@ impl WorkerHandle {
         // Serving loop: answer remote requests until shutdown.
         let server = {
             let ctx = Arc::clone(&ctx);
-            std::thread::spawn(move || loop {
-                match ctx.endpoint.recv() {
-                    Ok(env) => match env.msg {
+            std::thread::spawn(move || {
+                while let Ok(env) = ctx.endpoint.recv() {
+                    match env.msg {
                         Msg::Request { sample, reply } => {
                             let data = ctx
                                 .metadata
@@ -365,8 +370,7 @@ impl WorkerHandle {
                         Msg::Digest(_) => {
                             // Setup finished before this loop started.
                         }
-                    },
-                    Err(_) => break,
+                    }
                 }
             })
         };
@@ -405,11 +409,7 @@ impl WorkerHandle {
 
     /// The epoch of the *next* sample to be yielded.
     pub fn current_epoch(&self) -> u64 {
-        if self.epoch_len == 0 {
-            0
-        } else {
-            self.consumed / self.epoch_len
-        }
+        self.consumed.checked_div(self.epoch_len).unwrap_or(0)
     }
 
     /// Next sample in access-stream order, blocking on the staging

@@ -59,7 +59,14 @@ impl DatasetProfile {
     /// ImageNet-1k (scenario 2): μ=0.1077 MB, σ=0.1 MB, F=1,281,167;
     /// 135 GB, 1000 classes.
     pub fn imagenet_1k() -> Self {
-        Self::new("ImageNet-1k", 1_281_167, 0.1077 * MB, 0.1 * MB, 1_000, 0x494E31)
+        Self::new(
+            "ImageNet-1k",
+            1_281_167,
+            0.1077 * MB,
+            0.1 * MB,
+            1_000,
+            0x494E31,
+        )
     }
 
     /// OpenImages (scenario 2): μ=0.2937 MB, σ=0.2 MB, F=1,743,042;
@@ -253,7 +260,10 @@ mod tests {
         assert!((cf.total_bytes() as f64 - 4.456 * TB).abs() < 0.01 * TB);
 
         // CosmoFlow-512: 10,000 x 1 GB = 10 TB.
-        assert_eq!(DatasetProfile::cosmoflow_512().total_bytes(), 10_000_000_000_000);
+        assert_eq!(
+            DatasetProfile::cosmoflow_512().total_bytes(),
+            10_000_000_000_000
+        );
     }
 
     #[test]

@@ -149,12 +149,10 @@ fn parse_f64(value: &str, line: usize) -> Result<f64, ConfigError> {
 }
 
 fn parse_u32(value: &str, line: usize) -> Result<u32, ConfigError> {
-    value
-        .parse::<u32>()
-        .map_err(|_| ConfigError {
-            line,
-            message: format!("'{value}' is not a non-negative integer"),
-        })
+    value.parse::<u32>().map_err(|_| ConfigError {
+        line,
+        message: format!("'{value}' is not a non-negative integer"),
+    })
 }
 
 fn parse_usize(value: &str, line: usize) -> Result<usize, ConfigError> {
@@ -272,11 +270,10 @@ pub fn parse_system_spec(text: &str) -> Result<SystemSpec, ConfigError> {
     let sections = tokenize(text)?;
     let find = |name: &str| sections.iter().find(|s| s.name == name);
 
-    let system = find("system")
-        .ok_or_else(|| ConfigError {
-            line: 0,
-            message: "missing required section [system]".into(),
-        })?;
+    let system = find("system").ok_or_else(|| ConfigError {
+        line: 0,
+        message: "missing required section [system]".into(),
+    })?;
     let name = system
         .get("name")
         .map(|(v, _)| v.to_string())
@@ -444,10 +441,7 @@ read_mbps = 2:4000   ; trailing comment
         assert_eq!(parsed.workers, preset.workers);
         assert_eq!(parsed.compute, preset.compute);
         assert_eq!(parsed.staging.capacity, preset.staging.capacity);
-        assert_eq!(
-            parsed.classes[1].capacity,
-            preset.classes[1].capacity
-        );
+        assert_eq!(parsed.classes[1].capacity, preset.classes[1].capacity);
     }
 
     #[test]
@@ -487,7 +481,10 @@ read_mbps = 2:4000   ; trailing comment
 
     #[test]
     fn missing_section_is_reported() {
-        expect_err("[system]\nworkers=1\ncompute_mbps=1\npreprocess_mbps=1\ninterconnect_mbps=1\n", "[pfs]");
+        expect_err(
+            "[system]\nworkers=1\ncompute_mbps=1\npreprocess_mbps=1\ninterconnect_mbps=1\n",
+            "[pfs]",
+        );
     }
 
     #[test]

@@ -117,10 +117,7 @@ impl ThroughputCurve {
 
     /// Maximum measured aggregate throughput.
     pub fn peak_measured(&self) -> f64 {
-        self.points
-            .iter()
-            .map(|p| p.1)
-            .fold(f64::MIN, f64::max)
+        self.points.iter().map(|p| p.1).fold(f64::MIN, f64::max)
     }
 }
 

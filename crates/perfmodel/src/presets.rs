@@ -22,12 +22,7 @@ use nopfs_util::units::{GB, MB};
 /// Write curves are rarely measured separately for RAM-like devices; the
 /// paper's simulation config only lists read rates, so presets default
 /// writes to the read curve (correct for RAM, conservative for SSD).
-fn class(
-    name: &str,
-    capacity: f64,
-    threads: u32,
-    read: ThroughputCurve,
-) -> StorageClass {
+fn class(name: &str, capacity: f64, threads: u32, read: ThroughputCurve) -> StorageClass {
     StorageClass {
         name: name.to_string(),
         capacity: capacity as u64,
@@ -76,7 +71,10 @@ pub fn saturating_pfs_curve(peak: f64, saturation_clients: f64) -> ThroughputCur
 /// Panics unless `collapse_clients > 8` and `collapse_total` is
 /// positive.
 pub fn thrashing_pfs_curve(collapse_clients: f64, collapse_total: f64) -> ThroughputCurve {
-    assert!(collapse_clients > 8.0, "collapse must lie beyond the measured range");
+    assert!(
+        collapse_clients > 8.0,
+        "collapse must lie beyond the measured range"
+    );
     assert!(collapse_total > 0.0);
     ThroughputCurve::from_points(&[
         (1.0, 330.0 * MB),

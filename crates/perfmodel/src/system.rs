@@ -52,12 +52,14 @@ pub struct StorageClass {
 impl StorageClass {
     /// Per-thread read rate `r_j(p_j)/p_j` at the configured thread count.
     pub fn read_per_thread(&self) -> f64 {
-        self.read.per_thread(f64::from(self.prefetch_threads.max(1)))
+        self.read
+            .per_thread(f64::from(self.prefetch_threads.max(1)))
     }
 
     /// Per-thread write rate `w_j(p_j)/p_j` at the configured thread count.
     pub fn write_per_thread(&self) -> f64 {
-        self.write.per_thread(f64::from(self.prefetch_threads.max(1)))
+        self.write
+            .per_thread(f64::from(self.prefetch_threads.max(1)))
     }
 }
 
@@ -281,7 +283,7 @@ mod tests {
     fn pfs_fetch_reflects_contention() {
         let s = sys();
         let size = 100 * 1_000_000u64; // 100 MB
-        // 1 reader: 330 MB/s. 8 readers: 2870/8 = 358.75 MB/s per reader.
+                                       // 1 reader: 330 MB/s. 8 readers: 2870/8 = 358.75 MB/s per reader.
         let t1 = s.fetch_pfs(size, 1);
         let t8 = s.fetch_pfs(size, 8);
         assert!((t1 - 100.0 / 330.0).abs() < 1e-6);

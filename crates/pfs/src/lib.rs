@@ -127,7 +127,8 @@ impl Pfs {
 
     fn object_path(dir: &std::path::Path, id: ObjectId) -> PathBuf {
         // Two-level fan-out keeps directories small for large datasets.
-        dir.join(format!("{:03}", id % 997)).join(format!("{id}.bin"))
+        dir.join(format!("{:03}", id % 997))
+            .join(format!("{id}.bin"))
     }
 
     /// Stores an object (dataset materialization; not paced — the paper's
@@ -193,11 +194,7 @@ impl Pfs {
 
         let guard = ReaderGuard::enter(&self.inner);
         let data = match &self.inner.store {
-            Store::Memory(map) => map
-                .read()
-                .get(&id)
-                .cloned()
-                .ok_or(PfsError::NotFound(id))?,
+            Store::Memory(map) => map.read().get(&id).cloned().ok_or(PfsError::NotFound(id))?,
             Store::Disk { dir, .. } => {
                 let path = Self::object_path(dir, id);
                 match std::fs::read(&path) {
@@ -256,9 +253,12 @@ struct ReaderGuard<'a> {
 impl<'a> ReaderGuard<'a> {
     fn enter(inner: &'a PfsInner) -> Self {
         let gamma = inner.readers.fetch_add(1, Ordering::SeqCst) + 1;
-        inner
-            .regulator
-            .set_rate(inner.scale.rate_to_wall(inner.curve.at(gamma as f64)).max(1.0));
+        inner.regulator.set_rate(
+            inner
+                .scale
+                .rate_to_wall(inner.curve.at(gamma as f64))
+                .max(1.0),
+        );
         Self { inner }
     }
 }
@@ -267,9 +267,12 @@ impl Drop for ReaderGuard<'_> {
     fn drop(&mut self) {
         let prev = self.inner.readers.fetch_sub(1, Ordering::SeqCst);
         let gamma = prev.saturating_sub(1).max(1);
-        self.inner
-            .regulator
-            .set_rate(self.inner.scale.rate_to_wall(self.inner.curve.at(gamma as f64)).max(1.0));
+        self.inner.regulator.set_rate(
+            self.inner
+                .scale
+                .rate_to_wall(self.inner.curve.at(gamma as f64))
+                .max(1.0),
+        );
     }
 }
 

@@ -2,8 +2,8 @@
 //! arbitrary objects, and fault injection is exact.
 
 use bytes::Bytes;
-use nopfs_pfs::{Pfs, PfsError};
 use nopfs_perfmodel::ThroughputCurve;
+use nopfs_pfs::{Pfs, PfsError};
 use nopfs_util::timing::TimeScale;
 use proptest::prelude::*;
 

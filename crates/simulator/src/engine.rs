@@ -143,11 +143,7 @@ pub fn run(scenario: &Scenario, policy: Policy) -> Result<SimResult, SimError> {
         p.on_epoch_start(epoch);
         let seqs: Vec<Vec<u64>> = (0..n).map(|w| shuffle.worker_sequence(w)).collect();
         let seqs = p.transform_epoch(epoch, seqs, &shuffle);
-        let iterations = seqs
-            .iter()
-            .map(|s| s.len().div_ceil(b))
-            .max()
-            .unwrap_or(0);
+        let iterations = seqs.iter().map(|s| s.len().div_ceil(b)).max().unwrap_or(0);
         for h in 0..iterations {
             let mut pfs_workers = 0usize;
             for w in 0..n {

@@ -64,8 +64,7 @@ pub fn sweep(
     ram_sizes: &[u64],
     ssd_sizes: &[u64],
 ) -> Result<Vec<EnvPoint>, SimError> {
-    let mut out =
-        Vec::with_capacity(staging_sizes.len() * ram_sizes.len() * ssd_sizes.len());
+    let mut out = Vec::with_capacity(staging_sizes.len() * ram_sizes.len() * ssd_sizes.len());
     for &staging in staging_sizes {
         for &ram in ram_sizes {
             for &ssd in ssd_sizes {

@@ -78,10 +78,7 @@ fn staging_share(sys: &SystemSpec) -> f64 {
 
 /// Builds the implementation for `policy`, or reports why the scenario
 /// is unsupported.
-pub(crate) fn build(
-    policy: Policy,
-    scenario: &Scenario,
-) -> Result<Box<dyn PolicyImpl>, SimError> {
+pub(crate) fn build(policy: Policy, scenario: &Scenario) -> Result<Box<dyn PolicyImpl>, SimError> {
     Ok(match policy {
         Policy::Perfect => Box::new(Perfect),
         Policy::Naive => Box::new(Naive),
@@ -158,11 +155,7 @@ impl DeepIo {
     fn new(scenario: &Scenario, ordered: bool) -> Self {
         let n = scenario.system.workers;
         let f = scenario.sizes.len();
-        let ram_cap = scenario
-            .system
-            .classes
-            .first()
-            .map_or(0, |c| c.capacity);
+        let ram_cap = scenario.system.classes.first().map_or(0, |c| c.capacity);
         let mut owner_of = vec![-1i32; f];
         let mut shards: Vec<Vec<SampleId>> = vec![Vec::new(); n];
         let mut max_shard_bytes = 0u64;
@@ -221,9 +214,7 @@ impl PolicyImpl for DeepIo {
                     let c = self.cursors[w];
                     *slot = shard[c % shard.len()];
                     self.cursors[w] = c.wrapping_add(1);
-                } else if let Some(other) =
-                    self.shards.iter().find(|s| !s.is_empty())
-                {
+                } else if let Some(other) = self.shards.iter().find(|s| !s.is_empty()) {
                     let c = self.cursors[w];
                     *slot = other[c % other.len()];
                     self.cursors[w] = c.wrapping_add(1);
@@ -303,7 +294,7 @@ impl ParallelStaging {
             // Identical layout on every worker: fill classes in id order.
             let mut class = 0usize;
             let mut used = 0u64;
-            for id in 0..f {
+            for (id, slot) in class_of.iter_mut().enumerate() {
                 let sz = scenario.sizes[id];
                 while class < caps.len() && used + sz > caps[class] {
                     class += 1;
@@ -313,7 +304,7 @@ impl ParallelStaging {
                 // same-size-dominated datasets; any residual overflow
                 // lands in the slowest class.
                 let c = class.min(caps.len().saturating_sub(1));
-                class_of[id] = c as u8;
+                *slot = c as u8;
                 used += sz;
             }
             for (w, sb) in shard_bytes.iter_mut().enumerate() {
@@ -448,11 +439,7 @@ struct Lbann {
 impl Lbann {
     fn new(scenario: &Scenario, preloading: bool) -> Result<Self, SimError> {
         let n = scenario.system.workers;
-        let ram = scenario
-            .system
-            .classes
-            .first()
-            .map_or(0, |c| c.capacity);
+        let ram = scenario.system.classes.first().map_or(0, |c| c.capacity);
         let aggregate = ram.saturating_mul(n as u64);
         let s_total = scenario.total_bytes();
         if s_total > aggregate {
@@ -742,14 +729,7 @@ mod tests {
         let mut sys = fig8_small_cluster();
         sys.classes[0].capacity = 50 * sample_bytes;
         sys.classes[1].capacity = 100 * sample_bytes;
-        Scenario::new(
-            "tiny",
-            sys,
-            vec![sample_bytes; total_samples],
-            2,
-            4,
-            11,
-        )
+        Scenario::new("tiny", sys, vec![sample_bytes; total_samples], 2, 4, 11)
     }
 
     #[test]
@@ -876,9 +856,7 @@ mod tests {
         // Find a sample assigned to worker 0 whose prefetcher reaches it
         // late, then consume it before that.
         let k = (0..200u64)
-            .find(|&k| {
-                np.class_of[0][k as usize] != UNASSIGNED && np.ready[0][k as usize] > 0.1
-            })
+            .find(|&k| np.class_of[0][k as usize] != UNASSIGNED && np.ready[0][k as usize] > 0.1)
             .expect("some sample is assigned with a late ready time");
         assert!(!np.locally_ready(0, k, 0.05));
         np.on_consumed(0, k, 0.05);

@@ -138,14 +138,7 @@ mod tests {
     fn scenario_with_total(total_gb: f64) -> Scenario {
         let n = 1000usize;
         let per = (total_gb * GB / n as f64) as u64;
-        Scenario::new(
-            "test",
-            fig8_small_cluster(),
-            vec![per; n],
-            2,
-            8,
-            7,
-        )
+        Scenario::new("test", fig8_small_cluster(), vec![per; n], 2, 8, 7)
     }
 
     #[test]
@@ -173,14 +166,7 @@ mod tests {
 
     #[test]
     fn totals_and_means() {
-        let s = Scenario::new(
-            "t",
-            fig8_small_cluster(),
-            vec![10, 20, 30],
-            1,
-            1,
-            0,
-        );
+        let s = Scenario::new("t", fig8_small_cluster(), vec![10, 20, 30], 1, 1, 0);
         assert_eq!(s.total_bytes(), 60);
         assert_eq!(s.num_samples(), 3);
         assert!((s.mean_sample_bytes() - 20.0).abs() < 1e-12);

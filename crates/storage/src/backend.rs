@@ -317,10 +317,7 @@ mod tests {
     use std::time::Instant;
 
     fn tmp_dir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "nopfs-backend-{tag}-{}",
-            std::process::id()
-        ));
+        let d = std::env::temp_dir().join(format!("nopfs-backend-{tag}-{}", std::process::id()));
         std::fs::remove_dir_all(&d).ok();
         d
     }

@@ -106,8 +106,8 @@ impl StagingBuffer {
             if st.closed {
                 return false;
             }
-            let fits = st.used + size <= self.inner.capacity
-                || (st.queue.is_empty() && st.used == 0);
+            let fits =
+                st.used + size <= self.inner.capacity || (st.queue.is_empty() && st.used == 0);
             if fits {
                 break;
             }

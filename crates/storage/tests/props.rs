@@ -45,7 +45,7 @@ proptest! {
         let stage = ReorderStage::new(100_000);
         let mut order: Vec<u64> = (0..n).collect();
         Xoshiro256pp::seed_from_u64(seed).shuffle(&mut order);
-        let halves: Vec<Vec<u64>> = order.chunks((n as usize + 1) / 2).map(<[u64]>::to_vec).collect();
+        let halves: Vec<Vec<u64>> = order.chunks((n as usize).div_ceil(2)).map(<[u64]>::to_vec).collect();
         let producers: Vec<_> = halves
             .into_iter()
             .map(|chunk| {

@@ -1,4 +1,5 @@
-//! Bulk-synchronous data-parallel training on top of any [`DataLoader`].
+//! Bulk-synchronous data-parallel training on top of any
+//! [`DataLoader`](nopfs_baselines::DataLoader).
 //!
 //! Two levels of fidelity, matching what each experiment needs:
 //!

@@ -189,13 +189,10 @@ mod tests {
         cfg.scale = TimeScale::new(1e-2);
         let sizes = Arc::new(vec![5_000u64; 16]);
         let endpoints = parking_lot::Mutex::new(
-            nopfs_net::cluster::<Vec<f32>>(
-                2,
-                nopfs_net::NetConfig::new(1e12, cfg.scale),
-            )
-            .into_iter()
-            .map(Some)
-            .collect::<Vec<_>>(),
+            nopfs_net::cluster::<Vec<f32>>(2, nopfs_net::NetConfig::new(1e12, cfg.scale))
+                .into_iter()
+                .map(Some)
+                .collect::<Vec<_>>(),
         );
         let runner = NoIoRunner::new(cfg.clone(), sizes);
         let loop_cfg = TrainLoopConfig {
@@ -204,7 +201,9 @@ mod tests {
             grad_elems: 64,
         };
         let metrics = runner.run(|loader| {
-            let ep = endpoints.lock()[loader.rank()].take().expect("one take per rank");
+            let ep = endpoints.lock()[loader.rank()]
+                .take()
+                .expect("one take per rank");
             run_training_loop(loader, &loop_cfg, Some(&ep))
         });
         assert_eq!(metrics.len(), 2);

@@ -45,7 +45,12 @@ impl SyntheticTask {
         let mut direction: Vec<f32> = (0..dim)
             .map(|_| rng.next_standard_normal() as f32)
             .collect();
-        let norm = direction.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+        let norm = direction
+            .iter()
+            .map(|x| x * x)
+            .sum::<f32>()
+            .sqrt()
+            .max(1e-12);
         for d in &mut direction {
             *d /= norm;
         }
@@ -72,8 +77,7 @@ impl SyntheticTask {
         self.direction
             .iter()
             .map(|&u| {
-                (sign * self.margin * f64::from(u)
-                    + self.noise * rng.next_standard_normal()) as f32
+                (sign * self.margin * f64::from(u) + self.noise * rng.next_standard_normal()) as f32
             })
             .collect()
     }
@@ -111,11 +115,7 @@ impl LogisticModel {
     /// Accumulates the mini-batch gradient of the logistic loss into
     /// `grad` (layout: `dim` weight entries then the bias). Returns the
     /// mean loss.
-    pub fn gradient(
-        &self,
-        batch: &[(Vec<f32>, f32)],
-        grad: &mut [f32],
-    ) -> f32 {
+    pub fn gradient(&self, batch: &[(Vec<f32>, f32)], grad: &mut [f32]) -> f32 {
         assert_eq!(grad.len(), self.w.len() + 1, "grad buffer layout");
         grad.fill(0.0);
         let mut loss = 0.0f32;
@@ -181,9 +181,7 @@ mod tests {
         // opposite labels (margin >> noise here on average).
         let pos = task.features(1, 1);
         let neg = task.features(2, 0);
-        let proj = |x: &[f32]| -> f32 {
-            x.iter().zip(&task.direction).map(|(a, b)| a * b).sum()
-        };
+        let proj = |x: &[f32]| -> f32 { x.iter().zip(&task.direction).map(|(a, b)| a * b).sum() };
         assert!(proj(&pos) > 0.0);
         assert!(proj(&neg) < 0.0);
     }

@@ -25,7 +25,10 @@ impl Summary {
     /// # Panics
     /// Panics if `data` is empty or contains NaN.
     pub fn new(data: &[f64]) -> Self {
-        assert!(!data.is_empty(), "Summary requires at least one observation");
+        assert!(
+            !data.is_empty(),
+            "Summary requires at least one observation"
+        );
         assert!(
             data.iter().all(|x| !x.is_nan()),
             "Summary observations must not be NaN"
@@ -191,7 +194,10 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
         sxx += (x - mean_x) * (x - mean_x);
         sxy += (x - mean_x) * (y - mean_y);
     }
-    assert!(sxx > 0.0, "regression requires at least two distinct x values");
+    assert!(
+        sxx > 0.0,
+        "regression requires at least two distinct x values"
+    );
     let slope = sxy / sxx;
     (mean_y - slope * mean_x, slope)
 }

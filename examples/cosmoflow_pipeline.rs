@@ -48,7 +48,11 @@ fn main() {
     std::fs::remove_dir_all(&dir).ok();
     let pfs = Pfs::on_disk(&dir, system.pfs_read.clone(), scale);
     profile.materialize(&pfs);
-    println!("materialized {} objects on disk at {}", pfs.len(), dir.display());
+    println!(
+        "materialized {} objects on disk at {}",
+        pfs.len(),
+        dir.display()
+    );
 
     let config = JobConfig::new(3, 3, 4, system, scale);
     let job = Job::new(config, std::sync::Arc::clone(&sizes));

@@ -44,8 +44,7 @@ fn main() {
     );
     let mut best: Option<(f64, u64, u64)> = None;
     for &r in &ram {
-        let pts = sweep(&scenario, Policy::NoPfs, &[10_000_000], &[r], &ssd)
-            .expect("sweep runs");
+        let pts = sweep(&scenario, Policy::NoPfs, &[10_000_000], &[r], &ssd).expect("sweep runs");
         print!("{:>8}MB", r / 1_000_000);
         for p in &pts {
             print!(" {:>10.2}", p.execution_time);

@@ -35,8 +35,8 @@ fn main() {
     //    streams, frequencies, placement — is computed here.
     let config = JobConfig::new(
         0xC0FFEE,
-        2,   // epochs
-        16,  // per-worker batch size
+        2,  // epochs
+        16, // per-worker batch size
         system,
         TimeScale::new(1e-3), // run the modelled cluster 1000x faster
     );
@@ -44,7 +44,11 @@ fn main() {
     let pfs = job.make_pfs();
     profile.materialize(&pfs);
 
-    println!("dataset: {} samples, {} bytes total", sizes.len(), profile.total_bytes());
+    println!(
+        "dataset: {} samples, {} bytes total",
+        sizes.len(),
+        profile.total_bytes()
+    );
 
     // Iterate batches exactly like a framework data loader.
     let stats = job.run(&pfs, |worker| {

@@ -89,7 +89,10 @@ fn train(
     };
     let time = results.iter().map(|r| r.0).fold(0.0, f64::max);
     let acc = results[0].1;
-    println!("{name:<14} trained {EPOCHS} epochs in {time:>7.3}s -> accuracy {:.1}%", acc * 100.0);
+    println!(
+        "{name:<14} trained {EPOCHS} epochs in {time:>7.3}s -> accuracy {:.1}%",
+        acc * 100.0
+    );
     (time, acc)
 }
 

@@ -18,8 +18,10 @@
 //!   model for end-to-end runs.
 //! - [`util`] — deterministic PRNG, statistics, pacing, timing.
 //!
-//! See `README.md` for a quickstart, `DESIGN.md` for the system
-//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+//! At the repository root, [`README.md`](../../../README.md) has the
+//! quickstart, [`DESIGN.md`](../../../DESIGN.md) the crate-by-crate
+//! system inventory, and [`EXPERIMENTS.md`](../../../EXPERIMENTS.md)
+//! the bench targets with paper-vs-measured results.
 
 pub use nopfs_baselines as baselines;
 pub use nopfs_clairvoyance as clairvoyance;

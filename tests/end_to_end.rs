@@ -36,7 +36,13 @@ fn nopfs_job_on_disk_pfs_delivers_exact_streams() {
     let epochs = 3u64;
     let p = profile(120);
     let sizes = Arc::new(p.sizes());
-    let config = JobConfig::new(0xE2E, epochs, 8, small_system(workers), TimeScale::new(1e-5));
+    let config = JobConfig::new(
+        0xE2E,
+        epochs,
+        8,
+        small_system(workers),
+        TimeScale::new(1e-5),
+    );
     let job = Job::new(config.clone(), Arc::clone(&sizes));
 
     let dir = std::env::temp_dir().join(format!("nopfs-e2e-{}", std::process::id()));
@@ -48,7 +54,9 @@ fn nopfs_job_on_disk_pfs_delivers_exact_streams() {
         let rank = w.rank();
         let mut ids = Vec::new();
         while let Some((id, data)) = w.next_sample() {
-            let (decoded, _) = p.decode(&data).expect("payload integrity after caching hops");
+            let (decoded, _) = p
+                .decode(&data)
+                .expect("payload integrity after caching hops");
             assert_eq!(decoded, id);
             ids.push(id);
         }
@@ -108,8 +116,7 @@ fn all_loaders_deliver_equivalent_data() {
     let pytorch = collect(
         DoubleBufferRunner::pytorch_like(config.clone(), Arc::clone(&sizes)).run(&pfs, drain),
     );
-    let lbann =
-        collect(LbannRunner::new(config.clone(), Arc::clone(&sizes)).run(&pfs, drain));
+    let lbann = collect(LbannRunner::new(config.clone(), Arc::clone(&sizes)).run(&pfs, drain));
     let noio = collect(NoIoRunner::new(config, Arc::clone(&sizes)).run(drain));
 
     assert_eq!(nopfs, pytorch);
@@ -169,16 +176,14 @@ fn batch_shapes_are_stable_across_policies() {
     p.materialize(&pfs);
     // 24 samples per worker per epoch with batch 5: 5,5,5,5,4.
     let expect = vec![5usize, 5, 5, 5, 4, 5, 5, 5, 5, 4];
-    let shapes = DoubleBufferRunner::pytorch_like(config.clone(), Arc::clone(&sizes)).run(
-        &pfs,
-        |l| {
+    let shapes =
+        DoubleBufferRunner::pytorch_like(config.clone(), Arc::clone(&sizes)).run(&pfs, |l| {
             let mut shapes = Vec::new();
             while let Some(b) = l.next_batch() {
                 shapes.push(b.len());
             }
             shapes
-        },
-    );
+        });
     for s in shapes {
         assert_eq!(s, expect);
     }

@@ -32,7 +32,10 @@ fn fig8_qualitative_ordering_holds() {
     // Lower bound <= NoPFS <= every real competitor <= Naive.
     assert!(lb <= nopfs * 1.0001);
     assert!(nopfs <= staging, "NoPFS {nopfs} vs StagingBuffer {staging}");
-    assert!(nopfs <= locality * 1.01, "NoPFS {nopfs} vs LocalityAware {locality}");
+    assert!(
+        nopfs <= locality * 1.01,
+        "NoPFS {nopfs} vs LocalityAware {locality}"
+    );
     assert!(staging < naive, "StagingBuffer {staging} vs Naive {naive}");
     // And NoPFS lands near the bound, the paper's central claim.
     assert!(
