@@ -12,7 +12,7 @@
 
 use crate::DataLoader;
 use bytes::Bytes;
-use nopfs_clairvoyance::stream::AccessStream;
+use nopfs_clairvoyance::engine::materialize_all_streams;
 use nopfs_core::stats::{StatsCollector, WorkerStats};
 use nopfs_core::{JobConfig, SampleId};
 use nopfs_pfs::{Pfs, PfsError};
@@ -72,6 +72,9 @@ impl DoubleBufferRunner {
     {
         let n = self.config.system.workers;
         let spec = self.config.shuffle_spec(self.sizes.len() as u64);
+        // One engine pass materializes every rank's stream (O(E) shuffle
+        // generations total instead of O(N·E) across the rank threads).
+        let streams = materialize_all_streams(&spec, self.config.epochs);
         let f = &f;
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..n)
@@ -79,9 +82,10 @@ impl DoubleBufferRunner {
                     let config = self.config.clone();
                     let pfs = pfs.clone();
                     let factor = self.preprocess_factor;
+                    let stream = Arc::clone(&streams[rank]);
                     s.spawn(move || {
                         let mut loader =
-                            DoubleBufferLoader::launch(rank, config, pfs, spec, factor);
+                            DoubleBufferLoader::launch(rank, config, pfs, spec, stream, factor);
                         let result = f(&mut loader);
                         loader.shutdown();
                         result
@@ -114,9 +118,9 @@ impl DoubleBufferLoader {
         config: JobConfig,
         pfs: Pfs,
         spec: nopfs_clairvoyance::sampler::ShuffleSpec,
+        stream: Arc<Vec<SampleId>>,
         preprocess_factor: f64,
     ) -> Self {
-        let stream = Arc::new(AccessStream::new(spec, rank, config.epochs).materialize());
         // Lookahead bounded by the staging-buffer capacity, the analogue
         // of PyTorch's prefetch_factor x num_workers batches in flight.
         let stage = ReorderStage::new(config.system.staging.capacity);
@@ -217,6 +221,7 @@ impl DataLoader for DoubleBufferLoader {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nopfs_clairvoyance::stream::AccessStream;
     use nopfs_perfmodel::presets::fig8_small_cluster;
     use nopfs_perfmodel::ThroughputCurve;
     use nopfs_util::timing::TimeScale;

@@ -15,7 +15,7 @@
 
 use crate::DataLoader;
 use bytes::Bytes;
-use nopfs_clairvoyance::stream::AccessStream;
+use nopfs_clairvoyance::engine::materialize_all_streams;
 use nopfs_core::msg::{Msg, RemoteReply};
 use nopfs_core::stats::{StatsCollector, WorkerStats};
 use nopfs_core::{JobConfig, SampleId};
@@ -72,6 +72,9 @@ impl LbannRunner {
             owner_of[id as usize] = (pos % n) as u16;
         }
         let owner_of = Arc::new(owner_of);
+        // One engine pass materializes every rank's stream (O(E) shuffle
+        // generations total instead of O(N·E) across the rank threads).
+        let streams = materialize_all_streams(&spec, self.config.epochs);
         let endpoints = cluster::<Msg>(
             n,
             NetConfig::new(self.config.system.interconnect, self.config.scale),
@@ -85,9 +88,11 @@ impl LbannRunner {
                     let config = self.config.clone();
                     let pfs = pfs.clone();
                     let owner_of = Arc::clone(&owner_of);
+                    let stream = Arc::clone(&streams[rank]);
                     s.spawn(move || {
-                        let mut loader =
-                            LbannLoader::launch(rank, config, pfs, spec, owner_of, endpoint);
+                        let mut loader = LbannLoader::launch(
+                            rank, config, pfs, spec, owner_of, endpoint, stream,
+                        );
                         let result = f(&mut loader);
                         loader.shutdown();
                         result
@@ -190,6 +195,7 @@ impl LbannLoader {
         spec: nopfs_clairvoyance::sampler::ShuffleSpec,
         owner_of: Arc<Vec<u16>>,
         endpoint: Endpoint<Msg>,
+        stream: Arc<Vec<SampleId>>,
     ) -> Self {
         let ram = &config.system.classes[0];
         let p = f64::from(ram.prefetch_threads.max(1));
@@ -199,7 +205,6 @@ impl LbannLoader {
             ram.write.at(p),
             config.scale,
         ));
-        let stream = Arc::new(AccessStream::new(spec, rank, config.epochs).materialize());
         let epoch_len = spec.worker_epoch_len(rank);
         let stage = ReorderStage::new(config.system.staging.capacity);
         let ctx = Arc::new(Ctx {

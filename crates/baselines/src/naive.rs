@@ -7,7 +7,7 @@
 
 use crate::DataLoader;
 use bytes::Bytes;
-use nopfs_clairvoyance::stream::AccessStream;
+use nopfs_clairvoyance::engine::materialize_all_streams;
 use nopfs_core::stats::{StatsCollector, WorkerStats};
 use nopfs_core::{JobConfig, SampleId};
 use nopfs_pfs::{Pfs, PfsError};
@@ -35,14 +35,17 @@ impl NaiveRunner {
     {
         let n = self.config.system.workers;
         let spec = self.config.shuffle_spec(self.sizes.len() as u64);
+        // One engine pass materializes every rank's stream (O(E) shuffle
+        // generations total instead of O(N·E) across the rank threads).
+        let streams = materialize_all_streams(&spec, self.config.epochs);
         let f = &f;
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..n)
                 .map(|rank| {
                     let config = self.config.clone();
                     let pfs = pfs.clone();
+                    let stream = Arc::clone(&streams[rank]);
                     s.spawn(move || {
-                        let stream = AccessStream::new(spec, rank, config.epochs).materialize();
                         let mut loader = NaiveLoader {
                             rank,
                             config,
@@ -68,7 +71,7 @@ struct NaiveLoader {
     rank: usize,
     config: JobConfig,
     pfs: Pfs,
-    stream: Vec<SampleId>,
+    stream: Arc<Vec<SampleId>>,
     stats: Arc<StatsCollector>,
     consumed: u64,
     epoch_len: u64,

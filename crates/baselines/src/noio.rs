@@ -6,7 +6,7 @@
 
 use crate::DataLoader;
 use bytes::Bytes;
-use nopfs_clairvoyance::stream::AccessStream;
+use nopfs_clairvoyance::engine::materialize_all_streams;
 use nopfs_core::stats::{StatsCollector, WorkerStats};
 use nopfs_core::{JobConfig, SampleId};
 use nopfs_util::rng::Xoshiro256pp;
@@ -33,14 +33,17 @@ impl NoIoRunner {
     {
         let n = self.config.system.workers;
         let spec = self.config.shuffle_spec(self.sizes.len() as u64);
+        // One engine pass materializes every rank's stream (O(E) shuffle
+        // generations total instead of O(N·E) across the rank threads).
+        let streams = materialize_all_streams(&spec, self.config.epochs);
         let f = &f;
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..n)
                 .map(|rank| {
                     let sizes = Arc::clone(&self.sizes);
                     let config = self.config.clone();
+                    let stream = Arc::clone(&streams[rank]);
                     s.spawn(move || {
-                        let stream = AccessStream::new(spec, rank, config.epochs).materialize();
                         // "We pregenerate random samples in RAM of the
                         // appropriate size": one random pool, sliced
                         // zero-copy per sample.
@@ -76,7 +79,7 @@ struct NoIoLoader {
     rank: usize,
     config: JobConfig,
     sizes: Arc<Vec<u64>>,
-    stream: Vec<SampleId>,
+    stream: Arc<Vec<SampleId>>,
     pool: Bytes,
     stats: Arc<StatsCollector>,
     consumed: u64,

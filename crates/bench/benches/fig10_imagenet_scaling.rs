@@ -57,6 +57,9 @@ fn main() {
                             epoch,
                             report::dist(&batches)
                         );
+                        if let Some(setup) = &run.setup {
+                            println!("{:<14} {}", "", report::setup_line(setup));
+                        }
                         match policy {
                             RuntimePolicy::PyTorch => pytorch_epoch = Some(epoch),
                             RuntimePolicy::NoPfs => nopfs_epoch = Some(epoch),

@@ -35,6 +35,9 @@ fn main() {
                 epoch,
                 report::dist(&run.batch_summary(true))
             );
+            if let Some(setup) = &run.setup {
+                println!("{:<10} {}", "", report::setup_line(setup));
+            }
             match policy {
                 RuntimePolicy::PyTorch => pytorch = Some(epoch),
                 RuntimePolicy::NoPfs => nopfs = Some(epoch),

@@ -54,6 +54,9 @@ fn main() {
                 report::dist(&batches),
                 largest_gap_fraction(&batches),
             );
+            if let Some(setup) = &run.setup {
+                println!("{:<10} {}", "", report::setup_line(setup));
+            }
             match policy {
                 RuntimePolicy::PyTorch => pytorch = Some(epoch),
                 RuntimePolicy::NoPfs => nopfs = Some(epoch),

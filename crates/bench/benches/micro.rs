@@ -8,8 +8,9 @@
 //! simulator step rate).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nopfs_clairvoyance::engine::{stream_digest, SetupPass};
 use nopfs_clairvoyance::frequency::{expected_tail_count, FrequencyTable};
-use nopfs_clairvoyance::placement::CacheAssignment;
+use nopfs_clairvoyance::placement::{CacheAssignment, GlobalPlacement};
 use nopfs_clairvoyance::sampler::ShuffleSpec;
 use nopfs_clairvoyance::stream::AccessStream;
 use nopfs_perfmodel::presets::fig8_small_cluster;
@@ -61,6 +62,85 @@ fn bench_placement(c: &mut Criterion) {
     });
 }
 
+/// Before/after benchmarks of the whole clairvoyant setup phase at the
+/// paper's Fig. 10 shape (N=16, E=90, ImageNet-1k scaled 1/500).
+///
+/// Two "old" variants reproduce, with today's building blocks, exactly
+/// what a job's setup computed before the single-pass engine: placement
+/// rebuilt its own frequency table and per-worker first-access scans,
+/// every rank materialized its own stream, and every rank re-derived
+/// all N digests for the allgather check — O(N²·E) epoch-shuffle
+/// generations per job.
+///
+/// - `setup_old_total_work` runs that on one thread: the total setup
+///   CPU cost, which is also the per-job wall time wherever launch-
+///   phase work is not thread-parallel (distributed one-process-per-
+///   rank deployments pay O(N·E) of it serially per rank).
+/// - `setup_old_wall_in_process` is faithful to the old in-process
+///   harness: serial `Job::new`, then the launch-phase work on N
+///   concurrent rank threads — the wall time this box actually saw,
+///   with the redundancy partially hidden by idle cores.
+/// - `setup_engine_single_pass` is the current `Job::new` path: one
+///   `SetupPass` (E generations) plus placement from its artifacts.
+///
+/// EXPERIMENTS.md records both measured ratios.
+fn bench_setup_phase(c: &mut Criterion) {
+    const N: usize = 16;
+    const EPOCHS: u64 = 90;
+    const F: u64 = 1_281_167 / 500;
+    let spec = ShuffleSpec::new(0xF16A, F, N, 8, false);
+    let sizes = vec![100_000u64; F as usize];
+    let caps: Vec<Vec<u64>> = vec![vec![20_000_000u64, 60_000_000]; N];
+
+    // Job::new, old shape: placement from scratch (frequency table +
+    // per-worker first-access scans).
+    let old_placement = |spec: &ShuffleSpec| -> Vec<CacheAssignment> {
+        let table = FrequencyTable::build(spec, EPOCHS);
+        (0..N)
+            .map(|w| {
+                let first = AccessStream::new(*spec, w, EPOCHS).first_access_positions();
+                CacheAssignment::compute(table.counts(w), &first, &sizes, &caps[w])
+            })
+            .collect()
+    };
+    // WorkerHandle::launch, old shape for one rank: re-derive all N
+    // digests for the allgather check and materialize the own stream.
+    let old_launch_one_rank = |spec: &ShuffleSpec, rank: usize| -> (Vec<u64>, Vec<u64>) {
+        let digests = (0..N).map(|o| stream_digest(spec, o, EPOCHS)).collect();
+        let stream = AccessStream::new(*spec, rank, EPOCHS).materialize();
+        (digests, stream)
+    };
+
+    c.bench_function("setup_old_total_work_n16_e90", |b| {
+        b.iter(|| {
+            let assignments = old_placement(&spec);
+            let per_rank: Vec<_> = (0..N).map(|r| old_launch_one_rank(&spec, r)).collect();
+            black_box((assignments, per_rank));
+        });
+    });
+
+    c.bench_function("setup_old_wall_in_process_n16_e90", |b| {
+        b.iter(|| {
+            let assignments = old_placement(&spec);
+            let per_rank: Vec<_> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..N)
+                    .map(|r| s.spawn(move || old_launch_one_rank(&spec, r)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            black_box((assignments, per_rank));
+        });
+    });
+
+    c.bench_function("setup_engine_single_pass_n16_e90", |b| {
+        b.iter(|| {
+            let artifacts = SetupPass::new(spec, EPOCHS).run();
+            let placement = GlobalPlacement::from_artifacts(&artifacts, &sizes, &caps);
+            black_box((artifacts, placement));
+        });
+    });
+}
+
 fn bench_staging(c: &mut Criterion) {
     c.bench_function("staging_buffer_push_pop", |b| {
         let buf = StagingBuffer::new(1_000_000_000);
@@ -95,6 +175,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_shuffle, bench_stream, bench_frequency, bench_placement,
-              bench_staging, bench_token_bucket, bench_simulator
+              bench_setup_phase, bench_staging, bench_token_bucket, bench_simulator
 }
 criterion_main!(benches);

@@ -3,6 +3,7 @@
 //! Each bench prints the same rows/series the paper's figure reports,
 //! in a stable text format that EXPERIMENTS.md quotes.
 
+use nopfs_core::stats::SetupStats;
 use nopfs_util::stats::Summary;
 
 /// Prints a figure/table banner.
@@ -29,6 +30,17 @@ pub fn dist(summary: &Summary) -> String {
         summary.median(),
         summary.percentile(95.0),
         summary.max()
+    )
+}
+
+/// Formats the clairvoyant setup statistics of a NoPFS run (wall time
+/// of the single-pass precomputation plus its shuffle-generation
+/// count, which stays at E regardless of worker count).
+pub fn setup_line(setup: &SetupStats) -> String {
+    format!(
+        "setup {:>8.1}ms ({} epoch-shuffle generations)",
+        setup.setup_time.as_secs_f64() * 1e3,
+        setup.shuffle_generations
     )
 }
 

@@ -3,7 +3,7 @@
 //! substrates, and aggregates the numbers the Sec. 7 figures report.
 
 use nopfs_baselines::{DataLoader, DoubleBufferRunner, LbannRunner, NaiveRunner, NoIoRunner};
-use nopfs_core::stats::WorkerStats;
+use nopfs_core::stats::{SetupStats, WorkerStats};
 use nopfs_core::{Job, JobConfig};
 use nopfs_datasets::DatasetProfile;
 use nopfs_net::{cluster, Endpoint, NetConfig};
@@ -78,6 +78,9 @@ pub struct PolicyRun {
     /// Per-epoch times: max across workers (the bulk-synchronous epoch
     /// time), model seconds.
     pub epoch_times: Vec<f64>,
+    /// Clairvoyant setup statistics (populated for NoPFS, whose `Job`
+    /// tracks its single-pass precomputation; `None` for baselines).
+    pub setup: Option<SetupStats>,
 }
 
 impl PolicyRun {
@@ -235,6 +238,7 @@ pub fn run_policy(exp: &Experiment, policy: RuntimePolicy) -> Option<PolicyRun> 
         exp.profile.materialize(&pfs);
     }
 
+    let mut setup = None;
     let per_worker: Vec<RunMetrics> = match policy {
         RuntimePolicy::NoIo => NoIoRunner::new(config, sizes).run(body),
         RuntimePolicy::PyTorch => DoubleBufferRunner::pytorch_like(config, sizes).run(&pfs, body),
@@ -250,6 +254,7 @@ pub fn run_policy(exp: &Experiment, policy: RuntimePolicy) -> Option<PolicyRun> 
         }
         RuntimePolicy::NoPfs => {
             let job = Job::new(config, sizes);
+            setup = Some(job.setup_stats().clone());
             job.run(&pfs, |w| body(w))
         }
     };
@@ -273,5 +278,6 @@ pub fn run_policy(exp: &Experiment, policy: RuntimePolicy) -> Option<PolicyRun> 
         policy,
         per_worker,
         epoch_times,
+        setup,
     })
 }

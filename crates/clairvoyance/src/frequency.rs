@@ -73,6 +73,14 @@ pub fn binomial_pmf(n: u64, p: f64, k: u64) -> f64 {
 }
 
 /// Binomial survival function `P(X ≥ k)` (inclusive tail).
+///
+/// Sums the smaller side of the distribution starting from its largest
+/// term (the one nearest the mean) and walks outward with the
+/// incremental PMF ratio `pmf(j+1) = pmf(j) · (n−j)/(j+1) · p/(1−p)`,
+/// so the whole tail costs one `exp`/`ln_gamma` evaluation plus O(tail)
+/// multiplications — not O(tail) `exp`/`ln_gamma` calls. Starting at
+/// the largest term keeps the recurrence numerically stable: terms only
+/// shrink as the walk moves away from the mean.
 pub fn binomial_sf(n: u64, p: f64, k: u64) -> f64 {
     if k == 0 {
         return 1.0;
@@ -80,12 +88,32 @@ pub fn binomial_sf(n: u64, p: f64, k: u64) -> f64 {
     if k > n {
         return 0.0;
     }
-    // Sum from the smaller side for accuracy.
+    if p == 0.0 {
+        return 0.0; // k >= 1 but X is identically 0
+    }
+    if p == 1.0 {
+        return 1.0; // k <= n and X is identically n
+    }
     let mean = n as f64 * p;
+    let ratio = p / (1.0 - p);
     if (k as f64) > mean {
-        (k..=n).map(|j| binomial_pmf(n, p, j)).sum()
+        // Upper tail: pmf(k) is the largest term; ascend to n.
+        let mut pmf = binomial_pmf(n, p, k);
+        let mut acc = pmf;
+        for j in k..n {
+            pmf *= (n - j) as f64 / (j + 1) as f64 * ratio;
+            acc += pmf;
+        }
+        acc
     } else {
-        1.0 - (0..k).map(|j| binomial_pmf(n, p, j)).sum::<f64>()
+        // Lower tail: pmf(k−1) is the largest term; descend to 0.
+        let mut pmf = binomial_pmf(n, p, k - 1);
+        let mut acc = pmf;
+        for j in (1..k).rev() {
+            pmf *= j as f64 / (n - j + 1) as f64 / ratio;
+            acc += pmf;
+        }
+        1.0 - acc
     }
 }
 
@@ -146,21 +174,42 @@ pub struct FrequencyTable {
 
 impl FrequencyTable {
     /// Builds the table for all workers by generating each epoch shuffle
-    /// once and attributing positions to workers. Cost: `O(E·F)` time,
-    /// `O(N·F)` memory.
+    /// once (into a reused buffer) and attributing positions to workers.
+    /// Cost: `O(E·F)` time, `O(N·F)` memory.
+    ///
+    /// When the setup path also needs digests, streams, or placement
+    /// inputs, use [`crate::engine::SetupPass`] instead — it derives
+    /// this table and every other artifact from the *same* single pass.
     pub fn build(spec: &ShuffleSpec, epochs: u64) -> Self {
         assert!(epochs > 0, "at least one epoch");
         let n = spec.num_workers;
         let f = spec.num_samples as usize;
         let mut counts = vec![vec![0u16; f]; n];
+        let mut perm = Vec::new();
         for e in 0..epochs {
-            let shuffle = spec.epoch_shuffle(e);
-            for (pos, &id) in shuffle.global_order().iter().enumerate() {
+            spec.epoch_shuffle_into(e, &mut perm);
+            for (pos, &id) in perm.iter().enumerate() {
                 counts[pos % n][id as usize] += 1;
             }
         }
+        Self::from_counts(counts, epochs)
+    }
+
+    /// Wraps already-computed per-worker counts (the single-pass
+    /// engine's path into this type).
+    ///
+    /// # Panics
+    /// Panics if `counts` is empty, ragged, or `epochs == 0`.
+    pub fn from_counts(counts: Vec<Vec<u16>>, epochs: u64) -> Self {
+        assert!(epochs > 0, "at least one epoch");
+        assert!(!counts.is_empty(), "at least one worker");
+        let f = counts[0].len();
+        assert!(
+            counts.iter().all(|c| c.len() == f),
+            "per-worker count vectors must cover the same samples"
+        );
         Self {
-            num_workers: n,
+            num_workers: counts.len(),
             epochs,
             counts,
         }
@@ -261,6 +310,40 @@ mod tests {
         }
         assert_eq!(binomial_sf(10, 0.5, 0), 1.0);
         assert_eq!(binomial_sf(10, 0.5, 11), 0.0);
+    }
+
+    #[test]
+    fn sf_matches_direct_pmf_summation() {
+        // The incremental-ratio tail must agree with naive term-by-term
+        // summation of the exact PMF on both sides of the mean.
+        for (n, p) in [(1u64, 0.5f64), (10, 0.3), (90, 1.0 / 16.0), (300, 0.9)] {
+            for k in 0..=n {
+                let direct: f64 = (k..=n).map(|j| binomial_pmf(n, p, j)).sum();
+                let fast = binomial_sf(n, p, k);
+                assert!(
+                    (fast - direct).abs() < 1e-10,
+                    "n={n} p={p} k={k}: fast {fast} vs direct {direct}"
+                );
+            }
+        }
+        // Degenerate probabilities short-circuit.
+        assert_eq!(binomial_sf(5, 0.0, 1), 0.0);
+        assert_eq!(binomial_sf(5, 0.0, 0), 1.0);
+        assert_eq!(binomial_sf(5, 1.0, 5), 1.0);
+    }
+
+    #[test]
+    fn from_counts_round_trips_build() {
+        let spec = ShuffleSpec::new(3, 60, 3, 4, false);
+        let built = FrequencyTable::build(&spec, 5);
+        let counts: Vec<Vec<u16>> = (0..3).map(|w| built.counts(w).to_vec()).collect();
+        assert_eq!(FrequencyTable::from_counts(counts, 5), built);
+    }
+
+    #[test]
+    #[should_panic(expected = "same samples")]
+    fn from_counts_rejects_ragged_input() {
+        FrequencyTable::from_counts(vec![vec![0u16; 3], vec![0u16; 4]], 1);
     }
 
     /// The paper's running example: N=16, E=90, F=1,281,167, δ=0.8 gives

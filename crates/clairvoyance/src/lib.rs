@@ -18,12 +18,18 @@
 //! - [`placement`] — the frequency-ranked mapping of samples to storage
 //!   classes (Sec. 5.1) that every worker computes for every other worker
 //!   without any communication.
+//! - [`engine`] — the single-pass setup engine: one streaming pass over
+//!   the epoch shuffles that derives every worker's digests, streams,
+//!   frequencies, and placement inputs simultaneously in O(E·F), the
+//!   cost the paper's "a few passes over the shuffles" claim promises.
 
+pub mod engine;
 pub mod frequency;
 pub mod placement;
 pub mod sampler;
 pub mod stream;
 
+pub use engine::{SetupArtifacts, SetupOptions, SetupPass};
 pub use frequency::{binomial_pmf, binomial_sf, expected_tail_count, FrequencyTable};
 pub use placement::{CacheAssignment, GlobalPlacement};
 pub use sampler::{EpochShuffle, ShuffleSpec};

@@ -13,9 +13,8 @@
 //! in the worker's stream `R` (Rule 1 applied per class), so that data
 //! needed early is cached early and no prestaging phase is required.
 
-use crate::frequency::FrequencyTable;
+use crate::engine::{SetupArtifacts, SetupOptions, SetupPass};
 use crate::sampler::ShuffleSpec;
-use crate::stream::AccessStream;
 use crate::{SampleId, WorkerId};
 
 /// Sentinel: sample not assigned to any local storage class.
@@ -40,10 +39,11 @@ pub struct CacheAssignment {
 impl CacheAssignment {
     /// Computes the assignment for one worker.
     ///
-    /// * `frequencies` — `r_k` for this worker (from [`FrequencyTable`]).
+    /// * `frequencies` — `r_k` for this worker (from
+    ///   [`crate::frequency::FrequencyTable`]).
     /// * `first_access` — first position of each sample in this worker's
     ///   `R` (`u64::MAX` if never accessed), from
-    ///   [`AccessStream::first_access_positions`].
+    ///   [`crate::stream::AccessStream::first_access_positions`].
     /// * `sizes` — per-sample sizes in bytes.
     /// * `capacities` — capacity in bytes of each local storage class,
     ///   fastest first (`d_j` in Table 2).
@@ -171,6 +171,12 @@ impl GlobalPlacement {
     /// `capacities[w]` lists worker `w`'s storage-class capacities,
     /// fastest first. Workers may have heterogeneous hierarchies.
     ///
+    /// Runs a dedicated [`SetupPass`] (no stream materialization) to
+    /// obtain the frequency and first-access inputs in O(E·F); setup
+    /// paths that already hold [`SetupArtifacts`] should call
+    /// [`GlobalPlacement::from_artifacts`] instead of paying a second
+    /// pass.
+    ///
     /// # Panics
     /// Panics if `capacities` does not cover every worker or `sizes`
     /// does not cover every sample.
@@ -180,6 +186,29 @@ impl GlobalPlacement {
         sizes: &[u64],
         capacities: &[Vec<u64>],
     ) -> Self {
+        let artifacts = SetupPass::with_options(
+            *spec,
+            epochs,
+            SetupOptions {
+                materialize_streams: false,
+            },
+        )
+        .run();
+        Self::from_artifacts(&artifacts, sizes, capacities)
+    }
+
+    /// Computes placement from precomputed [`SetupArtifacts`] without
+    /// regenerating any shuffle.
+    ///
+    /// # Panics
+    /// Panics if `capacities` does not cover every worker or `sizes`
+    /// does not cover every sample.
+    pub fn from_artifacts(
+        artifacts: &SetupArtifacts,
+        sizes: &[u64],
+        capacities: &[Vec<u64>],
+    ) -> Self {
+        let spec = artifacts.spec();
         assert_eq!(
             capacities.len(),
             spec.num_workers,
@@ -190,12 +219,14 @@ impl GlobalPlacement {
             spec.num_samples,
             "sizes must cover every sample"
         );
-        let table = FrequencyTable::build(spec, epochs);
         let assignments: Vec<CacheAssignment> = (0..spec.num_workers)
             .map(|w| {
-                let stream = AccessStream::new(*spec, w, epochs);
-                let first = stream.first_access_positions();
-                CacheAssignment::compute(table.counts(w), &first, sizes, &capacities[w])
+                CacheAssignment::compute(
+                    artifacts.table.counts(w),
+                    &artifacts.first_access[w],
+                    sizes,
+                    &capacities[w],
+                )
             })
             .collect();
 
@@ -335,6 +366,19 @@ mod tests {
                     assert!(p.holders(k).contains(&(w, c)));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn from_artifacts_matches_compute() {
+        let spec = ShuffleSpec::new(11, 100, 4, 4, false);
+        let sizes = vec![10u64; 100];
+        let caps = vec![vec![120u64, 200u64]; 4];
+        let direct = GlobalPlacement::compute(&spec, 10, &sizes, &caps);
+        let arts = SetupPass::new(spec, 10).run();
+        let via_arts = GlobalPlacement::from_artifacts(&arts, &sizes, &caps);
+        for w in 0..4 {
+            assert_eq!(direct.assignment(w), via_arts.assignment(w));
         }
     }
 

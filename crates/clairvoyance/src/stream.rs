@@ -85,15 +85,42 @@ impl AccessStream {
 
     /// This worker's sample sequence for one epoch.
     pub fn epoch_sequence(&self, epoch: u64) -> Vec<SampleId> {
-        assert!(epoch < self.epochs, "epoch {epoch} out of range");
-        self.spec.epoch_shuffle(epoch).worker_sequence(self.worker)
+        let mut perm = Vec::new();
+        let mut out = Vec::new();
+        self.epoch_sequence_into(epoch, &mut perm, &mut out);
+        out
     }
 
-    /// Lazy iterator over the whole stream, one epoch generated at a time.
+    /// Fills `out` with this worker's sample sequence for one epoch,
+    /// reusing both the scratch permutation buffer `perm` and `out`
+    /// (the zero-alloc counterpart of
+    /// [`AccessStream::epoch_sequence`]). `perm` is left holding the
+    /// epoch's full global order.
+    pub fn epoch_sequence_into(
+        &self,
+        epoch: u64,
+        perm: &mut Vec<SampleId>,
+        out: &mut Vec<SampleId>,
+    ) {
+        assert!(epoch < self.epochs, "epoch {epoch} out of range");
+        self.spec.epoch_shuffle_into(epoch, perm);
+        out.clear();
+        out.extend(
+            perm.iter()
+                .skip(self.worker)
+                .step_by(self.spec.num_workers)
+                .copied(),
+        );
+    }
+
+    /// Lazy iterator over the whole stream, one epoch generated at a
+    /// time into reused buffers — the epoch-windowed cursor long runs
+    /// use instead of materializing `8 · E · F/N` bytes.
     pub fn iter(&self) -> StreamIter {
         StreamIter {
             stream: *self,
             epoch: 0,
+            perm: Vec::new(),
             buf: Vec::new(),
             pos: 0,
         }
@@ -103,8 +130,15 @@ impl AccessStream {
     /// memory is `8 · E · F/N` bytes.
     pub fn materialize(&self) -> Vec<SampleId> {
         let mut out = Vec::with_capacity(self.len() as usize);
+        let mut perm = Vec::new();
         for e in 0..self.epochs {
-            out.extend(self.epoch_sequence(e));
+            self.spec.epoch_shuffle_into(e, &mut perm);
+            out.extend(
+                perm.iter()
+                    .skip(self.worker)
+                    .step_by(self.spec.num_workers)
+                    .copied(),
+            );
         }
         out
     }
@@ -116,8 +150,11 @@ impl AccessStream {
     pub fn first_access_positions(&self) -> Vec<u64> {
         let mut first = vec![u64::MAX; self.spec.num_samples as usize];
         let mut pos = 0u64;
+        let mut perm = Vec::new();
+        let mut seq = Vec::new();
         for e in 0..self.epochs {
-            for id in self.epoch_sequence(e) {
+            self.epoch_sequence_into(e, &mut perm, &mut seq);
+            for &id in &seq {
                 let slot = &mut first[id as usize];
                 if *slot == u64::MAX {
                     *slot = pos;
@@ -134,6 +171,7 @@ impl AccessStream {
 pub struct StreamIter {
     stream: AccessStream,
     epoch: u64,
+    perm: Vec<SampleId>,
     buf: Vec<SampleId>,
     pos: usize,
 }
@@ -146,7 +184,9 @@ impl Iterator for StreamIter {
             if self.epoch >= self.stream.epochs {
                 return None;
             }
-            self.buf = self.stream.epoch_sequence(self.epoch);
+            let epoch = self.epoch;
+            self.stream
+                .epoch_sequence_into(epoch, &mut self.perm, &mut self.buf);
             self.epoch += 1;
             self.pos = 0;
             if self.buf.is_empty() {

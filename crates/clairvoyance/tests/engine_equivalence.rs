@@ -1,0 +1,82 @@
+//! Property tests proving the single-pass engine's artifacts are
+//! bit-identical to the old per-consumer recomputation paths, across
+//! random `ShuffleSpec`s (including `drop_last`).
+//!
+//! These are the guarantees that let `Job` setup swap N independent
+//! digest/stream/frequency derivations for one shared pass without
+//! changing a single delivered sample.
+
+use nopfs_clairvoyance::engine::{stream_digest, SetupPass};
+use nopfs_clairvoyance::frequency::FrequencyTable;
+use nopfs_clairvoyance::placement::GlobalPlacement;
+use nopfs_clairvoyance::sampler::ShuffleSpec;
+use nopfs_clairvoyance::stream::AccessStream;
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = ShuffleSpec> {
+    (
+        any::<u64>(),
+        30u64..300,
+        1usize..6,
+        1usize..9,
+        any::<bool>(),
+    )
+        .prop_map(|(seed, f, n, b, drop_last)| {
+            // drop_last requires at least one full global batch; f >= 30
+            // and n*b <= 5*8 = 40 can still collide, so clamp.
+            let drop_last = drop_last && f >= (n * b) as u64;
+            ShuffleSpec::new(seed, f, n, b, drop_last)
+        })
+}
+
+proptest! {
+    /// Engine digests equal the per-worker lazy-stream fold.
+    #[test]
+    fn digests_are_bit_identical(spec in arb_spec(), epochs in 1u64..5) {
+        let arts = SetupPass::new(spec, epochs).run();
+        for w in 0..spec.num_workers {
+            prop_assert_eq!(arts.digests[w], stream_digest(&spec, w, epochs));
+        }
+    }
+
+    /// Engine frequency tables equal `FrequencyTable::build`.
+    #[test]
+    fn tables_are_bit_identical(spec in arb_spec(), epochs in 1u64..5) {
+        let arts = SetupPass::new(spec, epochs).run();
+        prop_assert_eq!(&arts.table, &FrequencyTable::build(&spec, epochs));
+    }
+
+    /// Engine streams equal per-worker materialization, and the
+    /// first-access artifact equals the per-worker scan.
+    #[test]
+    fn streams_and_first_access_are_bit_identical(
+        spec in arb_spec(),
+        epochs in 1u64..5,
+    ) {
+        let arts = SetupPass::new(spec, epochs).run();
+        for w in 0..spec.num_workers {
+            let stream = AccessStream::new(spec, w, epochs);
+            let eager = stream.materialize();
+            prop_assert_eq!(arts.stream(w).as_slice(), eager.as_slice());
+            prop_assert_eq!(&arts.first_access[w], &stream.first_access_positions());
+        }
+    }
+
+    /// Placement built from engine artifacts equals placement computed
+    /// from scratch.
+    #[test]
+    fn placement_is_bit_identical(spec in arb_spec(), epochs in 1u64..4) {
+        let f = spec.num_samples as usize;
+        let sizes = vec![10u64; f];
+        let caps = vec![vec![150u64, 400u64]; spec.num_workers];
+        let arts = SetupPass::new(spec, epochs).run();
+        let via_arts = GlobalPlacement::from_artifacts(&arts, &sizes, &caps);
+        let direct = GlobalPlacement::compute(&spec, epochs, &sizes, &caps);
+        for w in 0..spec.num_workers {
+            prop_assert_eq!(direct.assignment(w), via_arts.assignment(w));
+        }
+        for k in 0..spec.num_samples {
+            prop_assert_eq!(direct.holders(k), via_arts.holders(k));
+        }
+    }
+}

@@ -35,11 +35,14 @@
 
 use crate::config::JobConfig;
 use crate::msg::Msg;
+use crate::stats::SetupStats;
 use crate::worker::{Shared, WorkerHandle};
+use nopfs_clairvoyance::engine::SetupPass;
 use nopfs_clairvoyance::placement::GlobalPlacement;
 use nopfs_net::{cluster, NetConfig};
 use nopfs_pfs::Pfs;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A NoPFS job: clairvoyant precomputation plus the worker launcher.
 pub struct Job {
@@ -47,10 +50,14 @@ pub struct Job {
 }
 
 impl Job {
-    /// Builds the job: computes every worker's access stream, access
-    /// frequencies, and storage-class assignment from the seed (the
-    /// paper: this precomputation "is fast" — a few passes over the
-    /// shuffles).
+    /// Builds the job: one single-pass [`SetupPass`] over the epoch
+    /// shuffles derives every worker's access stream, stream digest,
+    /// access frequencies, and storage-class assignment from the seed —
+    /// the paper's "a few passes over the shuffles" made literal. Each
+    /// epoch's shuffle is generated exactly once for the whole job
+    /// (O(E·F) setup regardless of worker count); workers later verify
+    /// the allgathered digests against these cached values instead of
+    /// re-deriving any stream.
     ///
     /// `sizes[k]` is the size in bytes of sample `k`; the dataset later
     /// materialized in the PFS must match.
@@ -59,18 +66,16 @@ impl Job {
     /// Panics on an empty dataset or inconsistent configuration.
     pub fn new(config: JobConfig, sizes: Arc<Vec<u64>>) -> Self {
         assert!(!sizes.is_empty(), "dataset must contain samples");
+        let setup_start = Instant::now();
         let spec = config.shuffle_spec(sizes.len() as u64);
         let capacities: Vec<Vec<u64>> = (0..config.system.workers)
             .map(|_| config.system.class_capacities())
             .collect();
-        // Placement is a pure function of the seed; computed once here
-        // and shared — every worker would derive the identical map.
-        let placement = Arc::new(GlobalPlacement::compute(
-            &spec,
-            config.epochs,
-            &sizes,
-            &capacities,
-        ));
+        // All setup artifacts are pure functions of the seed; computed
+        // once here and shared — every worker would derive the
+        // identical values.
+        let artifacts = SetupPass::new(spec, config.epochs).run();
+        let placement = Arc::new(artifacts.placement(&sizes, &capacities));
         let class_index: Vec<Arc<Vec<u32>>> = (0..config.system.workers)
             .map(|w| {
                 let mut idx = vec![u32::MAX; sizes.len()];
@@ -83,6 +88,11 @@ impl Job {
                 Arc::new(idx)
             })
             .collect();
+        let streams = artifacts.streams.expect("setup pass materializes streams");
+        let setup = SetupStats {
+            shuffle_generations: artifacts.shuffles_generated,
+            setup_time: setup_start.elapsed(),
+        };
         Self {
             shared: Arc::new(Shared {
                 config,
@@ -90,6 +100,9 @@ impl Job {
                 placement,
                 spec,
                 class_index,
+                digests: artifacts.digests,
+                streams,
+                setup,
             }),
         }
     }
@@ -102,6 +115,13 @@ impl Job {
     /// The computed cluster-wide placement.
     pub fn placement(&self) -> &GlobalPlacement {
         &self.shared.placement
+    }
+
+    /// Statistics of the clairvoyant setup phase: how many epoch
+    /// shuffles were generated (exactly `E` on the single-pass path)
+    /// and how long precomputation took.
+    pub fn setup_stats(&self) -> &SetupStats {
+        &self.shared.setup
     }
 
     /// Convenience: an in-memory synthetic PFS matching the job's

@@ -78,6 +78,24 @@ impl StatsCollector {
     }
 }
 
+/// Statistics of the clairvoyant setup phase (the job-level counterpart
+/// of the per-worker runtime counters).
+///
+/// `shuffle_generations` is the load-bearing number: the single-pass
+/// engine generates each epoch's shuffle exactly once, so a correct
+/// setup records exactly `E` generations no matter how many workers the
+/// job has. Tests assert this; the `micro` bench quantifies the wall
+/// time it saves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetupStats {
+    /// Epoch shuffles generated during setup (always `E` on the
+    /// single-pass path).
+    pub shuffle_generations: u64,
+    /// Wall time of the whole clairvoyant precomputation (engine pass
+    /// plus placement).
+    pub setup_time: Duration,
+}
+
 /// A point-in-time view of one worker's I/O statistics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkerStats {

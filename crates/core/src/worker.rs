@@ -17,23 +17,25 @@
 
 use crate::config::JobConfig;
 use crate::msg::{Msg, RemoteReply};
-use crate::stats::{StatsCollector, WorkerStats};
+use crate::stats::{SetupStats, StatsCollector, WorkerStats};
 use crate::SampleId;
 use bytes::Bytes;
 use nopfs_clairvoyance::placement::GlobalPlacement;
 use nopfs_clairvoyance::sampler::ShuffleSpec;
-use nopfs_clairvoyance::stream::AccessStream;
 use nopfs_net::Endpoint;
 use nopfs_perfmodel::Location;
 use nopfs_pfs::{Pfs, PfsError};
 use nopfs_storage::{MemoryBackend, MetadataStore, ReorderStage, StorageBackend, ThrottledBackend};
-use nopfs_util::rng::mix64;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Job-wide immutable state shared by all of a worker's threads.
+///
+/// The digests, streams, and placement are the single-pass engine's
+/// artifacts, computed once in `Job::new`; launching a worker reads
+/// them instead of regenerating any shuffle.
 pub(crate) struct Shared {
     pub config: JobConfig,
     pub sizes: Arc<Vec<u64>>,
@@ -43,20 +45,14 @@ pub(crate) struct Shared {
     /// class prefetch list (`u32::MAX` when unassigned) — the input to
     /// the remote-progress heuristic.
     pub class_index: Vec<Arc<Vec<u32>>>,
-}
-
-impl Shared {
-    /// Digest of worker `w`'s access stream; used in the setup
-    /// allgather to verify that every worker derived identical streams
-    /// from the seed (the runtime's clairvoyance check).
-    pub fn stream_digest(&self, worker: usize) -> u64 {
-        let stream = AccessStream::new(self.spec, worker, self.config.epochs);
-        let mut acc = 0xC1A1_5C0Du64 ^ worker as u64;
-        for id in stream.iter() {
-            acc = mix64(acc, id);
-        }
-        acc
-    }
+    /// Per-worker access-stream digests from the setup pass; the setup
+    /// allgather verifies every rank's claimed digest against these
+    /// cached values (the runtime's clairvoyance check).
+    pub digests: Vec<u64>,
+    /// Per-worker materialized access streams from the setup pass.
+    pub streams: Vec<Arc<Vec<SampleId>>>,
+    /// Setup-phase statistics (shuffle generations, wall time).
+    pub setup: SetupStats,
 }
 
 /// Reads `id` from the PFS with bounded retries on transient errors.
@@ -238,8 +234,10 @@ impl WorkerHandle {
         let scale = shared.config.scale;
 
         // Setup allgather: exchange access-stream digests and verify
-        // that every worker derived the same streams from the seed.
-        let my_digest = shared.stream_digest(rank);
+        // every rank's claim against the engine's cached digests — no
+        // stream is re-derived here (the old per-rank recomputation
+        // made setup O(N²·E·F) across the cluster).
+        let my_digest = shared.digests[rank];
         let digests = endpoint
             .allgather(Msg::Digest(my_digest))
             .expect("setup allgather failed");
@@ -248,8 +246,7 @@ impl WorkerHandle {
                 panic!("unexpected setup message from rank {o}");
             };
             assert_eq!(
-                *d,
-                shared.stream_digest(o),
+                *d, shared.digests[o],
                 "worker {o}'s access stream diverged from the seed — clairvoyance broken"
             );
         }
@@ -281,8 +278,7 @@ impl WorkerHandle {
                 .collect::<Vec<_>>(),
         );
         let stage = ReorderStage::new(sys.staging.capacity);
-        let stream =
-            Arc::new(AccessStream::new(shared.spec, rank, shared.config.epochs).materialize());
+        let stream = Arc::clone(&shared.streams[rank]);
         let epoch_len = shared.spec.worker_epoch_len(rank);
 
         let ctx = Arc::new(WorkerCtx {

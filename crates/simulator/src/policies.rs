@@ -9,10 +9,9 @@
 use crate::policy::Policy;
 use crate::result::SimError;
 use crate::scenario::Scenario;
-use nopfs_clairvoyance::frequency::FrequencyTable;
+use nopfs_clairvoyance::engine::{SetupOptions, SetupPass};
 use nopfs_clairvoyance::placement::{CacheAssignment, UNASSIGNED};
 use nopfs_clairvoyance::sampler::EpochShuffle;
-use nopfs_clairvoyance::stream::AccessStream;
 use nopfs_clairvoyance::SampleId;
 use nopfs_perfmodel::{Location, SystemSpec};
 use nopfs_util::rng::{mix64, Xoshiro256pp};
@@ -635,7 +634,17 @@ impl NoPfs {
         let n = sys.workers;
         let spec = scenario.shuffle_spec();
         let caps = sys.class_capacities();
-        let table = FrequencyTable::build(&spec, scenario.epochs);
+        // One engine pass derives frequencies and first-access inputs
+        // for every worker (the per-worker recomputation here used to
+        // cost O(N·E·F) shuffle generations).
+        let artifacts = SetupPass::with_options(
+            spec,
+            scenario.epochs,
+            SetupOptions {
+                materialize_streams: false,
+            },
+        )
+        .run();
         let share = staging_share(&sys);
         let total_threads: u32 = sys
             .classes
@@ -647,10 +656,12 @@ impl NoPfs {
         let mut class_of = Vec::with_capacity(n);
         let mut ready = Vec::with_capacity(n);
         for w in 0..n {
-            let stream = AccessStream::new(spec, w, scenario.epochs);
-            let first = stream.first_access_positions();
-            let assignment =
-                CacheAssignment::compute(table.counts(w), &first, &scenario.sizes, &caps);
+            let assignment = CacheAssignment::compute(
+                artifacts.table.counts(w),
+                &artifacts.first_access[w],
+                &scenario.sizes,
+                &caps,
+            );
             let mut ready_w = vec![f32::INFINITY; scenario.sizes.len()];
             for (j, class) in sys.classes.iter().enumerate() {
                 let write_bw = class.write.at(f64::from(class.prefetch_threads.max(1)));

@@ -188,9 +188,21 @@ impl Xoshiro256pp {
 
     /// Returns a shuffled permutation of `0..n` (as `u64` sample indices).
     pub fn permutation(&mut self, n: u64) -> Vec<u64> {
-        let mut v: Vec<u64> = (0..n).collect();
-        self.shuffle(&mut v);
+        let mut v = Vec::new();
+        self.permutation_into(n, &mut v);
         v
+    }
+
+    /// Fills `out` with a shuffled permutation of `0..n`, reusing the
+    /// buffer's existing allocation. Draws the same PRNG stream as
+    /// [`Xoshiro256pp::permutation`], so the two produce identical
+    /// permutations from identical generator states — callers in hot
+    /// setup loops can reuse one buffer across epochs without changing
+    /// any derived sequence.
+    pub fn permutation_into(&mut self, n: u64, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(0..n);
+        self.shuffle(out);
     }
 
     /// Samples `k` distinct values from `0..n` (partial Fisher–Yates).
@@ -379,6 +391,17 @@ mod tests {
         assert_ne!(mix64(0, 0), mix64(1, 0));
         // Stateless: same inputs, same output.
         assert_eq!(mix64(123, 456), mix64(123, 456));
+    }
+
+    #[test]
+    fn permutation_into_matches_permutation() {
+        let mut a = Xoshiro256pp::seed_from_u64(33);
+        let mut b = Xoshiro256pp::seed_from_u64(33);
+        let mut buf = vec![9u64; 7]; // stale contents must not leak through
+        for n in [0u64, 1, 50, 257] {
+            b.permutation_into(n, &mut buf);
+            assert_eq!(a.permutation(n), buf, "n={n}");
+        }
     }
 
     #[test]
