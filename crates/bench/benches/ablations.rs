@@ -1,4 +1,4 @@
-//! Ablations of NoPFS's design choices (DESIGN.md Sec. 7).
+//! Ablations of NoPFS's design choices (DESIGN.md Sec. 8).
 //!
 //! Each section isolates one mechanism on a contended simulated
 //! cluster, comparing NoPFS against the policy that differs in exactly

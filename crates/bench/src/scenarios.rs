@@ -263,3 +263,274 @@ pub fn runtime_system(
 pub fn uncontended_pfs() -> ThroughputCurve {
     ThroughputCurve::flat(1e12)
 }
+
+/// The Fig. 2 interference experiment: co-scheduled tenants sharing one
+/// PFS whose `t(γ)` saturates around two clients, so any second job's
+/// readers push every job past the knee. One definition feeds both the
+/// thread runtime (`nopfs_cluster`) and the simulator counterpart
+/// (`nopfs_simulator::cluster`), keeping the two reproductions of the
+/// scenario directly comparable.
+pub mod fig2 {
+    use super::*;
+    use nopfs_cluster::{ClusterSpec, TenantPolicy, TenantSpec};
+    use nopfs_simulator::{Policy, SimTenant};
+    use nopfs_util::timing::TimeScale;
+
+    /// Mean bytes per sample.
+    pub const SAMPLE_BYTES: f64 = 20_000.0;
+    /// Workers per tenant.
+    pub const WORKERS: usize = 2;
+    /// Per-worker batch size.
+    pub const BATCH: usize = 4;
+    /// Training epochs per tenant.
+    pub const EPOCHS: u64 = 3;
+
+    /// The shared `t(γ)` curve: 40 MB/s aggregate from two clients on,
+    /// so a solo two-worker job sits exactly at the knee and any
+    /// co-tenant pushes everyone past it.
+    pub fn curve() -> ThroughputCurve {
+        ThroughputCurve::from_points(&[(1.0, 30.0 * MB), (2.0, 40.0 * MB), (16.0, 41.0 * MB)])
+    }
+
+    /// Samples per tenant at `extra_scale` (kept divisible by the
+    /// global batch so `drop_last` trims nothing).
+    pub fn samples(extra_scale: f64) -> u64 {
+        let global_batch = (WORKERS * BATCH) as u64;
+        (((296.0 * extra_scale) as u64) / global_batch).max(1) * global_batch
+    }
+
+    /// A tenant's system: 2 workers, caches ample for its dataset, a
+    /// modest staging buffer.
+    pub fn tenant_system() -> SystemSpec {
+        let mut sys = fig8_small_cluster().with_compute_mbps(64.0, 200.0);
+        sys.workers = WORKERS;
+        sys.staging.capacity = 2_000_000;
+        sys.staging.threads = 2;
+        sys.classes[0].capacity = 30_000_000;
+        sys.classes[1].capacity = 60_000_000;
+        sys
+    }
+
+    /// The tenant line-up: NoPFS plus the PFS-bound baselines the
+    /// paper's Fig. 2 argument is about (two naive tenants, so the
+    /// co-scheduled reader count lands well past the curve's knee).
+    pub fn policies() -> Vec<(&'static str, TenantPolicy)> {
+        vec![
+            ("nopfs", TenantPolicy::NoPfs),
+            ("naive-1", TenantPolicy::Naive),
+            ("naive-2", TenantPolicy::Naive),
+            ("pytorch", TenantPolicy::PyTorch),
+        ]
+    }
+
+    /// The thread-runtime cluster: the [`policies`] tenants co-scheduled
+    /// on one shared PFS. The time scale keeps every paced wait above the
+    /// sleep threshold so CPU sharing on small machines does not
+    /// pollute the PFS-contention measurement.
+    pub fn cluster_spec(extra_scale: f64) -> ClusterSpec {
+        let mut spec = ClusterSpec::new(curve(), TimeScale::new(0.5));
+        for (i, (name, policy)) in policies().into_iter().enumerate() {
+            let profile = nopfs_datasets::DatasetProfile::new(
+                name,
+                samples(extra_scale),
+                SAMPLE_BYTES,
+                0.0,
+                4,
+                0xF12_0000 + i as u64,
+            );
+            spec = spec.tenant(TenantSpec::new(
+                name,
+                policy,
+                tenant_system(),
+                profile,
+                EPOCHS,
+                BATCH,
+                0xF12_1000 + i as u64,
+            ));
+        }
+        spec
+    }
+
+    /// One simulator tenant mirroring the runtime tenants' shape.
+    pub fn sim_scenario(name: &str, seed: u64, extra_scale: f64) -> nopfs_simulator::Scenario {
+        let mut sys = tenant_system();
+        sys.pfs_read = curve();
+        nopfs_simulator::Scenario::new(
+            name,
+            sys,
+            vec![SAMPLE_BYTES as u64; samples(extra_scale) as usize],
+            EPOCHS,
+            BATCH,
+            seed,
+        )
+    }
+
+    /// A simulated cluster of `k` tenants all running `policy`.
+    pub fn sim_uniform_cluster(policy: Policy, k: usize, extra_scale: f64) -> Vec<SimTenant> {
+        (0..k)
+            .map(|i| {
+                SimTenant::new(
+                    sim_scenario(&format!("tenant-{i}"), 0xF12_2000 + i as u64, extra_scale),
+                    policy,
+                )
+            })
+            .collect()
+    }
+
+    /// The simulator policy modelling a runtime tenant policy. DALI
+    /// shares PyTorch's loading policy (the GPU preprocessing offload
+    /// has no simulator analogue), and LBANN maps to its dynamic mode.
+    pub fn sim_policy(policy: TenantPolicy) -> Policy {
+        match policy {
+            TenantPolicy::NoPfs => Policy::NoPfs,
+            TenantPolicy::Naive => Policy::Naive,
+            TenantPolicy::PyTorch | TenantPolicy::Dali => Policy::StagingBuffer,
+            TenantPolicy::Lbann => Policy::LbannDynamic,
+        }
+    }
+
+    /// Per-tenant simulator slowdowns for the mixed cluster the thread
+    /// runtime co-schedules: each tenant's simulated co-run execution
+    /// time over its simulated solo time. The simulation is built from
+    /// the spec itself — each tenant's own dataset, effective system
+    /// (shared PFS curve applied), epochs, batch, seed, policy, and
+    /// stagger — so it holds for any `ClusterSpec`, not just
+    /// [`cluster_spec`]'s.
+    pub fn sim_mixed_slowdowns(spec: &ClusterSpec) -> Vec<f64> {
+        let tenants: Vec<SimTenant> = spec
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let scenario = nopfs_simulator::Scenario::new(
+                    t.name.clone(),
+                    spec.tenant_system(i),
+                    t.profile.sizes(),
+                    t.epochs,
+                    t.batch,
+                    t.seed,
+                );
+                SimTenant::new(scenario, sim_policy(t.policy)).starting_at(t.start_delay)
+            })
+            .collect();
+        let results = nopfs_simulator::run_cluster(&tenants).expect("simulated cluster");
+        tenants
+            .iter()
+            .zip(&results)
+            .map(|(t, r)| {
+                let solo = nopfs_simulator::run(&t.scenario, t.policy)
+                    .expect("solo simulation")
+                    .execution_time;
+                r.execution_time / solo
+            })
+            .collect()
+    }
+
+    /// One row of the uniform-policy K-sweep.
+    pub struct SimSweep {
+        /// The policy every tenant of the swept cluster runs.
+        pub policy: Policy,
+        /// Solo execution time, model seconds.
+        pub solo_s: f64,
+        /// `(K, worst per-tenant slowdown)` per swept tenant count.
+        pub per_k: Vec<(usize, f64)>,
+    }
+
+    /// Sweeps uniform-policy clusters over `ks` tenant counts for the
+    /// three Fig. 2 policies.
+    pub fn sim_sweep(extra_scale: f64, ks: &[usize]) -> Vec<SimSweep> {
+        [Policy::NoPfs, Policy::Naive, Policy::StagingBuffer]
+            .into_iter()
+            .map(|policy| {
+                let solo =
+                    nopfs_simulator::run(&sim_scenario("solo", 0xF12_2000, extra_scale), policy)
+                        .expect("solo simulation")
+                        .execution_time;
+                let per_k = ks
+                    .iter()
+                    .map(|&k| {
+                        let results = nopfs_simulator::run_cluster(&sim_uniform_cluster(
+                            policy,
+                            k,
+                            extra_scale,
+                        ))
+                        .expect("cluster simulation");
+                        let worst = results
+                            .iter()
+                            .map(|r| r.execution_time / solo)
+                            .fold(0.0, f64::max);
+                        (k, worst)
+                    })
+                    .collect();
+                SimSweep {
+                    policy,
+                    solo_s: solo,
+                    per_k,
+                }
+            })
+            .collect()
+    }
+
+    /// The canonical `BENCH_fig2_interference.json` document. Both the
+    /// `fig2_interference` bench and `examples/interference.rs` build
+    /// it through this one function, so the artifact's schema never
+    /// depends on which producer ran last.
+    pub fn json_doc(
+        source: &str,
+        extra_scale: f64,
+        cluster: &nopfs_cluster::ClusterReport,
+        sim_slowdowns: &[f64],
+        sweeps: &[SimSweep],
+    ) -> crate::report::Json {
+        use crate::report::Json;
+        let tenant_rows: Vec<Json> = cluster
+            .tenants
+            .iter()
+            .zip(sim_slowdowns)
+            .map(|(t, &sim)| {
+                Json::obj([
+                    ("name", Json::from(t.name.clone())),
+                    ("policy", Json::from(t.policy.name())),
+                    ("solo_epoch_s", Json::Num(t.solo_epoch_time.unwrap_or(0.0))),
+                    ("co_epoch_s", Json::Num(t.steady_epoch_time())),
+                    ("runtime_slowdown", Json::Num(t.slowdown.unwrap_or(0.0))),
+                    ("sim_slowdown", Json::Num(sim)),
+                    ("pfs_reads", Json::from(t.pfs_reads())),
+                    ("cache_fraction", Json::Num(t.cache_fraction())),
+                    ("stall_s", Json::Num(t.stall_time)),
+                ])
+            })
+            .collect();
+        let sweep_rows: Vec<Json> = sweeps
+            .iter()
+            .map(|s| {
+                Json::obj([
+                    ("policy", Json::from(s.policy.name())),
+                    ("solo_s", Json::Num(s.solo_s)),
+                    (
+                        "slowdowns",
+                        Json::Arr(
+                            s.per_k
+                                .iter()
+                                .map(|&(k, worst)| {
+                                    Json::obj([
+                                        ("k", Json::from(k as u64)),
+                                        ("worst_slowdown", Json::Num(worst)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("figure", Json::from("fig2_interference")),
+            ("source", Json::from(source)),
+            ("bench_scale", Json::Num(extra_scale)),
+            ("samples_per_tenant", Json::from(samples(extra_scale))),
+            ("runtime_tenants", Json::Arr(tenant_rows)),
+            ("sim_sweep", Json::Arr(sweep_rows)),
+        ])
+    }
+}

@@ -1,0 +1,40 @@
+//! Multi-tenant co-scheduling: K independent training jobs contending
+//! on **one shared synthetic PFS**.
+//!
+//! The paper's opening argument (Sec. 1–2, Fig. 2) is that aggregate
+//! PFS read throughput `t(γ)` saturates, so concurrently running
+//! training jobs interfere with each other's I/O. Every other entry
+//! point in this workspace launches a single job against a private
+//! `Pfs`; this crate reproduces the motivating scenario itself:
+//!
+//! - a [`ClusterSpec`] describes K tenants — each with its own dataset,
+//!   worker count, loader policy (NoPFS or any runtime baseline),
+//!   batch/epoch parameters, and a staggered start time — plus the one
+//!   shared PFS curve they all contend on;
+//! - [`run_cluster`] launches every tenant concurrently (real threads,
+//!   real bytes) against one `Pfs` whose `t(γ)` regulator spans all
+//!   tenants. Each tenant addresses its own dense `0..F` sample ids
+//!   through a [`nopfs_pfs::Pfs::namespaced`] handle, so jobs stay
+//!   oblivious to each other everywhere except the shared regulator;
+//! - interconnects are **partitioned**: each tenant runs its own
+//!   in-process cluster network, modelling co-scheduled HPC jobs on
+//!   disjoint node sets that share only the filesystem (optionally, a
+//!   machine-wide NIC budget is split across tenants by worker share —
+//!   [`ClusterSpec::partitioned_interconnect`]);
+//! - [`interference_report`] additionally runs every tenant *solo* on a
+//!   private PFS with the identical curve and reports each tenant's
+//!   **interference slowdown** — co-scheduled ÷ solo steady epoch time
+//!   — the headline number of the Fig. 2 study.
+//!
+//! The simulator counterpart (`nopfs_simulator::cluster`) replays the
+//! same scenario analytically, so K can sweep far past what in-process
+//! threads allow; `examples/interference.rs` and the
+//! `fig2_interference` bench run both and cross-check them.
+
+pub mod report;
+pub mod runtime;
+pub mod spec;
+
+pub use report::{ClusterReport, TenantReport};
+pub use runtime::{interference_report, run_cluster, run_solo};
+pub use spec::{ClusterSpec, TenantPolicy, TenantSpec};

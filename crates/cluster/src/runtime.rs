@@ -1,0 +1,346 @@
+//! The co-scheduling runtime: launches every tenant's real loader
+//! threads against one shared, namespaced [`Pfs`].
+//!
+//! Ownership/injection contract: the cluster owns the one shared `Pfs`
+//! and hands each tenant a namespaced handle; each tenant's runner
+//! (`Job` or a baseline) *accepts* that handle instead of constructing
+//! its own, and builds everything else — caches, staging buffers, its
+//! partitioned interconnect, the gradient-allreduce network — privately.
+//! Only the PFS regulator couples tenants, exactly as on a real machine
+//! where co-scheduled jobs share the filesystem and nothing else.
+
+use crate::report::{ClusterReport, TenantReport};
+use crate::spec::{ClusterSpec, TenantPolicy, TenantSpec};
+use nopfs_baselines::{DataLoader, DoubleBufferRunner, LbannRunner, NaiveRunner};
+use nopfs_core::{Job, JobConfig};
+use nopfs_net::{cluster, Endpoint, NetConfig};
+use nopfs_perfmodel::SystemSpec;
+use nopfs_pfs::Pfs;
+use nopfs_train::{run_training_loop, RunMetrics, TrainLoopConfig};
+use nopfs_util::timing::TimeScale;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Runs one tenant to completion on an injected PFS handle.
+///
+/// `system` is the tenant's effective system (interconnect partition
+/// applied); the PFS curve it carries is only used for source-selection
+/// pricing — pacing happens in the injected `pfs`.
+fn run_tenant(
+    tenant: &TenantSpec,
+    system: SystemSpec,
+    scale: TimeScale,
+    pfs: &Pfs,
+) -> TenantReport {
+    let n = system.workers;
+    let sizes = Arc::new(tenant.profile.sizes());
+    // drop_last keeps every worker's batch count identical, which the
+    // per-step allreduce requires (ragged counts would deadlock it).
+    let config = JobConfig::new(
+        tenant.seed,
+        tenant.epochs,
+        tenant.batch,
+        system.clone(),
+        scale,
+    )
+    .drop_last(true);
+    let loop_cfg = TrainLoopConfig {
+        compute_rate: tenant.compute,
+        scale,
+        grad_elems: tenant.grad_elems,
+    };
+    // The tenant's private gradient-allreduce network (its partition of
+    // the interconnect), one endpoint per rank.
+    let grad_endpoints: Mutex<Vec<Option<Endpoint<Vec<f32>>>>> = Mutex::new(
+        cluster::<Vec<f32>>(n, NetConfig::new(system.interconnect, scale))
+            .into_iter()
+            .map(Some)
+            .collect(),
+    );
+    let body = |loader: &mut dyn DataLoader| {
+        let ep = grad_endpoints.lock()[loader.rank()]
+            .take()
+            .expect("each rank takes its endpoint once");
+        run_training_loop(loader, &loop_cfg, Some(&ep))
+    };
+
+    let mut setup = None;
+    let per_worker: Vec<RunMetrics> = match tenant.policy {
+        TenantPolicy::Naive => NaiveRunner::new(config, sizes).run(pfs, body),
+        TenantPolicy::PyTorch => DoubleBufferRunner::pytorch_like(config, sizes).run(pfs, body),
+        TenantPolicy::Dali => DoubleBufferRunner::dali_like(config, sizes).run(pfs, body),
+        TenantPolicy::Lbann => LbannRunner::new(config, sizes).run(pfs, body),
+        TenantPolicy::NoPfs => {
+            let job = Job::new(config, sizes);
+            setup = Some(job.setup_stats().clone());
+            job.run(pfs, |w| body(w))
+        }
+    };
+
+    // Bulk-synchronous epoch time: the slowest worker defines it.
+    let epochs = per_worker
+        .iter()
+        .map(|m| m.epoch_times.len())
+        .min()
+        .unwrap_or(0);
+    let epoch_times: Vec<f64> = (0..epochs)
+        .map(|e| {
+            per_worker
+                .iter()
+                .map(|m| m.epoch_times[e])
+                .fold(0.0, f64::max)
+        })
+        .collect();
+    let mut stats = per_worker[0].stats.clone();
+    for m in &per_worker[1..] {
+        stats.merge(&m.stats);
+    }
+    let stall_time = scale.to_model(stats.stall_time);
+
+    TenantReport {
+        name: tenant.name.clone(),
+        policy: tenant.policy,
+        start_delay: tenant.start_delay,
+        total_time: epoch_times.iter().sum(),
+        epoch_times,
+        stall_time,
+        stats,
+        setup,
+        solo_epoch_time: None,
+        slowdown: None,
+    }
+}
+
+/// Co-schedules every tenant of `spec` on one shared PFS and returns
+/// per-tenant plus aggregate statistics.
+///
+/// Every tenant's dataset is materialized into its namespace first
+/// (runs start "with data at rest on a PFS"); then one launcher thread
+/// per tenant waits out the tenant's start delay and drives its real
+/// loader stack. Worker threads, prefetchers, and serving loops all
+/// belong to their tenant; the only shared object is the PFS, whose
+/// `t(γ)` regulator sees the combined live reader count.
+///
+/// # Panics
+/// Panics on an invalid [`ClusterSpec`] or if any tenant's run panics.
+pub fn run_cluster(spec: &ClusterSpec) -> ClusterReport {
+    spec.validate();
+    let pfs = Pfs::in_memory(spec.pfs_read.clone(), spec.scale);
+    let bases = spec.namespace_bases();
+    for (tenant, &base) in spec.tenants.iter().zip(&bases) {
+        tenant.profile.materialize(&pfs.namespaced(base));
+    }
+    let t0 = Instant::now();
+    let tenants: Vec<TenantReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = spec
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, tenant)| {
+                let tenant_pfs = pfs.namespaced(bases[i]);
+                let system = spec.tenant_system(i);
+                let scale = spec.scale;
+                s.spawn(move || {
+                    if tenant.start_delay > 0.0 {
+                        scale.wait(tenant.start_delay);
+                    }
+                    run_tenant(tenant, system, scale, &tenant_pfs)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tenant panicked"))
+            .collect()
+    });
+    ClusterReport {
+        tenants,
+        pfs_totals: pfs.stats(),
+        wall_time: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs tenant `index` of `spec` **alone** on a private PFS with the
+/// identical curve — the baseline for interference slowdowns. The
+/// tenant's start delay is ignored (it has nobody to stagger against).
+pub fn run_solo(spec: &ClusterSpec, index: usize) -> TenantReport {
+    let tenant = &spec.tenants[index];
+    let pfs = Pfs::in_memory(spec.pfs_read.clone(), spec.scale);
+    tenant.profile.materialize(&pfs);
+    run_tenant(tenant, spec.tenant_system(index), spec.scale, &pfs)
+}
+
+/// The full interference experiment: every tenant solo, then all
+/// co-scheduled, with each [`TenantReport::slowdown`] set to
+/// co-scheduled ÷ solo steady epoch time.
+pub fn interference_report(spec: &ClusterSpec) -> ClusterReport {
+    let solos: Vec<TenantReport> = (0..spec.tenants.len()).map(|i| run_solo(spec, i)).collect();
+    let mut report = run_cluster(spec);
+    for (tenant, solo) in report.tenants.iter_mut().zip(&solos) {
+        let solo_epoch = solo.steady_epoch_time();
+        tenant.solo_epoch_time = Some(solo_epoch);
+        tenant.slowdown = (solo_epoch > 0.0).then(|| tenant.steady_epoch_time() / solo_epoch);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nopfs_datasets::DatasetProfile;
+    use nopfs_perfmodel::presets::fig8_small_cluster;
+    use nopfs_perfmodel::ThroughputCurve;
+    use nopfs_util::units::MB;
+
+    /// A tenant system small enough for tests: 2 workers, caches that
+    /// hold the whole dataset, a modest staging buffer.
+    fn tenant_system() -> SystemSpec {
+        let mut sys = fig8_small_cluster();
+        sys.workers = 2;
+        sys.staging.capacity = 2_000_000;
+        sys.staging.threads = 2;
+        sys.classes[0].capacity = 30_000_000;
+        sys.classes[1].capacity = 60_000_000;
+        sys
+    }
+
+    fn profile(name: &str, samples: u64, seed: u64) -> DatasetProfile {
+        DatasetProfile::new(name, samples, 20_000.0, 0.0, 4, seed)
+    }
+
+    fn tenant(name: &str, policy: TenantPolicy, samples: u64, seed: u64) -> TenantSpec {
+        TenantSpec::new(
+            name,
+            policy,
+            tenant_system(),
+            profile(name, samples, seed),
+            2,
+            4,
+            seed,
+        )
+    }
+
+    /// Fast, uncontended spec for correctness tests.
+    fn fast_spec() -> ClusterSpec {
+        ClusterSpec::new(ThroughputCurve::flat(1e12), TimeScale::new(1e-6))
+    }
+
+    #[test]
+    fn tenants_get_their_own_samples_exactly_once_per_epoch() {
+        // Sample counts divisible by the global batch (2 workers x 4),
+        // so drop_last trims nothing and counts are exact.
+        let spec = fast_spec()
+            .tenant(tenant("a", TenantPolicy::NoPfs, 64, 3))
+            .tenant(tenant("b", TenantPolicy::Naive, 40, 4))
+            .tenant(tenant("c", TenantPolicy::PyTorch, 48, 5));
+        let report = run_cluster(&spec);
+        assert_eq!(report.tenants.len(), 3);
+        for (t, spec_t) in report.tenants.iter().zip(&spec.tenants) {
+            // Exactly once per epoch: 2 epochs x F samples.
+            assert_eq!(
+                t.stats.samples_consumed,
+                2 * spec_t.profile.num_samples,
+                "tenant {}",
+                t.name
+            );
+            assert_eq!(t.epoch_times.len(), 2);
+            assert!(t.total_time > 0.0);
+        }
+        // NoPFS tenants report setup stats; baselines don't.
+        assert!(report.tenants[0].setup.is_some());
+        assert!(report.tenants[1].setup.is_none());
+        // The shared store holds all three datasets side by side.
+        assert_eq!(report.pfs_totals.2, 64 + 40 + 48, "writes = materialized");
+    }
+
+    #[test]
+    fn payloads_do_not_bleed_across_namespaces() {
+        // Every delivered payload must decode against its own tenant's
+        // profile (ids and seeded patterns are tenant-specific, so any
+        // cross-tenant mixup fails the decode).
+        let spec = fast_spec()
+            .tenant(tenant("a", TenantPolicy::Naive, 30, 11))
+            .tenant(tenant("b", TenantPolicy::Naive, 30, 12));
+        let pfs = Pfs::in_memory(spec.pfs_read.clone(), spec.scale);
+        let bases = spec.namespace_bases();
+        for (t, &base) in spec.tenants.iter().zip(&bases) {
+            t.profile.materialize(&pfs.namespaced(base));
+        }
+        for (t, &base) in spec.tenants.iter().zip(&bases) {
+            let ns = pfs.namespaced(base);
+            for id in 0..t.profile.num_samples {
+                let data = ns.read(id).expect("materialized");
+                let (decoded, _) = t.profile.decode(&data).expect("clean payload");
+                assert_eq!(decoded, id);
+            }
+        }
+    }
+
+    #[test]
+    fn interference_slowdowns_favor_the_clairvoyant_tenant() {
+        // A PFS that saturates at ~2 clients: co-scheduling multiplies
+        // the live reader count, so the all-PFS naive tenants slow down
+        // while NoPFS (cache-served after epoch 0) is shielded. The
+        // scale is chosen so every paced wait exceeds the sleep
+        // threshold: on small (even single-core) CI machines, sleeping
+        // tenants interleave cleanly, keeping CPU contention out of
+        // what must be a *PFS* contention measurement.
+        let scale = TimeScale::new(0.5);
+        let curve =
+            ThroughputCurve::from_points(&[(1.0, 30.0 * MB), (2.0, 40.0 * MB), (16.0, 41.0 * MB)]);
+        let mut spec = ClusterSpec::new(curve, scale)
+            .tenant(tenant("nopfs", TenantPolicy::NoPfs, 296, 21))
+            .tenant(tenant("naive-1", TenantPolicy::Naive, 296, 22))
+            .tenant(tenant("naive-2", TenantPolicy::Naive, 296, 23));
+        for t in &mut spec.tenants {
+            t.epochs = 3;
+        }
+        let report = interference_report(&spec);
+        let nopfs = report.slowdown_of(TenantPolicy::NoPfs).expect("filled in");
+        let naive = report.slowdown_of(TenantPolicy::Naive).expect("filled in");
+        assert!(
+            naive > 1.15,
+            "co-scheduled naive tenants must interfere: {naive}x"
+        );
+        assert!(
+            nopfs < naive,
+            "NoPFS ({nopfs}x) must degrade less than naive ({naive}x)"
+        );
+        // And the shield comes from the caches, not luck: NoPFS's
+        // steady-state fetches are mostly cache-served.
+        assert!(report.tenants[0].cache_fraction() > 0.3);
+    }
+
+    #[test]
+    fn staggered_tenant_starts_late() {
+        let scale = TimeScale::new(1e-3);
+        let spec = ClusterSpec::new(ThroughputCurve::flat(1e12), scale)
+            .tenant(tenant("early", TenantPolicy::Naive, 32, 31))
+            .tenant(tenant("late", TenantPolicy::Naive, 32, 32).starting_at(5.0));
+        let t0 = Instant::now();
+        let report = run_cluster(&spec);
+        // 5 model seconds at 1e-3 = 5 ms of wall stagger, measurable in
+        // the cluster wall time.
+        assert!(t0.elapsed().as_secs_f64() >= 0.005);
+        assert!(report.wall_time >= 0.005);
+        assert_eq!(report.tenants[1].start_delay, 5.0);
+        // Both still delivered everything.
+        for t in &report.tenants {
+            assert_eq!(t.stats.samples_consumed, 64);
+        }
+    }
+
+    #[test]
+    fn lbann_tenant_coexists_on_the_shared_pfs() {
+        let spec = fast_spec()
+            .tenant(tenant("lbann", TenantPolicy::Lbann, 40, 41))
+            .tenant(tenant("naive", TenantPolicy::Naive, 40, 42));
+        let report = run_cluster(&spec);
+        let lbann = &report.tenants[0];
+        assert_eq!(lbann.stats.samples_consumed, 80);
+        // Epoch 0 from the PFS, epoch 1 owner-served.
+        assert_eq!(lbann.stats.pfs_fetches, 40);
+        assert!(lbann.stats.local_fetches + lbann.stats.remote_fetches >= 40);
+    }
+}

@@ -126,6 +126,11 @@ impl Job {
 
     /// Convenience: an in-memory synthetic PFS matching the job's
     /// system curve and time scale.
+    ///
+    /// This is the single-tenant convenience only — [`Job::run`]
+    /// accepts **any** injected [`Pfs`] handle, which is how
+    /// `nopfs_cluster` co-schedules several jobs on one shared
+    /// filesystem (each receiving a [`Pfs::namespaced`] view of it).
     pub fn make_pfs(&self) -> Pfs {
         Pfs::in_memory(
             self.shared.config.system.pfs_read.clone(),
@@ -140,6 +145,15 @@ impl Job {
     /// returns, the worker is shut down cleanly: prefetchers stop, the
     /// cluster synchronizes, serving loops exit. If a worker panics the
     /// whole `run` panics.
+    ///
+    /// The injected `pfs` is the job's *resource boundary*: workers
+    /// build everything else (caches, staging buffers, the in-process
+    /// interconnect) privately, but all PFS reads pace through this
+    /// handle's shared `t(γ)` regulator. Handing co-scheduled jobs
+    /// namespaced views of one `Pfs` therefore reproduces cross-job
+    /// I/O contention with no other coupling — and the workers' live
+    /// source selection (which prices PFS fetches at the *observed*
+    /// reader count) automatically accounts for other tenants' traffic.
     pub fn run<R, F>(&self, pfs: &Pfs, f: F) -> Vec<R>
     where
         R: Send,
@@ -366,6 +380,62 @@ mod tests {
         materialize(&pfs, &sizes);
         let counts = job.run(&pfs, |w| w.by_ref().count());
         assert_eq!(counts, vec![60]);
+    }
+
+    #[test]
+    fn two_jobs_share_one_pfs_via_namespaces() {
+        // The multi-tenant injection contract: two independent jobs,
+        // each handed a namespaced view of ONE shared PFS, both deliver
+        // every one of their own samples exactly once per epoch with no
+        // cross-tenant bleed.
+        let shared = Pfs::in_memory(
+            nopfs_perfmodel::ThroughputCurve::flat(1e12),
+            TimeScale::new(1e-6),
+        );
+        let sizes_a = Arc::new(vec![1_000u64; 48]);
+        let sizes_b = Arc::new(vec![1_000u64; 32]);
+        let pfs_a = shared.namespaced(0);
+        let pfs_b = shared.namespaced(48);
+        materialize(&pfs_a, &sizes_a);
+        materialize(&pfs_b, &sizes_b);
+        std::thread::scope(|s| {
+            let a = s.spawn(|| {
+                let config = JobConfig::new(1, 2, 8, small_system(), TimeScale::new(1e-6));
+                let job = Job::new(config, Arc::clone(&sizes_a));
+                job.run(&pfs_a, |w| {
+                    let mut n = 0u64;
+                    while let Some((id, data)) = w.next_sample() {
+                        assert!(id < 48, "tenant A got foreign sample {id}");
+                        assert_eq!(data[0], (id % 256) as u8);
+                        n += 1;
+                    }
+                    n
+                })
+                .iter()
+                .sum::<u64>()
+            });
+            let b = s.spawn(|| {
+                let config = JobConfig::new(2, 2, 8, small_system(), TimeScale::new(1e-6));
+                let job = Job::new(config, Arc::clone(&sizes_b));
+                job.run(&pfs_b, |w| {
+                    let mut n = 0u64;
+                    while let Some((id, data)) = w.next_sample() {
+                        assert!(id < 32, "tenant B got foreign sample {id}");
+                        assert_eq!(data[0], (id % 256) as u8);
+                        n += 1;
+                    }
+                    n
+                })
+                .iter()
+                .sum::<u64>()
+            });
+            assert_eq!(a.join().unwrap(), 96);
+            assert_eq!(b.join().unwrap(), 64);
+        });
+        // Both tenants' traffic flowed through the one shared store.
+        let (reads, _, writes, _) = shared.stats();
+        assert_eq!(writes, 80);
+        assert!(reads > 0);
     }
 
     #[test]

@@ -1,0 +1,393 @@
+//! Multi-job simulation: K co-scheduled training jobs contending on one
+//! shared PFS.
+//!
+//! The single-job engine ([`crate::engine::run`]) tracks the PFS client
+//! count `γ` only within one job; here several jobs — each with its own
+//! scenario, policy, and staggered start time — advance through a
+//! shared model clock, and every job's reads are priced at `t(γ)` for
+//! the **combined** client count across all concurrently active jobs.
+//! This is the paper's opening scenario (Sec. 1–2, Fig. 2): aggregate
+//! PFS throughput saturates, so co-located jobs interfere — unless a
+//! policy stops hitting the PFS once its caches warm up.
+//!
+//! Scheduling is discrete and approximate in the same spirit as the
+//! single-job engine: the job whose time front (its slowest worker's
+//! consumption clock plus its start offset) is earliest advances by one
+//! iteration, with `γ` summed over the jobs that have started and not
+//! yet finished. Because jobs are simulated rather than threaded, K can
+//! sweep far past what the in-process thread runtime allows.
+//!
+//! Interconnects are *partitioned*: each job keeps its own modelled
+//! cluster network (co-scheduled HPC jobs run on disjoint node sets but
+//! share the filesystem), so only the PFS couples tenants.
+
+use crate::engine::{loc_index, Acc};
+use crate::policies;
+use crate::policy::Policy;
+use crate::result::{Breakdown, SimError, SimResult};
+use crate::scenario::Scenario;
+
+/// One co-scheduled job: a scenario, its loader policy, and when it
+/// starts relative to the cluster clock (model seconds).
+#[derive(Debug, Clone)]
+pub struct SimTenant {
+    /// The job's own system + dataset + run parameters. Each tenant's
+    /// reads are priced on its own `system` — including its `pfs_read`
+    /// curve — so to model one shared filesystem, give every tenant
+    /// the same curve (as `nopfs_bench::scenarios::fig2` does); the
+    /// engine does not cross-check them.
+    pub scenario: Scenario,
+    /// The data-loading policy this job runs.
+    pub policy: Policy,
+    /// Start offset, model seconds (`0.0` = starts immediately).
+    pub start: f64,
+}
+
+impl SimTenant {
+    /// A tenant starting at t = 0.
+    pub fn new(scenario: Scenario, policy: Policy) -> Self {
+        Self {
+            scenario,
+            policy,
+            start: 0.0,
+        }
+    }
+
+    /// Sets the start offset.
+    pub fn starting_at(self, start: f64) -> Self {
+        assert!(start >= 0.0 && start.is_finite());
+        Self { start, ..self }
+    }
+}
+
+/// Per-job simulation state between iterations.
+struct JobState<'a> {
+    tenant: &'a SimTenant,
+    policy: Box<dyn policies::PolicyImpl>,
+    accs: Vec<Acc>,
+    prev_consumed: Vec<f64>,
+    breakdown: Breakdown,
+    fetch_counts: [u64; 4],
+    /// Current epoch's per-worker sequences.
+    seqs: Vec<Vec<u64>>,
+    /// Iterations in the current epoch and the next one to run.
+    iterations: usize,
+    iter: usize,
+    epoch: u64,
+    /// This job's PFS clients observed in its previous iteration.
+    gamma_self: usize,
+    threads_per_worker: usize,
+    started: bool,
+    finished: bool,
+}
+
+impl<'a> JobState<'a> {
+    fn new(tenant: &'a SimTenant) -> Result<Self, SimError> {
+        let policy = policies::build(tenant.policy, &tenant.scenario)?;
+        let sys = &tenant.scenario.system;
+        let n = sys.workers;
+        let threads_per_worker = if policy.overlapped() {
+            sys.staging.threads as usize
+        } else {
+            1
+        };
+        let accs = (0..n)
+            .map(|_| Acc::new(sys.compute, sys.staging.threads, policy.overlapped()))
+            .collect();
+        let mut state = Self {
+            tenant,
+            policy,
+            accs,
+            prev_consumed: vec![0.0; n],
+            breakdown: Breakdown::default(),
+            fetch_counts: [0; 4],
+            seqs: Vec::new(),
+            iterations: 0,
+            iter: 0,
+            epoch: 0,
+            // Pessimistic before the first iteration, like the
+            // single-job engine.
+            gamma_self: (n * threads_per_worker).max(1),
+            threads_per_worker,
+            started: false,
+            finished: false,
+        };
+        state.load_epoch(0);
+        Ok(state)
+    }
+
+    /// Loads epoch `e`'s sequences, or marks the job finished.
+    fn load_epoch(&mut self, e: u64) {
+        if e >= self.tenant.scenario.epochs {
+            self.finished = true;
+            self.gamma_self = 0;
+            return;
+        }
+        let spec = self.tenant.scenario.shuffle_spec();
+        let shuffle = spec.epoch_shuffle(e);
+        self.policy.on_epoch_start(e);
+        let n = self.tenant.scenario.system.workers;
+        let seqs: Vec<Vec<u64>> = (0..n).map(|w| shuffle.worker_sequence(w)).collect();
+        self.seqs = self.policy.transform_epoch(e, seqs, &shuffle);
+        let b = self.tenant.scenario.batch_size;
+        self.iterations = self
+            .seqs
+            .iter()
+            .map(|s| s.len().div_ceil(b))
+            .max()
+            .unwrap_or(0);
+        self.iter = 0;
+        self.epoch = e;
+        if self.iterations == 0 {
+            self.load_epoch(e + 1);
+        }
+    }
+
+    /// The job's time front on the cluster clock: start offset plus the
+    /// slowest worker's consumption clock.
+    fn front(&self) -> f64 {
+        self.tenant.start + self.accs.iter().map(Acc::last).fold(0.0, f64::max)
+    }
+
+    /// Advances one iteration, pricing PFS reads at the cluster-wide
+    /// `gamma`. Returns this job's new own-client count.
+    fn advance(&mut self, gamma: usize) -> usize {
+        self.started = true;
+        let scenario = &self.tenant.scenario;
+        let sys = &scenario.system;
+        let n = sys.workers;
+        let b = scenario.batch_size;
+        let h = self.iter;
+        let mut pfs_workers = 0usize;
+        for w in 0..n {
+            let seq = &self.seqs[w];
+            let lo = h * b;
+            if lo >= seq.len() {
+                continue;
+            }
+            let hi = ((h + 1) * b).min(seq.len());
+            let mut used_pfs = false;
+            for &k in &seq[lo..hi] {
+                let now = self.accs[w].last();
+                let size = scenario.sizes[k as usize];
+                let loc = self.policy.source(w, k, size, now, gamma);
+                let read = sys.read_time(loc, size, gamma);
+                let (consumed, stall) = self.accs[w].push(read, size);
+                let interval = consumed - self.prev_consumed[w];
+                let busy = (interval - stall).max(0.0);
+                let overlapped_fetch = read.min(busy);
+                self.breakdown
+                    .attribute(loc, stall + overlapped_fetch, busy - overlapped_fetch);
+                self.prev_consumed[w] = consumed;
+                self.fetch_counts[loc_index(loc)] += 1;
+                used_pfs |= matches!(loc, nopfs_perfmodel::Location::Pfs);
+                self.policy.on_consumed(w, k, consumed);
+            }
+            if used_pfs {
+                pfs_workers += 1;
+            }
+        }
+        self.gamma_self = pfs_workers * self.threads_per_worker;
+        self.iter += 1;
+        if self.iter >= self.iterations {
+            self.load_epoch(self.epoch + 1);
+        }
+        self.gamma_self
+    }
+
+    fn into_result(self) -> SimResult {
+        let prestage = self.policy.prestage_seconds();
+        let n = self.tenant.scenario.system.workers;
+        let mut breakdown = self.breakdown;
+        if prestage > 0.0 {
+            breakdown.pfs += prestage * n as f64;
+        }
+        let per_worker_time: Vec<f64> = self.accs.iter().map(|a| a.finish() + prestage).collect();
+        let per_worker_stall: Vec<f64> = self.accs.iter().map(Acc::total_stall).collect();
+        let execution_time = per_worker_time.iter().copied().fold(0.0, f64::max);
+        SimResult {
+            policy: self.tenant.policy,
+            execution_time,
+            per_worker_time,
+            prestage_time: prestage,
+            per_worker_stall,
+            breakdown,
+            fetch_counts: self.fetch_counts,
+            coverage: self.policy.coverage(),
+            note: self.policy.note(),
+        }
+    }
+}
+
+/// Simulates `tenants` co-scheduled on one shared PFS.
+///
+/// Returns one [`SimResult`] per tenant, in input order; each result's
+/// `execution_time` excludes the tenant's start offset (it is the
+/// job's own wall time, directly comparable to a solo
+/// [`crate::engine::run`] of the same scenario — the ratio of the two
+/// is the *interference slowdown*).
+///
+/// # Errors
+/// Returns the first policy's [`SimError`] if any tenant's policy
+/// cannot run its scenario.
+pub fn run_cluster(tenants: &[SimTenant]) -> Result<Vec<SimResult>, SimError> {
+    assert!(!tenants.is_empty(), "a cluster needs at least one tenant");
+    let mut jobs: Vec<JobState> = tenants
+        .iter()
+        .map(JobState::new)
+        .collect::<Result<_, _>>()?;
+
+    loop {
+        // Pick the unfinished job with the earliest time front.
+        let next = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| !j.finished)
+            .min_by(|(_, a), (_, b)| {
+                a.front()
+                    .partial_cmp(&b.front())
+                    .expect("time fronts are finite")
+            })
+            .map(|(i, _)| i);
+        let Some(i) = next else { break };
+        // γ: this job's previous-iteration clients plus every other
+        // started-and-unfinished job's.
+        let gamma = jobs
+            .iter()
+            .enumerate()
+            .map(|(j, job)| {
+                if j == i || (job.started && !job.finished) {
+                    job.gamma_self
+                } else {
+                    0
+                }
+            })
+            .sum::<usize>()
+            .max(1);
+        jobs[i].advance(gamma);
+    }
+
+    Ok(jobs.into_iter().map(JobState::into_result).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run as run_solo;
+    use nopfs_perfmodel::presets::{fig8_small_cluster, saturating_pfs_curve};
+    use nopfs_util::units::MB;
+
+    /// A scenario in which the PFS saturates well below the demand of
+    /// several co-scheduled jobs.
+    fn tenant_scenario(name: &str, seed: u64) -> Scenario {
+        let mut sys = fig8_small_cluster();
+        sys.workers = 2;
+        sys.pfs_read = saturating_pfs_curve(120.0 * MB, 3.0);
+        sys.classes[0].capacity = 40 * 1_000_000;
+        sys.classes[1].capacity = 120 * 1_000_000;
+        sys.staging.capacity = 8 * 1_000_000;
+        Scenario::new(name, sys, vec![100_000u64; 800], 3, 8, seed)
+    }
+
+    #[test]
+    fn single_tenant_matches_solo_engine() {
+        let s = tenant_scenario("solo", 7);
+        for policy in [Policy::Naive, Policy::NoPfs, Policy::StagingBuffer] {
+            let solo = run_solo(&s, policy).unwrap();
+            let multi = run_cluster(&[SimTenant::new(s.clone(), policy)]).unwrap();
+            let a = solo.execution_time;
+            let b = multi[0].execution_time;
+            assert!(
+                (a - b).abs() < 1e-9 * a.max(1.0),
+                "{policy}: solo {a} vs cluster-of-one {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn co_scheduled_naive_jobs_interfere() {
+        let s = tenant_scenario("naive", 11);
+        let solo = run_solo(&s, Policy::Naive).unwrap().execution_time;
+        let tenants: Vec<SimTenant> = (0..3)
+            .map(|i| SimTenant::new(tenant_scenario("naive", 11 + i), Policy::Naive))
+            .collect();
+        let results = run_cluster(&tenants).unwrap();
+        for r in &results {
+            let slowdown = r.execution_time / solo;
+            assert!(
+                slowdown > 1.3,
+                "3 naive tenants on a saturated PFS must interfere: {slowdown}x"
+            );
+        }
+    }
+
+    #[test]
+    fn nopfs_is_shielded_relative_to_naive() {
+        let naive_solo = run_solo(&tenant_scenario("t", 21), Policy::Naive)
+            .unwrap()
+            .execution_time;
+        let nopfs_solo = run_solo(&tenant_scenario("t", 21), Policy::NoPfs)
+            .unwrap()
+            .execution_time;
+        let tenants: Vec<SimTenant> = (0..3)
+            .map(|i| {
+                let policy = if i == 0 { Policy::NoPfs } else { Policy::Naive };
+                SimTenant::new(tenant_scenario("t", 21 + i), policy)
+            })
+            .collect();
+        let results = run_cluster(&tenants).unwrap();
+        let nopfs_slowdown = results[0].execution_time / nopfs_solo;
+        let naive_slowdown = results[1].execution_time / naive_solo;
+        assert!(
+            nopfs_slowdown < naive_slowdown,
+            "NoPFS ({nopfs_slowdown}x) must degrade less than naive ({naive_slowdown}x)"
+        );
+    }
+
+    #[test]
+    fn stagger_defers_contention() {
+        // A tenant starting after the others have finished must see
+        // (almost) no interference.
+        let s = tenant_scenario("lone", 31);
+        let solo = run_solo(&s, Policy::Naive).unwrap().execution_time;
+        let far_future = solo * 100.0;
+        let tenants = vec![
+            SimTenant::new(tenant_scenario("lone", 31), Policy::Naive),
+            SimTenant::new(tenant_scenario("late", 32), Policy::Naive).starting_at(far_future),
+        ];
+        let results = run_cluster(&tenants).unwrap();
+        let late_slowdown = results[1].execution_time / solo;
+        assert!(
+            late_slowdown < 1.05,
+            "a fully staggered tenant must run near solo speed: {late_slowdown}x"
+        );
+    }
+
+    #[test]
+    fn sweeps_past_thread_scale() {
+        // 16 simulated tenants — far more than the thread runtime could
+        // co-schedule — and interference grows monotonically enough to
+        // rank K=16 above K=2.
+        let solo = run_solo(&tenant_scenario("k", 41), Policy::Naive)
+            .unwrap()
+            .execution_time;
+        let mut slowdowns = Vec::new();
+        for k in [2usize, 16] {
+            let tenants: Vec<SimTenant> = (0..k)
+                .map(|i| SimTenant::new(tenant_scenario("k", 41 + i as u64), Policy::Naive))
+                .collect();
+            let results = run_cluster(&tenants).unwrap();
+            let worst = results
+                .iter()
+                .map(|r| r.execution_time / solo)
+                .fold(0.0, f64::max);
+            slowdowns.push(worst);
+        }
+        assert!(
+            slowdowns[1] > slowdowns[0],
+            "K=16 ({}) must interfere more than K=2 ({})",
+            slowdowns[1],
+            slowdowns[0]
+        );
+    }
+}

@@ -25,7 +25,7 @@ use nopfs_perfmodel::Location;
 /// Per-worker consumption state: either the pipelined `t_{i,f}`
 /// recurrence (policies with prefetch threads) or fully serialized
 /// consumption (the Naive policy, which reads synchronously).
-enum Acc {
+pub(crate) enum Acc {
     Overlapped(ConsumeAccumulator),
     Serial {
         compute: f64,
@@ -36,7 +36,7 @@ enum Acc {
 }
 
 impl Acc {
-    fn new(compute: f64, p0: u32, overlapped: bool) -> Self {
+    pub(crate) fn new(compute: f64, p0: u32, overlapped: bool) -> Self {
         if overlapped {
             Acc::Overlapped(ConsumeAccumulator::new(compute, p0))
         } else {
@@ -50,7 +50,7 @@ impl Acc {
     }
 
     /// Records an access; returns `(consumed_at, stall)`.
-    fn push(&mut self, read: f64, size: u64) -> (f64, f64) {
+    pub(crate) fn push(&mut self, read: f64, size: u64) -> (f64, f64) {
         match self {
             Acc::Overlapped(a) => {
                 let timing = a.push(read, size);
@@ -74,21 +74,21 @@ impl Acc {
         }
     }
 
-    fn last(&self) -> f64 {
+    pub(crate) fn last(&self) -> f64 {
         match self {
             Acc::Overlapped(a) => a.last_consumed(),
             Acc::Serial { t, .. } => *t,
         }
     }
 
-    fn total_stall(&self) -> f64 {
+    pub(crate) fn total_stall(&self) -> f64 {
         match self {
             Acc::Overlapped(a) => a.total_stall(),
             Acc::Serial { stall, .. } => *stall,
         }
     }
 
-    fn finish(&self) -> f64 {
+    pub(crate) fn finish(&self) -> f64 {
         match self {
             Acc::Overlapped(a) => a.finish(),
             Acc::Serial {
@@ -101,7 +101,7 @@ impl Acc {
     }
 }
 
-fn loc_index(loc: Location) -> usize {
+pub(crate) fn loc_index(loc: Location) -> usize {
     match loc {
         Location::Staging => 0,
         Location::Local(_) => 1,

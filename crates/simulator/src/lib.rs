@@ -19,8 +19,11 @@
 //! [`Policy::LocalityAware`] (Yang & Cong), and [`Policy::NoPfs`].
 //!
 //! Beyond the policy comparison (Fig. 8), the simulator powers the
-//! environment/design-space evaluation of Fig. 9 via [`environment`].
+//! environment/design-space evaluation of Fig. 9 via [`environment`],
+//! and the multi-tenant interference study (Fig. 2's shared-PFS
+//! contention across co-scheduled jobs) via [`cluster`].
 
+pub mod cluster;
 pub mod engine;
 pub mod environment;
 pub mod policies;
@@ -28,6 +31,7 @@ pub mod policy;
 pub mod result;
 pub mod scenario;
 
+pub use cluster::{run_cluster, SimTenant};
 pub use engine::run;
 pub use policy::{Capabilities, Policy};
 pub use result::{Breakdown, SimError, SimResult};

@@ -125,25 +125,18 @@ impl StagingBuffer {
     /// Removes the oldest sample, blocking until one is available.
     /// Returns `None` once the buffer is closed *and* drained.
     pub fn pop(&self) -> Option<(SampleId, Bytes)> {
-        let mut st = self.inner.state.lock();
-        loop {
-            if let Some((id, data)) = st.queue.pop_front() {
-                st.used -= data.len() as u64;
-                st.total_popped += 1;
-                drop(st);
-                self.inner.space.notify_all();
-                return Some((id, data));
-            }
-            if st.closed {
-                return None;
-            }
-            self.inner.data.wait(&mut st);
-        }
+        self.pop_until(None)
     }
 
     /// Like [`Self::pop`] but gives up after `timeout`.
     pub fn pop_timeout(&self, timeout: Duration) -> Option<(SampleId, Bytes)> {
-        let deadline = Instant::now() + timeout;
+        self.pop_until(Some(Instant::now() + timeout))
+    }
+
+    /// The shared drain loop: waits for data until `deadline` (forever
+    /// when `None`), draining the queue ahead of close/timeout checks so
+    /// buffered samples are never lost.
+    fn pop_until(&self, deadline: Option<Instant>) -> Option<(SampleId, Bytes)> {
         let mut st = self.inner.state.lock();
         loop {
             if let Some((id, data)) = st.queue.pop_front() {
@@ -156,8 +149,13 @@ impl StagingBuffer {
             if st.closed {
                 return None;
             }
-            if self.inner.data.wait_until(&mut st, deadline).timed_out() {
-                return None;
+            match deadline {
+                Some(d) => {
+                    if self.inner.data.wait_until(&mut st, d).timed_out() {
+                        return None;
+                    }
+                }
+                None => self.inner.data.wait(&mut st),
             }
         }
     }
@@ -268,6 +266,24 @@ mod tests {
         buf.push(2, Bytes::from_static(b"b"));
         buf.close();
         assert!(buf.pop().is_some());
+        assert!(buf.pop().is_some());
+        assert!(buf.pop().is_none());
+    }
+
+    #[test]
+    fn close_unblocks_waiting_producer_with_false() {
+        // A producer blocked in `push` (buffer full) must observe
+        // `close()` and return `false` instead of hanging forever.
+        let buf = StagingBuffer::new(100);
+        assert!(buf.push(1, Bytes::from(vec![0u8; 90])));
+        let b2 = buf.clone();
+        let producer = thread::spawn(move || b2.push(2, Bytes::from(vec![0u8; 90])));
+        thread::sleep(Duration::from_millis(20));
+        assert!(!producer.is_finished(), "producer should be blocked");
+        buf.close();
+        assert!(!producer.join().unwrap(), "closed push must report false");
+        // The blocked sample was dropped; only the first remains.
+        assert_eq!(buf.len(), 1);
         assert!(buf.pop().is_some());
         assert!(buf.pop().is_none());
     }

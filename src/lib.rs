@@ -4,6 +4,8 @@
 //! This umbrella crate re-exports the whole workspace:
 //!
 //! - [`core`] — the NoPFS middleware itself (paper Sec. 5).
+//! - [`cluster`] — multi-tenant co-scheduling: K jobs contending on one
+//!   shared PFS (the Sec. 1–2 / Fig. 2 interference scenario).
 //! - [`clairvoyance`] — seeded access streams, frequency analysis,
 //!   placement (Secs. 2–3).
 //! - [`perfmodel`] — the storage-hierarchy performance model (Sec. 4).
@@ -25,6 +27,7 @@
 
 pub use nopfs_baselines as baselines;
 pub use nopfs_clairvoyance as clairvoyance;
+pub use nopfs_cluster as cluster;
 pub use nopfs_core as core;
 pub use nopfs_datasets as datasets;
 pub use nopfs_net as net;
