@@ -64,28 +64,40 @@ impl DoubleBufferRunner {
         }
     }
 
+    /// Launches every rank's loader (shared with the registry factory).
+    pub(crate) fn launch_all(&self, pfs: &Pfs) -> Vec<DoubleBufferLoader> {
+        let n = self.config.system.workers;
+        let spec = self.config.shuffle_spec(self.sizes.len() as u64);
+        // One engine pass materializes every rank's stream (O(E) shuffle
+        // generations total instead of O(N·E) across the rank threads).
+        let streams = materialize_all_streams(&spec, self.config.epochs);
+        (0..n)
+            .map(|rank| {
+                DoubleBufferLoader::launch(
+                    rank,
+                    self.config.clone(),
+                    pfs.clone(),
+                    spec,
+                    Arc::clone(&streams[rank]),
+                    self.preprocess_factor,
+                )
+            })
+            .collect()
+    }
+
     /// Runs `f` once per worker.
     pub fn run<R, F>(&self, pfs: &Pfs, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(&mut dyn DataLoader) -> R + Sync,
     {
-        let n = self.config.system.workers;
-        let spec = self.config.shuffle_spec(self.sizes.len() as u64);
-        // One engine pass materializes every rank's stream (O(E) shuffle
-        // generations total instead of O(N·E) across the rank threads).
-        let streams = materialize_all_streams(&spec, self.config.epochs);
         let f = &f;
         std::thread::scope(|s| {
-            let handles: Vec<_> = (0..n)
-                .map(|rank| {
-                    let config = self.config.clone();
-                    let pfs = pfs.clone();
-                    let factor = self.preprocess_factor;
-                    let stream = Arc::clone(&streams[rank]);
+            let handles: Vec<_> = self
+                .launch_all(pfs)
+                .into_iter()
+                .map(|mut loader| {
                     s.spawn(move || {
-                        let mut loader =
-                            DoubleBufferLoader::launch(rank, config, pfs, spec, stream, factor);
                         let result = f(&mut loader);
                         loader.shutdown();
                         result
@@ -100,7 +112,7 @@ impl DoubleBufferRunner {
     }
 }
 
-struct DoubleBufferLoader {
+pub(crate) struct DoubleBufferLoader {
     rank: usize,
     batch_size: usize,
     stage: ReorderStage,
@@ -215,6 +227,10 @@ impl DataLoader for DoubleBufferLoader {
 
     fn stats(&self) -> WorkerStats {
         self.stats.snapshot()
+    }
+
+    fn shutdown(&mut self) {
+        DoubleBufferLoader::shutdown(self);
     }
 }
 

@@ -10,27 +10,24 @@
 //! "LBANN's data store uses a simple first-touch policy … many samples
 //! need to be fetched from remote nodes").
 //!
-//! Runs on the same substrates as NoPFS: the synthetic PFS, the
-//! modelled interconnect, and a throttled in-memory backend.
+//! Since the policy-layer refactor this runner is a thin veneer over
+//! [`PlanRunner`] executing the shared
+//! [`nopfs_policy::core::LbannCore`] — the same ownership plan the
+//! simulator's LBANN policy prices — and exists for its historical
+//! panic-on-infeasible constructor contract. The preloading mode runs
+//! through the registry (`PolicyId::LbannPreloading`) directly.
 
+use crate::plan_loader::PlanRunner;
 use crate::DataLoader;
-use bytes::Bytes;
-use nopfs_clairvoyance::engine::materialize_all_streams;
-use nopfs_core::msg::{Msg, RemoteReply};
-use nopfs_core::stats::{StatsCollector, WorkerStats};
-use nopfs_core::{JobConfig, SampleId};
-use nopfs_net::{cluster, Endpoint, NetConfig};
-use nopfs_pfs::{Pfs, PfsError};
-use nopfs_storage::{MemoryBackend, MetadataStore, ReorderStage, StorageBackend, ThrottledBackend};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use nopfs_core::JobConfig;
+use nopfs_pfs::Pfs;
+use nopfs_policy::PolicyId;
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Instant;
 
-/// Launches LBANN-data-store loaders, one per worker thread.
+/// Launches LBANN-data-store loaders (dynamic mode), one per worker
+/// thread.
 pub struct LbannRunner {
-    config: JobConfig,
-    sizes: Arc<Vec<u64>>,
+    inner: PlanRunner,
 }
 
 impl LbannRunner {
@@ -41,20 +38,13 @@ impl LbannRunner {
     /// store's documented requirement) or the system has no RAM class.
     pub fn new(config: JobConfig, sizes: Arc<Vec<u64>>) -> Self {
         assert!(!sizes.is_empty(), "dataset must contain samples");
-        let ram = config
-            .system
-            .classes
-            .first()
-            .map(|c| c.capacity)
-            .expect("LBANN data store requires an in-memory storage class");
-        let total: u64 = sizes.iter().sum();
-        let aggregate = ram.saturating_mul(config.system.workers as u64);
         assert!(
-            total <= aggregate,
-            "LBANN data store requires the dataset ({total} B) to fit in \
-             aggregate worker memory ({aggregate} B)"
+            !config.system.classes.is_empty(),
+            "LBANN data store requires an in-memory storage class"
         );
-        Self { config, sizes }
+        let inner = PlanRunner::new(PolicyId::LbannDynamic, config, sizes)
+            .unwrap_or_else(|e| panic!("{}", e.0));
+        Self { inner }
     }
 
     /// Runs `f` once per worker.
@@ -63,277 +53,14 @@ impl LbannRunner {
         R: Send,
         F: Fn(&mut dyn DataLoader) -> R + Sync,
     {
-        let n = self.config.system.workers;
-        let spec = self.config.shuffle_spec(self.sizes.len() as u64);
-        // First-touch ownership: who reads each sample in epoch 0.
-        let shuffle = spec.epoch_shuffle(0);
-        let mut owner_of = vec![0u16; self.sizes.len()];
-        for (pos, &id) in shuffle.global_order().iter().enumerate() {
-            owner_of[id as usize] = (pos % n) as u16;
-        }
-        let owner_of = Arc::new(owner_of);
-        // One engine pass materializes every rank's stream (O(E) shuffle
-        // generations total instead of O(N·E) across the rank threads).
-        let streams = materialize_all_streams(&spec, self.config.epochs);
-        let endpoints = cluster::<Msg>(
-            n,
-            NetConfig::new(self.config.system.interconnect, self.config.scale),
-        );
-        let f = &f;
-        std::thread::scope(|s| {
-            let handles: Vec<_> = endpoints
-                .into_iter()
-                .enumerate()
-                .map(|(rank, endpoint)| {
-                    let config = self.config.clone();
-                    let pfs = pfs.clone();
-                    let owner_of = Arc::clone(&owner_of);
-                    let stream = Arc::clone(&streams[rank]);
-                    s.spawn(move || {
-                        let mut loader = LbannLoader::launch(
-                            rank, config, pfs, spec, owner_of, endpoint, stream,
-                        );
-                        let result = f(&mut loader);
-                        loader.shutdown();
-                        result
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-    }
-}
-
-struct Ctx {
-    rank: usize,
-    config: JobConfig,
-    pfs: Pfs,
-    endpoint: Arc<Endpoint<Msg>>,
-    store: Arc<dyn StorageBackend>,
-    metadata: Arc<MetadataStore>,
-    owner_of: Arc<Vec<u16>>,
-    stats: Arc<StatsCollector>,
-    stop: Arc<AtomicBool>,
-    stage: ReorderStage,
-    epoch_len: u64,
-}
-
-impl Ctx {
-    fn fetch(&self, k: SampleId, epoch: u64) -> Bytes {
-        if epoch == 0 {
-            // First epoch: everyone reads the PFS and first-touch-caches.
-            let data = self.pfs_read(k);
-            self.stats.count_pfs();
-            debug_assert_eq!(self.owner_of[k as usize] as usize, self.rank);
-            if self.store.insert(k, data.clone()).is_ok() {
-                self.metadata.mark_cached(k, 0);
-            }
-            return data;
-        }
-        let owner = self.owner_of[k as usize] as usize;
-        if owner == self.rank {
-            if let Some(data) = self.metadata.lookup(k).and_then(|_| self.store.get(k)) {
-                self.stats.count_local();
-                return data;
-            }
-            // The first-touch insert failed (store full): fall through.
-        } else {
-            let (tx, rx) = crossbeam::channel::bounded::<RemoteReply>(1);
-            if self
-                .endpoint
-                .send(
-                    owner,
-                    Msg::Request {
-                        sample: k,
-                        reply: tx,
-                    },
-                )
-                .is_ok()
-            {
-                if let Ok(reply) = rx.recv() {
-                    if let Some(data) = reply.data {
-                        self.stats.count_remote();
-                        return data;
-                    }
-                }
-            }
-        }
-        // Fallback: owner did not hold the sample.
-        self.stats.count_pfs();
-        self.pfs_read(k)
-    }
-
-    fn pfs_read(&self, k: SampleId) -> Bytes {
-        loop {
-            match self.pfs.read(k) {
-                Ok(d) => return d,
-                Err(PfsError::NotFound(_)) => panic!("sample {k} missing from the PFS"),
-                Err(PfsError::Io(_)) => self.stats.count_pfs_error(),
-            }
-        }
-    }
-}
-
-struct LbannLoader {
-    ctx: Arc<Ctx>,
-    threads: Vec<JoinHandle<()>>,
-    server: Option<JoinHandle<()>>,
-    total: u64,
-    consumed: u64,
-    batch_size: usize,
-    finished: bool,
-}
-
-impl LbannLoader {
-    fn launch(
-        rank: usize,
-        config: JobConfig,
-        pfs: Pfs,
-        spec: nopfs_clairvoyance::sampler::ShuffleSpec,
-        owner_of: Arc<Vec<u16>>,
-        endpoint: Endpoint<Msg>,
-        stream: Arc<Vec<SampleId>>,
-    ) -> Self {
-        let ram = &config.system.classes[0];
-        let p = f64::from(ram.prefetch_threads.max(1));
-        let store: Arc<dyn StorageBackend> = Arc::new(ThrottledBackend::new(
-            MemoryBackend::new("lbann-store", ram.capacity),
-            ram.read.at(p),
-            ram.write.at(p),
-            config.scale,
-        ));
-        let epoch_len = spec.worker_epoch_len(rank);
-        let stage = ReorderStage::new(config.system.staging.capacity);
-        let ctx = Arc::new(Ctx {
-            rank,
-            config: config.clone(),
-            pfs,
-            endpoint: Arc::new(endpoint),
-            store,
-            metadata: Arc::new(MetadataStore::new()),
-            owner_of,
-            stats: StatsCollector::new(),
-            stop: Arc::new(AtomicBool::new(false)),
-            stage,
-            epoch_len,
-        });
-
-        let mut threads = Vec::new();
-        let position = Arc::new(AtomicU64::new(0));
-        for _ in 0..config.system.staging.threads.max(1) {
-            let ctx = Arc::clone(&ctx);
-            let stream = Arc::clone(&stream);
-            let position = Arc::clone(&position);
-            threads.push(std::thread::spawn(move || loop {
-                if ctx.stop.load(Ordering::Relaxed) {
-                    break;
-                }
-                let pos = position.fetch_add(1, Ordering::SeqCst);
-                if pos >= stream.len() as u64 {
-                    break;
-                }
-                let k = stream[pos as usize];
-                let epoch = pos.checked_div(ctx.epoch_len).unwrap_or(0);
-                let data = ctx.fetch(k, epoch);
-                let wt = ctx.config.system.write_time(data.len() as u64);
-                ctx.config.scale.wait(wt);
-                if !ctx.stage.push(pos, k, data) {
-                    break;
-                }
-            }));
-        }
-
-        let server = {
-            let ctx = Arc::clone(&ctx);
-            std::thread::spawn(move || {
-                while let Ok(env) = ctx.endpoint.recv() {
-                    match env.msg {
-                        Msg::Request { sample, reply } => {
-                            let data = ctx
-                                .metadata
-                                .lookup(sample)
-                                .and_then(|_| ctx.store.get(sample));
-                            if let Some(d) = &data {
-                                ctx.endpoint.pace(d.len() as u64);
-                            }
-                            let _ = reply.send(RemoteReply { sample, data });
-                        }
-                        Msg::Shutdown => break,
-                        Msg::Digest(_) => {}
-                    }
-                }
-            })
-        };
-
-        Self {
-            ctx,
-            threads,
-            server: Some(server),
-            total: stream.len() as u64,
-            consumed: 0,
-            batch_size: config.batch_size,
-            finished: false,
-        }
-    }
-
-    fn shutdown(&mut self) {
-        if self.finished {
-            return;
-        }
-        self.finished = true;
-        self.ctx.stop.store(true, Ordering::SeqCst);
-        self.ctx.stage.close();
-        for t in self.threads.drain(..) {
-            t.join().expect("prefetch thread panicked");
-        }
-        self.ctx.endpoint.barrier();
-        let _ = self.ctx.endpoint.send(self.ctx.rank, Msg::Shutdown);
-        if let Some(s) = self.server.take() {
-            s.join().expect("server thread panicked");
-        }
-    }
-}
-
-impl DataLoader for LbannLoader {
-    fn rank(&self) -> usize {
-        self.ctx.rank
-    }
-
-    fn epoch_len(&self) -> u64 {
-        self.ctx.epoch_len
-    }
-
-    fn total_len(&self) -> u64 {
-        self.total
-    }
-
-    fn batch_size(&self) -> usize {
-        self.batch_size
-    }
-
-    fn next_sample(&mut self) -> Option<(SampleId, Bytes)> {
-        if self.consumed >= self.total {
-            return None;
-        }
-        let t0 = Instant::now();
-        let item = self.ctx.stage.pop()?;
-        self.ctx.stats.add_stall(t0.elapsed());
-        self.ctx.stats.count_consumed();
-        self.consumed += 1;
-        Some(item)
-    }
-
-    fn stats(&self) -> WorkerStats {
-        self.ctx.stats.snapshot()
+        self.inner.run(pfs, f)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use nopfs_perfmodel::presets::fig8_small_cluster;
     use nopfs_perfmodel::ThroughputCurve;
     use nopfs_util::timing::TimeScale;

@@ -18,6 +18,8 @@ pub mod double_buffer;
 pub mod lbann;
 pub mod naive;
 pub mod noio;
+pub mod plan_loader;
+pub mod registry;
 
 use bytes::Bytes;
 use nopfs_core::stats::WorkerStats;
@@ -27,6 +29,8 @@ pub use double_buffer::DoubleBufferRunner;
 pub use lbann::LbannRunner;
 pub use naive::NaiveRunner;
 pub use noio::NoIoRunner;
+pub use plan_loader::PlanRunner;
+pub use registry::{build_loader, build_loaders, run_policy, LoaderSet, PolicyOutcome};
 
 /// The common loader interface: iterator-style access to `(id, bytes)`
 /// pairs in the loader's delivery order, plus statistics.
@@ -49,19 +53,21 @@ pub trait DataLoader: Send {
     /// I/O statistics so far.
     fn stats(&self) -> WorkerStats;
 
-    /// Next mini-batch (never crosses an epoch boundary).
+    /// Next mini-batch (never crosses an epoch boundary). Epoch
+    /// semantics come from the workspace-shared
+    /// [`nopfs_core::next_batch_len`] — the same function
+    /// `WorkerHandle::next_batch` uses, so batching cannot diverge
+    /// between NoPFS and the baselines.
     fn next_batch(&mut self) -> Option<Vec<(SampleId, Bytes)>> {
-        let consumed = self.stats().samples_consumed;
-        if consumed >= self.total_len() {
+        let want = nopfs_core::next_batch_len(
+            self.stats().samples_consumed,
+            self.total_len(),
+            self.epoch_len(),
+            self.batch_size(),
+        );
+        if want == 0 {
             return None;
         }
-        let epoch_len = self.epoch_len();
-        let into_epoch = if epoch_len == 0 {
-            0
-        } else {
-            consumed % epoch_len
-        };
-        let want = (self.batch_size() as u64).min(epoch_len - into_epoch) as usize;
         let mut batch = Vec::with_capacity(want);
         for _ in 0..want {
             match self.next_sample() {
@@ -75,6 +81,16 @@ pub trait DataLoader: Send {
             Some(batch)
         }
     }
+
+    /// Releases the loader's resources: stops prefetch threads and
+    /// synchronizes with peer loaders of the same run. Idempotent;
+    /// default is a no-op for loaders without background threads.
+    ///
+    /// Loaders of a peer-coupled policy (NoPFS, LBANN, DeepIO, …)
+    /// barrier with their siblings here, so a multi-worker set must be
+    /// shut down **concurrently** — one thread per loader, as
+    /// [`registry::LoaderSet`] does on drop.
+    fn shutdown(&mut self) {}
 }
 
 impl DataLoader for nopfs_core::WorkerHandle {
@@ -91,8 +107,7 @@ impl DataLoader for nopfs_core::WorkerHandle {
     }
 
     fn batch_size(&self) -> usize {
-        // The handle enforces its configured batch size internally.
-        usize::MAX
+        nopfs_core::WorkerHandle::batch_size(self)
     }
 
     fn next_sample(&mut self) -> Option<(SampleId, Bytes)> {
@@ -105,6 +120,10 @@ impl DataLoader for nopfs_core::WorkerHandle {
 
     fn next_batch(&mut self) -> Option<Vec<(SampleId, Bytes)>> {
         nopfs_core::WorkerHandle::next_batch(self)
+    }
+
+    fn shutdown(&mut self) {
+        nopfs_core::WorkerHandle::shutdown(self)
     }
 }
 
@@ -142,6 +161,7 @@ mod tests {
                 local_fetches: 0,
                 remote_fetches: 0,
                 pfs_fetches: 0,
+                prestage_fetches: 0,
                 false_positives: 0,
                 heuristic_skips: 0,
                 pfs_errors: 0,

@@ -27,37 +27,38 @@ impl NaiveRunner {
         Self { config, sizes }
     }
 
+    /// Builds every rank's loader (shared with the registry factory).
+    pub(crate) fn launch_all(&self, pfs: &Pfs) -> Vec<NaiveLoader> {
+        let n = self.config.system.workers;
+        let spec = self.config.shuffle_spec(self.sizes.len() as u64);
+        // One engine pass materializes every rank's stream (O(E) shuffle
+        // generations total instead of O(N·E) across the rank threads).
+        let streams = materialize_all_streams(&spec, self.config.epochs);
+        (0..n)
+            .map(|rank| NaiveLoader {
+                rank,
+                config: self.config.clone(),
+                pfs: pfs.clone(),
+                stream: Arc::clone(&streams[rank]),
+                stats: StatsCollector::new(),
+                consumed: 0,
+                epoch_len: spec.worker_epoch_len(rank),
+            })
+            .collect()
+    }
+
     /// Runs `f` once per worker.
     pub fn run<R, F>(&self, pfs: &Pfs, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(&mut dyn DataLoader) -> R + Sync,
     {
-        let n = self.config.system.workers;
-        let spec = self.config.shuffle_spec(self.sizes.len() as u64);
-        // One engine pass materializes every rank's stream (O(E) shuffle
-        // generations total instead of O(N·E) across the rank threads).
-        let streams = materialize_all_streams(&spec, self.config.epochs);
         let f = &f;
         std::thread::scope(|s| {
-            let handles: Vec<_> = (0..n)
-                .map(|rank| {
-                    let config = self.config.clone();
-                    let pfs = pfs.clone();
-                    let stream = Arc::clone(&streams[rank]);
-                    s.spawn(move || {
-                        let mut loader = NaiveLoader {
-                            rank,
-                            config,
-                            pfs,
-                            stream,
-                            stats: StatsCollector::new(),
-                            consumed: 0,
-                            epoch_len: spec.worker_epoch_len(rank),
-                        };
-                        f(&mut loader)
-                    })
-                })
+            let handles: Vec<_> = self
+                .launch_all(pfs)
+                .into_iter()
+                .map(|mut loader| s.spawn(move || f(&mut loader)))
                 .collect();
             handles
                 .into_iter()
@@ -67,7 +68,7 @@ impl NaiveRunner {
     }
 }
 
-struct NaiveLoader {
+pub(crate) struct NaiveLoader {
     rank: usize,
     config: JobConfig,
     pfs: Pfs,

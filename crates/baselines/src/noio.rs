@@ -25,47 +25,52 @@ impl NoIoRunner {
         Self { config, sizes }
     }
 
+    /// Builds every rank's loader (shared with the registry factory).
+    pub(crate) fn launch_all(&self) -> Vec<NoIoLoader> {
+        let n = self.config.system.workers;
+        let spec = self.config.shuffle_spec(self.sizes.len() as u64);
+        // One engine pass materializes every rank's stream (O(E) shuffle
+        // generations total instead of O(N·E) across the rank threads).
+        let streams = materialize_all_streams(&spec, self.config.epochs);
+        (0..n)
+            .map(|rank| {
+                let sizes = Arc::clone(&self.sizes);
+                let config = self.config.clone();
+                // "We pregenerate random samples in RAM of the
+                // appropriate size": one random pool, sliced zero-copy
+                // per sample.
+                let max = sizes.iter().copied().max().unwrap_or(0) as usize;
+                let mut rng = Xoshiro256pp::seed_from_u64(config.seed ^ rank as u64);
+                let mut pool = vec![0u8; max.max(1)];
+                for b in pool.iter_mut() {
+                    *b = (rng.next_u64() & 0xFF) as u8;
+                }
+                NoIoLoader {
+                    rank,
+                    config,
+                    sizes,
+                    stream: Arc::clone(&streams[rank]),
+                    pool: Bytes::from(pool),
+                    stats: StatsCollector::new(),
+                    consumed: 0,
+                    epoch_len: spec.worker_epoch_len(rank),
+                }
+            })
+            .collect()
+    }
+
     /// Runs `f` once per worker with that worker's loader.
     pub fn run<R, F>(&self, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(&mut dyn DataLoader) -> R + Sync,
     {
-        let n = self.config.system.workers;
-        let spec = self.config.shuffle_spec(self.sizes.len() as u64);
-        // One engine pass materializes every rank's stream (O(E) shuffle
-        // generations total instead of O(N·E) across the rank threads).
-        let streams = materialize_all_streams(&spec, self.config.epochs);
         let f = &f;
         std::thread::scope(|s| {
-            let handles: Vec<_> = (0..n)
-                .map(|rank| {
-                    let sizes = Arc::clone(&self.sizes);
-                    let config = self.config.clone();
-                    let stream = Arc::clone(&streams[rank]);
-                    s.spawn(move || {
-                        // "We pregenerate random samples in RAM of the
-                        // appropriate size": one random pool, sliced
-                        // zero-copy per sample.
-                        let max = sizes.iter().copied().max().unwrap_or(0) as usize;
-                        let mut rng = Xoshiro256pp::seed_from_u64(config.seed ^ rank as u64);
-                        let mut pool = vec![0u8; max.max(1)];
-                        for b in pool.iter_mut() {
-                            *b = (rng.next_u64() & 0xFF) as u8;
-                        }
-                        let mut loader = NoIoLoader {
-                            rank,
-                            config,
-                            sizes,
-                            stream,
-                            pool: Bytes::from(pool),
-                            stats: StatsCollector::new(),
-                            consumed: 0,
-                            epoch_len: spec.worker_epoch_len(rank),
-                        };
-                        f(&mut loader)
-                    })
-                })
+            let handles: Vec<_> = self
+                .launch_all()
+                .into_iter()
+                .map(|mut loader| s.spawn(move || f(&mut loader)))
                 .collect();
             handles
                 .into_iter()
@@ -75,7 +80,7 @@ impl NoIoRunner {
     }
 }
 
-struct NoIoLoader {
+pub(crate) struct NoIoLoader {
     rank: usize,
     config: JobConfig,
     sizes: Arc<Vec<u64>>,

@@ -1,0 +1,695 @@
+//! The core-driven runtime loader: executes a shared
+//! [`nopfs_policy::PolicyCore`] with real threads, caches, and bytes.
+//!
+//! This is the runtime half of the workspace policy layer. The
+//! discrete-event simulator adapts a core into its event loop; this
+//! loader drives the *same object* through the threaded substrates:
+//!
+//! - a **prestage thread** loads the core's prestage list from the PFS
+//!   into the class backends, then barriers with its peers (the
+//!   non-overlapped prestaging phase of DeepIO / ParallelStaging /
+//!   LBANN-preloading);
+//! - **staging prefetch threads** walk the core-transformed access
+//!   stream and serve each access from the source the core decides —
+//!   local class backend, a peer over the modelled interconnect, or
+//!   the PFS (caching first-touch fills where the core says so);
+//! - a **serving loop** answers peers' sample requests from the local
+//!   backends, paying the modelled wire cost.
+//!
+//! One implementation therefore covers every core-backed policy; the
+//! policies differ only in the decisions their cores return.
+
+use crate::DataLoader;
+use bytes::Bytes;
+use nopfs_core::msg::{Msg, RemoteReply};
+use nopfs_core::stats::{StatsCollector, WorkerStats};
+use nopfs_core::{JobConfig, SampleId};
+use nopfs_net::{cluster, Endpoint, NetConfig};
+use nopfs_pfs::{Pfs, PfsError};
+use nopfs_policy::{build_core, PolicyCore, PolicyId, Source, Unsupported};
+use nopfs_storage::{MemoryBackend, MetadataStore, ReorderStage, StorageBackend, ThrottledBackend};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Launches core-driven loaders, one per worker thread, for any policy
+/// with a shared decision core.
+pub struct PlanRunner {
+    config: JobConfig,
+    sizes: Arc<Vec<u64>>,
+    core: Arc<dyn PolicyCore>,
+}
+
+impl PlanRunner {
+    /// Builds the runner: derives the policy's shared decision core
+    /// from the seed and system description.
+    ///
+    /// # Errors
+    /// [`Unsupported`] when the policy cannot run the configuration
+    /// (e.g. the LBANN data store with an over-sized dataset) or has no
+    /// shared core (`NoPfs`, `Perfect` — use `Job` / `NoIoRunner`).
+    pub fn new(
+        policy: PolicyId,
+        config: JobConfig,
+        sizes: Arc<Vec<u64>>,
+    ) -> Result<Self, Unsupported> {
+        assert!(!sizes.is_empty(), "dataset must contain samples");
+        let spec = config.shuffle_spec(sizes.len() as u64);
+        let core = build_core(policy, &config.system, &sizes, &spec)?.ok_or_else(|| {
+            Unsupported(format!(
+                "{policy} has no shared decision core; use its dedicated runner"
+            ))
+        })?;
+        let core: Arc<dyn PolicyCore> = Arc::from(core);
+        if !core.overlapped() {
+            return Err(Unsupported(format!(
+                "{policy} is synchronous; PlanRunner drives prefetch threads — use NaiveRunner"
+            )));
+        }
+        Ok(Self {
+            config,
+            sizes,
+            core,
+        })
+    }
+
+    /// Runs `f` once per worker.
+    pub fn run<R, F>(&self, pfs: &Pfs, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut dyn DataLoader) -> R + Sync,
+    {
+        let loaders = self.launch_all(pfs);
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = loaders
+                .into_iter()
+                .map(|mut loader| {
+                    s.spawn(move || {
+                        let result = f(&mut loader);
+                        loader.shutdown();
+                        result
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Launches every rank's loader (prestaging runs in the background;
+    /// the first `next_sample` blocks until it completes cluster-wide).
+    pub(crate) fn launch_all(&self, pfs: &Pfs) -> Vec<PlanLoader> {
+        let n = self.config.system.workers;
+        let spec = self.config.shuffle_spec(self.sizes.len() as u64);
+        // The core's transformed streams: the one derivation shared
+        // with the simulator's per-epoch transform calls.
+        let streams: Vec<Arc<Vec<SampleId>>> =
+            nopfs_policy::transformed_streams(Some(self.core.as_ref()), &spec, self.config.epochs)
+                .into_iter()
+                .map(Arc::new)
+                .collect();
+        let endpoints = cluster::<Msg>(
+            n,
+            NetConfig::new(self.config.system.interconnect, self.config.scale),
+        );
+        // One fill board per rank, visible to every loader for the
+        // fill-progress checks.
+        let boards: Vec<Arc<FillBoard>> = (0..n).map(|_| Arc::new(FillBoard::new())).collect();
+        endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(rank, endpoint)| {
+                PlanLoader::launch(
+                    rank,
+                    self.config.clone(),
+                    Arc::clone(&self.sizes),
+                    Arc::clone(&self.core),
+                    Arc::clone(&streams[rank]),
+                    spec.worker_epoch_len(rank),
+                    pfs.clone(),
+                    endpoint,
+                    boards.clone(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// "Prestage finished" latch: flips once the prestage thread has loaded
+/// its list and barriered with every peer.
+struct ReadyLatch {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl ReadyLatch {
+    fn new() -> Self {
+        Self {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn set(&self) {
+        *self.done.lock().expect("latch poisoned") = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("latch poisoned");
+        while !*done {
+            done = self.cv.wait(done).expect("latch poisoned");
+        }
+    }
+}
+
+/// How long a fetch waits for a *planned* cache fill (a peer's or its
+/// own first-touch insert) before falling back to the PFS. Real LBANN
+/// and locality-aware deployments synchronize epochs, so a sample's
+/// epoch-0 reader has always cached it before anyone asks in epoch 1;
+/// our raw-consumption harnesses have no such barrier, so the loader
+/// waits out scheduling skew itself. Fills that *failed* (store-full
+/// inserts) are marked on the owner's board and never waited for; the
+/// deadline is only the safety net for peers that stopped early.
+const FILL_GRACE: std::time::Duration = std::time::Duration::from_millis(500);
+
+/// One rank's fill progress, shared with every peer: what is cached
+/// (the metadata store the rank's server answers from) and which
+/// planned fills permanently failed, so waiters fall back to the PFS
+/// immediately instead of burning the grace period.
+pub(crate) struct FillBoard {
+    metadata: Arc<MetadataStore>,
+    failed: Mutex<std::collections::HashSet<SampleId>>,
+}
+
+impl FillBoard {
+    fn new() -> Self {
+        Self {
+            metadata: Arc::new(MetadataStore::new()),
+            failed: Mutex::new(std::collections::HashSet::new()),
+        }
+    }
+
+    fn mark_failed(&self, k: SampleId) {
+        self.failed.lock().expect("board poisoned").insert(k);
+    }
+
+    fn has_failed(&self, k: SampleId) -> bool {
+        self.failed.lock().expect("board poisoned").contains(&k)
+    }
+}
+
+struct PlanCtx {
+    rank: usize,
+    config: JobConfig,
+    pfs: Pfs,
+    core: Arc<dyn PolicyCore>,
+    endpoint: Arc<Endpoint<Msg>>,
+    backends: Vec<Arc<dyn StorageBackend>>,
+    metadata: Arc<MetadataStore>,
+    /// Every rank's fill board, for fill-progress checks (an
+    /// in-process stand-in for the epoch synchronization real
+    /// first-touch stores rely on; the data itself still moves through
+    /// the modelled interconnect).
+    boards: Vec<Arc<FillBoard>>,
+    stats: Arc<StatsCollector>,
+    stop: Arc<AtomicBool>,
+    stage: ReorderStage,
+    epoch_len: u64,
+    ready: Arc<ReadyLatch>,
+}
+
+impl PlanCtx {
+    /// Waits (bounded) until `owner` has cached `k`, returning whether
+    /// it did. Immediate when already cached or when the owner's fill
+    /// permanently failed; bails on shutdown.
+    fn wait_for_fill(&self, owner: usize, k: SampleId) -> bool {
+        let board = &self.boards[owner];
+        let deadline = Instant::now() + FILL_GRACE;
+        loop {
+            if board.metadata.lookup(k).is_some() {
+                return true;
+            }
+            if board.has_failed(k)
+                || self.stop.load(Ordering::Relaxed)
+                || Instant::now() >= deadline
+            {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+    }
+
+    fn pfs_read(&self, k: SampleId) -> Bytes {
+        loop {
+            match self.pfs.read(k) {
+                Ok(d) => return d,
+                Err(PfsError::NotFound(_)) => panic!("sample {k} missing from the PFS"),
+                Err(PfsError::Io(_)) => self.stats.count_pfs_error(),
+            }
+        }
+    }
+
+    /// Serves one access from the source the core decides, with PFS
+    /// fallback when a cache or peer does not actually hold the sample
+    /// (store-full inserts, epoch races).
+    fn fetch(&self, k: SampleId, epoch: u64) -> Bytes {
+        match self.core.source(self.rank, k, epoch) {
+            Source::Local(_) => {
+                if self.wait_for_fill(self.rank, k) {
+                    if let Some(data) = self
+                        .metadata
+                        .lookup(k)
+                        .and_then(|c| self.backends[c as usize].get(k))
+                    {
+                        self.stats.count_local();
+                        return data;
+                    }
+                }
+                // The planned fill failed (store full): the PFS always
+                // works.
+                self.pfs_fallback(k, epoch)
+            }
+            Source::Remote { owner, .. } => {
+                if self.wait_for_fill(owner as usize, k) {
+                    let (tx, rx) = crossbeam::channel::bounded::<RemoteReply>(1);
+                    if self
+                        .endpoint
+                        .send(
+                            owner as usize,
+                            Msg::Request {
+                                sample: k,
+                                reply: tx,
+                            },
+                        )
+                        .is_ok()
+                    {
+                        if let Ok(reply) = rx.recv() {
+                            if let Some(data) = reply.data {
+                                self.stats.count_remote();
+                                return data;
+                            }
+                        }
+                    }
+                }
+                self.pfs_fallback(k, epoch)
+            }
+            Source::Pfs => self.pfs_fallback(k, epoch),
+        }
+    }
+
+    fn pfs_fallback(&self, k: SampleId, epoch: u64) -> Bytes {
+        let data = self.pfs_read(k);
+        self.stats.count_pfs();
+        // First-touch caching where the core plans it (LBANN dynamic,
+        // locality-aware epoch 0). A failed insert (store full) is
+        // published so peers stop waiting for this fill.
+        if let Some(c) = self.core.cache_class(self.rank, k, epoch) {
+            if self.metadata.lookup(k).is_none() {
+                if self.backends[c as usize].insert(k, data.clone()).is_ok() {
+                    self.metadata.mark_cached(k, c);
+                } else {
+                    self.boards[self.rank].mark_failed(k);
+                }
+            }
+        }
+        data
+    }
+}
+
+/// One worker's core-driven loader (created by [`PlanRunner`]).
+pub struct PlanLoader {
+    ctx: Arc<PlanCtx>,
+    threads: Vec<JoinHandle<()>>,
+    server: Option<JoinHandle<()>>,
+    total: u64,
+    consumed: u64,
+    batch_size: usize,
+    finished: bool,
+}
+
+impl PlanLoader {
+    #[allow(clippy::too_many_arguments)]
+    fn launch(
+        rank: usize,
+        config: JobConfig,
+        sizes: Arc<Vec<u64>>,
+        core: Arc<dyn PolicyCore>,
+        stream: Arc<Vec<SampleId>>,
+        epoch_len: u64,
+        pfs: Pfs,
+        endpoint: Endpoint<Msg>,
+        boards: Vec<Arc<FillBoard>>,
+    ) -> Self {
+        let scale = config.scale;
+        let backends: Vec<Arc<dyn StorageBackend>> = config
+            .system
+            .classes
+            .iter()
+            .map(|class| {
+                let p = f64::from(class.prefetch_threads.max(1));
+                Arc::new(ThrottledBackend::new(
+                    MemoryBackend::new(class.name.clone(), class.capacity),
+                    class.read.at(p),
+                    class.write.at(p),
+                    scale,
+                )) as Arc<dyn StorageBackend>
+            })
+            .collect();
+        let stage = ReorderStage::new(config.system.staging.capacity);
+        let ctx = Arc::new(PlanCtx {
+            rank,
+            config: config.clone(),
+            pfs,
+            core,
+            endpoint: Arc::new(endpoint),
+            backends,
+            metadata: Arc::clone(&boards[rank].metadata),
+            boards,
+            stats: StatsCollector::new(),
+            stop: Arc::new(AtomicBool::new(false)),
+            stage,
+            epoch_len,
+            ready: Arc::new(ReadyLatch::new()),
+        });
+
+        let mut threads = Vec::new();
+
+        // The prestage thread: bulk-load this worker's plan, then
+        // barrier so no rank trains before the cluster's caches are
+        // staged (the simulator's non-overlapped prestage phase).
+        {
+            let ctx = Arc::clone(&ctx);
+            threads.push(std::thread::spawn(move || {
+                for (k, c) in ctx.core.prestage_list(ctx.rank) {
+                    if ctx.stop.load(Ordering::Relaxed) {
+                        break; // peers still get the barrier below
+                    }
+                    if ctx.metadata.lookup(k).is_none() {
+                        let data = ctx.pfs_read(k);
+                        if ctx.backends[c as usize].insert(k, data).is_ok() {
+                            ctx.metadata.mark_cached(k, c);
+                            ctx.stats.count_prestage();
+                        } else {
+                            ctx.boards[ctx.rank].mark_failed(k);
+                        }
+                    }
+                }
+                ctx.endpoint.barrier();
+                ctx.ready.set();
+            }));
+        }
+
+        // Staging prefetch threads: claim stream positions once the
+        // prestage latch opens.
+        let position = Arc::new(AtomicU64::new(0));
+        for _ in 0..config.system.staging.threads.max(1) {
+            let ctx = Arc::clone(&ctx);
+            let stream = Arc::clone(&stream);
+            let sizes = Arc::clone(&sizes);
+            let position = Arc::clone(&position);
+            threads.push(std::thread::spawn(move || {
+                ctx.ready.wait();
+                loop {
+                    if ctx.stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let pos = position.fetch_add(1, Ordering::SeqCst);
+                    if pos >= stream.len() as u64 {
+                        break;
+                    }
+                    let k = stream[pos as usize];
+                    let epoch = pos.checked_div(ctx.epoch_len).unwrap_or(0);
+                    let data = ctx.fetch(k, epoch);
+                    debug_assert_eq!(data.len() as u64, sizes[k as usize]);
+                    // Preprocess-and-store: the model's write_i(k).
+                    let wt = ctx.config.system.write_time(data.len() as u64);
+                    ctx.config.scale.wait(wt);
+                    if !ctx.stage.push(pos, k, data) {
+                        break; // stage closed
+                    }
+                }
+            }));
+        }
+
+        // Serving loop: answer peers' sample requests until shutdown.
+        let server = {
+            let ctx = Arc::clone(&ctx);
+            std::thread::spawn(move || {
+                while let Ok(env) = ctx.endpoint.recv() {
+                    match env.msg {
+                        Msg::Request { sample, reply } => {
+                            let data = ctx
+                                .metadata
+                                .lookup(sample)
+                                .and_then(|c| ctx.backends[c as usize].get(sample));
+                            if let Some(d) = &data {
+                                // Pay the wire cost of the payload.
+                                ctx.endpoint.pace(d.len() as u64);
+                            }
+                            let _ = reply.send(RemoteReply { sample, data });
+                        }
+                        Msg::Shutdown => break,
+                        Msg::Digest(_) => {}
+                    }
+                }
+            })
+        };
+
+        Self {
+            ctx,
+            threads,
+            server: Some(server),
+            total: stream.len() as u64,
+            consumed: 0,
+            batch_size: config.batch_size,
+            finished: false,
+        }
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.ctx.stop.store(true, Ordering::SeqCst);
+        // The prestage barrier must resolve cluster-wide before this
+        // rank's shutdown barrier, or the two would pair up wrongly.
+        self.ctx.ready.wait();
+        self.ctx.stage.close();
+        for t in self.threads.drain(..) {
+            t.join().expect("loader thread panicked");
+        }
+        self.ctx.endpoint.barrier();
+        let _ = self.ctx.endpoint.send(self.ctx.rank, Msg::Shutdown);
+        if let Some(s) = self.server.take() {
+            s.join().expect("server thread panicked");
+        }
+    }
+}
+
+impl DataLoader for PlanLoader {
+    fn rank(&self) -> usize {
+        self.ctx.rank
+    }
+
+    fn epoch_len(&self) -> u64 {
+        self.ctx.epoch_len
+    }
+
+    fn total_len(&self) -> u64 {
+        self.total
+    }
+
+    fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    fn next_sample(&mut self) -> Option<(SampleId, Bytes)> {
+        if self.consumed >= self.total {
+            return None;
+        }
+        let t0 = Instant::now();
+        let item = self.ctx.stage.pop()?;
+        self.ctx.stats.add_stall(t0.elapsed());
+        self.ctx.stats.count_consumed();
+        self.consumed += 1;
+        Some(item)
+    }
+
+    fn stats(&self) -> WorkerStats {
+        self.ctx.stats.snapshot()
+    }
+
+    fn shutdown(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nopfs_perfmodel::presets::fig8_small_cluster;
+    use nopfs_perfmodel::{SystemSpec, ThroughputCurve};
+    use nopfs_util::timing::TimeScale;
+
+    fn system(ram_samples: u64, ssd_samples: u64, sample_bytes: u64) -> SystemSpec {
+        let mut sys = fig8_small_cluster();
+        sys.staging.capacity = 64 * sample_bytes;
+        sys.staging.threads = 2;
+        sys.classes[0].capacity = ram_samples * sample_bytes;
+        sys.classes[1].capacity = ssd_samples * sample_bytes;
+        sys
+    }
+
+    fn setup(
+        n_samples: u64,
+        sample_bytes: u64,
+        sys: SystemSpec,
+        epochs: u64,
+    ) -> (JobConfig, Arc<Vec<u64>>, Pfs) {
+        let config = JobConfig::new(17, epochs, 4, sys, TimeScale::new(1e-6));
+        let sizes = Arc::new(vec![sample_bytes; n_samples as usize]);
+        let pfs = Pfs::in_memory(ThroughputCurve::flat(1e12), TimeScale::new(1e-6));
+        for id in 0..n_samples {
+            pfs.put(
+                id,
+                Bytes::from(vec![(id % 256) as u8; sample_bytes as usize]),
+            );
+        }
+        (config, sizes, pfs)
+    }
+
+    #[test]
+    fn deep_io_ordered_serves_shards_and_pfs() {
+        // RAM holds 8 samples per worker => 32 of 64 cached.
+        let (config, sizes, pfs) = setup(64, 1_000, system(8, 0, 1_000), 2);
+        let runner = PlanRunner::new(PolicyId::DeepIoOrdered, config, sizes).unwrap();
+        let stats = runner.run(&pfs, |l| {
+            while let Some((id, data)) = l.next_sample() {
+                assert_eq!(data[0], (id % 256) as u8);
+            }
+            l.stats()
+        });
+        let mut merged = stats[0].clone();
+        for s in &stats[1..] {
+            merged.merge(s);
+        }
+        assert_eq!(merged.samples_consumed, 128);
+        assert_eq!(merged.prestage_fetches, 32, "shards prestaged once");
+        // Cached halves come from caches, uncached from the PFS.
+        assert_eq!(merged.local_fetches + merged.remote_fetches, 64);
+        assert_eq!(merged.pfs_fetches, 64);
+    }
+
+    #[test]
+    fn deep_io_opportunistic_never_reads_pfs_after_prestage() {
+        let (config, sizes, pfs) = setup(64, 1_000, system(8, 0, 1_000), 2);
+        let runner = PlanRunner::new(PolicyId::DeepIoOpportunistic, config, sizes).unwrap();
+        let ids = runner.run(&pfs, |l| {
+            let mut got = vec![];
+            while let Some((id, _)) = l.next_sample() {
+                got.push(id);
+            }
+            (got, l.stats())
+        });
+        let mut seen = std::collections::HashSet::new();
+        let mut merged: Option<WorkerStats> = None;
+        for (got, stats) in ids {
+            seen.extend(got);
+            match &mut merged {
+                Some(m) => m.merge(&stats),
+                None => merged = Some(stats),
+            }
+        }
+        let merged = merged.unwrap();
+        assert_eq!(merged.pfs_fetches, 0, "opportunistic mode avoids the PFS");
+        assert!(
+            (seen.len() as u64) < 64,
+            "substitution shrinks coverage: {} of 64",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn parallel_staging_full_copy_is_all_local() {
+        let (config, sizes, pfs) = setup(40, 1_000, system(25, 25, 1_000), 2);
+        let runner = PlanRunner::new(PolicyId::ParallelStaging, config, sizes).unwrap();
+        let stats = runner.run(&pfs, |l| {
+            while l.next_sample().is_some() {}
+            l.stats()
+        });
+        for s in &stats {
+            assert_eq!(s.pfs_fetches, 0);
+            assert_eq!(s.remote_fetches, 0);
+            assert_eq!(s.prestage_fetches, 40, "full dataset staged per worker");
+        }
+    }
+
+    #[test]
+    fn lbann_preloading_is_owner_served_from_epoch_zero() {
+        let (config, sizes, pfs) = setup(64, 1_000, system(40, 0, 1_000), 2);
+        let runner = PlanRunner::new(PolicyId::LbannPreloading, config, sizes).unwrap();
+        let stats = runner.run(&pfs, |l| {
+            while l.next_sample().is_some() {}
+            l.stats()
+        });
+        let mut merged = stats[0].clone();
+        for s in &stats[1..] {
+            merged.merge(s);
+        }
+        assert_eq!(merged.prestage_fetches, 64, "store preloaded");
+        assert_eq!(merged.pfs_fetches, 0, "epoch 0 already owner-served");
+        assert_eq!(merged.local_fetches + merged.remote_fetches, 128);
+    }
+
+    #[test]
+    fn locality_aware_caches_first_touch_then_goes_local() {
+        let (config, sizes, pfs) = setup(64, 1_000, system(40, 40, 1_000), 3);
+        let runner = PlanRunner::new(PolicyId::LocalityAware, config, sizes).unwrap();
+        let stats = runner.run(&pfs, |l| {
+            while l.next_sample().is_some() {}
+            l.stats()
+        });
+        let mut merged = stats[0].clone();
+        for s in &stats[1..] {
+            merged.merge(s);
+        }
+        assert_eq!(merged.samples_consumed, 192);
+        // Epoch 0 is all-PFS; afterwards the reassigned batches are
+        // dominated by local hits.
+        assert!(merged.pfs_fetches >= 64);
+        assert!(
+            merged.local_fetches > merged.remote_fetches,
+            "reassignment should localize consumption: {merged:?}"
+        );
+    }
+
+    #[test]
+    fn early_stop_shuts_down_cleanly() {
+        let (config, sizes, pfs) = setup(400, 1_000, system(50, 50, 1_000), 3);
+        let runner = PlanRunner::new(PolicyId::DeepIoOrdered, config, sizes).unwrap();
+        let counts = runner.run(&pfs, |l| {
+            let mut n = 0;
+            for _ in 0..5 {
+                if l.next_sample().is_none() {
+                    break;
+                }
+                n += 1;
+            }
+            n
+        });
+        assert!(counts.iter().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn nopfs_and_perfect_have_no_plan_runner() {
+        let (config, sizes, _) = setup(16, 1_000, system(8, 8, 1_000), 1);
+        assert!(PlanRunner::new(PolicyId::NoPfs, config.clone(), Arc::clone(&sizes)).is_err());
+        assert!(PlanRunner::new(PolicyId::Perfect, config, sizes).is_err());
+    }
+}

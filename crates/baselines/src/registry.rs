@@ -1,0 +1,383 @@
+//! The runtime loader factory: one dispatch point from [`PolicyId`] to
+//! a working loader stack, used by the solo runtime, the benches, and
+//! the multi-tenant cluster.
+//!
+//! Every entry of `PolicyId::ALL` constructs here:
+//!
+//! | policy                  | runtime implementation                    |
+//! |-------------------------|-------------------------------------------|
+//! | `Perfect`               | [`NoIoRunner`] (pregenerated RAM data)    |
+//! | `Naive`                 | [`NaiveRunner`] (synchronous PFS reads)   |
+//! | `StagingBuffer`         | [`DoubleBufferRunner`] (PyTorch-like)     |
+//! | `NoPfs`                 | `nopfs_core::Job`                         |
+//! | every other baseline    | [`PlanRunner`] over its shared core       |
+//!
+//! [`run_policy`] is the closure-style harness entry point;
+//! [`build_loaders`] / [`build_loader`] are the object-safe factory
+//! returning `Box<dyn DataLoader>` values for callers that want to own
+//! the iteration themselves.
+
+use crate::plan_loader::PlanRunner;
+use crate::{DataLoader, DoubleBufferRunner, NaiveRunner, NoIoRunner};
+use nopfs_core::stats::SetupStats;
+use nopfs_core::{Job, JobConfig};
+use nopfs_pfs::Pfs;
+use nopfs_policy::{PolicyId, Unsupported};
+use std::sync::Arc;
+
+/// What one registry-dispatched run produced.
+pub struct PolicyOutcome<R> {
+    /// Per-worker results of the harness closure, rank order.
+    pub per_worker: Vec<R>,
+    /// Clairvoyant setup statistics (NoPFS only).
+    pub setup: Option<SetupStats>,
+}
+
+/// Runs `policy` on the given configuration: launches the full worker
+/// set, calls `f` once per rank with that rank's loader, and returns
+/// the per-rank results.
+///
+/// This is the single dispatch point all harnesses share — the solo
+/// runtime benches, the multi-tenant cluster, and the examples.
+///
+/// # Errors
+/// [`Unsupported`] when the policy cannot run the configuration (the
+/// LBANN modes with a dataset exceeding aggregate worker memory).
+pub fn run_policy<R, F>(
+    policy: PolicyId,
+    config: JobConfig,
+    sizes: Arc<Vec<u64>>,
+    pfs: &Pfs,
+    f: F,
+) -> Result<PolicyOutcome<R>, Unsupported>
+where
+    R: Send,
+    F: Fn(&mut dyn DataLoader) -> R + Sync,
+{
+    Ok(match policy {
+        PolicyId::Perfect => PolicyOutcome {
+            per_worker: NoIoRunner::new(config, sizes).run(f),
+            setup: None,
+        },
+        PolicyId::Naive => PolicyOutcome {
+            per_worker: NaiveRunner::new(config, sizes).run(pfs, f),
+            setup: None,
+        },
+        PolicyId::StagingBuffer => PolicyOutcome {
+            per_worker: DoubleBufferRunner::pytorch_like(config, sizes).run(pfs, f),
+            setup: None,
+        },
+        PolicyId::NoPfs => {
+            let job = Job::new(config, sizes);
+            let setup = Some(job.setup_stats().clone());
+            PolicyOutcome {
+                per_worker: job.run(pfs, |w| f(w)),
+                setup,
+            }
+        }
+        _ => PolicyOutcome {
+            per_worker: PlanRunner::new(policy, config, sizes)?.run(pfs, f),
+            setup: None,
+        },
+    })
+}
+
+/// A full worker set of loaders for one policy, rank order.
+///
+/// Dropping the set shuts every loader down **concurrently** (one
+/// thread per loader) — required because peer-coupled loaders barrier
+/// with their siblings during shutdown.
+pub struct LoaderSet {
+    loaders: Vec<Option<Box<dyn DataLoader>>>,
+}
+
+impl LoaderSet {
+    fn new(loaders: Vec<Box<dyn DataLoader>>) -> Self {
+        Self {
+            loaders: loaders.into_iter().map(Some).collect(),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.loaders.len()
+    }
+
+    /// Whether the set is empty (only after `take`-ing every loader).
+    pub fn is_empty(&self) -> bool {
+        self.loaders.iter().all(Option::is_none)
+    }
+
+    /// Mutable access to rank `rank`'s loader.
+    ///
+    /// # Panics
+    /// Panics when the rank is out of range or already taken.
+    pub fn get_mut(&mut self, rank: usize) -> &mut dyn DataLoader {
+        self.loaders[rank]
+            .as_deref_mut()
+            .expect("loader already taken")
+    }
+
+    /// Iterates over the remaining loaders in rank order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut dyn DataLoader> {
+        self.loaders
+            .iter_mut()
+            .filter_map(|l| l.as_deref_mut().map(|l| l as &mut dyn DataLoader))
+    }
+}
+
+impl Drop for LoaderSet {
+    fn drop(&mut self) {
+        let loaders: Vec<Box<dyn DataLoader>> =
+            self.loaders.iter_mut().filter_map(Option::take).collect();
+        std::thread::scope(|s| {
+            for mut loader in loaders {
+                s.spawn(move || loader.shutdown());
+            }
+        });
+    }
+}
+
+/// The object-safe loader factory: builds the complete worker set for
+/// `policy` as boxed [`DataLoader`]s — one per rank of
+/// `config.system.workers` — ready to be driven from any threads.
+///
+/// The dataset described by `sizes` must already be materialized in
+/// `pfs` (except for `Perfect`, which synthesizes its data).
+///
+/// # Errors
+/// [`Unsupported`] when the policy cannot run the configuration.
+pub fn build_loaders(
+    policy: PolicyId,
+    config: JobConfig,
+    sizes: Arc<Vec<u64>>,
+    pfs: &Pfs,
+) -> Result<LoaderSet, Unsupported> {
+    let loaders: Vec<Box<dyn DataLoader>> = match policy {
+        PolicyId::Perfect => NoIoRunner::new(config, sizes)
+            .launch_all()
+            .into_iter()
+            .map(|l| Box::new(l) as Box<dyn DataLoader>)
+            .collect(),
+        PolicyId::Naive => NaiveRunner::new(config, sizes)
+            .launch_all(pfs)
+            .into_iter()
+            .map(|l| Box::new(l) as Box<dyn DataLoader>)
+            .collect(),
+        PolicyId::StagingBuffer => DoubleBufferRunner::pytorch_like(config, sizes)
+            .launch_all(pfs)
+            .into_iter()
+            .map(|l| Box::new(l) as Box<dyn DataLoader>)
+            .collect(),
+        PolicyId::NoPfs => Job::new(config, sizes)
+            .launch_workers(pfs)
+            .into_iter()
+            .map(|l| Box::new(l) as Box<dyn DataLoader>)
+            .collect(),
+        _ => PlanRunner::new(policy, config, sizes)?
+            .launch_all(pfs)
+            .into_iter()
+            .map(|l| Box::new(l) as Box<dyn DataLoader>)
+            .collect(),
+    };
+    Ok(LoaderSet::new(loaders))
+}
+
+/// The single-worker convenience of [`build_loaders`]: one policy, one
+/// rank, one `Box<dyn DataLoader>` that cleans up after itself on drop.
+///
+/// # Errors
+/// [`Unsupported`] when the policy cannot run the configuration.
+///
+/// # Panics
+/// Panics unless `config.system.workers == 1` (a lone boxed loader
+/// cannot coordinate the concurrent multi-rank shutdown; use
+/// [`build_loaders`] for clusters).
+pub fn build_loader(
+    policy: PolicyId,
+    config: JobConfig,
+    sizes: Arc<Vec<u64>>,
+    pfs: &Pfs,
+) -> Result<Box<dyn DataLoader>, Unsupported> {
+    assert_eq!(
+        config.system.workers, 1,
+        "build_loader is the single-worker factory; use build_loaders for clusters"
+    );
+    let mut set = build_loaders(policy, config, sizes, pfs)?;
+    let inner = set.loaders[0].take().expect("factory built one loader");
+    Ok(Box::new(SoloLoader { inner: Some(inner) }))
+}
+
+/// Shutdown-on-drop wrapper for single-worker loaders.
+struct SoloLoader {
+    inner: Option<Box<dyn DataLoader>>,
+}
+
+impl SoloLoader {
+    fn get(&self) -> &dyn DataLoader {
+        self.inner.as_deref().expect("present until drop")
+    }
+
+    fn get_mut(&mut self) -> &mut dyn DataLoader {
+        self.inner.as_deref_mut().expect("present until drop")
+    }
+}
+
+impl DataLoader for SoloLoader {
+    fn rank(&self) -> usize {
+        self.get().rank()
+    }
+
+    fn epoch_len(&self) -> u64 {
+        self.get().epoch_len()
+    }
+
+    fn total_len(&self) -> u64 {
+        self.get().total_len()
+    }
+
+    fn batch_size(&self) -> usize {
+        self.get().batch_size()
+    }
+
+    fn next_sample(&mut self) -> Option<(nopfs_core::SampleId, bytes::Bytes)> {
+        self.get_mut().next_sample()
+    }
+
+    fn next_batch(&mut self) -> Option<Vec<(nopfs_core::SampleId, bytes::Bytes)>> {
+        self.get_mut().next_batch()
+    }
+
+    fn stats(&self) -> nopfs_core::stats::WorkerStats {
+        self.get().stats()
+    }
+
+    fn shutdown(&mut self) {
+        self.get_mut().shutdown();
+    }
+}
+
+impl Drop for SoloLoader {
+    fn drop(&mut self) {
+        if let Some(mut inner) = self.inner.take() {
+            // World size 1: the shutdown barrier is trivially safe.
+            inner.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use nopfs_perfmodel::presets::fig8_small_cluster;
+    use nopfs_perfmodel::{SystemSpec, ThroughputCurve};
+    use nopfs_util::timing::TimeScale;
+
+    fn system(workers: usize) -> SystemSpec {
+        let mut sys = fig8_small_cluster();
+        sys.workers = workers;
+        sys.staging.capacity = 64_000;
+        sys.staging.threads = 2;
+        sys.classes[0].capacity = 40_000;
+        sys.classes[1].capacity = 80_000;
+        sys
+    }
+
+    fn setup(workers: usize, samples: u64) -> (JobConfig, Arc<Vec<u64>>, Pfs) {
+        let config = JobConfig::new(23, 2, 4, system(workers), TimeScale::new(1e-6));
+        let sizes = Arc::new(vec![500u64; samples as usize]);
+        let pfs = Pfs::in_memory(ThroughputCurve::flat(1e12), TimeScale::new(1e-6));
+        for id in 0..samples {
+            pfs.put(id, Bytes::from(vec![(id % 256) as u8; 500]));
+        }
+        (config, sizes, pfs)
+    }
+
+    #[test]
+    fn every_policy_runs_through_the_registry() {
+        for policy in PolicyId::ALL {
+            let (config, sizes, pfs) = setup(2, 32);
+            let outcome = run_policy(policy, config, sizes, &pfs, |l| {
+                let mut n = 0u64;
+                while l.next_sample().is_some() {
+                    n += 1;
+                }
+                n
+            })
+            .unwrap_or_else(|e| panic!("{policy}: {e}"));
+            let total: u64 = outcome.per_worker.iter().sum();
+            assert_eq!(total, 64, "{policy} must deliver F*E samples");
+            assert_eq!(outcome.setup.is_some(), policy == PolicyId::NoPfs);
+        }
+    }
+
+    #[test]
+    fn build_loader_constructs_all_ten_policies_solo() {
+        for policy in PolicyId::ALL {
+            let (config, sizes, pfs) = setup(1, 16);
+            let mut loader = build_loader(policy, config, sizes, &pfs)
+                .unwrap_or_else(|e| panic!("{policy}: {e}"));
+            assert_eq!(loader.rank(), 0);
+            assert_eq!(loader.total_len(), 32);
+            let mut n = 0u64;
+            while loader.next_sample().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 32, "{policy}");
+        }
+    }
+
+    #[test]
+    fn loader_set_drives_a_multi_worker_cluster() {
+        for policy in [
+            PolicyId::NoPfs,
+            PolicyId::LbannDynamic,
+            PolicyId::DeepIoOrdered,
+        ] {
+            let (config, sizes, pfs) = setup(2, 32);
+            let mut set = build_loaders(policy, config, sizes, &pfs).expect("supported");
+            assert_eq!(set.len(), 2);
+            // Drive both ranks concurrently (as a harness would).
+            let counts: Vec<u64> = std::thread::scope(|s| {
+                set.iter_mut()
+                    .map(|loader| {
+                        s.spawn(move || {
+                            let mut n = 0u64;
+                            while loader.next_sample().is_some() {
+                                n += 1;
+                            }
+                            n
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().expect("rank panicked"))
+                    .collect()
+            });
+            assert_eq!(counts.iter().sum::<u64>(), 64, "{policy}");
+            drop(set); // concurrent shutdown must not deadlock
+        }
+    }
+
+    #[test]
+    fn unsupported_configurations_are_errors_not_panics() {
+        // 64 x 500 B = 32 KB > 2 x 4 KB of aggregate RAM.
+        let (mut config, sizes, pfs) = setup(2, 64);
+        config.system.classes[0].capacity = 4_000;
+        let err = run_policy(PolicyId::LbannDynamic, config, sizes, &pfs, |_| ()).err();
+        assert!(err.expect("infeasible").0.contains("aggregate"));
+    }
+
+    #[test]
+    fn batches_flow_through_boxed_loaders() {
+        let (config, sizes, pfs) = setup(1, 16);
+        let mut loader = build_loader(PolicyId::StagingBuffer, config, sizes, &pfs).unwrap();
+        let mut shapes = vec![];
+        while let Some(b) = loader.next_batch() {
+            shapes.push(b.len());
+        }
+        // 16 samples x 2 epochs, epoch len 16, batch 4.
+        assert_eq!(shapes, vec![4; 8]);
+    }
+}

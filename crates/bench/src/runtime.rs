@@ -2,13 +2,16 @@
 //! baselines) through the timed training loop on the synthetic
 //! substrates, and aggregates the numbers the Sec. 7 figures report.
 
-use nopfs_baselines::{DataLoader, DoubleBufferRunner, LbannRunner, NaiveRunner, NoIoRunner};
+use nopfs_baselines::{
+    registry, DataLoader, DoubleBufferRunner, LbannRunner, NaiveRunner, NoIoRunner,
+};
 use nopfs_core::stats::{SetupStats, WorkerStats};
 use nopfs_core::{Job, JobConfig};
 use nopfs_datasets::DatasetProfile;
 use nopfs_net::{cluster, Endpoint, NetConfig};
 use nopfs_perfmodel::SystemSpec;
 use nopfs_pfs::Pfs;
+use nopfs_policy::{PolicyId, Unsupported};
 use nopfs_train::{run_training_loop, RunMetrics, TrainLoopConfig};
 use nopfs_util::stats::Summary;
 use nopfs_util::timing::TimeScale;
@@ -86,11 +89,7 @@ pub struct PolicyRun {
 impl PolicyRun {
     /// Median epoch time excluding epoch 0 (the figures' convention).
     pub fn median_epoch_time(&self) -> f64 {
-        let tail: Vec<f64> = self.epoch_times.iter().copied().skip(1).collect();
-        if tail.is_empty() {
-            return self.epoch_times.first().copied().unwrap_or(0.0);
-        }
-        Summary::new(&tail).median()
+        median_excluding_warmup(&self.epoch_times)
     }
 
     /// Pooled batch times across workers, optionally excluding epoch 0.
@@ -125,11 +124,7 @@ impl PolicyRun {
 
     /// Cluster-merged loader statistics.
     pub fn merged_stats(&self) -> WorkerStats {
-        let mut merged = self.per_worker[0].stats.clone();
-        for m in &self.per_worker[1..] {
-            merged.merge(&m.stats);
-        }
-        merged
+        RunMetrics::merged_stats(&self.per_worker)
     }
 }
 
@@ -194,6 +189,117 @@ impl Experiment {
         self.batch = batch;
         self
     }
+
+    /// The `fig8_runtime` experiment: one small contended system on
+    /// which **all ten** registry policies run as real loader threads —
+    /// the runtime counterpart of the Fig. 8 simulation sweep. Sized so
+    /// every policy is feasible (the dataset fits aggregate RAM for the
+    /// LBANN modes and one worker's storage for sharding) while the
+    /// saturating PFS still separates PFS-bound policies from
+    /// cache-based ones.
+    pub fn fig8_runtime() -> Self {
+        use nopfs_perfmodel::presets::{fig8_small_cluster, saturating_pfs_curve};
+        use nopfs_util::units::MB;
+        let mut system = fig8_small_cluster().with_compute_mbps(64.0, 200.0);
+        system.workers = 4;
+        system.staging.capacity = 200_000;
+        system.staging.threads = 2;
+        system.classes[0].capacity = 2_000_000; // RAM: half the dataset
+        system.classes[1].capacity = 4_000_000; // SSD: the rest
+        system.pfs_read = saturating_pfs_curve(60.0 * MB, 8.0);
+        Self {
+            system,
+            profile: DatasetProfile::new("fig8-runtime", 240, 20_000.0, 0.0, 4, 0xF8_57),
+            epochs: 3,
+            batch: 4,
+            seed: 0xF8_58,
+            scale: TimeScale::new(0.05),
+            compute: 64.0e6,
+            grad_elems: 256,
+        }
+    }
+}
+
+/// Aggregated outcome of one registry-dispatched `(PolicyId,
+/// experiment)` run — the ten-policy counterpart of [`PolicyRun`].
+pub struct RegistryRun {
+    /// Which policy ran.
+    pub policy: PolicyId,
+    /// Per-worker metrics.
+    pub per_worker: Vec<RunMetrics>,
+    /// Per-epoch times: max across workers, model seconds.
+    pub epoch_times: Vec<f64>,
+    /// Clairvoyant setup statistics (NoPFS only).
+    pub setup: Option<SetupStats>,
+}
+
+impl RegistryRun {
+    /// Median epoch time excluding epoch 0 (the figures' convention).
+    pub fn median_epoch_time(&self) -> f64 {
+        median_excluding_warmup(&self.epoch_times)
+    }
+
+    /// Cluster-merged loader statistics.
+    pub fn merged_stats(&self) -> WorkerStats {
+        RunMetrics::merged_stats(&self.per_worker)
+    }
+}
+
+fn median_excluding_warmup(epoch_times: &[f64]) -> f64 {
+    let tail: Vec<f64> = epoch_times.iter().copied().skip(1).collect();
+    if tail.is_empty() {
+        return epoch_times.first().copied().unwrap_or(0.0);
+    }
+    Summary::new(&tail).median()
+}
+
+/// Runs any of the ten registry policies on one experiment through the
+/// workspace loader factory (`nopfs_baselines::registry`) — the entry
+/// point of the `fig8_runtime` sweep.
+///
+/// # Errors
+/// [`Unsupported`] when the policy cannot run the configuration.
+pub fn run_policy_id(exp: &Experiment, policy: PolicyId) -> Result<RegistryRun, Unsupported> {
+    let n = exp.system.workers;
+    let sizes = Arc::new(exp.profile.sizes());
+    let config = JobConfig::new(
+        exp.seed,
+        exp.epochs,
+        exp.batch,
+        exp.system.clone(),
+        exp.scale,
+    )
+    .drop_last(true);
+    let loop_cfg = TrainLoopConfig {
+        compute_rate: exp.compute,
+        scale: exp.scale,
+        grad_elems: exp.grad_elems,
+    };
+    let grad_endpoints: Mutex<Vec<Option<Endpoint<Vec<f32>>>>> = Mutex::new(
+        cluster::<Vec<f32>>(n, NetConfig::new(exp.system.interconnect, exp.scale))
+            .into_iter()
+            .map(Some)
+            .collect(),
+    );
+    let body = |loader: &mut dyn DataLoader| {
+        let ep = grad_endpoints.lock()[loader.rank()]
+            .take()
+            .expect("each rank takes its endpoint once");
+        run_training_loop(loader, &loop_cfg, Some(&ep))
+    };
+
+    let pfs = Pfs::in_memory(exp.system.pfs_read.clone(), exp.scale);
+    if policy != PolicyId::Perfect {
+        exp.profile.materialize(&pfs);
+    }
+    let outcome = registry::run_policy(policy, config, sizes, &pfs, body)?;
+    let epoch_times = RunMetrics::bulk_epoch_times(&outcome.per_worker);
+    Ok(RegistryRun {
+        policy,
+        per_worker: outcome.per_worker,
+        epoch_times,
+        setup: outcome.setup,
+    })
 }
 
 /// Runs one policy on one experiment. Returns `None` when the policy
@@ -260,19 +366,7 @@ pub fn run_policy(exp: &Experiment, policy: RuntimePolicy) -> Option<PolicyRun> 
     };
 
     // Bulk-synchronous epoch time: the slowest worker defines it.
-    let epochs = per_worker
-        .iter()
-        .map(|m| m.epoch_times.len())
-        .min()
-        .unwrap_or(0);
-    let epoch_times: Vec<f64> = (0..epochs)
-        .map(|e| {
-            per_worker
-                .iter()
-                .map(|m| m.epoch_times[e])
-                .fold(0.0, f64::max)
-        })
-        .collect();
+    let epoch_times = RunMetrics::bulk_epoch_times(&per_worker);
 
     Some(PolicyRun {
         policy,

@@ -272,8 +272,9 @@ pub fn uncontended_pfs() -> ThroughputCurve {
 /// scenario directly comparable.
 pub mod fig2 {
     use super::*;
-    use nopfs_cluster::{ClusterSpec, TenantPolicy, TenantSpec};
-    use nopfs_simulator::{Policy, SimTenant};
+    use nopfs_cluster::{ClusterSpec, TenantSpec};
+    use nopfs_policy::PolicyId;
+    use nopfs_simulator::SimTenant;
     use nopfs_util::timing::TimeScale;
 
     /// Mean bytes per sample.
@@ -313,13 +314,14 @@ pub mod fig2 {
 
     /// The tenant line-up: NoPFS plus the PFS-bound baselines the
     /// paper's Fig. 2 argument is about (two naive tenants, so the
-    /// co-scheduled reader count lands well past the curve's knee).
-    pub fn policies() -> Vec<(&'static str, TenantPolicy)> {
+    /// co-scheduled reader count lands well past the curve's knee;
+    /// `StagingBuffer` is the PyTorch-double-buffering policy).
+    pub fn policies() -> Vec<(&'static str, PolicyId)> {
         vec![
-            ("nopfs", TenantPolicy::NoPfs),
-            ("naive-1", TenantPolicy::Naive),
-            ("naive-2", TenantPolicy::Naive),
-            ("pytorch", TenantPolicy::PyTorch),
+            ("nopfs", PolicyId::NoPfs),
+            ("naive-1", PolicyId::Naive),
+            ("naive-2", PolicyId::Naive),
+            ("pytorch", PolicyId::StagingBuffer),
         ]
     }
 
@@ -366,7 +368,7 @@ pub mod fig2 {
     }
 
     /// A simulated cluster of `k` tenants all running `policy`.
-    pub fn sim_uniform_cluster(policy: Policy, k: usize, extra_scale: f64) -> Vec<SimTenant> {
+    pub fn sim_uniform_cluster(policy: PolicyId, k: usize, extra_scale: f64) -> Vec<SimTenant> {
         (0..k)
             .map(|i| {
                 SimTenant::new(
@@ -375,18 +377,6 @@ pub mod fig2 {
                 )
             })
             .collect()
-    }
-
-    /// The simulator policy modelling a runtime tenant policy. DALI
-    /// shares PyTorch's loading policy (the GPU preprocessing offload
-    /// has no simulator analogue), and LBANN maps to its dynamic mode.
-    pub fn sim_policy(policy: TenantPolicy) -> Policy {
-        match policy {
-            TenantPolicy::NoPfs => Policy::NoPfs,
-            TenantPolicy::Naive => Policy::Naive,
-            TenantPolicy::PyTorch | TenantPolicy::Dali => Policy::StagingBuffer,
-            TenantPolicy::Lbann => Policy::LbannDynamic,
-        }
     }
 
     /// Per-tenant simulator slowdowns for the mixed cluster the thread
@@ -410,7 +400,9 @@ pub mod fig2 {
                     t.batch,
                     t.seed,
                 );
-                SimTenant::new(scenario, sim_policy(t.policy)).starting_at(t.start_delay)
+                // One `PolicyId` names the policy in both harnesses —
+                // no mapping table since the policy-layer refactor.
+                SimTenant::new(scenario, t.policy).starting_at(t.start_delay)
             })
             .collect();
         let results = nopfs_simulator::run_cluster(&tenants).expect("simulated cluster");
@@ -429,7 +421,7 @@ pub mod fig2 {
     /// One row of the uniform-policy K-sweep.
     pub struct SimSweep {
         /// The policy every tenant of the swept cluster runs.
-        pub policy: Policy,
+        pub policy: PolicyId,
         /// Solo execution time, model seconds.
         pub solo_s: f64,
         /// `(K, worst per-tenant slowdown)` per swept tenant count.
@@ -439,7 +431,7 @@ pub mod fig2 {
     /// Sweeps uniform-policy clusters over `ks` tenant counts for the
     /// three Fig. 2 policies.
     pub fn sim_sweep(extra_scale: f64, ks: &[usize]) -> Vec<SimSweep> {
-        [Policy::NoPfs, Policy::Naive, Policy::StagingBuffer]
+        [PolicyId::NoPfs, PolicyId::Naive, PolicyId::StagingBuffer]
             .into_iter()
             .map(|policy| {
                 let solo =

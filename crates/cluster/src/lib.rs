@@ -35,6 +35,9 @@ pub mod report;
 pub mod runtime;
 pub mod spec;
 
+pub use nopfs_policy::PolicyId;
 pub use report::{ClusterReport, TenantReport};
 pub use runtime::{interference_report, run_cluster, run_solo};
-pub use spec::{ClusterSpec, TenantPolicy, TenantSpec};
+#[allow(deprecated)]
+pub use spec::TenantPolicy;
+pub use spec::{ClusterSpec, TenantSpec};

@@ -1,7 +1,7 @@
 //! Per-tenant and aggregate statistics of a co-scheduled run.
 
-use crate::spec::TenantPolicy;
 use nopfs_core::stats::{SetupStats, WorkerStats};
+use nopfs_policy::PolicyId;
 use nopfs_util::stats::Summary;
 
 /// What one tenant measured over its run.
@@ -10,7 +10,7 @@ pub struct TenantReport {
     /// The tenant's label.
     pub name: String,
     /// The loader policy it ran.
-    pub policy: TenantPolicy,
+    pub policy: PolicyId,
     /// Its start offset, model seconds.
     pub start_delay: f64,
     /// Bulk-synchronous epoch times (slowest worker per epoch), model
@@ -88,7 +88,7 @@ impl ClusterReport {
     }
 
     /// The slowdown of the first tenant running `policy`, if any.
-    pub fn slowdown_of(&self, policy: TenantPolicy) -> Option<f64> {
+    pub fn slowdown_of(&self, policy: PolicyId) -> Option<f64> {
         self.tenants
             .iter()
             .find(|t| t.policy == policy)
@@ -106,6 +106,7 @@ mod tests {
             local_fetches: local,
             remote_fetches: 0,
             pfs_fetches: pfs,
+            prestage_fetches: 0,
             false_positives: 0,
             heuristic_skips: 0,
             pfs_errors: 0,
@@ -117,7 +118,7 @@ mod tests {
     fn tenant(name: &str, epochs: Vec<f64>, slowdown: Option<f64>) -> TenantReport {
         TenantReport {
             name: name.into(),
-            policy: TenantPolicy::Naive,
+            policy: PolicyId::Naive,
             start_delay: 0.0,
             total_time: epochs.iter().sum(),
             epoch_times: epochs,
@@ -149,8 +150,8 @@ mod tests {
             wall_time: 0.0,
         };
         assert_eq!(report.max_slowdown(), Some(2.5));
-        assert_eq!(report.slowdown_of(TenantPolicy::Naive), Some(1.2));
-        assert_eq!(report.slowdown_of(TenantPolicy::NoPfs), None);
+        assert_eq!(report.slowdown_of(PolicyId::Naive), Some(1.2));
+        assert_eq!(report.slowdown_of(PolicyId::NoPfs), None);
         let merged = report.aggregate_stats();
         assert_eq!(merged.pfs_fetches, 30);
         assert_eq!(merged.samples_consumed, 45);

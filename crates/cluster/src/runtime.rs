@@ -10,9 +10,9 @@
 //! where co-scheduled jobs share the filesystem and nothing else.
 
 use crate::report::{ClusterReport, TenantReport};
-use crate::spec::{ClusterSpec, TenantPolicy, TenantSpec};
-use nopfs_baselines::{DataLoader, DoubleBufferRunner, LbannRunner, NaiveRunner};
-use nopfs_core::{Job, JobConfig};
+use crate::spec::{ClusterSpec, TenantSpec};
+use nopfs_baselines::{registry, DataLoader};
+use nopfs_core::JobConfig;
 use nopfs_net::{cluster, Endpoint, NetConfig};
 use nopfs_perfmodel::SystemSpec;
 use nopfs_pfs::Pfs;
@@ -65,37 +65,18 @@ fn run_tenant(
         run_training_loop(loader, &loop_cfg, Some(&ep))
     };
 
-    let mut setup = None;
-    let per_worker: Vec<RunMetrics> = match tenant.policy {
-        TenantPolicy::Naive => NaiveRunner::new(config, sizes).run(pfs, body),
-        TenantPolicy::PyTorch => DoubleBufferRunner::pytorch_like(config, sizes).run(pfs, body),
-        TenantPolicy::Dali => DoubleBufferRunner::dali_like(config, sizes).run(pfs, body),
-        TenantPolicy::Lbann => LbannRunner::new(config, sizes).run(pfs, body),
-        TenantPolicy::NoPfs => {
-            let job = Job::new(config, sizes);
-            setup = Some(job.setup_stats().clone());
-            job.run(pfs, |w| body(w))
-        }
-    };
+    // The workspace policy registry is the single dispatch point: any
+    // of the ten `PolicyId`s runs here (an infeasible configuration —
+    // validated earlier by `ClusterSpec::validate` — is a panic).
+    let outcome = registry::run_policy(tenant.policy, config, sizes, pfs, body)
+        .unwrap_or_else(|e| panic!("tenant '{}': {}", tenant.name, e.0));
+    let per_worker: Vec<RunMetrics> = outcome.per_worker;
+    let setup = outcome.setup;
 
-    // Bulk-synchronous epoch time: the slowest worker defines it.
-    let epochs = per_worker
-        .iter()
-        .map(|m| m.epoch_times.len())
-        .min()
-        .unwrap_or(0);
-    let epoch_times: Vec<f64> = (0..epochs)
-        .map(|e| {
-            per_worker
-                .iter()
-                .map(|m| m.epoch_times[e])
-                .fold(0.0, f64::max)
-        })
-        .collect();
-    let mut stats = per_worker[0].stats.clone();
-    for m in &per_worker[1..] {
-        stats.merge(&m.stats);
-    }
+    // Bulk-synchronous epoch time (slowest worker per epoch) and the
+    // merged statistics come from the workspace-shared aggregations.
+    let epoch_times = RunMetrics::bulk_epoch_times(&per_worker);
+    let stats = RunMetrics::merged_stats(&per_worker);
     let stall_time = scale.to_model(stats.stall_time);
 
     TenantReport {
@@ -191,6 +172,7 @@ mod tests {
     use nopfs_datasets::DatasetProfile;
     use nopfs_perfmodel::presets::fig8_small_cluster;
     use nopfs_perfmodel::ThroughputCurve;
+    use nopfs_policy::PolicyId;
     use nopfs_util::units::MB;
 
     /// A tenant system small enough for tests: 2 workers, caches that
@@ -209,7 +191,7 @@ mod tests {
         DatasetProfile::new(name, samples, 20_000.0, 0.0, 4, seed)
     }
 
-    fn tenant(name: &str, policy: TenantPolicy, samples: u64, seed: u64) -> TenantSpec {
+    fn tenant(name: &str, policy: PolicyId, samples: u64, seed: u64) -> TenantSpec {
         TenantSpec::new(
             name,
             policy,
@@ -231,9 +213,9 @@ mod tests {
         // Sample counts divisible by the global batch (2 workers x 4),
         // so drop_last trims nothing and counts are exact.
         let spec = fast_spec()
-            .tenant(tenant("a", TenantPolicy::NoPfs, 64, 3))
-            .tenant(tenant("b", TenantPolicy::Naive, 40, 4))
-            .tenant(tenant("c", TenantPolicy::PyTorch, 48, 5));
+            .tenant(tenant("a", PolicyId::NoPfs, 64, 3))
+            .tenant(tenant("b", PolicyId::Naive, 40, 4))
+            .tenant(tenant("c", PolicyId::StagingBuffer, 48, 5));
         let report = run_cluster(&spec);
         assert_eq!(report.tenants.len(), 3);
         for (t, spec_t) in report.tenants.iter().zip(&spec.tenants) {
@@ -260,8 +242,8 @@ mod tests {
         // profile (ids and seeded patterns are tenant-specific, so any
         // cross-tenant mixup fails the decode).
         let spec = fast_spec()
-            .tenant(tenant("a", TenantPolicy::Naive, 30, 11))
-            .tenant(tenant("b", TenantPolicy::Naive, 30, 12));
+            .tenant(tenant("a", PolicyId::Naive, 30, 11))
+            .tenant(tenant("b", PolicyId::Naive, 30, 12));
         let pfs = Pfs::in_memory(spec.pfs_read.clone(), spec.scale);
         let bases = spec.namespace_bases();
         for (t, &base) in spec.tenants.iter().zip(&bases) {
@@ -290,15 +272,15 @@ mod tests {
         let curve =
             ThroughputCurve::from_points(&[(1.0, 30.0 * MB), (2.0, 40.0 * MB), (16.0, 41.0 * MB)]);
         let mut spec = ClusterSpec::new(curve, scale)
-            .tenant(tenant("nopfs", TenantPolicy::NoPfs, 296, 21))
-            .tenant(tenant("naive-1", TenantPolicy::Naive, 296, 22))
-            .tenant(tenant("naive-2", TenantPolicy::Naive, 296, 23));
+            .tenant(tenant("nopfs", PolicyId::NoPfs, 296, 21))
+            .tenant(tenant("naive-1", PolicyId::Naive, 296, 22))
+            .tenant(tenant("naive-2", PolicyId::Naive, 296, 23));
         for t in &mut spec.tenants {
             t.epochs = 3;
         }
         let report = interference_report(&spec);
-        let nopfs = report.slowdown_of(TenantPolicy::NoPfs).expect("filled in");
-        let naive = report.slowdown_of(TenantPolicy::Naive).expect("filled in");
+        let nopfs = report.slowdown_of(PolicyId::NoPfs).expect("filled in");
+        let naive = report.slowdown_of(PolicyId::Naive).expect("filled in");
         assert!(
             naive > 1.15,
             "co-scheduled naive tenants must interfere: {naive}x"
@@ -316,8 +298,8 @@ mod tests {
     fn staggered_tenant_starts_late() {
         let scale = TimeScale::new(1e-3);
         let spec = ClusterSpec::new(ThroughputCurve::flat(1e12), scale)
-            .tenant(tenant("early", TenantPolicy::Naive, 32, 31))
-            .tenant(tenant("late", TenantPolicy::Naive, 32, 32).starting_at(5.0));
+            .tenant(tenant("early", PolicyId::Naive, 32, 31))
+            .tenant(tenant("late", PolicyId::Naive, 32, 32).starting_at(5.0));
         let t0 = Instant::now();
         let report = run_cluster(&spec);
         // 5 model seconds at 1e-3 = 5 ms of wall stagger, measurable in
@@ -334,8 +316,8 @@ mod tests {
     #[test]
     fn lbann_tenant_coexists_on_the_shared_pfs() {
         let spec = fast_spec()
-            .tenant(tenant("lbann", TenantPolicy::Lbann, 40, 41))
-            .tenant(tenant("naive", TenantPolicy::Naive, 40, 42));
+            .tenant(tenant("lbann", PolicyId::LbannDynamic, 40, 41))
+            .tenant(tenant("naive", PolicyId::Naive, 40, 42));
         let report = run_cluster(&spec);
         let lbann = &report.tenants[0];
         assert_eq!(lbann.stats.samples_consumed, 80);

@@ -2,52 +2,24 @@
 
 use nopfs_datasets::DatasetProfile;
 use nopfs_perfmodel::{SystemSpec, ThroughputCurve};
+use nopfs_policy::PolicyId;
 use nopfs_util::timing::TimeScale;
 
-/// The runtime loader policy a tenant trains with. Mirrors
-/// `nopfs_bench::runtime::RuntimePolicy` minus the no-I/O bound (a
-/// tenant that never touches the PFS cannot interfere or be interfered
-/// with).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TenantPolicy {
-    /// NoPFS: clairvoyant prefetching with hierarchical caching.
-    NoPfs,
-    /// Synchronous PFS reads, no prefetching, no caching.
-    Naive,
-    /// PyTorch-`DataLoader`-like double buffering (all fetches PFS).
-    PyTorch,
-    /// DALI-like double buffering (GPU-offloaded preprocessing).
-    Dali,
-    /// The LBANN data store, dynamic (first-touch) mode.
-    Lbann,
-}
-
-impl TenantPolicy {
-    /// Figure label.
-    pub fn name(&self) -> &'static str {
-        match self {
-            TenantPolicy::NoPfs => "NoPFS",
-            TenantPolicy::Naive => "Naive",
-            TenantPolicy::PyTorch => "PyTorch",
-            TenantPolicy::Dali => "PyTorch+DALI",
-            TenantPolicy::Lbann => "LBANN",
-        }
-    }
-}
-
-impl std::fmt::Display for TenantPolicy {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
+/// Legacy name for the workspace policy registry's [`PolicyId`]: the
+/// cluster used to keep its own five-variant enum; tenants now accept
+/// **any** of the registry's ten policies.
+#[deprecated(note = "use nopfs_policy::PolicyId")]
+pub type TenantPolicy = PolicyId;
 
 /// One co-scheduled training job.
 #[derive(Debug, Clone)]
 pub struct TenantSpec {
     /// Report label ("job-a", "imagenet-run", …).
     pub name: String,
-    /// The loader policy this tenant trains with.
-    pub policy: TenantPolicy,
+    /// The loader policy this tenant trains with — any entry of
+    /// [`PolicyId::ALL`]. (`Perfect` runs on synthetic in-RAM data and
+    /// therefore neither causes nor suffers PFS interference.)
+    pub policy: PolicyId,
     /// The tenant's modelled system: worker count, staging buffer,
     /// storage classes, and interconnect. The `pfs_read` curve inside
     /// it is **ignored** — the shared curve lives on [`ClusterSpec`].
@@ -76,7 +48,7 @@ impl TenantSpec {
     /// Panics on zero epochs or batch size.
     pub fn new(
         name: impl Into<String>,
-        policy: TenantPolicy,
+        policy: PolicyId,
         system: SystemSpec,
         profile: DatasetProfile,
         epochs: u64,
@@ -173,21 +145,18 @@ impl ClusterSpec {
     /// # Panics
     /// Panics on an empty cluster or an infeasible tenant (an LBANN
     /// tenant whose dataset exceeds its aggregate worker memory — the
-    /// data store's documented requirement).
+    /// data store's documented requirement, checked by the shared
+    /// policy layer).
     pub fn validate(&self) {
         assert!(!self.tenants.is_empty(), "a cluster needs tenants");
         for t in &self.tenants {
             t.system.validate();
-            if t.policy == TenantPolicy::Lbann {
-                let ram = t.system.classes.first().map_or(0, |c| c.capacity);
-                let aggregate = ram.saturating_mul(t.system.workers as u64);
-                let total = t.profile.total_bytes();
-                assert!(
-                    total <= aggregate,
-                    "tenant '{}': LBANN needs the dataset ({total} B) to fit in \
-                     aggregate worker memory ({aggregate} B)",
-                    t.name
-                );
+            if matches!(t.policy, PolicyId::LbannDynamic | PolicyId::LbannPreloading) {
+                if let Err(e) =
+                    nopfs_policy::core::lbann_feasible(&t.system, t.profile.total_bytes())
+                {
+                    panic!("tenant '{}': {}", t.name, e.0);
+                }
             }
         }
     }
@@ -235,7 +204,7 @@ mod tests {
     fn tenant(name: &str, workers: usize, samples: u64) -> TenantSpec {
         let mut sys = fig8_small_cluster();
         sys.workers = workers;
-        TenantSpec::new(name, TenantPolicy::Naive, sys, profile(samples), 2, 4, 1)
+        TenantSpec::new(name, PolicyId::Naive, sys, profile(samples), 2, 4, 1)
     }
 
     fn spec() -> ClusterSpec {
@@ -284,7 +253,7 @@ mod tests {
     #[should_panic(expected = "aggregate worker memory")]
     fn infeasible_lbann_tenant_rejected() {
         let mut t = tenant("lbann", 2, 1_000_000);
-        t.policy = TenantPolicy::Lbann;
+        t.policy = PolicyId::LbannDynamic;
         t.system.classes[0].capacity = 1_000;
         spec().tenant(t).validate();
     }

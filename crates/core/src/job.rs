@@ -154,6 +154,42 @@ impl Job {
     /// I/O contention with no other coupling — and the workers' live
     /// source selection (which prices PFS fetches at the *observed*
     /// reader count) automatically accounts for other tenants' traffic.
+    /// Launches one worker per rank and returns the handles themselves
+    /// instead of scoping a closure over them — the entry point the
+    /// workspace loader factory (`nopfs_baselines::registry`) uses to
+    /// hand NoPFS out as `Box<dyn DataLoader>` objects.
+    ///
+    /// Launching blocks until every rank has passed the setup
+    /// allgather, so the returned handles are immediately consumable
+    /// from any threads (or sequentially). Shut them down concurrently
+    /// — one thread per handle, as [`WorkerHandle::shutdown`] documents
+    /// — or hand them to a harness that does (the registry's
+    /// `LoaderSet` drop does exactly this).
+    pub fn launch_workers(&self, pfs: &Pfs) -> Vec<WorkerHandle> {
+        let endpoints = cluster::<Msg>(
+            self.shared.config.system.workers,
+            NetConfig::new(
+                self.shared.config.system.interconnect,
+                self.shared.config.scale,
+            ),
+        );
+        // The launches must overlap: each blocks in the setup allgather
+        // until all ranks have joined it.
+        let threads: Vec<_> = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(rank, endpoint)| {
+                let shared = Arc::clone(&self.shared);
+                let pfs = pfs.clone();
+                std::thread::spawn(move || WorkerHandle::launch(rank, shared, pfs, endpoint))
+            })
+            .collect();
+        threads
+            .into_iter()
+            .map(|t| t.join().expect("worker launch panicked"))
+            .collect()
+    }
+
     pub fn run<R, F>(&self, pfs: &Pfs, f: F) -> Vec<R>
     where
         R: Send,

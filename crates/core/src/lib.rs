@@ -42,3 +42,43 @@ pub use worker::WorkerHandle;
 
 /// Sample identifier (dense index into the dataset).
 pub type SampleId = u64;
+
+/// How many samples the next mini-batch should contain, given how many
+/// samples were already consumed: up to `batch_size`, never crossing an
+/// epoch boundary, zero once `total` is exhausted.
+///
+/// This is *the* epoch-boundary semantics of the workspace: both
+/// [`WorkerHandle::next_batch`] and the `DataLoader` trait's default
+/// `next_batch` (in `nopfs_baselines`) delegate here, so batching can
+/// never diverge between NoPFS and the baseline loaders.
+pub fn next_batch_len(consumed: u64, total: u64, epoch_len: u64, batch_size: usize) -> usize {
+    if consumed >= total || epoch_len == 0 {
+        return 0;
+    }
+    let into_epoch = consumed % epoch_len;
+    let left_in_epoch = epoch_len - into_epoch;
+    (batch_size as u64).min(left_in_epoch).min(total - consumed) as usize
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::next_batch_len;
+
+    #[test]
+    fn batches_never_cross_epoch_boundaries() {
+        // Epoch of 5 with batch 3: 3 + 2 per epoch.
+        assert_eq!(next_batch_len(0, 10, 5, 3), 3);
+        assert_eq!(next_batch_len(3, 10, 5, 3), 2);
+        assert_eq!(next_batch_len(5, 10, 5, 3), 3);
+        assert_eq!(next_batch_len(8, 10, 5, 3), 2);
+        assert_eq!(next_batch_len(10, 10, 5, 3), 0);
+    }
+
+    #[test]
+    fn exhaustion_and_degenerate_cases() {
+        assert_eq!(next_batch_len(7, 7, 7, 4), 0, "exhausted");
+        assert_eq!(next_batch_len(0, 7, 0, 4), 0, "zero epoch length");
+        // Total shorter than the epoch claims: cap at what's left.
+        assert_eq!(next_batch_len(6, 7, 10, 4), 1);
+    }
+}

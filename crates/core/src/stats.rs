@@ -17,6 +17,7 @@ pub struct StatsCollector {
     local: AtomicU64,
     remote: AtomicU64,
     pfs: AtomicU64,
+    prestage: AtomicU64,
     false_positives: AtomicU64,
     heuristic_skips: AtomicU64,
     pfs_errors: AtomicU64,
@@ -40,6 +41,10 @@ impl StatsCollector {
 
     pub fn count_pfs(&self) {
         self.pfs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count_prestage(&self) {
+        self.prestage.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn count_false_positive(&self) {
@@ -69,6 +74,7 @@ impl StatsCollector {
             local_fetches: self.local.load(Ordering::Relaxed),
             remote_fetches: self.remote.load(Ordering::Relaxed),
             pfs_fetches: self.pfs.load(Ordering::Relaxed),
+            prestage_fetches: self.prestage.load(Ordering::Relaxed),
             false_positives: self.false_positives.load(Ordering::Relaxed),
             heuristic_skips: self.heuristic_skips.load(Ordering::Relaxed),
             pfs_errors: self.pfs_errors.load(Ordering::Relaxed),
@@ -105,6 +111,10 @@ pub struct WorkerStats {
     pub remote_fetches: u64,
     /// Staging fetches served from the PFS.
     pub pfs_fetches: u64,
+    /// Samples loaded from the PFS during a non-overlapped prestaging
+    /// phase (sharding/preloading policies; excluded from the staging
+    /// fetch counts, matching the simulator's accounting).
+    pub prestage_fetches: u64,
     /// Remote requests answered `NotCached` (progress-heuristic false
     /// positives; each also produced a PFS fetch).
     pub false_positives: u64,
@@ -144,6 +154,7 @@ impl WorkerStats {
         self.local_fetches += other.local_fetches;
         self.remote_fetches += other.remote_fetches;
         self.pfs_fetches += other.pfs_fetches;
+        self.prestage_fetches += other.prestage_fetches;
         self.false_positives += other.false_positives;
         self.heuristic_skips += other.heuristic_skips;
         self.pfs_errors += other.pfs_errors;

@@ -104,11 +104,7 @@ impl WorkerCtx {
         let sys = &self.shared.config.system;
         let size = self.shared.sizes[k as usize];
 
-        let mut candidates: Vec<Location> = Vec::with_capacity(3);
         let local_class = self.metadata.lookup(k);
-        if let Some(c) = local_class {
-            candidates.push(Location::Local(c));
-        }
         // Remote candidates pass the progress heuristic: our own class-c
         // prefetcher's position is the proxy for the holder's (paper
         // Sec. 5.2.2 — load-balanced prefetching advances in lockstep).
@@ -130,16 +126,18 @@ impl WorkerCtx {
                 self.stats.count_heuristic_skip();
             }
         }
-        if let Some((_, c)) = best_remote {
-            candidates.push(Location::Remote(c));
-        }
-        candidates.push(Location::Pfs);
 
         // Live PFS contention: the readers already in flight plus us.
+        // The pick itself is the workspace-wide NoPFS selection rule —
+        // the same `select_source` the simulator's NoPFS policy calls.
         let gamma = self.pfs.reader_count() + 1;
-        let choice = sys
-            .fastest_source(&candidates, size, gamma)
-            .expect("candidate list always contains the PFS");
+        let choice = nopfs_policy::decision::select_source(
+            sys,
+            local_class,
+            best_remote.map(|(_, c)| c),
+            size,
+            gamma,
+        );
 
         let data = match choice {
             Location::Local(c) => match self.backends[c as usize].get(k) {
@@ -423,15 +421,25 @@ impl WorkerHandle {
         Some(item)
     }
 
+    /// The configured per-worker mini-batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
     /// Next local mini-batch (up to `batch_size` samples, never
-    /// crossing an epoch boundary); `None` once exhausted.
+    /// crossing an epoch boundary); `None` once exhausted. Epoch
+    /// semantics come from the workspace-shared
+    /// [`crate::next_batch_len`].
     pub fn next_batch(&mut self) -> Option<Vec<(SampleId, Bytes)>> {
-        if self.consumed >= self.stream.len() as u64 {
+        let want = crate::next_batch_len(
+            self.consumed,
+            self.stream.len() as u64,
+            self.epoch_len,
+            self.batch_size,
+        );
+        if want == 0 {
             return None;
         }
-        let into_epoch = self.consumed % self.epoch_len;
-        let left_in_epoch = self.epoch_len - into_epoch;
-        let want = (self.batch_size as u64).min(left_in_epoch) as usize;
         let mut batch = Vec::with_capacity(want);
         for _ in 0..want {
             match self.next_sample() {
@@ -457,9 +465,14 @@ impl WorkerHandle {
     }
 
     /// Stops prefetchers, waits for the whole cluster to finish, and
-    /// shuts down the serving loop. Called automatically by
-    /// [`crate::job::Job::run`]; idempotent.
-    pub(crate) fn shutdown(&mut self) {
+    /// shuts down the serving loop. Idempotent.
+    ///
+    /// Called automatically by [`crate::job::Job::run`]. Handles
+    /// obtained via [`crate::job::Job::launch_workers`] must be shut
+    /// down **concurrently** (one thread per handle): the internal
+    /// cluster barrier means a sequential shutdown of multiple ranks
+    /// would deadlock.
+    pub fn shutdown(&mut self) {
         if self.finished {
             return;
         }

@@ -1,0 +1,114 @@
+//! Harness-independent decision rules.
+//!
+//! [`select_source`] is *the* NoPFS source-selection code path: both
+//! the threaded runtime (`nopfs_core::worker`'s staging fetches) and
+//! the discrete-event simulator's NoPFS policy call this one function,
+//! so the paper's Fig. 5 "argmin fetch" can never diverge between
+//! harnesses. Each harness only differs in how it discovers the
+//! *candidates* (live metadata + progress heuristic vs. modelled ready
+//! times); what is done with them is shared.
+
+use nopfs_perfmodel::{Location, SystemSpec};
+
+/// NoPFS source selection (paper Fig. 5): given the fastest local class
+/// holding the sample (if cached) and the fastest remote holder's class
+/// (if any peer is believed to hold it), pick the cheapest of
+/// {local, remote, PFS} by modelled fetch time at the observed PFS
+/// contention `gamma`.
+///
+/// Ties favour the earlier candidate — local before remote before PFS
+/// — matching `SystemSpec::fastest_source`'s convention.
+pub fn select_source(
+    sys: &SystemSpec,
+    local: Option<u8>,
+    remote: Option<u8>,
+    size: u64,
+    gamma: usize,
+) -> Location {
+    let mut candidates: Vec<Location> = Vec::with_capacity(3);
+    if let Some(c) = local {
+        candidates.push(Location::Local(c));
+    }
+    if let Some(c) = remote {
+        candidates.push(Location::Remote(c));
+    }
+    candidates.push(Location::Pfs);
+    sys.fastest_source(&candidates, size, gamma)
+        .expect("candidate list always contains the PFS")
+}
+
+/// Per-worker PFS share (bytes/s) during bulk staging phases: all `N`
+/// workers stream concurrently, so each gets `t(N)/N`. Used to price
+/// prestaging phases identically in every harness.
+pub fn staging_share(sys: &SystemSpec) -> f64 {
+    let n = sys.workers as f64;
+    sys.pfs_read.at(n) / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nopfs_perfmodel::presets::fig8_small_cluster;
+
+    #[test]
+    fn prefers_local_ram_when_cached() {
+        let sys = fig8_small_cluster();
+        let got = select_source(&sys, Some(0), Some(0), 10_000_000, 4);
+        assert_eq!(got, Location::Local(0));
+    }
+
+    #[test]
+    fn prefers_remote_ram_over_local_ssd() {
+        // The paper's counterintuitive observation: with a fast network,
+        // a peer's RAM beats the local SSD.
+        let sys = fig8_small_cluster();
+        let got = select_source(&sys, Some(1), Some(0), 10_000_000, 4);
+        assert_eq!(got, Location::Remote(0));
+    }
+
+    #[test]
+    fn falls_back_to_pfs_without_candidates() {
+        let sys = fig8_small_cluster();
+        assert_eq!(select_source(&sys, None, None, 1_000, 1), Location::Pfs);
+    }
+
+    #[test]
+    fn is_argmin_of_modelled_fetch_times() {
+        // The selection must equal a brute-force argmin over the same
+        // candidate set — the contract both harnesses rely on.
+        let sys = fig8_small_cluster();
+        for local in [None, Some(0u8), Some(1u8)] {
+            for remote in [None, Some(0u8), Some(1u8)] {
+                for size in [1_000u64, 1_000_000, 100_000_000] {
+                    for gamma in [1usize, 4, 32] {
+                        let got = select_source(&sys, local, remote, size, gamma);
+                        let mut best = (Location::Pfs, sys.fetch_pfs(size, gamma));
+                        if let Some(c) = remote {
+                            let t = sys.fetch_remote(c, size);
+                            if t <= best.1 {
+                                best = (Location::Remote(c), t);
+                            }
+                        }
+                        if let Some(c) = local {
+                            let t = sys.fetch_local(c, size);
+                            if t <= best.1 {
+                                best = (Location::Local(c), t);
+                            }
+                        }
+                        assert_eq!(
+                            got, best.0,
+                            "local={local:?} remote={remote:?} {size}B γ={gamma}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn staging_share_splits_aggregate_by_workers() {
+        let sys = fig8_small_cluster();
+        let share = staging_share(&sys);
+        assert!((share - sys.pfs_read.at(4.0) / 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,208 @@
+//! The policy registry: every data-loading policy the paper compares,
+//! with its Table 1 capability row.
+//!
+//! This enum supersedes the old `nopfs_simulator::Policy` and
+//! `nopfs_cluster::TenantPolicy`: one id names a policy in every
+//! harness — the discrete-event simulator, the threaded runtime, and
+//! the multi-tenant cluster.
+
+/// The data-loading policies every harness compares (paper Sec. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyId {
+    /// No stalls ever occur: the theoretical lower bound ("Perfect").
+    Perfect,
+    /// Synchronous PFS reads, no prefetching or caching.
+    Naive,
+    /// Staging-buffer prefetching from the PFS in access order — models
+    /// PyTorch's double-buffering `DataLoader` and `tf.data`.
+    StagingBuffer,
+    /// DeepIO's ordered mode: sharded in-memory cache, requested order
+    /// preserved, uncached samples fetched from the PFS.
+    DeepIoOrdered,
+    /// DeepIO's opportunistic mode: uncached accesses are replaced by
+    /// cached samples (changes the access order and dataset coverage).
+    DeepIoOpportunistic,
+    /// Data sharding with a prestaging phase; workers only access their
+    /// local shard afterwards.
+    ParallelStaging,
+    /// LBANN data store, dynamic mode: first-touch in-memory caching
+    /// during epoch 0, owner-served afterwards. Requires the dataset to
+    /// fit in aggregate worker memory.
+    LbannDynamic,
+    /// LBANN data store, preloading mode: the in-memory cache is filled
+    /// in a prestaging phase.
+    LbannPreloading,
+    /// Locality-aware loading (Yang & Cong): first-touch caching with
+    /// per-iteration batch reassignment toward cache owners.
+    LocalityAware,
+    /// NoPFS: clairvoyant prefetching with frequency-ranked hierarchical
+    /// placement and performance-model source selection.
+    NoPfs,
+}
+
+impl PolicyId {
+    /// All policies, in the paper's Fig. 8 presentation order
+    /// (lower bound last).
+    pub const ALL: [PolicyId; 10] = [
+        PolicyId::Naive,
+        PolicyId::StagingBuffer,
+        PolicyId::DeepIoOrdered,
+        PolicyId::DeepIoOpportunistic,
+        PolicyId::ParallelStaging,
+        PolicyId::LbannDynamic,
+        PolicyId::LbannPreloading,
+        PolicyId::LocalityAware,
+        PolicyId::NoPfs,
+        PolicyId::Perfect,
+    ];
+
+    /// The display name used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyId::Perfect => "Lower Bound",
+            PolicyId::Naive => "Naive",
+            PolicyId::StagingBuffer => "Staging Buffer",
+            PolicyId::DeepIoOrdered => "DeepIO (Ord.)",
+            PolicyId::DeepIoOpportunistic => "DeepIO (Opp.)",
+            PolicyId::ParallelStaging => "Parallel Staging",
+            PolicyId::LbannDynamic => "LBANN (Dynamic)",
+            PolicyId::LbannPreloading => "LBANN (Preloading)",
+            PolicyId::LocalityAware => "Locality-Aware",
+            PolicyId::NoPfs => "NoPFS",
+        }
+    }
+
+    /// The Table 1 capability row for the framework family this policy
+    /// models (`Perfect` is a bound, not a framework, and reports the
+    /// ideal row).
+    pub fn capabilities(&self) -> Capabilities {
+        match self {
+            PolicyId::Naive | PolicyId::StagingBuffer => Capabilities {
+                system_scalability: false,
+                dataset_scalability: true,
+                full_randomization: !matches!(self, PolicyId::StagingBuffer),
+                hardware_independence: false,
+                ease_of_use: true,
+            },
+            PolicyId::DeepIoOrdered | PolicyId::DeepIoOpportunistic => Capabilities {
+                system_scalability: true,
+                dataset_scalability: false,
+                full_randomization: false,
+                hardware_independence: false,
+                ease_of_use: true,
+            },
+            PolicyId::ParallelStaging => Capabilities {
+                system_scalability: true,
+                dataset_scalability: false,
+                full_randomization: false,
+                hardware_independence: false,
+                ease_of_use: true,
+            },
+            PolicyId::LbannDynamic | PolicyId::LbannPreloading => Capabilities {
+                system_scalability: true,
+                dataset_scalability: false,
+                full_randomization: true,
+                hardware_independence: false,
+                ease_of_use: false,
+            },
+            PolicyId::LocalityAware => Capabilities {
+                system_scalability: true,
+                dataset_scalability: true,
+                full_randomization: true,
+                hardware_independence: false,
+                ease_of_use: false,
+            },
+            PolicyId::NoPfs | PolicyId::Perfect => Capabilities {
+                system_scalability: true,
+                dataset_scalability: true,
+                full_randomization: true,
+                hardware_independence: true,
+                ease_of_use: true,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Additional nodes are used productively.
+    pub system_scalability: bool,
+    /// Datasets larger than aggregate node storage are supported.
+    pub dataset_scalability: bool,
+    /// Without-replacement randomization over the entire dataset.
+    pub full_randomization: bool,
+    /// Exploits but does not require special hardware.
+    pub hardware_independence: bool,
+    /// Minimal integration effort.
+    pub ease_of_use: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_nopfs_row_is_all_yes() {
+        let c = PolicyId::NoPfs.capabilities();
+        assert!(c.system_scalability);
+        assert!(c.dataset_scalability);
+        assert!(c.full_randomization);
+        assert!(c.hardware_independence);
+        assert!(c.ease_of_use);
+    }
+
+    #[test]
+    fn table1_double_buffering_row() {
+        // Paper Table 1: double-buffering is dataset-scalable and fully
+        // randomized but not system-scalable or hardware-independent.
+        let c = PolicyId::Naive.capabilities();
+        assert!(!c.system_scalability);
+        assert!(c.dataset_scalability);
+        assert!(c.full_randomization);
+        assert!(!c.hardware_independence);
+    }
+
+    #[test]
+    fn table1_tfdata_lacks_full_randomization() {
+        assert!(!PolicyId::StagingBuffer.capabilities().full_randomization);
+    }
+
+    #[test]
+    fn table1_sharding_not_dataset_scalable() {
+        assert!(!PolicyId::ParallelStaging.capabilities().dataset_scalability);
+        assert!(!PolicyId::DeepIoOrdered.capabilities().dataset_scalability);
+        assert!(!PolicyId::LbannDynamic.capabilities().dataset_scalability);
+    }
+
+    #[test]
+    fn only_nopfs_is_hardware_independent() {
+        for p in PolicyId::ALL {
+            let hw = p.capabilities().hardware_independence;
+            if matches!(p, PolicyId::NoPfs | PolicyId::Perfect) {
+                assert!(hw);
+            } else {
+                assert!(!hw, "{p} should not be hardware independent");
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(PolicyId::NoPfs.name(), "NoPFS");
+        assert_eq!(PolicyId::Perfect.name(), "Lower Bound");
+        assert_eq!(PolicyId::DeepIoOpportunistic.name(), "DeepIO (Opp.)");
+    }
+
+    #[test]
+    fn all_has_ten_unique_policies() {
+        let set: std::collections::HashSet<_> = PolicyId::ALL.iter().collect();
+        assert_eq!(set.len(), 10);
+    }
+}

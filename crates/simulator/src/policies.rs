@@ -1,10 +1,16 @@
-//! Implementations of the simulated data-loading policies (Sec. 6).
+//! The simulated data-loading policies (Sec. 6), as adapters over the
+//! workspace decision core.
 //!
-//! Each policy answers one question per access — *where does this sample
-//! come from?* — and optionally transforms epoch sequences (sharding and
-//! opportunistic policies change the access order, which is exactly the
-//! randomization compromise the paper criticizes them for) or pays a
-//! non-overlapped prestaging phase.
+//! Every baseline policy's *decision* logic — ownership maps, epoch
+//! transforms, prestage plans, coverage — lives in
+//! [`nopfs_policy::core`], where the threaded runtime executes the
+//! identical objects; the `CoreAdapter` here merely translates a
+//! [`PolicyCore`]'s answers into the event loop's `Location`s. Only two
+//! policies are simulator-specific: `Perfect` (definitionally a bound)
+//! and `NoPfs`, whose candidates come from modelled prefetch ready
+//! times — though its final pick still goes through the shared
+//! [`nopfs_policy::decision::select_source`] code path, exactly like
+//! the runtime's staging fetches.
 
 use crate::policy::Policy;
 use crate::result::SimError;
@@ -14,8 +20,8 @@ use nopfs_clairvoyance::placement::{CacheAssignment, UNASSIGNED};
 use nopfs_clairvoyance::sampler::EpochShuffle;
 use nopfs_clairvoyance::SampleId;
 use nopfs_perfmodel::{Location, SystemSpec};
-use nopfs_util::rng::{mix64, Xoshiro256pp};
-use nopfs_util::units::format_bytes;
+use nopfs_policy::decision::{select_source, staging_share};
+use nopfs_policy::{build_core, PolicyCore, Source};
 use std::collections::HashSet;
 
 /// The behaviour a simulated policy plugs into the engine.
@@ -68,32 +74,91 @@ pub(crate) trait PolicyImpl {
     }
 }
 
-/// Per-worker PFS share (bytes/s) during bulk staging phases: all `N`
-/// workers stream concurrently, so each gets `t(N)/N`.
-fn staging_share(sys: &SystemSpec) -> f64 {
-    let n = sys.workers as f64;
-    sys.pfs_read.at(n) / n
-}
-
 /// Builds the implementation for `policy`, or reports why the scenario
 /// is unsupported.
 pub(crate) fn build(policy: Policy, scenario: &Scenario) -> Result<Box<dyn PolicyImpl>, SimError> {
     Ok(match policy {
         Policy::Perfect => Box::new(Perfect),
-        Policy::Naive => Box::new(Naive),
-        Policy::StagingBuffer => Box::new(StagingBuffer),
-        Policy::DeepIoOrdered => Box::new(DeepIo::new(scenario, true)),
-        Policy::DeepIoOpportunistic => Box::new(DeepIo::new(scenario, false)),
-        Policy::ParallelStaging => Box::new(ParallelStaging::new(scenario)),
-        Policy::LbannDynamic => Box::new(Lbann::new(scenario, false)?),
-        Policy::LbannPreloading => Box::new(Lbann::new(scenario, true)?),
-        Policy::LocalityAware => Box::new(LocalityAware::new(scenario)),
         Policy::NoPfs => Box::new(NoPfs::new(scenario)),
+        _ => {
+            let core = build_core(
+                policy,
+                &scenario.system,
+                &scenario.sizes,
+                &scenario.shuffle_spec(),
+            )
+            .map_err(|u| SimError::Unsupported(u.0))?
+            .expect("every baseline policy has a shared core");
+            Box::new(CoreAdapter::new(core, &scenario.system))
+        }
     })
 }
 
 // ---------------------------------------------------------------------
-// Trivial policies
+// The shared-core adapter
+// ---------------------------------------------------------------------
+
+/// Runs a [`PolicyCore`]'s decisions inside the event loop: sources map
+/// to `Location`s, the prestage plan to a non-overlapped phase, epoch
+/// transforms pass straight through.
+struct CoreAdapter {
+    core: Box<dyn PolicyCore>,
+    prestage: f64,
+    epoch: u64,
+}
+
+impl CoreAdapter {
+    fn new(core: Box<dyn PolicyCore>, sys: &SystemSpec) -> Self {
+        let prestage = core.prestage_seconds(sys);
+        Self {
+            core,
+            prestage,
+            epoch: 0,
+        }
+    }
+}
+
+impl PolicyImpl for CoreAdapter {
+    fn overlapped(&self) -> bool {
+        self.core.overlapped()
+    }
+
+    fn prestage_seconds(&self) -> f64 {
+        self.prestage
+    }
+
+    fn on_epoch_start(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    fn transform_epoch(
+        &mut self,
+        epoch: u64,
+        seqs: Vec<Vec<SampleId>>,
+        global: &EpochShuffle,
+    ) -> Vec<Vec<SampleId>> {
+        self.core.transform_epoch(epoch, seqs, global)
+    }
+
+    fn source(&mut self, w: usize, k: SampleId, _s: u64, _now: f64, _g: usize) -> Location {
+        match self.core.source(w, k, self.epoch) {
+            Source::Local(c) => Location::Local(c),
+            Source::Remote { class, .. } => Location::Remote(class),
+            Source::Pfs => Location::Pfs,
+        }
+    }
+
+    fn coverage(&self) -> f64 {
+        self.core.coverage()
+    }
+
+    fn note(&self) -> Option<String> {
+        self.core.note()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulator-specific policies
 // ---------------------------------------------------------------------
 
 /// The no-stall lower bound: every sample is always already staged.
@@ -105,511 +170,12 @@ impl PolicyImpl for Perfect {
     }
 }
 
-/// Synchronous PFS reads with no prefetching or caching.
-struct Naive;
-
-impl PolicyImpl for Naive {
-    fn overlapped(&self) -> bool {
-        false
-    }
-    fn source(&mut self, _w: usize, _k: SampleId, _s: u64, _now: f64, _g: usize) -> Location {
-        Location::Pfs
-    }
-}
-
-/// Staging-buffer prefetching from the PFS in access order: PyTorch
-/// double-buffering / `tf.data`.
-struct StagingBuffer;
-
-impl PolicyImpl for StagingBuffer {
-    fn source(&mut self, _w: usize, _k: SampleId, _s: u64, _now: f64, _g: usize) -> Location {
-        Location::Pfs
-    }
-}
-
-// ---------------------------------------------------------------------
-// DeepIO
-// ---------------------------------------------------------------------
-
-/// DeepIO: a sharded in-memory (RAM-only) cache. Each worker holds the
-/// round-robin shard `id ≡ rank (mod N)` up to its RAM capacity,
-/// preloaded before training. Ordered mode preserves the requested
-/// order, reading uncached samples from the PFS; opportunistic mode
-/// substitutes cached samples for uncached ones, never touching the PFS
-/// again but shrinking effective dataset coverage.
-struct DeepIo {
-    ordered: bool,
-    /// Caching worker per sample, or -1.
-    owner_of: Vec<i32>,
-    /// Each worker's cached sample ids (substitution pool).
-    shards: Vec<Vec<SampleId>>,
-    /// Cursor into the substitution pool, per worker.
-    cursors: Vec<usize>,
-    prestage: f64,
-    cached_samples: u64,
-    num_samples: u64,
-}
-
-impl DeepIo {
-    fn new(scenario: &Scenario, ordered: bool) -> Self {
-        let n = scenario.system.workers;
-        let f = scenario.sizes.len();
-        let ram_cap = scenario.system.classes.first().map_or(0, |c| c.capacity);
-        let mut owner_of = vec![-1i32; f];
-        let mut shards: Vec<Vec<SampleId>> = vec![Vec::new(); n];
-        let mut max_shard_bytes = 0u64;
-        for (w, shard) in shards.iter_mut().enumerate() {
-            let mut used = 0u64;
-            let mut id = w;
-            while id < f {
-                let s = scenario.sizes[id];
-                if used + s > ram_cap {
-                    break;
-                }
-                used += s;
-                owner_of[id] = w as i32;
-                shard.push(id as SampleId);
-                id += n;
-            }
-            max_shard_bytes = max_shard_bytes.max(used);
-        }
-        let cached_samples = owner_of.iter().filter(|&&o| o >= 0).count() as u64;
-        let prestage = max_shard_bytes as f64 / staging_share(&scenario.system);
-        Self {
-            ordered,
-            owner_of,
-            shards,
-            cursors: vec![0; n],
-            prestage,
-            cached_samples,
-            num_samples: f as u64,
-        }
-    }
-}
-
-impl PolicyImpl for DeepIo {
-    fn prestage_seconds(&self) -> f64 {
-        self.prestage
-    }
-
-    fn transform_epoch(
-        &mut self,
-        _epoch: u64,
-        mut seqs: Vec<Vec<SampleId>>,
-        _global: &EpochShuffle,
-    ) -> Vec<Vec<SampleId>> {
-        if self.ordered {
-            return seqs;
-        }
-        // Opportunistic mode: swap uncached accesses for cached samples,
-        // preferring the worker's own shard.
-        for (w, seq) in seqs.iter_mut().enumerate() {
-            for slot in seq.iter_mut() {
-                if self.owner_of[*slot as usize] >= 0 {
-                    continue;
-                }
-                let shard = &self.shards[w];
-                if !shard.is_empty() {
-                    let c = self.cursors[w];
-                    *slot = shard[c % shard.len()];
-                    self.cursors[w] = c.wrapping_add(1);
-                } else if let Some(other) = self.shards.iter().find(|s| !s.is_empty()) {
-                    let c = self.cursors[w];
-                    *slot = other[c % other.len()];
-                    self.cursors[w] = c.wrapping_add(1);
-                }
-                // No cache anywhere: leave the access as-is (PFS).
-            }
-        }
-        seqs
-    }
-
-    fn source(&mut self, w: usize, k: SampleId, _s: u64, _now: f64, _g: usize) -> Location {
-        match self.owner_of[k as usize] {
-            o if o == w as i32 => Location::Local(0),
-            o if o >= 0 => Location::Remote(0),
-            _ => Location::Pfs,
-        }
-    }
-
-    fn coverage(&self) -> f64 {
-        if self.ordered {
-            1.0
-        } else {
-            self.cached_samples as f64 / self.num_samples as f64
-        }
-    }
-
-    fn note(&self) -> Option<String> {
-        if !self.ordered && self.cached_samples < self.num_samples {
-            Some("Does not access entire dataset".to_string())
-        } else {
-            None
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Parallel staging (data sharding)
-// ---------------------------------------------------------------------
-
-/// Data sharding with a prestaging phase. When the dataset fits in one
-/// worker's storage (`S ≤ D`, the paper's "shards may share samples"),
-/// every worker stages the whole dataset and randomization is preserved.
-/// Otherwise each worker stages a disjoint round-robin shard capped at
-/// its capacity and trains only on that shard — the access-order change
-/// the paper flags.
-struct ParallelStaging {
-    /// Every worker holds the full dataset.
-    full_copy: bool,
-    owner_of: Vec<i32>,
-    /// Storage class per cached sample (fill order across classes).
-    class_of: Vec<u8>,
-    shards: Vec<Vec<SampleId>>,
-    epoch_lens: Vec<u64>,
-    prestage: f64,
-    shard_bytes: Vec<u64>,
-    total_bytes: u64,
-    seed: u64,
-}
-
-impl ParallelStaging {
-    fn new(scenario: &Scenario) -> Self {
-        let n = scenario.system.workers;
-        let f = scenario.sizes.len();
-        let caps = scenario.system.class_capacities();
-        let d: u64 = caps.iter().sum();
-        let s_total = scenario.total_bytes();
-        let spec = scenario.shuffle_spec();
-        let epoch_lens: Vec<u64> = (0..n).map(|w| spec.worker_epoch_len(w)).collect();
-        let full_copy = s_total <= d;
-
-        let mut owner_of = vec![-1i32; f];
-        let mut class_of = vec![UNASSIGNED; f];
-        let mut shards: Vec<Vec<SampleId>> = vec![Vec::new(); n];
-        let mut shard_bytes = vec![0u64; n];
-
-        if full_copy {
-            // Identical layout on every worker: fill classes in id order.
-            let mut class = 0usize;
-            let mut used = 0u64;
-            for (id, slot) in class_of.iter_mut().enumerate() {
-                let sz = scenario.sizes[id];
-                while class < caps.len() && used + sz > caps[class] {
-                    class += 1;
-                    used = 0;
-                }
-                // `S <= D` guarantees everything fits across classes for
-                // same-size-dominated datasets; any residual overflow
-                // lands in the slowest class.
-                let c = class.min(caps.len().saturating_sub(1));
-                *slot = c as u8;
-                used += sz;
-            }
-            for (w, sb) in shard_bytes.iter_mut().enumerate() {
-                *sb = s_total;
-                shards[w] = (0..f as u64).collect();
-            }
-        } else {
-            for w in 0..n {
-                let mut used_in_class = vec![0u64; caps.len()];
-                let mut id = w;
-                'fill: while id < f {
-                    let sz = scenario.sizes[id];
-                    for (j, cap) in caps.iter().enumerate() {
-                        if used_in_class[j] + sz <= *cap {
-                            used_in_class[j] += sz;
-                            owner_of[id] = w as i32;
-                            class_of[id] = j as u8;
-                            shards[w].push(id as SampleId);
-                            shard_bytes[w] += sz;
-                            id += n;
-                            continue 'fill;
-                        }
-                    }
-                    break; // storage full
-                }
-            }
-        }
-        let max_shard = shard_bytes.iter().copied().max().unwrap_or(0);
-        let prestage = max_shard as f64 / staging_share(&scenario.system);
-        Self {
-            full_copy,
-            owner_of,
-            class_of,
-            shards,
-            epoch_lens,
-            prestage,
-            shard_bytes,
-            total_bytes: s_total,
-            seed: scenario.seed,
-        }
-    }
-}
-
-impl PolicyImpl for ParallelStaging {
-    fn prestage_seconds(&self) -> f64 {
-        self.prestage
-    }
-
-    fn transform_epoch(
-        &mut self,
-        epoch: u64,
-        seqs: Vec<Vec<SampleId>>,
-        _global: &EpochShuffle,
-    ) -> Vec<Vec<SampleId>> {
-        if self.full_copy {
-            // Whole dataset everywhere: the standard fully-randomized
-            // sequence is served entirely from local storage.
-            return seqs;
-        }
-        // Shard-restricted: each worker draws its epoch from its own
-        // shard (reshuffled per epoch; cycled if the shard is smaller
-        // than the epoch length).
-        (0..seqs.len())
-            .map(|w| {
-                let shard = &self.shards[w];
-                let want = self.epoch_lens[w] as usize;
-                if shard.is_empty() {
-                    // No local storage at all: fall back to the standard
-                    // sequence (every access will be a PFS read).
-                    return seqs[w].clone();
-                }
-                let mut rng =
-                    Xoshiro256pp::seed_from_u64(mix64(self.seed ^ 0x5A5A, epoch * 1024 + w as u64));
-                let mut out = Vec::with_capacity(want);
-                while out.len() < want {
-                    let mut perm = shard.clone();
-                    rng.shuffle(&mut perm);
-                    let take = (want - out.len()).min(perm.len());
-                    out.extend_from_slice(&perm[..take]);
-                }
-                out
-            })
-            .collect()
-    }
-
-    fn source(&mut self, w: usize, k: SampleId, _s: u64, _now: f64, _g: usize) -> Location {
-        if self.full_copy {
-            return Location::Local(self.class_of[k as usize]);
-        }
-        match self.owner_of[k as usize] {
-            o if o == w as i32 => Location::Local(self.class_of[k as usize]),
-            o if o >= 0 => Location::Remote(self.class_of[k as usize]),
-            _ => Location::Pfs,
-        }
-    }
-
-    fn coverage(&self) -> f64 {
-        if self.full_copy {
-            return 1.0;
-        }
-        // A worker only ever sees its own shard.
-        let max_shard = self.shard_bytes.iter().copied().max().unwrap_or(0);
-        max_shard as f64 / self.total_bytes as f64
-    }
-
-    fn note(&self) -> Option<String> {
-        if self.full_copy {
-            None
-        } else {
-            Some("Does not access entire dataset".to_string())
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// LBANN data store
-// ---------------------------------------------------------------------
-
-/// The LBANN data store: an in-memory, owner-served sample cache.
-/// Dynamic mode populates it first-touch during epoch 0 (epoch 0 reads
-/// the PFS); preloading mode pays an explicit prestaging phase instead.
-/// Either way the store requires the dataset to fit in aggregate worker
-/// memory — the dataset-scalability limitation of Table 1.
-struct Lbann {
-    preloading: bool,
-    /// Owner of each sample: its epoch-0 reader.
-    owner_of: Vec<u16>,
-    epoch: u64,
-    prestage: f64,
-}
-
-impl Lbann {
-    fn new(scenario: &Scenario, preloading: bool) -> Result<Self, SimError> {
-        let n = scenario.system.workers;
-        let ram = scenario.system.classes.first().map_or(0, |c| c.capacity);
-        let aggregate = ram.saturating_mul(n as u64);
-        let s_total = scenario.total_bytes();
-        if s_total > aggregate {
-            return Err(SimError::Unsupported(format!(
-                "LBANN data store requires the dataset ({}) to fit in aggregate worker memory ({})",
-                format_bytes(s_total as f64),
-                format_bytes(aggregate as f64),
-            )));
-        }
-        // Epoch-0 first-touch ownership is clairvoyantly computable.
-        let spec = scenario.shuffle_spec();
-        let shuffle = spec.epoch_shuffle(0);
-        let mut owner_of = vec![0u16; scenario.sizes.len()];
-        for (pos, &id) in shuffle.global_order().iter().enumerate() {
-            owner_of[id as usize] = (pos % n) as u16;
-        }
-        let prestage = if preloading {
-            (s_total as f64 / n as f64) / staging_share(&scenario.system)
-        } else {
-            0.0
-        };
-        Ok(Self {
-            preloading,
-            owner_of,
-            epoch: 0,
-            prestage,
-        })
-    }
-}
-
-impl PolicyImpl for Lbann {
-    fn prestage_seconds(&self) -> f64 {
-        self.prestage
-    }
-
-    fn on_epoch_start(&mut self, epoch: u64) {
-        self.epoch = epoch;
-    }
-
-    fn source(&mut self, w: usize, k: SampleId, _s: u64, _now: f64, _g: usize) -> Location {
-        if !self.preloading && self.epoch == 0 {
-            // Dynamic mode: epoch 0 populates the store from the PFS.
-            return Location::Pfs;
-        }
-        if self.owner_of[k as usize] as usize == w {
-            Location::Local(0)
-        } else {
-            Location::Remote(0)
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Locality-aware loading (Yang & Cong)
-// ---------------------------------------------------------------------
-
-/// Locality-aware loading: first-touch caching in epoch 0 (RAM, then
-/// further classes), then per-iteration batch reassignment so cached
-/// samples are consumed by the worker holding them. Preserves full
-/// coverage (uncached samples still come from the PFS) but changes which
-/// worker sees which sample — the "reorder batches" logic the paper
-/// simulates.
-struct LocalityAware {
-    owner_of: Vec<i32>,
-    class_of: Vec<u8>,
-    epoch: u64,
-    workers: usize,
-    batch: usize,
-}
-
-impl LocalityAware {
-    fn new(scenario: &Scenario) -> Self {
-        let n = scenario.system.workers;
-        let caps = scenario.system.class_capacities();
-        let spec = scenario.shuffle_spec();
-        let shuffle = spec.epoch_shuffle(0);
-        let f = scenario.sizes.len();
-        let mut owner_of = vec![-1i32; f];
-        let mut class_of = vec![UNASSIGNED; f];
-        let mut used = vec![vec![0u64; caps.len()]; n];
-        for (pos, &id) in shuffle.global_order().iter().enumerate() {
-            let w = pos % n;
-            let sz = scenario.sizes[id as usize];
-            for (j, cap) in caps.iter().enumerate() {
-                if used[w][j] + sz <= *cap {
-                    used[w][j] += sz;
-                    owner_of[id as usize] = w as i32;
-                    class_of[id as usize] = j as u8;
-                    break;
-                }
-            }
-        }
-        Self {
-            owner_of,
-            class_of,
-            epoch: 0,
-            workers: n,
-            batch: scenario.batch_size,
-        }
-    }
-}
-
-impl PolicyImpl for LocalityAware {
-    fn on_epoch_start(&mut self, epoch: u64) {
-        self.epoch = epoch;
-    }
-
-    fn transform_epoch(
-        &mut self,
-        epoch: u64,
-        seqs: Vec<Vec<SampleId>>,
-        global: &EpochShuffle,
-    ) -> Vec<Vec<SampleId>> {
-        if epoch == 0 {
-            return seqs;
-        }
-        // Reassign each global iteration window so cache owners consume
-        // their own samples where quota allows.
-        let n = self.workers;
-        let order = global.global_order();
-        let window = n * self.batch;
-        let mut out: Vec<Vec<SampleId>> = vec![Vec::new(); n];
-        for chunk in order.chunks(window) {
-            let mut quota = vec![0usize; n];
-            let base = chunk.len() / n;
-            let extra = chunk.len() % n;
-            for (w, q) in quota.iter_mut().enumerate() {
-                *q = base + usize::from(w < extra);
-            }
-            let mut leftovers: Vec<SampleId> = Vec::new();
-            for &id in chunk {
-                match self.owner_of[id as usize] {
-                    o if o >= 0 && quota[o as usize] > 0 => {
-                        quota[o as usize] -= 1;
-                        out[o as usize].push(id);
-                    }
-                    _ => leftovers.push(id),
-                }
-            }
-            let mut w = 0usize;
-            for id in leftovers {
-                while quota[w] == 0 {
-                    w = (w + 1) % n;
-                }
-                quota[w] -= 1;
-                out[w].push(id);
-            }
-        }
-        out
-    }
-
-    fn source(&mut self, w: usize, k: SampleId, _s: u64, _now: f64, _g: usize) -> Location {
-        if self.epoch == 0 {
-            return Location::Pfs;
-        }
-        match self.owner_of[k as usize] {
-            o if o == w as i32 => Location::Local(self.class_of[k as usize]),
-            o if o >= 0 => Location::Remote(self.class_of[k as usize]),
-            _ => Location::Pfs,
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// NoPFS
-// ---------------------------------------------------------------------
-
 /// NoPFS's clairvoyant policy (Sec. 5): frequency-ranked placement into
 /// the storage hierarchy, class prefetchers filling in first-access
 /// order concurrently with training, and per-access source selection by
-/// modelled fetch time over {local class, remote holder, PFS}.
+/// modelled fetch time over {local class, remote holder, PFS} — the
+/// final pick made by the shared [`select_source`], the same code path
+/// the threaded runtime's staging fetches go through.
 ///
 /// Prefetch progress is modelled by per-sample *ready times*: each class
 /// prefetcher drains its assignment list at the smaller of the class's
@@ -692,32 +258,23 @@ impl NoPfs {
 
 impl PolicyImpl for NoPfs {
     fn source(&mut self, w: usize, k: SampleId, size: u64, now: f64, gamma: usize) -> Location {
-        let mut candidates: Vec<Location> = Vec::with_capacity(3);
         let own = self.class_of[w][k as usize];
-        if own != UNASSIGNED && self.locally_ready(w, k, now) {
-            candidates.push(Location::Local(own));
-        }
+        let local = (own != UNASSIGNED && self.locally_ready(w, k, now)).then_some(own);
         // Fastest remote holder whose prefetcher (per the progress
         // estimate) already cached the sample. Remote self-heal state is
         // deliberately not consulted — the runtime heuristic can't see
         // it either.
-        let mut best_remote: Option<u8> = None;
+        let mut remote: Option<u8> = None;
         for (o, classes) in self.class_of.iter().enumerate() {
             if o == w {
                 continue;
             }
             let c = classes[k as usize];
             if c != UNASSIGNED && f64::from(self.ready[o][k as usize]) <= now {
-                best_remote = Some(best_remote.map_or(c, |b| b.min(c)));
+                remote = Some(remote.map_or(c, |b| b.min(c)));
             }
         }
-        if let Some(c) = best_remote {
-            candidates.push(Location::Remote(c));
-        }
-        candidates.push(Location::Pfs);
-        self.sys
-            .fastest_source(&candidates, size, gamma)
-            .expect("candidates never empty")
+        select_source(&self.sys, local, remote, size, gamma)
     }
 
     fn on_consumed(&mut self, w: usize, k: SampleId, now: f64) {
@@ -741,123 +298,6 @@ mod tests {
         sys.classes[0].capacity = 50 * sample_bytes;
         sys.classes[1].capacity = 100 * sample_bytes;
         Scenario::new("tiny", sys, vec![sample_bytes; total_samples], 2, 4, 11)
-    }
-
-    #[test]
-    fn deep_io_shards_are_round_robin_and_capped() {
-        let s = tiny_scenario(1000, 1_000_000);
-        let d = DeepIo::new(&s, true);
-        // RAM holds 50 samples per worker.
-        for shard in &d.shards {
-            assert_eq!(shard.len(), 50);
-        }
-        // Round-robin membership.
-        for (w, shard) in d.shards.iter().enumerate() {
-            assert!(shard.iter().all(|&id| id as usize % 4 == w));
-        }
-        assert_eq!(d.cached_samples, 200);
-        assert!(d.prestage > 0.0);
-    }
-
-    #[test]
-    fn deep_io_opportunistic_substitutes_uncached() {
-        let s = tiny_scenario(1000, 1_000_000);
-        let mut d = DeepIo::new(&s, false);
-        let spec = s.shuffle_spec();
-        let shuffle = spec.epoch_shuffle(0);
-        let seqs: Vec<Vec<SampleId>> = (0..4).map(|w| shuffle.worker_sequence(w)).collect();
-        let out = d.transform_epoch(0, seqs, &shuffle);
-        for seq in &out {
-            for &k in seq {
-                assert!(d.owner_of[k as usize] >= 0, "uncached sample {k} survived");
-            }
-        }
-        assert!(d.coverage() < 1.0);
-        assert!(d.note().is_some());
-    }
-
-    #[test]
-    fn parallel_staging_full_copy_when_fits() {
-        let s = tiny_scenario(100, 1_000_000); // S=100 MB < D=150 MB
-        let p = ParallelStaging::new(&s);
-        assert!(p.full_copy);
-        assert_eq!(p.coverage(), 1.0);
-        // RAM then SSD fill order: first 50 in class 0, rest class 1.
-        assert_eq!(p.class_of[0], 0);
-        assert_eq!(p.class_of[99], 1);
-    }
-
-    #[test]
-    fn parallel_staging_shards_when_too_big() {
-        let s = tiny_scenario(1000, 1_000_000); // S=1000 > D=150
-        let mut p = ParallelStaging::new(&s);
-        assert!(!p.full_copy);
-        assert!(p.coverage() < 1.0);
-        // Each worker's epoch sequence draws only from its shard.
-        let spec = s.shuffle_spec();
-        let shuffle = spec.epoch_shuffle(1);
-        let seqs: Vec<Vec<SampleId>> = (0..4).map(|w| shuffle.worker_sequence(w)).collect();
-        let lens: Vec<usize> = seqs.iter().map(Vec::len).collect();
-        let out = p.transform_epoch(1, seqs, &shuffle);
-        for (w, seq) in out.iter().enumerate() {
-            assert_eq!(seq.len(), lens[w], "epoch length preserved");
-            assert!(seq.iter().all(|&k| p.owner_of[k as usize] == w as i32));
-        }
-    }
-
-    #[test]
-    fn lbann_owner_partition_covers_dataset() {
-        let s = tiny_scenario(150, 1_000_000); // fits in 4*50 MB RAM
-        let l = Lbann::new(&s, false).unwrap();
-        // Every sample has an owner in range.
-        assert!(l.owner_of.iter().all(|&o| (o as usize) < 4));
-    }
-
-    #[test]
-    fn lbann_rejects_oversized_dataset() {
-        let s = tiny_scenario(1000, 1_000_000); // 1000 MB > 200 MB RAM
-        match Lbann::new(&s, true) {
-            Err(SimError::Unsupported(m)) => assert!(m.contains("aggregate")),
-            _ => panic!("expected unsupported"),
-        }
-    }
-
-    #[test]
-    fn locality_aware_reassigns_to_owners() {
-        let s = tiny_scenario(400, 1_000_000);
-        let mut la = LocalityAware::new(&s);
-        let spec = s.shuffle_spec();
-        let shuffle = spec.epoch_shuffle(1);
-        let seqs: Vec<Vec<SampleId>> = (0..4).map(|w| shuffle.worker_sequence(w)).collect();
-        let before_local: usize = seqs
-            .iter()
-            .enumerate()
-            .map(|(w, s_)| {
-                s_.iter()
-                    .filter(|&&k| la.owner_of[k as usize] == w as i32)
-                    .count()
-            })
-            .sum();
-        let out = la.transform_epoch(1, seqs, &shuffle);
-        let after_local: usize = out
-            .iter()
-            .enumerate()
-            .map(|(w, s_)| {
-                s_.iter()
-                    .filter(|&&k| la.owner_of[k as usize] == w as i32)
-                    .count()
-            })
-            .sum();
-        assert!(
-            after_local > before_local,
-            "reassignment should increase locality: {before_local} -> {after_local}"
-        );
-        // The transformed epoch is still a permutation of the original.
-        let mut all: Vec<SampleId> = out.into_iter().flatten().collect();
-        all.sort_unstable();
-        let mut expect: Vec<SampleId> = shuffle.global_order().to_vec();
-        expect.sort_unstable();
-        assert_eq!(all, expect);
     }
 
     #[test]
@@ -893,5 +333,50 @@ mod tests {
         // At time zero nothing is prefetched anywhere.
         let loc = np.source(0, 7, 1_000_000, 0.0, 4);
         assert_eq!(loc, Location::Pfs);
+    }
+
+    #[test]
+    fn core_adapter_prices_prestage_and_tracks_epochs() {
+        let s = tiny_scenario(1000, 1_000_000);
+        let mut p = build(Policy::DeepIoOrdered, &s).expect("supported");
+        assert!(p.prestage_seconds() > 0.0);
+        assert!(p.overlapped());
+        // DeepIO ordered: a worker's own shard is local, a peer's is
+        // remote, uncached samples hit the PFS.
+        let core = build_core(
+            Policy::DeepIoOrdered,
+            &s.system,
+            &s.sizes,
+            &s.shuffle_spec(),
+        )
+        .unwrap()
+        .unwrap();
+        for k in 0..1000u64 {
+            let loc = p.source(0, k, 1_000_000, 0.0, 1);
+            let expect = match core.source(0, k, 0) {
+                Source::Local(c) => Location::Local(c),
+                Source::Remote { class, .. } => Location::Remote(class),
+                Source::Pfs => Location::Pfs,
+            };
+            assert_eq!(loc, expect, "sample {k}");
+        }
+    }
+
+    #[test]
+    fn naive_core_is_synchronous() {
+        let s = tiny_scenario(32, 1_000);
+        let p = build(Policy::Naive, &s).expect("supported");
+        assert!(!p.overlapped());
+        let p = build(Policy::StagingBuffer, &s).expect("supported");
+        assert!(p.overlapped());
+    }
+
+    #[test]
+    fn unsupported_core_surfaces_as_sim_error() {
+        let s = tiny_scenario(1000, 1_000_000); // 1000 MB > 200 MB RAM
+        match build(Policy::LbannDynamic, &s) {
+            Err(SimError::Unsupported(m)) => assert!(m.contains("aggregate")),
+            _ => panic!("expected unsupported"),
+        }
     }
 }

@@ -1,202 +1,30 @@
-//! The simulated I/O policies and their Table 1 capability matrix.
+//! Policy identifiers — now thin re-exports of the workspace policy
+//! registry (`nopfs_policy`).
+//!
+//! The enum and the Table 1 capability matrix used to live here; they
+//! moved to [`nopfs_policy::PolicyId`] so the simulator, the threaded
+//! runtime, and the multi-tenant cluster all dispatch on one id. This
+//! module remains as a compatibility shim for existing simulator
+//! callers.
 
-/// The data-loading policies the simulator compares (paper Sec. 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Policy {
-    /// No stalls ever occur: the theoretical lower bound ("Perfect").
-    Perfect,
-    /// Synchronous PFS reads, no prefetching or caching.
-    Naive,
-    /// Staging-buffer prefetching from the PFS in access order — models
-    /// PyTorch's double-buffering `DataLoader` and `tf.data`.
-    StagingBuffer,
-    /// DeepIO's ordered mode: sharded in-memory cache, requested order
-    /// preserved, uncached samples fetched from the PFS.
-    DeepIoOrdered,
-    /// DeepIO's opportunistic mode: uncached accesses are replaced by
-    /// cached samples (changes the access order and dataset coverage).
-    DeepIoOpportunistic,
-    /// Data sharding with a prestaging phase; workers only access their
-    /// local shard afterwards.
-    ParallelStaging,
-    /// LBANN data store, dynamic mode: first-touch in-memory caching
-    /// during epoch 0, owner-served afterwards. Requires the dataset to
-    /// fit in aggregate worker memory.
-    LbannDynamic,
-    /// LBANN data store, preloading mode: the in-memory cache is filled
-    /// in a prestaging phase.
-    LbannPreloading,
-    /// Locality-aware loading (Yang & Cong): first-touch caching with
-    /// per-iteration batch reassignment toward cache owners.
-    LocalityAware,
-    /// NoPFS: clairvoyant prefetching with frequency-ranked hierarchical
-    /// placement and performance-model source selection.
-    NoPfs,
-}
+pub use nopfs_policy::{Capabilities, PolicyId};
 
-impl Policy {
-    /// All policies, in the paper's Fig. 8 presentation order
-    /// (lower bound last).
-    pub const ALL: [Policy; 10] = [
-        Policy::Naive,
-        Policy::StagingBuffer,
-        Policy::DeepIoOrdered,
-        Policy::DeepIoOpportunistic,
-        Policy::ParallelStaging,
-        Policy::LbannDynamic,
-        Policy::LbannPreloading,
-        Policy::LocalityAware,
-        Policy::NoPfs,
-        Policy::Perfect,
-    ];
-
-    /// The display name used in the paper's figures.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Policy::Perfect => "Lower Bound",
-            Policy::Naive => "Naive",
-            Policy::StagingBuffer => "Staging Buffer",
-            Policy::DeepIoOrdered => "DeepIO (Ord.)",
-            Policy::DeepIoOpportunistic => "DeepIO (Opp.)",
-            Policy::ParallelStaging => "Parallel Staging",
-            Policy::LbannDynamic => "LBANN (Dynamic)",
-            Policy::LbannPreloading => "LBANN (Preloading)",
-            Policy::LocalityAware => "Locality-Aware",
-            Policy::NoPfs => "NoPFS",
-        }
-    }
-
-    /// The Table 1 capability row for the framework family this policy
-    /// models (`Perfect` is a bound, not a framework, and reports the
-    /// ideal row).
-    pub fn capabilities(&self) -> Capabilities {
-        match self {
-            Policy::Naive | Policy::StagingBuffer => Capabilities {
-                system_scalability: false,
-                dataset_scalability: true,
-                full_randomization: !matches!(self, Policy::StagingBuffer),
-                hardware_independence: false,
-                ease_of_use: true,
-            },
-            Policy::DeepIoOrdered | Policy::DeepIoOpportunistic => Capabilities {
-                system_scalability: true,
-                dataset_scalability: false,
-                full_randomization: false,
-                hardware_independence: false,
-                ease_of_use: true,
-            },
-            Policy::ParallelStaging => Capabilities {
-                system_scalability: true,
-                dataset_scalability: false,
-                full_randomization: false,
-                hardware_independence: false,
-                ease_of_use: true,
-            },
-            Policy::LbannDynamic | Policy::LbannPreloading => Capabilities {
-                system_scalability: true,
-                dataset_scalability: false,
-                full_randomization: true,
-                hardware_independence: false,
-                ease_of_use: false,
-            },
-            Policy::LocalityAware => Capabilities {
-                system_scalability: true,
-                dataset_scalability: true,
-                full_randomization: true,
-                hardware_independence: false,
-                ease_of_use: false,
-            },
-            Policy::NoPfs | Policy::Perfect => Capabilities {
-                system_scalability: true,
-                dataset_scalability: true,
-                full_randomization: true,
-                hardware_independence: true,
-                ease_of_use: true,
-            },
-        }
-    }
-}
-
-impl std::fmt::Display for Policy {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-/// One row of the paper's Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Capabilities {
-    /// Additional nodes are used productively.
-    pub system_scalability: bool,
-    /// Datasets larger than aggregate node storage are supported.
-    pub dataset_scalability: bool,
-    /// Without-replacement randomization over the entire dataset.
-    pub full_randomization: bool,
-    /// Exploits but does not require special hardware.
-    pub hardware_independence: bool,
-    /// Minimal integration effort.
-    pub ease_of_use: bool,
-}
+/// Legacy name of [`PolicyId`]: the simulator predates the workspace
+/// policy registry. Prefer `nopfs_policy::PolicyId` in new code.
+pub type Policy = PolicyId;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn table1_nopfs_row_is_all_yes() {
-        let c = Policy::NoPfs.capabilities();
-        assert!(c.system_scalability);
-        assert!(c.dataset_scalability);
-        assert!(c.full_randomization);
+    fn alias_resolves_to_the_workspace_registry() {
+        // The old simulator names keep compiling and agree with the
+        // registry's data.
+        let p: Policy = Policy::NoPfs;
+        assert_eq!(p, nopfs_policy::PolicyId::NoPfs);
+        assert_eq!(Policy::ALL.len(), 10);
+        let c: Capabilities = Policy::Perfect.capabilities();
         assert!(c.hardware_independence);
-        assert!(c.ease_of_use);
-    }
-
-    #[test]
-    fn table1_double_buffering_row() {
-        // Paper Table 1: double-buffering is dataset-scalable and fully
-        // randomized but not system-scalable or hardware-independent.
-        let c = Policy::Naive.capabilities();
-        assert!(!c.system_scalability);
-        assert!(c.dataset_scalability);
-        assert!(c.full_randomization);
-        assert!(!c.hardware_independence);
-    }
-
-    #[test]
-    fn table1_tfdata_lacks_full_randomization() {
-        assert!(!Policy::StagingBuffer.capabilities().full_randomization);
-    }
-
-    #[test]
-    fn table1_sharding_not_dataset_scalable() {
-        assert!(!Policy::ParallelStaging.capabilities().dataset_scalability);
-        assert!(!Policy::DeepIoOrdered.capabilities().dataset_scalability);
-        assert!(!Policy::LbannDynamic.capabilities().dataset_scalability);
-    }
-
-    #[test]
-    fn only_nopfs_is_hardware_independent() {
-        for p in Policy::ALL {
-            let hw = p.capabilities().hardware_independence;
-            if matches!(p, Policy::NoPfs | Policy::Perfect) {
-                assert!(hw);
-            } else {
-                assert!(!hw, "{p} should not be hardware independent");
-            }
-        }
-    }
-
-    #[test]
-    fn names_match_paper_labels() {
-        assert_eq!(Policy::NoPfs.name(), "NoPFS");
-        assert_eq!(Policy::Perfect.name(), "Lower Bound");
-        assert_eq!(Policy::DeepIoOpportunistic.name(), "DeepIO (Opp.)");
-    }
-
-    #[test]
-    fn all_has_ten_unique_policies() {
-        let set: std::collections::HashSet<_> = Policy::ALL.iter().collect();
-        assert_eq!(set.len(), 10);
     }
 }

@@ -52,6 +52,38 @@ pub struct RunMetrics {
 }
 
 impl RunMetrics {
+    /// Per-epoch bulk-synchronous times across a worker set: the
+    /// slowest worker defines each epoch (truncated to the epochs every
+    /// worker completed). The one aggregation both the solo benches and
+    /// the multi-tenant cluster report from.
+    pub fn bulk_epoch_times(per_worker: &[RunMetrics]) -> Vec<f64> {
+        let epochs = per_worker
+            .iter()
+            .map(|m| m.epoch_times.len())
+            .min()
+            .unwrap_or(0);
+        (0..epochs)
+            .map(|e| {
+                per_worker
+                    .iter()
+                    .map(|m| m.epoch_times[e])
+                    .fold(0.0, f64::max)
+            })
+            .collect()
+    }
+
+    /// Loader statistics merged across a worker set.
+    ///
+    /// # Panics
+    /// Panics on an empty worker set.
+    pub fn merged_stats(per_worker: &[RunMetrics]) -> WorkerStats {
+        let mut merged = per_worker[0].stats.clone();
+        for m in &per_worker[1..] {
+            merged.merge(&m.stats);
+        }
+        merged
+    }
+
     /// Batch times of epoch `e`.
     pub fn epoch_batches(&self, e: usize) -> &[f64] {
         let start: usize = self.batches_per_epoch[..e].iter().sum();

@@ -70,10 +70,10 @@ fn main() {
 
     // The headline claim, checked so CI smoke runs catch regressions.
     let nopfs = cluster
-        .slowdown_of(nopfs_cluster::TenantPolicy::NoPfs)
+        .slowdown_of(nopfs_cluster::PolicyId::NoPfs)
         .expect("NoPFS tenant present");
     let naive = cluster
-        .slowdown_of(nopfs_cluster::TenantPolicy::Naive)
+        .slowdown_of(nopfs_cluster::PolicyId::Naive)
         .expect("naive tenant present");
     println!();
     println!(

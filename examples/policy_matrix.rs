@@ -1,0 +1,162 @@
+//! The policy × harness matrix, self-checked: every entry of
+//! `PolicyId::ALL` runs in the **simulator**, the **solo runtime**
+//! (through the registry's `build_loader` factory and the multi-worker
+//! `run_policy` dispatch), and a **two-tenant cluster** on one shared
+//! PFS — the acceptance gate of the policy-layer refactor, kept alive
+//! as a CI smoke.
+//!
+//! Run with: `cargo run --release --example policy_matrix`
+
+use bytes::Bytes;
+use nopfs_bench::report;
+use nopfs_cluster::{run_cluster, ClusterSpec, TenantSpec};
+use nopfs_core::JobConfig;
+use nopfs_datasets::DatasetProfile;
+use nopfs_perfmodel::presets::fig8_small_cluster;
+use nopfs_perfmodel::{SystemSpec, ThroughputCurve};
+use nopfs_pfs::Pfs;
+use nopfs_policy::PolicyId;
+use nopfs_simulator::Scenario;
+use nopfs_util::timing::TimeScale;
+use std::sync::Arc;
+
+const SAMPLES: u64 = 48;
+const SAMPLE_BYTES: u64 = 2_000;
+const EPOCHS: u64 = 2;
+const BATCH: usize = 4;
+const SEED: u64 = 0x9A7;
+
+/// A tiny system whose caches hold the whole dataset, so every policy
+/// is feasible and fully covered.
+fn system(workers: usize) -> SystemSpec {
+    let mut sys = fig8_small_cluster();
+    sys.workers = workers;
+    sys.staging.capacity = 32 * SAMPLE_BYTES;
+    sys.staging.threads = 2;
+    sys.classes[0].capacity = SAMPLES * SAMPLE_BYTES; // RAM fits everything
+    sys.classes[1].capacity = SAMPLES * SAMPLE_BYTES;
+    sys
+}
+
+fn materialized_pfs(sizes: &[u64]) -> Pfs {
+    let pfs = Pfs::in_memory(ThroughputCurve::flat(1e12), TimeScale::new(1e-6));
+    for (id, &s) in sizes.iter().enumerate() {
+        pfs.put(id as u64, Bytes::from(vec![(id % 256) as u8; s as usize]));
+    }
+    pfs
+}
+
+/// Simulator leg: execution time from the discrete-event engine.
+fn sim_leg(policy: PolicyId) -> f64 {
+    let scenario = Scenario::new(
+        "matrix",
+        system(2),
+        vec![SAMPLE_BYTES; SAMPLES as usize],
+        EPOCHS,
+        BATCH,
+        SEED,
+    );
+    let r = nopfs_simulator::run(&scenario, policy).expect("feasible scenario");
+    assert!(r.execution_time > 0.0, "{policy}: simulated time");
+    assert!(
+        (r.coverage - 1.0).abs() < 1e-9,
+        "{policy}: ample caches must cover the dataset"
+    );
+    r.execution_time
+}
+
+/// Solo-runtime leg via the object-safe factory: one rank, boxed.
+fn solo_leg(policy: PolicyId) -> u64 {
+    let config = JobConfig::new(SEED, EPOCHS, BATCH, system(1), TimeScale::new(1e-6));
+    let sizes = Arc::new(vec![SAMPLE_BYTES; SAMPLES as usize]);
+    let pfs = materialized_pfs(&sizes);
+    let mut loader =
+        nopfs_baselines::build_loader(policy, config, sizes, &pfs).expect("feasible config");
+    let mut n = 0u64;
+    while loader.next_sample().is_some() {
+        n += 1;
+    }
+    assert_eq!(n, SAMPLES * EPOCHS, "{policy}: solo runtime delivery");
+    n
+}
+
+/// Multi-worker runtime leg via the registry dispatch.
+fn runtime_leg(policy: PolicyId) -> u64 {
+    let config = JobConfig::new(SEED, EPOCHS, BATCH, system(2), TimeScale::new(1e-6));
+    let sizes = Arc::new(vec![SAMPLE_BYTES; SAMPLES as usize]);
+    let pfs = materialized_pfs(&sizes);
+    let outcome = nopfs_baselines::run_policy(policy, config, sizes, &pfs, |l| {
+        let mut n = 0u64;
+        while l.next_sample().is_some() {
+            n += 1;
+        }
+        n
+    })
+    .expect("feasible config");
+    let total: u64 = outcome.per_worker.iter().sum();
+    assert_eq!(total, SAMPLES * EPOCHS, "{policy}: runtime delivery");
+    total
+}
+
+/// Cluster leg: the policy co-scheduled with a naive tenant on one
+/// shared PFS.
+fn cluster_leg(policy: PolicyId) -> u64 {
+    let profile = |name: &str, seed| DatasetProfile::new(name, SAMPLES, 2_000.0, 0.0, 4, seed);
+    let spec = ClusterSpec::new(ThroughputCurve::flat(1e12), TimeScale::new(1e-6))
+        .tenant(TenantSpec::new(
+            "probe",
+            policy,
+            system(2),
+            profile("probe", 1),
+            EPOCHS,
+            BATCH,
+            SEED,
+        ))
+        .tenant(TenantSpec::new(
+            "naive",
+            PolicyId::Naive,
+            system(2),
+            profile("naive", 2),
+            EPOCHS,
+            BATCH,
+            SEED + 1,
+        ));
+    let report = run_cluster(&spec);
+    let consumed = report.tenants[0].stats.samples_consumed;
+    assert_eq!(consumed, SAMPLES * EPOCHS, "{policy}: cluster delivery");
+    assert_eq!(
+        report.tenants[1].stats.samples_consumed,
+        SAMPLES * EPOCHS,
+        "{policy}: co-tenant delivery"
+    );
+    consumed
+}
+
+fn main() {
+    report::banner(
+        "Policy matrix",
+        "every PolicyId in the simulator, the solo runtime, and a 2-tenant cluster",
+    );
+    report::config_line(&format!(
+        "F={SAMPLES} x {SAMPLE_BYTES} B, E={EPOCHS}, b={BATCH}; ample caches, fast PFS"
+    ));
+    println!(
+        "{:<20} {:>12} {:>12} {:>12} {:>12}",
+        "Policy", "sim (s)", "solo (got)", "runtime", "cluster"
+    );
+    for policy in PolicyId::ALL {
+        let sim = sim_leg(policy);
+        let solo = solo_leg(policy);
+        let runtime = runtime_leg(policy);
+        let clustered = cluster_leg(policy);
+        println!(
+            "{:<20} {sim:>12.4} {solo:>12} {runtime:>12} {clustered:>12}",
+            policy.name()
+        );
+    }
+    println!();
+    println!(
+        "all {} policies ran in all three harnesses and delivered F*E samples each.",
+        PolicyId::ALL.len()
+    );
+}

@@ -4,6 +4,9 @@
 //! This umbrella crate re-exports the whole workspace:
 //!
 //! - [`core`] — the NoPFS middleware itself (paper Sec. 5).
+//! - [`policy`] — the workspace policy layer: the [`policy::PolicyId`]
+//!   registry plus the shared decision core every harness (runtime,
+//!   simulator, cluster) executes.
 //! - [`cluster`] — multi-tenant co-scheduling: K jobs contending on one
 //!   shared PFS (the Sec. 1–2 / Fig. 2 interference scenario).
 //! - [`clairvoyance`] — seeded access streams, frequency analysis,
@@ -33,6 +36,7 @@ pub use nopfs_datasets as datasets;
 pub use nopfs_net as net;
 pub use nopfs_perfmodel as perfmodel;
 pub use nopfs_pfs as pfs;
+pub use nopfs_policy as policy;
 pub use nopfs_simulator as simulator;
 pub use nopfs_storage as storage;
 pub use nopfs_train as train;

@@ -1,0 +1,238 @@
+//! Cross-harness agreement: for every `PolicyId`, the threaded
+//! runtime's *observable behavior* must match the discrete-event
+//! simulator's, because both execute the same shared decision core
+//! (`nopfs_policy`).
+//!
+//! Checked per policy, on an ample-storage and a scarce-storage
+//! configuration:
+//!
+//! - **supportedness parity** — a configuration the simulator refuses
+//!   (LBANN with an over-sized dataset) is refused by the runtime too,
+//!   with the same reason;
+//! - **order/content agreement** — each rank's delivered sample
+//!   sequence equals the core-transformed access stream the simulator
+//!   replays (exact, element for element);
+//! - **prestage presence** — the runtime performs a prestaging phase
+//!   exactly when the simulator prices one;
+//! - **Table 1 spot checks** — fully-randomizing policies deliver every
+//!   sample exactly once per epoch; DeepIO's opportunistic mode loses
+//!   dataset coverage in both harnesses when caches shrink.
+
+use bytes::Bytes;
+use nopfs::baselines::run_policy;
+use nopfs::core::JobConfig;
+use nopfs::perfmodel::presets::fig8_small_cluster;
+use nopfs::perfmodel::{SystemSpec, ThroughputCurve};
+use nopfs::pfs::Pfs;
+use nopfs::policy::{build_core, transformed_streams, PolicyId};
+use nopfs::simulator::{Scenario, SimError};
+use nopfs::util::timing::TimeScale;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+const SAMPLE_BYTES: u64 = 1_000;
+const EPOCHS: u64 = 2;
+const BATCH: usize = 4;
+const WORKERS: usize = 4;
+const SEED: u64 = 0xA9;
+
+struct Config {
+    name: &'static str,
+    samples: u64,
+    ram_samples: u64,
+    ssd_samples: u64,
+}
+
+/// Ample: everything fits everywhere — all ten policies feasible with
+/// full coverage. Scarce: RAM holds 24 samples/worker (aggregate 96 <
+/// 200), so the LBANN store is infeasible and DeepIO's cache covers
+/// only part of the dataset.
+const CONFIGS: [Config; 2] = [
+    Config {
+        name: "ample",
+        samples: 64,
+        ram_samples: 64,
+        ssd_samples: 64,
+    },
+    Config {
+        name: "scarce",
+        samples: 200,
+        ram_samples: 24,
+        ssd_samples: 30,
+    },
+];
+
+fn system(cfg: &Config) -> SystemSpec {
+    let mut sys = fig8_small_cluster();
+    sys.workers = WORKERS;
+    sys.staging.capacity = 16 * SAMPLE_BYTES;
+    sys.staging.threads = 2;
+    sys.classes[0].capacity = cfg.ram_samples * SAMPLE_BYTES;
+    sys.classes[1].capacity = cfg.ssd_samples * SAMPLE_BYTES;
+    sys
+}
+
+/// Runs the runtime leg, returning each rank's delivered ids (in
+/// delivery order) and its stats, or the refusal message.
+#[allow(clippy::type_complexity)]
+fn runtime_leg(
+    policy: PolicyId,
+    cfg: &Config,
+) -> Result<Vec<(Vec<u64>, nopfs::core::WorkerStats)>, String> {
+    let config = JobConfig::new(SEED, EPOCHS, BATCH, system(cfg), TimeScale::new(1e-6));
+    let sizes = Arc::new(vec![SAMPLE_BYTES; cfg.samples as usize]);
+    let pfs = Pfs::in_memory(ThroughputCurve::flat(1e12), TimeScale::new(1e-6));
+    for id in 0..cfg.samples {
+        pfs.put(
+            id,
+            Bytes::from(vec![(id % 256) as u8; SAMPLE_BYTES as usize]),
+        );
+    }
+    let outcome = run_policy(policy, config, sizes, &pfs, |l| {
+        let mut got = Vec::new();
+        while let Some((id, _)) = l.next_sample() {
+            got.push(id);
+        }
+        (l.rank(), got, l.stats())
+    })
+    .map_err(|e| e.0)?;
+    let mut sorted = outcome.per_worker;
+    sorted.sort_by_key(|(rank, _, _)| *rank);
+    Ok(sorted
+        .into_iter()
+        .map(|(_, got, stats)| (got, stats))
+        .collect())
+}
+
+fn sim_leg(policy: PolicyId, cfg: &Config) -> Result<nopfs::simulator::SimResult, String> {
+    let scenario = Scenario::new(
+        cfg.name,
+        system(cfg),
+        vec![SAMPLE_BYTES; cfg.samples as usize],
+        EPOCHS,
+        BATCH,
+        SEED,
+    );
+    nopfs::simulator::run(&scenario, policy).map_err(|SimError::Unsupported(m)| m)
+}
+
+/// The streams both harnesses replay: the shared core's transformed
+/// access streams (identity for the core-less NoPFS / lower bound).
+fn expected_streams(policy: PolicyId, cfg: &Config) -> Vec<Vec<u64>> {
+    let sys = system(cfg);
+    let sizes = vec![SAMPLE_BYTES; cfg.samples as usize];
+    let spec =
+        nopfs::clairvoyance::sampler::ShuffleSpec::new(SEED, cfg.samples, WORKERS, BATCH, false);
+    let core = build_core(policy, &sys, &sizes, &spec).expect("feasibility checked by caller");
+    transformed_streams(core.as_deref(), &spec, EPOCHS)
+}
+
+#[test]
+fn every_policy_agrees_across_harnesses() {
+    for cfg in &CONFIGS {
+        for policy in PolicyId::ALL {
+            let sim = sim_leg(policy, cfg);
+            let runtime = runtime_leg(policy, cfg);
+            // Supportedness parity, with the same reason.
+            match (&sim, &runtime) {
+                (Ok(_), Ok(_)) => {}
+                (Err(s), Err(r)) => {
+                    assert_eq!(s, r, "{policy}/{}: refusal reasons diverged", cfg.name);
+                    continue;
+                }
+                (sim, runtime) => panic!(
+                    "{policy}/{}: harnesses disagree on feasibility \
+                     (sim supported: {}, runtime supported: {})",
+                    cfg.name,
+                    sim.is_ok(),
+                    runtime.is_ok()
+                ),
+            }
+            let sim = sim.unwrap();
+            let runtime = runtime.unwrap();
+
+            // Order/content agreement: the runtime delivered exactly the
+            // core-transformed streams the simulator replays.
+            let expected = expected_streams(policy, cfg);
+            assert_eq!(runtime.len(), WORKERS);
+            for (w, (got, _)) in runtime.iter().enumerate() {
+                assert_eq!(
+                    got, &expected[w],
+                    "{policy}/{}: worker {w} deviated from the shared core's stream",
+                    cfg.name
+                );
+            }
+
+            // Prestage presence parity.
+            let prestaged: u64 = runtime.iter().map(|(_, s)| s.prestage_fetches).sum();
+            assert_eq!(
+                prestaged > 0,
+                sim.prestage_time > 0.0,
+                "{policy}/{}: prestage presence diverged \
+                 (runtime {prestaged} fetches, sim {}s)",
+                cfg.name,
+                sim.prestage_time
+            );
+
+            // Table 1, full randomization: every sample exactly once per
+            // epoch, in both harnesses' shared streams.
+            if policy.capabilities().full_randomization {
+                for epoch in 0..EPOCHS {
+                    let mut per_epoch: Vec<u64> = Vec::new();
+                    for (w, (got, _)) in runtime.iter().enumerate() {
+                        let len = expected[w].len() / EPOCHS as usize;
+                        per_epoch.extend(&got[epoch as usize * len..(epoch as usize + 1) * len]);
+                    }
+                    per_epoch.sort_unstable();
+                    let all: Vec<u64> = (0..cfg.samples).collect();
+                    assert_eq!(
+                        per_epoch, all,
+                        "{policy}/{}: epoch {epoch} not exactly-once",
+                        cfg.name
+                    );
+                }
+            }
+
+            // Table 1, coverage: DeepIO's opportunistic mode shrinks
+            // dataset coverage exactly when the simulator reports it.
+            if policy == PolicyId::DeepIoOpportunistic {
+                let distinct: HashSet<u64> = runtime
+                    .iter()
+                    .flat_map(|(got, _)| got.iter().copied())
+                    .collect();
+                assert_eq!(
+                    (distinct.len() as u64) < cfg.samples,
+                    sim.coverage < 1.0,
+                    "{policy}/{}: coverage observation diverged",
+                    cfg.name
+                );
+                if sim.coverage < 1.0 {
+                    assert!(sim.note.is_some(), "coverage note expected");
+                }
+            }
+        }
+    }
+}
+
+/// The NoPFS selection rule is one function (`decision::select_source`)
+/// called by both the runtime's staging fetches and the simulator's
+/// NoPFS policy; with warm caches, both harnesses must therefore agree
+/// that steady-state fetches stop hitting the PFS.
+#[test]
+fn nopfs_source_selection_agrees_when_caches_warm() {
+    let cfg = &CONFIGS[0]; // ample: everything cacheable
+    let sim = sim_leg(PolicyId::NoPfs, cfg).expect("supported");
+    let runtime = runtime_leg(PolicyId::NoPfs, cfg).expect("supported");
+    // Simulator: cached fetches dominate (fetch_counts = [staging,
+    // local, remote, pfs]).
+    let total: u64 = sim.fetch_counts.iter().sum();
+    assert!(sim.fetch_counts[1] + sim.fetch_counts[2] > 0);
+    assert!((sim.fetch_counts[3] as f64) < 0.75 * total as f64);
+    // Runtime: same shape from the same selection rule.
+    let mut merged = runtime[0].1.clone();
+    for (_, s) in &runtime[1..] {
+        merged.merge(s);
+    }
+    assert!(merged.local_fetches + merged.remote_fetches > 0);
+    assert!((merged.pfs_fetches as f64) < 0.75 * merged.total_fetches() as f64);
+}

@@ -23,7 +23,12 @@ fn every_umbrella_reexport_resolves() {
     let sys = nopfs::perfmodel::presets::fig8_small_cluster();
     assert!(sys.workers > 0);
 
-    // simulator — policies over a tiny scenario.
+    // policy — the workspace registry and shared decision core.
+    assert_eq!(nopfs::policy::PolicyId::ALL.len(), 10);
+    assert!(nopfs::policy::PolicyId::NoPfs.capabilities().ease_of_use);
+
+    // simulator — policies over a tiny scenario (the old `Policy` name
+    // aliases the registry's id).
     let scenario =
         nopfs::simulator::Scenario::new("smoke", sys.clone(), vec![1_000u64; 32], 1, 2, 7);
     let result =
