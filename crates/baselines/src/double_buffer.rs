@@ -15,8 +15,8 @@ use bytes::Bytes;
 use nopfs_clairvoyance::engine::materialize_all_streams;
 use nopfs_core::stats::{StatsCollector, WorkerStats};
 use nopfs_core::{JobConfig, SampleId};
-use nopfs_pfs::{Pfs, PfsError};
-use nopfs_storage::ReorderStage;
+use nopfs_pfs::Pfs;
+use nopfs_storage::{ReorderStage, SourceError, TierStack};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -139,6 +139,9 @@ impl DoubleBufferLoader {
         let stats = StatsCollector::new();
         let stop = Arc::new(AtomicBool::new(false));
         let position = Arc::new(AtomicU64::new(0));
+        // A cache-less hierarchy: double buffering prefetches but never
+        // caches, so every read bottoms out in the PFS origin.
+        let tiers = TierStack::origin_only(Arc::new(pfs));
         let mut threads = Vec::new();
         for _ in 0..config.system.staging.threads.max(1) {
             let stream = Arc::clone(&stream);
@@ -146,7 +149,7 @@ impl DoubleBufferLoader {
             let stats = Arc::clone(&stats);
             let stop = Arc::clone(&stop);
             let position = Arc::clone(&position);
-            let pfs = pfs.clone();
+            let tiers = tiers.clone();
             let config = config.clone();
             threads.push(std::thread::spawn(move || loop {
                 if stop.load(Ordering::Relaxed) {
@@ -158,12 +161,12 @@ impl DoubleBufferLoader {
                 }
                 let k = stream[pos as usize];
                 let data = loop {
-                    match pfs.read(k) {
+                    match tiers.read(k) {
                         Ok(d) => break d,
-                        Err(PfsError::NotFound(_)) => {
+                        Err(SourceError::NotFound(_)) => {
                             panic!("sample {k} missing from the PFS")
                         }
-                        Err(PfsError::Io(_)) => stats.count_pfs_error(),
+                        Err(_) => stats.count_pfs_error(),
                     }
                 };
                 stats.count_pfs();

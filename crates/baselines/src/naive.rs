@@ -10,7 +10,8 @@ use bytes::Bytes;
 use nopfs_clairvoyance::engine::materialize_all_streams;
 use nopfs_core::stats::{StatsCollector, WorkerStats};
 use nopfs_core::{JobConfig, SampleId};
-use nopfs_pfs::{Pfs, PfsError};
+use nopfs_pfs::Pfs;
+use nopfs_storage::{SourceError, TierStack};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -38,7 +39,9 @@ impl NaiveRunner {
             .map(|rank| NaiveLoader {
                 rank,
                 config: self.config.clone(),
-                pfs: pfs.clone(),
+                // The flat loader is a degenerate hierarchy: no cache
+                // tiers, every read straight from the PFS origin.
+                tiers: TierStack::origin_only(Arc::new(pfs.clone())),
                 stream: Arc::clone(&streams[rank]),
                 stats: StatsCollector::new(),
                 consumed: 0,
@@ -71,7 +74,7 @@ impl NaiveRunner {
 pub(crate) struct NaiveLoader {
     rank: usize,
     config: JobConfig,
-    pfs: Pfs,
+    tiers: TierStack,
     stream: Arc<Vec<SampleId>>,
     stats: Arc<StatsCollector>,
     consumed: u64,
@@ -102,10 +105,10 @@ impl DataLoader for NaiveLoader {
         let k = self.stream[self.consumed as usize];
         let t0 = Instant::now();
         let data = loop {
-            match self.pfs.read(k) {
+            match self.tiers.read(k) {
                 Ok(d) => break d,
-                Err(PfsError::NotFound(_)) => panic!("sample {k} missing from the PFS"),
-                Err(PfsError::Io(_)) => self.stats.count_pfs_error(),
+                Err(SourceError::NotFound(_)) => panic!("sample {k} missing from the PFS"),
+                Err(_) => self.stats.count_pfs_error(),
             }
         };
         let wt = self.config.system.write_time(data.len() as u64);

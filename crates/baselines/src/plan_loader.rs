@@ -25,9 +25,9 @@ use nopfs_core::msg::{Msg, RemoteReply};
 use nopfs_core::stats::{StatsCollector, WorkerStats};
 use nopfs_core::{JobConfig, SampleId};
 use nopfs_net::{cluster, Endpoint, NetConfig};
-use nopfs_pfs::{Pfs, PfsError};
+use nopfs_pfs::Pfs;
 use nopfs_policy::{build_core, PolicyCore, PolicyId, Source, Unsupported};
-use nopfs_storage::{MemoryBackend, MetadataStore, ReorderStage, StorageBackend, ThrottledBackend};
+use nopfs_storage::{ReorderStage, SourceError, TierStack};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -117,8 +117,17 @@ impl PlanRunner {
             NetConfig::new(self.config.system.interconnect, self.config.scale),
         );
         // One fill board per rank, visible to every loader for the
-        // fill-progress checks.
-        let boards: Vec<Arc<FillBoard>> = (0..n).map(|_| Arc::new(FillBoard::new())).collect();
+        // fill-progress checks. Each board owns its rank's storage
+        // hierarchy (class tiers over the shared PFS origin).
+        let boards: Vec<Arc<FillBoard>> = (0..n)
+            .map(|_| {
+                Arc::new(FillBoard::new(nopfs_core::class_tier_stack(
+                    &self.config.system,
+                    self.config.scale,
+                    Arc::new(pfs.clone()),
+                )))
+            })
+            .collect();
         endpoints
             .into_iter()
             .enumerate()
@@ -130,7 +139,6 @@ impl PlanRunner {
                     Arc::clone(&self.core),
                     Arc::clone(&streams[rank]),
                     spec.worker_epoch_len(rank),
-                    pfs.clone(),
                     endpoint,
                     boards.clone(),
                 )
@@ -177,19 +185,19 @@ impl ReadyLatch {
 /// deadline is only the safety net for peers that stopped early.
 const FILL_GRACE: std::time::Duration = std::time::Duration::from_millis(500);
 
-/// One rank's fill progress, shared with every peer: what is cached
-/// (the metadata store the rank's server answers from) and which
+/// One rank's fill progress, shared with every peer: the rank's tier
+/// stack (whose catalog the rank's server answers from) and which
 /// planned fills permanently failed, so waiters fall back to the PFS
 /// immediately instead of burning the grace period.
 pub(crate) struct FillBoard {
-    metadata: Arc<MetadataStore>,
+    tiers: TierStack,
     failed: Mutex<std::collections::HashSet<SampleId>>,
 }
 
 impl FillBoard {
-    fn new() -> Self {
+    fn new(tiers: TierStack) -> Self {
         Self {
-            metadata: Arc::new(MetadataStore::new()),
+            tiers,
             failed: Mutex::new(std::collections::HashSet::new()),
         }
     }
@@ -206,11 +214,11 @@ impl FillBoard {
 struct PlanCtx {
     rank: usize,
     config: JobConfig,
-    pfs: Pfs,
     core: Arc<dyn PolicyCore>,
     endpoint: Arc<Endpoint<Msg>>,
-    backends: Vec<Arc<dyn StorageBackend>>,
-    metadata: Arc<MetadataStore>,
+    /// This rank's storage hierarchy (class tiers over the shared PFS
+    /// origin), shared with peers via its fill board.
+    tiers: TierStack,
     /// Every rank's fill board, for fill-progress checks (an
     /// in-process stand-in for the epoch synchronization real
     /// first-touch stores rely on; the data itself still moves through
@@ -231,7 +239,7 @@ impl PlanCtx {
         let board = &self.boards[owner];
         let deadline = Instant::now() + FILL_GRACE;
         loop {
-            if board.metadata.lookup(k).is_some() {
+            if board.tiers.locate(k).is_some() {
                 return true;
             }
             if board.has_failed(k)
@@ -246,10 +254,10 @@ impl PlanCtx {
 
     fn pfs_read(&self, k: SampleId) -> Bytes {
         loop {
-            match self.pfs.read(k) {
+            match self.tiers.read_origin(k) {
                 Ok(d) => return d,
-                Err(PfsError::NotFound(_)) => panic!("sample {k} missing from the PFS"),
-                Err(PfsError::Io(_)) => self.stats.count_pfs_error(),
+                Err(SourceError::NotFound(_)) => panic!("sample {k} missing from the PFS"),
+                Err(_) => self.stats.count_pfs_error(),
             }
         }
     }
@@ -261,11 +269,7 @@ impl PlanCtx {
         match self.core.source(self.rank, k, epoch) {
             Source::Local(_) => {
                 if self.wait_for_fill(self.rank, k) {
-                    if let Some(data) = self
-                        .metadata
-                        .lookup(k)
-                        .and_then(|c| self.backends[c as usize].get(k))
-                    {
+                    if let Some(data) = self.tiers.get_cached(k) {
                         self.stats.count_local();
                         return data;
                     }
@@ -306,15 +310,13 @@ impl PlanCtx {
         let data = self.pfs_read(k);
         self.stats.count_pfs();
         // First-touch caching where the core plans it (LBANN dynamic,
-        // locality-aware epoch 0). A failed insert (store full) is
-        // published so peers stop waiting for this fill.
+        // locality-aware epoch 0). A failed fill (tier full) is
+        // published so peers stop waiting for it.
         if let Some(c) = self.core.cache_class(self.rank, k, epoch) {
-            if self.metadata.lookup(k).is_none() {
-                if self.backends[c as usize].insert(k, data.clone()).is_ok() {
-                    self.metadata.mark_cached(k, c);
-                } else {
-                    self.boards[self.rank].mark_failed(k);
-                }
+            if self.tiers.locate(k).is_none()
+                && self.tiers.fill(c as usize, k, data.clone()).is_err()
+            {
+                self.boards[self.rank].mark_failed(k);
             }
         }
         data
@@ -341,34 +343,16 @@ impl PlanLoader {
         core: Arc<dyn PolicyCore>,
         stream: Arc<Vec<SampleId>>,
         epoch_len: u64,
-        pfs: Pfs,
         endpoint: Endpoint<Msg>,
         boards: Vec<Arc<FillBoard>>,
     ) -> Self {
-        let scale = config.scale;
-        let backends: Vec<Arc<dyn StorageBackend>> = config
-            .system
-            .classes
-            .iter()
-            .map(|class| {
-                let p = f64::from(class.prefetch_threads.max(1));
-                Arc::new(ThrottledBackend::new(
-                    MemoryBackend::new(class.name.clone(), class.capacity),
-                    class.read.at(p),
-                    class.write.at(p),
-                    scale,
-                )) as Arc<dyn StorageBackend>
-            })
-            .collect();
         let stage = ReorderStage::new(config.system.staging.capacity);
         let ctx = Arc::new(PlanCtx {
             rank,
             config: config.clone(),
-            pfs,
             core,
             endpoint: Arc::new(endpoint),
-            backends,
-            metadata: Arc::clone(&boards[rank].metadata),
+            tiers: boards[rank].tiers.clone(),
             boards,
             stats: StatsCollector::new(),
             stop: Arc::new(AtomicBool::new(false)),
@@ -389,10 +373,9 @@ impl PlanLoader {
                     if ctx.stop.load(Ordering::Relaxed) {
                         break; // peers still get the barrier below
                     }
-                    if ctx.metadata.lookup(k).is_none() {
+                    if ctx.tiers.locate(k).is_none() {
                         let data = ctx.pfs_read(k);
-                        if ctx.backends[c as usize].insert(k, data).is_ok() {
-                            ctx.metadata.mark_cached(k, c);
+                        if ctx.tiers.fill(c as usize, k, data).is_ok() {
                             ctx.stats.count_prestage();
                         } else {
                             ctx.boards[ctx.rank].mark_failed(k);
@@ -443,10 +426,7 @@ impl PlanLoader {
                 while let Ok(env) = ctx.endpoint.recv() {
                     match env.msg {
                         Msg::Request { sample, reply } => {
-                            let data = ctx
-                                .metadata
-                                .lookup(sample)
-                                .and_then(|c| ctx.backends[c as usize].get(sample));
+                            let data = ctx.tiers.get_cached(sample);
                             if let Some(d) = &data {
                                 // Pay the wire cost of the payload.
                                 ctx.endpoint.pace(d.len() as u64);

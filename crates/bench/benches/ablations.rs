@@ -20,7 +20,7 @@ use nopfs_bench::report;
 use nopfs_bench::runtime::{run_policy, Experiment, RuntimePolicy};
 use nopfs_bench::scenarios::SystemKind;
 use nopfs_perfmodel::presets::{fig8_small_cluster, saturating_pfs_curve};
-use nopfs_simulator::{run, Policy, Scenario};
+use nopfs_simulator::{run, PolicyId, Scenario};
 use nopfs_util::units::MB;
 
 fn contended(ram: u64, ssd: u64, epochs: u64) -> Scenario {
@@ -41,10 +41,10 @@ fn main() {
     report::section("1. Placement policy (same substrates, same budget)");
     let s = contended(60_000_000, 200_000_000, 4);
     for policy in [
-        Policy::NoPfs,
-        Policy::LbannDynamic,
-        Policy::ParallelStaging,
-        Policy::LocalityAware,
+        PolicyId::NoPfs,
+        PolicyId::LbannDynamic,
+        PolicyId::ParallelStaging,
+        PolicyId::LocalityAware,
     ] {
         match run(&s, policy) {
             Ok(r) => println!(
@@ -60,10 +60,10 @@ fn main() {
 
     report::section("2. Prefetching and caching vs prefetching alone");
     for policy in [
-        Policy::NoPfs,
-        Policy::StagingBuffer,
-        Policy::Naive,
-        Policy::Perfect,
+        PolicyId::NoPfs,
+        PolicyId::StagingBuffer,
+        PolicyId::Naive,
+        PolicyId::Perfect,
     ] {
         let r = run(&s, policy).expect("supported");
         println!(
@@ -72,7 +72,7 @@ fn main() {
             r.execution_time,
             report::ratio(
                 r.execution_time,
-                run(&s, Policy::Perfect).expect("lb").execution_time
+                run(&s, PolicyId::Perfect).expect("lb").execution_time
             )
         );
     }
@@ -80,10 +80,10 @@ fn main() {
     report::section("3. Fill-order dilution (short runs, growing RAM)");
     println!("RAM(MB)  2-epoch time   8-epoch time   (larger cache may hurt short runs)");
     for ram_mb in [20u64, 40, 80] {
-        let short = run(&contended(ram_mb * 1_000_000, 0, 2), Policy::NoPfs)
+        let short = run(&contended(ram_mb * 1_000_000, 0, 2), PolicyId::NoPfs)
             .expect("runs")
             .execution_time;
-        let long = run(&contended(ram_mb * 1_000_000, 0, 8), Policy::NoPfs)
+        let long = run(&contended(ram_mb * 1_000_000, 0, 8), PolicyId::NoPfs)
             .expect("runs")
             .execution_time;
         println!("{ram_mb:>7}  {short:>12.3}s {long:>13.3}s");

@@ -9,7 +9,7 @@
 
 use nopfs_bench::scenarios::fig8_scenarios;
 use nopfs_bench::{bench_scale, report};
-use nopfs_simulator::{run, Policy, SimError};
+use nopfs_simulator::{run, PolicyId, SimError};
 
 fn main() {
     let extra = bench_scale();
@@ -40,7 +40,7 @@ fn main() {
         let mut lb = None;
         let mut nopfs = None;
         let mut naive = None;
-        for policy in Policy::ALL {
+        for policy in PolicyId::ALL {
             match run(&scenario, policy) {
                 Ok(r) => {
                     let t = sc.to_paper_units(r.execution_time, factor);
@@ -56,9 +56,9 @@ fn main() {
                         p * 100.0,
                     );
                     match policy {
-                        Policy::Perfect => lb = Some(t),
-                        Policy::NoPfs => nopfs = Some(t),
-                        Policy::Naive => naive = Some(t),
+                        PolicyId::Perfect => lb = Some(t),
+                        PolicyId::NoPfs => nopfs = Some(t),
+                        PolicyId::Naive => naive = Some(t),
                         _ => {}
                     }
                 }

@@ -10,7 +10,7 @@
 use nopfs_bench::scenarios::fig9_base;
 use nopfs_bench::{bench_scale, report};
 use nopfs_simulator::environment::sweep;
-use nopfs_simulator::{run, Policy};
+use nopfs_simulator::{run, PolicyId};
 use nopfs_util::units::GB;
 
 fn main() {
@@ -26,14 +26,14 @@ fn main() {
         base.num_samples()
     ));
 
-    let lb = run(&base, Policy::Perfect).expect("lower bound runs");
+    let lb = run(&base, PolicyId::Perfect).expect("lower bound runs");
     let scale_cap = |gb: f64| ((gb * GB * factor) as u64).max(4_096);
 
     report::section("Staging-buffer-only sensitivity (paper: all 1.64 hrs)");
     for staging_gb in [1.0, 2.0, 4.0, 5.0] {
         let pts = sweep(
             &base,
-            Policy::NoPfs,
+            PolicyId::NoPfs,
             &[scale_cap(staging_gb)],
             &[scale_cap(0.001)], // effectively no RAM class
             &[0],
@@ -57,7 +57,7 @@ fn main() {
         print!("{:>10.0}", r);
         let pts = sweep(
             &base,
-            Policy::NoPfs,
+            PolicyId::NoPfs,
             &[scale_cap(5.0)],
             &[scale_cap(r)],
             &ssd_gb

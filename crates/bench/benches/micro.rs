@@ -14,7 +14,7 @@ use nopfs_clairvoyance::placement::{CacheAssignment, GlobalPlacement};
 use nopfs_clairvoyance::sampler::ShuffleSpec;
 use nopfs_clairvoyance::stream::AccessStream;
 use nopfs_perfmodel::presets::fig8_small_cluster;
-use nopfs_simulator::{run, Policy, Scenario};
+use nopfs_simulator::{run, PolicyId, Scenario};
 use nopfs_storage::StagingBuffer;
 use nopfs_util::rate::TokenBucket;
 use nopfs_util::rng::Xoshiro256pp;
@@ -167,7 +167,7 @@ fn bench_simulator(c: &mut Criterion) {
     c.bench_function("simulator_nopfs_2k_samples_3_epochs", |b| {
         let sys = fig8_small_cluster();
         let scenario = Scenario::new("micro", sys, vec![100_000u64; 2_000], 3, 8, 5);
-        b.iter(|| black_box(run(&scenario, Policy::NoPfs).expect("runs")));
+        b.iter(|| black_box(run(&scenario, PolicyId::NoPfs).expect("runs")));
     });
 }
 

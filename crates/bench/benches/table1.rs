@@ -5,7 +5,7 @@
 //! consistent with what the code actually does.
 
 use nopfs_bench::report;
-use nopfs_simulator::Policy;
+use nopfs_simulator::PolicyId;
 
 fn mark(b: bool) -> &'static str {
     if b {
@@ -25,13 +25,13 @@ fn main() {
         "Approach", "SysScal", "DataScal", "FullRand", "HwIndep", "EaseUse"
     );
     let rows = [
-        ("Double-buffering", Policy::Naive),
-        ("tf.data / staging", Policy::StagingBuffer),
-        ("Data sharding", Policy::ParallelStaging),
-        ("DeepIO", Policy::DeepIoOrdered),
-        ("LBANN data store", Policy::LbannDynamic),
-        ("Locality-aware", Policy::LocalityAware),
-        ("NoPFS (this paper)", Policy::NoPfs),
+        ("Double-buffering", PolicyId::Naive),
+        ("tf.data / staging", PolicyId::StagingBuffer),
+        ("Data sharding", PolicyId::ParallelStaging),
+        ("DeepIO", PolicyId::DeepIoOrdered),
+        ("LBANN data store", PolicyId::LbannDynamic),
+        ("Locality-aware", PolicyId::LocalityAware),
+        ("NoPFS (this paper)", PolicyId::NoPfs),
     ];
     for (label, policy) in rows {
         let c = policy.capabilities();

@@ -38,6 +38,4 @@ pub mod spec;
 pub use nopfs_policy::PolicyId;
 pub use report::{ClusterReport, TenantReport};
 pub use runtime::{interference_report, run_cluster, run_solo};
-#[allow(deprecated)]
-pub use spec::TenantPolicy;
 pub use spec::{ClusterSpec, TenantSpec};

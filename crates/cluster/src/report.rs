@@ -1,6 +1,7 @@
 //! Per-tenant and aggregate statistics of a co-scheduled run.
 
 use nopfs_core::stats::{SetupStats, WorkerStats};
+use nopfs_pfs::PfsStats;
 use nopfs_policy::PolicyId;
 use nopfs_util::stats::Summary;
 
@@ -62,8 +63,8 @@ impl TenantReport {
 pub struct ClusterReport {
     /// Per-tenant reports, in [`crate::ClusterSpec`] order.
     pub tenants: Vec<TenantReport>,
-    /// Shared-PFS totals: `(reads, bytes_read, writes, bytes_written)`.
-    pub pfs_totals: (u64, u64, u64, u64),
+    /// Traffic totals of the one shared PFS, across every tenant.
+    pub pfs_totals: PfsStats,
     /// Wall-clock time of the whole co-scheduled run, seconds.
     pub wall_time: f64,
 }
@@ -146,7 +147,7 @@ mod tests {
                 tenant("b", vec![1.0], Some(2.5)),
                 tenant("c", vec![1.0], None),
             ],
-            pfs_totals: (0, 0, 0, 0),
+            pfs_totals: PfsStats::default(),
             wall_time: 0.0,
         };
         assert_eq!(report.max_slowdown(), Some(2.5));

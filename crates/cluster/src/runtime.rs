@@ -233,7 +233,11 @@ mod tests {
         assert!(report.tenants[0].setup.is_some());
         assert!(report.tenants[1].setup.is_none());
         // The shared store holds all three datasets side by side.
-        assert_eq!(report.pfs_totals.2, 64 + 40 + 48, "writes = materialized");
+        assert_eq!(
+            report.pfs_totals.writes,
+            64 + 40 + 48,
+            "writes = materialized"
+        );
     }
 
     #[test]

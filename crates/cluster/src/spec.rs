@@ -5,12 +5,6 @@ use nopfs_perfmodel::{SystemSpec, ThroughputCurve};
 use nopfs_policy::PolicyId;
 use nopfs_util::timing::TimeScale;
 
-/// Legacy name for the workspace policy registry's [`PolicyId`]: the
-/// cluster used to keep its own five-variant enum; tenants now accept
-/// **any** of the registry's ten policies.
-#[deprecated(note = "use nopfs_policy::PolicyId")]
-pub type TenantPolicy = PolicyId;
-
 /// One co-scheduled training job.
 #[derive(Debug, Clone)]
 pub struct TenantSpec {

@@ -274,8 +274,7 @@ mod tests {
             (ids, w.stats())
         });
         let (ids, stats): (Vec<_>, Vec<_>) = out.into_iter().unzip();
-        let (pfs_reads, _, _, _) = pfs.stats();
-        (ids, stats, pfs_reads)
+        (ids, stats, pfs.stats().reads)
     }
 
     #[test]
@@ -469,9 +468,9 @@ mod tests {
             assert_eq!(b.join().unwrap(), 64);
         });
         // Both tenants' traffic flowed through the one shared store.
-        let (reads, _, writes, _) = shared.stats();
-        assert_eq!(writes, 80);
-        assert!(reads > 0);
+        let stats = shared.stats();
+        assert_eq!(stats.writes, 80);
+        assert!(stats.reads > 0);
     }
 
     #[test]

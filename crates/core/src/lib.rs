@@ -33,11 +33,13 @@ pub mod config;
 pub mod job;
 pub mod msg;
 pub mod stats;
+pub mod tiers;
 pub mod worker;
 
 pub use config::JobConfig;
 pub use job::Job;
 pub use stats::WorkerStats;
+pub use tiers::class_tier_stack;
 pub use worker::WorkerHandle;
 
 /// Sample identifier (dense index into the dataset).

@@ -1,0 +1,76 @@
+//! Building the worker-local storage hierarchy as a [`TierStack`].
+//!
+//! Every runtime loader — NoPFS's workers, the core-driven baseline
+//! loaders — materializes the same hierarchy from a [`SystemSpec`]: one
+//! rate-throttled in-memory tier per storage class (Table 2's
+//! `d_j`/`r_j(p)`/`w_j(p)` rows, fastest first) bottoming out in the
+//! injected PFS handle as the origin. Tier index therefore equals
+//! storage-class index everywhere, and the origin is always
+//! [`TierStack::origin_index`].
+//!
+//! Promotion is [`PromotePolicy::Never`]: the clairvoyant runtime plans
+//! every fill itself (frequency-ranked placement, first-touch cores),
+//! so the stack's read-path promotion machinery stays off and fills go
+//! through [`TierStack::fill`] as pinned residents.
+
+use nopfs_perfmodel::SystemSpec;
+use nopfs_storage::{build_stack, DataSource, PromotePolicy, TierSpec, TierStack};
+use nopfs_util::timing::TimeScale;
+use std::sync::Arc;
+
+/// Builds the per-worker hierarchy: one throttled tier per storage
+/// class of `sys` (fastest first) over `origin` (the injected PFS).
+/// Each class maps to a [`TierSpec`] rated at its configured thread
+/// count (`r_j(p_j)`/`w_j(p_j)`).
+pub fn class_tier_stack(
+    sys: &SystemSpec,
+    scale: TimeScale,
+    origin: Arc<dyn DataSource>,
+) -> TierStack {
+    let specs: Vec<TierSpec> = sys
+        .classes
+        .iter()
+        .map(|class| {
+            let p = f64::from(class.prefetch_threads.max(1));
+            TierSpec::new(
+                class.name.clone(),
+                class.capacity,
+                class.read.at(p),
+                class.write.at(p),
+            )
+        })
+        .collect();
+    build_stack(&specs, scale, origin, PromotePolicy::Never)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use nopfs_perfmodel::presets::fig8_small_cluster;
+    use nopfs_pfs::Pfs;
+
+    #[test]
+    fn stack_mirrors_the_class_hierarchy() {
+        let sys = fig8_small_cluster();
+        let pfs = Pfs::in_memory(sys.pfs_read.clone(), TimeScale::new(1e-6));
+        pfs.put(3, Bytes::from_static(b"sample"));
+        let stack = class_tier_stack(&sys, TimeScale::new(1e-6), Arc::new(pfs.clone()));
+        assert_eq!(stack.num_tiers(), sys.classes.len() + 1);
+        for (j, class) in sys.classes.iter().enumerate() {
+            assert_eq!(stack.tier_name(j), class.name);
+            assert_eq!(stack.source(j).capacity(), Some(class.capacity));
+        }
+        assert_eq!(stack.tier_name(stack.origin_index()), "pfs");
+        // Reads bottom out in the injected PFS...
+        assert_eq!(stack.read(3).unwrap(), Bytes::from_static(b"sample"));
+        assert_eq!(pfs.stats().reads, 1);
+        // ...and promotion stays off: fills are planned externally.
+        assert_eq!(stack.locate(3), None);
+        stack.fill(0, 3, Bytes::from_static(b"sample")).unwrap();
+        assert_eq!(stack.locate(3), Some(0));
+        let before = pfs.stats().reads;
+        stack.read(3).unwrap();
+        assert_eq!(pfs.stats().reads, before, "cached read skips the PFS");
+    }
+}

@@ -24,8 +24,8 @@ use nopfs_clairvoyance::placement::GlobalPlacement;
 use nopfs_clairvoyance::sampler::ShuffleSpec;
 use nopfs_net::Endpoint;
 use nopfs_perfmodel::Location;
-use nopfs_pfs::{Pfs, PfsError};
-use nopfs_storage::{MemoryBackend, MetadataStore, ReorderStage, StorageBackend, ThrottledBackend};
+use nopfs_pfs::Pfs;
+use nopfs_storage::{ReorderStage, SourceError, TierStack, TierStats};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -55,22 +55,23 @@ pub(crate) struct Shared {
     pub setup: SetupStats,
 }
 
-/// Reads `id` from the PFS with bounded retries on transient errors.
+/// Reads `id` from the hierarchy's origin (the PFS) with bounded
+/// retries on transient errors.
 ///
 /// # Panics
 /// Panics when the object is missing or still failing after the retry
 /// budget — either means the dataset itself is broken, which no loader
 /// policy can paper over.
-fn pfs_read_retry(pfs: &Pfs, id: SampleId, stats: &StatsCollector) -> Bytes {
+fn origin_read_retry(tiers: &TierStack, id: SampleId, stats: &StatsCollector) -> Bytes {
     const ATTEMPTS: u32 = 5;
     let mut last_err = None;
     for attempt in 0..ATTEMPTS {
-        match pfs.read(id) {
+        match tiers.read_origin(id) {
             Ok(data) => return data,
-            Err(PfsError::NotFound(_)) => {
+            Err(SourceError::NotFound(_)) => {
                 panic!("sample {id} missing from the PFS: dataset not materialized?")
             }
-            Err(e @ PfsError::Io(_)) => {
+            Err(e) => {
                 stats.count_pfs_error();
                 last_err = Some(e);
                 // Tiny backoff; transient faults in tests clear quickly.
@@ -84,10 +85,14 @@ fn pfs_read_retry(pfs: &Pfs, id: SampleId, stats: &StatsCollector) -> Bytes {
 struct WorkerCtx {
     rank: usize,
     shared: Arc<Shared>,
+    /// The injected PFS handle (also the hierarchy's origin); kept for
+    /// live contention observation (`reader_count`).
     pfs: Pfs,
     endpoint: Arc<Endpoint<Msg>>,
-    backends: Vec<Arc<dyn StorageBackend>>,
-    metadata: Arc<MetadataStore>,
+    /// The worker's storage hierarchy: one tier per storage class
+    /// (tier index = class index), the PFS as origin. Owns the local
+    /// cache catalog and per-tier statistics.
+    tiers: TierStack,
     stats: Arc<StatsCollector>,
     stop: Arc<AtomicBool>,
     /// Per-class prefetch progress (index into the class list).
@@ -104,7 +109,7 @@ impl WorkerCtx {
         let sys = &self.shared.config.system;
         let size = self.shared.sizes[k as usize];
 
-        let local_class = self.metadata.lookup(k);
+        let local_tier = self.tiers.locate(k);
         // Remote candidates pass the progress heuristic: our own class-c
         // prefetcher's position is the proxy for the holder's (paper
         // Sec. 5.2.2 — load-balanced prefetching advances in lockstep).
@@ -129,27 +134,31 @@ impl WorkerCtx {
 
         // Live PFS contention: the readers already in flight plus us.
         // The pick itself is the workspace-wide NoPFS selection rule —
-        // the same `select_source` the simulator's NoPFS policy calls.
+        // the ordered-tier-list argmin (`select_source_tiered`) that
+        // the simulator's NoPFS policy also funnels into, reached via
+        // the shared {local tier, remote tier, origin} wrapper.
         let gamma = self.pfs.reader_count() + 1;
         let choice = nopfs_policy::decision::select_source(
             sys,
-            local_class,
+            local_tier.map(|t| t as u8),
             best_remote.map(|(_, c)| c),
             size,
             gamma,
         );
 
         let data = match choice {
-            Location::Local(c) => match self.backends[c as usize].get(k) {
+            Location::Local(_) => match self.tiers.get_cached(k) {
                 Some(d) => {
                     self.stats.count_local();
                     d
                 }
                 // Catalog raced an eviction (not expected under NoPFS's
-                // no-eviction placement, but recoverable): go to the PFS.
+                // no-eviction placement, but recoverable): `get_cached`
+                // repaired the stale entry, so the self-healing fill
+                // below can re-cache; go to the PFS for the bytes.
                 None => {
                     self.stats.count_pfs();
-                    pfs_read_retry(&self.pfs, k, &self.stats)
+                    origin_read_retry(&self.tiers, k, &self.stats)
                 }
             },
             Location::Remote(_) => {
@@ -164,25 +173,23 @@ impl WorkerCtx {
                         // prefetched the sample yet. Not an error.
                         self.stats.count_false_positive();
                         self.stats.count_pfs();
-                        pfs_read_retry(&self.pfs, k, &self.stats)
+                        origin_read_retry(&self.tiers, k, &self.stats)
                     }
                 }
             }
             Location::Pfs => {
                 self.stats.count_pfs();
-                pfs_read_retry(&self.pfs, k, &self.stats)
+                origin_read_retry(&self.tiers, k, &self.stats)
             }
             Location::Staging => unreachable!("staging is never a fetch candidate"),
         };
 
         // Self-healing fill: if this sample is assigned to one of our
-        // classes but the class prefetcher has not cached it yet, the
-        // staging fetch doubles as the fill.
-        if local_class.is_none() {
+        // tiers but the class prefetcher has not cached it yet, the
+        // staging fetch doubles as the (pinned) fill.
+        if local_tier.is_none() {
             if let Some(c) = self.shared.placement.assignment(self.rank).class_of(k) {
-                if self.backends[c as usize].insert(k, data.clone()).is_ok() {
-                    self.metadata.mark_cached(k, c);
-                }
+                let _ = self.tiers.fill(c as usize, k, data.clone());
             }
         }
         data
@@ -253,21 +260,9 @@ impl WorkerHandle {
         // inject sample requests into a peer still collecting digests.
         endpoint.barrier();
 
-        let backends: Vec<Arc<dyn StorageBackend>> = sys
-            .classes
-            .iter()
-            .map(|class| {
-                let p = f64::from(class.prefetch_threads.max(1));
-                Arc::new(ThrottledBackend::new(
-                    MemoryBackend::new(class.name.clone(), class.capacity),
-                    class.read.at(p),
-                    class.write.at(p),
-                    scale,
-                )) as Arc<dyn StorageBackend>
-            })
-            .collect();
-
-        let metadata = Arc::new(MetadataStore::new());
+        // The worker's storage hierarchy: class tiers over the injected
+        // PFS origin, behind the one tiered fetch API.
+        let tiers = crate::tiers::class_tier_stack(sys, scale, Arc::new(pfs.clone()));
         let stats = StatsCollector::new();
         let stop = Arc::new(AtomicBool::new(false));
         let progress = Arc::new(
@@ -284,8 +279,7 @@ impl WorkerHandle {
             shared: Arc::clone(&shared),
             pfs,
             endpoint,
-            backends,
-            metadata,
+            tiers,
             stats,
             stop,
             progress,
@@ -294,9 +288,9 @@ impl WorkerHandle {
 
         let mut threads = Vec::new();
 
-        // Class prefetchers: one thread per storage class, draining the
+        // Class prefetchers: one thread per cache tier, draining the
         // assignment in first-access order.
-        for class in 0..ctx.backends.len() {
+        for class in 0..ctx.tiers.cache_tiers() {
             let ctx = Arc::clone(&ctx);
             threads.push(std::thread::spawn(move || {
                 let assignment = ctx.shared.placement.assignment(ctx.rank);
@@ -304,11 +298,9 @@ impl WorkerHandle {
                     if ctx.stop.load(Ordering::Relaxed) {
                         break;
                     }
-                    if !ctx.metadata.is_cached(k) {
-                        let data = pfs_read_retry(&ctx.pfs, k, &ctx.stats);
-                        if ctx.backends[class].insert(k, data).is_ok() {
-                            ctx.metadata.mark_cached(k, class as u8);
-                        }
+                    if ctx.tiers.locate(k).is_none() {
+                        let data = origin_read_retry(&ctx.tiers, k, &ctx.stats);
+                        let _ = ctx.tiers.fill(class, k, data);
                     }
                     ctx.progress[class].store(idx as u64 + 1, Ordering::Relaxed);
                 }
@@ -350,10 +342,7 @@ impl WorkerHandle {
                 while let Ok(env) = ctx.endpoint.recv() {
                     match env.msg {
                         Msg::Request { sample, reply } => {
-                            let data = ctx
-                                .metadata
-                                .lookup(sample)
-                                .and_then(|c| ctx.backends[c as usize].get(sample));
+                            let data = ctx.tiers.get_cached(sample);
                             if let Some(d) = &data {
                                 // Pay the wire cost of the payload.
                                 ctx.endpoint.pace(d.len() as u64);
@@ -457,6 +446,13 @@ impl WorkerHandle {
     /// Current I/O statistics snapshot.
     pub fn stats(&self) -> WorkerStats {
         self.ctx.stats.snapshot()
+    }
+
+    /// Per-tier hierarchy statistics, fastest tier first (the PFS
+    /// origin last): hit/miss/byte counters from this worker's
+    /// [`TierStack`].
+    pub fn tier_stats(&self) -> Vec<TierStats> {
+        self.ctx.tiers.all_stats()
     }
 
     /// Synchronizes all workers (bulk-synchronous step boundary).

@@ -110,6 +110,21 @@ impl ThroughputCurve {
         self.at(count) / count
     }
 
+    /// A copy of the curve with every throughput multiplied by
+    /// `factor` — how a slower (or faster) device of the same shape is
+    /// derived from a measured one when building deeper hierarchies.
+    ///
+    /// # Panics
+    /// Panics unless `factor` is positive and finite.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive, got {factor}"
+        );
+        let pts: Vec<(f64, f64)> = self.points.iter().map(|&(x, y)| (x, y * factor)).collect();
+        Self::from_points(&pts)
+    }
+
     /// The measured points, ascending in `x`.
     pub fn points(&self) -> &[(f64, f64)] {
         &self.points
@@ -124,6 +139,16 @@ impl ThroughputCurve {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scaled_multiplies_throughput_everywhere() {
+        let c = ThroughputCurve::from_points(&[(1.0, 100.0), (4.0, 300.0)]);
+        let s = c.scaled(0.25);
+        for count in [1.0, 2.0, 4.0, 8.0] {
+            assert!((s.at(count) - c.at(count) * 0.25).abs() < 1e-9);
+        }
+        assert_eq!(s.points().len(), 2);
+    }
 
     /// The paper's Lassen-derived PFS curve from Sec. 6.1.
     fn lassen_pfs() -> ThroughputCurve {

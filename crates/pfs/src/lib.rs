@@ -67,6 +67,35 @@ struct Stats {
     bytes_written: AtomicU64,
 }
 
+/// Cumulative PFS traffic statistics, snapshotted by [`Pfs::stats`].
+/// Shared across every namespace of one filesystem.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PfsStats {
+    /// Objects read.
+    pub reads: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Objects written.
+    pub writes: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+}
+
+impl From<PfsStats> for nopfs_storage::TierStats {
+    /// The PFS viewed as the origin tier of a hierarchy: every read is
+    /// a hit (the origin is authoritative), writes are fills.
+    fn from(s: PfsStats) -> Self {
+        nopfs_storage::TierStats {
+            name: "pfs".to_string(),
+            hits: s.reads,
+            bytes_read: s.bytes_read,
+            fills: s.writes,
+            bytes_filled: s.bytes_written,
+            ..Default::default()
+        }
+    }
+}
+
 /// The synthetic parallel filesystem. Cloneable handle (`Arc` inside);
 /// every clone shares the same regulator — that is the contention.
 ///
@@ -93,6 +122,8 @@ struct PfsInner {
     regulator: TokenBucket,
     readers: AtomicUsize,
     stats: Stats,
+    /// Bytes at rest across every namespace (occupancy, not traffic).
+    stored_bytes: AtomicU64,
     /// Injected faults: id → remaining failures to serve.
     faults: Mutex<HashMap<ObjectId, u32>>,
 }
@@ -132,6 +163,7 @@ impl Pfs {
                 regulator: TokenBucket::with_burst_window(initial, 0.01),
                 readers: AtomicUsize::new(0),
                 stats: Stats::default(),
+                stored_bytes: AtomicU64::new(0),
                 faults: Mutex::new(HashMap::new()),
             }),
             base: 0,
@@ -182,23 +214,57 @@ impl Pfs {
     /// runs start "with data at rest on a PFS").
     pub fn put(&self, id: ObjectId, data: Bytes) {
         let id = self.global_id(id);
+        let size = data.len() as u64;
         self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
         self.inner
             .stats
             .bytes_written
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
-        match &self.inner.store {
-            Store::Memory(map) => {
-                map.write().insert(id, data);
-            }
+            .fetch_add(size, Ordering::Relaxed);
+        let replaced = match &self.inner.store {
+            Store::Memory(map) => map
+                .write()
+                .insert(id, data)
+                .map_or(0, |old| old.len() as u64),
             Store::Disk { dir, sizes } => {
                 let path = Self::object_path(dir, id);
                 std::fs::create_dir_all(path.parent().expect("object path has a parent"))
                     .expect("failed to create PFS fan-out directory");
                 std::fs::write(&path, &data).expect("failed to write PFS object");
-                sizes.write().insert(id, data.len() as u64);
+                sizes.write().insert(id, size).unwrap_or(0)
             }
+        };
+        self.inner.stored_bytes.fetch_add(size, Ordering::Relaxed);
+        self.inner
+            .stored_bytes
+            .fetch_sub(replaced, Ordering::Relaxed);
+    }
+
+    /// Deletes an object, returning whether it existed. Not paced —
+    /// deletions are metadata operations on real parallel filesystems.
+    pub fn remove(&self, id: ObjectId) -> bool {
+        let id = self.global_id(id);
+        let removed = match &self.inner.store {
+            Store::Memory(map) => map.write().remove(&id).map(|b| b.len() as u64),
+            Store::Disk { dir, sizes } => {
+                let size = sizes.write().remove(&id);
+                if size.is_some() {
+                    std::fs::remove_file(Self::object_path(dir, id)).ok();
+                }
+                size
+            }
+        };
+        match removed {
+            Some(size) => {
+                self.inner.stored_bytes.fetch_sub(size, Ordering::Relaxed);
+                true
+            }
+            None => false,
         }
+    }
+
+    /// Bytes at rest across every namespace (occupancy, not traffic).
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.stored_bytes.load(Ordering::Relaxed)
     }
 
     /// Size of an object without reading it (metadata operation, free).
@@ -289,14 +355,60 @@ impl Pfs {
         self.inner.faults.lock().insert(self.global_id(id), times);
     }
 
-    /// `(reads, bytes_read, writes, bytes_written)` so far.
-    pub fn stats(&self) -> (u64, u64, u64, u64) {
-        (
-            self.inner.stats.reads.load(Ordering::Relaxed),
-            self.inner.stats.bytes_read.load(Ordering::Relaxed),
-            self.inner.stats.writes.load(Ordering::Relaxed),
-            self.inner.stats.bytes_written.load(Ordering::Relaxed),
-        )
+    /// Cumulative traffic statistics (shared across every namespace).
+    pub fn stats(&self) -> PfsStats {
+        PfsStats {
+            reads: self.inner.stats.reads.load(Ordering::Relaxed),
+            bytes_read: self.inner.stats.bytes_read.load(Ordering::Relaxed),
+            writes: self.inner.stats.writes.load(Ordering::Relaxed),
+            bytes_written: self.inner.stats.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The PFS as one tier of the storage hierarchy: the unbounded,
+/// authoritative origin every [`nopfs_storage::TierStack`] bottoms out
+/// in. Reads pace through the shared `t(γ)` regulator like any other
+/// PFS read, so tier traffic and direct traffic contend identically.
+impl nopfs_storage::DataSource for Pfs {
+    fn name(&self) -> &str {
+        "pfs"
+    }
+
+    fn read(&self, id: ObjectId) -> Result<Bytes, nopfs_storage::SourceError> {
+        Pfs::read(self, id).map_err(|e| match e {
+            PfsError::NotFound(id) => nopfs_storage::SourceError::NotFound(id),
+            PfsError::Io(msg) => nopfs_storage::SourceError::Io(msg),
+        })
+    }
+
+    fn write(&self, id: ObjectId, data: Bytes) -> Result<(), nopfs_storage::SourceError> {
+        self.put(id, data);
+        Ok(())
+    }
+
+    fn contains(&self, id: ObjectId) -> bool {
+        Pfs::contains(self, id)
+    }
+
+    fn capacity(&self) -> Option<u64> {
+        None
+    }
+
+    fn used(&self) -> u64 {
+        self.total_bytes()
+    }
+
+    fn evict(&self, id: ObjectId) -> bool {
+        self.remove(id)
+    }
+
+    fn count(&self) -> usize {
+        self.len()
+    }
+
+    fn size_of(&self, id: ObjectId) -> Option<u64> {
+        Pfs::size_of(self, id)
     }
 }
 
@@ -452,11 +564,79 @@ mod tests {
         pfs.put(2, Bytes::from(vec![0u8; 50]));
         pfs.read(1).unwrap();
         pfs.read(1).unwrap();
-        let (reads, bytes_read, writes, bytes_written) = pfs.stats();
-        assert_eq!(reads, 2);
-        assert_eq!(bytes_read, 200);
-        assert_eq!(writes, 2);
-        assert_eq!(bytes_written, 150);
+        let stats = pfs.stats();
+        assert_eq!(
+            stats,
+            PfsStats {
+                reads: 2,
+                bytes_read: 200,
+                writes: 2,
+                bytes_written: 150,
+            }
+        );
+        // The origin-tier view of the same statistics.
+        let tier: nopfs_storage::TierStats = stats.into();
+        assert_eq!(tier.name, "pfs");
+        assert_eq!((tier.hits, tier.bytes_read), (2, 200));
+        assert_eq!((tier.fills, tier.bytes_filled), (2, 150));
+    }
+
+    #[test]
+    fn occupancy_tracks_puts_and_removes() {
+        let pfs = Pfs::in_memory(fast_curve(), TimeScale::realtime());
+        pfs.put(1, Bytes::from(vec![0u8; 100]));
+        pfs.put(2, Bytes::from(vec![0u8; 50]));
+        assert_eq!(pfs.total_bytes(), 150);
+        pfs.put(1, Bytes::from(vec![0u8; 30])); // replace
+        assert_eq!(pfs.total_bytes(), 80);
+        assert!(pfs.remove(2));
+        assert!(!pfs.remove(2));
+        assert_eq!(pfs.total_bytes(), 30);
+        assert_eq!(pfs.len(), 1);
+    }
+
+    #[test]
+    fn pfs_is_a_data_source() {
+        use nopfs_storage::{DataSource, SourceError};
+        let pfs = Pfs::in_memory(fast_curve(), TimeScale::realtime());
+        let src: &dyn DataSource = &pfs;
+        assert_eq!(src.name(), "pfs");
+        assert_eq!(src.capacity(), None);
+        src.write(7, Bytes::from_static(b"origin")).unwrap();
+        assert_eq!(src.read(7).unwrap(), Bytes::from_static(b"origin"));
+        assert_eq!(src.read(8), Err(SourceError::NotFound(8)));
+        assert_eq!(src.size_of(7), Some(6));
+        assert_eq!(src.used(), 6);
+        assert_eq!(src.count(), 1);
+        pfs.inject_fault(7, 1);
+        assert!(matches!(src.read(7), Err(SourceError::Io(_))));
+        assert!(src.evict(7));
+        assert!(!src.contains(7));
+    }
+
+    #[test]
+    fn pfs_serves_as_tier_stack_origin() {
+        use nopfs_storage::{MemoryBackend, PromotePolicy, TierStack};
+        let pfs = Pfs::in_memory(fast_curve(), TimeScale::realtime());
+        for id in 0..8u64 {
+            pfs.put(id, Bytes::from(vec![id as u8; 16]));
+        }
+        let stack = TierStack::new(
+            vec![
+                Arc::new(MemoryBackend::new("ram", 64)),
+                Arc::new(pfs.clone()),
+            ],
+            PromotePolicy::IfFits,
+        );
+        for id in 0..8u64 {
+            // Byte-identical to a direct PFS read.
+            assert_eq!(stack.read(id).unwrap(), pfs.read(id).unwrap());
+        }
+        // 4 of 8 promoted into RAM (64 B / 16 B); re-reads hit the cache.
+        assert_eq!(stack.stats(0).promotions, 4);
+        let before = pfs.stats().reads;
+        stack.read(0).unwrap();
+        assert_eq!(pfs.stats().reads, before, "cached read skips the PFS");
     }
 
     #[test]

@@ -10,14 +10,49 @@
 
 use nopfs_perfmodel::{Location, SystemSpec};
 
-/// NoPFS source selection (paper Fig. 5): given the fastest local class
-/// holding the sample (if cached) and the fastest remote holder's class
-/// (if any peer is believed to hold it), pick the cheapest of
-/// {local, remote, PFS} by modelled fetch time at the observed PFS
-/// contention `gamma`.
+/// NoPFS source selection over an **ordered tier list** (paper Fig. 5,
+/// generalized): given every tier believed to hold the sample — local
+/// classes, remote holders' classes, the PFS origin — pick the cheapest
+/// by modelled fetch time at the observed PFS contention `gamma`.
 ///
-/// Ties favour the earlier candidate — local before remote before PFS
-/// — matching `SystemSpec::fastest_source`'s convention.
+/// Candidates must be ordered fastest-first (the hierarchy's tier
+/// order); ties favour the earlier candidate, so a tie between a local
+/// tier and the origin resolves toward the faster tier. The origin
+/// ([`Location::Pfs`]) always holds everything, so callers append it as
+/// the final candidate.
+///
+/// # Panics
+/// Panics on an empty candidate list (no origin = nothing to fall back
+/// to — a broken tier stack, not a policy decision).
+pub fn select_source_tiered(
+    sys: &SystemSpec,
+    candidates: &[Location],
+    size: u64,
+    gamma: usize,
+) -> Location {
+    sys.fastest_source(candidates, size, gamma)
+        .expect("tier candidate list must include the origin")
+}
+
+/// Per-candidate fetch-cost estimates (model seconds), in candidate
+/// order — the numbers [`select_source_tiered`] takes the argmin of,
+/// exposed for reporting and the simulator's cost model.
+pub fn tier_costs(
+    sys: &SystemSpec,
+    candidates: &[Location],
+    size: u64,
+    gamma: usize,
+) -> Vec<(Location, f64)> {
+    candidates
+        .iter()
+        .map(|&loc| (loc, sys.fetch_time(loc, size, gamma)))
+        .collect()
+}
+
+/// The two-candidate convenience wrapper over
+/// [`select_source_tiered`]: the fastest *local* tier holding the
+/// sample (if cached) and the fastest remote holder's tier (if any
+/// peer is believed to hold it), with the PFS origin appended.
 pub fn select_source(
     sys: &SystemSpec,
     local: Option<u8>,
@@ -33,8 +68,7 @@ pub fn select_source(
         candidates.push(Location::Remote(c));
     }
     candidates.push(Location::Pfs);
-    sys.fastest_source(&candidates, size, gamma)
-        .expect("candidate list always contains the PFS")
+    select_source_tiered(sys, &candidates, size, gamma)
 }
 
 /// Per-worker PFS share (bytes/s) during bulk staging phases: all `N`
@@ -103,6 +137,62 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn tiered_selection_equals_wrapped_selection() {
+        // The generalized entry point and the {local, remote, PFS}
+        // wrapper must agree wherever both apply.
+        let sys = fig8_small_cluster();
+        for local in [None, Some(0u8), Some(1u8)] {
+            for remote in [None, Some(0u8), Some(1u8)] {
+                for size in [1_000u64, 10_000_000] {
+                    for gamma in [1usize, 8] {
+                        let mut cands = Vec::new();
+                        if let Some(c) = local {
+                            cands.push(Location::Local(c));
+                        }
+                        if let Some(c) = remote {
+                            cands.push(Location::Remote(c));
+                        }
+                        cands.push(Location::Pfs);
+                        assert_eq!(
+                            select_source_tiered(&sys, &cands, size, gamma),
+                            select_source(&sys, local, remote, size, gamma),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tier_costs_match_the_argmin() {
+        let sys = fig8_small_cluster();
+        let cands = [
+            Location::Local(0),
+            Location::Local(1),
+            Location::Remote(0),
+            Location::Pfs,
+        ];
+        let costs = tier_costs(&sys, &cands, 5_000_000, 4);
+        assert_eq!(costs.len(), 4);
+        let best = costs
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, select_source_tiered(&sys, &cands, 5_000_000, 4));
+        // Costs are the model's fetch times, in candidate order.
+        for (loc, t) in costs {
+            assert!((t - sys.fetch_time(loc, 5_000_000, 4)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "origin")]
+    fn empty_candidate_list_is_rejected() {
+        select_source_tiered(&fig8_small_cluster(), &[], 1, 1);
     }
 
     #[test]

@@ -11,9 +11,11 @@
 //! - [`PolicyId`] — the one enum naming all ten policies (Table 1 /
 //!   Fig. 8), with their [`Capabilities`] rows and figure labels.
 //! - [`decision`] — harness-independent decision rules: NoPFS's
-//!   fastest-source selection ([`decision::select_source`], the single
-//!   code path behind both the runtime's staging fetches and the
-//!   simulator's NoPFS policy) and the bulk-staging PFS share.
+//!   fastest-source selection over an ordered tier list
+//!   ([`decision::select_source_tiered`] with per-tier cost estimates
+//!   from [`decision::tier_costs`] — the single code path behind both
+//!   the runtime's staging fetches and the simulator's NoPFS policy)
+//!   and the bulk-staging PFS share.
 //! - [`core`] — the [`core::PolicyCore`] trait plus one implementation
 //!   per baseline policy: sharding plans, first-touch ownership, epoch
 //!   transforms, prestage lists, and dataset coverage. The simulator
@@ -31,6 +33,7 @@ pub mod decision;
 pub mod id;
 
 pub use crate::core::{build_core, transformed_streams, PolicyCore, Source};
+pub use decision::{select_source, select_source_tiered, tier_costs};
 pub use id::{Capabilities, PolicyId};
 
 /// Why a policy cannot run a given configuration (e.g. the LBANN data

@@ -23,9 +23,9 @@
 
 use crate::engine::{loc_index, Acc};
 use crate::policies;
-use crate::policy::Policy;
 use crate::result::{Breakdown, SimError, SimResult};
 use crate::scenario::Scenario;
+use nopfs_policy::PolicyId;
 
 /// One co-scheduled job: a scenario, its loader policy, and when it
 /// starts relative to the cluster clock (model seconds).
@@ -38,14 +38,14 @@ pub struct SimTenant {
     /// engine does not cross-check them.
     pub scenario: Scenario,
     /// The data-loading policy this job runs.
-    pub policy: Policy,
+    pub policy: PolicyId,
     /// Start offset, model seconds (`0.0` = starts immediately).
     pub start: f64,
 }
 
 impl SimTenant {
     /// A tenant starting at t = 0.
-    pub fn new(scenario: Scenario, policy: Policy) -> Self {
+    pub fn new(scenario: Scenario, policy: PolicyId) -> Self {
         Self {
             scenario,
             policy,
@@ -292,7 +292,7 @@ mod tests {
     #[test]
     fn single_tenant_matches_solo_engine() {
         let s = tenant_scenario("solo", 7);
-        for policy in [Policy::Naive, Policy::NoPfs, Policy::StagingBuffer] {
+        for policy in [PolicyId::Naive, PolicyId::NoPfs, PolicyId::StagingBuffer] {
             let solo = run_solo(&s, policy).unwrap();
             let multi = run_cluster(&[SimTenant::new(s.clone(), policy)]).unwrap();
             let a = solo.execution_time;
@@ -307,9 +307,9 @@ mod tests {
     #[test]
     fn co_scheduled_naive_jobs_interfere() {
         let s = tenant_scenario("naive", 11);
-        let solo = run_solo(&s, Policy::Naive).unwrap().execution_time;
+        let solo = run_solo(&s, PolicyId::Naive).unwrap().execution_time;
         let tenants: Vec<SimTenant> = (0..3)
-            .map(|i| SimTenant::new(tenant_scenario("naive", 11 + i), Policy::Naive))
+            .map(|i| SimTenant::new(tenant_scenario("naive", 11 + i), PolicyId::Naive))
             .collect();
         let results = run_cluster(&tenants).unwrap();
         for r in &results {
@@ -323,15 +323,19 @@ mod tests {
 
     #[test]
     fn nopfs_is_shielded_relative_to_naive() {
-        let naive_solo = run_solo(&tenant_scenario("t", 21), Policy::Naive)
+        let naive_solo = run_solo(&tenant_scenario("t", 21), PolicyId::Naive)
             .unwrap()
             .execution_time;
-        let nopfs_solo = run_solo(&tenant_scenario("t", 21), Policy::NoPfs)
+        let nopfs_solo = run_solo(&tenant_scenario("t", 21), PolicyId::NoPfs)
             .unwrap()
             .execution_time;
         let tenants: Vec<SimTenant> = (0..3)
             .map(|i| {
-                let policy = if i == 0 { Policy::NoPfs } else { Policy::Naive };
+                let policy = if i == 0 {
+                    PolicyId::NoPfs
+                } else {
+                    PolicyId::Naive
+                };
                 SimTenant::new(tenant_scenario("t", 21 + i), policy)
             })
             .collect();
@@ -349,11 +353,11 @@ mod tests {
         // A tenant starting after the others have finished must see
         // (almost) no interference.
         let s = tenant_scenario("lone", 31);
-        let solo = run_solo(&s, Policy::Naive).unwrap().execution_time;
+        let solo = run_solo(&s, PolicyId::Naive).unwrap().execution_time;
         let far_future = solo * 100.0;
         let tenants = vec![
-            SimTenant::new(tenant_scenario("lone", 31), Policy::Naive),
-            SimTenant::new(tenant_scenario("late", 32), Policy::Naive).starting_at(far_future),
+            SimTenant::new(tenant_scenario("lone", 31), PolicyId::Naive),
+            SimTenant::new(tenant_scenario("late", 32), PolicyId::Naive).starting_at(far_future),
         ];
         let results = run_cluster(&tenants).unwrap();
         let late_slowdown = results[1].execution_time / solo;
@@ -368,13 +372,13 @@ mod tests {
         // 16 simulated tenants — far more than the thread runtime could
         // co-schedule — and interference grows monotonically enough to
         // rank K=16 above K=2.
-        let solo = run_solo(&tenant_scenario("k", 41), Policy::Naive)
+        let solo = run_solo(&tenant_scenario("k", 41), PolicyId::Naive)
             .unwrap()
             .execution_time;
         let mut slowdowns = Vec::new();
         for k in [2usize, 16] {
             let tenants: Vec<SimTenant> = (0..k)
-                .map(|i| SimTenant::new(tenant_scenario("k", 41 + i as u64), Policy::Naive))
+                .map(|i| SimTenant::new(tenant_scenario("k", 41 + i as u64), PolicyId::Naive))
                 .collect();
             let results = run_cluster(&tenants).unwrap();
             let worst = results

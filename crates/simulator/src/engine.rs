@@ -16,11 +16,11 @@
 //! This is the feedback loop behind the paper's scaling results.
 
 use crate::policies;
-use crate::policy::Policy;
 use crate::result::{Breakdown, SimError, SimResult};
 use crate::scenario::Scenario;
 use nopfs_perfmodel::equations::ConsumeAccumulator;
 use nopfs_perfmodel::Location;
+use nopfs_policy::PolicyId;
 
 /// Per-worker consumption state: either the pipelined `t_{i,f}`
 /// recurrence (policies with prefetch threads) or fully serialized
@@ -115,7 +115,7 @@ pub(crate) fn loc_index(loc: Location) -> usize {
 /// Returns [`SimError::Unsupported`] when the policy cannot run the
 /// scenario (e.g. the LBANN data store with a dataset larger than
 /// aggregate worker memory).
-pub fn run(scenario: &Scenario, policy: Policy) -> Result<SimResult, SimError> {
+pub fn run(scenario: &Scenario, policy: PolicyId) -> Result<SimResult, SimError> {
     let mut p = policies::build(policy, scenario)?;
     let sys = &scenario.system;
     let n = sys.workers;
@@ -244,7 +244,7 @@ mod tests {
 
     #[test]
     fn perfect_has_negligible_stall() {
-        let r = run(&contended_scenario(), Policy::Perfect).unwrap();
+        let r = run(&contended_scenario(), PolicyId::Perfect).unwrap();
         // Only pipeline-warmup stall is allowed (first few accesses).
         assert!(
             r.total_stall() < 0.05 * r.execution_time,
@@ -260,12 +260,12 @@ mod tests {
     #[test]
     fn naive_is_the_slowest() {
         let s = contended_scenario();
-        let naive = run(&s, Policy::Naive).unwrap();
+        let naive = run(&s, PolicyId::Naive).unwrap();
         for p in [
-            Policy::Perfect,
-            Policy::StagingBuffer,
-            Policy::NoPfs,
-            Policy::LocalityAware,
+            PolicyId::Perfect,
+            PolicyId::StagingBuffer,
+            PolicyId::NoPfs,
+            PolicyId::LocalityAware,
         ] {
             let r = run(&s, p).unwrap();
             assert!(
@@ -280,8 +280,8 @@ mod tests {
     #[test]
     fn nopfs_beats_staging_buffer_under_contention() {
         let s = contended_scenario();
-        let nopfs = run(&s, Policy::NoPfs).unwrap();
-        let sb = run(&s, Policy::StagingBuffer).unwrap();
+        let nopfs = run(&s, PolicyId::NoPfs).unwrap();
+        let sb = run(&s, PolicyId::StagingBuffer).unwrap();
         assert!(
             nopfs.execution_time < sb.execution_time,
             "NoPFS {} vs StagingBuffer {}",
@@ -293,8 +293,8 @@ mod tests {
     #[test]
     fn nopfs_is_close_to_lower_bound() {
         let s = contended_scenario();
-        let nopfs = run(&s, Policy::NoPfs).unwrap();
-        let lb = run(&s, Policy::Perfect).unwrap();
+        let nopfs = run(&s, PolicyId::NoPfs).unwrap();
+        let lb = run(&s, PolicyId::Perfect).unwrap();
         assert!(nopfs.execution_time >= lb.execution_time * 0.999);
         assert!(
             nopfs.execution_time < lb.execution_time * 1.35,
@@ -306,7 +306,7 @@ mod tests {
 
     #[test]
     fn staging_buffer_time_is_all_pfs_or_staging() {
-        let r = run(&contended_scenario(), Policy::StagingBuffer).unwrap();
+        let r = run(&contended_scenario(), PolicyId::StagingBuffer).unwrap();
         let (_, local, remote, _) = r.breakdown.fractions();
         assert_eq!(local, 0.0);
         assert_eq!(remote, 0.0);
@@ -320,7 +320,7 @@ mod tests {
         let expected: u64 = (0..4)
             .map(|w| s.shuffle_spec().worker_epoch_len(w) * s.epochs)
             .sum();
-        for p in [Policy::Naive, Policy::NoPfs, Policy::LbannDynamic] {
+        for p in [PolicyId::Naive, PolicyId::NoPfs, PolicyId::LbannDynamic] {
             let r = run(&s, p).unwrap();
             let total: u64 = r.fetch_counts.iter().sum();
             assert_eq!(total, expected, "{p}");
@@ -333,7 +333,7 @@ mod tests {
         // the all-PFS policies' count (every access) and leave a
         // substantial cached share.
         let s = contended_scenario();
-        let r = run(&s, Policy::NoPfs).unwrap();
+        let r = run(&s, PolicyId::NoPfs).unwrap();
         let total: u64 = r.fetch_counts.iter().sum();
         assert!(
             (r.fetch_counts[3] as f64) < 0.6 * total as f64,
@@ -348,7 +348,7 @@ mod tests {
         let mut s = contended_scenario();
         // Shrink RAM so aggregate memory (4 x 30 MB) < 200 MB dataset.
         s.system.classes[0].capacity = 30 * 1_000_000;
-        match run(&s, Policy::LbannDynamic) {
+        match run(&s, PolicyId::LbannDynamic) {
             Err(SimError::Unsupported(msg)) => {
                 assert!(msg.contains("memory"), "msg: {msg}")
             }
@@ -362,7 +362,7 @@ mod tests {
         // Worker storage D = 40 MB < S = 200 MB: shards can't hold all.
         s.system.classes[0].capacity = 20 * 1_000_000;
         s.system.classes[1].capacity = 20 * 1_000_000;
-        let r = run(&s, Policy::ParallelStaging).unwrap();
+        let r = run(&s, PolicyId::ParallelStaging).unwrap();
         assert!(r.coverage < 1.0);
         assert!(r.note.is_some());
         assert!(r.prestage_time > 0.0);
@@ -371,7 +371,7 @@ mod tests {
     #[test]
     fn parallel_staging_full_dataset_when_it_fits() {
         let s = contended_scenario(); // D = 260 MB > S = 200 MB
-        let r = run(&s, Policy::ParallelStaging).unwrap();
+        let r = run(&s, PolicyId::ParallelStaging).unwrap();
         assert_eq!(r.coverage, 1.0);
         assert!(r.note.is_none());
         // After staging, no PFS access at all.
@@ -380,7 +380,7 @@ mod tests {
 
     #[test]
     fn deep_io_opportunistic_never_reads_pfs_after_prestage() {
-        let r = run(&contended_scenario(), Policy::DeepIoOpportunistic).unwrap();
+        let r = run(&contended_scenario(), PolicyId::DeepIoOpportunistic).unwrap();
         assert_eq!(r.fetch_counts[3], 0);
     }
 
@@ -389,7 +389,7 @@ mod tests {
         let mut s = contended_scenario();
         // RAM (the only class DeepIO uses) holds 1/4 of the shard needs.
         s.system.classes[0].capacity = 10 * 1_000_000;
-        let r = run(&s, Policy::DeepIoOrdered).unwrap();
+        let r = run(&s, PolicyId::DeepIoOrdered).unwrap();
         assert!(r.fetch_counts[3] > 0, "ordered mode must hit the PFS");
         assert_eq!(r.coverage, 1.0, "ordered mode accesses everything");
     }
@@ -397,7 +397,7 @@ mod tests {
     #[test]
     fn lbann_dynamic_epoch0_is_all_pfs() {
         let s = contended_scenario();
-        let r = run(&s, Policy::LbannDynamic).unwrap();
+        let r = run(&s, PolicyId::LbannDynamic).unwrap();
         // Epoch 0 reads the whole dataset from the PFS; later epochs are
         // local/remote only.
         assert_eq!(r.fetch_counts[3], s.num_samples());
@@ -407,14 +407,14 @@ mod tests {
     #[test]
     fn preloading_pays_prestage_but_never_reads_pfs() {
         let s = contended_scenario();
-        let r = run(&s, Policy::LbannPreloading).unwrap();
+        let r = run(&s, PolicyId::LbannPreloading).unwrap();
         assert!(r.prestage_time > 0.0);
         assert_eq!(r.fetch_counts[3], 0);
     }
 
     #[test]
     fn per_worker_times_are_positive_and_close() {
-        let r = run(&contended_scenario(), Policy::NoPfs).unwrap();
+        let r = run(&contended_scenario(), PolicyId::NoPfs).unwrap();
         let min = r.per_worker_time.iter().copied().fold(f64::MAX, f64::min);
         assert!(min > 0.0);
         assert!(r.execution_time >= min);
@@ -425,9 +425,9 @@ mod tests {
     #[test]
     fn more_epochs_take_longer() {
         let mut s = contended_scenario();
-        let t3 = run(&s, Policy::NoPfs).unwrap().execution_time;
+        let t3 = run(&s, PolicyId::NoPfs).unwrap().execution_time;
         s.epochs = 6;
-        let t6 = run(&s, Policy::NoPfs).unwrap().execution_time;
+        let t6 = run(&s, PolicyId::NoPfs).unwrap().execution_time;
         assert!(t6 > t3 * 1.5, "t3={t3} t6={t6}");
     }
 }

@@ -9,9 +9,9 @@
 //! conclusions [`sweep`] reproduces on any scenario.
 
 use crate::engine::run;
-use crate::policy::Policy;
 use crate::result::SimError;
 use crate::scenario::Scenario;
+use nopfs_policy::PolicyId;
 
 /// One simulated hardware configuration and its predicted runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,7 +59,7 @@ fn with_storage(base: &Scenario, staging: u64, ram: u64, ssd: u64) -> Scenario {
 /// RAM, then SSD).
 pub fn sweep(
     base: &Scenario,
-    policy: Policy,
+    policy: PolicyId,
     staging_sizes: &[u64],
     ram_sizes: &[u64],
     ssd_sizes: &[u64],
@@ -108,7 +108,7 @@ mod tests {
     fn sweep_covers_cross_product() {
         let pts = sweep(
             &base(),
-            Policy::NoPfs,
+            PolicyId::NoPfs,
             &[4_000_000],
             &[10_000_000, 40_000_000],
             &[0, 50_000_000],
@@ -130,7 +130,7 @@ mod tests {
         b.epochs = 8;
         let pts = sweep(
             &b,
-            Policy::NoPfs,
+            PolicyId::NoPfs,
             &[4_000_000],
             &[5_000_000, 10_000_000, 20_000_000, 40_000_000],
             &[0],
@@ -158,7 +158,7 @@ mod tests {
         // small-RAM + no-SSD config.
         let pts = sweep(
             &base(),
-            Policy::NoPfs,
+            PolicyId::NoPfs,
             &[4_000_000],
             &[10_000_000],
             &[0, 150_000_000],

@@ -11,12 +11,12 @@
 //! iteration by iteration.
 //!
 //! Ten policies are implemented (Sec. 6's list):
-//! [`Policy::Perfect`] (no-stall lower bound), [`Policy::Naive`],
-//! [`Policy::StagingBuffer`] (PyTorch double-buffering / `tf.data`),
-//! [`Policy::DeepIoOrdered`] and [`Policy::DeepIoOpportunistic`],
-//! [`Policy::ParallelStaging`] (data sharding),
-//! [`Policy::LbannDynamic`] and [`Policy::LbannPreloading`],
-//! [`Policy::LocalityAware`] (Yang & Cong), and [`Policy::NoPfs`].
+//! [`PolicyId::Perfect`] (no-stall lower bound), [`PolicyId::Naive`],
+//! [`PolicyId::StagingBuffer`] (PyTorch double-buffering / `tf.data`),
+//! [`PolicyId::DeepIoOrdered`] and [`PolicyId::DeepIoOpportunistic`],
+//! [`PolicyId::ParallelStaging`] (data sharding),
+//! [`PolicyId::LbannDynamic`] and [`PolicyId::LbannPreloading`],
+//! [`PolicyId::LocalityAware`] (Yang & Cong), and [`PolicyId::NoPfs`].
 //!
 //! Beyond the policy comparison (Fig. 8), the simulator powers the
 //! environment/design-space evaluation of Fig. 9 via [`environment`],
@@ -27,12 +27,11 @@ pub mod cluster;
 pub mod engine;
 pub mod environment;
 pub mod policies;
-pub mod policy;
 pub mod result;
 pub mod scenario;
 
 pub use cluster::{run_cluster, SimTenant};
 pub use engine::run;
-pub use policy::{Capabilities, Policy};
+pub use nopfs_policy::{Capabilities, PolicyId};
 pub use result::{Breakdown, SimError, SimResult};
 pub use scenario::{Scenario, StorageRegime};

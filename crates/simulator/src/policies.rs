@@ -12,7 +12,6 @@
 //! [`nopfs_policy::decision::select_source`] code path, exactly like
 //! the runtime's staging fetches.
 
-use crate::policy::Policy;
 use crate::result::SimError;
 use crate::scenario::Scenario;
 use nopfs_clairvoyance::engine::{SetupOptions, SetupPass};
@@ -21,6 +20,7 @@ use nopfs_clairvoyance::sampler::EpochShuffle;
 use nopfs_clairvoyance::SampleId;
 use nopfs_perfmodel::{Location, SystemSpec};
 use nopfs_policy::decision::{select_source, staging_share};
+use nopfs_policy::PolicyId;
 use nopfs_policy::{build_core, PolicyCore, Source};
 use std::collections::HashSet;
 
@@ -76,10 +76,13 @@ pub(crate) trait PolicyImpl {
 
 /// Builds the implementation for `policy`, or reports why the scenario
 /// is unsupported.
-pub(crate) fn build(policy: Policy, scenario: &Scenario) -> Result<Box<dyn PolicyImpl>, SimError> {
+pub(crate) fn build(
+    policy: PolicyId,
+    scenario: &Scenario,
+) -> Result<Box<dyn PolicyImpl>, SimError> {
     Ok(match policy {
-        Policy::Perfect => Box::new(Perfect),
-        Policy::NoPfs => Box::new(NoPfs::new(scenario)),
+        PolicyId::Perfect => Box::new(Perfect),
+        PolicyId::NoPfs => Box::new(NoPfs::new(scenario)),
         _ => {
             let core = build_core(
                 policy,
@@ -274,6 +277,9 @@ impl PolicyImpl for NoPfs {
                 remote = Some(remote.map_or(c, |b| b.min(c)));
             }
         }
+        // The same shared code path the runtime's staging fetches go
+        // through: the {local, remote, origin} wrapper over the
+        // ordered-tier-list argmin (`select_source_tiered`).
         select_source(&self.sys, local, remote, size, gamma)
     }
 
@@ -338,13 +344,13 @@ mod tests {
     #[test]
     fn core_adapter_prices_prestage_and_tracks_epochs() {
         let s = tiny_scenario(1000, 1_000_000);
-        let mut p = build(Policy::DeepIoOrdered, &s).expect("supported");
+        let mut p = build(PolicyId::DeepIoOrdered, &s).expect("supported");
         assert!(p.prestage_seconds() > 0.0);
         assert!(p.overlapped());
         // DeepIO ordered: a worker's own shard is local, a peer's is
         // remote, uncached samples hit the PFS.
         let core = build_core(
-            Policy::DeepIoOrdered,
+            PolicyId::DeepIoOrdered,
             &s.system,
             &s.sizes,
             &s.shuffle_spec(),
@@ -365,16 +371,16 @@ mod tests {
     #[test]
     fn naive_core_is_synchronous() {
         let s = tiny_scenario(32, 1_000);
-        let p = build(Policy::Naive, &s).expect("supported");
+        let p = build(PolicyId::Naive, &s).expect("supported");
         assert!(!p.overlapped());
-        let p = build(Policy::StagingBuffer, &s).expect("supported");
+        let p = build(PolicyId::StagingBuffer, &s).expect("supported");
         assert!(p.overlapped());
     }
 
     #[test]
     fn unsupported_core_surfaces_as_sim_error() {
         let s = tiny_scenario(1000, 1_000_000); // 1000 MB > 200 MB RAM
-        match build(Policy::LbannDynamic, &s) {
+        match build(PolicyId::LbannDynamic, &s) {
             Err(SimError::Unsupported(m)) => assert!(m.contains("aggregate")),
             _ => panic!("expected unsupported"),
         }

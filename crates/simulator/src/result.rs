@@ -1,8 +1,8 @@
 //! Simulation outputs: execution time, stall time, and the per-location
 //! time breakdown behind Fig. 8's stacked bars.
 
-use crate::policy::Policy;
 use nopfs_perfmodel::Location;
+use nopfs_policy::PolicyId;
 
 /// How execution time divides among data sources.
 ///
@@ -71,7 +71,7 @@ impl Breakdown {
 #[derive(Debug, Clone)]
 pub struct SimResult {
     /// Which policy ran.
-    pub policy: Policy,
+    pub policy: PolicyId,
     /// End-to-end execution time (slowest worker, including prestaging).
     pub execution_time: f64,
     /// Per-worker completion times (including prestaging).

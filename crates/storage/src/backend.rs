@@ -75,6 +75,9 @@ pub trait StorageBackend: Send + Sync {
 
     /// Number of stored samples.
     fn count(&self) -> usize;
+
+    /// Size in bytes of a stored sample (metadata only; free).
+    fn size_of(&self, id: SampleId) -> Option<u64>;
 }
 
 /// An in-memory backend (models RAM classes).
@@ -147,6 +150,10 @@ impl StorageBackend for MemoryBackend {
 
     fn count(&self) -> usize {
         self.map.read().len()
+    }
+
+    fn size_of(&self, id: SampleId) -> Option<u64> {
+        self.map.read().get(&id).map(|b| b.len() as u64)
     }
 }
 
@@ -241,6 +248,10 @@ impl StorageBackend for FsBackend {
     fn count(&self) -> usize {
         self.index.read().len()
     }
+
+    fn size_of(&self, id: SampleId) -> Option<u64> {
+        self.index.read().get(&id).copied()
+    }
 }
 
 /// Wraps a backend with aggregate read/write token buckets so its
@@ -309,6 +320,10 @@ impl<B: StorageBackend> StorageBackend for ThrottledBackend<B> {
     fn count(&self) -> usize {
         self.inner.count()
     }
+
+    fn size_of(&self, id: SampleId) -> Option<u64> {
+        self.inner.size_of(id)
+    }
 }
 
 #[cfg(test)]
@@ -339,6 +354,8 @@ mod tests {
             }
             other => panic!("expected Full, got {other:?}"),
         }
+        assert_eq!(b.size_of(1), Some(40));
+        assert_eq!(b.size_of(3), None);
         // Replacing an existing sample reuses its space.
         b.insert(1, Bytes::from(vec![9u8; 50])).unwrap();
         assert_eq!(b.used(), 90);

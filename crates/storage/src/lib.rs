@@ -14,16 +14,24 @@
 //!   make a RAM-backed store behave like the `r_j(p)`/`w_j(p)` curves
 //!   of whatever device it models.
 //! - [`metadata::MetadataStore`] — the thread-safe local cache catalog.
+//! - [`tier`] — the tiered data-source hierarchy: the [`tier::DataSource`]
+//!   trait unifying every storage level (these backends, the synthetic
+//!   PFS, anything colder) and [`tier::TierStack`], the single fetch
+//!   entry point with per-tier statistics and promotion-on-miss.
 
 pub mod backend;
 pub mod metadata;
 pub mod reorder;
 pub mod staging;
+pub mod tier;
 
 pub use backend::{FsBackend, MemoryBackend, StorageBackend, ThrottledBackend};
 pub use metadata::MetadataStore;
 pub use reorder::ReorderStage;
-pub use staging::StagingBuffer;
+pub use staging::{StagingBuffer, StagingStats};
+pub use tier::{
+    build_stack, DataSource, PromotePolicy, SourceError, TierSpec, TierStack, TierStats,
+};
 
 /// Sample identifier (dense index into the dataset).
 pub type SampleId = u64;

@@ -44,6 +44,20 @@ impl MetadataStore {
         self.map.write().remove(&id)
     }
 
+    /// Removes `id` only if it is currently cataloged in `class`
+    /// (atomic compare-and-remove, for callers repairing a stale entry
+    /// that may have been re-cataloged concurrently). Returns whether
+    /// the entry was removed.
+    pub fn remove_if(&self, id: SampleId, class: u8) -> bool {
+        let mut map = self.map.write();
+        if map.get(&id) == Some(&class) {
+            map.remove(&id);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Number of cached samples.
     pub fn cached_count(&self) -> usize {
         self.map.read().len()
@@ -73,6 +87,12 @@ mod tests {
         assert_eq!(m.remove(1), Some(0));
         assert_eq!(m.remove(1), None);
         assert_eq!(m.cached_count(), 1);
+        // Guarded removal only fires on a matching class.
+        assert!(!m.remove_if(2, 0));
+        assert_eq!(m.lookup(2), Some(1));
+        assert!(m.remove_if(2, 1));
+        assert!(!m.remove_if(2, 1));
+        assert_eq!(m.cached_count(), 0);
     }
 
     #[test]

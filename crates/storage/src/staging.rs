@@ -175,10 +175,39 @@ impl StagingBuffer {
         self.inner.state.lock().closed
     }
 
-    /// `(total_pushed, total_popped, max_used_bytes)`.
-    pub fn stats(&self) -> (u64, u64, u64) {
+    /// Cumulative producer/consumer statistics.
+    pub fn stats(&self) -> StagingStats {
         let st = self.inner.state.lock();
-        (st.total_pushed, st.total_popped, st.max_used)
+        StagingStats {
+            pushed: st.total_pushed,
+            popped: st.total_popped,
+            max_used_bytes: st.max_used,
+        }
+    }
+}
+
+/// Cumulative [`StagingBuffer`] statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StagingStats {
+    /// Samples ever pushed.
+    pub pushed: u64,
+    /// Samples ever popped.
+    pub popped: u64,
+    /// High-water mark of buffered bytes.
+    pub max_used_bytes: u64,
+}
+
+impl From<StagingStats> for crate::tier::TierStats {
+    /// The staging buffer viewed as the topmost tier: pops are hits
+    /// (consumers never miss — they block), pushes are fills.
+    fn from(s: StagingStats) -> Self {
+        crate::tier::TierStats {
+            name: "staging".to_string(),
+            hits: s.popped,
+            fills: s.pushed,
+            used: s.max_used_bytes,
+            ..Default::default()
+        }
     }
 }
 
@@ -209,8 +238,18 @@ mod tests {
         assert_eq!(buf.used(), 100);
         buf.pop().unwrap();
         assert_eq!(buf.used(), 40);
-        let (pushed, popped, max) = buf.stats();
-        assert_eq!((pushed, popped, max), (2, 1, 100));
+        let stats = buf.stats();
+        assert_eq!(
+            stats,
+            StagingStats {
+                pushed: 2,
+                popped: 1,
+                max_used_bytes: 100
+            }
+        );
+        // The staging view of the tiered statistics: pops are hits.
+        let tier: crate::tier::TierStats = stats.into();
+        assert_eq!((tier.hits, tier.fills, tier.used), (1, 2, 100));
     }
 
     #[test]

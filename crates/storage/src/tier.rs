@@ -1,0 +1,1017 @@
+//! The tiered data-source hierarchy: one read/write interface from
+//! worker RAM down to the shared parallel filesystem.
+//!
+//! The paper's placement reasons about a *multi-level* storage
+//! hierarchy — staging buffer, RAM, node-local SSD, the PFS — yet the
+//! original fetch path only knew two concrete types. [`DataSource`] is
+//! the unifying interface: every level of the hierarchy (the
+//! [`crate::backend`] implementations here, the synthetic PFS in
+//! `nopfs_pfs`, or any future cold object store) exposes the same
+//! capacity-aware read/write/evict surface, and [`TierStack`] composes
+//! an ordered list of them — fastest first, the *origin* (authoritative
+//! store holding the whole dataset) last — into a single fetch entry
+//! point, [`TierStack::read`].
+//!
+//! Every read records per-tier hit/miss/byte statistics
+//! ([`TierStats`]); on a miss in the upper tiers the stack *promotes*
+//! the sample upward according to its [`PromotePolicy`]. Placement-
+//! driven fills ([`TierStack::fill`], NoPFS's clairvoyant assignments)
+//! are pinned; only read-path promotions are eligible for read-path
+//! eviction, so a generic caching stack and the clairvoyant runtime
+//! coexist on one type.
+
+use crate::backend::{BackendError, MemoryBackend, StorageBackend, ThrottledBackend};
+use crate::metadata::MetadataStore;
+use crate::SampleId;
+use bytes::Bytes;
+use nopfs_util::timing::TimeScale;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Errors a [`DataSource`] read or write can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceError {
+    /// The source does not hold this sample.
+    NotFound(SampleId),
+    /// The sample would exceed the source's capacity.
+    Full {
+        /// Bytes the write needed.
+        needed: u64,
+        /// Bytes still free.
+        available: u64,
+    },
+    /// Underlying (or injected) I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceError::NotFound(id) => write!(f, "sample {id} not found"),
+            SourceError::Full { needed, available } => {
+                write!(f, "source full: need {needed} bytes, {available} free")
+            }
+            SourceError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+impl From<BackendError> for SourceError {
+    fn from(e: BackendError) -> Self {
+        match e {
+            BackendError::Full { needed, available } => SourceError::Full { needed, available },
+            BackendError::Io(msg) => SourceError::Io(msg),
+        }
+    }
+}
+
+/// One level of the storage hierarchy: a keyed byte store with optional
+/// capacity. Implemented by the local backends here, by `nopfs_pfs::Pfs`
+/// (the shared filesystem with its `t(γ)` regulator), and by anything
+/// else that wants to slot into a [`TierStack`].
+pub trait DataSource: Send + Sync {
+    /// Human-readable tier name ("ram", "ssd", "pfs", …).
+    fn name(&self) -> &str;
+
+    /// Reads a sample, paying the source's modelled cost.
+    ///
+    /// # Errors
+    /// [`SourceError::NotFound`] when absent, [`SourceError::Io`] on
+    /// (possibly injected) failures.
+    fn read(&self, id: SampleId) -> Result<Bytes, SourceError>;
+
+    /// Stores a sample, paying the source's modelled write cost.
+    ///
+    /// # Errors
+    /// [`SourceError::Full`] when it does not fit.
+    fn write(&self, id: SampleId, data: Bytes) -> Result<(), SourceError>;
+
+    /// Whether the sample is present (metadata only; free).
+    fn contains(&self, id: SampleId) -> bool;
+
+    /// Capacity in bytes; `None` for unbounded stores (origins).
+    fn capacity(&self) -> Option<u64>;
+
+    /// Bytes currently stored.
+    fn used(&self) -> u64;
+
+    /// Removes a sample, returning whether it was present.
+    fn evict(&self, id: SampleId) -> bool;
+
+    /// Number of stored samples.
+    fn count(&self) -> usize;
+
+    /// Size in bytes of a stored sample (metadata only; free).
+    fn size_of(&self, id: SampleId) -> Option<u64>;
+}
+
+/// Every [`StorageBackend`] is a [`DataSource`]: the method sets
+/// coincide except that reads/writes surface `Result`s and capacity is
+/// always bounded. (Non-backend sources — the PFS, cold object stores
+/// — implement [`DataSource`] directly.)
+impl<B: StorageBackend> DataSource for B {
+    fn name(&self) -> &str {
+        StorageBackend::name(self)
+    }
+
+    fn read(&self, id: SampleId) -> Result<Bytes, SourceError> {
+        StorageBackend::get(self, id).ok_or(SourceError::NotFound(id))
+    }
+
+    fn write(&self, id: SampleId, data: Bytes) -> Result<(), SourceError> {
+        StorageBackend::insert(self, id, data).map_err(SourceError::from)
+    }
+
+    fn contains(&self, id: SampleId) -> bool {
+        StorageBackend::contains(self, id)
+    }
+
+    fn capacity(&self) -> Option<u64> {
+        Some(StorageBackend::capacity(self))
+    }
+
+    fn used(&self) -> u64 {
+        StorageBackend::used(self)
+    }
+
+    fn evict(&self, id: SampleId) -> bool {
+        StorageBackend::evict(self, id)
+    }
+
+    fn count(&self) -> usize {
+        StorageBackend::count(self)
+    }
+
+    fn size_of(&self, id: SampleId) -> Option<u64> {
+        StorageBackend::size_of(self, id)
+    }
+}
+
+/// Cumulative per-tier statistics, snapshotted by [`TierStack::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Tier name (from the source).
+    pub name: String,
+    /// Reads served by this tier.
+    pub hits: u64,
+    /// Reads that had to look further down the stack.
+    pub misses: u64,
+    /// Bytes served by this tier.
+    pub bytes_read: u64,
+    /// Samples written into this tier (fills + promotions).
+    pub fills: u64,
+    /// Bytes written into this tier.
+    pub bytes_filled: u64,
+    /// Fills that came from read-path promotion.
+    pub promotions: u64,
+    /// Fills that came from a faster tier demoting its eviction victim
+    /// here (spill absorption).
+    pub demotions: u64,
+    /// Samples evicted from this tier (read-path eviction plus explicit
+    /// [`TierStack::evict`] calls).
+    pub evictions: u64,
+    /// Bytes evicted from this tier.
+    pub bytes_evicted: u64,
+    /// Tier capacity (`None` = unbounded origin).
+    pub capacity: Option<u64>,
+    /// Bytes resident when the snapshot was taken.
+    pub used: u64,
+}
+
+impl TierStats {
+    /// Hit fraction of all reads that consulted this tier.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bytes_read: AtomicU64,
+    fills: AtomicU64,
+    bytes_filled: AtomicU64,
+    promotions: AtomicU64,
+    demotions: AtomicU64,
+    evictions: AtomicU64,
+    bytes_evicted: AtomicU64,
+}
+
+/// What [`TierStack::read`] does when a sample is found below the top
+/// tier (or only at the origin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PromotePolicy {
+    /// Never promote: placement is managed externally (the clairvoyant
+    /// runtime plans every fill itself via [`TierStack::fill`]).
+    Never,
+    /// Promote into the topmost tier with free space; skip tiers that
+    /// are full.
+    #[default]
+    IfFits,
+    /// Promote into the topmost tier, evicting earlier read-path
+    /// promotions (FIFO) to make room; victims *demote* into the next
+    /// tier down with free space (spill absorption) rather than being
+    /// dropped. Pinned fills are never evicted.
+    Evicting,
+}
+
+struct TierSlot {
+    source: Arc<dyn DataSource>,
+    counters: Counters,
+    /// Read-path promotions resident in this tier, promotion order —
+    /// the only entries [`PromotePolicy::Evicting`] may remove.
+    promoted: Mutex<VecDeque<SampleId>>,
+}
+
+struct StackInner {
+    tiers: Vec<TierSlot>,
+    /// Catalog of which cache tier holds each sample (the origin is
+    /// authoritative and not cataloged).
+    catalog: MetadataStore,
+    /// Sizes of cataloged samples, for eviction byte accounting.
+    sizes: RwLock<HashMap<SampleId, u64>>,
+    promote: PromotePolicy,
+}
+
+/// An ordered storage hierarchy with one fetch entry point.
+///
+/// Tiers are fastest first; the **last** source is the *origin* — the
+/// authoritative store (typically the PFS) expected to hold every
+/// sample. Clone to share between threads; all clones see one set of
+/// tiers, one catalog, and one statistics block.
+#[derive(Clone)]
+pub struct TierStack {
+    inner: Arc<StackInner>,
+}
+
+impl TierStack {
+    /// Builds a stack from `sources` (fastest first, origin last) with
+    /// the given promotion policy.
+    ///
+    /// # Panics
+    /// Panics on an empty source list or more than 254 cache tiers
+    /// (the catalog stores tier indices as `u8`).
+    pub fn new(sources: Vec<Arc<dyn DataSource>>, promote: PromotePolicy) -> Self {
+        assert!(!sources.is_empty(), "a tier stack needs an origin");
+        assert!(
+            sources.len() - 1 < usize::from(u8::MAX),
+            "too many cache tiers"
+        );
+        Self {
+            inner: Arc::new(StackInner {
+                tiers: sources
+                    .into_iter()
+                    .map(|source| TierSlot {
+                        source,
+                        counters: Counters::default(),
+                        promoted: Mutex::new(VecDeque::new()),
+                    })
+                    .collect(),
+                catalog: MetadataStore::new(),
+                sizes: RwLock::new(HashMap::new()),
+                promote,
+            }),
+        }
+    }
+
+    /// A degenerate stack with no cache tiers: every read goes straight
+    /// to the origin (how flat, PFS-only loaders join the tiered API).
+    pub fn origin_only(origin: Arc<dyn DataSource>) -> Self {
+        Self::new(vec![origin], PromotePolicy::Never)
+    }
+
+    /// Number of tiers including the origin.
+    pub fn num_tiers(&self) -> usize {
+        self.inner.tiers.len()
+    }
+
+    /// Index of the origin (always the last tier).
+    pub fn origin_index(&self) -> usize {
+        self.inner.tiers.len() - 1
+    }
+
+    /// Number of cache tiers (everything above the origin).
+    pub fn cache_tiers(&self) -> usize {
+        self.origin_index()
+    }
+
+    /// The source behind tier `tier`.
+    pub fn source(&self, tier: usize) -> &Arc<dyn DataSource> {
+        &self.inner.tiers[tier].source
+    }
+
+    /// Name of tier `tier`.
+    pub fn tier_name(&self, tier: usize) -> &str {
+        self.inner.tiers[tier].source.name()
+    }
+
+    /// The cache tier currently holding `id`, if any.
+    pub fn locate(&self, id: SampleId) -> Option<usize> {
+        self.inner.catalog.lookup(id).map(usize::from)
+    }
+
+    /// Whether any tier (cache or origin) holds `id`.
+    pub fn contains(&self, id: SampleId) -> bool {
+        self.locate(id).is_some() || self.inner.tiers[self.origin_index()].source.contains(id)
+    }
+
+    /// Samples currently cataloged across the cache tiers.
+    pub fn cached_count(&self) -> usize {
+        self.inner.catalog.cached_count()
+    }
+
+    /// **The** fetch entry point: serves `id` from the fastest tier
+    /// holding it, records per-tier hits/misses/bytes, and promotes on
+    /// miss per the stack's [`PromotePolicy`].
+    ///
+    /// # Errors
+    /// Whatever the origin read produced when no tier holds the sample
+    /// ([`SourceError::NotFound`] for a missing object, `Io` for an
+    /// injected or real fault).
+    pub fn read(&self, id: SampleId) -> Result<Bytes, SourceError> {
+        // A stale catalog hit already counted its own miss in
+        // `read_tier`; remember it so the origin path does not count
+        // that tier twice.
+        let mut stale: Option<usize> = None;
+        if let Some(hit_tier) = self.locate(id) {
+            match self.read_tier(hit_tier, id) {
+                Ok(data) => {
+                    self.count_misses_above(hit_tier);
+                    if hit_tier > 0 {
+                        self.promote(hit_tier, id, &data);
+                    }
+                    return Ok(data);
+                }
+                // Stale catalog entry (raced eviction): repair and fall
+                // through to the origin.
+                Err(SourceError::NotFound(_)) => {
+                    self.uncatalog_from(id, hit_tier);
+                    stale = Some(hit_tier);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let origin = self.origin_index();
+        let data = self.read_tier(origin, id)?;
+        for (j, slot) in self.inner.tiers[..origin].iter().enumerate() {
+            if stale != Some(j) {
+                slot.counters.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.promote(origin, id, &data);
+        Ok(data)
+    }
+
+    /// Reads `id` directly from tier `tier`, recording only that tier's
+    /// hit or miss (no promotion, no fallback).
+    ///
+    /// # Errors
+    /// [`SourceError::NotFound`] when the tier does not hold the sample.
+    pub fn read_tier(&self, tier: usize, id: SampleId) -> Result<Bytes, SourceError> {
+        let slot = &self.inner.tiers[tier];
+        match slot.source.read(id) {
+            Ok(data) => {
+                slot.counters.hits.fetch_add(1, Ordering::Relaxed);
+                slot.counters
+                    .bytes_read
+                    .fetch_add(data.len() as u64, Ordering::Relaxed);
+                Ok(data)
+            }
+            Err(e) => {
+                if matches!(e, SourceError::NotFound(_)) {
+                    slot.counters.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Reads `id` from the origin tier (no cache probe, no promotion).
+    ///
+    /// # Errors
+    /// Whatever the origin produced.
+    pub fn read_origin(&self, id: SampleId) -> Result<Bytes, SourceError> {
+        self.read_tier(self.origin_index(), id)
+    }
+
+    /// Serves `id` from its cache tier if cataloged: the serving-loop
+    /// lookup (`None` when uncached — callers do *not* fall through to
+    /// the origin here).
+    pub fn get_cached(&self, id: SampleId) -> Option<Bytes> {
+        let tier = self.locate(id)?;
+        match self.read_tier(tier, id) {
+            Ok(data) => Some(data),
+            Err(_) => {
+                self.uncatalog_from(id, tier);
+                None
+            }
+        }
+    }
+
+    /// A planned (pinned) fill: stores `id` into cache tier `tier` and
+    /// catalogs it. Pinned fills are never displaced by read-path
+    /// eviction — this is how clairvoyant placement claims capacity.
+    ///
+    /// # Errors
+    /// [`SourceError::Full`] when the tier cannot take the sample.
+    pub fn fill(&self, tier: usize, id: SampleId, data: Bytes) -> Result<(), SourceError> {
+        debug_assert!(tier < self.origin_index(), "fills target cache tiers");
+        let size = data.len() as u64;
+        let slot = &self.inner.tiers[tier];
+        slot.source.write(id, data)?;
+        slot.counters.fills.fetch_add(1, Ordering::Relaxed);
+        slot.counters
+            .bytes_filled
+            .fetch_add(size, Ordering::Relaxed);
+        self.catalog(id, tier, size);
+        Ok(())
+    }
+
+    /// Evicts `id` from cache tier `tier`, updating catalog and
+    /// statistics. Returns whether the sample was present.
+    pub fn evict(&self, tier: usize, id: SampleId) -> bool {
+        let slot = &self.inner.tiers[tier];
+        let size = slot
+            .source
+            .size_of(id)
+            .or_else(|| self.inner.sizes.read().get(&id).copied())
+            .unwrap_or(0);
+        if slot.source.evict(id) {
+            slot.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            slot.counters
+                .bytes_evicted
+                .fetch_add(size, Ordering::Relaxed);
+            slot.promoted.lock().retain(|&k| k != id);
+            self.uncatalog_from(id, tier);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Statistics snapshot for tier `tier`.
+    pub fn stats(&self, tier: usize) -> TierStats {
+        let slot = &self.inner.tiers[tier];
+        let c = &slot.counters;
+        TierStats {
+            name: slot.source.name().to_string(),
+            hits: c.hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            bytes_read: c.bytes_read.load(Ordering::Relaxed),
+            fills: c.fills.load(Ordering::Relaxed),
+            bytes_filled: c.bytes_filled.load(Ordering::Relaxed),
+            promotions: c.promotions.load(Ordering::Relaxed),
+            demotions: c.demotions.load(Ordering::Relaxed),
+            evictions: c.evictions.load(Ordering::Relaxed),
+            bytes_evicted: c.bytes_evicted.load(Ordering::Relaxed),
+            capacity: slot.source.capacity(),
+            used: slot.source.used(),
+        }
+    }
+
+    /// Statistics for every tier, fastest first (origin last).
+    pub fn all_stats(&self) -> Vec<TierStats> {
+        (0..self.num_tiers()).map(|j| self.stats(j)).collect()
+    }
+
+    /// Total capacity of the cache tiers (unbounded tiers excluded).
+    pub fn total_cache_capacity(&self) -> u64 {
+        self.inner.tiers[..self.origin_index()]
+            .iter()
+            .filter_map(|t| t.source.capacity())
+            .sum()
+    }
+
+    fn count_misses_above(&self, tier: usize) {
+        for slot in &self.inner.tiers[..tier] {
+            slot.counters.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn catalog(&self, id: SampleId, tier: usize, size: u64) {
+        self.inner.catalog.mark_cached(id, tier as u8);
+        self.inner.sizes.write().insert(id, size);
+    }
+
+    /// Removes the catalog entry only if it still points at `tier` —
+    /// a concurrent promotion may have re-cataloged the sample at a
+    /// faster tier, and blindly removing would orphan that resident
+    /// copy (capacity spent, never served).
+    fn uncatalog_from(&self, id: SampleId, tier: usize) {
+        if self.inner.catalog.remove_if(id, tier as u8) {
+            self.inner.sizes.write().remove(&id);
+        }
+    }
+
+    /// Promotes `id` (just served from `from`) into the topmost cache
+    /// tier the policy can place it in. A successful promotion out of a
+    /// *cache* tier removes the lower copy (a move); promotion from the
+    /// origin copies (the origin stays authoritative). The moved copy
+    /// keeps its status: a pinned fill stays pinned in its new tier, a
+    /// read-path resident stays evictable.
+    fn promote(&self, from: usize, id: SampleId, data: &Bytes) {
+        if matches!(self.inner.promote, PromotePolicy::Never) {
+            return;
+        }
+        // Pinned fills never sit in a promoted queue; anything arriving
+        // from the origin is by definition a read-path resident.
+        let evictable =
+            from == self.origin_index() || self.inner.tiers[from].promoted.lock().contains(&id);
+        let size = data.len() as u64;
+        for tier in 0..from.min(self.origin_index()) {
+            let slot = &self.inner.tiers[tier];
+            if matches!(self.inner.promote, PromotePolicy::Evicting) {
+                self.make_room(tier, size);
+            }
+            if !fits(slot.source.as_ref(), size) {
+                continue;
+            }
+            if slot.source.write(id, data.clone()).is_ok() {
+                slot.counters.fills.fetch_add(1, Ordering::Relaxed);
+                slot.counters
+                    .bytes_filled
+                    .fetch_add(size, Ordering::Relaxed);
+                slot.counters.promotions.fetch_add(1, Ordering::Relaxed);
+                if evictable {
+                    slot.promoted.lock().push_back(id);
+                }
+                // Move semantics between cache tiers: drop the slower
+                // copy so capacity is not spent twice.
+                if from < self.origin_index() {
+                    let lower = &self.inner.tiers[from];
+                    if lower.source.evict(id) {
+                        lower.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                        lower
+                            .counters
+                            .bytes_evicted
+                            .fetch_add(size, Ordering::Relaxed);
+                        lower.promoted.lock().retain(|&k| k != id);
+                    }
+                }
+                self.catalog(id, tier, size);
+                return;
+            }
+        }
+    }
+
+    /// Read-path eviction: frees space in `tier` by evicting its oldest
+    /// read-path promotions (pinned fills stay) until `size` bytes fit
+    /// or no evictable entry remains. Victims demote into the next tier
+    /// down with free space instead of being dropped.
+    fn make_room(&self, tier: usize, size: u64) {
+        let slot = &self.inner.tiers[tier];
+        let Some(cap) = slot.source.capacity() else {
+            return;
+        };
+        if size > cap {
+            return; // could never fit; evicting everything would not help
+        }
+        // If the pinned residents alone exceed the space the sample
+        // needs, no amount of read-path eviction can make it fit —
+        // bail out instead of flushing the tier's whole working set.
+        let evictable: u64 = {
+            let q = slot.promoted.lock();
+            q.iter().filter_map(|&k| slot.source.size_of(k)).sum()
+        };
+        if slot.source.used().saturating_sub(evictable) + size > cap {
+            return;
+        }
+        loop {
+            if slot.source.used() + size <= cap {
+                return;
+            }
+            let victim = slot.promoted.lock().pop_front();
+            let Some(victim) = victim else {
+                return;
+            };
+            let vsize = slot.source.size_of(victim).unwrap_or(0);
+            // Spill absorption: keep the victim's bytes for demotion
+            // (the read pays the tier's modelled read rate, as a real
+            // tier-manager's demotion traffic would).
+            let vdata = slot.source.read(victim).ok();
+            if slot.source.evict(victim) {
+                slot.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                slot.counters
+                    .bytes_evicted
+                    .fetch_add(vsize, Ordering::Relaxed);
+                self.uncatalog_from(victim, tier);
+                if let Some(data) = vdata {
+                    self.demote(tier + 1, victim, data);
+                }
+            }
+        }
+    }
+
+    /// Demotes an eviction victim into the first cache tier at or below
+    /// `start` with free space (no cascading eviction — a full lower
+    /// hierarchy drops the victim; the origin still holds it).
+    fn demote(&self, start: usize, id: SampleId, data: Bytes) {
+        let size = data.len() as u64;
+        for tier in start..self.origin_index() {
+            let slot = &self.inner.tiers[tier];
+            if !fits(slot.source.as_ref(), size) {
+                continue;
+            }
+            if slot.source.write(id, data.clone()).is_ok() {
+                slot.counters.fills.fetch_add(1, Ordering::Relaxed);
+                slot.counters
+                    .bytes_filled
+                    .fetch_add(size, Ordering::Relaxed);
+                slot.counters.demotions.fetch_add(1, Ordering::Relaxed);
+                // Demoted entries stay evictable read-path residents.
+                slot.promoted.lock().push_back(id);
+                self.catalog(id, tier, size);
+                return;
+            }
+        }
+    }
+}
+
+fn fits(source: &dyn DataSource, size: u64) -> bool {
+    match source.capacity() {
+        None => true,
+        Some(cap) => source.used().saturating_add(size) <= cap,
+    }
+}
+
+/// Declarative description of one cache tier, for scenario configs:
+/// name, byte capacity, and aggregate read/write rates (model bytes/s).
+/// [`TierSpec::build`] realizes it as a rate-throttled memory store —
+/// how the runtime models SSD/HDD tiers without the hardware.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierSpec {
+    /// Tier name ("ram", "ssd", …).
+    pub name: String,
+    /// Capacity in bytes; `None` = unbounded.
+    pub capacity: Option<u64>,
+    /// Aggregate read throughput, model bytes/s.
+    pub read_rate: f64,
+    /// Aggregate write throughput, model bytes/s.
+    pub write_rate: f64,
+}
+
+impl TierSpec {
+    /// A bounded tier.
+    pub fn new(name: impl Into<String>, capacity: u64, read_rate: f64, write_rate: f64) -> Self {
+        Self {
+            name: name.into(),
+            capacity: Some(capacity),
+            read_rate,
+            write_rate,
+        }
+    }
+
+    /// Realizes the spec as a throttled in-memory source under `scale`.
+    pub fn build(&self, scale: TimeScale) -> Arc<dyn DataSource> {
+        Arc::new(ThrottledBackend::new(
+            MemoryBackend::new(self.name.clone(), self.capacity.unwrap_or(u64::MAX)),
+            self.read_rate,
+            self.write_rate,
+            scale,
+        ))
+    }
+}
+
+/// Builds a [`TierStack`] from cache-tier specs (fastest first) over an
+/// `origin` source.
+pub fn build_stack(
+    specs: &[TierSpec],
+    scale: TimeScale,
+    origin: Arc<dyn DataSource>,
+    promote: PromotePolicy,
+) -> TierStack {
+    let mut sources: Vec<Arc<dyn DataSource>> = specs.iter().map(|s| s.build(scale)).collect();
+    sources.push(origin);
+    TierStack::new(sources, promote)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(name: &str, cap: u64) -> Arc<dyn DataSource> {
+        Arc::new(MemoryBackend::new(name, cap))
+    }
+
+    /// An origin preloaded with `n` distinct samples of `size` bytes.
+    fn origin_with(n: u64, size: usize) -> Arc<dyn DataSource> {
+        let o = MemoryBackend::new("origin", u64::MAX);
+        for id in 0..n {
+            StorageBackend::insert(&o, id, Bytes::from(vec![(id % 251) as u8; size])).unwrap();
+        }
+        Arc::new(o)
+    }
+
+    #[test]
+    fn read_falls_through_to_origin_and_promotes() {
+        let stack = TierStack::new(
+            vec![mem("ram", 100), origin_with(4, 10)],
+            PromotePolicy::IfFits,
+        );
+        let data = stack.read(2).unwrap();
+        assert_eq!(data, Bytes::from(vec![2u8; 10]));
+        // First read: ram missed, origin hit, sample promoted to ram.
+        let ram = stack.stats(0);
+        assert_eq!((ram.hits, ram.misses, ram.promotions), (0, 1, 1));
+        assert_eq!(stack.locate(2), Some(0));
+        // Second read: ram hit, origin untouched.
+        stack.read(2).unwrap();
+        let ram = stack.stats(0);
+        let origin = stack.stats(1);
+        assert_eq!((ram.hits, ram.misses), (1, 1));
+        assert_eq!(origin.hits, 1);
+        assert_eq!(origin.capacity, Some(u64::MAX));
+    }
+
+    #[test]
+    fn middle_tier_hit_promotes_and_moves_upward() {
+        let stack = TierStack::new(
+            vec![mem("ram", 100), mem("ssd", 100), origin_with(4, 10)],
+            PromotePolicy::IfFits,
+        );
+        stack.fill(1, 3, Bytes::from(vec![3u8; 10])).unwrap();
+        assert_eq!(stack.locate(3), Some(1));
+        let data = stack.read(3).unwrap();
+        assert_eq!(data[0], 3);
+        // Hit at ssd, then moved up into ram (ssd copy dropped).
+        assert_eq!(stack.locate(3), Some(0));
+        assert_eq!(stack.stats(1).evictions, 1);
+        assert_eq!(stack.source(1).count(), 0);
+        assert_eq!(stack.source(0).count(), 1);
+        // Origin never consulted.
+        assert_eq!(stack.stats(2).hits, 0);
+    }
+
+    #[test]
+    fn full_tier_is_skipped_by_if_fits() {
+        let stack = TierStack::new(
+            vec![mem("ram", 15), mem("ssd", 100), origin_with(4, 10)],
+            PromotePolicy::IfFits,
+        );
+        stack.read(0).unwrap(); // promoted into ram (10 of 15 used)
+        stack.read(1).unwrap(); // ram full -> promoted into ssd
+        assert_eq!(stack.locate(0), Some(0));
+        assert_eq!(stack.locate(1), Some(1));
+        assert_eq!(stack.stats(0).promotions, 1);
+        assert_eq!(stack.stats(1).promotions, 1);
+    }
+
+    #[test]
+    fn evicting_policy_displaces_oldest_promotion_only() {
+        let stack = TierStack::new(
+            vec![mem("ram", 25), origin_with(6, 10)],
+            PromotePolicy::Evicting,
+        );
+        // A pinned fill takes 10 of the 25 bytes.
+        stack.fill(0, 5, Bytes::from(vec![5u8; 10])).unwrap();
+        stack.read(0).unwrap(); // promotes 0 (20/25 used)
+        stack.read(1).unwrap(); // must evict 0 to fit 1
+        assert_eq!(stack.locate(0), None, "oldest promotion evicted");
+        assert_eq!(stack.locate(1), Some(0));
+        assert_eq!(stack.locate(5), Some(0), "pinned fill survives");
+        let ram = stack.stats(0);
+        assert_eq!(ram.evictions, 1);
+        assert_eq!(ram.bytes_evicted, 10);
+        assert!(ram.used <= 25);
+    }
+
+    #[test]
+    fn eviction_victims_demote_to_the_next_tier() {
+        // RAM holds 2 samples, SSD holds 4: scanning 6 samples spills
+        // RAM's victims into the SSD instead of dropping them.
+        let stack = TierStack::new(
+            vec![mem("ram", 20), mem("ssd", 40), origin_with(6, 10)],
+            PromotePolicy::Evicting,
+        );
+        for id in 0..6 {
+            stack.read(id).unwrap();
+        }
+        let ssd = stack.stats(1);
+        assert!(ssd.demotions > 0, "no spill absorbed: {ssd:?}");
+        assert_eq!(ssd.demotions, ssd.fills);
+        // Every demoted sample is still cache-served (and cataloged).
+        let cached = (0..6).filter(|&id| stack.locate(id).is_some()).count();
+        assert_eq!(cached, 6, "RAM(2) + SSD(4) hold the whole scan");
+        let origin_before = stack.stats(2).hits;
+        for id in 0..6 {
+            stack.read(id).unwrap();
+        }
+        // Promotion churn may drop an early victim while the SSD is
+        // momentarily full, but the re-scan must be almost entirely
+        // cache-served — without demotion every RAM spill would be
+        // lost and the origin would see most of the scan again.
+        assert!(
+            stack.stats(2).hits - origin_before <= 2,
+            "re-scan mostly cache-served: {} extra origin hits",
+            stack.stats(2).hits - origin_before
+        );
+    }
+
+    #[test]
+    fn never_policy_leaves_tiers_untouched() {
+        let stack = TierStack::new(
+            vec![mem("ram", 100), origin_with(4, 10)],
+            PromotePolicy::Never,
+        );
+        stack.read(1).unwrap();
+        stack.read(1).unwrap();
+        assert_eq!(stack.stats(0).fills, 0);
+        assert_eq!(stack.stats(1).hits, 2);
+        assert_eq!(stack.locate(1), None);
+    }
+
+    #[test]
+    fn origin_only_stack_serves_everything_from_origin() {
+        let stack = TierStack::origin_only(origin_with(3, 8));
+        assert_eq!(stack.num_tiers(), 1);
+        assert_eq!(stack.cache_tiers(), 0);
+        for id in 0..3 {
+            assert_eq!(stack.read(id).unwrap().len(), 8);
+        }
+        assert_eq!(stack.stats(0).hits, 3);
+    }
+
+    #[test]
+    fn missing_sample_is_not_found() {
+        let stack = TierStack::new(
+            vec![mem("ram", 100), origin_with(2, 4)],
+            PromotePolicy::IfFits,
+        );
+        assert_eq!(stack.read(99), Err(SourceError::NotFound(99)));
+        assert!(!stack.contains(99));
+        assert!(stack.contains(0));
+    }
+
+    #[test]
+    fn get_cached_serves_only_cataloged_samples() {
+        let stack = TierStack::new(
+            vec![mem("ram", 100), origin_with(4, 10)],
+            PromotePolicy::Never,
+        );
+        assert!(stack.get_cached(1).is_none());
+        stack.fill(0, 1, Bytes::from(vec![1u8; 10])).unwrap();
+        assert_eq!(stack.get_cached(1).unwrap().len(), 10);
+        // A raced eviction behind the stack's back repairs the catalog.
+        assert!(stack.source(0).evict(1));
+        assert!(stack.get_cached(1).is_none());
+        assert_eq!(stack.locate(1), None);
+    }
+
+    #[test]
+    fn explicit_evict_updates_catalog_and_stats() {
+        let stack = TierStack::new(
+            vec![mem("ram", 100), origin_with(4, 10)],
+            PromotePolicy::IfFits,
+        );
+        stack.read(2).unwrap();
+        assert!(stack.evict(0, 2));
+        assert!(!stack.evict(0, 2));
+        let ram = stack.stats(0);
+        assert_eq!(ram.evictions, 1);
+        assert_eq!(ram.bytes_evicted, 10);
+        assert_eq!(stack.cached_count(), 0);
+        // The sample is still readable (origin authoritative).
+        assert!(stack.read(2).is_ok());
+    }
+
+    #[test]
+    fn pinned_fill_stays_pinned_across_promotion() {
+        // A pinned ssd fill promoted into ram must NOT become a
+        // read-path resident there: later capacity pressure may never
+        // evict the clairvoyantly planned placement.
+        let stack = TierStack::new(
+            vec![mem("ram", 20), mem("ssd", 100), origin_with(6, 10)],
+            PromotePolicy::Evicting,
+        );
+        stack.fill(1, 5, Bytes::from(vec![5u8; 10])).unwrap();
+        stack.read(5).unwrap(); // moved ssd -> ram, still pinned
+        assert_eq!(stack.locate(5), Some(0));
+        // Scan everything else: ram is full (pin + one resident slot),
+        // churning read-path promotions around the pin.
+        for _ in 0..2 {
+            for id in 0..5 {
+                stack.read(id).unwrap();
+            }
+        }
+        assert_eq!(
+            stack.locate(5),
+            Some(0),
+            "promoted pinned fill was evicted by read-path pressure"
+        );
+    }
+
+    #[test]
+    fn stale_catalog_read_counts_one_miss_per_tier() {
+        let stack = TierStack::new(
+            vec![mem("ram", 100), origin_with(4, 10)],
+            PromotePolicy::Never,
+        );
+        stack.fill(0, 1, Bytes::from(vec![1u8; 10])).unwrap();
+        // Evict behind the stack's back: the next read finds a stale
+        // catalog entry, repairs it, and falls through to the origin —
+        // recording exactly ONE miss for the stale tier.
+        assert!(stack.source(0).evict(1));
+        assert_eq!(stack.read(1).unwrap().len(), 10);
+        let ram = stack.stats(0);
+        assert_eq!((ram.hits, ram.misses), (0, 1));
+        assert_eq!(stack.stats(1).hits, 1);
+        assert_eq!(stack.locate(1), None, "stale entry repaired");
+    }
+
+    #[test]
+    fn make_room_spares_working_set_when_pinned_fills_block_fit() {
+        // Pinned fills hold 20 of 25 bytes; an 8-byte promotion can
+        // never fit, so the resident 5-byte promotion must survive.
+        let o = MemoryBackend::new("origin", u64::MAX);
+        StorageBackend::insert(&o, 0, Bytes::from(vec![0u8; 5])).unwrap();
+        StorageBackend::insert(&o, 1, Bytes::from(vec![1u8; 8])).unwrap();
+        let stack = TierStack::new(vec![mem("ram", 25), Arc::new(o)], PromotePolicy::Evicting);
+        stack.fill(0, 9, Bytes::from(vec![9u8; 20])).unwrap();
+        stack.read(0).unwrap(); // 5-byte promotion fits (25/25 used)
+        assert_eq!(stack.locate(0), Some(0));
+        stack.read(1).unwrap(); // 8 bytes can never fit next to the pin
+        assert_eq!(
+            stack.locate(0),
+            Some(0),
+            "hopeless promotion must not flush the working set"
+        );
+        assert_eq!(stack.stats(0).evictions, 0);
+    }
+
+    #[test]
+    fn zero_capacity_tier_degrades_to_flat() {
+        let stack = TierStack::new(
+            vec![mem("ram", 0), origin_with(4, 10)],
+            PromotePolicy::Evicting,
+        );
+        for id in 0..4 {
+            assert_eq!(stack.read(id).unwrap().len(), 10);
+        }
+        let ram = stack.stats(0);
+        assert_eq!(ram.fills, 0);
+        assert_eq!(ram.used, 0);
+        assert_eq!(stack.stats(1).hits, 4);
+    }
+
+    #[test]
+    fn tier_spec_builds_throttled_sources() {
+        let spec = TierSpec::new("ssd", 1_000, 1e12, 1e12);
+        let src = spec.build(TimeScale::realtime());
+        assert_eq!(src.name(), "ssd");
+        assert_eq!(src.capacity(), Some(1_000));
+        let stack = build_stack(
+            &[spec],
+            TimeScale::realtime(),
+            origin_with(2, 10),
+            PromotePolicy::IfFits,
+        );
+        assert_eq!(stack.num_tiers(), 2);
+        assert_eq!(stack.read(0).unwrap().len(), 10);
+        assert_eq!(stack.locate(0), Some(0));
+    }
+
+    #[test]
+    fn hit_rate_reports_fraction() {
+        let stack = TierStack::new(
+            vec![mem("ram", 100), origin_with(2, 10)],
+            PromotePolicy::IfFits,
+        );
+        stack.read(0).unwrap(); // miss
+        stack.read(0).unwrap(); // hit
+        stack.read(0).unwrap(); // hit
+        let s = stack.stats(0);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(TierStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_reads_keep_capacity_consistent() {
+        let stack = TierStack::new(
+            vec![mem("ram", 55), origin_with(64, 10)],
+            PromotePolicy::Evicting,
+        );
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let stack = stack.clone();
+                s.spawn(move || {
+                    for i in 0..64u64 {
+                        stack.read((i + t * 16) % 64).unwrap();
+                    }
+                });
+            }
+        });
+        let ram = stack.stats(0);
+        assert!(ram.used <= 55, "capacity exceeded: {}", ram.used);
+        assert_eq!(ram.used, stack.source(0).used());
+    }
+}

@@ -10,7 +10,7 @@
 
 use nopfs::perfmodel::presets::{fig8_small_cluster, thrashing_pfs_curve};
 use nopfs::simulator::environment::sweep;
-use nopfs::simulator::{run, Policy, Scenario};
+use nopfs::simulator::{run, PolicyId, Scenario};
 use nopfs::util::units::MB;
 
 fn main() {
@@ -22,7 +22,7 @@ fn main() {
     let sizes = vec![150_000u64; 20_000]; // 3 GB
     let scenario = Scenario::new("imagenet22k-like", system, sizes, 3, 32, 99);
 
-    let lb = run(&scenario, Policy::Perfect).expect("lower bound");
+    let lb = run(&scenario, PolicyId::Perfect).expect("lower bound");
     println!(
         "dataset: 3 GB on 4 workers; lower bound {:.2}s; regime {}",
         lb.execution_time,
@@ -44,7 +44,7 @@ fn main() {
     );
     let mut best: Option<(f64, u64, u64)> = None;
     for &r in &ram {
-        let pts = sweep(&scenario, Policy::NoPfs, &[10_000_000], &[r], &ssd).expect("sweep runs");
+        let pts = sweep(&scenario, PolicyId::NoPfs, &[10_000_000], &[r], &ssd).expect("sweep runs");
         print!("{:>8}MB", r / 1_000_000);
         for p in &pts {
             print!(" {:>10.2}", p.execution_time);

@@ -135,7 +135,7 @@ fn cluster_leg(policy: PolicyId) -> u64 {
 fn main() {
     report::banner(
         "Policy matrix",
-        "every PolicyId in the simulator, the solo runtime, and a 2-tenant cluster",
+        "every PolicyId entry in the simulator, the solo runtime, and a 2-tenant cluster",
     );
     report::config_line(&format!(
         "F={SAMPLES} x {SAMPLE_BYTES} B, E={EPOCHS}, b={BATCH}; ample caches, fast PFS"

@@ -16,7 +16,10 @@
 //! - [`baselines`] — PyTorch-like, DALI-like, LBANN-like, naive, and
 //!   no-I/O runtime loaders (Sec. 7's comparison points).
 //! - [`pfs`], [`net`], [`storage`] — the synthetic substrates standing
-//!   in for GPFS/Lustre, MPI, and tiered node-local storage.
+//!   in for GPFS/Lustre, MPI, and tiered node-local storage; the
+//!   [`storage::DataSource`] trait and [`storage::TierStack`] compose
+//!   every level (worker RAM → SSD → the PFS) behind one fetch API
+//!   with per-tier statistics.
 //! - [`datasets`] — synthetic datasets with the paper's published size
 //!   distributions.
 //! - [`train`] — the bulk-synchronous training loop and a tiny real

@@ -41,24 +41,39 @@ struct Config {
     samples: u64,
     ram_samples: u64,
     ssd_samples: u64,
+    /// Capacity of a third, slowest cache tier (0 = the classic
+    /// two-class hierarchy).
+    hdd_samples: u64,
 }
 
 /// Ample: everything fits everywhere — all ten policies feasible with
 /// full coverage. Scarce: RAM holds 24 samples/worker (aggregate 96 <
 /// 200), so the LBANN store is infeasible and DeepIO's cache covers
-/// only part of the dataset.
-const CONFIGS: [Config; 2] = [
+/// only part of the dataset. Three-tier: a RAM → SSD → HDD hierarchy
+/// above the PFS, where no single tier holds the dataset but the three
+/// together do — every policy must run unchanged through the deeper
+/// `TierStack`.
+const CONFIGS: [Config; 3] = [
     Config {
         name: "ample",
         samples: 64,
         ram_samples: 64,
         ssd_samples: 64,
+        hdd_samples: 0,
     },
     Config {
         name: "scarce",
         samples: 200,
         ram_samples: 24,
         ssd_samples: 30,
+        hdd_samples: 0,
+    },
+    Config {
+        name: "three-tier",
+        samples: 120,
+        ram_samples: 40,
+        ssd_samples: 30,
+        hdd_samples: 50,
     },
 ];
 
@@ -69,6 +84,17 @@ fn system(cfg: &Config) -> SystemSpec {
     sys.staging.threads = 2;
     sys.classes[0].capacity = cfg.ram_samples * SAMPLE_BYTES;
     sys.classes[1].capacity = cfg.ssd_samples * SAMPLE_BYTES;
+    if cfg.hdd_samples > 0 {
+        // A third, slowest cache tier below the SSD: same shape, a
+        // quarter of the throughput, one prefetch thread.
+        let mut hdd = sys.classes[1].clone();
+        hdd.name = "hdd".to_string();
+        hdd.capacity = cfg.hdd_samples * SAMPLE_BYTES;
+        hdd.prefetch_threads = 1;
+        hdd.read = hdd.read.scaled(0.25);
+        hdd.write = hdd.write.scaled(0.25);
+        sys.classes.push(hdd);
+    }
     sys
 }
 

@@ -5,7 +5,7 @@
 use nopfs::clairvoyance::frequency::FrequencyTable;
 use nopfs::clairvoyance::sampler::ShuffleSpec;
 use nopfs::perfmodel::presets::{fig8_small_cluster, thrashing_pfs_curve};
-use nopfs::simulator::{run, Policy, Scenario, StorageRegime};
+use nopfs::simulator::{run, PolicyId, Scenario, StorageRegime};
 use nopfs::util::units::MB;
 use proptest::prelude::*;
 
@@ -23,12 +23,12 @@ fn paper_like_scenario(f: usize, epochs: u64) -> Scenario {
 fn fig8_qualitative_ordering_holds() {
     let s = paper_like_scenario(4_000, 4);
     assert_eq!(s.regime(), StorageRegime::FitsInCluster);
-    let time = |p: Policy| run(&s, p).expect("supported").execution_time;
-    let lb = time(Policy::Perfect);
-    let nopfs = time(Policy::NoPfs);
-    let staging = time(Policy::StagingBuffer);
-    let naive = time(Policy::Naive);
-    let locality = time(Policy::LocalityAware);
+    let time = |p: PolicyId| run(&s, p).expect("supported").execution_time;
+    let lb = time(PolicyId::Perfect);
+    let nopfs = time(PolicyId::NoPfs);
+    let staging = time(PolicyId::StagingBuffer);
+    let naive = time(PolicyId::Naive);
+    let locality = time(PolicyId::LocalityAware);
     // Lower bound <= NoPFS <= every real competitor <= Naive.
     assert!(lb <= nopfs * 1.0001);
     assert!(nopfs <= staging, "NoPFS {nopfs} vs StagingBuffer {staging}");
@@ -49,9 +49,9 @@ fn fig8_qualitative_ordering_holds() {
 fn lbann_supported_iff_dataset_fits_memory() {
     let mut s = paper_like_scenario(1_000, 2);
     // Aggregate RAM: 4 workers x 12.5 MB = 50 MB; dataset 100 MB.
-    assert!(run(&s, Policy::LbannDynamic).is_err());
+    assert!(run(&s, PolicyId::LbannDynamic).is_err());
     s.system.classes[0].capacity = 26_000_000; // aggregate 104 MB
-    assert!(run(&s, Policy::LbannDynamic).is_ok());
+    assert!(run(&s, PolicyId::LbannDynamic).is_ok());
 }
 
 proptest! {
@@ -68,7 +68,7 @@ proptest! {
     ) {
         let mut s = paper_like_scenario(f, epochs);
         s.seed = seed;
-        for policy in [Policy::NoPfs, Policy::StagingBuffer, Policy::LocalityAware] {
+        for policy in [PolicyId::NoPfs, PolicyId::StagingBuffer, PolicyId::LocalityAware] {
             let r = run(&s, policy).expect("supported");
             let expected: u64 = (0..4)
                 .map(|w| s.shuffle_spec().worker_epoch_len(w) * epochs)

@@ -27,12 +27,12 @@ fn every_umbrella_reexport_resolves() {
     assert_eq!(nopfs::policy::PolicyId::ALL.len(), 10);
     assert!(nopfs::policy::PolicyId::NoPfs.capabilities().ease_of_use);
 
-    // simulator — policies over a tiny scenario (the old `Policy` name
-    // aliases the registry's id).
+    // simulator — policies over a tiny scenario (dispatched on the
+    // workspace registry's `PolicyId`).
     let scenario =
         nopfs::simulator::Scenario::new("smoke", sys.clone(), vec![1_000u64; 32], 1, 2, 7);
     let result =
-        nopfs::simulator::run(&scenario, nopfs::simulator::Policy::NoPfs).expect("supported");
+        nopfs::simulator::run(&scenario, nopfs::simulator::PolicyId::NoPfs).expect("supported");
     assert!(result.execution_time > 0.0);
 
     // pfs + datasets — materialize a synthetic dataset into a PFS.
@@ -42,10 +42,20 @@ fn every_umbrella_reexport_resolves() {
     profile.materialize(&pfs);
     assert!(pfs.read(0).is_ok());
 
-    // storage — the staging reorder buffer.
+    // storage — the staging reorder buffer and the tiered hierarchy
+    // (the PFS is a DataSource, so it slots in as a TierStack origin).
     let stage = nopfs::storage::ReorderStage::new(1_000);
     stage.push(0, 0, bytes::Bytes::from_static(b"x"));
     assert_eq!(stage.pop().map(|(id, _)| id), Some(0));
+    let stack = nopfs::storage::TierStack::new(
+        vec![
+            Arc::new(nopfs::storage::MemoryBackend::new("ram", 10_000)),
+            Arc::new(pfs.clone()),
+        ],
+        nopfs::storage::PromotePolicy::IfFits,
+    );
+    assert!(stack.read(0).is_ok());
+    assert_eq!(stack.stats(0).promotions, 1);
 
     // net — a loopback cluster.
     let eps = nopfs::net::cluster::<u64>(1, nopfs::net::NetConfig::new(1e9, scale));

@@ -1,0 +1,143 @@
+//! Property tests for the tiered storage hierarchy: a [`TierStack`]
+//! must be a *transparent* cache over its origin — byte-identical
+//! reads under any tier configuration, capacity accounting that never
+//! goes negative across promote/evict cycles, and graceful degradation
+//! to the paper's two-tier (RAM + PFS) setup when a middle tier has no
+//! capacity.
+
+use bytes::Bytes;
+use nopfs::pfs::Pfs;
+use nopfs::storage::{MemoryBackend, PromotePolicy, TierStack};
+use nopfs::util::rng::Xoshiro256pp;
+use nopfs::util::timing::TimeScale;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A PFS origin holding `n` samples of seeded sizes/contents.
+fn materialized_pfs(seed: u64, n: u64) -> (Pfs, Vec<Bytes>) {
+    let pfs = Pfs::in_memory(
+        nopfs::perfmodel::ThroughputCurve::flat(1e12),
+        TimeScale::new(1e-6),
+    );
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let payloads: Vec<Bytes> = (0..n)
+        .map(|id| {
+            let size = 1 + rng.next_below(64) as usize;
+            let fill = (id % 251) as u8 ^ (seed % 256) as u8;
+            let data = Bytes::from(vec![fill; size]);
+            pfs.put(id, data.clone());
+            data
+        })
+        .collect();
+    (pfs, payloads)
+}
+
+fn stack_over(pfs: &Pfs, caps: &[u64], promote: PromotePolicy) -> TierStack {
+    let mut sources: Vec<Arc<dyn nopfs::storage::DataSource>> = caps
+        .iter()
+        .enumerate()
+        .map(|(j, &cap)| {
+            Arc::new(MemoryBackend::new(format!("tier{j}"), cap))
+                as Arc<dyn nopfs::storage::DataSource>
+        })
+        .collect();
+    sources.push(Arc::new(pfs.clone()));
+    TierStack::new(sources, promote)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under random tier counts, capacities, promotion policies, and
+    /// access sequences, every `TierStack::read` is byte-identical to a
+    /// direct `Pfs::read`.
+    #[test]
+    fn tiered_reads_equal_direct_pfs_reads(
+        seed in any::<u64>(),
+        caps in prop::collection::vec(0u64..200, 0..4),
+        accesses in prop::collection::vec(0u64..32, 1..120),
+        evicting in any::<bool>(),
+    ) {
+        let (pfs, payloads) = materialized_pfs(seed, 32);
+        let promote = if evicting { PromotePolicy::Evicting } else { PromotePolicy::IfFits };
+        let stack = stack_over(&pfs, &caps, promote);
+        for &id in &accesses {
+            let via_stack = stack.read(id).expect("origin holds every sample");
+            let direct = pfs.read(id).expect("origin holds every sample");
+            prop_assert_eq!(&via_stack, &direct, "sample {} corrupted by the hierarchy", id);
+            prop_assert_eq!(&via_stack, &payloads[id as usize]);
+        }
+        // Reads were fully accounted: every access hit exactly one tier.
+        let total_hits: u64 = stack.all_stats().iter().map(|s| s.hits).sum();
+        prop_assert_eq!(total_hits, accesses.len() as u64);
+    }
+
+    /// Capacity accounting never goes negative (or over capacity) and
+    /// stays consistent with the backing sources across arbitrary
+    /// promote/evict cycles, including explicit evictions.
+    #[test]
+    fn capacity_accounting_survives_promote_evict_cycles(
+        seed in any::<u64>(),
+        caps in prop::collection::vec(0u64..150, 1..4),
+        ops in prop::collection::vec((0u64..24, any::<bool>()), 1..150),
+    ) {
+        let (pfs, _) = materialized_pfs(seed, 24);
+        let stack = stack_over(&pfs, &caps, PromotePolicy::Evicting);
+        for &(id, evict) in &ops {
+            if evict {
+                if let Some(tier) = stack.locate(id) {
+                    stack.evict(tier, id);
+                }
+            } else {
+                stack.read(id).expect("origin holds every sample");
+            }
+            for (j, &cap) in caps.iter().enumerate() {
+                let s = stack.stats(j);
+                // `used` is u64 (can't be negative); the invariants are
+                // no over-capacity and fill/evict bookkeeping balance.
+                prop_assert!(s.used <= cap, "tier {} used {} > cap {}", j, s.used, cap);
+                prop_assert!(s.bytes_evicted <= s.bytes_filled);
+                prop_assert!(s.evictions <= s.fills);
+                prop_assert_eq!(s.used, stack.source(j).used());
+            }
+        }
+        // After evicting everything, every tier drains to exactly zero.
+        for id in 0..24 {
+            if let Some(tier) = stack.locate(id) {
+                stack.evict(tier, id);
+            }
+        }
+        for j in 0..caps.len() {
+            prop_assert_eq!(stack.stats(j).used, 0);
+            prop_assert_eq!(stack.source(j).count(), 0);
+        }
+    }
+
+    /// A zero-capacity middle tier degrades the three-tier hierarchy to
+    /// the paper's two-tier setup: identical bytes, identical top-tier
+    /// and origin traffic, nothing ever resident in the dead tier.
+    #[test]
+    fn zero_capacity_middle_tier_degrades_to_two_tiers(
+        seed in any::<u64>(),
+        ram_cap in 1u64..200,
+        accesses in prop::collection::vec(0u64..24, 1..100),
+    ) {
+        let (pfs, _) = materialized_pfs(seed, 24);
+        let three = stack_over(&pfs, &[ram_cap, 0], PromotePolicy::IfFits);
+        let two = stack_over(&pfs, &[ram_cap], PromotePolicy::IfFits);
+        for &id in &accesses {
+            prop_assert_eq!(three.read(id).expect("ok"), two.read(id).expect("ok"));
+        }
+        let (t3, t2) = (three.all_stats(), two.all_stats());
+        // Top tier behaves identically...
+        prop_assert_eq!(t3[0].hits, t2[0].hits);
+        prop_assert_eq!(t3[0].fills, t2[0].fills);
+        prop_assert_eq!(t3[0].used, t2[0].used);
+        // ...the dead middle tier never holds anything...
+        prop_assert_eq!(t3[1].fills, 0);
+        prop_assert_eq!(t3[1].used, 0);
+        // ...and the origin sees the same traffic in both setups.
+        prop_assert_eq!(t3[2].hits, t2[1].hits);
+        prop_assert_eq!(t3[2].bytes_read, t2[1].bytes_read);
+    }
+}
