@@ -232,6 +232,95 @@ impl SetupArtifacts {
     pub fn placement(&self, sizes: &[u64], capacities: &[Vec<u64>]) -> GlobalPlacement {
         GlobalPlacement::from_artifacts(self, sizes, capacities)
     }
+
+    /// Incrementally replans for a changed membership: rebuilds every
+    /// setup artifact for `new_workers` ranks by re-splitting the
+    /// cached streams, **without regenerating a single epoch shuffle**
+    /// (`shuffles_generated` of the result is 0, and the global
+    /// [`crate::sampler::epoch_shuffles_generated`] counter does not
+    /// advance).
+    ///
+    /// This is what makes elastic recovery cheap and replay-exact: the
+    /// epoch seed involves only `(seed, epoch)` — never the worker
+    /// count — so the global consumption order at epoch `e` is the same
+    /// permutation for any membership, merely dealt round-robin to a
+    /// different number of ranks. The global order is reconstructed
+    /// from the cached per-worker streams (position `pos` of epoch `e`
+    /// lives at index `e·len(w) + pos/n` of worker `pos % n`'s stream)
+    /// and folded into fresh digests, frequency table, first-access
+    /// positions, and streams for the new membership. The result is
+    /// bit-identical to a full [`SetupPass`] at `new_workers` — at the
+    /// cost of a re-split instead of `E` Fisher–Yates generations.
+    ///
+    /// # Panics
+    /// Panics if `new_workers == 0`, if this pass skipped stream
+    /// materialization, or if the membership change would alter the
+    /// epoch length (only possible with `drop_last`, whose truncation
+    /// depends on the global batch `N·b` — elastic runs require
+    /// `drop_last = false` or an unchanged `samples_per_epoch`).
+    pub fn replan(&self, new_workers: usize) -> SetupArtifacts {
+        assert!(new_workers > 0, "a job keeps at least one worker");
+        let old = &self.spec;
+        let cached = self
+            .streams
+            .as_ref()
+            .expect("replan needs materialized streams (pass ran without them)");
+        let new_spec = ShuffleSpec::new(
+            old.seed,
+            old.num_samples,
+            new_workers,
+            old.batch_size,
+            old.drop_last,
+        );
+        assert_eq!(
+            old.samples_per_epoch(),
+            new_spec.samples_per_epoch(),
+            "membership change alters the epoch length under drop_last; \
+             replay-exact recovery requires an unchanged global order"
+        );
+
+        let n_old = old.num_workers;
+        let f = old.num_samples as usize;
+        let spe = old.samples_per_epoch();
+        let old_lens: Vec<u64> = (0..n_old).map(|w| old.worker_epoch_len(w)).collect();
+
+        // The same artifact fold as `SetupPass::run`, fed by stream
+        // re-splitting instead of `scan_epochs`.
+        let mut digests: Vec<u64> = (0..new_workers).map(|w| DIGEST_SEED ^ w as u64).collect();
+        let mut counts = vec![vec![0u16; f]; new_workers];
+        let mut first_access = vec![vec![u64::MAX; f]; new_workers];
+        let mut stream_pos = vec![0u64; new_workers];
+        let mut streams: Vec<Vec<SampleId>> = (0..new_workers)
+            .map(|w| Vec::with_capacity((new_spec.worker_epoch_len(w) * self.epochs) as usize))
+            .collect();
+
+        for e in 0..self.epochs {
+            for pos in 0..spe {
+                let owner = (pos as usize) % n_old;
+                let idx = (e * old_lens[owner] + pos / n_old as u64) as usize;
+                let id = cached[owner][idx];
+                let w = (pos as usize) % new_workers;
+                let k = id as usize;
+                digests[w] = mix64(digests[w], id);
+                counts[w][k] += 1;
+                if first_access[w][k] == u64::MAX {
+                    first_access[w][k] = stream_pos[w];
+                }
+                stream_pos[w] += 1;
+                streams[w].push(id);
+            }
+        }
+
+        SetupArtifacts {
+            spec: new_spec,
+            epochs: self.epochs,
+            digests,
+            table: FrequencyTable::from_counts(counts, self.epochs),
+            first_access,
+            streams: Some(streams.into_iter().map(Arc::new).collect()),
+            shuffles_generated: 0,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -349,5 +438,77 @@ mod tests {
     #[should_panic(expected = "at least one epoch")]
     fn rejects_zero_epochs() {
         SetupPass::new(spec(10, 2), 0);
+    }
+
+    #[test]
+    fn replan_matches_fresh_pass_bit_for_bit() {
+        let sp = spec(121, 4);
+        let arts = SetupPass::new(sp, 5).run();
+        // Shrink (crash), grow (join), and identity memberships.
+        for n_new in [1usize, 3, 4, 5, 7] {
+            let replanned = arts.replan(n_new);
+            let fresh = SetupPass::new(spec(121, n_new), 5).run();
+            assert_eq!(replanned.digests, fresh.digests, "n={n_new} digests");
+            assert_eq!(replanned.table, fresh.table, "n={n_new} table");
+            assert_eq!(
+                replanned.first_access, fresh.first_access,
+                "n={n_new} first access"
+            );
+            for w in 0..n_new {
+                assert_eq!(
+                    replanned.stream(w).as_slice(),
+                    fresh.stream(w).as_slice(),
+                    "n={n_new} worker {w} stream"
+                );
+            }
+            // The whole point: a replan regenerates nothing.
+            assert_eq!(replanned.shuffles_generated, 0);
+            assert_eq!(replanned.spec().num_workers, n_new);
+            assert_eq!(replanned.epochs(), 5);
+        }
+    }
+
+    #[test]
+    fn replan_composes_with_placement() {
+        // A replanned artifact set must feed placement exactly like a
+        // fresh pass would — ownership plans for the survivors.
+        let sp = spec(60, 4);
+        let arts = SetupPass::new(sp, 3).run();
+        let sizes = vec![100u64; 60];
+        let capacities: Vec<Vec<u64>> = (0..3).map(|_| vec![2_000u64, 1_000]).collect();
+        let via_replan = arts.replan(3).placement(&sizes, &capacities);
+        let fresh = SetupPass::new(spec(60, 3), 3).run();
+        let via_fresh = fresh.placement(&sizes, &capacities);
+        for w in 0..3 {
+            assert_eq!(
+                via_replan.assignment(w).class_map(),
+                via_fresh.assignment(w).class_map(),
+                "worker {w} placement"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alters the epoch length")]
+    fn replan_rejects_epoch_length_changes() {
+        // drop_last truncates to the global batch N·b, so changing N
+        // can change the epoch length — not replay-exact, must refuse.
+        // 103 samples, b=8: N=4 keeps 96/epoch, N=5 would keep 80.
+        let sp = ShuffleSpec::new(9, 103, 4, 8, true);
+        SetupPass::new(sp, 2).run().replan(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "materialized streams")]
+    fn replan_needs_streams() {
+        let arts = SetupPass::with_options(
+            spec(10, 2),
+            1,
+            SetupOptions {
+                materialize_streams: false,
+            },
+        )
+        .run();
+        let _ = arts.replan(3);
     }
 }

@@ -12,15 +12,70 @@
 use crate::report::{ClusterReport, TenantReport};
 use crate::spec::{ClusterSpec, TenantSpec};
 use nopfs_baselines::{registry, DataLoader};
-use nopfs_core::JobConfig;
+use nopfs_core::{ElasticJob, JobConfig};
 use nopfs_net::{cluster, Endpoint, NetConfig};
 use nopfs_perfmodel::SystemSpec;
 use nopfs_pfs::Pfs;
+use nopfs_policy::ReadErrors;
 use nopfs_train::{run_training_loop, RunMetrics, TrainLoopConfig};
+use nopfs_util::rng::mix64;
 use nopfs_util::timing::TimeScale;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Deterministically seeds transient read failures into the tenant's
+/// namespace: each sample's next `1..=max_burst` reads fail with
+/// probability `rate`. Every loader stack in the workspace retries
+/// transient PFS errors (counting them in `pfs_errors`), so injected
+/// bursts cost time but never change delivered content.
+fn inject_read_errors(pfs: &Pfs, errors: &ReadErrors, num_samples: u64) {
+    for id in 0..num_samples {
+        let h = mix64(errors.seed, id);
+        if ((h >> 11) as f64 / (1u64 << 53) as f64) >= errors.rate {
+            continue;
+        }
+        let burst = 1 + ((h >> 32) as u32) % errors.max_burst.max(1);
+        pfs.inject_fault(id, burst);
+    }
+}
+
+/// Runs a crash/churn tenant through the elastic NoPFS runtime
+/// ([`ElasticJob`] realizes every event of the plan, including its own
+/// read-error layer beneath the tier stacks) and reshapes the elastic
+/// report into the tenant vocabulary.
+fn run_tenant_elastic(
+    tenant: &TenantSpec,
+    system: SystemSpec,
+    scale: TimeScale,
+    pfs: &Pfs,
+) -> TenantReport {
+    let sizes = Arc::new(tenant.profile.sizes());
+    // No drop_last: churn must keep the epoch length
+    // membership-invariant, and this path has no per-step allreduce
+    // that ragged batch counts could deadlock.
+    let config = JobConfig::new(tenant.seed, tenant.epochs, tenant.batch, system, scale);
+    let job = ElasticJob::new(config, sizes, tenant.fault_plan.clone())
+        .unwrap_or_else(|e| panic!("tenant '{}': {}", tenant.name, e.0));
+    let report = job.run(pfs);
+    let epoch_times: Vec<f64> = report
+        .epoch_times
+        .iter()
+        .map(|&d| scale.to_model(d))
+        .collect();
+    TenantReport {
+        name: tenant.name.clone(),
+        policy: tenant.policy,
+        start_delay: tenant.start_delay,
+        total_time: epoch_times.iter().sum(),
+        epoch_times,
+        stall_time: scale.to_model(report.stats.stall_time),
+        stats: report.stats,
+        setup: Some(report.setup),
+        solo_epoch_time: None,
+        slowdown: None,
+    }
+}
 
 /// Runs one tenant to completion on an injected PFS handle.
 ///
@@ -33,6 +88,15 @@ fn run_tenant(
     scale: TimeScale,
     pfs: &Pfs,
 ) -> TenantReport {
+    // Crash and churn plans run in the elastic runtime, which realizes
+    // every event of the plan itself (including read errors, injected
+    // beneath its tier stacks rather than into the PFS).
+    if tenant.needs_elastic() {
+        return run_tenant_elastic(tenant, system, scale, pfs);
+    }
+    if let Some(errors) = &tenant.fault_plan.read_errors {
+        inject_read_errors(pfs, errors, tenant.profile.num_samples);
+    }
     let n = system.workers;
     let sizes = Arc::new(tenant.profile.sizes());
     // drop_last keeps every worker's batch count identical, which the
@@ -45,11 +109,6 @@ fn run_tenant(
         scale,
     )
     .drop_last(true);
-    let loop_cfg = TrainLoopConfig {
-        compute_rate: tenant.compute,
-        scale,
-        grad_elems: tenant.grad_elems,
-    };
     // The tenant's private gradient-allreduce network (its partition of
     // the interconnect), one endpoint per rank.
     let grad_endpoints: Mutex<Vec<Option<Endpoint<Vec<f32>>>>> = Mutex::new(
@@ -58,10 +117,20 @@ fn run_tenant(
             .map(Some)
             .collect(),
     );
+    let last_epoch = tenant.epochs - 1;
     let body = |loader: &mut dyn DataLoader| {
         let ep = grad_endpoints.lock()[loader.rank()]
             .take()
             .expect("each rank takes its endpoint once");
+        // Stragglers: a slowed rank's compute throughput drops by its
+        // plan factor. The training loop has no epoch hook, so the
+        // cumulative (final-epoch) factor applies run-wide.
+        let loop_cfg = TrainLoopConfig {
+            compute_rate: tenant.compute
+                / tenant.fault_plan.straggle_factor(last_epoch, loader.rank()),
+            scale,
+            grad_elems: tenant.grad_elems,
+        };
         run_training_loop(loader, &loop_cfg, Some(&ep))
     };
 
@@ -315,6 +384,81 @@ mod tests {
         for t in &report.tenants {
             assert_eq!(t.stats.samples_consumed, 64);
         }
+    }
+
+    #[test]
+    fn straggler_plans_slow_a_tenant_without_changing_content() {
+        use nopfs_policy::FaultPlan;
+        // Two identical tenants; one has a rank slowed 8x. Stragglers
+        // cost time, never content.
+        // Per-sample compute waits of 0.1 model s at this scale exceed
+        // the spin threshold, so paced tenants sleep and the comparison
+        // survives a CPU-contended (parallel test) machine.
+        let scale = TimeScale::new(5e-3);
+        // Compute-bound tenants (0.1 model s per sample), so the 8x
+        // compute straggle is the dominant term by construction.
+        let spec = ClusterSpec::new(ThroughputCurve::flat(1e12), scale)
+            .tenant(tenant("steady", PolicyId::Naive, 64, 51).with_compute(2.0e5))
+            .tenant(
+                tenant("straggling", PolicyId::Naive, 64, 51)
+                    .with_compute(2.0e5)
+                    .with_fault_plan(FaultPlan::fault_free().straggle(0, 0, 8.0)),
+            );
+        let report = run_cluster(&spec);
+        let steady = &report.tenants[0];
+        let slow = &report.tenants[1];
+        assert_eq!(slow.stats.samples_consumed, steady.stats.samples_consumed);
+        assert!(
+            slow.total_time > 1.5 * steady.total_time,
+            "8x straggler must dominate: {} vs {}",
+            slow.total_time,
+            steady.total_time
+        );
+    }
+
+    #[test]
+    fn read_error_plans_are_retried_through() {
+        use nopfs_policy::{FaultPlan, ReadErrors};
+        let spec = fast_spec().tenant(tenant("flaky", PolicyId::Naive, 40, 61).with_fault_plan(
+            FaultPlan::fault_free().with_read_errors(ReadErrors {
+                rate: 0.3,
+                max_burst: 2,
+                seed: 0xBAD,
+            }),
+        ));
+        let report = run_cluster(&spec);
+        let t = &report.tenants[0];
+        assert!(t.stats.pfs_errors > 0, "rate 0.3 over 40 ids must fire");
+        assert_eq!(t.stats.samples_consumed, 80, "retries absorb every burst");
+    }
+
+    #[test]
+    fn crash_and_churn_tenants_run_elastically() {
+        use nopfs_policy::FaultPlan;
+        let plan = FaultPlan::fault_free().crash(0, 2, 1).join(1);
+        let spec = fast_spec()
+            .tenant(tenant("elastic", PolicyId::NoPfs, 60, 71).with_fault_plan(plan))
+            .tenant(tenant("steady", PolicyId::Naive, 40, 72));
+        let report = run_cluster(&spec);
+        let e = &report.tenants[0];
+        // Elastic path: no drop_last, so exactly F samples per epoch
+        // despite the crash replay and the joined worker.
+        assert_eq!(e.stats.samples_consumed, 2 * 60);
+        assert_eq!(e.epoch_times.len(), 2);
+        assert!(e.setup.is_some(), "elastic tenants report setup stats");
+        // The co-scheduled steady tenant is untouched.
+        assert_eq!(report.tenants[1].stats.samples_consumed, 2 * 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "elastic")]
+    fn baseline_tenants_reject_crash_plans() {
+        use nopfs_policy::FaultPlan;
+        let spec = fast_spec().tenant(
+            tenant("naive-crash", PolicyId::Naive, 40, 81)
+                .with_fault_plan(FaultPlan::fault_free().crash(0, 1, 0)),
+        );
+        spec.validate();
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 use nopfs_datasets::DatasetProfile;
 use nopfs_perfmodel::{SystemSpec, ThroughputCurve};
-use nopfs_policy::PolicyId;
+use nopfs_policy::fault::ShuffleSpec;
+use nopfs_policy::{FaultPlan, PolicyId};
 use nopfs_util::timing::TimeScale;
 
 /// One co-scheduled training job.
@@ -32,6 +33,11 @@ pub struct TenantSpec {
     pub compute: f64,
     /// Gradient elements per allreduce (0 disables synchronization).
     pub grad_elems: usize,
+    /// This tenant's fault schedule (default: fault-free). Transient
+    /// read errors and stragglers are realized for every policy;
+    /// crashes and membership churn route the tenant through the
+    /// elastic runtime and therefore require [`PolicyId::NoPfs`].
+    pub fault_plan: FaultPlan,
 }
 
 impl TenantSpec {
@@ -63,6 +69,7 @@ impl TenantSpec {
             start_delay: 0.0,
             compute: 64.0e6,
             grad_elems: 256,
+            fault_plan: FaultPlan::fault_free(),
         }
     }
 
@@ -84,6 +91,24 @@ impl TenantSpec {
     pub fn with_grad_elems(mut self, elems: usize) -> Self {
         self.grad_elems = elems;
         self
+    }
+
+    /// Schedules a fault plan for this tenant (builder style).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Whether the plan needs the elastic runtime: crashes tear worker
+    /// sets down mid-epoch, churn changes the membership — both beyond
+    /// what a steady-state loader stack can absorb in place.
+    pub fn needs_elastic(&self) -> bool {
+        self.fault_plan.has_crash()
+            || self
+                .fault_plan
+                .memberships(self.system.workers, self.epochs)
+                .iter()
+                .any(|&m| m != self.system.workers)
     }
 }
 
@@ -137,10 +162,12 @@ impl ClusterSpec {
     /// Checks the configuration.
     ///
     /// # Panics
-    /// Panics on an empty cluster or an infeasible tenant (an LBANN
-    /// tenant whose dataset exceeds its aggregate worker memory — the
+    /// Panics on an empty cluster or an infeasible tenant: an LBANN
+    /// tenant whose dataset exceeds its aggregate worker memory (the
     /// data store's documented requirement, checked by the shared
-    /// policy layer).
+    /// policy layer), a fault plan its run shape cannot satisfy, or a
+    /// crash/churn plan on a baseline tenant (only the elastic NoPFS
+    /// runtime re-splits memberships and replays crashes).
     pub fn validate(&self) {
         assert!(!self.tenants.is_empty(), "a cluster needs tenants");
         for t in &self.tenants {
@@ -151,6 +178,27 @@ impl ClusterSpec {
                 {
                     panic!("tenant '{}': {}", t.name, e.0);
                 }
+            }
+            let elastic = t.needs_elastic();
+            assert!(
+                !elastic || t.policy == PolicyId::NoPfs,
+                "tenant '{}': crash/churn fault plans need the elastic \
+                 NoPFS runtime; {} tenants support stragglers and read \
+                 errors only",
+                t.name,
+                t.policy
+            );
+            // The elastic path runs without drop_last (churn must keep
+            // the epoch length); the steady path trims for allreduce.
+            let spec = ShuffleSpec::new(
+                t.seed,
+                t.profile.num_samples,
+                t.system.workers,
+                t.batch,
+                !elastic,
+            );
+            if let Err(e) = t.fault_plan.validate(&spec, t.epochs) {
+                panic!("tenant '{}': {}", t.name, e.0);
             }
         }
     }

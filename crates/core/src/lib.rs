@@ -30,6 +30,7 @@
 //! data loader.
 
 pub mod config;
+pub mod elastic;
 pub mod job;
 pub mod msg;
 pub mod stats;
@@ -37,6 +38,7 @@ pub mod tiers;
 pub mod worker;
 
 pub use config::JobConfig;
+pub use elastic::{ElasticJob, ElasticReport};
 pub use job::Job;
 pub use stats::WorkerStats;
 pub use tiers::class_tier_stack;

@@ -103,7 +103,7 @@ pub struct SetupStats {
 }
 
 /// A point-in-time view of one worker's I/O statistics.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WorkerStats {
     /// Staging fetches served from a local storage class.
     pub local_fetches: u64,

@@ -234,6 +234,21 @@ impl WorkerHandle {
         pfs: Pfs,
         endpoint: Endpoint<Msg>,
     ) -> Self {
+        Self::launch_with_tiers(rank, shared, pfs, endpoint, None)
+    }
+
+    /// Like [`Self::launch`], but with an optional pre-built hierarchy:
+    /// the elastic runtime hands surviving workers their still-warm
+    /// [`TierStack`] across a recovery barrier (crashed ranks restart
+    /// cold with a fresh stack), and wraps the origin in fault-injecting
+    /// or retrying sources the worker need not know about.
+    pub(crate) fn launch_with_tiers(
+        rank: usize,
+        shared: Arc<Shared>,
+        pfs: Pfs,
+        endpoint: Endpoint<Msg>,
+        tiers: Option<TierStack>,
+    ) -> Self {
         let endpoint = Arc::new(endpoint);
         let sys = &shared.config.system;
         let scale = shared.config.scale;
@@ -261,8 +276,10 @@ impl WorkerHandle {
         endpoint.barrier();
 
         // The worker's storage hierarchy: class tiers over the injected
-        // PFS origin, behind the one tiered fetch API.
-        let tiers = crate::tiers::class_tier_stack(sys, scale, Arc::new(pfs.clone()));
+        // PFS origin, behind the one tiered fetch API — or the handed-
+        // over (still warm) stack of a surviving elastic worker.
+        let tiers = tiers
+            .unwrap_or_else(|| crate::tiers::class_tier_stack(sys, scale, Arc::new(pfs.clone())));
         let stats = StatsCollector::new();
         let stop = Arc::new(AtomicBool::new(false));
         let progress = Arc::new(

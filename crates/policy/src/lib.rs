@@ -30,10 +30,14 @@
 
 pub mod core;
 pub mod decision;
+pub mod fault;
 pub mod id;
 
 pub use crate::core::{build_core, transformed_streams, PolicyCore, Source};
 pub use decision::{select_source, select_source_tiered, tier_costs};
+pub use fault::{
+    elastic_epoch_streams, elastic_global_stream, replan_core, FaultEvent, FaultPlan, ReadErrors,
+};
 pub use id::{Capabilities, PolicyId};
 
 /// Why a policy cannot run a given configuration (e.g. the LBANN data

@@ -1,0 +1,418 @@
+//! Elastic simulation: runs a scenario under a [`FaultPlan`] —
+//! membership churn between epochs, mid-epoch crash-and-restarts,
+//! stragglers, all modelled rather than executed.
+//!
+//! The delivered streams come out of exactly the same policy objects
+//! the steady-state engine uses ([`crate::policies`]), rebuilt per
+//! membership with *global* epoch numbers — so epoch `e` of an elastic
+//! run draws the same global permutation as epoch `e` of the
+//! undisturbed run, merely dealt round-robin to however many ranks
+//! exist. That makes [`run_elastic`]'s `global_stream` directly
+//! comparable to both the fault-free simulation and the threaded
+//! runtime's `ElasticJob` (the cross-harness agreement tests do both).
+//!
+//! Timing under churn is modelled in the simulator's usual spirit —
+//! relative, not absolute: each epoch runs the lockstep loop at its
+//! membership, stragglers divide a rank's compute throughput, and each
+//! crash charges a recovery penalty (an uncontended PFS re-read of the
+//! restarted rank's in-flight batch — the staged-but-unconsumed samples
+//! the runtime throws away and replays).
+
+use crate::engine::Acc;
+use crate::policies::{self, PolicyImpl};
+use crate::result::{SimError, SimResult};
+use crate::scenario::Scenario;
+use nopfs_clairvoyance::SampleId;
+use nopfs_perfmodel::Location;
+use nopfs_policy::{FaultPlan, PolicyId};
+use std::collections::BTreeMap;
+
+/// The outcome of one elastic (fault-disturbed) simulation.
+#[derive(Debug, Clone)]
+pub struct ElasticSimResult {
+    /// Which policy ran.
+    pub policy: PolicyId,
+    /// Modelled end-to-end time: per-epoch wall times plus prestaging
+    /// (charged once per policy build) plus recovery penalties.
+    pub execution_time: f64,
+    /// Modelled wall time of each epoch (slowest participating rank).
+    pub per_epoch_time: Vec<f64>,
+    /// Worker count of each epoch.
+    pub memberships: Vec<usize>,
+    /// Policy rebuilds beyond the initial one (one per membership the
+    /// run had not seen before).
+    pub replans: usize,
+    /// Crash-and-restart events processed.
+    pub recoveries: usize,
+    /// Total modelled recovery penalty, seconds.
+    pub recovery_time: f64,
+    /// Per epoch: that epoch's membership and each rank's delivered
+    /// sequence — the simulator's half of the agreement tests.
+    pub epoch_streams: Vec<(usize, Vec<Vec<SampleId>>)>,
+}
+
+impl ElasticSimResult {
+    /// The global delivered stream: each epoch's per-rank sequences
+    /// re-interleaved round-robin (position `pos` belongs to rank
+    /// `pos % n`). For identity-transform policies this must equal the
+    /// undisturbed run's stream bit for bit.
+    pub fn global_stream(&self) -> Vec<SampleId> {
+        let mut out = Vec::new();
+        for (n, streams) in &self.epoch_streams {
+            let total: usize = streams.iter().map(Vec::len).sum();
+            for pos in 0..total {
+                out.push(streams[pos % n][pos / n]);
+            }
+        }
+        out
+    }
+}
+
+/// A policy instance pinned to one membership, plus how many epoch
+/// transforms it has been fed (so re-entering a membership replays the
+/// skipped epochs' transforms and stateful cores stay in sync with a
+/// fresh-from-epoch-0 rebuild).
+struct MemberState {
+    policy: Box<dyn PolicyImpl>,
+    next_epoch: u64,
+}
+
+/// Simulates `policy` on `scenario` under `plan`.
+///
+/// # Errors
+/// [`SimError::Unsupported`] when the plan fails validation (e.g.
+/// `drop_last` churn that changes the epoch length) or the policy
+/// refuses some membership the plan produces.
+pub fn run_elastic(
+    scenario: &Scenario,
+    policy: PolicyId,
+    plan: &FaultPlan,
+) -> Result<ElasticSimResult, SimError> {
+    let spec = scenario.shuffle_spec();
+    plan.validate(&spec, scenario.epochs)
+        .map_err(|u| SimError::Unsupported(u.0))?;
+    let memberships = plan.memberships(scenario.system.workers, scenario.epochs);
+
+    let mut states: BTreeMap<usize, MemberState> = BTreeMap::new();
+    let mut replans = 0usize;
+    let mut recoveries = 0usize;
+    let mut recovery_time = 0.0f64;
+    let mut execution_time = 0.0f64;
+    let mut per_epoch_time = Vec::with_capacity(memberships.len());
+    let mut epoch_streams = Vec::with_capacity(memberships.len());
+
+    for (e, &n) in memberships.iter().enumerate() {
+        let e = e as u64;
+        let scenario_n = at_membership(scenario, n);
+        let spec_n = scenario_n.shuffle_spec();
+        if !states.contains_key(&n) {
+            if !states.is_empty() {
+                replans += 1;
+            }
+            let p = policies::build(policy, &scenario_n)?;
+            // Resharding pays its (possibly empty) prestage phase anew:
+            // the newcomer-inclusive shard map has to be filled.
+            execution_time += p.prestage_seconds();
+            states.insert(
+                n,
+                MemberState {
+                    policy: p,
+                    next_epoch: 0,
+                },
+            );
+        }
+        let state = states.get_mut(&n).expect("inserted above");
+
+        // Replay the transforms of epochs this instance skipped while
+        // another membership was active, so its call sequence matches a
+        // fresh core replayed from epoch 0 (global epoch numbers keep
+        // the permutations right).
+        while state.next_epoch < e {
+            let k = state.next_epoch;
+            let shuffle = spec_n.epoch_shuffle(k);
+            let seqs: Vec<Vec<u64>> = (0..n).map(|w| shuffle.worker_sequence(w)).collect();
+            state.policy.on_epoch_start(k);
+            let _ = state.policy.transform_epoch(k, seqs, &shuffle);
+            state.next_epoch = k + 1;
+        }
+
+        // This epoch's delivered sequences, through the same transform
+        // path the steady-state engine uses.
+        let shuffle = spec_n.epoch_shuffle(e);
+        let seqs: Vec<Vec<u64>> = (0..n).map(|w| shuffle.worker_sequence(w)).collect();
+        state.policy.on_epoch_start(e);
+        let seqs = state.policy.transform_epoch(e, seqs, &shuffle);
+        state.next_epoch = e + 1;
+
+        // Lockstep timing of the epoch at this membership; stragglers
+        // divide their rank's compute throughput.
+        let epoch_time = simulate_epoch(&scenario_n, state.policy.as_mut(), plan, e, &seqs);
+        per_epoch_time.push(epoch_time);
+        execution_time += epoch_time;
+
+        // Each crash re-synchronizes the job and the restarted rank
+        // re-reads its in-flight batch from the PFS, uncontended (the
+        // runtime's lost staged samples).
+        let crashes = plan.crashes_in(e);
+        if !crashes.is_empty() {
+            let batch_bytes =
+                (scenario.mean_sample_bytes() * scenario.batch_size as f64).ceil() as u64;
+            let penalty = scenario.system.read_time(Location::Pfs, batch_bytes, 1);
+            recoveries += crashes.len();
+            recovery_time += penalty * crashes.len() as f64;
+        }
+
+        epoch_streams.push((n, seqs));
+    }
+
+    execution_time += recovery_time;
+    Ok(ElasticSimResult {
+        policy,
+        execution_time,
+        per_epoch_time,
+        memberships,
+        replans,
+        recoveries,
+        recovery_time,
+        epoch_streams,
+    })
+}
+
+/// One epoch of the engine's lockstep loop at a fixed membership.
+/// Returns the epoch's wall time (slowest rank).
+fn simulate_epoch(
+    scenario: &Scenario,
+    p: &mut dyn PolicyImpl,
+    plan: &FaultPlan,
+    epoch: u64,
+    seqs: &[Vec<SampleId>],
+) -> f64 {
+    let sys = &scenario.system;
+    let n = sys.workers;
+    let b = scenario.batch_size;
+    let threads_per_worker = if p.overlapped() {
+        sys.staging.threads as usize
+    } else {
+        1
+    };
+    let mut accs: Vec<Acc> = (0..n)
+        .map(|w| {
+            let compute = sys.compute / plan.straggle_factor(epoch, w);
+            Acc::new(compute, sys.staging.threads, p.overlapped())
+        })
+        .collect();
+    let mut gamma = (n * threads_per_worker).max(1);
+    let iterations = seqs.iter().map(|s| s.len().div_ceil(b)).max().unwrap_or(0);
+    for h in 0..iterations {
+        let mut pfs_workers = 0usize;
+        for (w, seq) in seqs.iter().enumerate() {
+            let lo = h * b;
+            if lo >= seq.len() {
+                continue;
+            }
+            let hi = ((h + 1) * b).min(seq.len());
+            let mut used_pfs = false;
+            for &k in &seq[lo..hi] {
+                let now = accs[w].last();
+                let size = scenario.sizes[k as usize];
+                let loc = p.source(w, k, size, now, gamma);
+                let read = sys.read_time(loc, size, gamma);
+                accs[w].push(read, size);
+                used_pfs |= matches!(loc, Location::Pfs);
+                p.on_consumed(w, k, now);
+            }
+            if used_pfs {
+                pfs_workers += 1;
+            }
+        }
+        gamma = (pfs_workers * threads_per_worker).max(1);
+    }
+    accs.iter().map(Acc::finish).fold(0.0, f64::max)
+}
+
+/// The same scenario with the worker count replaced.
+fn at_membership(scenario: &Scenario, n: usize) -> Scenario {
+    let mut s = scenario.clone();
+    s.system.workers = n;
+    s
+}
+
+/// One row of a churn sweep: a `(plan, policy)` pair's overhead over
+/// the fault-free run and whether its delivered global stream stayed
+/// bit-identical (the replay-exactness column of EXPERIMENTS.md).
+#[derive(Debug, Clone)]
+pub struct ChurnRow {
+    /// Label of the fault plan.
+    pub plan: String,
+    /// Which policy ran.
+    pub policy: PolicyId,
+    /// Modelled elastic execution time.
+    pub execution_time: f64,
+    /// `execution_time / fault_free_time` (≥ 1 in practice).
+    pub overhead: f64,
+    /// Crash-and-restarts processed.
+    pub recoveries: usize,
+    /// Policy rebuilds for new memberships.
+    pub replans: usize,
+    /// Whether the disturbed global stream equals the fault-free one.
+    pub replay_exact: bool,
+}
+
+/// Sweeps `plans` × `policies` on one scenario, comparing each
+/// disturbed run to its fault-free baseline. Combinations a policy
+/// cannot support (e.g. the LBANN store after enough leaves) are
+/// skipped, matching the figure benches' convention.
+pub fn churn_sweep(
+    scenario: &Scenario,
+    policies: &[PolicyId],
+    plans: &[(&str, FaultPlan)],
+) -> Vec<ChurnRow> {
+    let mut rows = Vec::new();
+    for &policy in policies {
+        let Ok(base) = run_elastic(scenario, policy, &FaultPlan::fault_free()) else {
+            continue;
+        };
+        let base_stream = base.global_stream();
+        for (label, plan) in plans {
+            let Ok(r) = run_elastic(scenario, policy, plan) else {
+                continue;
+            };
+            rows.push(ChurnRow {
+                plan: (*label).to_string(),
+                policy,
+                execution_time: r.execution_time,
+                overhead: r.execution_time / base.execution_time.max(f64::MIN_POSITIVE),
+                recoveries: r.recoveries,
+                replans: r.replans,
+                replay_exact: r.global_stream() == base_stream,
+            });
+        }
+    }
+    rows
+}
+
+/// Sanity bridge: a fault-free elastic run must agree with the
+/// steady-state engine on delivered streams (it *is* the same loop,
+/// minus the cross-epoch pipeline carry-over the elastic path resets at
+/// every epoch boundary). Exposed for tests and benches.
+pub fn fault_free_reference(scenario: &Scenario, policy: PolicyId) -> Result<SimResult, SimError> {
+    crate::engine::run(scenario, policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nopfs_perfmodel::presets::fig8_small_cluster;
+    use nopfs_policy::ReadErrors;
+
+    fn scenario() -> Scenario {
+        let mut sys = fig8_small_cluster();
+        sys.classes[0].capacity = 50_000; // 50 samples of RAM
+        sys.classes[1].capacity = 100_000; // 100 of SSD
+        Scenario::new("churn", sys, vec![1000u64; 120], 3, 4, 0xC1)
+    }
+
+    #[test]
+    fn fault_free_elastic_matches_the_engine_streams() {
+        let s = scenario();
+        for policy in [PolicyId::NoPfs, PolicyId::Naive, PolicyId::StagingBuffer] {
+            let r = run_elastic(&s, policy, &FaultPlan::fault_free()).unwrap();
+            assert_eq!(r.memberships, vec![4, 4, 4]);
+            assert_eq!(r.replans, 0);
+            // Stream totals cover every epoch exactly once.
+            let spe = s.shuffle_spec().samples_per_epoch();
+            for (n, streams) in &r.epoch_streams {
+                assert_eq!(*n, 4);
+                let total: usize = streams.iter().map(Vec::len).sum();
+                assert_eq!(total as u64, spe, "{policy}");
+            }
+        }
+    }
+
+    #[test]
+    fn churn_preserves_identity_policy_streams() {
+        let s = scenario();
+        let plan = FaultPlan::fault_free().leave(1).join(2).crash(0, 3, 2);
+        for policy in [PolicyId::NoPfs, PolicyId::Naive, PolicyId::LbannDynamic] {
+            let base = run_elastic(&s, policy, &FaultPlan::fault_free()).unwrap();
+            let churned = run_elastic(&s, policy, &plan).unwrap();
+            assert_eq!(churned.memberships, vec![4, 3, 4]);
+            assert_eq!(churned.replans, 1, "3-worker build, 4 reused");
+            assert_eq!(churned.recoveries, 1);
+            assert!(churned.recovery_time > 0.0);
+            assert_eq!(
+                churned.global_stream(),
+                base.global_stream(),
+                "{policy}: global stream changed under churn"
+            );
+        }
+    }
+
+    #[test]
+    fn elastic_streams_match_the_policy_layer_canon() {
+        let s = scenario();
+        let plan = FaultPlan::fault_free().leave(1).join(2).straggle(1, 0, 2.0);
+        for policy in [PolicyId::NoPfs, PolicyId::StagingBuffer, PolicyId::Naive] {
+            let sim = run_elastic(&s, policy, &plan).unwrap();
+            let canon = nopfs_policy::elastic_epoch_streams(
+                policy,
+                &s.system,
+                &s.sizes,
+                &s.shuffle_spec(),
+                s.epochs,
+                &plan,
+            )
+            .unwrap();
+            assert_eq!(sim.epoch_streams, canon, "{policy}");
+        }
+    }
+
+    #[test]
+    fn stragglers_and_crashes_cost_time_but_not_content() {
+        let s = scenario();
+        let plan = FaultPlan::fault_free()
+            .straggle(0, 1, 4.0)
+            .crash(1, 2, 0)
+            .with_read_errors(ReadErrors {
+                rate: 0.05,
+                max_burst: 2,
+                seed: 9,
+            });
+        let base = run_elastic(&s, PolicyId::NoPfs, &FaultPlan::fault_free()).unwrap();
+        let hit = run_elastic(&s, PolicyId::NoPfs, &plan).unwrap();
+        assert!(
+            hit.execution_time > base.execution_time,
+            "straggler+crash must cost time: {} vs {}",
+            hit.execution_time,
+            base.execution_time
+        );
+        assert_eq!(hit.global_stream(), base.global_stream());
+    }
+
+    #[test]
+    fn sweep_reports_overhead_and_exactness() {
+        let s = scenario();
+        let plans = [
+            ("crash", FaultPlan::fault_free().crash(0, 2, 1)),
+            ("churn", FaultPlan::fault_free().leave(1).join(2)),
+        ];
+        let rows = churn_sweep(&s, &[PolicyId::NoPfs, PolicyId::Naive], &plans);
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(row.replay_exact, "{}/{}", row.policy, row.plan);
+            assert!(row.overhead >= 1.0 - 1e-9, "{}", row.overhead);
+        }
+        assert!(rows.iter().any(|r| r.recoveries == 1));
+        assert!(rows.iter().any(|r| r.replans == 1));
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        let s = scenario();
+        let plan = FaultPlan::fault_free().crash(0, 0, 9);
+        match run_elastic(&s, PolicyId::NoPfs, &plan) {
+            Err(SimError::Unsupported(m)) => assert!(m.contains("outside membership"), "{m}"),
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+}

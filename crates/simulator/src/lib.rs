@@ -23,6 +23,7 @@
 //! and the multi-tenant interference study (Fig. 2's shared-PFS
 //! contention across co-scheduled jobs) via [`cluster`].
 
+pub mod churn;
 pub mod cluster;
 pub mod engine;
 pub mod environment;
@@ -30,6 +31,7 @@ pub mod policies;
 pub mod result;
 pub mod scenario;
 
+pub use churn::{churn_sweep, run_elastic, ChurnRow, ElasticSimResult};
 pub use cluster::{run_cluster, SimTenant};
 pub use engine::run;
 pub use nopfs_policy::{Capabilities, PolicyId};

@@ -1,0 +1,506 @@
+//! Fault injection and retry for the storage hierarchy.
+//!
+//! Production traces of ML storage backends (and the cloud-storage
+//! characterization literature) show transient read errors are the
+//! norm, not the exception: loaders must retry with backoff rather
+//! than crash. This module provides both halves as [`DataSource`]
+//! wrappers, so they slot *beneath* a [`crate::TierStack`] — typically
+//! around the PFS origin — without the fetch paths above knowing:
+//!
+//! - [`FaultySource`] deterministically injects transient
+//!   [`SourceError::Io`] failures on reads, in bounded bursts, from a
+//!   seed (the same seed reproduces the same failure pattern);
+//! - [`RetryingSource`] retries transient failures with seeded,
+//!   jittered exponential backoff, and refuses to retry permanent
+//!   errors ([`SourceError::NotFound`] / [`SourceError::Full`] — a
+//!   missing sample does not come back, no matter how often one asks).
+//!
+//! Stacked as `RetryingSource(FaultySource(origin))` with a retry
+//! budget exceeding the burst bound, every read eventually succeeds —
+//! the "transient by construction" contract the elastic runtime's
+//! fault plans rely on.
+
+use crate::tier::{DataSource, SourceError};
+use crate::SampleId;
+use bytes::Bytes;
+use nopfs_util::rng::mix64;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Converts a hash to a uniform draw in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Configuration of deterministic transient-error injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorInjection {
+    /// Probability that a fresh read starts a failure burst.
+    pub rate: f64,
+    /// Maximum consecutive failures per burst (≥ 1). A retry budget
+    /// larger than this bound is guaranteed to succeed eventually.
+    pub max_burst: u32,
+    /// Seed of the failure pattern.
+    pub seed: u64,
+}
+
+impl ErrorInjection {
+    /// A new injection spec.
+    ///
+    /// # Panics
+    /// Panics on a rate outside `[0, 1)` or a zero burst bound.
+    pub fn new(rate: f64, max_burst: u32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "rate must be in [0, 1)");
+        assert!(max_burst >= 1, "bursts contain at least one failure");
+        Self {
+            rate,
+            max_burst,
+            seed,
+        }
+    }
+}
+
+/// Per-sample burst state of a [`FaultySource`].
+#[derive(Debug, Clone, Copy, Default)]
+struct BurstState {
+    /// Failures still owed in the current burst.
+    pending: u32,
+    /// Bursts started so far (the per-id draw counter).
+    bursts: u64,
+    /// The read right after a burst is guaranteed to succeed, bounding
+    /// consecutive failures at `max_burst` regardless of draws.
+    cooldown: bool,
+}
+
+/// A [`DataSource`] wrapper injecting transient read errors in bounded
+/// bursts: when a read of sample `k` draws a failure (probability
+/// `rate`, deterministic in the seed and the per-sample draw count),
+/// the next `1..=max_burst` reads of `k` fail with
+/// [`SourceError::Io`], after which one read is guaranteed clean.
+/// Writes and metadata are untouched.
+pub struct FaultySource {
+    inner: Arc<dyn DataSource>,
+    spec: ErrorInjection,
+    state: Mutex<HashMap<SampleId, BurstState>>,
+    injected: AtomicU64,
+}
+
+impl std::fmt::Debug for FaultySource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultySource")
+            .field("inner", &self.inner.name())
+            .field("spec", &self.spec)
+            .field("injected", &self.injected)
+            .finish()
+    }
+}
+
+impl FaultySource {
+    /// Wraps `inner` with the given injection spec.
+    pub fn new(inner: Arc<dyn DataSource>, spec: ErrorInjection) -> Self {
+        Self {
+            inner,
+            spec,
+            state: Mutex::new(HashMap::new()),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Total injected failures so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Whether this read should fail (and bookkeeping for the burst).
+    fn should_fail(&self, id: SampleId) -> bool {
+        let mut st = self.state.lock();
+        let s = st.entry(id).or_default();
+        if s.pending > 0 {
+            s.pending -= 1;
+            s.cooldown = s.pending == 0;
+            return true;
+        }
+        if s.cooldown {
+            s.cooldown = false;
+            return false;
+        }
+        let h = mix64(self.spec.seed, mix64(id, s.bursts));
+        s.bursts += 1;
+        if unit(h) < self.spec.rate {
+            // Burst length 1..=max_burst; this read is the first failure.
+            s.pending = (h >> 32) as u32 % self.spec.max_burst;
+            s.cooldown = s.pending == 0;
+            return true;
+        }
+        false
+    }
+}
+
+impl DataSource for FaultySource {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn read(&self, id: SampleId) -> Result<Bytes, SourceError> {
+        if self.should_fail(id) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(SourceError::Io(format!(
+                "injected transient fault on sample {id}"
+            )));
+        }
+        self.inner.read(id)
+    }
+
+    fn write(&self, id: SampleId, data: Bytes) -> Result<(), SourceError> {
+        self.inner.write(id, data)
+    }
+
+    fn contains(&self, id: SampleId) -> bool {
+        self.inner.contains(id)
+    }
+
+    fn capacity(&self) -> Option<u64> {
+        self.inner.capacity()
+    }
+
+    fn used(&self) -> u64 {
+        self.inner.used()
+    }
+
+    fn evict(&self, id: SampleId) -> bool {
+        self.inner.evict(id)
+    }
+
+    fn count(&self) -> usize {
+        self.inner.count()
+    }
+
+    fn size_of(&self, id: SampleId) -> Option<u64> {
+        self.inner.size_of(id)
+    }
+}
+
+/// Retry schedule: bounded attempts with seeded, jittered exponential
+/// backoff. Pure — [`RetryPolicy::backoff`] is a function of the
+/// attempt number and a draw counter, so jitter bounds are testable
+/// without clocks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total read attempts, including the first (≥ 1).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles per further retry.
+    pub base_backoff: Duration,
+    /// Jitter fraction in `[0, 1)`: each backoff is scaled by a seeded
+    /// factor in `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Seed of the jitter sequence.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A new policy.
+    ///
+    /// # Panics
+    /// Panics on zero attempts or jitter outside `[0, 1)`.
+    pub fn new(attempts: u32, base_backoff: Duration, jitter: f64, seed: u64) -> Self {
+        assert!(attempts >= 1, "at least one attempt");
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+        Self {
+            attempts,
+            base_backoff,
+            jitter,
+            seed,
+        }
+    }
+
+    /// The backoff before retry number `retry` (0-based), using `draw`
+    /// as the jitter counter. Always within
+    /// `base · 2^retry · [1 - jitter, 1 + jitter]`.
+    pub fn backoff(&self, retry: u32, draw: u64) -> Duration {
+        let base = self.base_backoff.as_secs_f64() * f64::from(1u32 << retry.min(20));
+        let u = unit(mix64(self.seed, draw));
+        let factor = 1.0 + self.jitter * (2.0 * u - 1.0);
+        Duration::from_secs_f64(base * factor)
+    }
+}
+
+/// A [`DataSource`] wrapper that retries transient read failures
+/// ([`SourceError::Io`]) under a [`RetryPolicy`], sleeping the jittered
+/// backoff between attempts. Permanent errors — [`SourceError::NotFound`]
+/// and [`SourceError::Full`] — are returned immediately: retrying them
+/// cannot help and only masks a broken dataset.
+pub struct RetryingSource {
+    inner: Arc<dyn DataSource>,
+    policy: RetryPolicy,
+    draws: AtomicU64,
+    retries: AtomicU64,
+    exhausted: AtomicU64,
+}
+
+impl std::fmt::Debug for RetryingSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RetryingSource")
+            .field("inner", &self.inner.name())
+            .field("policy", &self.policy)
+            .field("retries", &self.retries)
+            .finish()
+    }
+}
+
+impl RetryingSource {
+    /// Wraps `inner` under `policy`.
+    pub fn new(inner: Arc<dyn DataSource>, policy: RetryPolicy) -> Self {
+        Self {
+            inner,
+            policy,
+            draws: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            exhausted: AtomicU64::new(0),
+        }
+    }
+
+    /// Total retries performed so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Reads whose whole retry budget was exhausted.
+    pub fn exhausted(&self) -> u64 {
+        self.exhausted.load(Ordering::Relaxed)
+    }
+}
+
+impl DataSource for RetryingSource {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn read(&self, id: SampleId) -> Result<Bytes, SourceError> {
+        let mut last = None;
+        for attempt in 0..self.policy.attempts {
+            match self.inner.read(id) {
+                Ok(data) => return Ok(data),
+                Err(e @ (SourceError::NotFound(_) | SourceError::Full { .. })) => {
+                    // Permanent: no retry.
+                    return Err(e);
+                }
+                Err(e) => {
+                    last = Some(e);
+                    if attempt + 1 < self.policy.attempts {
+                        let draw = self.draws.fetch_add(1, Ordering::Relaxed);
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(self.policy.backoff(attempt, draw));
+                    }
+                }
+            }
+        }
+        self.exhausted.fetch_add(1, Ordering::Relaxed);
+        Err(last.expect("loop ran at least once"))
+    }
+
+    fn write(&self, id: SampleId, data: Bytes) -> Result<(), SourceError> {
+        self.inner.write(id, data)
+    }
+
+    fn contains(&self, id: SampleId) -> bool {
+        self.inner.contains(id)
+    }
+
+    fn capacity(&self) -> Option<u64> {
+        self.inner.capacity()
+    }
+
+    fn used(&self) -> u64 {
+        self.inner.used()
+    }
+
+    fn evict(&self, id: SampleId) -> bool {
+        self.inner.evict(id)
+    }
+
+    fn count(&self) -> usize {
+        self.inner.count()
+    }
+
+    fn size_of(&self, id: SampleId) -> Option<u64> {
+        self.inner.size_of(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{MemoryBackend, StorageBackend};
+
+    /// A source whose reads always fail transiently, counting attempts.
+    #[derive(Debug)]
+    struct AlwaysIo {
+        attempts: AtomicU64,
+    }
+
+    impl DataSource for AlwaysIo {
+        fn name(&self) -> &str {
+            "always-io"
+        }
+        fn read(&self, _id: SampleId) -> Result<Bytes, SourceError> {
+            self.attempts.fetch_add(1, Ordering::Relaxed);
+            Err(SourceError::Io("down".into()))
+        }
+        fn write(&self, _id: SampleId, _data: Bytes) -> Result<(), SourceError> {
+            Ok(())
+        }
+        fn contains(&self, _id: SampleId) -> bool {
+            false
+        }
+        fn capacity(&self) -> Option<u64> {
+            None
+        }
+        fn used(&self) -> u64 {
+            0
+        }
+        fn evict(&self, _id: SampleId) -> bool {
+            false
+        }
+        fn count(&self) -> usize {
+            0
+        }
+        fn size_of(&self, _id: SampleId) -> Option<u64> {
+            None
+        }
+    }
+
+    fn mem_with(ids: &[SampleId]) -> Arc<dyn DataSource> {
+        let m = MemoryBackend::new("mem", 1_000_000);
+        for &id in ids {
+            m.insert(id, Bytes::from(vec![id as u8; 8])).unwrap();
+        }
+        Arc::new(m)
+    }
+
+    fn fast_policy(attempts: u32) -> RetryPolicy {
+        RetryPolicy::new(attempts, Duration::from_micros(10), 0.5, 7)
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_last_transient_error() {
+        let counter = Arc::new(AlwaysIo {
+            attempts: AtomicU64::new(0),
+        });
+        let retry = RetryingSource::new(counter.clone() as Arc<dyn DataSource>, fast_policy(4));
+        match retry.read(3) {
+            Err(SourceError::Io(m)) => assert_eq!(m, "down"),
+            other => panic!("expected Io, got {other:?}"),
+        }
+        // Exactly the whole budget was spent: 4 attempts, 3 retries.
+        assert_eq!(counter.attempts.load(Ordering::Relaxed), 4);
+        assert_eq!(retry.retries(), 3);
+        assert_eq!(retry.exhausted(), 1);
+    }
+
+    #[test]
+    fn permanent_errors_are_never_retried() {
+        // NotFound: a single attempt, returned verbatim.
+        let empty = mem_with(&[]);
+        let retry = RetryingSource::new(empty, fast_policy(5));
+        assert_eq!(retry.read(9), Err(SourceError::NotFound(9)));
+        assert_eq!(retry.retries(), 0);
+        assert_eq!(retry.exhausted(), 0);
+    }
+
+    #[test]
+    fn jitter_stays_within_documented_bounds() {
+        let p = RetryPolicy::new(8, Duration::from_millis(10), 0.25, 0xBEEF);
+        for retry in 0..4u32 {
+            let base = 0.010 * f64::from(1u32 << retry);
+            let (lo, hi) = (base * 0.75, base * 1.25);
+            let mut spread = (f64::MAX, f64::MIN);
+            for draw in 0..200u64 {
+                let b = p.backoff(retry, draw).as_secs_f64();
+                assert!(
+                    (lo..=hi).contains(&b),
+                    "retry {retry} draw {draw}: {b} outside [{lo}, {hi}]"
+                );
+                spread = (spread.0.min(b), spread.1.max(b));
+            }
+            // The jitter actually jitters: draws spread over the range.
+            assert!(spread.1 - spread.0 > 0.2 * (hi - lo));
+        }
+        // Zero jitter is exact exponential backoff.
+        let p0 = RetryPolicy::new(3, Duration::from_millis(10), 0.0, 1);
+        assert_eq!(p0.backoff(2, 42), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn injected_bursts_are_bounded_and_deterministic() {
+        let spec = ErrorInjection::new(0.3, 3, 0xFA);
+        let run = || {
+            let f = FaultySource::new(mem_with(&[0, 1, 2, 3]), spec);
+            let mut outcomes = Vec::new();
+            for _ in 0..200 {
+                for id in 0..4u64 {
+                    outcomes.push(f.read(id).is_ok());
+                }
+            }
+            (outcomes, f.injected())
+        };
+        let (a, injected) = run();
+        let (b, _) = run();
+        assert_eq!(a, b, "same seed, same failure pattern");
+        assert!(injected > 0, "rate 0.3 over 800 reads must inject");
+        // Burst bound: per id, never more than max_burst consecutive
+        // failures (a success always follows within 3).
+        for id in 0..4usize {
+            let per_id: Vec<bool> = a.iter().skip(id).step_by(4).copied().collect();
+            let mut consecutive = 0u32;
+            for ok in per_id {
+                if ok {
+                    consecutive = 0;
+                } else {
+                    consecutive += 1;
+                    assert!(consecutive <= 3, "burst exceeded bound on sample {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retry_over_injection_always_succeeds() {
+        // attempts > max_burst: the cooldown guarantee makes every read
+        // eventually succeed, whatever the seed.
+        for seed in 0..20u64 {
+            let faulty = Arc::new(FaultySource::new(
+                mem_with(&[0, 1, 2]),
+                ErrorInjection::new(0.45, 2, seed),
+            ));
+            let retry = RetryingSource::new(faulty, fast_policy(4));
+            for round in 0..50 {
+                for id in 0..3u64 {
+                    let data = retry
+                        .read(id)
+                        .unwrap_or_else(|e| panic!("seed {seed} round {round}: {e}"));
+                    assert_eq!(data[0], id as u8);
+                }
+            }
+            assert_eq!(retry.exhausted(), 0);
+        }
+    }
+
+    #[test]
+    fn metadata_and_writes_pass_through_both_wrappers() {
+        let faulty = Arc::new(FaultySource::new(
+            mem_with(&[5]),
+            ErrorInjection::new(0.0, 1, 0),
+        ));
+        let retry = RetryingSource::new(faulty, fast_policy(2));
+        assert_eq!(retry.name(), "mem");
+        assert!(retry.contains(5));
+        assert_eq!(retry.size_of(5), Some(8));
+        retry.write(6, Bytes::from_static(b"abcd")).unwrap();
+        assert_eq!(retry.count(), 2);
+        assert!(retry.evict(6));
+        assert_eq!(retry.count(), 1);
+    }
+}

@@ -18,17 +18,23 @@
 //!   trait unifying every storage level (these backends, the synthetic
 //!   PFS, anything colder) and [`tier::TierStack`], the single fetch
 //!   entry point with per-tier statistics and promotion-on-miss.
+//! - [`fault`] — fault injection and retry as [`tier::DataSource`]
+//!   wrappers: [`fault::FaultySource`] injects deterministic bounded
+//!   bursts of transient read errors, [`fault::RetryingSource`] retries
+//!   them with seeded jittered exponential backoff.
 
 pub mod backend;
+pub mod fault;
 pub mod metadata;
 pub mod reorder;
 pub mod staging;
 pub mod tier;
 
 pub use backend::{FsBackend, MemoryBackend, StorageBackend, ThrottledBackend};
+pub use fault::{ErrorInjection, FaultySource, RetryPolicy, RetryingSource};
 pub use metadata::MetadataStore;
 pub use reorder::ReorderStage;
-pub use staging::{StagingBuffer, StagingStats};
+pub use staging::{ProducerGuard, ProducerLost, StagingBuffer, StagingStats};
 pub use tier::{
     build_stack, DataSource, PromotePolicy, SourceError, TierSpec, TierStack, TierStats,
 };

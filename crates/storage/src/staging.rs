@@ -29,6 +29,11 @@ struct State {
     max_used: u64,
     total_pushed: u64,
     total_popped: u64,
+    /// Registered producers currently alive (see [`ProducerGuard`]).
+    producers: usize,
+    /// Registered producers that died without completing: their owed
+    /// samples will never arrive, so consumers must not keep waiting.
+    lost: usize,
 }
 
 #[derive(Debug)]
@@ -65,6 +70,8 @@ impl StagingBuffer {
                     max_used: 0,
                     total_pushed: 0,
                     total_popped: 0,
+                    producers: 0,
+                    lost: 0,
                 }),
                 space: Condvar::new(),
                 data: Condvar::new(),
@@ -122,21 +129,59 @@ impl StagingBuffer {
         true
     }
 
+    /// Registers a producer with the buffer. Hold the returned guard
+    /// for the producer's lifetime and call [`ProducerGuard::complete`]
+    /// on clean exit; dropping it without completing (a panic, a crash
+    /// injected by a fault plan) marks the producer as dead, and
+    /// consumers observe [`ProducerLost`] once the queue drains instead
+    /// of blocking until timeout on samples that will never arrive.
+    pub fn producer(&self) -> ProducerGuard {
+        self.inner.state.lock().producers += 1;
+        ProducerGuard {
+            buf: self.clone(),
+            completed: false,
+        }
+    }
+
+    /// Registered producers that died without completing.
+    pub fn lost_producers(&self) -> usize {
+        self.inner.state.lock().lost
+    }
+
     /// Removes the oldest sample, blocking until one is available.
-    /// Returns `None` once the buffer is closed *and* drained.
+    /// Returns `None` once the buffer is closed *and* drained, or as
+    /// soon as a registered producer is known dead (use
+    /// [`Self::pop_checked`] to distinguish the two).
     pub fn pop(&self) -> Option<(SampleId, Bytes)> {
-        self.pop_until(None)
+        self.pop_until(None).unwrap_or(None)
     }
 
     /// Like [`Self::pop`] but gives up after `timeout`.
     pub fn pop_timeout(&self, timeout: Duration) -> Option<(SampleId, Bytes)> {
         self.pop_until(Some(Instant::now() + timeout))
+            .unwrap_or(None)
+    }
+
+    /// Like [`Self::pop`]/[`Self::pop_timeout`] (`timeout: None` waits
+    /// forever) but surfaces producer death: `Err(ProducerLost)` when a
+    /// registered producer died mid-fill and the queue has drained,
+    /// `Ok(None)` on clean close or timeout.
+    pub fn pop_checked(
+        &self,
+        timeout: Option<Duration>,
+    ) -> Result<Option<(SampleId, Bytes)>, ProducerLost> {
+        self.pop_until(timeout.map(|t| Instant::now() + t))
     }
 
     /// The shared drain loop: waits for data until `deadline` (forever
-    /// when `None`), draining the queue ahead of close/timeout checks so
-    /// buffered samples are never lost.
-    fn pop_until(&self, deadline: Option<Instant>) -> Option<(SampleId, Bytes)> {
+    /// when `None`), draining the queue ahead of death/close/timeout
+    /// checks so buffered samples are never lost. A dead registered
+    /// producer surfaces as an error the moment the queue is empty —
+    /// never by blocking out the timeout.
+    fn pop_until(
+        &self,
+        deadline: Option<Instant>,
+    ) -> Result<Option<(SampleId, Bytes)>, ProducerLost> {
         let mut st = self.inner.state.lock();
         loop {
             if let Some((id, data)) = st.queue.pop_front() {
@@ -144,15 +189,18 @@ impl StagingBuffer {
                 st.total_popped += 1;
                 drop(st);
                 self.inner.space.notify_all();
-                return Some((id, data));
+                return Ok(Some((id, data)));
+            }
+            if st.lost > 0 {
+                return Err(ProducerLost);
             }
             if st.closed {
-                return None;
+                return Ok(None);
             }
             match deadline {
                 Some(d) => {
                     if self.inner.data.wait_until(&mut st, d).timed_out() {
-                        return None;
+                        return Ok(None);
                     }
                 }
                 None => self.inner.data.wait(&mut st),
@@ -183,6 +231,47 @@ impl StagingBuffer {
             popped: st.total_popped,
             max_used_bytes: st.max_used,
         }
+    }
+}
+
+/// A producer died mid-fill: samples it owed the buffer will never
+/// arrive, so the consumer's stream is broken past this point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProducerLost;
+
+impl std::fmt::Display for ProducerLost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "staging producer died mid-fill")
+    }
+}
+
+impl std::error::Error for ProducerLost {}
+
+/// RAII registration of one producer (see [`StagingBuffer::producer`]).
+#[derive(Debug)]
+pub struct ProducerGuard {
+    buf: StagingBuffer,
+    completed: bool,
+}
+
+impl ProducerGuard {
+    /// Marks this producer as cleanly finished; its eventual drop no
+    /// longer counts as a death.
+    pub fn complete(mut self) {
+        self.completed = true;
+    }
+}
+
+impl Drop for ProducerGuard {
+    fn drop(&mut self) {
+        let mut st = self.buf.inner.state.lock();
+        st.producers -= 1;
+        if !self.completed {
+            st.lost += 1;
+        }
+        drop(st);
+        // Wake consumers either way: a death must surface immediately.
+        self.buf.inner.data.notify_all();
     }
 }
 
@@ -340,6 +429,63 @@ mod tests {
         let t0 = Instant::now();
         assert!(buf.pop_timeout(Duration::from_millis(25)).is_none());
         assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn producer_death_surfaces_as_error_not_timeout() {
+        let buf = StagingBuffer::new(100);
+        let b2 = buf.clone();
+        let producer = thread::spawn(move || {
+            let guard = b2.producer();
+            b2.push(1, Bytes::from_static(b"a"));
+            drop(guard); // crash mid-fill: never completed
+        });
+        producer.join().unwrap();
+        // The staged sample still drains first…
+        assert_eq!(buf.pop_checked(None).unwrap().unwrap().0, 1);
+        // …then the death surfaces immediately, well before the timeout.
+        let t0 = Instant::now();
+        assert_eq!(
+            buf.pop_checked(Some(Duration::from_secs(10))),
+            Err(ProducerLost)
+        );
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        assert_eq!(buf.lost_producers(), 1);
+    }
+
+    #[test]
+    fn producer_death_wakes_a_blocked_consumer() {
+        let buf = StagingBuffer::new(100);
+        let b2 = buf.clone();
+        let consumer = thread::spawn(move || b2.pop_checked(None));
+        thread::sleep(Duration::from_millis(20));
+        assert!(!consumer.is_finished(), "consumer should be blocked");
+        drop(buf.producer()); // dies without completing
+        assert_eq!(consumer.join().unwrap(), Err(ProducerLost));
+    }
+
+    #[test]
+    fn completed_producers_do_not_trip_the_consumer() {
+        let buf = StagingBuffer::new(100);
+        let guard = buf.producer();
+        buf.push(1, Bytes::from_static(b"a"));
+        guard.complete();
+        buf.close();
+        assert_eq!(buf.pop_checked(None).unwrap().unwrap().0, 1);
+        assert_eq!(buf.pop_checked(None), Ok(None));
+        assert_eq!(buf.lost_producers(), 0);
+    }
+
+    #[test]
+    fn unchecked_pops_stop_early_on_producer_death() {
+        // Legacy Option-based pops cannot express the error, but they
+        // must not hang either: they return None promptly.
+        let buf = StagingBuffer::new(100);
+        drop(buf.producer());
+        let t0 = Instant::now();
+        assert_eq!(buf.pop_timeout(Duration::from_secs(10)), None);
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        assert_eq!(buf.pop(), None);
     }
 
     #[test]

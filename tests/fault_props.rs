@@ -1,0 +1,242 @@
+//! Property tests for the fault-injection and elasticity layer: the
+//! determinism suite behind the headline guarantee — a job disturbed by
+//! *any* valid [`FaultPlan`] (crashes, churn, stragglers, transient
+//! read errors, in any combination) delivers bit-for-bit the same
+//! global sample stream as the undisturbed run, and every membership
+//! change is replanned incrementally (zero epoch-shuffle
+//! regenerations) instead of re-running the O(E·F) setup pass.
+//!
+//! Three random-plan properties cover the threaded runtime
+//! ([`ElasticJob`]) and the discrete-event simulator
+//! ([`nopfs::simulator::run_elastic`]) across NoPFS and the identity
+//! baselines; a deterministic test pins the incremental-replan
+//! cheapness claim at the artifact level.
+
+use bytes::Bytes;
+use nopfs::clairvoyance::SetupPass;
+use nopfs::core::{ElasticJob, ElasticReport, JobConfig};
+use nopfs::perfmodel::presets::fig8_small_cluster;
+use nopfs::perfmodel::SystemSpec;
+use nopfs::policy::fault::{respec, ShuffleSpec};
+use nopfs::policy::{elastic_global_stream, FaultPlan, PolicyId, ReadErrors};
+use nopfs::simulator::{run_elastic, Scenario};
+use nopfs::util::timing::TimeScale;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+const SEED: u64 = 0xF4;
+const SAMPLES: u64 = 60;
+const SAMPLE_BYTES: u64 = 1_000;
+const WORKERS: usize = 3;
+const EPOCHS: u64 = 3;
+const BATCH: usize = 4;
+
+/// A 3-worker system small enough that property cases stay cheap, with
+/// per-worker RAM large enough to hold the whole dataset so the LBANN
+/// store stays feasible even when churn drains the job to one worker.
+fn small_system() -> SystemSpec {
+    let mut sys = fig8_small_cluster();
+    sys.workers = WORKERS;
+    sys.staging.capacity = 64 * SAMPLE_BYTES;
+    sys.staging.threads = 4;
+    sys.classes[0].capacity = 80 * SAMPLE_BYTES;
+    sys.classes[1].capacity = 100 * SAMPLE_BYTES;
+    sys
+}
+
+fn spec() -> ShuffleSpec {
+    ShuffleSpec::new(SEED, SAMPLES, WORKERS, BATCH, false)
+}
+
+/// The undisturbed global stream every disturbed run must reproduce.
+fn canon() -> Vec<u64> {
+    elastic_global_stream(
+        PolicyId::NoPfs,
+        &small_system(),
+        &vec![SAMPLE_BYTES; SAMPLES as usize],
+        &spec(),
+        EPOCHS,
+        &FaultPlan::fault_free(),
+    )
+    .expect("fault-free plan is always valid")
+}
+
+/// Runs the threaded elastic runtime under `plan`.
+fn elastic_run(plan: FaultPlan) -> ElasticReport {
+    let sizes = Arc::new(vec![SAMPLE_BYTES; SAMPLES as usize]);
+    let config = JobConfig::new(SEED, EPOCHS, BATCH, small_system(), TimeScale::new(1e-6));
+    let job = ElasticJob::new(config, Arc::clone(&sizes), plan).expect("clamped plan is valid");
+    let pfs = job.make_pfs();
+    for (id, &s) in sizes.iter().enumerate() {
+        let mut v = vec![0u8; s as usize];
+        v[0] = (id % 256) as u8;
+        pfs.put(id as u64, Bytes::from(v));
+    }
+    job.run(&pfs)
+}
+
+/// Applies raw churn draws (0 = none, 1 = join, 2 = leave) before
+/// epochs 1 and 2.
+fn churned(mut plan: FaultPlan, churn1: u8, churn2: u8) -> FaultPlan {
+    for (epoch, draw) in [(1u64, churn1), (2u64, churn2)] {
+        plan = match draw {
+            1 => plan.join(epoch),
+            2 => plan.leave(epoch),
+            _ => plan,
+        };
+    }
+    plan
+}
+
+/// Clamps raw crash draws into the plan's run shape: the rank must
+/// exist in the crash epoch's membership and the step must fall inside
+/// that epoch — so every generated plan passes `FaultPlan::validate`.
+fn with_clamped_crash(plan: FaultPlan, epoch: u64, raw_step: u64, raw_rank: u64) -> FaultPlan {
+    let n = plan.memberships(WORKERS, EPOCHS)[epoch as usize];
+    let steps = SAMPLES.div_ceil((n * BATCH) as u64);
+    plan.crash(epoch, raw_step % steps, (raw_rank % n as u64) as usize)
+}
+
+/// Distinct memberships beyond the initial one: the incremental replans
+/// a run must perform.
+fn expected_replans(plan: &FaultPlan) -> usize {
+    plan.memberships(WORKERS, EPOCHS)
+        .into_iter()
+        .filter(|&n| n != WORKERS)
+        .collect::<BTreeSet<_>>()
+        .len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The acceptance property: ANY plan with at least one
+    /// crash-and-restart — here combined with random churn, a random
+    /// straggler, and optional read-error injection — recovers the
+    /// exact fault-free global stream, and every membership change is
+    /// replanned without regenerating a single epoch shuffle.
+    #[test]
+    fn any_crash_and_restart_recovers_the_exact_global_stream(
+        churn in (0..3u8, 0..3u8),
+        crash in (0..3u64, 0..64u64, 0..64u64),
+        straggler in (0..3u64, 0..3usize, 1.0f64..3.0),
+        errors in (0..2u8, 0.01f64..0.2, 1..3u32, 0..u64::MAX),
+    ) {
+        let mut plan = churned(FaultPlan::fault_free(), churn.0, churn.1)
+            .straggle(straggler.0, straggler.1, straggler.2);
+        if errors.0 == 1 {
+            plan = plan.with_read_errors(ReadErrors {
+                rate: errors.1,
+                max_burst: errors.2,
+                seed: errors.3,
+            });
+        }
+        let plan = with_clamped_crash(plan, crash.0, crash.1, crash.2);
+        prop_assert!(plan.has_crash());
+
+        let report = elastic_run(plan.clone());
+        prop_assert_eq!(&report.global_stream, &canon());
+        prop_assert!(report.recoveries >= 1);
+        prop_assert_eq!(report.stats.samples_consumed, SAMPLES * EPOCHS);
+        // The cheapness half of the claim: recovery re-splits cached
+        // setup streams; the shuffle-generation counter never advances.
+        prop_assert_eq!(report.replans as usize, expected_replans(&plan));
+        prop_assert_eq!(report.replan_shuffle_generations, 0);
+        prop_assert_eq!(report.setup.shuffle_generations, EPOCHS);
+    }
+
+    /// Crash-free disturbances — churn, a straggler, and always-on read
+    /// errors — leave delivered content untouched, and every injected
+    /// error is absorbed by the retry layer beneath the tier stacks.
+    #[test]
+    fn churn_stragglers_and_read_errors_leave_content_untouched(
+        churn in (0..3u8, 0..3u8),
+        straggler in (0..3u64, 0..3usize, 1.0f64..4.0),
+        errors in (0.01f64..0.25, 1..3u32, 0..u64::MAX),
+    ) {
+        let plan = churned(FaultPlan::fault_free(), churn.0, churn.1)
+            .straggle(straggler.0, straggler.1, straggler.2)
+            .with_read_errors(ReadErrors {
+                rate: errors.0,
+                max_burst: errors.1,
+                seed: errors.2,
+            });
+
+        let report = elastic_run(plan.clone());
+        prop_assert_eq!(&report.global_stream, &canon());
+        prop_assert_eq!(report.recoveries, 0);
+        prop_assert_eq!(report.replans as usize, expected_replans(&plan));
+        prop_assert_eq!(report.replan_shuffle_generations, 0);
+        // Transient by construction: the retry budget exceeds the burst
+        // bound, so every injected failure is retried through.
+        prop_assert!(report.read_retries >= report.injected_read_errors);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The simulator's elastic path replays exactly too, for NoPFS and
+    /// the three identity-transform baselines alike: random churn, an
+    /// optional crash, and a straggler never change the modelled
+    /// delivered stream.
+    #[test]
+    fn simulated_policies_replay_exactly_under_random_plans(
+        policy_idx in 0..4usize,
+        churn in (0..3u8, 0..3u8),
+        crash in (0..2u8, 0..3u64, 0..64u64, 0..64u64),
+        straggle_factor in 1.0f64..4.0,
+    ) {
+        let policy = [
+            PolicyId::NoPfs,
+            PolicyId::Naive,
+            PolicyId::StagingBuffer,
+            PolicyId::LbannDynamic,
+        ][policy_idx];
+        let scenario = Scenario::new(
+            "fault-props",
+            small_system(),
+            vec![SAMPLE_BYTES; SAMPLES as usize],
+            EPOCHS,
+            BATCH,
+            SEED,
+        );
+
+        let mut plan = churned(FaultPlan::fault_free(), churn.0, churn.1)
+            .straggle(1, 0, straggle_factor);
+        if crash.0 == 1 {
+            plan = with_clamped_crash(plan, crash.1, crash.2, crash.3);
+        }
+
+        let base = run_elastic(&scenario, policy, &FaultPlan::fault_free())
+            .expect("fault-free plan is always valid");
+        let hit = run_elastic(&scenario, policy, &plan).expect("clamped plan is valid");
+        prop_assert_eq!(hit.global_stream(), base.global_stream());
+        prop_assert_eq!(hit.replans, expected_replans(&plan));
+        prop_assert_eq!(hit.recoveries, usize::from(plan.has_crash()));
+    }
+}
+
+/// The artifact-level statement of the cheapness claim: an incremental
+/// replan re-splits the cached setup streams into artifacts that are
+/// bit-identical to a fresh `SetupPass` at the new membership, while
+/// its own shuffle-generation counter records zero.
+#[test]
+fn incremental_replan_is_bit_identical_and_generates_no_shuffles() {
+    let base = SetupPass::new(spec(), EPOCHS).run();
+    assert_eq!(base.shuffles_generated, EPOCHS);
+    for n in [1, 2, 4, 5] {
+        let replanned = base.replan(n);
+        assert_eq!(replanned.shuffles_generated, 0, "replan to {n} workers");
+        let fresh = SetupPass::new(respec(&spec(), n), EPOCHS).run();
+        assert_eq!(fresh.shuffles_generated, EPOCHS);
+        for w in 0..n {
+            assert_eq!(
+                replanned.stream(w),
+                fresh.stream(w),
+                "worker {w} of {n}: replan diverged from a fresh pass"
+            );
+        }
+    }
+}

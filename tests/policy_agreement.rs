@@ -20,12 +20,14 @@
 
 use bytes::Bytes;
 use nopfs::baselines::run_policy;
-use nopfs::core::JobConfig;
+use nopfs::core::{ElasticJob, JobConfig};
 use nopfs::perfmodel::presets::fig8_small_cluster;
 use nopfs::perfmodel::{SystemSpec, ThroughputCurve};
 use nopfs::pfs::Pfs;
-use nopfs::policy::{build_core, transformed_streams, PolicyId};
-use nopfs::simulator::{Scenario, SimError};
+use nopfs::policy::{
+    build_core, elastic_epoch_streams, transformed_streams, FaultPlan, PolicyId, ReadErrors,
+};
+use nopfs::simulator::{run_elastic, Scenario, SimError};
 use nopfs::util::timing::TimeScale;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -238,6 +240,72 @@ fn every_policy_agrees_across_harnesses() {
             }
         }
     }
+}
+
+/// Elastic agreement: under the SAME fault plan — a mid-epoch crash,
+/// a leave, a straggler, and transient read errors — the threaded
+/// runtime's recovery streams ([`ElasticJob`]) and the simulator's
+/// modelled ones ([`run_elastic`]) are identical per epoch and per
+/// rank, and both equal the policy layer's canonical expected streams.
+#[test]
+fn runtime_and_simulator_recover_identical_streams_under_one_fault_plan() {
+    let cfg = &CONFIGS[0]; // ample: every source path reachable
+    let plan = FaultPlan::fault_free()
+        .crash(0, 2, 1)
+        .leave(1)
+        .straggle(0, 2, 2.0)
+        .with_read_errors(ReadErrors {
+            rate: 0.1,
+            max_burst: 2,
+            seed: 0xFA11,
+        });
+
+    // Runtime leg: real threads, warm-cache handoff, actual retries.
+    let config = JobConfig::new(SEED, EPOCHS, BATCH, system(cfg), TimeScale::new(1e-6));
+    let sizes = Arc::new(vec![SAMPLE_BYTES; cfg.samples as usize]);
+    let job = ElasticJob::new(config, Arc::clone(&sizes), plan.clone()).expect("valid plan");
+    let pfs = job.make_pfs();
+    for id in 0..cfg.samples {
+        pfs.put(
+            id,
+            Bytes::from(vec![(id % 256) as u8; SAMPLE_BYTES as usize]),
+        );
+    }
+    let report = job.run(&pfs);
+
+    // Simulator leg: the same plan, modelled.
+    let scenario = Scenario::new(
+        cfg.name,
+        system(cfg),
+        vec![SAMPLE_BYTES; cfg.samples as usize],
+        EPOCHS,
+        BATCH,
+        SEED,
+    );
+    let sim = run_elastic(&scenario, PolicyId::NoPfs, &plan).expect("valid plan");
+
+    // Both harnesses saw the same memberships and replanned once.
+    assert_eq!(report.memberships, vec![WORKERS, WORKERS - 1]);
+    assert_eq!(sim.memberships, report.memberships);
+    assert_eq!(report.replans, 1);
+    assert_eq!(sim.replans, 1);
+    assert_eq!(report.recoveries, 1);
+    assert_eq!(sim.recoveries, 1);
+    assert_eq!(report.replan_shuffle_generations, 0);
+
+    // Per-epoch, per-rank stream identity across harnesses, and both
+    // match the canonical policy-layer expectation.
+    assert_eq!(report.per_epoch, sim.epoch_streams);
+    let canon = elastic_epoch_streams(
+        PolicyId::NoPfs,
+        &system(cfg),
+        &vec![SAMPLE_BYTES; cfg.samples as usize],
+        &nopfs::clairvoyance::sampler::ShuffleSpec::new(SEED, cfg.samples, WORKERS, BATCH, false),
+        EPOCHS,
+        &plan,
+    )
+    .expect("valid plan");
+    assert_eq!(report.per_epoch, canon);
 }
 
 /// The NoPFS selection rule is one function (`decision::select_source`)
