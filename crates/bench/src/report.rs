@@ -9,6 +9,7 @@
 //! rather than a serde dependency.
 
 use nopfs_core::stats::SetupStats;
+use nopfs_storage::{ResilienceStats, TierStats};
 use nopfs_util::stats::Summary;
 use std::fmt::Write as _;
 
@@ -201,6 +202,51 @@ impl From<String> for Json {
     }
 }
 
+/// Serializes the resilience counters of an object-store origin (per
+/// rank, per tenant, or merged) for machine-readable reports.
+pub fn resilience_json(stats: &ResilienceStats) -> Json {
+    Json::obj([
+        ("reads", Json::from(stats.reads)),
+        ("retries", Json::from(stats.retries)),
+        ("exhausted", Json::from(stats.exhausted)),
+        ("hedges_fired", Json::from(stats.hedges_fired)),
+        ("hedges_won", Json::from(stats.hedges_won)),
+        ("deadline_misses", Json::from(stats.deadline_misses)),
+        ("throttled", Json::from(stats.throttled)),
+        (
+            "breaker_open_rejections",
+            Json::from(stats.breaker_open_rejections),
+        ),
+        ("breaker_to_open", Json::from(stats.breaker_to_open)),
+        (
+            "breaker_to_half_open",
+            Json::from(stats.breaker_to_half_open),
+        ),
+        ("breaker_to_closed", Json::from(stats.breaker_to_closed)),
+    ])
+}
+
+/// Serializes one tier's counters from a [`TierStack`] snapshot.
+///
+/// [`TierStack`]: nopfs_storage::TierStack
+pub fn tier_stats_json(tier: &TierStats) -> Json {
+    Json::obj([
+        ("name", Json::from(tier.name.clone())),
+        ("hits", Json::from(tier.hits)),
+        ("misses", Json::from(tier.misses)),
+        ("hit_rate", Json::Num(tier.hit_rate())),
+        ("bytes_read", Json::from(tier.bytes_read)),
+        ("fills", Json::from(tier.fills)),
+        ("bytes_filled", Json::from(tier.bytes_filled)),
+        ("promotions", Json::from(tier.promotions)),
+        ("demotions", Json::from(tier.demotions)),
+        ("evictions", Json::from(tier.evictions)),
+        ("bytes_evicted", Json::from(tier.bytes_evicted)),
+        ("capacity", tier.capacity.map_or(Json::Null, Json::from)),
+        ("used", Json::from(tier.used)),
+    ])
+}
+
 /// Where artifact `name` belongs: the workspace root, found by walking
 /// up from the current directory to the `Cargo.lock` (benches run with
 /// their package directory as CWD, examples with the workspace root —
@@ -253,6 +299,43 @@ mod tests {
         assert!(s.contains("\"empty\": []"));
         assert!(s.contains("\"none\": null"));
         assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn resilience_and_tier_stats_serialize_every_counter() {
+        let res = ResilienceStats {
+            reads: 10,
+            retries: 3,
+            hedges_fired: 2,
+            hedges_won: 1,
+            throttled: 4,
+            breaker_to_open: 1,
+            ..ResilienceStats::default()
+        };
+        let s = resilience_json(&res).render();
+        assert!(s.contains("\"reads\": 10"));
+        assert!(s.contains("\"hedges_won\": 1"));
+        assert!(s.contains("\"breaker_to_open\": 1"));
+        assert!(s.contains("\"exhausted\": 0"));
+
+        let tier = TierStats {
+            name: "ram".into(),
+            hits: 3,
+            misses: 1,
+            bytes_read: 300,
+            fills: 4,
+            bytes_filled: 400,
+            promotions: 2,
+            demotions: 0,
+            evictions: 1,
+            bytes_evicted: 100,
+            capacity: None,
+            used: 300,
+        };
+        let t = tier_stats_json(&tier).render();
+        assert!(t.contains("\"name\": \"ram\""));
+        assert!(t.contains("\"hit_rate\": 0.75"));
+        assert!(t.contains("\"capacity\": null"));
     }
 
     #[test]

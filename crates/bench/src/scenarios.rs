@@ -526,3 +526,185 @@ pub mod fig2 {
         ])
     }
 }
+
+/// The cloud-origin failure-domain experiment (`fig_cloud`): one
+/// scenario family shared by the bench and `examples/cloud.rs`, so the
+/// committed artifact and the CI smoke run exercise the same economics.
+///
+/// Three reproductions of the same claim:
+/// 1. **Simulator sweep** — request parallelism × brownout severity,
+///    hardened (deadline + hedge + breaker) vs unbounded naive origin
+///    clients on identical disturbance seeds.
+/// 2. **Thread runtime** — an [`nopfs_core::ElasticJob`] with a
+///    [`nopfs_policy::CloudFaults`] clause, proving the disturbed global stream is
+///    bit-identical to the fault-free run.
+/// 3. **Cluster** — a cloud tenant co-scheduled with a steady one,
+///    surfacing per-tenant `ResilienceStats`/`TierStats`.
+pub mod fig_cloud {
+    use super::*;
+    use nopfs_cluster::{ClusterSpec, TenantSpec};
+    use nopfs_policy::{CloudFaults, FaultPlan, PolicyId};
+    use nopfs_simulator::{CloudResilience, CloudSpec, Scenario};
+    use nopfs_util::timing::TimeScale;
+
+    /// Object-store per-request latency floor, model seconds.
+    pub const FLOOR: f64 = 0.002;
+    /// The headline bound: the hardened client's execution time under a
+    /// brownout stays within this factor of its fault-free run.
+    pub const BOUND: f64 = 1.5;
+    /// Per-worker batch size.
+    pub const BATCH: usize = 8;
+    /// Training epochs.
+    pub const EPOCHS: u64 = 3;
+    /// Base sample payload, bytes.
+    pub const SAMPLE_BYTES: u64 = 100_000;
+
+    /// Brownout severities swept by the bench: label, latency factor,
+    /// and extra throttle probability inside the window.
+    pub const SEVERITIES: [(&str, f64, f64); 3] = [
+        ("mild", 1.5, 0.2),
+        ("moderate", 2.0, 0.3),
+        ("severe", 3.0, 0.4),
+    ];
+
+    /// Samples at `extra_scale` (kept divisible by the largest swept
+    /// global batch so every parallelism sees identical epochs).
+    pub fn samples(extra_scale: f64) -> u64 {
+        let global = (8 * BATCH) as u64;
+        (((2_000.0 * extra_scale) as u64) / global).max(1) * global
+    }
+
+    /// The simulator scenario at a given request parallelism: the
+    /// object store's aggregate throughput grows with request
+    /// parallelism up to a 16-client knee at 400 MB/s — below the
+    /// largest swept fleet's aggregate demand, so parallelism is
+    /// priced without collapsing the fault-free baseline into a
+    /// congestion regime where jittered retries would *help*.
+    /// Per-worker caches hold the dataset after the cold epoch.
+    pub fn sim_scenario(workers: usize, extra_scale: f64) -> Scenario {
+        let mut sys = fig8_small_cluster();
+        sys.workers = workers;
+        sys.pfs_read = saturating_pfs_curve(400.0 * MB, 16.0);
+        let cap = extra_scale.max(1.0);
+        sys.classes[0].capacity = (60_000_000.0 * cap) as u64;
+        sys.classes[1].capacity = (200_000_000.0 * cap) as u64;
+        sys.staging.capacity = (16_000_000.0 * cap) as u64;
+        let sizes = vec![SAMPLE_BYTES; samples(extra_scale) as usize];
+        Scenario::new(
+            format!("cloud-n{workers}"),
+            sys,
+            sizes,
+            EPOCHS,
+            BATCH,
+            0xC10D_0001,
+        )
+    }
+
+    /// The fault-free reference: same seed, nothing ever fires.
+    pub fn quiet() -> CloudFaults {
+        CloudFaults::none(0xC10D_5EED)
+    }
+
+    /// The ambient disturbance outside brownout windows: 4% of
+    /// requests draw a 30x tail-latency spike (the hedged client's
+    /// structural advantage — a second request almost always dodges
+    /// the tail), throttle bursts run up to 6 deep with a
+    /// `retry_after` hint of one latency floor.
+    pub fn ambient() -> CloudFaults {
+        CloudFaults {
+            spike_rate: 0.04,
+            spike_factor: 30.0,
+            throttle_burst: 6,
+            retry_after: FLOOR,
+            ..CloudFaults::none(0xC10D_5EED)
+        }
+    }
+
+    /// [`ambient`] plus a brownout window over the first 30% of
+    /// `quiet_time` — the cold-cache epoch, when origin traffic peaks
+    /// and a degraded origin hurts the most.
+    pub fn storm(quiet_time: f64, latency_factor: f64, extra_throttle: f64) -> CloudFaults {
+        ambient().brownout(0.0, 0.3 * quiet_time, latency_factor, extra_throttle)
+    }
+
+    /// Routes `scenario`'s origin through the analytic object store
+    /// with the given faults and client resilience.
+    pub fn with_cloud(scenario: &Scenario, faults: CloudFaults, res: CloudResilience) -> Scenario {
+        let curve = scenario.system.pfs_read.clone();
+        scenario
+            .clone()
+            .with_cloud(CloudSpec::new(FLOOR, curve, faults, res))
+    }
+
+    /// The hardened client under test.
+    pub fn hardened() -> CloudResilience {
+        CloudResilience::hardened(FLOOR)
+    }
+
+    /// The unbounded naive client: retries forever on a bare backoff,
+    /// no deadline, no hedge, no breaker.
+    pub fn naive() -> CloudResilience {
+        CloudResilience::naive(FLOOR / 4.0)
+    }
+
+    /// The runtime fault plan for the elastic stream-identity proof:
+    /// cloud disturbances layered over a mid-epoch crash, so the claim
+    /// covers recovery *and* origin degradation at once.
+    pub fn runtime_plan() -> FaultPlan {
+        let cloud = CloudFaults {
+            spike_rate: 0.05,
+            spike_factor: 6.0,
+            throttle_rate: 0.08,
+            throttle_burst: 2,
+            retry_after: 1e-4,
+            ..CloudFaults::none(0xC10D_0B10)
+        }
+        .brownout(0.0, 1e12, 3.0, 0.2);
+        FaultPlan::fault_free().crash(0, 2, 1).with_cloud(cloud)
+    }
+
+    /// The co-scheduled cluster: a cloud-origin NoPFS tenant next to a
+    /// steady naive tenant on one shared (fast) PFS, small enough for
+    /// CI but large enough to exercise every resilience counter.
+    pub fn cluster_spec() -> ClusterSpec {
+        let mut sys = fig8_small_cluster();
+        sys.workers = 2;
+        sys.staging.capacity = 2_000_000;
+        sys.staging.threads = 2;
+        sys.classes[0].capacity = 30_000_000;
+        sys.classes[1].capacity = 60_000_000;
+        let profile = |name: &str, seed: u64| {
+            nopfs_datasets::DatasetProfile::new(name, 60, 20_000.0, 0.0, 4, seed)
+        };
+        let cloud = CloudFaults {
+            spike_rate: 0.05,
+            spike_factor: 4.0,
+            throttle_rate: 0.1,
+            throttle_burst: 2,
+            retry_after: 1e-4,
+            ..CloudFaults::none(0xC10D_C105)
+        };
+        ClusterSpec::new(ThroughputCurve::flat(1e12), TimeScale::new(1e-6))
+            .tenant(
+                TenantSpec::new(
+                    "cloudy",
+                    PolicyId::NoPfs,
+                    sys.clone(),
+                    profile("cloudy", 0xC1),
+                    2,
+                    4,
+                    0xC2,
+                )
+                .with_fault_plan(FaultPlan::fault_free().with_cloud(cloud)),
+            )
+            .tenant(TenantSpec::new(
+                "steady",
+                PolicyId::Naive,
+                sys,
+                profile("steady", 0xC3),
+                2,
+                4,
+                0xC4,
+            ))
+    }
+}

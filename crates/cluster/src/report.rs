@@ -3,6 +3,7 @@
 use nopfs_core::stats::{SetupStats, WorkerStats};
 use nopfs_pfs::PfsStats;
 use nopfs_policy::PolicyId;
+use nopfs_storage::{ResilienceStats, TierStats};
 use nopfs_util::stats::Summary;
 
 /// What one tenant measured over its run.
@@ -25,6 +26,14 @@ pub struct TenantReport {
     pub stats: WorkerStats,
     /// Clairvoyant setup statistics (NoPFS tenants only).
     pub setup: Option<SetupStats>,
+    /// Resilience counters of the object-store origin (retries, hedges,
+    /// breaker transitions), merged across ranks; `None` unless the
+    /// tenant's fault plan carried a cloud clause.
+    pub resilience: Option<ResilienceStats>,
+    /// Per-tier cache statistics merged across the tenant's surviving
+    /// ranks (elastic NoPFS tenants only; baseline loaders manage their
+    /// caches internally and leave this empty).
+    pub tier_stats: Vec<TierStats>,
     /// The same tenant's solo steady epoch time, when an interference
     /// report ran it (model seconds).
     pub solo_epoch_time: Option<f64>,
@@ -126,6 +135,8 @@ mod tests {
             stall_time: 0.0,
             stats: stats(10, 5),
             setup: None,
+            resilience: None,
+            tier_stats: Vec::new(),
             solo_epoch_time: None,
             slowdown,
         }

@@ -40,10 +40,11 @@ fn inject_read_errors(pfs: &Pfs, errors: &ReadErrors, num_samples: u64) {
     }
 }
 
-/// Runs a crash/churn tenant through the elastic NoPFS runtime
+/// Runs a crash/churn/cloud tenant through the elastic NoPFS runtime
 /// ([`ElasticJob`] realizes every event of the plan, including its own
-/// read-error layer beneath the tier stacks) and reshapes the elastic
-/// report into the tenant vocabulary.
+/// read-error layer beneath the tier stacks and the object-store origin
+/// with its resilience stack) and reshapes the elastic report into the
+/// tenant vocabulary.
 fn run_tenant_elastic(
     tenant: &TenantSpec,
     system: SystemSpec,
@@ -72,6 +73,12 @@ fn run_tenant_elastic(
         stall_time: scale.to_model(report.stats.stall_time),
         stats: report.stats,
         setup: Some(report.setup),
+        resilience: tenant
+            .fault_plan
+            .cloud
+            .is_some()
+            .then_some(report.resilience),
+        tier_stats: report.tier_stats,
         solo_epoch_time: None,
         slowdown: None,
     }
@@ -88,9 +95,9 @@ fn run_tenant(
     scale: TimeScale,
     pfs: &Pfs,
 ) -> TenantReport {
-    // Crash and churn plans run in the elastic runtime, which realizes
-    // every event of the plan itself (including read errors, injected
-    // beneath its tier stacks rather than into the PFS).
+    // Crash, churn, and cloud plans run in the elastic runtime, which
+    // realizes every event of the plan itself (including read errors,
+    // injected beneath its tier stacks rather than into the PFS).
     if tenant.needs_elastic() {
         return run_tenant_elastic(tenant, system, scale, pfs);
     }
@@ -157,6 +164,8 @@ fn run_tenant(
         stall_time,
         stats,
         setup,
+        resilience: None,
+        tier_stats: Vec::new(),
         solo_epoch_time: None,
         slowdown: None,
     }
@@ -430,6 +439,39 @@ mod tests {
         let t = &report.tenants[0];
         assert!(t.stats.pfs_errors > 0, "rate 0.3 over 40 ids must fire");
         assert_eq!(t.stats.samples_consumed, 80, "retries absorb every burst");
+    }
+
+    #[test]
+    fn cloud_origin_tenants_report_resilience() {
+        use nopfs_policy::{CloudFaults, FaultPlan};
+        let cloud = CloudFaults {
+            spike_rate: 0.05,
+            spike_factor: 4.0,
+            throttle_rate: 0.1,
+            throttle_burst: 2,
+            retry_after: 1e-4,
+            ..CloudFaults::none(0xC10D)
+        };
+        let spec = fast_spec()
+            .tenant(
+                tenant("cloudy", PolicyId::NoPfs, 60, 91)
+                    .with_fault_plan(FaultPlan::fault_free().with_cloud(cloud)),
+            )
+            .tenant(tenant("steady", PolicyId::Naive, 40, 92));
+        let report = run_cluster(&spec);
+        let c = &report.tenants[0];
+        // The origin detour costs time, never content.
+        assert_eq!(c.stats.samples_consumed, 2 * 60);
+        let res = c.resilience.as_ref().expect("cloud tenants report stats");
+        assert!(res.reads > 0, "origin must be exercised");
+        assert!(res.throttled > 0, "rate 0.1 over 60 ids must fire");
+        assert_eq!(res.exhausted, 0, "retry budget absorbs every burst");
+        // Elastic tenants also surface their merged cache-tier view.
+        assert!(!c.tier_stats.is_empty(), "tier stats ride along");
+        assert!(c.tier_stats.iter().any(|t| t.hits > 0));
+        // Tenants without a cloud clause don't.
+        assert!(report.tenants[1].resilience.is_none());
+        assert!(report.tenants[1].tier_stats.is_empty());
     }
 
     #[test]

@@ -100,10 +100,13 @@ impl TenantSpec {
     }
 
     /// Whether the plan needs the elastic runtime: crashes tear worker
-    /// sets down mid-epoch, churn changes the membership — both beyond
-    /// what a steady-state loader stack can absorb in place.
+    /// sets down mid-epoch, churn changes the membership, and cloud
+    /// clauses re-route the origin through the object-store backend and
+    /// its resilience stack — all beyond what a steady-state loader
+    /// stack can absorb in place.
     pub fn needs_elastic(&self) -> bool {
         self.fault_plan.has_crash()
+            || self.fault_plan.cloud.is_some()
             || self
                 .fault_plan
                 .memberships(self.system.workers, self.epochs)
@@ -182,9 +185,9 @@ impl ClusterSpec {
             let elastic = t.needs_elastic();
             assert!(
                 !elastic || t.policy == PolicyId::NoPfs,
-                "tenant '{}': crash/churn fault plans need the elastic \
-                 NoPFS runtime; {} tenants support stragglers and read \
-                 errors only",
+                "tenant '{}': crash/churn/cloud fault plans need the \
+                 elastic NoPFS runtime; {} tenants support stragglers \
+                 and read errors only",
                 t.name,
                 t.policy
             );

@@ -25,7 +25,9 @@ use nopfs_clairvoyance::sampler::ShuffleSpec;
 use nopfs_net::Endpoint;
 use nopfs_perfmodel::Location;
 use nopfs_pfs::Pfs;
-use nopfs_storage::{ReorderStage, SourceError, TierStack, TierStats};
+use nopfs_storage::{
+    ReorderStage, ResilienceStats, SourceError, SourceHealth, TierStack, TierStats,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -55,17 +57,25 @@ pub(crate) struct Shared {
     pub setup: SetupStats,
 }
 
-/// Reads `id` from the hierarchy's origin (the PFS) with bounded
-/// retries on transient errors.
+/// Reads `id` from the hierarchy's origin with patient, bounded
+/// retries.
+///
+/// The origin may now be a resilient cloud chain whose circuit breaker
+/// fails reads fast with [`SourceError::Unavailable`] while a brownout
+/// lasts; those windows *pass*, so this loop waits them out with a
+/// small capped backoff instead of escalating. The wall-clock budget
+/// keeps liveness: a loader that cannot make progress for a minute is
+/// broken, not browned out.
 ///
 /// # Panics
-/// Panics when the object is missing or still failing after the retry
-/// budget — either means the dataset itself is broken, which no loader
-/// policy can paper over.
+/// Panics when the object is missing ([`SourceError::NotFound`] — the
+/// dataset itself is broken, which no loader policy can paper over) or
+/// when reads are still failing after the wall-clock budget.
 fn origin_read_retry(tiers: &TierStack, id: SampleId, stats: &StatsCollector) -> Bytes {
-    const ATTEMPTS: u32 = 5;
-    let mut last_err = None;
-    for attempt in 0..ATTEMPTS {
+    const BUDGET: std::time::Duration = std::time::Duration::from_secs(60);
+    let start = Instant::now();
+    let mut attempt = 0u32;
+    loop {
         match tiers.read_origin(id) {
             Ok(data) => return data,
             Err(SourceError::NotFound(_)) => {
@@ -73,13 +83,18 @@ fn origin_read_retry(tiers: &TierStack, id: SampleId, stats: &StatsCollector) ->
             }
             Err(e) => {
                 stats.count_pfs_error();
-                last_err = Some(e);
-                // Tiny backoff; transient faults in tests clear quickly.
-                std::thread::sleep(std::time::Duration::from_micros(50 << attempt));
+                if start.elapsed() >= BUDGET {
+                    panic!("origin read of sample {id} still failing after {BUDGET:?}: {e}");
+                }
+                attempt += 1;
+                // Escalate 50µs → 2ms, then hold: long enough to drain
+                // transient bursts, short enough that breaker reopening
+                // after a brownout is observed almost immediately.
+                let us = (50u64 << attempt.min(10)).min(2_000);
+                std::thread::sleep(std::time::Duration::from_micros(us));
             }
         }
     }
-    panic!("PFS read of sample {id} failed after {ATTEMPTS} attempts: {last_err:?}");
 }
 
 struct WorkerCtx {
@@ -136,14 +151,19 @@ impl WorkerCtx {
         // The pick itself is the workspace-wide NoPFS selection rule —
         // the ordered-tier-list argmin (`select_source_tiered`) that
         // the simulator's NoPFS policy also funnels into, reached via
-        // the shared {local tier, remote tier, origin} wrapper.
+        // the degraded {local tier, remote tier, origin} wrapper: when
+        // the origin's circuit breaker is open (health `Unavailable`),
+        // the fetch steers to peers or local tiers instead of queueing
+        // on a source that will fail fast anyway.
         let gamma = self.pfs.reader_count() + 1;
-        let choice = nopfs_policy::decision::select_source(
+        let origin_ok = self.tiers.origin_health() != SourceHealth::Unavailable;
+        let choice = nopfs_policy::decision::select_source_degraded(
             sys,
             local_tier.map(|t| t as u8),
             best_remote.map(|(_, c)| c),
             size,
             gamma,
+            origin_ok,
         );
 
         let data = match choice {
@@ -470,6 +490,13 @@ impl WorkerHandle {
     /// [`TierStack`].
     pub fn tier_stats(&self) -> Vec<TierStats> {
         self.ctx.tiers.all_stats()
+    }
+
+    /// Resilience counters from the hierarchy's origin chain (retries,
+    /// hedges, breaker transitions), when the origin is wrapped in a
+    /// [`nopfs_storage::ResilientSource`]; `None` for a plain origin.
+    pub fn resilience_stats(&self) -> Option<ResilienceStats> {
+        self.ctx.tiers.origin_resilience()
     }
 
     /// Synchronizes all workers (bulk-synchronous step boundary).

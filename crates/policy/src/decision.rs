@@ -71,6 +71,34 @@ pub fn select_source(
     select_source_tiered(sys, &candidates, size, gamma)
 }
 
+/// Graceful degradation under an unhealthy origin: like
+/// [`select_source`], but when `origin_available` is false (an open
+/// circuit breaker is failing origin reads fast) the origin is dropped
+/// from the candidate list and the fetch steers to peers or local
+/// tiers instead of stalling the step loop. With no alternative
+/// candidate the origin is still returned — the caller must then wait
+/// out the breaker (there is nowhere else the bytes can come from).
+pub fn select_source_degraded(
+    sys: &SystemSpec,
+    local: Option<u8>,
+    remote: Option<u8>,
+    size: u64,
+    gamma: usize,
+    origin_available: bool,
+) -> Location {
+    let mut candidates: Vec<Location> = Vec::with_capacity(3);
+    if let Some(c) = local {
+        candidates.push(Location::Local(c));
+    }
+    if let Some(c) = remote {
+        candidates.push(Location::Remote(c));
+    }
+    if origin_available || candidates.is_empty() {
+        candidates.push(Location::Pfs);
+    }
+    select_source_tiered(sys, &candidates, size, gamma)
+}
+
 /// Per-worker PFS share (bytes/s) during bulk staging phases: all `N`
 /// workers stream concurrently, so each gets `t(N)/N`. Used to price
 /// prestaging phases identically in every harness.
@@ -193,6 +221,31 @@ mod tests {
     #[should_panic(expected = "origin")]
     fn empty_candidate_list_is_rejected() {
         select_source_tiered(&fig8_small_cluster(), &[], 1, 1);
+    }
+
+    #[test]
+    fn degraded_selection_steers_around_an_unavailable_origin() {
+        let sys = fig8_small_cluster();
+        // Healthy origin: identical to the plain selection.
+        for local in [None, Some(0u8)] {
+            for remote in [None, Some(0u8)] {
+                assert_eq!(
+                    select_source_degraded(&sys, local, remote, 1_000, 4, true),
+                    select_source(&sys, local, remote, 1_000, 4),
+                );
+            }
+        }
+        // Unavailable origin with alternatives: the origin never wins,
+        // even for a huge sample at heavy contention where it would.
+        let got = select_source_degraded(&sys, Some(1), None, 100_000_000, 64, false);
+        assert_eq!(got, Location::Local(1));
+        let got = select_source_degraded(&sys, None, Some(1), 100_000_000, 64, false);
+        assert_eq!(got, Location::Remote(1));
+        // Unavailable origin, no alternatives: nowhere else to go.
+        assert_eq!(
+            select_source_degraded(&sys, None, None, 1_000, 4, false),
+            Location::Pfs
+        );
     }
 
     #[test]

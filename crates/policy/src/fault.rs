@@ -44,6 +44,143 @@ pub struct ReadErrors {
     pub seed: u64,
 }
 
+/// One scheduled brownout of the cloud origin: a window of degraded
+/// service, in model-seconds from the start of the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Brownout {
+    /// Window start, model seconds.
+    pub start: f64,
+    /// Window length, model seconds.
+    pub duration: f64,
+    /// Latency multiplier (and throughput divisor) inside the window
+    /// (≥ 1).
+    pub latency_factor: f64,
+    /// Additional probability that a request inside the window is
+    /// throttled.
+    pub throttle_rate: f64,
+}
+
+/// Cloud-origin disturbances: the object-store failure vocabulary
+/// (tail-latency spikes, throttling, brownout windows), declared once
+/// and realized by each harness — the threaded runtime builds a
+/// disturbed `nopfs_storage::ObjectStoreBackend` beneath a resilient
+/// origin chain, the simulator prices the same windows analytically.
+///
+/// Like [`ReadErrors`], the disturbances are *bounded by construction*:
+/// throttle bursts never exceed `throttle_burst` consecutive failures
+/// per sample, so a retry budget above the bound (plus breaker settings
+/// that out-wait the longest brownout) keeps every read eventually
+/// successful and the global sample stream bit-identical to the
+/// fault-free run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloudFaults {
+    /// Probability a request draws a tail-latency spike.
+    pub spike_rate: f64,
+    /// Latency multiplier of a spiked request (≥ 1).
+    pub spike_factor: f64,
+    /// Baseline probability a fresh request opens a throttle burst.
+    pub throttle_rate: f64,
+    /// Maximum consecutive throttle responses per sample (≥ 1); keep
+    /// below the retry budget.
+    pub throttle_burst: u32,
+    /// Server `retry_after` hint on throttles, model seconds.
+    pub retry_after: f64,
+    /// Scheduled brownout windows.
+    pub brownouts: Vec<Brownout>,
+    /// Seed of the spike/throttle pattern.
+    pub seed: u64,
+}
+
+impl CloudFaults {
+    /// A quiet cloud origin: no spikes, throttles, or brownouts.
+    pub fn none(seed: u64) -> Self {
+        Self {
+            spike_rate: 0.0,
+            spike_factor: 1.0,
+            throttle_rate: 0.0,
+            throttle_burst: 1,
+            retry_after: 0.0,
+            brownouts: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Adds a brownout window (builder style).
+    #[must_use]
+    pub fn brownout(
+        mut self,
+        start: f64,
+        duration: f64,
+        latency_factor: f64,
+        throttle_rate: f64,
+    ) -> Self {
+        self.brownouts.push(Brownout {
+            start,
+            duration,
+            latency_factor,
+            throttle_rate,
+        });
+        self
+    }
+
+    /// Latency factor and extra throttle probability at model time
+    /// `now` (the strongest active brownout wins).
+    pub fn brownout_at(&self, now: f64) -> (f64, f64) {
+        let mut factor = 1.0f64;
+        let mut throttle = 0.0f64;
+        for w in &self.brownouts {
+            if now >= w.start && now < w.start + w.duration {
+                factor = factor.max(w.latency_factor);
+                throttle = throttle.max(w.throttle_rate);
+            }
+        }
+        (factor, throttle)
+    }
+
+    /// Checks rates, factors, and windows.
+    ///
+    /// # Errors
+    /// [`Unsupported`] naming the first invalid field.
+    pub fn validate(&self) -> Result<(), Unsupported> {
+        let rate = |name: &str, r: f64| {
+            if (0.0..1.0).contains(&r) {
+                Ok(())
+            } else {
+                Err(Unsupported(format!("cloud {name} {r} outside [0, 1)")))
+            }
+        };
+        rate("spike_rate", self.spike_rate)?;
+        rate("throttle_rate", self.throttle_rate)?;
+        if self.spike_factor < 1.0 {
+            return Err(Unsupported(format!(
+                "cloud spike_factor {} below 1",
+                self.spike_factor
+            )));
+        }
+        if self.throttle_burst < 1 {
+            return Err(Unsupported("cloud throttle_burst must be ≥ 1".into()));
+        }
+        if self.retry_after < 0.0 {
+            return Err(Unsupported(format!(
+                "cloud retry_after {} negative",
+                self.retry_after
+            )));
+        }
+        for (i, w) in self.brownouts.iter().enumerate() {
+            if w.start < 0.0 || w.duration < 0.0 {
+                return Err(Unsupported(format!(
+                    "brownout {i} has a negative start or duration"
+                )));
+            }
+            if w.latency_factor < 1.0 {
+                return Err(Unsupported(format!("brownout {i} latency_factor below 1")));
+            }
+            rate(&format!("brownout {i} throttle_rate"), w.throttle_rate)?;
+        }
+        Ok(())
+    }
+}
+
 /// One scheduled fault event.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultEvent {
@@ -91,6 +228,9 @@ pub struct FaultPlan {
     /// Transient read errors injected beneath the tier stack for the
     /// whole run, if any.
     pub read_errors: Option<ReadErrors>,
+    /// Cloud-origin disturbances (spikes, throttles, brownouts), if the
+    /// run's origin is an object store.
+    pub cloud: Option<CloudFaults>,
 }
 
 impl FaultPlan {
@@ -136,6 +276,13 @@ impl FaultPlan {
     #[must_use]
     pub fn with_read_errors(mut self, errors: ReadErrors) -> Self {
         self.read_errors = Some(errors);
+        self
+    }
+
+    /// Sets cloud-origin disturbances (builder style).
+    #[must_use]
+    pub fn with_cloud(mut self, cloud: CloudFaults) -> Self {
+        self.cloud = Some(cloud);
         self
     }
 
@@ -208,6 +355,9 @@ impl FaultPlan {
     /// # Errors
     /// [`Unsupported`] with the violated condition.
     pub fn validate(&self, spec: &ShuffleSpec, epochs: u64) -> Result<(), Unsupported> {
+        if let Some(cloud) = &self.cloud {
+            cloud.validate()?;
+        }
         let memberships = self.memberships(spec.num_workers, epochs);
         let spe = spec.samples_per_epoch();
         for (e, &n) in memberships.iter().enumerate() {
@@ -412,6 +562,51 @@ mod tests {
             .validate(&dl, 2)
             .unwrap_err();
         assert!(err.0.contains("epoch length"), "{err}");
+    }
+
+    #[test]
+    fn cloud_faults_validate_rates_windows_and_bursts() {
+        let sp = spec(4);
+        // A full, sane cloud clause passes.
+        FaultPlan::fault_free()
+            .with_cloud(CloudFaults {
+                spike_rate: 0.05,
+                spike_factor: 8.0,
+                throttle_rate: 0.1,
+                throttle_burst: 2,
+                retry_after: 0.002,
+                ..CloudFaults::none(7)
+            })
+            .validate(&sp, 2)
+            .unwrap();
+        // Brownout accessors: the strongest active window wins.
+        let c = CloudFaults::none(0)
+            .brownout(1.0, 2.0, 4.0, 0.2)
+            .brownout(2.0, 2.0, 8.0, 0.1);
+        assert_eq!(c.brownout_at(0.5), (1.0, 0.0));
+        assert_eq!(c.brownout_at(1.5), (4.0, 0.2));
+        assert_eq!(c.brownout_at(2.5), (8.0, 0.2));
+        assert_eq!(c.brownout_at(4.5), (1.0, 0.0));
+        // Invalid clauses are rejected through FaultPlan::validate.
+        let bad_rate = FaultPlan::fault_free().with_cloud(CloudFaults {
+            spike_rate: 1.5,
+            ..CloudFaults::none(0)
+        });
+        assert!(bad_rate.validate(&sp, 1).unwrap_err().0.contains("spike"));
+        let bad_window =
+            FaultPlan::fault_free().with_cloud(CloudFaults::none(0).brownout(-1.0, 1.0, 2.0, 0.0));
+        assert!(bad_window
+            .validate(&sp, 1)
+            .unwrap_err()
+            .0
+            .contains("brownout"));
+        let bad_factor =
+            FaultPlan::fault_free().with_cloud(CloudFaults::none(0).brownout(0.0, 1.0, 0.5, 0.0));
+        assert!(bad_factor
+            .validate(&sp, 1)
+            .unwrap_err()
+            .0
+            .contains("latency_factor"));
     }
 
     #[test]

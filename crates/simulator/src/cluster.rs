@@ -21,6 +21,7 @@
 //! cluster network (co-scheduled HPC jobs run on disjoint node sets but
 //! share the filesystem), so only the PFS couples tenants.
 
+use crate::cloud::CloudModel;
 use crate::engine::{loc_index, Acc};
 use crate::policies;
 use crate::result::{Breakdown, SimError, SimResult};
@@ -79,6 +80,9 @@ struct JobState<'a> {
     threads_per_worker: usize,
     started: bool,
     finished: bool,
+    /// Per-tenant cloud origin model, when the scenario routes the
+    /// origin through an object store.
+    cloud: Option<CloudModel>,
 }
 
 impl<'a> JobState<'a> {
@@ -111,6 +115,7 @@ impl<'a> JobState<'a> {
             threads_per_worker,
             started: false,
             finished: false,
+            cloud: tenant.scenario.cloud.clone().map(CloudModel::new),
         };
         state.load_epoch(0);
         Ok(state)
@@ -170,8 +175,14 @@ impl<'a> JobState<'a> {
             for &k in &seq[lo..hi] {
                 let now = self.accs[w].last();
                 let size = scenario.sizes[k as usize];
-                let loc = self.policy.source(w, k, size, now, gamma);
-                let read = sys.read_time(loc, size, gamma);
+                let origin_ok = self.cloud.as_ref().is_none_or(|c| c.available(now));
+                let loc = self
+                    .policy
+                    .source_degraded(w, k, size, now, gamma, origin_ok);
+                let read = match (&mut self.cloud, loc) {
+                    (Some(c), nopfs_perfmodel::Location::Pfs) => c.read_cost(now, size, gamma),
+                    _ => sys.read_time(loc, size, gamma),
+                };
                 let (consumed, stall) = self.accs[w].push(read, size);
                 let interval = consumed - self.prev_consumed[w];
                 let busy = (interval - stall).max(0.0);
@@ -215,6 +226,7 @@ impl<'a> JobState<'a> {
             fetch_counts: self.fetch_counts,
             coverage: self.policy.coverage(),
             note: self.policy.note(),
+            resilience: self.cloud.as_ref().map(CloudModel::stats),
         }
     }
 }

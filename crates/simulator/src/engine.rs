@@ -15,6 +15,7 @@
 //! policies that hammer the PFS see it collapse as workers are added.
 //! This is the feedback loop behind the paper's scaling results.
 
+use crate::cloud::CloudModel;
 use crate::policies;
 use crate::result::{Breakdown, SimError, SimResult};
 use crate::scenario::Scenario;
@@ -122,6 +123,7 @@ pub fn run(scenario: &Scenario, policy: PolicyId) -> Result<SimResult, SimError>
     let b = scenario.batch_size;
     let spec = scenario.shuffle_spec();
 
+    let mut cloud = scenario.cloud.clone().map(CloudModel::new);
     let mut accs: Vec<Acc> = (0..n)
         .map(|_| Acc::new(sys.compute, sys.staging.threads, p.overlapped()))
         .collect();
@@ -157,8 +159,17 @@ pub fn run(scenario: &Scenario, policy: PolicyId) -> Result<SimResult, SimError>
                 for &k in &seq[lo..hi] {
                     let now = accs[w].last();
                     let size = scenario.sizes[k as usize];
-                    let loc = p.source(w, k, size, now, gamma);
-                    let read = sys.read_time(loc, size, gamma);
+                    // An origin whose breaker is open and cooling fails
+                    // reads fast: the degraded selection steers eligible
+                    // fetches to peers/local tiers (graceful
+                    // degradation); only fetches with no alternative
+                    // still reach the origin and wait out the breaker.
+                    let origin_ok = cloud.as_ref().is_none_or(|c| c.available(now));
+                    let loc = p.source_degraded(w, k, size, now, gamma, origin_ok);
+                    let read = match (&mut cloud, loc) {
+                        (Some(c), Location::Pfs) => c.read_cost(now, size, gamma),
+                        _ => sys.read_time(loc, size, gamma),
+                    };
                     let (consumed, stall) = accs[w].push(read, size);
                     let interval = consumed - prev_consumed[w];
                     // Attribute to the fetch source both the stall and
@@ -209,6 +220,7 @@ pub fn run(scenario: &Scenario, policy: PolicyId) -> Result<SimResult, SimError>
         fetch_counts,
         coverage: p.coverage(),
         note: p.note(),
+        resilience: cloud.as_ref().map(CloudModel::stats),
     })
 }
 
@@ -420,6 +432,75 @@ mod tests {
         assert!(r.execution_time >= min);
         // Homogeneous workers finish within 25% of each other.
         assert!(r.execution_time < min * 1.25);
+    }
+
+    #[test]
+    fn cloud_brownout_hurts_naive_clients_more_than_hardened_ones() {
+        use crate::cloud::{CloudResilience, CloudSpec};
+        use nopfs_policy::CloudFaults;
+
+        let base = contended_scenario();
+        let floor = 0.002;
+        let with = |faults: CloudFaults, res: CloudResilience| {
+            let mut s = base.clone();
+            let curve = s.system.pfs_read.clone();
+            s = s.with_cloud(CloudSpec::new(floor, curve, faults, res));
+            s
+        };
+        // The fault-free reference on the same store economics.
+        let quiet = run(
+            &with(CloudFaults::none(9), CloudResilience::hardened(floor)),
+            PolicyId::NoPfs,
+        )
+        .unwrap();
+        // A brownout over the first 30% of the quiet run (covering the
+        // cold-cache epoch, when origin traffic peaks): 3x latency, 40%
+        // extra throttles, and 2% 20x tail spikes throughout. The
+        // hardened client's edge is hedging the spikes away and tripping
+        // the breaker on throttle storms; the naive client waits every
+        // disturbance out in full.
+        let storm = CloudFaults {
+            spike_rate: 0.02,
+            spike_factor: 20.0,
+            throttle_burst: 6,
+            retry_after: floor,
+            ..CloudFaults::none(9)
+        }
+        .brownout(0.0, 0.3 * quiet.execution_time, 3.0, 0.4);
+        let hardened = run(
+            &with(storm.clone(), CloudResilience::hardened(floor)),
+            PolicyId::NoPfs,
+        )
+        .unwrap();
+        let naive = run(
+            &with(storm, CloudResilience::naive(floor / 4.0)),
+            PolicyId::NoPfs,
+        )
+        .unwrap();
+
+        // Disturbances cost time for everyone, but the hedged + breaker
+        // client stays close to fault-free while the unbounded client
+        // waits the storm out request by request.
+        assert!(quiet.execution_time < hardened.execution_time);
+        assert!(
+            hardened.execution_time < naive.execution_time,
+            "hardened {} vs naive {}",
+            hardened.execution_time,
+            naive.execution_time
+        );
+        // The access stream is untouched: every client fetched exactly
+        // the same number of samples.
+        let total = |r: &SimResult| r.fetch_counts.iter().sum::<u64>();
+        assert_eq!(total(&quiet), total(&hardened));
+        assert_eq!(total(&quiet), total(&naive));
+        // The failure domain was exercised and reported.
+        let hs = hardened.resilience.expect("cloud run reports stats");
+        assert!(hs.throttled > 0);
+        assert!(hs.breaker_to_open > 0, "the brownout must trip the breaker");
+        assert!(hs.hedges_fired > 0, "20x spikes must arm hedges");
+        let ns = naive.resilience.expect("cloud run reports stats");
+        assert_eq!(ns.breaker_to_open, 0);
+        assert_eq!(ns.hedges_fired, 0);
     }
 
     #[test]

@@ -21,9 +21,12 @@
 //! Beyond the policy comparison (Fig. 8), the simulator powers the
 //! environment/design-space evaluation of Fig. 9 via [`environment`],
 //! and the multi-tenant interference study (Fig. 2's shared-PFS
-//! contention across co-scheduled jobs) via [`cluster`].
+//! contention across co-scheduled jobs) via [`cluster`]. Scenarios can
+//! route the origin through an analytic object-store model with seeded
+//! disturbances and a full client resilience stack via [`cloud`].
 
 pub mod churn;
+pub mod cloud;
 pub mod cluster;
 pub mod engine;
 pub mod environment;
@@ -32,6 +35,7 @@ pub mod result;
 pub mod scenario;
 
 pub use churn::{churn_sweep, run_elastic, ChurnRow, ElasticSimResult};
+pub use cloud::{CloudResilience, CloudSpec};
 pub use cluster::{run_cluster, SimTenant};
 pub use engine::run;
 pub use nopfs_policy::{Capabilities, PolicyId};

@@ -19,7 +19,7 @@ use nopfs_clairvoyance::placement::{CacheAssignment, UNASSIGNED};
 use nopfs_clairvoyance::sampler::EpochShuffle;
 use nopfs_clairvoyance::SampleId;
 use nopfs_perfmodel::{Location, SystemSpec};
-use nopfs_policy::decision::{select_source, staging_share};
+use nopfs_policy::decision::{select_source, select_source_degraded, staging_share};
 use nopfs_policy::PolicyId;
 use nopfs_policy::{build_core, PolicyCore, Source};
 use std::collections::HashSet;
@@ -59,6 +59,24 @@ pub(crate) trait PolicyImpl {
         now: f64,
         gamma: usize,
     ) -> Location;
+
+    /// Like [`Self::source`], but told whether the origin is accepting
+    /// traffic (`origin_ok` is false while a cloud origin's circuit
+    /// breaker is open and cooling). Policies that pick sources by cost
+    /// should steer away from an unavailable origin; the default
+    /// ignores the hint — baseline policies have fixed source rules and
+    /// simply wait the origin out, which is exactly their weakness.
+    fn source_degraded(
+        &mut self,
+        worker: usize,
+        sample: SampleId,
+        size: u64,
+        now: f64,
+        gamma: usize,
+        _origin_ok: bool,
+    ) -> Location {
+        self.source(worker, sample, size, now, gamma)
+    }
 
     /// Called after the access is consumed at time `now`.
     fn on_consumed(&mut self, _worker: usize, _sample: SampleId, _now: f64) {}
@@ -257,10 +275,10 @@ impl NoPfs {
     fn locally_ready(&self, w: usize, k: SampleId, now: f64) -> bool {
         f64::from(self.ready[w][k as usize]) <= now || self.overrides[w].contains(&k)
     }
-}
 
-impl PolicyImpl for NoPfs {
-    fn source(&mut self, w: usize, k: SampleId, size: u64, now: f64, gamma: usize) -> Location {
+    /// The `{local class, fastest remote holder}` candidate pair at
+    /// model time `now` — the inputs to the shared selection rule.
+    fn candidates(&self, w: usize, k: SampleId, now: f64) -> (Option<u8>, Option<u8>) {
         let own = self.class_of[w][k as usize];
         let local = (own != UNASSIGNED && self.locally_ready(w, k, now)).then_some(own);
         // Fastest remote holder whose prefetcher (per the progress
@@ -277,10 +295,33 @@ impl PolicyImpl for NoPfs {
                 remote = Some(remote.map_or(c, |b| b.min(c)));
             }
         }
+        (local, remote)
+    }
+}
+
+impl PolicyImpl for NoPfs {
+    fn source(&mut self, w: usize, k: SampleId, size: u64, now: f64, gamma: usize) -> Location {
         // The same shared code path the runtime's staging fetches go
         // through: the {local, remote, origin} wrapper over the
         // ordered-tier-list argmin (`select_source_tiered`).
+        let (local, remote) = self.candidates(w, k, now);
         select_source(&self.sys, local, remote, size, gamma)
+    }
+
+    fn source_degraded(
+        &mut self,
+        w: usize,
+        k: SampleId,
+        size: u64,
+        now: f64,
+        gamma: usize,
+        origin_ok: bool,
+    ) -> Location {
+        // Graceful degradation, same shared rule as the runtime: an
+        // unavailable origin is dropped from the candidate list when
+        // any peer or local tier can serve the sample.
+        let (local, remote) = self.candidates(w, k, now);
+        select_source_degraded(&self.sys, local, remote, size, gamma, origin_ok)
     }
 
     fn on_consumed(&mut self, w: usize, k: SampleId, now: f64) {

@@ -3,6 +3,7 @@
 
 use nopfs_perfmodel::Location;
 use nopfs_policy::PolicyId;
+use nopfs_storage::ResilienceStats;
 
 /// How execution time divides among data sources.
 ///
@@ -93,6 +94,10 @@ pub struct SimResult {
     pub coverage: f64,
     /// Explanatory note for coverage/randomization caveats.
     pub note: Option<String>,
+    /// Resilience counters of the cloud origin model (retries, hedges,
+    /// breaker transitions); `None` unless the scenario routed the
+    /// origin through [`crate::cloud`].
+    pub resilience: Option<ResilienceStats>,
 }
 
 impl SimResult {

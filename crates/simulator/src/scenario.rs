@@ -6,6 +6,7 @@
 //! `d_1`, a worker's total local storage `D`, and the cluster's aggregate
 //! `N·D`; [`Scenario::regime`] classifies a scenario accordingly.
 
+use crate::cloud::CloudSpec;
 use nopfs_clairvoyance::sampler::ShuffleSpec;
 use nopfs_perfmodel::SystemSpec;
 
@@ -50,6 +51,9 @@ pub struct Scenario {
     pub seed: u64,
     /// Drop the trailing partial global batch each epoch.
     pub drop_last: bool,
+    /// When set, the origin is an object store priced by the analytic
+    /// cloud model instead of the PFS curve (see [`crate::cloud`]).
+    pub cloud: Option<CloudSpec>,
 }
 
 impl Scenario {
@@ -79,10 +83,18 @@ impl Scenario {
             batch_size,
             seed,
             drop_last: false,
+            cloud: None,
         };
         // Force the shuffle-spec invariants now rather than mid-run.
         let _ = s.shuffle_spec();
         s
+    }
+
+    /// Routes the origin through the analytic cloud model.
+    #[must_use]
+    pub fn with_cloud(mut self, cloud: CloudSpec) -> Self {
+        self.cloud = Some(cloud);
+        self
     }
 
     /// The shuffle spec generating every worker's access stream.

@@ -10,10 +10,12 @@
 //! - [`FaultySource`] deterministically injects transient
 //!   [`SourceError::Io`] failures on reads, in bounded bursts, from a
 //!   seed (the same seed reproduces the same failure pattern);
-//! - [`RetryingSource`] retries transient failures with seeded,
-//!   jittered exponential backoff, and refuses to retry permanent
-//!   errors ([`SourceError::NotFound`] / [`SourceError::Full`] — a
-//!   missing sample does not come back, no matter how often one asks).
+//! - [`RetryingSource`] retries retryable failures (per the
+//!   [`crate::ErrorClass`] taxonomy) with seeded, capped, full-jitter
+//!   exponential backoff, and refuses to retry permanent errors
+//!   ([`SourceError::NotFound`] / [`SourceError::Full`] /
+//!   [`SourceError::Unavailable`] — a missing sample does not come
+//!   back, no matter how often one asks).
 //!
 //! Stacked as `RetryingSource(FaultySource(origin))` with a retry
 //! budget exceeding the burst bound, every read eventually succeeds —
@@ -31,7 +33,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Converts a hash to a uniform draw in `[0, 1)`.
-fn unit(h: u64) -> f64 {
+pub(crate) fn unit(h: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
@@ -183,55 +185,84 @@ impl DataSource for FaultySource {
     }
 }
 
-/// Retry schedule: bounded attempts with seeded, jittered exponential
-/// backoff. Pure — [`RetryPolicy::backoff`] is a function of the
-/// attempt number and a draw counter, so jitter bounds are testable
-/// without clocks.
+/// Retry schedule: bounded attempts with capped exponential backoff and
+/// seeded *full jitter* (the AWS-recommended decorrelation scheme —
+/// each sleep is drawn from an interval below the exponential ceiling,
+/// so synchronized clients spread out instead of retrying in lockstep).
+/// Pure — [`RetryPolicy::backoff`] is a function of the attempt number
+/// and a draw counter, so jitter bounds are testable without clocks.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
     /// Total read attempts, including the first (≥ 1).
     pub attempts: u32,
-    /// Backoff before the first retry; doubles per further retry.
+    /// Backoff ceiling before the first retry; doubles per further
+    /// retry until it reaches `max_backoff`.
     pub base_backoff: Duration,
-    /// Jitter fraction in `[0, 1)`: each backoff is scaled by a seeded
-    /// factor in `[1 - jitter, 1 + jitter]`.
+    /// Jitter fraction in `[0, 1]`: each backoff is drawn uniformly
+    /// from `ceiling · [1 - jitter, 1]`. `1` is canonical full jitter
+    /// (anywhere below the ceiling), `0` is deterministic exponential
+    /// backoff.
     pub jitter: f64,
     /// Seed of the jitter sequence.
     pub seed: u64,
+    /// Hard cap on the backoff ceiling: the exponential stops doubling
+    /// here, so high attempt counts neither overflow nor produce
+    /// unrealistic multi-hour sleeps.
+    pub max_backoff: Duration,
 }
 
 impl RetryPolicy {
-    /// A new policy.
+    /// A new policy with the default backoff cap of `1024 × base`.
     ///
     /// # Panics
-    /// Panics on zero attempts or jitter outside `[0, 1)`.
+    /// Panics on zero attempts or jitter outside `[0, 1]`.
     pub fn new(attempts: u32, base_backoff: Duration, jitter: f64, seed: u64) -> Self {
         assert!(attempts >= 1, "at least one attempt");
-        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+        assert!((0.0..=1.0).contains(&jitter), "jitter must be in [0, 1]");
         Self {
             attempts,
             base_backoff,
             jitter,
             seed,
+            max_backoff: base_backoff.saturating_mul(1024),
         }
+    }
+
+    /// Replaces the backoff ceiling cap.
+    #[must_use]
+    pub fn with_max_backoff(mut self, max_backoff: Duration) -> Self {
+        self.max_backoff = max_backoff;
+        self
+    }
+
+    /// The exponential ceiling before retry number `retry` (0-based):
+    /// `min(base · 2^retry, max_backoff)`, computed in floating point so
+    /// arbitrarily high attempt counts saturate at the cap instead of
+    /// overflowing a shift.
+    pub fn ceiling(&self, retry: u32) -> Duration {
+        let exp = 2f64.powi(retry.min(1024) as i32);
+        let secs = (self.base_backoff.as_secs_f64() * exp).min(self.max_backoff.as_secs_f64());
+        Duration::from_secs_f64(secs)
     }
 
     /// The backoff before retry number `retry` (0-based), using `draw`
     /// as the jitter counter. Always within
-    /// `base · 2^retry · [1 - jitter, 1 + jitter]`.
+    /// `ceiling(retry) · [1 - jitter, 1]`.
     pub fn backoff(&self, retry: u32, draw: u64) -> Duration {
-        let base = self.base_backoff.as_secs_f64() * f64::from(1u32 << retry.min(20));
         let u = unit(mix64(self.seed, draw));
-        let factor = 1.0 + self.jitter * (2.0 * u - 1.0);
-        Duration::from_secs_f64(base * factor)
+        let factor = (1.0 - self.jitter) + self.jitter * u;
+        Duration::from_secs_f64(self.ceiling(retry).as_secs_f64() * factor)
     }
 }
 
-/// A [`DataSource`] wrapper that retries transient read failures
-/// ([`SourceError::Io`]) under a [`RetryPolicy`], sleeping the jittered
-/// backoff between attempts. Permanent errors — [`SourceError::NotFound`]
-/// and [`SourceError::Full`] — are returned immediately: retrying them
-/// cannot help and only masks a broken dataset.
+/// A [`DataSource`] wrapper that retries retryable read failures
+/// (per [`SourceError::class`]) under a [`RetryPolicy`], sleeping the
+/// jittered backoff between attempts — or the server-suggested
+/// `retry_after`, whichever is longer, when the error is
+/// [`SourceError::Throttled`]. Permanent errors ([`crate::ErrorClass::Permanent`]:
+/// `NotFound`, `Full`, `Unavailable`) are returned immediately:
+/// retrying them cannot help and only masks a broken dataset or an
+/// open circuit.
 pub struct RetryingSource {
     inner: Arc<dyn DataSource>,
     policy: RetryPolicy,
@@ -283,16 +314,23 @@ impl DataSource for RetryingSource {
         for attempt in 0..self.policy.attempts {
             match self.inner.read(id) {
                 Ok(data) => return Ok(data),
-                Err(e @ (SourceError::NotFound(_) | SourceError::Full { .. })) => {
-                    // Permanent: no retry.
-                    return Err(e);
-                }
+                Err(e) if !e.is_retryable() => return Err(e),
                 Err(e) => {
-                    last = Some(e);
+                    let mut wait = None;
                     if attempt + 1 < self.policy.attempts {
                         let draw = self.draws.fetch_add(1, Ordering::Relaxed);
                         self.retries.fetch_add(1, Ordering::Relaxed);
-                        std::thread::sleep(self.policy.backoff(attempt, draw));
+                        let backoff = self.policy.backoff(attempt, draw);
+                        // A throttling backend sets the floor; the
+                        // client's jittered backoff only ever adds.
+                        wait = Some(match &e {
+                            SourceError::Throttled { retry_after } => backoff.max(*retry_after),
+                            _ => backoff,
+                        });
+                    }
+                    last = Some(e);
+                    if let Some(wait) = wait {
+                        std::thread::sleep(wait);
                     }
                 }
             }
@@ -411,11 +449,11 @@ mod tests {
     }
 
     #[test]
-    fn jitter_stays_within_documented_bounds() {
+    fn full_jitter_stays_within_documented_bounds() {
         let p = RetryPolicy::new(8, Duration::from_millis(10), 0.25, 0xBEEF);
         for retry in 0..4u32 {
-            let base = 0.010 * f64::from(1u32 << retry);
-            let (lo, hi) = (base * 0.75, base * 1.25);
+            let ceil = 0.010 * f64::from(1u32 << retry);
+            let (lo, hi) = (ceil * 0.75, ceil);
             let mut spread = (f64::MAX, f64::MIN);
             for draw in 0..200u64 {
                 let b = p.backoff(retry, draw).as_secs_f64();
@@ -428,9 +466,162 @@ mod tests {
             // The jitter actually jitters: draws spread over the range.
             assert!(spread.1 - spread.0 > 0.2 * (hi - lo));
         }
-        // Zero jitter is exact exponential backoff.
+        // Canonical full jitter spans all the way down to (near) zero.
+        let full = RetryPolicy::new(8, Duration::from_millis(10), 1.0, 0xBEEF);
+        let draws: Vec<f64> = (0..500u64)
+            .map(|d| full.backoff(0, d).as_secs_f64())
+            .collect();
+        assert!(draws.iter().all(|&b| (0.0..=0.010).contains(&b)));
+        assert!(draws.iter().any(|&b| b < 0.002), "low tail never drawn");
+        assert!(draws.iter().any(|&b| b > 0.008), "high tail never drawn");
+        // Zero jitter is exact capped exponential backoff.
         let p0 = RetryPolicy::new(3, Duration::from_millis(10), 0.0, 1);
         assert_eq!(p0.backoff(2, 42), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn backoff_exponent_is_capped_at_high_attempt_counts() {
+        // The pinning test for attempt ≥ 32: the old `1u32 << retry`
+        // shift would overflow there. The ceiling must saturate at
+        // `max_backoff` and stay finite for ANY attempt number.
+        let p = RetryPolicy::new(64, Duration::from_millis(1), 0.0, 7)
+            .with_max_backoff(Duration::from_millis(250));
+        assert_eq!(p.ceiling(0), Duration::from_millis(1));
+        assert_eq!(p.ceiling(7), Duration::from_millis(128));
+        // From retry 8 on (2^8 ms > 250 ms) the cap rules.
+        for retry in [8, 31, 32, 33, 64, 1_000, u32::MAX] {
+            assert_eq!(
+                p.ceiling(retry),
+                Duration::from_millis(250),
+                "retry {retry}"
+            );
+            assert_eq!(p.backoff(retry, 0), Duration::from_millis(250));
+        }
+        // Default cap: 1024 × base, so u32::MAX attempts stay sane.
+        let d = RetryPolicy::new(2, Duration::from_micros(100), 0.0, 7);
+        assert_eq!(d.ceiling(u32::MAX), Duration::from_micros(100) * 1024);
+        // Full jitter below the cap still spans the documented range.
+        let j = p.with_max_backoff(Duration::from_millis(100));
+        let b = j.backoff(u32::MAX, 3).as_secs_f64();
+        assert!((0.0..=0.100).contains(&b));
+    }
+
+    #[test]
+    fn taxonomy_classifies_and_gates_retries() {
+        use crate::tier::ErrorClass;
+        let throttled = SourceError::Throttled {
+            retry_after: Duration::from_millis(1),
+        };
+        let deadline = SourceError::DeadlineExceeded {
+            deadline: Duration::from_millis(5),
+        };
+        assert_eq!(SourceError::Io("x".into()).class(), ErrorClass::Transient);
+        assert_eq!(throttled.class(), ErrorClass::Throttled);
+        assert_eq!(deadline.class(), ErrorClass::DeadlineExceeded);
+        assert_eq!(SourceError::NotFound(1).class(), ErrorClass::Permanent);
+        assert_eq!(
+            SourceError::Full {
+                needed: 1,
+                available: 0
+            }
+            .class(),
+            ErrorClass::Permanent
+        );
+        assert_eq!(
+            SourceError::Unavailable("open".into()).class(),
+            ErrorClass::Permanent
+        );
+        assert!(throttled.is_retryable() && deadline.is_retryable());
+        assert!(!SourceError::Unavailable("open".into()).is_retryable());
+    }
+
+    /// A source failing with a fixed error a set number of times.
+    #[derive(Debug)]
+    struct FailNTimes {
+        error: SourceError,
+        remaining: AtomicU64,
+        attempts: AtomicU64,
+    }
+
+    impl FailNTimes {
+        fn new(error: SourceError, n: u64) -> Self {
+            Self {
+                error,
+                remaining: AtomicU64::new(n),
+                attempts: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl DataSource for FailNTimes {
+        fn name(&self) -> &str {
+            "fail-n"
+        }
+        fn read(&self, id: SampleId) -> Result<Bytes, SourceError> {
+            self.attempts.fetch_add(1, Ordering::Relaxed);
+            if self
+                .remaining
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| r.checked_sub(1))
+                .is_ok()
+            {
+                Err(self.error.clone())
+            } else {
+                Ok(Bytes::from(vec![id as u8; 4]))
+            }
+        }
+        fn write(&self, _id: SampleId, _data: Bytes) -> Result<(), SourceError> {
+            Ok(())
+        }
+        fn contains(&self, _id: SampleId) -> bool {
+            true
+        }
+        fn capacity(&self) -> Option<u64> {
+            None
+        }
+        fn used(&self) -> u64 {
+            0
+        }
+        fn evict(&self, _id: SampleId) -> bool {
+            false
+        }
+        fn count(&self) -> usize {
+            0
+        }
+        fn size_of(&self, _id: SampleId) -> Option<u64> {
+            None
+        }
+    }
+
+    #[test]
+    fn throttled_and_deadline_errors_are_retried_unavailable_is_not() {
+        // Throttled: retried through, honoring retry_after as a floor.
+        let throttled = Arc::new(FailNTimes::new(
+            SourceError::Throttled {
+                retry_after: Duration::from_micros(50),
+            },
+            2,
+        ));
+        let retry = RetryingSource::new(throttled.clone() as Arc<dyn DataSource>, fast_policy(4));
+        assert_eq!(retry.read(7).unwrap()[0], 7);
+        assert_eq!(retry.retries(), 2);
+        // DeadlineExceeded: also retryable.
+        let deadline = Arc::new(FailNTimes::new(
+            SourceError::DeadlineExceeded {
+                deadline: Duration::from_micros(10),
+            },
+            1,
+        ));
+        let retry = RetryingSource::new(deadline as Arc<dyn DataSource>, fast_policy(4));
+        assert!(retry.read(1).is_ok());
+        // Unavailable (open breaker downstream): fail-fast, one attempt.
+        let open = Arc::new(FailNTimes::new(
+            SourceError::Unavailable("circuit open".into()),
+            10,
+        ));
+        let retry = RetryingSource::new(open.clone() as Arc<dyn DataSource>, fast_policy(5));
+        assert!(matches!(retry.read(1), Err(SourceError::Unavailable(_))));
+        assert_eq!(open.attempts.load(Ordering::Relaxed), 1);
+        assert_eq!(retry.retries(), 0);
     }
 
     #[test]

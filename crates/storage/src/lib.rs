@@ -21,22 +21,42 @@
 //! - [`fault`] — fault injection and retry as [`tier::DataSource`]
 //!   wrappers: [`fault::FaultySource`] injects deterministic bounded
 //!   bursts of transient read errors, [`fault::RetryingSource`] retries
-//!   them with seeded jittered exponential backoff.
+//!   them with seeded, capped, full-jitter exponential backoff.
+//! - [`objectstore`] — the cloud origin tier:
+//!   [`objectstore::ObjectStoreBackend`] charges S3-like request
+//!   economics (latency floor, parallelism-dependent throughput,
+//!   coalescing) with seeded disturbances (spikes, throttles,
+//!   brownouts).
+//! - [`resilience`] — the full failure domain over any source:
+//!   [`resilience::ResilientSource`] composes per-read deadlines,
+//!   hedged requests, taxonomy-aware retry, and a circuit breaker,
+//!   surfacing [`resilience::ResilienceStats`] next to the per-tier
+//!   [`tier::TierStats`].
 
 pub mod backend;
 pub mod fault;
 pub mod metadata;
+pub mod objectstore;
 pub mod reorder;
+pub mod resilience;
 pub mod staging;
 pub mod tier;
 
 pub use backend::{FsBackend, MemoryBackend, StorageBackend, ThrottledBackend};
 pub use fault::{ErrorInjection, FaultySource, RetryPolicy, RetryingSource};
 pub use metadata::MetadataStore;
+pub use objectstore::{
+    BrownoutWindow, Disturbance, ObjectStoreBackend, ObjectStoreConfig, ObjectStoreStats,
+};
 pub use reorder::ReorderStage;
+pub use resilience::{
+    BreakerConfig, BreakerState, CircuitBreaker, HedgeConfig, ResilienceConfig, ResilienceStats,
+    ResilientSource,
+};
 pub use staging::{ProducerGuard, ProducerLost, StagingBuffer, StagingStats};
 pub use tier::{
-    build_stack, DataSource, PromotePolicy, SourceError, TierSpec, TierStack, TierStats,
+    build_stack, DataSource, ErrorClass, PromotePolicy, SourceError, SourceHealth, TierSpec,
+    TierStack, TierStats,
 };
 
 /// Sample identifier (dense index into the dataset).

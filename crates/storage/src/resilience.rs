@@ -1,0 +1,963 @@
+//! The resilience layer: deadlines, hedged requests, and a circuit
+//! breaker over any [`DataSource`].
+//!
+//! Object-store origins fail differently from a PFS: tail latency,
+//! throttling, and brownouts dominate, and the cloud-storage
+//! characterization literature (arxiv 2108.06322) shows naive loaders
+//! degrade unboundedly under them. [`ResilientSource`] composes the
+//! standard defenses into one wrapper that slots beneath a
+//! [`crate::TierStack`] like every other [`DataSource`]:
+//!
+//! - **per-read deadlines** — an attempt that outlives its budget
+//!   surfaces [`SourceError::DeadlineExceeded`] instead of stalling the
+//!   step loop;
+//! - **hedged requests** — when the primary read outlives a measured
+//!   latency quantile, a duplicate is fired and the first answer wins
+//!   (hedging changes *when* bytes arrive, never *which* bytes);
+//! - **retry** — retryable failures are re-attempted under the caller's
+//!   [`RetryPolicy`] (capped exponential backoff, full jitter);
+//! - **circuit breaking** — consecutive failures open a [`CircuitBreaker`];
+//!   while open, reads fail fast with [`SourceError::Unavailable`] so
+//!   the fetch path can degrade gracefully to peers or lower tiers, and
+//!   half-open probes re-close the breaker once the backend recovers.
+//!
+//! Everything observable is counted in [`ResilienceStats`], surfaced
+//! through [`DataSource::resilience`] next to the per-tier
+//! [`crate::TierStats`].
+
+use crate::fault::RetryPolicy;
+use crate::tier::{DataSource, SourceError, SourceHealth};
+use crate::SampleId;
+use bytes::Bytes;
+use nopfs_util::timing::TimeScale;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Model-seconds the breaker stays open before letting half-open
+    /// probes through.
+    pub cooldown: f64,
+    /// Probes that must all succeed in half-open state to re-close
+    /// (and the cap on concurrent half-open probes).
+    pub half_open_probes: u32,
+}
+
+impl BreakerConfig {
+    /// A new config.
+    ///
+    /// # Panics
+    /// Panics on a zero threshold, zero probes, or negative cooldown.
+    pub fn new(failure_threshold: u32, cooldown: f64, half_open_probes: u32) -> Self {
+        assert!(failure_threshold >= 1, "threshold must be at least 1");
+        assert!(half_open_probes >= 1, "at least one half-open probe");
+        assert!(
+            cooldown.is_finite() && cooldown >= 0.0,
+            "cooldown must be non-negative"
+        );
+        Self {
+            failure_threshold,
+            cooldown,
+            half_open_probes,
+        }
+    }
+}
+
+/// The three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BreakerState {
+    /// Normal operation; failures are counted.
+    #[default]
+    Closed,
+    /// Failing fast; no traffic reaches the backend until the cooldown
+    /// elapses.
+    Open,
+    /// Cooldown elapsed: a bounded number of probes test the backend.
+    HalfOpen,
+}
+
+#[derive(Debug, Default)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: f64,
+    probes_inflight: u32,
+    probe_successes: u32,
+}
+
+/// A per-backend circuit breaker (closed → open → half-open → closed)
+/// driven by an explicit model-time clock: every transition is a pure
+/// function of the call sequence and `now`, so state-machine behavior
+/// is testable without wall clocks and reusable by the discrete-event
+/// simulator.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+    to_open: AtomicU64,
+    to_half_open: AtomicU64,
+    to_closed: AtomicU64,
+    rejections: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A new breaker, initially closed.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            inner: Mutex::new(BreakerInner::default()),
+            to_open: AtomicU64::new(0),
+            to_half_open: AtomicU64::new(0),
+            to_closed: AtomicU64::new(0),
+            rejections: AtomicU64::new(0),
+        }
+    }
+
+    /// Current state (without advancing the open → half-open clock).
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+
+    /// Whether a request may proceed at model time `now`. An open
+    /// breaker whose cooldown has elapsed transitions to half-open and
+    /// admits the caller as a probe; half-open admits callers up to the
+    /// probe cap. `false` means fail fast.
+    pub fn allow(&self, now: f64) -> bool {
+        let mut s = self.inner.lock();
+        match s.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now >= s.opened_at + self.cfg.cooldown {
+                    s.state = BreakerState::HalfOpen;
+                    s.probes_inflight = 1;
+                    s.probe_successes = 0;
+                    self.to_half_open.fetch_add(1, Ordering::Relaxed);
+                    true
+                } else {
+                    self.rejections.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if s.probes_inflight < self.cfg.half_open_probes {
+                    s.probes_inflight += 1;
+                    true
+                } else {
+                    self.rejections.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful request admitted at or before `now`.
+    pub fn on_success(&self, _now: f64) {
+        let mut s = self.inner.lock();
+        match s.state {
+            BreakerState::Closed => s.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                s.probes_inflight = s.probes_inflight.saturating_sub(1);
+                s.probe_successes += 1;
+                if s.probe_successes >= self.cfg.half_open_probes {
+                    s.state = BreakerState::Closed;
+                    s.consecutive_failures = 0;
+                    self.to_closed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // A straggling success from before the trip: no evidence
+            // about the backend *now*.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records a failed request at model time `now`.
+    pub fn on_failure(&self, now: f64) {
+        let mut s = self.inner.lock();
+        match s.state {
+            BreakerState::Closed => {
+                s.consecutive_failures += 1;
+                if s.consecutive_failures >= self.cfg.failure_threshold {
+                    s.state = BreakerState::Open;
+                    s.opened_at = now;
+                    self.to_open.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            BreakerState::HalfOpen => {
+                // A failed probe re-opens immediately.
+                s.state = BreakerState::Open;
+                s.opened_at = now;
+                self.to_open.fetch_add(1, Ordering::Relaxed);
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Health at model time `now`: open-and-cooling is unavailable,
+    /// open-but-probe-due and half-open are degraded (traffic *should*
+    /// probe), closed is healthy.
+    pub fn health(&self, now: f64) -> SourceHealth {
+        let s = self.inner.lock();
+        match s.state {
+            BreakerState::Closed => SourceHealth::Healthy,
+            BreakerState::HalfOpen => SourceHealth::Degraded,
+            BreakerState::Open => {
+                if now >= s.opened_at + self.cfg.cooldown {
+                    SourceHealth::Degraded
+                } else {
+                    SourceHealth::Unavailable
+                }
+            }
+        }
+    }
+
+    /// Model time at which an open breaker starts admitting half-open
+    /// probes; `None` unless currently open. Lets sequential callers
+    /// (the discrete-event simulator) jump the clock to the next probe
+    /// instead of polling [`Self::allow`].
+    pub fn reopen_at(&self) -> Option<f64> {
+        let s = self.inner.lock();
+        matches!(s.state, BreakerState::Open).then(|| s.opened_at + self.cfg.cooldown)
+    }
+
+    /// Lifetime transition counters:
+    /// `(to_open, to_half_open, to_closed, rejections)`.
+    pub fn transitions(&self) -> (u64, u64, u64, u64) {
+        (
+            self.to_open.load(Ordering::Relaxed),
+            self.to_half_open.load(Ordering::Relaxed),
+            self.to_closed.load(Ordering::Relaxed),
+            self.rejections.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Hedged-request tuning: fire a duplicate read once the primary has
+/// outlived the tracked latency quantile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeConfig {
+    /// Latency quantile (e.g. `0.95`) after which the hedge fires.
+    pub quantile: f64,
+    /// Hedge delay floor, and the delay used until enough latencies
+    /// have been observed.
+    pub min_delay: Duration,
+    /// Completed reads tracked in the sliding latency window.
+    pub window: usize,
+}
+
+impl HedgeConfig {
+    /// A new config.
+    ///
+    /// # Panics
+    /// Panics on a quantile outside `(0, 1)` or an empty window.
+    pub fn new(quantile: f64, min_delay: Duration, window: usize) -> Self {
+        assert!(
+            quantile > 0.0 && quantile < 1.0,
+            "quantile must be in (0, 1)"
+        );
+        assert!(window >= 1, "window must hold at least one sample");
+        Self {
+            quantile,
+            min_delay,
+            window,
+        }
+    }
+}
+
+/// Sliding window of completed-read latencies, for quantile-based hedge
+/// delays ("The Tail at Scale": hedge after the 95th percentile, cap
+/// the extra load at ~5%).
+#[derive(Debug)]
+struct LatencyTracker {
+    window: Vec<Duration>,
+    next: usize,
+    filled: bool,
+}
+
+impl LatencyTracker {
+    fn new(window: usize) -> Self {
+        Self {
+            window: Vec::with_capacity(window),
+            next: 0,
+            filled: false,
+        }
+    }
+
+    fn record(&mut self, latency: Duration) {
+        if self.window.len() < self.window.capacity() {
+            self.window.push(latency);
+        } else {
+            self.window[self.next] = latency;
+            self.next = (self.next + 1) % self.window.len();
+            self.filled = true;
+        }
+    }
+
+    /// The hedge delay: the configured quantile of the window once it
+    /// has filled at least once, `min_delay` before that (no evidence,
+    /// no aggression), floored at `min_delay` always.
+    fn delay(&self, cfg: &HedgeConfig) -> Duration {
+        if !self.filled && self.window.len() < self.window.capacity() {
+            return cfg.min_delay;
+        }
+        let mut sorted = self.window.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 - 1.0) * cfg.quantile).round() as usize;
+        sorted[rank.min(sorted.len() - 1)].max(cfg.min_delay)
+    }
+}
+
+/// Everything a [`ResilientSource`] layers over a backend.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Retry schedule for retryable failures.
+    pub retry: RetryPolicy,
+    /// Wall-clock budget per attempt; `None` = wait forever.
+    pub deadline: Option<Duration>,
+    /// Hedged-request tuning; `None` disables hedging.
+    pub hedge: Option<HedgeConfig>,
+    /// Circuit-breaker tuning; `None` disables breaking.
+    pub breaker: Option<BreakerConfig>,
+}
+
+impl ResilienceConfig {
+    /// Retry-only resilience (no deadline, hedge, or breaker).
+    pub fn retry_only(retry: RetryPolicy) -> Self {
+        Self {
+            retry,
+            deadline: None,
+            hedge: None,
+            breaker: None,
+        }
+    }
+
+    /// Adds a per-attempt deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Adds hedged requests.
+    #[must_use]
+    pub fn with_hedge(mut self, hedge: HedgeConfig) -> Self {
+        self.hedge = Some(hedge);
+        self
+    }
+
+    /// Adds a circuit breaker.
+    #[must_use]
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+}
+
+/// Cumulative resilience counters, the per-backend health companion to
+/// [`crate::TierStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Reads entering the resilience layer.
+    pub reads: u64,
+    /// Retries performed (attempts beyond each read's first).
+    pub retries: u64,
+    /// Reads whose whole retry budget was exhausted.
+    pub exhausted: u64,
+    /// Hedge requests fired.
+    pub hedges_fired: u64,
+    /// Hedged reads where the hedge answered first.
+    pub hedges_won: u64,
+    /// Attempts that missed their deadline.
+    pub deadline_misses: u64,
+    /// Attempts rejected by backend throttling.
+    pub throttled: u64,
+    /// Reads failed fast because the breaker was open.
+    pub breaker_open_rejections: u64,
+    /// Breaker transitions into the open state.
+    pub breaker_to_open: u64,
+    /// Breaker transitions into the half-open state.
+    pub breaker_to_half_open: u64,
+    /// Breaker transitions back to closed.
+    pub breaker_to_closed: u64,
+}
+
+impl ResilienceStats {
+    /// Accumulates `other` into `self` (for aggregating ranks/tenants).
+    pub fn merge(&mut self, other: &ResilienceStats) {
+        self.reads += other.reads;
+        self.retries += other.retries;
+        self.exhausted += other.exhausted;
+        self.hedges_fired += other.hedges_fired;
+        self.hedges_won += other.hedges_won;
+        self.deadline_misses += other.deadline_misses;
+        self.throttled += other.throttled;
+        self.breaker_open_rejections += other.breaker_open_rejections;
+        self.breaker_to_open += other.breaker_to_open;
+        self.breaker_to_half_open += other.breaker_to_half_open;
+        self.breaker_to_closed += other.breaker_to_closed;
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    reads: AtomicU64,
+    retries: AtomicU64,
+    exhausted: AtomicU64,
+    hedges_fired: AtomicU64,
+    hedges_won: AtomicU64,
+    deadline_misses: AtomicU64,
+    throttled: AtomicU64,
+}
+
+/// The outcome of one attempt: who answered, with what, after how long.
+enum AttemptOutcome {
+    Done(Result<Bytes, SourceError>, Duration, bool),
+    TimedOut,
+}
+
+/// A [`DataSource`] wrapper combining deadlines, hedging, retry, and
+/// circuit breaking — the full failure domain for an object-store (or
+/// any flaky) origin. Layering, outermost first: breaker (fail fast
+/// while open) → retry loop → per-attempt deadline + hedge.
+pub struct ResilientSource {
+    inner: Arc<dyn DataSource>,
+    cfg: ResilienceConfig,
+    breaker: Option<CircuitBreaker>,
+    tracker: Mutex<LatencyTracker>,
+    counters: Counters,
+    scale: TimeScale,
+    start: Instant,
+    draws: AtomicU64,
+}
+
+impl std::fmt::Debug for ResilientSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientSource")
+            .field("inner", &self.inner.name())
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+impl ResilientSource {
+    /// Wraps `inner` under `cfg`; `scale` maps the breaker's
+    /// model-second cooldowns onto the wall clock.
+    pub fn new(inner: Arc<dyn DataSource>, cfg: ResilienceConfig, scale: TimeScale) -> Self {
+        let window = cfg.hedge.map_or(1, |h| h.window);
+        Self {
+            breaker: cfg.breaker.map(CircuitBreaker::new),
+            tracker: Mutex::new(LatencyTracker::new(window)),
+            inner,
+            cfg,
+            counters: Counters::default(),
+            scale,
+            start: Instant::now(),
+            draws: AtomicU64::new(0),
+        }
+    }
+
+    /// Model time since construction, the breaker's clock.
+    fn now(&self) -> f64 {
+        self.scale.to_model(self.start.elapsed())
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &Arc<dyn DataSource> {
+        &self.inner
+    }
+
+    /// The breaker, when configured (for tests and telemetry).
+    pub fn breaker(&self) -> Option<&CircuitBreaker> {
+        self.breaker.as_ref()
+    }
+
+    /// One attempt: primary read, hedge after the quantile delay, both
+    /// racing the per-attempt deadline. Returns the first completion.
+    fn attempt(&self, id: SampleId) -> AttemptOutcome {
+        // Fast path: nothing to race, read inline (no thread spawn).
+        if self.cfg.deadline.is_none() && self.cfg.hedge.is_none() {
+            let t0 = Instant::now();
+            let r = self.inner.read(id);
+            return AttemptOutcome::Done(r, t0.elapsed(), false);
+        }
+
+        let (tx, rx) = mpsc::channel::<(bool, Result<Bytes, SourceError>, Duration)>();
+        let spawn = |hedge: bool| {
+            let inner = Arc::clone(&self.inner);
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let t0 = Instant::now();
+                let r = inner.read(id);
+                // The loser's result is dropped with the receiver.
+                let _ = tx.send((hedge, r, t0.elapsed()));
+            });
+        };
+        let started = Instant::now();
+        let deadline = self.cfg.deadline;
+        let remaining = |started: Instant| deadline.map(|d| d.saturating_sub(started.elapsed()));
+        spawn(false);
+        let mut outstanding = 1u32;
+
+        // Phase 1: wait up to the hedge delay (clipped by the deadline).
+        if let Some(h) = &self.cfg.hedge {
+            let hedge_delay = self.tracker.lock().delay(h);
+            let wait = remaining(started).map_or(hedge_delay, |r| hedge_delay.min(r));
+            match rx.recv_timeout(wait) {
+                Ok((hedge, r, lat)) => return AttemptOutcome::Done(r, lat, hedge),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if remaining(started).is_none_or(|r| r > Duration::ZERO) {
+                        self.counters.hedges_fired.fetch_add(1, Ordering::Relaxed);
+                        spawn(true);
+                        outstanding += 1;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => unreachable!("senders outlive us"),
+            }
+        }
+
+        // Phase 2: first success (or last failure) wins, racing the
+        // remaining deadline.
+        let mut last: Option<AttemptOutcome> = None;
+        while outstanding > 0 {
+            let got = match remaining(started) {
+                None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
+                Some(r) if r > Duration::ZERO => rx.recv_timeout(r),
+                Some(_) => return AttemptOutcome::TimedOut,
+            };
+            match got {
+                Ok((hedge, r, lat)) => {
+                    outstanding -= 1;
+                    let done = AttemptOutcome::Done(r, lat, hedge);
+                    if matches!(done, AttemptOutcome::Done(Ok(_), ..)) || outstanding == 0 {
+                        return done;
+                    }
+                    last = Some(done);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => return AttemptOutcome::TimedOut,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        last.unwrap_or(AttemptOutcome::TimedOut)
+    }
+}
+
+impl DataSource for ResilientSource {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn read(&self, id: SampleId) -> Result<Bytes, SourceError> {
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        let mut last = None;
+        for attempt in 0..self.cfg.retry.attempts {
+            if let Some(b) = &self.breaker {
+                if !b.allow(self.now()) {
+                    return Err(SourceError::Unavailable(format!(
+                        "{}: circuit open",
+                        self.inner.name()
+                    )));
+                }
+            }
+            let outcome = self.attempt(id);
+            let err = match outcome {
+                AttemptOutcome::Done(Ok(data), latency, hedge_won) => {
+                    if let Some(b) = &self.breaker {
+                        b.on_success(self.now());
+                    }
+                    if hedge_won {
+                        self.counters.hedges_won.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.tracker.lock().record(latency);
+                    return Ok(data);
+                }
+                AttemptOutcome::Done(Err(e), ..) => {
+                    if !e.is_retryable() {
+                        // NotFound/Full say nothing about backend
+                        // health: pass through without tripping.
+                        return Err(e);
+                    }
+                    if matches!(e, SourceError::Throttled { .. }) {
+                        self.counters.throttled.fetch_add(1, Ordering::Relaxed);
+                    }
+                    e
+                }
+                AttemptOutcome::TimedOut => {
+                    self.counters
+                        .deadline_misses
+                        .fetch_add(1, Ordering::Relaxed);
+                    SourceError::DeadlineExceeded {
+                        deadline: self.cfg.deadline.unwrap_or_default(),
+                    }
+                }
+            };
+            if let Some(b) = &self.breaker {
+                b.on_failure(self.now());
+            }
+            if attempt + 1 < self.cfg.retry.attempts {
+                let draw = self.draws.fetch_add(1, Ordering::Relaxed);
+                self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                let backoff = self.cfg.retry.backoff(attempt, draw);
+                let wait = match &err {
+                    SourceError::Throttled { retry_after } => backoff.max(*retry_after),
+                    _ => backoff,
+                };
+                std::thread::sleep(wait);
+            }
+            last = Some(err);
+        }
+        self.counters.exhausted.fetch_add(1, Ordering::Relaxed);
+        Err(last.expect("loop ran at least once"))
+    }
+
+    fn read_many(&self, ids: &[SampleId]) -> Vec<Result<Bytes, SourceError>> {
+        // First pass through the backend's own coalescing; any
+        // retryable stragglers go back through the full read path.
+        self.inner
+            .read_many(ids)
+            .into_iter()
+            .zip(ids)
+            .map(|(r, &id)| match r {
+                Err(e) if e.is_retryable() => self.read(id),
+                other => other,
+            })
+            .collect()
+    }
+
+    fn write(&self, id: SampleId, data: Bytes) -> Result<(), SourceError> {
+        self.inner.write(id, data)
+    }
+
+    fn contains(&self, id: SampleId) -> bool {
+        self.inner.contains(id)
+    }
+
+    fn capacity(&self) -> Option<u64> {
+        self.inner.capacity()
+    }
+
+    fn used(&self) -> u64 {
+        self.inner.used()
+    }
+
+    fn evict(&self, id: SampleId) -> bool {
+        self.inner.evict(id)
+    }
+
+    fn count(&self) -> usize {
+        self.inner.count()
+    }
+
+    fn size_of(&self, id: SampleId) -> Option<u64> {
+        self.inner.size_of(id)
+    }
+
+    fn health(&self) -> SourceHealth {
+        match &self.breaker {
+            Some(b) => b.health(self.now()),
+            None => self.inner.health(),
+        }
+    }
+
+    fn resilience(&self) -> Option<ResilienceStats> {
+        let (to_open, to_half_open, to_closed, rejections) = self
+            .breaker
+            .as_ref()
+            .map_or((0, 0, 0, 0), |b| b.transitions());
+        let c = &self.counters;
+        let mut stats = ResilienceStats {
+            reads: c.reads.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            exhausted: c.exhausted.load(Ordering::Relaxed),
+            hedges_fired: c.hedges_fired.load(Ordering::Relaxed),
+            hedges_won: c.hedges_won.load(Ordering::Relaxed),
+            deadline_misses: c.deadline_misses.load(Ordering::Relaxed),
+            throttled: c.throttled.load(Ordering::Relaxed),
+            breaker_open_rejections: rejections,
+            breaker_to_open: to_open,
+            breaker_to_half_open: to_half_open,
+            breaker_to_closed: to_closed,
+        };
+        // Nested resilience layers (rare, but legal) aggregate.
+        if let Some(inner) = self.inner.resilience() {
+            stats.merge(&inner);
+        }
+        Some(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{MemoryBackend, StorageBackend};
+
+    fn mem_with(ids: &[SampleId]) -> Arc<dyn DataSource> {
+        let m = MemoryBackend::new("mem", 1_000_000);
+        for &id in ids {
+            m.insert(id, Bytes::from(vec![id as u8; 8])).unwrap();
+        }
+        Arc::new(m)
+    }
+
+    fn fast_retry(attempts: u32) -> RetryPolicy {
+        RetryPolicy::new(attempts, Duration::from_micros(10), 0.5, 7)
+    }
+
+    /// A source that sleeps a scheduled duration per read, in call
+    /// order, then serves from memory.
+    struct SlowSource {
+        inner: Arc<dyn DataSource>,
+        delays: Mutex<std::collections::VecDeque<Duration>>,
+    }
+
+    impl SlowSource {
+        fn new(inner: Arc<dyn DataSource>, delays: &[Duration]) -> Self {
+            Self {
+                inner,
+                delays: Mutex::new(delays.iter().copied().collect()),
+            }
+        }
+    }
+
+    impl DataSource for SlowSource {
+        fn name(&self) -> &str {
+            "slow"
+        }
+        fn read(&self, id: SampleId) -> Result<Bytes, SourceError> {
+            let d = self.delays.lock().pop_front().unwrap_or(Duration::ZERO);
+            std::thread::sleep(d);
+            self.inner.read(id)
+        }
+        fn write(&self, id: SampleId, data: Bytes) -> Result<(), SourceError> {
+            self.inner.write(id, data)
+        }
+        fn contains(&self, id: SampleId) -> bool {
+            self.inner.contains(id)
+        }
+        fn capacity(&self) -> Option<u64> {
+            self.inner.capacity()
+        }
+        fn used(&self) -> u64 {
+            self.inner.used()
+        }
+        fn evict(&self, id: SampleId) -> bool {
+            self.inner.evict(id)
+        }
+        fn count(&self) -> usize {
+            self.inner.count()
+        }
+        fn size_of(&self, id: SampleId) -> Option<u64> {
+            self.inner.size_of(id)
+        }
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_half_open_closed() {
+        let b = CircuitBreaker::new(BreakerConfig::new(3, 10.0, 2));
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Two failures: still closed (threshold 3).
+        b.on_failure(1.0);
+        b.on_failure(2.0);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow(2.5));
+        // Third trips it open.
+        b.on_failure(3.0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.health(5.0), SourceHealth::Unavailable);
+        // While cooling: fail fast.
+        assert!(!b.allow(5.0));
+        assert!(!b.allow(12.9));
+        // Cooldown elapsed: probe due.
+        assert_eq!(b.health(13.0), SourceHealth::Degraded);
+        assert!(b.allow(13.0), "first probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow(13.1), "second probe admitted (cap 2)");
+        assert!(!b.allow(13.2), "probe cap enforced");
+        // Both probes succeed: closed again.
+        b.on_success(13.3);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_success(13.4);
+        assert_eq!(b.state(), BreakerState::Closed);
+        let (to_open, to_half_open, to_closed, rejections) = b.transitions();
+        assert_eq!((to_open, to_half_open, to_closed), (1, 1, 1));
+        assert_eq!(rejections, 3);
+    }
+
+    #[test]
+    fn failed_half_open_probe_reopens_and_success_resets_the_streak() {
+        let b = CircuitBreaker::new(BreakerConfig::new(2, 5.0, 1));
+        b.on_failure(0.0);
+        b.on_success(0.5); // streak broken
+        b.on_failure(1.0);
+        assert_eq!(b.state(), BreakerState::Closed, "success reset the count");
+        b.on_failure(2.0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allow(7.1), "cooldown over, probe admitted");
+        b.on_failure(7.2);
+        assert_eq!(b.state(), BreakerState::Open, "failed probe re-opens");
+        // The re-open restarts the cooldown from the probe failure.
+        assert!(!b.allow(11.0));
+        assert!(b.allow(12.3));
+        b.on_success(12.4);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.transitions().0, 2, "two trips recorded");
+    }
+
+    #[test]
+    fn open_breaker_fails_fast_with_unavailable() {
+        let always_down = Arc::new(crate::fault::FaultySource::new(
+            mem_with(&[]),
+            crate::fault::ErrorInjection::new(0.0, 1, 0),
+        ));
+        // Synthetic: trip the breaker directly, then read.
+        let src = ResilientSource::new(
+            always_down,
+            ResilienceConfig::retry_only(fast_retry(2)).with_breaker(BreakerConfig::new(1, 1e9, 1)),
+            TimeScale::realtime(),
+        );
+        src.breaker().unwrap().on_failure(0.0);
+        assert_eq!(src.health(), SourceHealth::Unavailable);
+        match src.read(5) {
+            Err(SourceError::Unavailable(msg)) => assert!(msg.contains("circuit open")),
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+        let stats = src.resilience().unwrap();
+        assert_eq!(stats.breaker_to_open, 1);
+        assert!(stats.breaker_open_rejections >= 1);
+    }
+
+    #[test]
+    fn hedged_reads_return_identical_bytes_and_win_when_primary_stalls() {
+        // First read of each sample stalls 50 ms; the hedge (delay
+        // floor 1 ms) answers immediately from memory.
+        let slow = Arc::new(SlowSource::new(
+            mem_with(&[0, 1, 2]),
+            &[Duration::from_millis(50), Duration::ZERO],
+        ));
+        let direct = mem_with(&[0, 1, 2]);
+        let src = ResilientSource::new(
+            slow,
+            ResilienceConfig::retry_only(fast_retry(2)).with_hedge(HedgeConfig::new(
+                0.5,
+                Duration::from_millis(1),
+                4,
+            )),
+            TimeScale::realtime(),
+        );
+        let hedged = src.read(1).unwrap();
+        assert_eq!(hedged, direct.read(1).unwrap(), "hedge changed bytes");
+        let stats = src.resilience().unwrap();
+        assert_eq!(stats.hedges_fired, 1);
+        assert_eq!(stats.hedges_won, 1);
+        // Fast reads do not hedge.
+        assert_eq!(src.read(2).unwrap(), direct.read(2).unwrap());
+        assert_eq!(src.resilience().unwrap().hedges_fired, 1);
+    }
+
+    #[test]
+    fn deadline_expiry_surfaces_and_is_retried_to_success() {
+        // Attempt 1 outlives the 5 ms deadline; attempt 2 is instant.
+        let slow = Arc::new(SlowSource::new(
+            mem_with(&[3]),
+            &[Duration::from_millis(80), Duration::ZERO],
+        ));
+        let src = ResilientSource::new(
+            slow,
+            ResilienceConfig::retry_only(fast_retry(3)).with_deadline(Duration::from_millis(5)),
+            TimeScale::realtime(),
+        );
+        assert_eq!(src.read(3).unwrap()[0], 3);
+        let stats = src.resilience().unwrap();
+        assert_eq!(stats.deadline_misses, 1);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.exhausted, 0);
+    }
+
+    #[test]
+    fn deadline_exhaustion_reports_deadline_exceeded() {
+        let slow = Arc::new(SlowSource::new(
+            mem_with(&[0]),
+            &[Duration::from_millis(80); 8],
+        ));
+        let src = ResilientSource::new(
+            slow,
+            ResilienceConfig::retry_only(fast_retry(2)).with_deadline(Duration::from_millis(2)),
+            TimeScale::realtime(),
+        );
+        match src.read(0) {
+            Err(SourceError::DeadlineExceeded { deadline }) => {
+                assert_eq!(deadline, Duration::from_millis(2));
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let stats = src.resilience().unwrap();
+        assert_eq!(stats.deadline_misses, 2);
+        assert_eq!(stats.exhausted, 1);
+    }
+
+    #[test]
+    fn permanent_errors_pass_through_without_tripping_the_breaker() {
+        let src = ResilientSource::new(
+            mem_with(&[]),
+            ResilienceConfig::retry_only(fast_retry(4)).with_breaker(BreakerConfig::new(1, 1e9, 1)),
+            TimeScale::realtime(),
+        );
+        assert_eq!(src.read(9), Err(SourceError::NotFound(9)));
+        assert_eq!(src.health(), SourceHealth::Healthy);
+        let stats = src.resilience().unwrap();
+        assert_eq!(stats.breaker_to_open, 0);
+        assert_eq!(stats.retries, 0);
+    }
+
+    #[test]
+    fn transient_bursts_recover_through_retry_and_breaker_stays_closed() {
+        // Bounded bursts (max 2) under a 4-attempt budget with a
+        // breaker threshold above the burst bound: every read succeeds
+        // and the breaker never opens.
+        let faulty = Arc::new(crate::fault::FaultySource::new(
+            mem_with(&[0, 1, 2, 3]),
+            crate::fault::ErrorInjection::new(0.4, 2, 0xC10D),
+        ));
+        let src = ResilientSource::new(
+            faulty,
+            ResilienceConfig::retry_only(fast_retry(4))
+                .with_breaker(BreakerConfig::new(8, 0.001, 1)),
+            TimeScale::realtime(),
+        );
+        for round in 0..50 {
+            for id in 0..4u64 {
+                let data = src
+                    .read(id)
+                    .unwrap_or_else(|e| panic!("round {round} id {id}: {e}"));
+                assert_eq!(data[0], id as u8);
+            }
+        }
+        let stats = src.resilience().unwrap();
+        assert_eq!(stats.exhausted, 0);
+        assert!(stats.retries > 0, "injection never fired");
+        assert_eq!(stats.breaker_to_open, 0, "threshold 8 > burst bound 2");
+    }
+
+    #[test]
+    fn latency_tracker_reports_the_quantile_with_a_floor() {
+        let cfg = HedgeConfig::new(0.95, Duration::from_millis(2), 10);
+        let mut t = LatencyTracker::new(cfg.window);
+        // Unfilled window: the floor.
+        t.record(Duration::from_millis(100));
+        assert_eq!(t.delay(&cfg), Duration::from_millis(2));
+        for ms in 1..=10u64 {
+            t.record(Duration::from_millis(ms));
+        }
+        // p95 of ~1..=10 ms rounds to the top observations.
+        let d = t.delay(&cfg);
+        assert!(d >= Duration::from_millis(8), "p95 too low: {d:?}");
+        // The floor still applies when observations are tiny.
+        for _ in 0..10 {
+            t.record(Duration::from_micros(1));
+        }
+        assert_eq!(t.delay(&cfg), Duration::from_millis(2));
+    }
+}

@@ -31,19 +31,76 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Errors a [`DataSource`] read or write can produce.
+///
+/// Every variant carries a retryability class ([`SourceError::class`]):
+/// resilience layers decide *whether* and *how* to retry from the
+/// class, never from string matching.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SourceError {
-    /// The source does not hold this sample.
+    /// The source does not hold this sample (permanent).
     NotFound(SampleId),
-    /// The sample would exceed the source's capacity.
+    /// The sample would exceed the source's capacity (permanent).
     Full {
         /// Bytes the write needed.
         needed: u64,
         /// Bytes still free.
         available: u64,
     },
-    /// Underlying (or injected) I/O failure.
+    /// Underlying (or injected) I/O failure (transient).
     Io(String),
+    /// The backend shed this request under load; retry no sooner than
+    /// `retry_after` (throttled — retryable, but on the server's
+    /// schedule, not the client's backoff curve).
+    Throttled {
+        /// Server-suggested minimum wait before the next attempt.
+        retry_after: std::time::Duration,
+    },
+    /// The read did not complete within the caller's deadline
+    /// (retryable: the next attempt races a fresh deadline).
+    DeadlineExceeded {
+        /// The deadline that expired.
+        deadline: std::time::Duration,
+    },
+    /// The backend is out of service — a circuit breaker is open or the
+    /// source is administratively down. Fail-fast: callers should
+    /// degrade to another source rather than retry in place.
+    Unavailable(String),
+}
+
+/// Retryability classes of a [`SourceError`], the contract between
+/// error producers (backends, injectors) and the resilience layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Worth retrying after client-side backoff ([`SourceError::Io`]).
+    Transient,
+    /// Worth retrying after the server-suggested wait
+    /// ([`SourceError::Throttled`]).
+    Throttled,
+    /// Worth retrying against a fresh deadline
+    /// ([`SourceError::DeadlineExceeded`]).
+    DeadlineExceeded,
+    /// Never worth retrying in place ([`SourceError::NotFound`],
+    /// [`SourceError::Full`], [`SourceError::Unavailable`]).
+    Permanent,
+}
+
+impl SourceError {
+    /// This error's retryability class.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            SourceError::Io(_) => ErrorClass::Transient,
+            SourceError::Throttled { .. } => ErrorClass::Throttled,
+            SourceError::DeadlineExceeded { .. } => ErrorClass::DeadlineExceeded,
+            SourceError::NotFound(_) | SourceError::Full { .. } | SourceError::Unavailable(_) => {
+                ErrorClass::Permanent
+            }
+        }
+    }
+
+    /// Whether retrying the same source can ever help.
+    pub fn is_retryable(&self) -> bool {
+        self.class() != ErrorClass::Permanent
+    }
 }
 
 impl std::fmt::Display for SourceError {
@@ -54,11 +111,32 @@ impl std::fmt::Display for SourceError {
                 write!(f, "source full: need {needed} bytes, {available} free")
             }
             SourceError::Io(msg) => write!(f, "I/O error: {msg}"),
+            SourceError::Throttled { retry_after } => {
+                write!(f, "throttled: retry after {retry_after:?}")
+            }
+            SourceError::DeadlineExceeded { deadline } => {
+                write!(f, "deadline of {deadline:?} exceeded")
+            }
+            SourceError::Unavailable(msg) => write!(f, "source unavailable: {msg}"),
         }
     }
 }
 
 impl std::error::Error for SourceError {}
+
+/// Coarse liveness of a [`DataSource`], surfaced so fetch paths can
+/// steer around a failing backend *before* paying a read into it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SourceHealth {
+    /// Serving normally.
+    #[default]
+    Healthy,
+    /// Serving, but a resilience layer is probing it (half-open
+    /// breaker) or absorbing elevated failures.
+    Degraded,
+    /// Not serving: an open circuit breaker is failing reads fast.
+    Unavailable,
+}
 
 impl From<BackendError> for SourceError {
     fn from(e: BackendError) -> Self {
@@ -107,6 +185,28 @@ pub trait DataSource: Send + Sync {
 
     /// Size in bytes of a stored sample (metadata only; free).
     fn size_of(&self, id: SampleId) -> Option<u64>;
+
+    /// Reads a batch of samples, one result per id, in order.
+    ///
+    /// The default loops over [`DataSource::read`]; sources with
+    /// per-request overhead (object stores) override it to *coalesce*
+    /// adjacent ids into fewer requests.
+    fn read_many(&self, ids: &[SampleId]) -> Vec<Result<Bytes, SourceError>> {
+        ids.iter().map(|&id| self.read(id)).collect()
+    }
+
+    /// Coarse liveness, for callers that want to steer around a
+    /// failing source. Plain stores are always [`SourceHealth::Healthy`];
+    /// resilience wrappers report their circuit-breaker state.
+    fn health(&self) -> SourceHealth {
+        SourceHealth::Healthy
+    }
+
+    /// Resilience counters (retries, hedges, breaker transitions), when
+    /// a resilience layer wraps this source; `None` for plain stores.
+    fn resilience(&self) -> Option<crate::resilience::ResilienceStats> {
+        None
+    }
 }
 
 /// Every [`StorageBackend`] is a [`DataSource`]: the method sets
@@ -191,6 +291,28 @@ impl TierStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Accumulates `other` into `self` (for aggregating the same tier
+    /// across ranks). Counters, capacities, and residency add, so the
+    /// merged row reads as the aggregate tier across the cluster; an
+    /// unbounded origin (`capacity: None`) keeps the merge unbounded.
+    pub fn merge(&mut self, other: &TierStats) {
+        debug_assert_eq!(self.name, other.name, "merge is per-tier");
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.bytes_read += other.bytes_read;
+        self.fills += other.fills;
+        self.bytes_filled += other.bytes_filled;
+        self.promotions += other.promotions;
+        self.demotions += other.demotions;
+        self.evictions += other.evictions;
+        self.bytes_evicted += other.bytes_evicted;
+        self.capacity = match (self.capacity, other.capacity) {
+            (Some(a), Some(b)) => Some(a + b),
+            _ => None,
+        };
+        self.used += other.used;
     }
 }
 
@@ -402,6 +524,41 @@ impl TierStack {
     /// Whatever the origin produced.
     pub fn read_origin(&self, id: SampleId) -> Result<Bytes, SourceError> {
         self.read_tier(self.origin_index(), id)
+    }
+
+    /// Batch-reads `ids` from the origin tier through
+    /// [`DataSource::read_many`], so origins with per-request overhead
+    /// (object stores) can coalesce adjacent ids. Per-id hit/miss/byte
+    /// statistics are recorded as if each sample were read alone.
+    pub fn read_origin_many(&self, ids: &[SampleId]) -> Vec<Result<Bytes, SourceError>> {
+        let slot = &self.inner.tiers[self.origin_index()];
+        let results = slot.source.read_many(ids);
+        for r in &results {
+            match r {
+                Ok(data) => {
+                    slot.counters.hits.fetch_add(1, Ordering::Relaxed);
+                    slot.counters
+                        .bytes_read
+                        .fetch_add(data.len() as u64, Ordering::Relaxed);
+                }
+                Err(SourceError::NotFound(_)) => {
+                    slot.counters.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {}
+            }
+        }
+        results
+    }
+
+    /// Liveness of the origin source, as reported by its resilience
+    /// layer (always [`SourceHealth::Healthy`] for unwrapped origins).
+    pub fn origin_health(&self) -> SourceHealth {
+        self.inner.tiers[self.origin_index()].source.health()
+    }
+
+    /// Resilience counters of the origin source, when wrapped.
+    pub fn origin_resilience(&self) -> Option<crate::resilience::ResilienceStats> {
+        self.inner.tiers[self.origin_index()].source.resilience()
     }
 
     /// Serves `id` from its cache tier if cataloged: the serving-loop

@@ -11,19 +11,33 @@
 //! ([`nopfs::simulator::run_elastic`]) across NoPFS and the identity
 //! baselines; a deterministic test pins the incremental-replan
 //! cheapness claim at the artifact level.
+//!
+//! A second section covers the object-store failure domain: random
+//! seeded cloud disturbances (spikes, throttle bursts, brownouts) never
+//! change the delivered stream on the runtime or the modelled access
+//! totals in the simulator, hedged reads never change bytes, and the
+//! circuit breaker's transition counters satisfy its state-machine
+//! invariants under arbitrary seeded event walks.
 
 use bytes::Bytes;
 use nopfs::clairvoyance::SetupPass;
 use nopfs::core::{ElasticJob, ElasticReport, JobConfig};
 use nopfs::perfmodel::presets::fig8_small_cluster;
 use nopfs::perfmodel::SystemSpec;
+use nopfs::perfmodel::ThroughputCurve;
 use nopfs::policy::fault::{respec, ShuffleSpec};
-use nopfs::policy::{elastic_global_stream, FaultPlan, PolicyId, ReadErrors};
-use nopfs::simulator::{run_elastic, Scenario};
+use nopfs::policy::{elastic_global_stream, CloudFaults, FaultPlan, PolicyId, ReadErrors};
+use nopfs::simulator::{run, run_elastic, CloudResilience, CloudSpec, Scenario};
+use nopfs::storage::{
+    BreakerConfig, BreakerState, CircuitBreaker, DataSource, Disturbance, HedgeConfig,
+    ObjectStoreBackend, ObjectStoreConfig, ResilienceConfig, ResilientSource, RetryPolicy,
+    SourceHealth,
+};
 use nopfs::util::timing::TimeScale;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 use std::sync::Arc;
+use std::time::Duration;
 
 const SEED: u64 = 0xF4;
 const SAMPLES: u64 = 60;
@@ -215,6 +229,242 @@ proptest! {
         prop_assert_eq!(hit.global_stream(), base.global_stream());
         prop_assert_eq!(hit.replans, expected_replans(&plan));
         prop_assert_eq!(hit.recoveries, usize::from(plan.has_crash()));
+    }
+}
+
+// ---------------------------------------------------------------------
+// The object-store failure domain.
+// ---------------------------------------------------------------------
+
+const FLOOR: f64 = 0.002;
+
+/// Random ambient cloud disturbances with a burst bound safely below
+/// every client's retry budget.
+fn cloud_faults(
+    seed: u64,
+    spike: (f64, f64),
+    throttle_rate: f64,
+    throttle_burst: u32,
+) -> CloudFaults {
+    CloudFaults {
+        spike_rate: spike.0,
+        spike_factor: spike.1,
+        throttle_rate,
+        throttle_burst,
+        retry_after: FLOOR / 10.0,
+        brownouts: Vec::new(),
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Cloud disturbances change when bytes arrive, never which bytes:
+    /// a random spike/throttle mix under an always-on brownout —
+    /// optionally layered over churn and a crash — still delivers the
+    /// exact fault-free global stream on the threaded runtime.
+    #[test]
+    fn cloud_disturbed_runtime_streams_are_bit_identical(
+        seed in 0..u64::MAX,
+        spike in (0.0f64..0.2, 1.0f64..16.0),
+        throttle in (0.0f64..0.2, 1..3u32),
+        brownout in (1.0f64..3.0, 0.0f64..0.3),
+        churn in (0..3u8, 0..3u8),
+        crash in (0..2u8, 0..3u64, 0..64u64, 0..64u64),
+    ) {
+        let cloud = cloud_faults(seed, spike, throttle.0, throttle.1)
+            .brownout(0.0, 1e12, brownout.0, brownout.1);
+        let mut plan = churned(FaultPlan::fault_free(), churn.0, churn.1).with_cloud(cloud);
+        if crash.0 == 1 {
+            plan = with_clamped_crash(plan, crash.1, crash.2, crash.3);
+        }
+
+        let report = elastic_run(plan.clone());
+        prop_assert_eq!(&report.global_stream, &canon());
+        prop_assert_eq!(report.stats.samples_consumed, SAMPLES * EPOCHS);
+        prop_assert_eq!(report.recoveries, u64::from(plan.has_crash()));
+        // Every origin read went through the resilience layer, and the
+        // per-tier statistics survived the cloud re-route.
+        prop_assert!(report.resilience.reads > 0);
+        prop_assert!(!report.tier_stats.is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Under a random seeded brownout the simulator's hardened client
+    /// keeps the modelled access totals identical to the quiet and
+    /// naive runs, its breaker counters satisfy the state-machine
+    /// invariants (every half-open entry needs a prior open, every
+    /// close a prior half-open; rejections only ever happen once
+    /// tripped), and its bounded retry budget never exhausts.
+    #[test]
+    fn simulated_breaker_invariants_hold_under_random_brownouts(
+        seed in 0..u64::MAX,
+        spike in (0.0f64..0.1, 1.0f64..30.0),
+        throttle in (0.0f64..0.3, 1..4u32),
+        storm in (0.0f64..0.3, 0.1f64..0.6, 1.0f64..3.5, 0.0f64..0.4),
+    ) {
+        let scenario = Scenario::new(
+            "cloud-props",
+            small_system(),
+            vec![SAMPLE_BYTES; SAMPLES as usize],
+            EPOCHS,
+            BATCH,
+            SEED,
+        );
+        let curve = ThroughputCurve::flat(1e9);
+        let with = |faults: CloudFaults, res: CloudResilience| {
+            scenario
+                .clone()
+                .with_cloud(CloudSpec::new(FLOOR, curve.clone(), faults, res))
+        };
+        let ambient = cloud_faults(seed, spike, throttle.0, throttle.1);
+        let quiet = run(
+            &with(CloudFaults::none(seed), CloudResilience::hardened(FLOOR)),
+            PolicyId::NoPfs,
+        )
+        .expect("NoPfs supports every scenario");
+        let stormy = ambient.brownout(
+            storm.0 * quiet.execution_time,
+            storm.1 * quiet.execution_time,
+            storm.2,
+            storm.3,
+        );
+        let hardened = run(
+            &with(stormy.clone(), CloudResilience::hardened(FLOOR)),
+            PolicyId::NoPfs,
+        )
+        .expect("valid cloud spec");
+        let naive = run(
+            &with(stormy, CloudResilience::naive(FLOOR / 4.0)),
+            PolicyId::NoPfs,
+        )
+        .expect("valid cloud spec");
+
+        // Disturbances cost time, never content: identical totals.
+        let total = |r: &nopfs::simulator::SimResult| r.fetch_counts.iter().sum::<u64>();
+        prop_assert_eq!(total(&quiet), total(&hardened));
+        prop_assert_eq!(total(&quiet), total(&naive));
+
+        let hs = hardened.resilience.expect("cloud run reports stats");
+        prop_assert!(hs.breaker_to_half_open <= hs.breaker_to_open);
+        prop_assert!(hs.breaker_to_closed <= hs.breaker_to_half_open);
+        if hs.breaker_open_rejections > 0 {
+            prop_assert!(hs.breaker_to_open > 0);
+        }
+        prop_assert_eq!(hs.exhausted, 0);
+        // Only the hardened client owns hedge/breaker machinery.
+        let ns = naive.resilience.expect("cloud run reports stats");
+        prop_assert_eq!(ns.hedges_fired, 0);
+        prop_assert_eq!(ns.breaker_to_open, 0);
+    }
+
+    /// Hedging changes *when* bytes arrive, never *which* bytes: under
+    /// random seeded tail-latency spikes, every read through a hedging
+    /// [`ResilientSource`] returns the backend's canonical payload.
+    #[test]
+    fn hedged_reads_never_change_bytes(
+        seed in 0..u64::MAX,
+        spike in (0.05f64..0.5, 2.0f64..10.0),
+    ) {
+        let payload = |id: u64| bytes::Bytes::from(vec![(id % 251) as u8 + 1; 64]);
+        // Wall-clock model (floor 100 us) so hedges genuinely race.
+        let cfg = ObjectStoreConfig::new(1e-4, ThroughputCurve::flat(1e12), 4)
+            .with_disturbance(Disturbance {
+                spike_rate: spike.0,
+                spike_factor: spike.1,
+                ..Disturbance::none(seed)
+            });
+        let store = ObjectStoreBackend::in_memory(cfg, TimeScale::realtime());
+        for id in 0..24u64 {
+            store.write(id, payload(id)).expect("store has room");
+        }
+        let src = ResilientSource::new(
+            Arc::new(store),
+            ResilienceConfig::retry_only(RetryPolicy::new(
+                4,
+                Duration::from_micros(10),
+                0.5,
+                seed,
+            ))
+            .with_hedge(HedgeConfig::new(0.5, Duration::from_micros(150), 4)),
+            TimeScale::realtime(),
+        );
+        // Two passes: the first fills the latency window, the second
+        // hedges off the measured quantile.
+        for round in 0..2u64 {
+            for id in 0..24u64 {
+                let got = src.read(id);
+                prop_assert_eq!(
+                    got.as_ref().ok(),
+                    Some(&payload(id)),
+                    "round {} id {}: hedged read diverged: {:?}",
+                    round,
+                    id,
+                    got
+                );
+            }
+        }
+        prop_assert_eq!(src.resilience().expect("wrapper counts").reads, 48);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The breaker state machine under arbitrary seeded event walks:
+    /// transition counters stay causally ordered, a denied request
+    /// always coincides with an unhealthy backend, `reopen_at` is only
+    /// ever reported while open, and an open breaker always admits a
+    /// probe once its cooldown elapses.
+    #[test]
+    fn breaker_transitions_satisfy_state_machine_invariants(
+        cfg in (1..4u32, 0.5f64..8.0, 1..3u32),
+        events in proptest::collection::vec((0..3u8, 0.0f64..2.0), 1..120),
+    ) {
+        let cooldown = cfg.1;
+        let b = CircuitBreaker::new(BreakerConfig::new(cfg.0, cooldown, cfg.2));
+        let mut now = 0.0f64;
+        for &(kind, dt) in &events {
+            now += dt;
+            match kind {
+                0 => {
+                    if b.allow(now) {
+                        b.on_success(now);
+                    }
+                }
+                1 => {
+                    if b.allow(now) {
+                        b.on_failure(now);
+                    }
+                }
+                _ => {
+                    if !b.allow(now) {
+                        prop_assert_ne!(b.health(now), SourceHealth::Healthy);
+                    }
+                }
+            }
+            let (to_open, to_half_open, to_closed, rejections) = b.transitions();
+            prop_assert!(to_half_open <= to_open, "half-open without a prior open");
+            prop_assert!(to_closed <= to_half_open, "close without a prior half-open");
+            if rejections > 0 {
+                prop_assert!(to_open > 0, "rejection before the first trip");
+            }
+            match b.reopen_at() {
+                Some(t) => {
+                    prop_assert_eq!(b.state(), BreakerState::Open);
+                    prop_assert!(t <= now + cooldown + 1e-9);
+                }
+                None => prop_assert_ne!(b.state(), BreakerState::Open),
+            }
+        }
+        if let Some(t) = b.reopen_at() {
+            prop_assert!(b.allow(t), "cooldown elapsed but the probe was denied");
+            prop_assert_eq!(b.state(), BreakerState::HalfOpen);
+        }
     }
 }
 
