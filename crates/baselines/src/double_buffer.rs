@@ -135,13 +135,14 @@ impl DoubleBufferLoader {
     ) -> Self {
         // Lookahead bounded by the staging-buffer capacity, the analogue
         // of PyTorch's prefetch_factor x num_workers batches in flight.
-        let stage = ReorderStage::new(config.system.staging.capacity);
-        let stats = StatsCollector::new();
+        let obs = config.obs.scoped([("rank", rank.to_string())]);
+        let stage = ReorderStage::new_in_registry(config.system.staging.capacity, &obs.registry);
+        let stats = Arc::new(StatsCollector::in_registry(&obs.registry));
         let stop = Arc::new(AtomicBool::new(false));
         let position = Arc::new(AtomicU64::new(0));
         // A cache-less hierarchy: double buffering prefetches but never
         // caches, so every read bottoms out in the PFS origin.
-        let tiers = TierStack::origin_only(Arc::new(pfs));
+        let tiers = TierStack::origin_only_in_registry(Arc::new(pfs), &obs.registry);
         let mut threads = Vec::new();
         for _ in 0..config.system.staging.threads.max(1) {
             let stream = Arc::clone(&stream);

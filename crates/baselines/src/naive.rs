@@ -36,16 +36,19 @@ impl NaiveRunner {
         // generations total instead of O(N·E) across the rank threads).
         let streams = materialize_all_streams(&spec, self.config.epochs);
         (0..n)
-            .map(|rank| NaiveLoader {
-                rank,
-                config: self.config.clone(),
-                // The flat loader is a degenerate hierarchy: no cache
-                // tiers, every read straight from the PFS origin.
-                tiers: TierStack::origin_only(Arc::new(pfs.clone())),
-                stream: Arc::clone(&streams[rank]),
-                stats: StatsCollector::new(),
-                consumed: 0,
-                epoch_len: spec.worker_epoch_len(rank),
+            .map(|rank| {
+                let obs = self.config.obs.scoped([("rank", rank.to_string())]);
+                NaiveLoader {
+                    rank,
+                    config: self.config.clone(),
+                    // The flat loader is a degenerate hierarchy: no cache
+                    // tiers, every read straight from the PFS origin.
+                    tiers: TierStack::origin_only_in_registry(Arc::new(pfs.clone()), &obs.registry),
+                    stream: Arc::clone(&streams[rank]),
+                    stats: Arc::new(StatsCollector::in_registry(&obs.registry)),
+                    consumed: 0,
+                    epoch_len: spec.worker_epoch_len(rank),
+                }
             })
             .collect()
     }

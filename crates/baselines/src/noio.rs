@@ -45,13 +45,14 @@ impl NoIoRunner {
                 for b in pool.iter_mut() {
                     *b = (rng.next_u64() & 0xFF) as u8;
                 }
+                let obs = config.obs.scoped([("rank", rank.to_string())]);
                 NoIoLoader {
                     rank,
                     config,
                     sizes,
                     stream: Arc::clone(&streams[rank]),
                     pool: Bytes::from(pool),
-                    stats: StatsCollector::new(),
+                    stats: Arc::new(StatsCollector::in_registry(&obs.registry)),
                     consumed: 0,
                     epoch_len: spec.worker_epoch_len(rank),
                 }

@@ -120,11 +120,13 @@ impl PlanRunner {
         // fill-progress checks. Each board owns its rank's storage
         // hierarchy (class tiers over the shared PFS origin).
         let boards: Vec<Arc<FillBoard>> = (0..n)
-            .map(|_| {
-                Arc::new(FillBoard::new(nopfs_core::class_tier_stack(
+            .map(|rank| {
+                let obs = self.config.obs.scoped([("rank", rank.to_string())]);
+                Arc::new(FillBoard::new(nopfs_core::class_tier_stack_in_registry(
                     &self.config.system,
                     self.config.scale,
                     Arc::new(pfs.clone()),
+                    &obs.registry,
                 )))
             })
             .collect();
@@ -346,7 +348,8 @@ impl PlanLoader {
         endpoint: Endpoint<Msg>,
         boards: Vec<Arc<FillBoard>>,
     ) -> Self {
-        let stage = ReorderStage::new(config.system.staging.capacity);
+        let obs = config.obs.scoped([("rank", rank.to_string())]);
+        let stage = ReorderStage::new_in_registry(config.system.staging.capacity, &obs.registry);
         let ctx = Arc::new(PlanCtx {
             rank,
             config: config.clone(),
@@ -354,7 +357,7 @@ impl PlanLoader {
             endpoint: Arc::new(endpoint),
             tiers: boards[rank].tiers.clone(),
             boards,
-            stats: StatsCollector::new(),
+            stats: Arc::new(StatsCollector::in_registry(&obs.registry)),
             stop: Arc::new(AtomicBool::new(false)),
             stage,
             epoch_len,

@@ -5,13 +5,15 @@
 //! in a stable text format that EXPERIMENTS.md quotes. Benches that
 //! feed the perf trajectory additionally serialize their numbers with
 //! [`Json`] + [`write_json`] (`BENCH_<name>.json` at the workspace
-//! root); the workspace is offline, so the writer is a small built-in
-//! rather than a serde dependency.
+//! root). The [`Json`] value itself lives in `nopfs_obs` — one
+//! serializer shared by the bench reports, the telemetry JSONL
+//! emitter, and the Chrome trace exporter.
 
 use nopfs_core::stats::SetupStats;
 use nopfs_storage::{ResilienceStats, TierStats};
 use nopfs_util::stats::Summary;
-use std::fmt::Write as _;
+
+pub use nopfs_obs::Json;
 
 /// Prints a figure/table banner.
 pub fn banner(id: &str, caption: &str) {
@@ -57,148 +59,6 @@ pub fn ratio(a: f64, b: f64) -> String {
         "n/a".to_string()
     } else {
         format!("{:.2}x", a / b)
-    }
-}
-
-/// A minimal JSON value for machine-readable bench reports.
-///
-/// Object keys keep insertion order, so emitted files diff cleanly
-/// between runs.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null` (also what non-finite numbers serialize as).
-    Null,
-    /// A boolean.
-    Bool(bool),
-    /// A number.
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// An object from `(key, value)` pairs.
-    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Self {
-        Json::Obj(
-            fields
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
-    }
-
-    /// Serializes with 2-space indentation.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.render_into(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn render_into(&self, out: &mut String, indent: usize) {
-        let pad = "  ".repeat(indent + 1);
-        let close = "  ".repeat(indent);
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => {
-                let _ = write!(out, "{b}");
-            }
-            Json::Num(x) => {
-                if x.is_finite() {
-                    // Round-trippable and compact: integers print bare.
-                    if *x == x.trunc() && x.abs() < 1e15 {
-                        let _ = write!(out, "{}", *x as i64);
-                    } else {
-                        let _ = write!(out, "{x}");
-                    }
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => {
-                            let _ = write!(out, "\\u{:04x}", c as u32);
-                        }
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    out.push_str(&pad);
-                    item.render_into(out, indent + 1);
-                }
-                out.push('\n');
-                out.push_str(&close);
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    out.push_str(&pad);
-                    Json::Str(k.clone()).render_into(out, indent + 1);
-                    out.push_str(": ");
-                    v.render_into(out, indent + 1);
-                }
-                out.push('\n');
-                out.push_str(&close);
-                out.push('}');
-            }
-        }
-    }
-}
-
-impl From<f64> for Json {
-    fn from(x: f64) -> Self {
-        Json::Num(x)
-    }
-}
-
-impl From<u64> for Json {
-    fn from(x: u64) -> Self {
-        Json::Num(x as f64)
-    }
-}
-
-impl From<&str> for Json {
-    fn from(s: &str) -> Self {
-        Json::Str(s.to_string())
-    }
-}
-
-impl From<String> for Json {
-    fn from(s: String) -> Self {
-        Json::Str(s)
     }
 }
 
@@ -280,28 +140,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn json_renders_nested_structures() {
-        let v = Json::obj([
-            ("figure", Json::from("fig2")),
-            ("count", Json::from(3u64)),
-            ("ratio", Json::Num(1.5)),
-            (
-                "tenants",
-                Json::Arr(vec![Json::obj([("name", Json::from("a"))])]),
-            ),
-            ("empty", Json::Arr(vec![])),
-            ("none", Json::Null),
-        ]);
-        let s = v.render();
-        assert!(s.contains("\"figure\": \"fig2\""));
-        assert!(s.contains("\"count\": 3"));
-        assert!(s.contains("\"ratio\": 1.5"));
-        assert!(s.contains("\"empty\": []"));
-        assert!(s.contains("\"none\": null"));
-        assert!(s.ends_with("}\n"));
-    }
-
-    #[test]
     fn resilience_and_tier_stats_serialize_every_counter() {
         let res = ResilienceStats {
             reads: 10,
@@ -349,5 +187,13 @@ mod tests {
         assert!(s.contains(r#""a\"b\\c\nd\u0001""#));
         assert!(s.contains("null"));
         assert!(s.contains("true"));
+    }
+
+    #[test]
+    fn json_reexport_round_trips() {
+        // The serializer itself lives (and is tested) in `nopfs_obs`;
+        // this pins the re-export the benches build their reports with.
+        let v = Json::obj([("figure", Json::from("fig2")), ("count", Json::from(3u64))]);
+        assert_eq!(Json::parse(&v.render()).unwrap(), v);
     }
 }

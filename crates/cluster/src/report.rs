@@ -1,6 +1,7 @@
 //! Per-tenant and aggregate statistics of a co-scheduled run.
 
 use nopfs_core::stats::{SetupStats, WorkerStats};
+use nopfs_obs::Snapshot;
 use nopfs_pfs::PfsStats;
 use nopfs_policy::PolicyId;
 use nopfs_storage::{ResilienceStats, TierStats};
@@ -34,6 +35,10 @@ pub struct TenantReport {
     /// ranks (elastic NoPFS tenants only; baseline loaders manage their
     /// caches internally and leave this empty).
     pub tier_stats: Vec<TierStats>,
+    /// Live telemetry: the tenant's JSONL snapshot lines (one per
+    /// sampling tick plus a final one), empty unless the spec set
+    /// [`crate::ClusterSpec::telemetry_interval`].
+    pub telemetry: Vec<String>,
     /// The same tenant's solo steady epoch time, when an interference
     /// report ran it (model seconds).
     pub solo_epoch_time: Option<f64>,
@@ -76,6 +81,14 @@ pub struct ClusterReport {
     pub pfs_totals: PfsStats,
     /// Wall-clock time of the whole co-scheduled run, seconds.
     pub wall_time: f64,
+    /// The merged end-of-run view of the cluster registry: every
+    /// tenant's metrics side by side under their `tenant=<name>`
+    /// scopes.
+    pub snapshot: Snapshot,
+    /// Chrome `trace_event` JSON of the run's structured events,
+    /// renderable in `about:tracing` / Perfetto; `None` when the
+    /// spec's [`nopfs_obs::ObsCtx`] has tracing off (the default).
+    pub chrome_trace: Option<String>,
 }
 
 impl ClusterReport {
@@ -137,6 +150,7 @@ mod tests {
             setup: None,
             resilience: None,
             tier_stats: Vec::new(),
+            telemetry: Vec::new(),
             solo_epoch_time: None,
             slowdown,
         }
@@ -160,6 +174,8 @@ mod tests {
             ],
             pfs_totals: PfsStats::default(),
             wall_time: 0.0,
+            snapshot: Snapshot::default(),
+            chrome_trace: None,
         };
         assert_eq!(report.max_slowdown(), Some(2.5));
         assert_eq!(report.slowdown_of(PolicyId::Naive), Some(1.2));

@@ -14,6 +14,7 @@ use crate::spec::{ClusterSpec, TenantSpec};
 use nopfs_baselines::{registry, DataLoader};
 use nopfs_core::{ElasticJob, JobConfig};
 use nopfs_net::{cluster, Endpoint, NetConfig};
+use nopfs_obs::{JsonlEmitter, ObsCtx, Sampler};
 use nopfs_perfmodel::SystemSpec;
 use nopfs_pfs::Pfs;
 use nopfs_policy::ReadErrors;
@@ -50,12 +51,14 @@ fn run_tenant_elastic(
     system: SystemSpec,
     scale: TimeScale,
     pfs: &Pfs,
+    obs: ObsCtx,
 ) -> TenantReport {
     let sizes = Arc::new(tenant.profile.sizes());
     // No drop_last: churn must keep the epoch length
     // membership-invariant, and this path has no per-step allreduce
     // that ragged batch counts could deadlock.
-    let config = JobConfig::new(tenant.seed, tenant.epochs, tenant.batch, system, scale);
+    let config =
+        JobConfig::new(tenant.seed, tenant.epochs, tenant.batch, system, scale).with_obs(obs);
     let job = ElasticJob::new(config, sizes, tenant.fault_plan.clone())
         .unwrap_or_else(|e| panic!("tenant '{}': {}", tenant.name, e.0));
     let report = job.run(pfs);
@@ -79,6 +82,7 @@ fn run_tenant_elastic(
             .is_some()
             .then_some(report.resilience),
         tier_stats: report.tier_stats,
+        telemetry: Vec::new(),
         solo_epoch_time: None,
         slowdown: None,
     }
@@ -94,12 +98,13 @@ fn run_tenant(
     system: SystemSpec,
     scale: TimeScale,
     pfs: &Pfs,
+    obs: ObsCtx,
 ) -> TenantReport {
     // Crash, churn, and cloud plans run in the elastic runtime, which
     // realizes every event of the plan itself (including read errors,
     // injected beneath its tier stacks rather than into the PFS).
     if tenant.needs_elastic() {
-        return run_tenant_elastic(tenant, system, scale, pfs);
+        return run_tenant_elastic(tenant, system, scale, pfs, obs);
     }
     if let Some(errors) = &tenant.fault_plan.read_errors {
         inject_read_errors(pfs, errors, tenant.profile.num_samples);
@@ -115,7 +120,8 @@ fn run_tenant(
         system.clone(),
         scale,
     )
-    .drop_last(true);
+    .drop_last(true)
+    .with_obs(obs);
     // The tenant's private gradient-allreduce network (its partition of
     // the interconnect), one endpoint per rank.
     let grad_endpoints: Mutex<Vec<Option<Endpoint<Vec<f32>>>>> = Mutex::new(
@@ -166,6 +172,7 @@ fn run_tenant(
         setup,
         resilience: None,
         tier_stats: Vec::new(),
+        telemetry: Vec::new(),
         solo_epoch_time: None,
         slowdown: None,
     }
@@ -191,7 +198,29 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterReport {
         tenant.profile.materialize(&pfs.namespaced(base));
     }
     let t0 = Instant::now();
-    let tenants: Vec<TenantReport> = std::thread::scope(|s| {
+    // One obs scope per tenant; with telemetry on, a background sampler
+    // per tenant turns that scope into a live JSONL time series.
+    let scopes: Vec<ObsCtx> = spec
+        .tenants
+        .iter()
+        .map(|t| spec.obs.scoped([("tenant", t.name.clone())]))
+        .collect();
+    let streams: Vec<Option<(Arc<JsonlEmitter>, Sampler)>> = scopes
+        .iter()
+        .map(|obs| {
+            spec.telemetry_interval.map(|interval| {
+                let emitter = JsonlEmitter::memory();
+                let sampler = Sampler::spawn(
+                    obs.registry.clone(),
+                    Arc::clone(&emitter),
+                    interval,
+                    spec.scale.factor(),
+                );
+                (emitter, sampler)
+            })
+        })
+        .collect();
+    let mut tenants: Vec<TenantReport> = std::thread::scope(|s| {
         let handles: Vec<_> = spec
             .tenants
             .iter()
@@ -200,11 +229,12 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterReport {
                 let tenant_pfs = pfs.namespaced(bases[i]);
                 let system = spec.tenant_system(i);
                 let scale = spec.scale;
+                let obs = scopes[i].clone();
                 s.spawn(move || {
                     if tenant.start_delay > 0.0 {
                         scale.wait(tenant.start_delay);
                     }
-                    run_tenant(tenant, system, scale, &tenant_pfs)
+                    run_tenant(tenant, system, scale, &tenant_pfs, obs)
                 })
             })
             .collect();
@@ -213,10 +243,24 @@ pub fn run_cluster(spec: &ClusterSpec) -> ClusterReport {
             .map(|h| h.join().expect("tenant panicked"))
             .collect()
     });
+    for (report, stream) in tenants.iter_mut().zip(streams) {
+        if let Some((emitter, sampler)) = stream {
+            // Stopping emits one final snapshot, so even a run shorter
+            // than the interval yields a complete series.
+            sampler.stop();
+            report.telemetry = emitter.lines();
+        }
+    }
     ClusterReport {
         tenants,
         pfs_totals: pfs.stats(),
         wall_time: t0.elapsed().as_secs_f64(),
+        snapshot: spec.obs.snapshot(),
+        chrome_trace: spec
+            .obs
+            .tracer
+            .is_active()
+            .then(|| spec.obs.tracer.chrome_trace("cluster").render_compact()),
     }
 }
 
@@ -227,7 +271,12 @@ pub fn run_solo(spec: &ClusterSpec, index: usize) -> TenantReport {
     let tenant = &spec.tenants[index];
     let pfs = Pfs::in_memory(spec.pfs_read.clone(), spec.scale);
     tenant.profile.materialize(&pfs);
-    run_tenant(tenant, spec.tenant_system(index), spec.scale, &pfs)
+    // A `run=solo` scope keeps the baseline's metrics apart from the
+    // co-scheduled run's in the shared registry.
+    let obs = spec
+        .obs
+        .scoped([("tenant", tenant.name.clone()), ("run", "solo".to_string())]);
+    run_tenant(tenant, spec.tenant_system(index), spec.scale, &pfs, obs)
 }
 
 /// The full interference experiment: every tenant solo, then all
@@ -501,6 +550,46 @@ mod tests {
                 .with_fault_plan(FaultPlan::fault_free().crash(0, 1, 0)),
         );
         spec.validate();
+    }
+
+    #[test]
+    fn telemetry_streams_snapshot_and_trace_ride_the_report() {
+        use nopfs_obs::{Json, ObsCtx};
+        use std::time::Duration;
+        let spec = fast_spec()
+            .tenant(tenant("a", PolicyId::NoPfs, 64, 3))
+            .tenant(tenant("b", PolicyId::Naive, 40, 4))
+            .with_obs(ObsCtx::traced())
+            .telemetry_every(Duration::from_millis(5));
+        let report = run_cluster(&spec);
+        for t in &report.tenants {
+            // At least the final stop-time snapshot, parseable JSONL
+            // with monotone sequence numbers and counters.
+            assert!(!t.telemetry.is_empty(), "tenant {} has no lines", t.name);
+            let mut prev_seq = -1.0;
+            for line in &t.telemetry {
+                let j = Json::parse(line).expect("telemetry line parses");
+                let seq = j.get("seq").and_then(Json::as_num).expect("seq");
+                assert!(seq > prev_seq, "seq must increase");
+                prev_seq = seq;
+            }
+        }
+        // The merged end-of-run snapshot sees both tenants' scopes.
+        for name in ["a", "b"] {
+            let key = format!("worker.consumed{{tenant={name},rank=0}}");
+            assert!(
+                report.snapshot.counter(&key).is_some_and(|v| v > 0),
+                "snapshot missing {key}"
+            );
+        }
+        // Tracing was on, so the chrome trace exports and parses.
+        let trace = report.chrome_trace.as_ref().expect("tracing was on");
+        let j = Json::parse(trace).expect("chrome trace parses");
+        let events = j
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        assert!(!events.is_empty(), "the run must emit events");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The tenancy configuration layer: who runs what, where, and when.
 
 use nopfs_datasets::DatasetProfile;
+use nopfs_obs::ObsCtx;
 use nopfs_perfmodel::{SystemSpec, ThroughputCurve};
 use nopfs_policy::fault::ShuffleSpec;
 use nopfs_policy::{FaultPlan, PolicyId};
@@ -130,6 +131,18 @@ pub struct ClusterSpec {
     /// `None`, every tenant keeps its own system's `interconnect` at
     /// face value (disjoint node partitions with full NICs).
     pub interconnect_total: Option<f64>,
+    /// The cluster's observability context. Every tenant's runtime
+    /// registers its metrics under a `tenant=<name>` scope of this
+    /// registry, so one snapshot is the whole cluster's merged view.
+    /// Default: active metrics, tracing off ([`ObsCtx::new`]); swap in
+    /// [`ObsCtx::traced`] (via [`Self::with_obs`]) for event rings and
+    /// Chrome-trace export.
+    pub obs: ObsCtx,
+    /// When set, each tenant gets a background [`nopfs_obs::Sampler`]
+    /// snapshotting its scope of the registry every interval (wall
+    /// seconds) into the tenant's JSONL telemetry stream
+    /// ([`crate::TenantReport::telemetry`]).
+    pub telemetry_interval: Option<std::time::Duration>,
 }
 
 impl ClusterSpec {
@@ -140,7 +153,27 @@ impl ClusterSpec {
             pfs_read,
             scale,
             interconnect_total: None,
+            obs: ObsCtx::new(),
+            telemetry_interval: None,
         }
+    }
+
+    /// Replaces the observability context (e.g. [`ObsCtx::traced`] to
+    /// capture breaker/hedge/replan events for Chrome-trace export).
+    pub fn with_obs(mut self, obs: ObsCtx) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Enables live telemetry: one background sampler per tenant emits
+    /// a JSONL snapshot line every `interval` of wall time.
+    pub fn telemetry_every(mut self, interval: std::time::Duration) -> Self {
+        assert!(
+            interval > std::time::Duration::ZERO,
+            "interval must be positive"
+        );
+        self.telemetry_interval = Some(interval);
+        self
     }
 
     /// Adds a tenant (builder style).

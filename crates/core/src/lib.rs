@@ -41,7 +41,7 @@ pub use config::JobConfig;
 pub use elastic::{ElasticJob, ElasticReport};
 pub use job::Job;
 pub use stats::WorkerStats;
-pub use tiers::class_tier_stack;
+pub use tiers::{class_tier_stack, class_tier_stack_in_registry};
 pub use worker::WorkerHandle;
 
 /// Sample identifier (dense index into the dataset).

@@ -4,82 +4,147 @@
 //! (local class, remote cache, PFS), how long the trainer stalled
 //! waiting for the staging buffer, and how the progress heuristic
 //! behaved (remote attempts that came back `NotCached` are the paper's
-//! false positives). All counters are atomics updated by the prefetch
-//! threads and snapshot by the consumer.
+//! false positives).
+//!
+//! The collector is a typed view over the `nopfs_obs` metrics registry:
+//! each counter is a registered `worker.*` metric (see
+//! [`nopfs_obs::names`]), so the same numbers surface in live telemetry
+//! snapshots, and [`WorkerStats`] is just the point-in-time read. All
+//! updates are relaxed atomics on pre-registered handles — the hot path
+//! never locks.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use nopfs_obs::{names, Counter, Histogram, Registry};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Shared counters, updated lock-free from the worker's threads.
-#[derive(Debug, Default)]
+/// Shared counters, updated lock-free from the worker's threads; a
+/// typed view over `worker.*` metrics in an obs registry.
+///
+/// The registry is cumulative: re-attaching a collector to names that
+/// already exist (an elastic worker relaunched after a crash, a new
+/// segment of the same rank) reuses the underlying counters. The
+/// collector therefore snapshots a *baseline* at construction and
+/// [`Self::snapshot`] reports deltas, so each collector's view covers
+/// exactly its own lifetime while telemetry sees the running totals.
+#[derive(Debug)]
 pub struct StatsCollector {
-    local: AtomicU64,
-    remote: AtomicU64,
-    pfs: AtomicU64,
-    prestage: AtomicU64,
-    false_positives: AtomicU64,
-    heuristic_skips: AtomicU64,
-    pfs_errors: AtomicU64,
-    stall_nanos: AtomicU64,
-    consumed: AtomicU64,
+    local: Counter,
+    remote: Counter,
+    pfs: Counter,
+    prestage: Counter,
+    false_positives: Counter,
+    heuristic_skips: Counter,
+    pfs_errors: Counter,
+    stall_nanos: Counter,
+    consumed: Counter,
+    stall_latency: Histogram,
+    /// Registry values at construction, subtracted from every snapshot.
+    base: WorkerStats,
+}
+
+impl Default for StatsCollector {
+    /// A collector over a fresh private registry.
+    fn default() -> Self {
+        Self::in_registry(&Registry::new())
+    }
 }
 
 impl StatsCollector {
-    /// A fresh collector behind an [`Arc`].
+    /// A fresh collector behind an [`Arc`], backed by its own private
+    /// registry (the solo-run shape; scoped runs use
+    /// [`Self::in_registry`]).
     pub fn new() -> Arc<Self> {
         Arc::new(Self::default())
     }
 
+    /// A collector whose counters are registered in `registry` (with
+    /// whatever scope labels the handle carries — the cluster runtime
+    /// passes a tenant+rank-scoped handle here).
+    pub fn in_registry(registry: &Registry) -> Self {
+        let mut c = Self {
+            local: registry.counter(names::WORKER_FETCH_LOCAL),
+            remote: registry.counter(names::WORKER_FETCH_REMOTE),
+            pfs: registry.counter(names::WORKER_FETCH_PFS),
+            prestage: registry.counter(names::WORKER_FETCH_PRESTAGE),
+            false_positives: registry.counter(names::WORKER_FALSE_POSITIVES),
+            heuristic_skips: registry.counter(names::WORKER_HEURISTIC_SKIPS),
+            pfs_errors: registry.counter(names::WORKER_PFS_ERRORS),
+            stall_nanos: registry.counter(names::WORKER_STALL_NANOS),
+            consumed: registry.counter(names::WORKER_CONSUMED),
+            stall_latency: registry.histogram(names::WORKER_STALL_LATENCY),
+            base: WorkerStats::default(),
+        };
+        c.base = c.totals();
+        c
+    }
+
     pub fn count_local(&self) {
-        self.local.fetch_add(1, Ordering::Relaxed);
+        self.local.inc();
     }
 
     pub fn count_remote(&self) {
-        self.remote.fetch_add(1, Ordering::Relaxed);
+        self.remote.inc();
     }
 
     pub fn count_pfs(&self) {
-        self.pfs.fetch_add(1, Ordering::Relaxed);
+        self.pfs.inc();
     }
 
     pub fn count_prestage(&self) {
-        self.prestage.fetch_add(1, Ordering::Relaxed);
+        self.prestage.inc();
     }
 
     pub fn count_false_positive(&self) {
-        self.false_positives.fetch_add(1, Ordering::Relaxed);
+        self.false_positives.inc();
     }
 
     pub fn count_heuristic_skip(&self) {
-        self.heuristic_skips.fetch_add(1, Ordering::Relaxed);
+        self.heuristic_skips.inc();
     }
 
     pub fn count_pfs_error(&self) {
-        self.pfs_errors.fetch_add(1, Ordering::Relaxed);
+        self.pfs_errors.inc();
     }
 
     pub fn add_stall(&self, d: Duration) {
-        self.stall_nanos
-            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        let nanos = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.stall_nanos.add(nanos);
+        self.stall_latency.record(nanos);
     }
 
     pub fn count_consumed(&self) {
-        self.consumed.fetch_add(1, Ordering::Relaxed);
+        self.consumed.inc();
     }
 
-    /// A consistent-enough snapshot for reporting.
-    pub fn snapshot(&self) -> WorkerStats {
+    /// Raw cumulative registry values (no baseline subtraction).
+    fn totals(&self) -> WorkerStats {
         WorkerStats {
-            local_fetches: self.local.load(Ordering::Relaxed),
-            remote_fetches: self.remote.load(Ordering::Relaxed),
-            pfs_fetches: self.pfs.load(Ordering::Relaxed),
-            prestage_fetches: self.prestage.load(Ordering::Relaxed),
-            false_positives: self.false_positives.load(Ordering::Relaxed),
-            heuristic_skips: self.heuristic_skips.load(Ordering::Relaxed),
-            pfs_errors: self.pfs_errors.load(Ordering::Relaxed),
-            stall_time: Duration::from_nanos(self.stall_nanos.load(Ordering::Relaxed)),
-            samples_consumed: self.consumed.load(Ordering::Relaxed),
+            local_fetches: self.local.get(),
+            remote_fetches: self.remote.get(),
+            pfs_fetches: self.pfs.get(),
+            prestage_fetches: self.prestage.get(),
+            false_positives: self.false_positives.get(),
+            heuristic_skips: self.heuristic_skips.get(),
+            pfs_errors: self.pfs_errors.get(),
+            stall_time: Duration::from_nanos(self.stall_nanos.get()),
+            samples_consumed: self.consumed.get(),
+        }
+    }
+
+    /// A consistent-enough snapshot for reporting: registry values
+    /// since this collector was constructed.
+    pub fn snapshot(&self) -> WorkerStats {
+        let t = self.totals();
+        WorkerStats {
+            local_fetches: t.local_fetches - self.base.local_fetches,
+            remote_fetches: t.remote_fetches - self.base.remote_fetches,
+            pfs_fetches: t.pfs_fetches - self.base.pfs_fetches,
+            prestage_fetches: t.prestage_fetches - self.base.prestage_fetches,
+            false_positives: t.false_positives - self.base.false_positives,
+            heuristic_skips: t.heuristic_skips - self.base.heuristic_skips,
+            pfs_errors: t.pfs_errors - self.base.pfs_errors,
+            stall_time: t.stall_time.saturating_sub(self.base.stall_time),
+            samples_consumed: t.samples_consumed - self.base.samples_consumed,
         }
     }
 }
@@ -221,6 +286,53 @@ mod tests {
         assert_eq!(total.local_fetches, 1);
         assert_eq!(total.pfs_fetches, 1);
         assert_eq!(total.stall_time, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn collector_is_a_registry_view() {
+        let registry = Registry::new().scoped([("rank", "3".to_string())]);
+        let c = StatsCollector::in_registry(&registry);
+        c.count_local();
+        c.count_local();
+        c.add_stall(Duration::from_micros(10));
+        // The same numbers surface through the registry snapshot…
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter(&format!(
+                "{}{{rank=3}}",
+                nopfs_obs::names::WORKER_FETCH_LOCAL
+            )),
+            Some(2)
+        );
+        assert_eq!(
+            snap.histogram(&format!(
+                "{}{{rank=3}}",
+                nopfs_obs::names::WORKER_STALL_LATENCY
+            ))
+            .unwrap()
+            .count,
+            1
+        );
+        // …and through the typed view.
+        assert_eq!(c.snapshot().local_fetches, 2);
+        assert_eq!(c.snapshot().stall_time, Duration::from_micros(10));
+    }
+
+    #[test]
+    fn reattached_collector_reports_only_its_own_lifetime() {
+        // An elastic worker relaunched after a crash re-registers the
+        // same metric names; its view must start from zero while the
+        // registry keeps the cumulative total.
+        let registry = Registry::new();
+        let first = StatsCollector::in_registry(&registry);
+        first.count_local();
+        first.count_local();
+        let second = StatsCollector::in_registry(&registry);
+        second.count_local();
+        assert_eq!(first.snapshot().local_fetches, 3, "shared counter");
+        assert_eq!(second.snapshot().local_fetches, 1, "delta view");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total(names::WORKER_FETCH_LOCAL), 3);
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //! so the stack's read-path promotion machinery stays off and fills go
 //! through [`TierStack::fill`] as pinned residents.
 
+use nopfs_obs::Registry;
 use nopfs_perfmodel::SystemSpec;
-use nopfs_storage::{build_stack, DataSource, PromotePolicy, TierSpec, TierStack};
+use nopfs_storage::{build_stack_in_registry, DataSource, PromotePolicy, TierSpec, TierStack};
 use nopfs_util::timing::TimeScale;
 use std::sync::Arc;
 
@@ -26,6 +27,19 @@ pub fn class_tier_stack(
     sys: &SystemSpec,
     scale: TimeScale,
     origin: Arc<dyn DataSource>,
+) -> TierStack {
+    class_tier_stack_in_registry(sys, scale, origin, &Registry::new())
+}
+
+/// [`class_tier_stack`] with the `tier.*` counters registered in
+/// `registry` (with its scope labels) — the runtime passes each
+/// worker's rank-scoped registry here so per-tier hit/miss/latency
+/// metrics surface in live telemetry.
+pub fn class_tier_stack_in_registry(
+    sys: &SystemSpec,
+    scale: TimeScale,
+    origin: Arc<dyn DataSource>,
+    registry: &Registry,
 ) -> TierStack {
     let specs: Vec<TierSpec> = sys
         .classes
@@ -40,7 +54,7 @@ pub fn class_tier_stack(
             )
         })
         .collect();
-    build_stack(&specs, scale, origin, PromotePolicy::Never)
+    build_stack_in_registry(&specs, scale, origin, PromotePolicy::Never, registry)
 }
 
 #[cfg(test)]

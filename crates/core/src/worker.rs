@@ -23,6 +23,7 @@ use bytes::Bytes;
 use nopfs_clairvoyance::placement::GlobalPlacement;
 use nopfs_clairvoyance::sampler::ShuffleSpec;
 use nopfs_net::Endpoint;
+use nopfs_obs::{names, ObsCtx};
 use nopfs_perfmodel::Location;
 use nopfs_pfs::Pfs;
 use nopfs_storage::{
@@ -116,11 +117,32 @@ struct WorkerCtx {
     /// class is this worker itself; for remote fetches we need the
     /// rank of the fastest holder. Derived from placement on the fly.
     stage: ReorderStage,
+    /// Rank-scoped observability context: the registry the collector
+    /// and tier counters registered into, plus the tracer fetch/stall
+    /// spans land in.
+    obs: ObsCtx,
 }
 
 impl WorkerCtx {
     /// Picks a source and fetches one sample for the staging buffer.
     fn fetch_for_staging(&self, k: SampleId) -> Bytes {
+        // Only pay for the clock when a tracer is listening.
+        let t0 = self.obs.tracer.is_active().then(Instant::now);
+        let (data, served) = self.fetch_for_staging_inner(k);
+        if let Some(t0) = t0 {
+            self.obs.tracer.complete(
+                names::EV_FETCH,
+                "worker",
+                t0,
+                vec![("sample", k.into()), ("served", served.into())],
+            );
+        }
+        data
+    }
+
+    /// The fetch itself; returns the bytes and which source served them
+    /// (`local`/`remote`/`pfs`, the trace span's `served` arg).
+    fn fetch_for_staging_inner(&self, k: SampleId) -> (Bytes, &'static str) {
         let sys = &self.shared.config.system;
         let size = self.shared.sizes[k as usize];
 
@@ -166,11 +188,11 @@ impl WorkerCtx {
             origin_ok,
         );
 
-        let data = match choice {
+        let (data, served) = match choice {
             Location::Local(_) => match self.tiers.get_cached(k) {
                 Some(d) => {
                     self.stats.count_local();
-                    d
+                    (d, "local")
                 }
                 // Catalog raced an eviction (not expected under NoPFS's
                 // no-eviction placement, but recoverable): `get_cached`
@@ -178,7 +200,7 @@ impl WorkerCtx {
                 // below can re-cache; go to the PFS for the bytes.
                 None => {
                     self.stats.count_pfs();
-                    origin_read_retry(&self.tiers, k, &self.stats)
+                    (origin_read_retry(&self.tiers, k, &self.stats), "pfs")
                 }
             },
             Location::Remote(_) => {
@@ -186,20 +208,20 @@ impl WorkerCtx {
                 match self.request_remote(owner, k) {
                     Some(d) => {
                         self.stats.count_remote();
-                        d
+                        (d, "remote")
                     }
                     None => {
                         // Heuristic false positive: the holder had not
                         // prefetched the sample yet. Not an error.
                         self.stats.count_false_positive();
                         self.stats.count_pfs();
-                        origin_read_retry(&self.tiers, k, &self.stats)
+                        (origin_read_retry(&self.tiers, k, &self.stats), "pfs")
                     }
                 }
             }
             Location::Pfs => {
                 self.stats.count_pfs();
-                origin_read_retry(&self.tiers, k, &self.stats)
+                (origin_read_retry(&self.tiers, k, &self.stats), "pfs")
             }
             Location::Staging => unreachable!("staging is never a fetch candidate"),
         };
@@ -212,7 +234,7 @@ impl WorkerCtx {
                 let _ = self.tiers.fill(c as usize, k, data.clone());
             }
         }
-        data
+        (data, served)
     }
 
     fn request_remote(&self, owner: usize, k: SampleId) -> Option<Bytes> {
@@ -295,19 +317,30 @@ impl WorkerHandle {
         // inject sample requests into a peer still collecting digests.
         endpoint.barrier();
 
+        // Rank-scoped observability: every metric this worker registers
+        // (collector, tier counters) carries a `rank=<r>` label; trace
+        // spans share the job-wide tracer.
+        let obs = shared.config.obs.scoped([("rank", rank.to_string())]);
+
         // The worker's storage hierarchy: class tiers over the injected
         // PFS origin, behind the one tiered fetch API — or the handed-
         // over (still warm) stack of a surviving elastic worker.
-        let tiers = tiers
-            .unwrap_or_else(|| crate::tiers::class_tier_stack(sys, scale, Arc::new(pfs.clone())));
-        let stats = StatsCollector::new();
+        let tiers = tiers.unwrap_or_else(|| {
+            crate::tiers::class_tier_stack_in_registry(
+                sys,
+                scale,
+                Arc::new(pfs.clone()),
+                &obs.registry,
+            )
+        });
+        let stats = Arc::new(StatsCollector::in_registry(&obs.registry));
         let stop = Arc::new(AtomicBool::new(false));
         let progress = Arc::new(
             (0..sys.classes.len())
                 .map(|_| AtomicU64::new(0))
                 .collect::<Vec<_>>(),
         );
-        let stage = ReorderStage::new(sys.staging.capacity);
+        let stage = ReorderStage::new_in_registry(sys.staging.capacity, &obs.registry);
         let stream = Arc::clone(&shared.streams[rank]);
         let epoch_len = shared.spec.worker_epoch_len(rank);
 
@@ -321,6 +354,7 @@ impl WorkerHandle {
             stop,
             progress,
             stage,
+            obs,
         });
 
         let mut threads = Vec::new();
@@ -439,9 +473,27 @@ impl WorkerHandle {
         if self.consumed >= self.stream.len() as u64 {
             return None;
         }
+        if self.epoch_len > 0 && self.consumed.is_multiple_of(self.epoch_len) {
+            self.ctx.obs.tracer.instant(
+                names::EV_EPOCH,
+                "worker",
+                vec![("epoch", self.current_epoch().into())],
+            );
+        }
         let t0 = Instant::now();
         let item = self.ctx.stage.pop()?;
-        self.ctx.stats.add_stall(t0.elapsed());
+        let stalled = t0.elapsed();
+        if self.ctx.obs.tracer.is_active() && stalled > std::time::Duration::from_micros(50) {
+            // Only material stalls become spans; sub-50µs pops are the
+            // healthy case and would drown the ring.
+            self.ctx.obs.tracer.complete(
+                names::EV_STALL,
+                "worker",
+                t0,
+                vec![("stall_us", (stalled.as_micros() as u64).into())],
+            );
+        }
+        self.ctx.stats.add_stall(stalled);
         self.ctx.stats.count_consumed();
         self.consumed += 1;
         Some(item)

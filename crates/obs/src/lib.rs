@@ -1,0 +1,143 @@
+//! Workspace observability: the one vocabulary every harness reports
+//! through.
+//!
+//! The paper's argument is quantitative — stall time, per-tier hit
+//! fractions, interference slowdowns (Figs. 2, 5, 8, 12) — and before
+//! this crate those numbers lived in ad-hoc structs visible only after
+//! a run ended. This crate gives the workspace three layers:
+//!
+//! - [`metrics`] — a lock-free [`metrics::Registry`] of named counters,
+//!   gauges, and log-bucketed latency histograms with hierarchical
+//!   labels (tenant/rank/tier/policy). Registration locks once; the hot
+//!   fetch path is relaxed atomics on cheap-clone handles, and a no-op
+//!   registry makes all of it vanish (the `obs_overhead` bench pins the
+//!   active cost at <5%).
+//! - [`trace`] — structured event tracing into bounded per-thread ring
+//!   buffers: spans and instants (fetch/served-from, staging stall,
+//!   breaker transitions, hedges, replans, recovery barriers) stamped
+//!   with both the wall clock and the model clock, exportable as Chrome
+//!   `trace_event` JSON for `about:tracing` / Perfetto.
+//! - [`snapshot`] — [`snapshot::Snapshot`]s of a whole registry at any
+//!   moment, a JSON-lines emitter, and the periodic [`snapshot::Sampler`]
+//!   the cluster runtime drives per tenant, turning the interference
+//!   report into a live time series.
+//!
+//! The pre-existing stats structs (`WorkerStats`, `TierStats`,
+//! `ResilienceStats`, `PfsStats`, `StagingStats`) are now typed views
+//! over this registry; [`names`] lists the shared metric and event
+//! vocabulary they map onto.
+
+pub mod json;
+pub mod metrics;
+pub mod names;
+pub mod snapshot;
+pub mod trace;
+
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Labels, Registry};
+pub use snapshot::{JsonlEmitter, MetricEntry, Sampler, Snapshot};
+pub use trace::{ArgValue, TraceEvent, Tracer};
+
+/// The observability context a job threads through its fetch path: one
+/// registry handle plus one tracer handle. Cloning is cheap; scoping
+/// derives child contexts whose metrics carry extra labels while
+/// feeding the same tracer rings.
+#[derive(Debug, Clone)]
+pub struct ObsCtx {
+    /// Metric registry handle.
+    pub registry: Registry,
+    /// Event tracer handle.
+    pub tracer: Tracer,
+}
+
+impl Default for ObsCtx {
+    /// An active registry with a disconnected tracer — counters are
+    /// always on (the stats structs are views over them), event rings
+    /// only when a harness opts in via [`ObsCtx::traced`].
+    fn default() -> Self {
+        Self {
+            registry: Registry::new(),
+            tracer: Tracer::noop(),
+        }
+    }
+}
+
+impl ObsCtx {
+    /// The default context: active metrics, no tracing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fully disconnected context.
+    pub fn noop() -> Self {
+        Self {
+            registry: Registry::noop(),
+            tracer: Tracer::noop(),
+        }
+    }
+
+    /// An active context with event tracing on (default ring capacity,
+    /// realtime clock).
+    pub fn traced() -> Self {
+        Self {
+            registry: Registry::new(),
+            tracer: Tracer::new(),
+        }
+    }
+
+    /// An active traced context with an explicit wall-per-model scale
+    /// factor (pass the job's `TimeScale` factor so trace events carry
+    /// the model clock).
+    pub fn traced_with_scale(wall_per_model: f64) -> Self {
+        Self {
+            registry: Registry::new(),
+            tracer: Tracer::with_config(trace::DEFAULT_RING_CAPACITY, wall_per_model),
+        }
+    }
+
+    /// A child context whose metrics carry extra labels; the tracer is
+    /// shared.
+    pub fn scoped(&self, labels: impl IntoIterator<Item = (&'static str, String)>) -> ObsCtx {
+        ObsCtx {
+            registry: self.registry.scoped(labels),
+            tracer: self.tracer.clone(),
+        }
+    }
+
+    /// A point-in-time view of the registry.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ctx_counts_but_does_not_trace() {
+        let obs = ObsCtx::new();
+        obs.registry.counter("x").inc();
+        obs.tracer.instant("e", "test", vec![]);
+        assert_eq!(obs.snapshot().counter("x"), Some(1));
+        assert!(obs.tracer.export().is_empty());
+    }
+
+    #[test]
+    fn scoped_ctx_shares_registry_and_tracer() {
+        let obs = ObsCtx::traced();
+        let child = obs.scoped([("tenant", "a".to_string())]);
+        child.registry.counter("x").inc();
+        child.tracer.instant("e", "test", vec![]);
+        assert!(child.registry.same_registry(&obs.registry));
+        assert_eq!(obs.snapshot().counter("x{tenant=a}"), Some(1));
+        assert_eq!(obs.tracer.export().len(), 1);
+    }
+
+    #[test]
+    fn noop_ctx_is_inert() {
+        let obs = ObsCtx::noop();
+        obs.registry.counter("x").inc();
+        assert!(obs.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! The shared metric and trace-event vocabulary.
+//!
+//! Every harness (threaded runtime, simulator, cluster) reports through
+//! these names, so a dashboard or trace viewer sees one schema no
+//! matter which produced the data. The stats structs are views over the
+//! metric names; DESIGN.md §14 tabulates the event names.
+
+// --- Worker fetch accounting (`WorkerStats` view, Fig. 12) ---
+
+/// Staging fetches served from a local storage class.
+pub const WORKER_FETCH_LOCAL: &str = "worker.fetch.local";
+/// Staging fetches served from a remote worker's cache.
+pub const WORKER_FETCH_REMOTE: &str = "worker.fetch.remote";
+/// Staging fetches served from the PFS (or cloud origin).
+pub const WORKER_FETCH_PFS: &str = "worker.fetch.pfs";
+/// Samples loaded during a non-overlapped prestaging phase.
+pub const WORKER_FETCH_PRESTAGE: &str = "worker.fetch.prestage";
+/// Remote requests answered `NotCached` (heuristic false positives).
+pub const WORKER_FALSE_POSITIVES: &str = "worker.false_positives";
+/// Remote fetches skipped by the progress heuristic.
+pub const WORKER_HEURISTIC_SKIPS: &str = "worker.heuristic_skips";
+/// Origin read errors that were retried.
+pub const WORKER_PFS_ERRORS: &str = "worker.pfs_errors";
+/// Total nanoseconds the consumer stalled on the staging buffer.
+pub const WORKER_STALL_NANOS: &str = "worker.stall_nanos";
+/// Samples delivered to the consumer.
+pub const WORKER_CONSUMED: &str = "worker.consumed";
+/// Per-stall latency distribution (ns).
+pub const WORKER_STALL_LATENCY: &str = "worker.stall_latency_ns";
+
+// --- Tier counters (`TierStats` view, labelled `tier=<name>`) ---
+
+/// Tier read hits.
+pub const TIER_HITS: &str = "tier.hits";
+/// Tier read misses.
+pub const TIER_MISSES: &str = "tier.misses";
+/// Bytes served by hits.
+pub const TIER_BYTES_READ: &str = "tier.bytes_read";
+/// Explicit (pinned) fills.
+pub const TIER_FILLS: &str = "tier.fills";
+/// Bytes written by fills.
+pub const TIER_BYTES_FILLED: &str = "tier.bytes_filled";
+/// Read-path promotions into this tier.
+pub const TIER_PROMOTIONS: &str = "tier.promotions";
+/// Spills demoted into this tier from above.
+pub const TIER_DEMOTIONS: &str = "tier.demotions";
+/// Entries evicted from this tier.
+pub const TIER_EVICTIONS: &str = "tier.evictions";
+/// Bytes evicted from this tier.
+pub const TIER_BYTES_EVICTED: &str = "tier.bytes_evicted";
+/// Per-read service latency distribution (ns), hits only.
+pub const TIER_READ_LATENCY: &str = "tier.read_latency_ns";
+
+// --- Resilience counters (`ResilienceStats` view) ---
+
+/// Reads attempted through the resilient source.
+pub const RES_READS: &str = "resilience.reads";
+/// Retried attempts.
+pub const RES_RETRIES: &str = "resilience.retries";
+/// Reads that exhausted their retry budget.
+pub const RES_EXHAUSTED: &str = "resilience.exhausted";
+/// Hedged requests fired.
+pub const RES_HEDGES_FIRED: &str = "resilience.hedges_fired";
+/// Hedged requests that won the race.
+pub const RES_HEDGES_WON: &str = "resilience.hedges_won";
+/// Attempts that missed their deadline.
+pub const RES_DEADLINE_MISSES: &str = "resilience.deadline_misses";
+/// Attempts rejected by origin throttling.
+pub const RES_THROTTLED: &str = "resilience.throttled";
+/// Reads rejected while the breaker was open.
+pub const BREAKER_REJECTIONS: &str = "breaker.rejections";
+/// Breaker transitions to open.
+pub const BREAKER_TO_OPEN: &str = "breaker.to_open";
+/// Breaker transitions to half-open.
+pub const BREAKER_TO_HALF_OPEN: &str = "breaker.to_half_open";
+/// Breaker transitions to closed.
+pub const BREAKER_TO_CLOSED: &str = "breaker.to_closed";
+/// End-to-end resilient read latency distribution (ns).
+pub const RES_READ_LATENCY: &str = "resilience.read_latency_ns";
+
+// --- PFS counters (`PfsStats` view) ---
+
+/// PFS sample reads.
+pub const PFS_READS: &str = "pfs.reads";
+/// PFS bytes read.
+pub const PFS_BYTES_READ: &str = "pfs.bytes_read";
+/// PFS sample writes.
+pub const PFS_WRITES: &str = "pfs.writes";
+/// PFS bytes written.
+pub const PFS_BYTES_WRITTEN: &str = "pfs.bytes_written";
+
+// --- Staging counters (`StagingStats` view) ---
+
+/// Samples pushed into the staging buffer.
+pub const STAGING_PUSHED: &str = "staging.pushed";
+/// Samples popped from the staging buffer.
+pub const STAGING_POPPED: &str = "staging.popped";
+/// Bytes currently buffered (gauge).
+pub const STAGING_USED_BYTES: &str = "staging.used_bytes";
+
+// --- Simulator (`sim.*`) ---
+// Labelled `loc=<staging|local|remote|pfs>`: the fetch source the
+// policy selected, priced on the model clock.
+
+/// Modelled fetches by source.
+pub const SIM_FETCH: &str = "sim.fetch";
+
+// --- Trace event names (categories: worker/tier/resilience/elastic/sim) ---
+
+/// Span: one staging fetch, arg `served` ∈ local/remote/pfs.
+pub const EV_FETCH: &str = "fetch";
+/// Span: the consumer stalled waiting on the staging buffer.
+pub const EV_STALL: &str = "staging_stall";
+/// Instant: circuit breaker opened.
+pub const EV_BREAKER_OPEN: &str = "breaker_open";
+/// Instant: circuit breaker probing (half-open).
+pub const EV_BREAKER_HALF_OPEN: &str = "breaker_half_open";
+/// Instant: circuit breaker closed.
+pub const EV_BREAKER_CLOSED: &str = "breaker_closed";
+/// Instant: a hedged request was fired.
+pub const EV_HEDGE_FIRED: &str = "hedge_fired";
+/// Instant: membership change triggered an incremental replan.
+pub const EV_REPLAN: &str = "replan";
+/// Instant: a crash fault tore the worker set down.
+pub const EV_CRASH: &str = "crash";
+/// Span: the recovery barrier (relaunch to all-ranks-ready).
+pub const EV_RECOVERY_BARRIER: &str = "recovery_barrier";
+/// Instant: an epoch boundary (simulator and runtime).
+pub const EV_EPOCH: &str = "epoch";

@@ -1,0 +1,448 @@
+//! The telemetry surface: point-in-time [`Snapshot`]s of a whole
+//! registry, a JSON-lines emitter that turns periodic snapshots into a
+//! live time series, and a background [`Sampler`] the cluster runtime
+//! drives per tenant.
+
+use crate::json::Json;
+use crate::metrics::{HistogramSnapshot, Labels, Registry};
+use parking_lot::Mutex;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One metric's identity and value inside a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricEntry<T> {
+    /// Dotted metric name.
+    pub name: String,
+    /// Label pairs, outermost scope first.
+    pub labels: Labels,
+    /// The captured value.
+    pub value: T,
+}
+
+impl<T> MetricEntry<T> {
+    /// The flat `name{k=v,…}` key used in JSONL emission and merging.
+    pub fn key(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let labels: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        format!("{}{{{}}}", self.name, labels.join(","))
+    }
+}
+
+/// A point-in-time view of every metric in one registry, sorted by
+/// `(name, labels)` for deterministic emission.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// All counters.
+    pub counters: Vec<MetricEntry<u64>>,
+    /// All gauges.
+    pub gauges: Vec<MetricEntry<u64>>,
+    /// All histograms.
+    pub histograms: Vec<MetricEntry<HistogramSnapshot>>,
+}
+
+impl Snapshot {
+    /// Captures `registry` (empty for a no-op registry).
+    pub fn capture(registry: &Registry) -> Self {
+        let mut snap = Snapshot::default();
+        registry.visit_counters(|(name, labels), value| {
+            snap.counters.push(MetricEntry {
+                name: name.clone(),
+                labels: labels.clone(),
+                value,
+            });
+        });
+        registry.visit_gauges(|(name, labels), value| {
+            snap.gauges.push(MetricEntry {
+                name: name.clone(),
+                labels: labels.clone(),
+                value,
+            });
+        });
+        registry.visit_histograms(|(name, labels), value| {
+            snap.histograms.push(MetricEntry {
+                name: name.clone(),
+                labels: labels.clone(),
+                value,
+            });
+        });
+        snap.counters
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        snap.gauges
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        snap.histograms
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        snap
+    }
+
+    /// Whether nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The value of counter `key()` (`None` if absent).
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|e| e.key() == key)
+            .map(|e| e.value)
+    }
+
+    /// Sum of every counter named `name`, across all label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|e| e.name == name)
+            .map(|e| e.value)
+            .sum()
+    }
+
+    /// The histogram with key `key()` (`None` if absent).
+    pub fn histogram(&self, key: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|e| e.key() == key)
+            .map(|e| &e.value)
+    }
+
+    /// Merges another snapshot into this one: counters add, gauges take
+    /// the maximum (they are high-water marks in this workspace), and
+    /// histograms merge bucket-wise. This is the one merge routine
+    /// behind every "cluster totals" view.
+    pub fn merge(&mut self, other: &Snapshot) {
+        fn upsert<T>(
+            dst: &mut Vec<MetricEntry<T>>,
+            src: &[MetricEntry<T>],
+            combine: impl Fn(&mut T, &T),
+        ) where
+            T: Clone,
+        {
+            for entry in src {
+                match dst
+                    .iter_mut()
+                    .find(|e| e.name == entry.name && e.labels == entry.labels)
+                {
+                    Some(e) => combine(&mut e.value, &entry.value),
+                    None => dst.push(entry.clone()),
+                }
+            }
+            // Keep deterministic ordering after inserts.
+        }
+        upsert(&mut self.counters, &other.counters, |a, b| *a += *b);
+        upsert(&mut self.gauges, &other.gauges, |a, b| *a = (*a).max(*b));
+        upsert(&mut self.histograms, &other.histograms, |a, b| a.merge(b));
+        self.counters
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        self.gauges
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        self.histograms
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+    }
+
+    /// Serializes the snapshot: counters and gauges as flat
+    /// `key → value` objects, histograms as `key → {count, sum, mean,
+    /// p50, p95, p99, max}`.
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|e| (e.key(), Json::from(e.value)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|e| (e.key(), Json::from(e.value)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|e| {
+                (
+                    e.key(),
+                    Json::obj([
+                        ("count", Json::from(e.value.count)),
+                        ("sum", Json::from(e.value.sum)),
+                        ("mean", Json::Num(e.value.mean())),
+                        ("p50", Json::from(e.value.p50())),
+                        ("p95", Json::from(e.value.p95())),
+                        ("p99", Json::from(e.value.p99())),
+                        ("max", Json::from(e.value.max)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::obj([
+            ("counters", Json::Obj(counters)),
+            ("gauges", Json::Obj(gauges)),
+            ("histograms", Json::Obj(histograms)),
+        ])
+    }
+}
+
+/// A JSON-lines telemetry stream: each [`emit`](Self::emit) appends one
+/// compact line `{"seq", "wall_s", "model_s", "counters", …}`.
+///
+/// Lines are always retained in memory (so reports can carry the time
+/// series); [`to_file`](Self::to_file) additionally streams each line
+/// to disk as it is emitted.
+#[derive(Debug)]
+pub struct JsonlEmitter {
+    seq: AtomicU64,
+    lines: Mutex<Vec<String>>,
+    file: Option<Mutex<std::fs::File>>,
+}
+
+impl JsonlEmitter {
+    /// An in-memory emitter.
+    pub fn memory() -> Arc<Self> {
+        Arc::new(Self {
+            seq: AtomicU64::new(0),
+            lines: Mutex::new(Vec::new()),
+            file: None,
+        })
+    }
+
+    /// An emitter that also appends each line to `path` (truncated on
+    /// creation).
+    pub fn to_file(path: impl AsRef<Path>) -> std::io::Result<Arc<Self>> {
+        Ok(Arc::new(Self {
+            seq: AtomicU64::new(0),
+            lines: Mutex::new(Vec::new()),
+            file: Some(Mutex::new(std::fs::File::create(path)?)),
+        }))
+    }
+
+    /// Emits one snapshot line stamped with both clocks; returns the
+    /// line's sequence number.
+    pub fn emit(&self, snapshot: &Snapshot, wall_s: f64, model_s: f64) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let line = Json::obj([
+            ("seq", Json::from(seq)),
+            ("wall_s", Json::Num(wall_s)),
+            ("model_s", Json::Num(model_s)),
+            ("snapshot", snapshot.to_json()),
+        ])
+        .render_compact();
+        if let Some(file) = &self.file {
+            let mut f = file.lock();
+            let _ = writeln!(f, "{line}");
+        }
+        self.lines.lock().push(line);
+        seq
+    }
+
+    /// All lines emitted so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().clone()
+    }
+
+    /// Number of lines emitted so far.
+    pub fn len(&self) -> usize {
+        self.lines.lock().len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.lines.lock().is_empty()
+    }
+}
+
+/// A background thread that snapshots a registry every `interval` and
+/// emits each snapshot as one JSONL line — the live-telemetry loop the
+/// cluster runtime runs per tenant. Stopping emits one final snapshot,
+/// so even a run shorter than the interval produces a complete series.
+#[derive(Debug)]
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Spawns the sampling loop. `wall_per_model` converts the sampler's
+    /// wall clock into model seconds for the line stamps (use the job's
+    /// `TimeScale` factor; 1.0 for realtime).
+    pub fn spawn(
+        registry: Registry,
+        emitter: Arc<JsonlEmitter>,
+        interval: Duration,
+        wall_per_model: f64,
+    ) -> Sampler {
+        assert!(interval > Duration::ZERO, "interval must be positive");
+        assert!(
+            wall_per_model > 0.0 && wall_per_model.is_finite(),
+            "scale factor must be positive and finite"
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let emit = |now: Instant| {
+                let wall_s = now.duration_since(t0).as_secs_f64();
+                emitter.emit(&registry.snapshot(), wall_s, wall_s / wall_per_model);
+            };
+            while !stop2.load(Ordering::Relaxed) {
+                // Sleep in small slices so stop() returns promptly even
+                // with a long sampling interval.
+                let deadline = Instant::now() + interval;
+                while Instant::now() < deadline {
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(2).min(interval));
+                }
+                emit(Instant::now());
+            }
+        });
+        Sampler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the loop; the final snapshot is emitted before this
+    /// returns.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_captures_and_sorts() {
+        let r = Registry::new();
+        r.counter_with("b", &[]).add(2);
+        r.counter_with("a", &[("tier", "ram")]).inc();
+        r.gauge("hwm").record_max(7);
+        r.histogram("lat").record(100);
+        let s = r.snapshot();
+        assert_eq!(s.counters.len(), 2);
+        assert_eq!(s.counters[0].key(), "a{tier=ram}");
+        assert_eq!(s.counters[1].key(), "b");
+        assert_eq!(s.counter("b"), Some(2));
+        assert_eq!(s.counter_total("a"), 1);
+        assert_eq!(s.gauges[0].value, 7);
+        assert_eq!(s.histogram("lat").unwrap().count, 1);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_merges_histograms() {
+        let r1 = Registry::new();
+        r1.counter("x").add(3);
+        r1.histogram("h").record(10);
+        r1.gauge("g").set(5);
+        let r2 = Registry::new();
+        r2.counter("x").add(4);
+        r2.counter("y").inc();
+        r2.histogram("h").record(1000);
+        r2.gauge("g").set(2);
+        let mut merged = r1.snapshot();
+        merged.merge(&r2.snapshot());
+        assert_eq!(merged.counter("x"), Some(7));
+        assert_eq!(merged.counter("y"), Some(1));
+        assert_eq!(merged.gauges[0].value, 5);
+        let h = merged.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max, 1000);
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_are_monotone() {
+        let r = Registry::new();
+        let c = r.counter("fetches");
+        let emitter = JsonlEmitter::memory();
+        for i in 0..3u64 {
+            c.add(i + 1);
+            emitter.emit(&r.snapshot(), i as f64, i as f64 / 2.0);
+        }
+        let lines = emitter.lines();
+        assert_eq!(lines.len(), 3);
+        let mut last = 0.0;
+        for (i, line) in lines.iter().enumerate() {
+            let v = Json::parse(line).unwrap();
+            assert_eq!(v.get("seq").unwrap().as_num(), Some(i as f64));
+            let fetched = v
+                .get("snapshot")
+                .unwrap()
+                .get("counters")
+                .unwrap()
+                .get("fetches")
+                .unwrap()
+                .as_num()
+                .unwrap();
+            assert!(fetched >= last, "counter regressed across snapshots");
+            last = fetched;
+        }
+        assert_eq!(last, 6.0);
+    }
+
+    #[test]
+    fn sampler_emits_final_snapshot_on_stop() {
+        let r = Registry::new();
+        r.counter("x").inc();
+        let emitter = JsonlEmitter::memory();
+        let sampler = Sampler::spawn(
+            r.clone(),
+            Arc::clone(&emitter),
+            Duration::from_millis(5),
+            1.0,
+        );
+        std::thread::sleep(Duration::from_millis(25));
+        sampler.stop();
+        let n = emitter.len();
+        assert!(n >= 2, "expected several periodic lines, got {n}");
+        // The final line reflects the stop-time state.
+        let last = Json::parse(emitter.lines().last().unwrap()).unwrap();
+        assert_eq!(
+            last.get("snapshot")
+                .unwrap()
+                .get("counters")
+                .unwrap()
+                .get("x")
+                .unwrap()
+                .as_num(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn file_emitter_streams_lines() {
+        let dir = std::env::temp_dir().join(format!("nopfs_obs_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        let r = Registry::new();
+        r.counter("x").inc();
+        let emitter = JsonlEmitter::to_file(&path).unwrap();
+        emitter.emit(&r.snapshot(), 0.0, 0.0);
+        emitter.emit(&r.snapshot(), 1.0, 1.0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            Json::parse(line).unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

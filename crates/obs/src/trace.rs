@@ -1,0 +1,485 @@
+//! Structured event tracing: bounded per-thread ring buffers of spans
+//! and instant events, stamped with both the wall clock and the
+//! simulator's model clock, exportable as Chrome `trace_event` JSON
+//! (openable in `about:tracing` / Perfetto).
+//!
+//! Emission never crosses threads: each thread owns a bounded ring
+//! registered with the tracer on first use, so the only lock an event
+//! takes is the owner thread's own uncontended ring mutex. When a ring
+//! fills, the oldest events are dropped (and counted) — tracing a
+//! too-long run degrades gracefully instead of growing without bound.
+//!
+//! Two clocks ride on every event: `wall_us` (microseconds since the
+//! tracer was created) and `model_s` (the harness's model clock). The
+//! runtime stamps wall time and derives model time through the job's
+//! `TimeScale` factor; the simulator stamps model time explicitly via
+//! the `*_at` methods and the timeline (`ts`) then *is* the model
+//! clock, so runtime and simulated traces of the same scenario line up.
+
+use crate::json::Json;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default per-thread ring capacity (events).
+pub const DEFAULT_RING_CAPACITY: usize = 16_384;
+
+static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// This thread's rings, one per tracer it has emitted into.
+    static THREAD_RINGS: RefCell<HashMap<u64, Arc<Mutex<Ring>>>> =
+        RefCell::new(HashMap::new());
+    /// A small stable id for this thread (Chrome traces key lanes on it).
+    static THREAD_ID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One argument value on a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// A numeric argument.
+    Num(f64),
+    /// A string argument.
+    Str(String),
+}
+
+impl From<f64> for ArgValue {
+    fn from(x: f64) -> Self {
+        ArgValue::Num(x)
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(x: u64) -> Self {
+        ArgValue::Num(x as f64)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(x: usize) -> Self {
+        ArgValue::Num(x as f64)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(s: &str) -> Self {
+        ArgValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(s: String) -> Self {
+        ArgValue::Str(s)
+    }
+}
+
+/// One recorded span or instant event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (see [`crate::names`] for the workspace vocabulary).
+    pub name: &'static str,
+    /// Category ("worker", "tier", "resilience", "elastic", "sim", …).
+    pub cat: &'static str,
+    /// Chrome phase: `'X'` complete span, `'i'` instant.
+    pub ph: char,
+    /// Timeline position in µs: wall clock for runtime events, model
+    /// clock for simulator events emitted via the `*_at` methods.
+    pub ts_us: u64,
+    /// Span duration in µs (0 for instants).
+    pub dur_us: u64,
+    /// Wall-clock µs since the tracer was created.
+    pub wall_us: u64,
+    /// Model-clock seconds.
+    pub model_s: f64,
+    /// Emitting thread's stable id.
+    pub tid: u64,
+    /// Event arguments.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    id: u64,
+    epoch: Instant,
+    /// Wall seconds per model second (the runtime's `TimeScale` factor);
+    /// used to derive `model_s` for wall-stamped events.
+    wall_per_model: f64,
+    capacity: usize,
+    rings: Mutex<Vec<Arc<Mutex<Ring>>>>,
+}
+
+/// A handle to an event tracer (or to nothing, for the no-op mode).
+/// Cloning is cheap; all clones feed the same rings.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// An active tracer with the default per-thread ring capacity and a
+    /// realtime clock (model seconds == wall seconds).
+    pub fn new() -> Self {
+        Self::with_config(DEFAULT_RING_CAPACITY, 1.0)
+    }
+
+    /// An active tracer with explicit ring capacity and wall-per-model
+    /// scale factor.
+    ///
+    /// # Panics
+    /// Panics on zero capacity or a non-positive/non-finite factor.
+    pub fn with_config(capacity: usize, wall_per_model: f64) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        assert!(
+            wall_per_model > 0.0 && wall_per_model.is_finite(),
+            "scale factor must be positive and finite"
+        );
+        Self {
+            inner: Some(Arc::new(TracerInner {
+                id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
+                epoch: Instant::now(),
+                wall_per_model,
+                capacity,
+                rings: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// A disconnected tracer: every emission is a no-op.
+    pub fn noop() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn push(&self, event: TraceEvent) {
+        let Some(inner) = &self.inner else { return };
+        THREAD_RINGS.with(|rings| {
+            let mut rings = rings.borrow_mut();
+            let ring = rings.entry(inner.id).or_insert_with(|| {
+                let ring = Arc::new(Mutex::new(Ring {
+                    events: VecDeque::new(),
+                    dropped: 0,
+                }));
+                inner.rings.lock().push(Arc::clone(&ring));
+                ring
+            });
+            let mut ring = ring.lock();
+            if ring.events.len() >= inner.capacity {
+                ring.events.pop_front();
+                ring.dropped += 1;
+            }
+            ring.events.push_back(event);
+        });
+    }
+
+    fn wall_us(&self, at: Instant) -> u64 {
+        let inner = self.inner.as_ref().expect("active tracer");
+        at.saturating_duration_since(inner.epoch).as_micros() as u64
+    }
+
+    /// Records an instant event stamped now (wall clock primary; model
+    /// time derived through the scale factor).
+    pub fn instant(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if self.inner.is_none() {
+            return;
+        }
+        let wall_us = self.wall_us(Instant::now());
+        let model_s = wall_us as f64 / 1e6 / self.inner.as_ref().unwrap().wall_per_model;
+        self.push(TraceEvent {
+            name,
+            cat,
+            ph: 'i',
+            ts_us: wall_us,
+            dur_us: 0,
+            wall_us,
+            model_s,
+            tid: THREAD_ID.with(|t| *t),
+            args,
+        });
+    }
+
+    /// Records an instant event at an explicit model time (model clock
+    /// primary — the simulator's emission path).
+    pub fn instant_at(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        model_s: f64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if self.inner.is_none() {
+            return;
+        }
+        let ts_us = (model_s.max(0.0) * 1e6) as u64;
+        self.push(TraceEvent {
+            name,
+            cat,
+            ph: 'i',
+            ts_us,
+            dur_us: 0,
+            wall_us: self.wall_us(Instant::now()),
+            model_s,
+            tid: THREAD_ID.with(|t| *t),
+            args,
+        });
+    }
+
+    /// Records a complete span that started at `start` and ends now
+    /// (wall clock primary).
+    pub fn complete(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        start: Instant,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if self.inner.is_none() {
+            return;
+        }
+        let ts_us = self.wall_us(start);
+        let end_us = self.wall_us(Instant::now());
+        let model_s = ts_us as f64 / 1e6 / self.inner.as_ref().unwrap().wall_per_model;
+        self.push(TraceEvent {
+            name,
+            cat,
+            ph: 'X',
+            ts_us,
+            dur_us: end_us.saturating_sub(ts_us),
+            wall_us: ts_us,
+            model_s,
+            tid: THREAD_ID.with(|t| *t),
+            args,
+        });
+    }
+
+    /// Records a complete span at explicit model coordinates (model
+    /// clock primary — the simulator's emission path).
+    pub fn complete_at(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        model_start_s: f64,
+        model_dur_s: f64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.push(TraceEvent {
+            name,
+            cat,
+            ph: 'X',
+            ts_us: (model_start_s.max(0.0) * 1e6) as u64,
+            dur_us: (model_dur_s.max(0.0) * 1e6) as u64,
+            wall_us: self.wall_us(Instant::now()),
+            model_s: model_start_s,
+            tid: THREAD_ID.with(|t| *t),
+            args,
+        });
+    }
+
+    /// Copies out every recorded event across all threads, sorted by
+    /// timeline position. Rings keep their contents (export is
+    /// non-destructive).
+    pub fn export(&self) -> Vec<TraceEvent> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut events = Vec::new();
+        for ring in inner.rings.lock().iter() {
+            events.extend(ring.lock().events.iter().cloned());
+        }
+        events.sort_by(|a, b| {
+            a.ts_us
+                .cmp(&b.ts_us)
+                .then(a.tid.cmp(&b.tid))
+                .then(a.dur_us.cmp(&b.dur_us))
+        });
+        events
+    }
+
+    /// Events dropped to ring bounds, summed over all threads.
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| {
+            inner.rings.lock().iter().map(|r| r.lock().dropped).sum()
+        })
+    }
+
+    /// Renders every recorded event as a Chrome `trace_event` document
+    /// (`{"traceEvents": [...]}`); `process_name` labels the single
+    /// process lane.
+    pub fn chrome_trace(&self, process_name: &str) -> Json {
+        chrome_trace_of(&self.export(), process_name)
+    }
+}
+
+/// Renders a batch of events (e.g. merged from several tracers) as a
+/// Chrome `trace_event` document.
+pub fn chrome_trace_of(events: &[TraceEvent], process_name: &str) -> Json {
+    let mut out = Vec::with_capacity(events.len() + 1);
+    // Process-name metadata event, so about:tracing labels the lane.
+    out.push(Json::obj([
+        ("name", Json::from("process_name")),
+        ("ph", Json::from("M")),
+        ("pid", Json::from(1u64)),
+        ("tid", Json::from(0u64)),
+        (
+            "args",
+            Json::obj([("name", Json::from(process_name.to_string()))]),
+        ),
+    ]));
+    for e in events {
+        let mut args: Vec<(String, Json)> = vec![
+            ("wall_us".to_string(), Json::from(e.wall_us)),
+            ("model_s".to_string(), Json::Num(e.model_s)),
+        ];
+        args.extend(e.args.iter().map(|(k, v)| {
+            (
+                k.to_string(),
+                match v {
+                    ArgValue::Num(x) => Json::Num(*x),
+                    ArgValue::Str(s) => Json::Str(s.clone()),
+                },
+            )
+        }));
+        let mut fields = vec![
+            ("name".to_string(), Json::from(e.name)),
+            ("cat".to_string(), Json::from(e.cat)),
+            ("ph".to_string(), Json::Str(e.ph.to_string())),
+            ("ts".to_string(), Json::from(e.ts_us)),
+        ];
+        if e.ph == 'X' {
+            fields.push(("dur".to_string(), Json::from(e.dur_us)));
+        }
+        if e.ph == 'i' {
+            // Thread-scoped instants render as small arrows in the UI.
+            fields.push(("s".to_string(), Json::from("t")));
+        }
+        fields.extend([
+            ("pid".to_string(), Json::from(1u64)),
+            ("tid".to_string(), Json::from(e.tid)),
+            ("args".to_string(), Json::Obj(args)),
+        ]);
+        out.push(Json::Obj(fields));
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(out)),
+        ("displayTimeUnit", Json::from("ms")),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn instants_and_spans_are_recorded_in_order() {
+        let t = Tracer::new();
+        let start = Instant::now();
+        std::thread::sleep(Duration::from_millis(2));
+        t.instant("fetch", "worker", vec![("served", ArgValue::from("local"))]);
+        t.complete("stall", "worker", start, vec![]);
+        let events = t.export();
+        assert_eq!(events.len(), 2);
+        // The span started strictly before the instant was emitted.
+        assert_eq!(events[0].name, "stall");
+        assert_eq!(events[0].ph, 'X');
+        assert!(events[0].dur_us >= 2_000);
+        assert_eq!(events[1].name, "fetch");
+        assert_eq!(events[1].ph, 'i');
+        assert!(events[0].ts_us < events[1].ts_us);
+    }
+
+    #[test]
+    fn model_clock_events_use_model_timeline() {
+        let t = Tracer::new();
+        t.instant_at("epoch", "sim", 1.5, vec![("epoch", ArgValue::from(3u64))]);
+        t.complete_at("fetch", "sim", 2.0, 0.25, vec![]);
+        let events = t.export();
+        assert_eq!(events[0].ts_us, 1_500_000);
+        assert_eq!(events[0].model_s, 1.5);
+        assert_eq!(events[1].ts_us, 2_000_000);
+        assert_eq!(events[1].dur_us, 250_000);
+    }
+
+    #[test]
+    fn rings_are_bounded_and_count_drops() {
+        let t = Tracer::with_config(4, 1.0);
+        for _ in 0..10 {
+            t.instant("e", "test", vec![]);
+        }
+        assert_eq!(t.export().len(), 4);
+        assert_eq!(t.dropped(), 6);
+    }
+
+    #[test]
+    fn per_thread_rings_merge_on_export() {
+        let t = Tracer::new();
+        t.instant("main", "test", vec![]);
+        let t2 = t.clone();
+        std::thread::spawn(move || {
+            t2.instant("spawned", "test", vec![]);
+        })
+        .join()
+        .unwrap();
+        let events = t.export();
+        assert_eq!(events.len(), 2);
+        let tids: std::collections::HashSet<u64> = events.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 2);
+    }
+
+    #[test]
+    fn noop_tracer_records_nothing() {
+        let t = Tracer::noop();
+        t.instant("e", "test", vec![]);
+        t.complete("s", "test", Instant::now(), vec![]);
+        assert!(t.export().is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert!(!t.is_active());
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_has_required_fields() {
+        let t = Tracer::new();
+        t.instant("fetch", "worker", vec![("sample", ArgValue::from(7u64))]);
+        let doc = Json::parse(&t.chrome_trace("test-run").render()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 2); // metadata + 1 event
+        let e = &events[1];
+        assert_eq!(e.get("name").unwrap().as_str().unwrap(), "fetch");
+        assert_eq!(e.get("ph").unwrap().as_str().unwrap(), "i");
+        assert!(e.get("ts").unwrap().as_num().is_some());
+        assert!(e.get("args").unwrap().get("model_s").is_some());
+        assert_eq!(
+            e.get("args").unwrap().get("sample").unwrap().as_num(),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn scale_factor_derives_model_time() {
+        let t = Tracer::with_config(64, 2.0); // 2 wall seconds per model second
+        t.instant("e", "test", vec![]);
+        let e = &t.export()[0];
+        assert!((e.model_s - e.wall_us as f64 / 1e6 / 2.0).abs() < 1e-9);
+    }
+}

@@ -16,6 +16,7 @@
 //! Reads optionally inject faults for failure-path testing.
 
 use bytes::Bytes;
+use nopfs_obs::{names, Counter, Registry};
 use nopfs_perfmodel::ThroughputCurve;
 use nopfs_util::rate::TokenBucket;
 use nopfs_util::timing::TimeScale;
@@ -58,13 +59,25 @@ enum Store {
     },
 }
 
-/// Cumulative counters for reporting.
-#[derive(Debug, Default)]
+/// Cumulative traffic counters, registered as `pfs.*` metrics;
+/// [`PfsStats`] is the typed view over them.
+#[derive(Debug)]
 struct Stats {
-    reads: AtomicU64,
-    bytes_read: AtomicU64,
-    writes: AtomicU64,
-    bytes_written: AtomicU64,
+    reads: Counter,
+    bytes_read: Counter,
+    writes: Counter,
+    bytes_written: Counter,
+}
+
+impl Stats {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            reads: registry.counter(names::PFS_READS),
+            bytes_read: registry.counter(names::PFS_BYTES_READ),
+            writes: registry.counter(names::PFS_WRITES),
+            bytes_written: registry.counter(names::PFS_BYTES_WRITTEN),
+        }
+    }
 }
 
 /// Cumulative PFS traffic statistics, snapshotted by [`Pfs::stats`].
@@ -135,6 +148,21 @@ impl Pfs {
         Self::build(Store::Memory(RwLock::new(HashMap::new())), curve, scale)
     }
 
+    /// Like [`Self::in_memory`], but the `pfs.*` traffic counters are
+    /// registered in `registry` (with its scope labels).
+    pub fn in_memory_in_registry(
+        curve: ThroughputCurve,
+        scale: TimeScale,
+        registry: &Registry,
+    ) -> Self {
+        Self::build_in_registry(
+            Store::Memory(RwLock::new(HashMap::new())),
+            curve,
+            scale,
+            registry,
+        )
+    }
+
     /// A disk-backed PFS storing objects as files under `dir`
     /// (created if missing).
     ///
@@ -154,6 +182,15 @@ impl Pfs {
     }
 
     fn build(store: Store, curve: ThroughputCurve, scale: TimeScale) -> Self {
+        Self::build_in_registry(store, curve, scale, &Registry::new())
+    }
+
+    fn build_in_registry(
+        store: Store,
+        curve: ThroughputCurve,
+        scale: TimeScale,
+        registry: &Registry,
+    ) -> Self {
         let initial = scale.rate_to_wall(curve.at(1.0));
         Self {
             inner: Arc::new(PfsInner {
@@ -162,7 +199,7 @@ impl Pfs {
                 scale,
                 regulator: TokenBucket::with_burst_window(initial, 0.01),
                 readers: AtomicUsize::new(0),
-                stats: Stats::default(),
+                stats: Stats::new(registry),
                 stored_bytes: AtomicU64::new(0),
                 faults: Mutex::new(HashMap::new()),
             }),
@@ -215,11 +252,8 @@ impl Pfs {
     pub fn put(&self, id: ObjectId, data: Bytes) {
         let id = self.global_id(id);
         let size = data.len() as u64;
-        self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
-        self.inner
-            .stats
-            .bytes_written
-            .fetch_add(size, Ordering::Relaxed);
+        self.inner.stats.writes.inc();
+        self.inner.stats.bytes_written.add(size);
         let replaced = match &self.inner.store {
             Store::Memory(map) => map
                 .write()
@@ -331,11 +365,8 @@ impl Pfs {
         // Pace the transfer at the current per-reader share.
         self.inner.regulator.acquire(data.len() as u64);
         drop(guard);
-        self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
-        self.inner
-            .stats
-            .bytes_read
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.inner.stats.reads.inc();
+        self.inner.stats.bytes_read.add(data.len() as u64);
         Ok(data)
     }
 
@@ -358,10 +389,10 @@ impl Pfs {
     /// Cumulative traffic statistics (shared across every namespace).
     pub fn stats(&self) -> PfsStats {
         PfsStats {
-            reads: self.inner.stats.reads.load(Ordering::Relaxed),
-            bytes_read: self.inner.stats.bytes_read.load(Ordering::Relaxed),
-            writes: self.inner.stats.writes.load(Ordering::Relaxed),
-            bytes_written: self.inner.stats.bytes_written.load(Ordering::Relaxed),
+            reads: self.inner.stats.reads.get(),
+            bytes_read: self.inner.stats.bytes_read.get(),
+            writes: self.inner.stats.writes.get(),
+            bytes_written: self.inner.stats.bytes_written.get(),
         }
     }
 }

@@ -88,6 +88,21 @@ pub fn run_elastic(
     policy: PolicyId,
     plan: &FaultPlan,
 ) -> Result<ElasticSimResult, SimError> {
+    run_elastic_with_obs(scenario, policy, plan, &nopfs_obs::ObsCtx::new())
+}
+
+/// [`run_elastic`] with an observability context: epoch boundaries,
+/// replans, and crash recoveries become model-clock trace instants.
+///
+/// # Errors
+/// Same contract as [`run_elastic`].
+pub fn run_elastic_with_obs(
+    scenario: &Scenario,
+    policy: PolicyId,
+    plan: &FaultPlan,
+    obs: &nopfs_obs::ObsCtx,
+) -> Result<ElasticSimResult, SimError> {
+    use nopfs_obs::names;
     let spec = scenario.shuffle_spec();
     plan.validate(&spec, scenario.epochs)
         .map_err(|u| SimError::Unsupported(u.0))?;
@@ -108,6 +123,12 @@ pub fn run_elastic(
         if !states.contains_key(&n) {
             if !states.is_empty() {
                 replans += 1;
+                obs.tracer.instant_at(
+                    names::EV_REPLAN,
+                    "sim",
+                    execution_time,
+                    vec![("workers", (n as u64).into())],
+                );
             }
             let p = policies::build(policy, &scenario_n)?;
             // Resharding pays its (possibly empty) prestage phase anew:
@@ -146,6 +167,12 @@ pub fn run_elastic(
 
         // Lockstep timing of the epoch at this membership; stragglers
         // divide their rank's compute throughput.
+        obs.tracer.instant_at(
+            names::EV_EPOCH,
+            "sim",
+            execution_time,
+            vec![("epoch", e.into())],
+        );
         let epoch_time = simulate_epoch(&scenario_n, state.policy.as_mut(), plan, e, &seqs);
         per_epoch_time.push(epoch_time);
         execution_time += epoch_time;
@@ -158,6 +185,18 @@ pub fn run_elastic(
             let batch_bytes =
                 (scenario.mean_sample_bytes() * scenario.batch_size as f64).ceil() as u64;
             let penalty = scenario.system.read_time(Location::Pfs, batch_bytes, 1);
+            for &(step, rank) in &crashes {
+                obs.tracer.instant_at(
+                    names::EV_CRASH,
+                    "sim",
+                    execution_time,
+                    vec![
+                        ("epoch", e.into()),
+                        ("step", step.into()),
+                        ("rank", (rank as u64).into()),
+                    ],
+                );
+            }
             recoveries += crashes.len();
             recovery_time += penalty * crashes.len() as f64;
         }

@@ -17,6 +17,7 @@
 //! policy consumes — the simulator's access streams are untouched, the
 //! analogue of the runtime's bit-identical global stream guarantee.
 
+use nopfs_obs::{names, ObsCtx, Tracer};
 use nopfs_perfmodel::ThroughputCurve;
 use nopfs_policy::CloudFaults;
 use nopfs_storage::{BreakerConfig, CircuitBreaker, ResilienceStats, SourceHealth};
@@ -141,6 +142,7 @@ impl CloudSpec {
 pub(crate) struct CloudModel {
     spec: CloudSpec,
     breaker: Option<CircuitBreaker>,
+    tracer: Tracer,
     /// Per-read draw counter (the deterministic "randomness" stream).
     draws: u64,
     stats: ResilienceStats,
@@ -148,10 +150,20 @@ pub(crate) struct CloudModel {
 
 impl CloudModel {
     pub(crate) fn new(spec: CloudSpec) -> Self {
-        let breaker = spec.resilience.breaker.map(CircuitBreaker::new);
+        Self::with_obs(spec, &ObsCtx::new())
+    }
+
+    /// Like [`Self::new`], but the breaker registers its transition
+    /// counters in `obs` and both the breaker and the hedge logic emit
+    /// model-clock trace events through its tracer.
+    pub(crate) fn with_obs(spec: CloudSpec, obs: &ObsCtx) -> Self {
+        let breaker = spec.resilience.breaker.map(|cfg| {
+            CircuitBreaker::new_in_registry(cfg, &obs.registry).with_tracer(obs.tracer.clone())
+        });
         Self {
             spec,
             breaker,
+            tracer: obs.tracer.clone(),
             draws: 0,
             stats: ResilienceStats::default(),
         }
@@ -244,6 +256,8 @@ impl CloudModel {
             if let Some(hd) = res.hedge_delay {
                 if latency > hd {
                     self.stats.hedges_fired += 1;
+                    self.tracer
+                        .instant_at(names::EV_HEDGE_FIRED, "cloud", t + hd, vec![]);
                     let hedged = hd + self.service_time(t + hd, size, gamma);
                     if hedged < latency {
                         self.stats.hedges_won += 1;

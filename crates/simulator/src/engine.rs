@@ -19,6 +19,7 @@ use crate::cloud::CloudModel;
 use crate::policies;
 use crate::result::{Breakdown, SimError, SimResult};
 use crate::scenario::Scenario;
+use nopfs_obs::{names, ObsCtx};
 use nopfs_perfmodel::equations::ConsumeAccumulator;
 use nopfs_perfmodel::Location;
 use nopfs_policy::PolicyId;
@@ -117,13 +118,42 @@ pub(crate) fn loc_index(loc: Location) -> usize {
 /// scenario (e.g. the LBANN data store with a dataset larger than
 /// aggregate worker memory).
 pub fn run(scenario: &Scenario, policy: PolicyId) -> Result<SimResult, SimError> {
+    run_with_obs(scenario, policy, &ObsCtx::new())
+}
+
+/// [`run`] with an observability context: modelled fetches count into
+/// the registry (`sim.fetch{loc=…}`) and the engine emits model-clock
+/// trace events — an epoch instant per epoch boundary, plus the cloud
+/// origin's breaker transitions and hedges when the scenario has a
+/// cloud clause and the context's tracer is active.
+///
+/// # Errors
+/// Same contract as [`run`].
+pub fn run_with_obs(
+    scenario: &Scenario,
+    policy: PolicyId,
+    obs: &ObsCtx,
+) -> Result<SimResult, SimError> {
     let mut p = policies::build(policy, scenario)?;
     let sys = &scenario.system;
     let n = sys.workers;
     let b = scenario.batch_size;
     let spec = scenario.shuffle_spec();
 
-    let mut cloud = scenario.cloud.clone().map(CloudModel::new);
+    let mut cloud = scenario
+        .cloud
+        .clone()
+        .map(|spec| CloudModel::with_obs(spec, obs));
+    let fetch_counters = [
+        obs.registry
+            .counter_with(names::SIM_FETCH, &[("loc", "staging")]),
+        obs.registry
+            .counter_with(names::SIM_FETCH, &[("loc", "local")]),
+        obs.registry
+            .counter_with(names::SIM_FETCH, &[("loc", "remote")]),
+        obs.registry
+            .counter_with(names::SIM_FETCH, &[("loc", "pfs")]),
+    ];
     let mut accs: Vec<Acc> = (0..n)
         .map(|_| Acc::new(sys.compute, sys.staging.threads, p.overlapped()))
         .collect();
@@ -141,6 +171,11 @@ pub fn run(scenario: &Scenario, policy: PolicyId) -> Result<SimResult, SimError>
     let mut gamma = (n * threads_per_worker).max(1);
 
     for epoch in 0..scenario.epochs {
+        // The epoch boundary on the model clock: the time front of the
+        // slowest worker when the epoch opens.
+        let front = accs.iter().map(Acc::last).fold(0.0, f64::max);
+        obs.tracer
+            .instant_at(names::EV_EPOCH, "sim", front, vec![("epoch", epoch.into())]);
         let shuffle = spec.epoch_shuffle(epoch);
         p.on_epoch_start(epoch);
         let seqs: Vec<Vec<u64>> = (0..n).map(|w| shuffle.worker_sequence(w)).collect();
@@ -181,6 +216,7 @@ pub fn run(scenario: &Scenario, policy: PolicyId) -> Result<SimResult, SimError>
                     breakdown.attribute(loc, stall + overlapped_fetch, busy - overlapped_fetch);
                     prev_consumed[w] = consumed;
                     fetch_counts[loc_index(loc)] += 1;
+                    fetch_counters[loc_index(loc)].inc();
                     used_pfs |= matches!(loc, Location::Pfs);
                     p.on_consumed(w, k, consumed);
                 }
@@ -267,6 +303,37 @@ mod tests {
         let (staging, _, _, pfs) = r.breakdown.fractions();
         assert!(staging > 0.95, "staging fraction {staging}");
         assert!(pfs < 0.01);
+    }
+
+    #[test]
+    fn obs_run_counts_fetches_and_emits_epoch_instants() {
+        let s = contended_scenario();
+        let obs = ObsCtx::traced();
+        let r = run_with_obs(&s, PolicyId::NoPfs, &obs).unwrap();
+        // Every modelled fetch lands in the registry, by source.
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.counter_total(names::SIM_FETCH),
+            r.fetch_counts.iter().sum::<u64>()
+        );
+        assert_eq!(
+            snap.counter("sim.fetch{loc=pfs}"),
+            Some(r.fetch_counts[3]).filter(|&v| v > 0)
+        );
+        // One model-clock epoch instant per epoch, in model order.
+        let epochs: Vec<f64> = obs
+            .tracer
+            .export()
+            .iter()
+            .filter(|e| e.name == names::EV_EPOCH)
+            .map(|e| e.model_s)
+            .collect();
+        assert_eq!(epochs.len(), s.epochs as usize);
+        assert!(epochs.windows(2).all(|w| w[0] <= w[1]));
+        // And the plain entry point stays deterministic alongside.
+        let plain = run(&s, PolicyId::NoPfs).unwrap();
+        assert_eq!(plain.fetch_counts, r.fetch_counts);
+        assert_eq!(plain.execution_time, r.execution_time);
     }
 
     #[test]

@@ -55,8 +55,8 @@ pub use resilience::{
 };
 pub use staging::{ProducerGuard, ProducerLost, StagingBuffer, StagingStats};
 pub use tier::{
-    build_stack, DataSource, ErrorClass, PromotePolicy, SourceError, SourceHealth, TierSpec,
-    TierStack, TierStats,
+    build_stack, build_stack_in_registry, DataSource, ErrorClass, PromotePolicy, SourceError,
+    SourceHealth, TierSpec, TierStack, TierStats,
 };
 
 /// Sample identifier (dense index into the dataset).

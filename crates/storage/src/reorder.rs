@@ -14,6 +14,7 @@
 
 use crate::SampleId;
 use bytes::Bytes;
+use nopfs_obs::{names, Counter, Gauge, Registry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -28,10 +29,20 @@ struct State {
     max_used: u64,
 }
 
+/// Registry handles (`staging.*` metrics): cumulative push/pop
+/// counters and a live occupancy gauge, updated inside the state lock.
+#[derive(Debug)]
+struct Metrics {
+    pushed: Counter,
+    popped: Counter,
+    used_bytes: Gauge,
+}
+
 #[derive(Debug)]
 struct Inner {
     capacity: u64,
     state: Mutex<State>,
+    metrics: Metrics,
     space: Condvar,
     data: Condvar,
 }
@@ -49,6 +60,17 @@ impl ReorderStage {
     /// # Panics
     /// Panics if `capacity == 0`.
     pub fn new(capacity: u64) -> Self {
+        Self::new_in_registry(capacity, &Registry::noop())
+    }
+
+    /// Like [`Self::new`], but the stage's `staging.*` metrics register
+    /// in `registry` (with its scope labels) — the worker runtime
+    /// passes its rank-scoped registry so staging occupancy and
+    /// push/pop rates surface in live telemetry.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new_in_registry(capacity: u64, registry: &Registry) -> Self {
         assert!(capacity > 0, "stage needs capacity");
         Self {
             inner: Arc::new(Inner {
@@ -60,6 +82,11 @@ impl ReorderStage {
                     closed: false,
                     max_used: 0,
                 }),
+                metrics: Metrics {
+                    pushed: registry.counter(names::STAGING_PUSHED),
+                    popped: registry.counter(names::STAGING_POPPED),
+                    used_bytes: registry.gauge(names::STAGING_USED_BYTES),
+                },
                 space: Condvar::new(),
                 data: Condvar::new(),
             }),
@@ -92,6 +119,8 @@ impl ReorderStage {
         assert!(prev.is_none(), "position {pos} pushed twice");
         st.used += size;
         st.max_used = st.max_used.max(st.used);
+        self.inner.metrics.pushed.inc();
+        self.inner.metrics.used_bytes.set(st.used);
         drop(st);
         self.inner.data.notify_all();
         true
@@ -106,6 +135,8 @@ impl ReorderStage {
             if let Some((id, data)) = st.pending.remove(&next) {
                 st.used -= data.len() as u64;
                 st.next += 1;
+                self.inner.metrics.popped.inc();
+                self.inner.metrics.used_bytes.set(st.used);
                 drop(st);
                 self.inner.space.notify_all();
                 return Some((id, data));
@@ -126,6 +157,8 @@ impl ReorderStage {
             if let Some((id, data)) = st.pending.remove(&next) {
                 st.used -= data.len() as u64;
                 st.next += 1;
+                self.inner.metrics.popped.inc();
+                self.inner.metrics.used_bytes.set(st.used);
                 drop(st);
                 self.inner.space.notify_all();
                 return Some((id, data));

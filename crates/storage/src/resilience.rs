@@ -29,6 +29,7 @@ use crate::fault::RetryPolicy;
 use crate::tier::{DataSource, SourceError, SourceHealth};
 use crate::SampleId;
 use bytes::Bytes;
+use nopfs_obs::{names, Counter, Histogram, Registry, Tracer};
 use nopfs_util::timing::TimeScale;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -99,23 +100,40 @@ struct BreakerInner {
 pub struct CircuitBreaker {
     cfg: BreakerConfig,
     inner: Mutex<BreakerInner>,
-    to_open: AtomicU64,
-    to_half_open: AtomicU64,
-    to_closed: AtomicU64,
-    rejections: AtomicU64,
+    to_open: Counter,
+    to_half_open: Counter,
+    to_closed: Counter,
+    rejections: Counter,
+    tracer: Tracer,
 }
 
 impl CircuitBreaker {
-    /// A new breaker, initially closed.
+    /// A new breaker, initially closed, with private counters.
     pub fn new(cfg: BreakerConfig) -> Self {
+        Self::new_in_registry(cfg, &Registry::new())
+    }
+
+    /// Like [`Self::new`], but transition counters register in
+    /// `registry` as `breaker.*` metrics.
+    pub fn new_in_registry(cfg: BreakerConfig, registry: &Registry) -> Self {
         Self {
             cfg,
             inner: Mutex::new(BreakerInner::default()),
-            to_open: AtomicU64::new(0),
-            to_half_open: AtomicU64::new(0),
-            to_closed: AtomicU64::new(0),
-            rejections: AtomicU64::new(0),
+            to_open: registry.counter(names::BREAKER_TO_OPEN),
+            to_half_open: registry.counter(names::BREAKER_TO_HALF_OPEN),
+            to_closed: registry.counter(names::BREAKER_TO_CLOSED),
+            rejections: registry.counter(names::BREAKER_REJECTIONS),
+            tracer: Tracer::noop(),
         }
+    }
+
+    /// Attaches a tracer: every state transition emits a model-clock
+    /// instant (`breaker_open` / `breaker_half_open` / `breaker_closed`)
+    /// stamped with the breaker's own `now`.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Current state (without advancing the open → half-open clock).
@@ -136,10 +154,12 @@ impl CircuitBreaker {
                     s.state = BreakerState::HalfOpen;
                     s.probes_inflight = 1;
                     s.probe_successes = 0;
-                    self.to_half_open.fetch_add(1, Ordering::Relaxed);
+                    self.to_half_open.inc();
+                    self.tracer
+                        .instant_at(names::EV_BREAKER_HALF_OPEN, "resilience", now, vec![]);
                     true
                 } else {
-                    self.rejections.fetch_add(1, Ordering::Relaxed);
+                    self.rejections.inc();
                     false
                 }
             }
@@ -148,7 +168,7 @@ impl CircuitBreaker {
                     s.probes_inflight += 1;
                     true
                 } else {
-                    self.rejections.fetch_add(1, Ordering::Relaxed);
+                    self.rejections.inc();
                     false
                 }
             }
@@ -156,7 +176,7 @@ impl CircuitBreaker {
     }
 
     /// Records a successful request admitted at or before `now`.
-    pub fn on_success(&self, _now: f64) {
+    pub fn on_success(&self, now: f64) {
         let mut s = self.inner.lock();
         match s.state {
             BreakerState::Closed => s.consecutive_failures = 0,
@@ -166,7 +186,9 @@ impl CircuitBreaker {
                 if s.probe_successes >= self.cfg.half_open_probes {
                     s.state = BreakerState::Closed;
                     s.consecutive_failures = 0;
-                    self.to_closed.fetch_add(1, Ordering::Relaxed);
+                    self.to_closed.inc();
+                    self.tracer
+                        .instant_at(names::EV_BREAKER_CLOSED, "resilience", now, vec![]);
                 }
             }
             // A straggling success from before the trip: no evidence
@@ -184,14 +206,18 @@ impl CircuitBreaker {
                 if s.consecutive_failures >= self.cfg.failure_threshold {
                     s.state = BreakerState::Open;
                     s.opened_at = now;
-                    self.to_open.fetch_add(1, Ordering::Relaxed);
+                    self.to_open.inc();
+                    self.tracer
+                        .instant_at(names::EV_BREAKER_OPEN, "resilience", now, vec![]);
                 }
             }
             BreakerState::HalfOpen => {
                 // A failed probe re-opens immediately.
                 s.state = BreakerState::Open;
                 s.opened_at = now;
-                self.to_open.fetch_add(1, Ordering::Relaxed);
+                self.to_open.inc();
+                self.tracer
+                    .instant_at(names::EV_BREAKER_OPEN, "resilience", now, vec![]);
             }
             BreakerState::Open => {}
         }
@@ -228,10 +254,10 @@ impl CircuitBreaker {
     /// `(to_open, to_half_open, to_closed, rejections)`.
     pub fn transitions(&self) -> (u64, u64, u64, u64) {
         (
-            self.to_open.load(Ordering::Relaxed),
-            self.to_half_open.load(Ordering::Relaxed),
-            self.to_closed.load(Ordering::Relaxed),
-            self.rejections.load(Ordering::Relaxed),
+            self.to_open.get(),
+            self.to_half_open.get(),
+            self.to_closed.get(),
+            self.rejections.get(),
         )
     }
 }
@@ -402,15 +428,34 @@ impl ResilienceStats {
     }
 }
 
-#[derive(Debug, Default)]
+/// The resilience layer's registry handles (`resilience.*` metrics);
+/// [`ResilienceStats`] is the typed view over them.
+#[derive(Debug)]
 struct Counters {
-    reads: AtomicU64,
-    retries: AtomicU64,
-    exhausted: AtomicU64,
-    hedges_fired: AtomicU64,
-    hedges_won: AtomicU64,
-    deadline_misses: AtomicU64,
-    throttled: AtomicU64,
+    reads: Counter,
+    retries: Counter,
+    exhausted: Counter,
+    hedges_fired: Counter,
+    hedges_won: Counter,
+    deadline_misses: Counter,
+    throttled: Counter,
+    /// End-to-end read latency (ns), breaker rejections included.
+    read_latency: Histogram,
+}
+
+impl Counters {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            reads: registry.counter(names::RES_READS),
+            retries: registry.counter(names::RES_RETRIES),
+            exhausted: registry.counter(names::RES_EXHAUSTED),
+            hedges_fired: registry.counter(names::RES_HEDGES_FIRED),
+            hedges_won: registry.counter(names::RES_HEDGES_WON),
+            deadline_misses: registry.counter(names::RES_DEADLINE_MISSES),
+            throttled: registry.counter(names::RES_THROTTLED),
+            read_latency: registry.histogram(names::RES_READ_LATENCY),
+        }
+    }
 }
 
 /// The outcome of one attempt: who answered, with what, after how long.
@@ -429,6 +474,7 @@ pub struct ResilientSource {
     breaker: Option<CircuitBreaker>,
     tracker: Mutex<LatencyTracker>,
     counters: Counters,
+    tracer: Tracer,
     scale: TimeScale,
     start: Instant,
     draws: AtomicU64,
@@ -447,17 +493,40 @@ impl ResilientSource {
     /// Wraps `inner` under `cfg`; `scale` maps the breaker's
     /// model-second cooldowns onto the wall clock.
     pub fn new(inner: Arc<dyn DataSource>, cfg: ResilienceConfig, scale: TimeScale) -> Self {
+        Self::new_in_registry(inner, cfg, scale, &Registry::new())
+    }
+
+    /// Like [`Self::new`], but the `resilience.*` / `breaker.*` metrics
+    /// register in `registry` (with its scope labels).
+    pub fn new_in_registry(
+        inner: Arc<dyn DataSource>,
+        cfg: ResilienceConfig,
+        scale: TimeScale,
+        registry: &Registry,
+    ) -> Self {
         let window = cfg.hedge.map_or(1, |h| h.window);
         Self {
-            breaker: cfg.breaker.map(CircuitBreaker::new),
+            breaker: cfg
+                .breaker
+                .map(|b| CircuitBreaker::new_in_registry(b, registry)),
             tracker: Mutex::new(LatencyTracker::new(window)),
             inner,
             cfg,
-            counters: Counters::default(),
+            counters: Counters::new(registry),
+            tracer: Tracer::noop(),
             scale,
             start: Instant::now(),
             draws: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches a tracer: hedge firings and breaker state changes emit
+    /// model-clock instants into it.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.breaker = self.breaker.map(|b| b.with_tracer(tracer.clone()));
+        self.tracer = tracer;
+        self
     }
 
     /// Model time since construction, the breaker's clock.
@@ -510,7 +579,13 @@ impl ResilientSource {
                 Ok((hedge, r, lat)) => return AttemptOutcome::Done(r, lat, hedge),
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     if remaining(started).is_none_or(|r| r > Duration::ZERO) {
-                        self.counters.hedges_fired.fetch_add(1, Ordering::Relaxed);
+                        self.counters.hedges_fired.inc();
+                        self.tracer.instant_at(
+                            names::EV_HEDGE_FIRED,
+                            "resilience",
+                            self.now(),
+                            vec![("sample", id.into())],
+                        );
                         spawn(true);
                         outstanding += 1;
                     }
@@ -543,15 +618,11 @@ impl ResilientSource {
         }
         last.unwrap_or(AttemptOutcome::TimedOut)
     }
-}
 
-impl DataSource for ResilientSource {
-    fn name(&self) -> &str {
-        self.inner.name()
-    }
-
-    fn read(&self, id: SampleId) -> Result<Bytes, SourceError> {
-        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+    /// The breaker → retry → deadline/hedge pipeline behind
+    /// [`DataSource::read`].
+    fn read_impl(&self, id: SampleId) -> Result<Bytes, SourceError> {
+        self.counters.reads.inc();
         let mut last = None;
         for attempt in 0..self.cfg.retry.attempts {
             if let Some(b) = &self.breaker {
@@ -569,7 +640,7 @@ impl DataSource for ResilientSource {
                         b.on_success(self.now());
                     }
                     if hedge_won {
-                        self.counters.hedges_won.fetch_add(1, Ordering::Relaxed);
+                        self.counters.hedges_won.inc();
                     }
                     self.tracker.lock().record(latency);
                     return Ok(data);
@@ -581,14 +652,12 @@ impl DataSource for ResilientSource {
                         return Err(e);
                     }
                     if matches!(e, SourceError::Throttled { .. }) {
-                        self.counters.throttled.fetch_add(1, Ordering::Relaxed);
+                        self.counters.throttled.inc();
                     }
                     e
                 }
                 AttemptOutcome::TimedOut => {
-                    self.counters
-                        .deadline_misses
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.counters.deadline_misses.inc();
                     SourceError::DeadlineExceeded {
                         deadline: self.cfg.deadline.unwrap_or_default(),
                     }
@@ -599,7 +668,7 @@ impl DataSource for ResilientSource {
             }
             if attempt + 1 < self.cfg.retry.attempts {
                 let draw = self.draws.fetch_add(1, Ordering::Relaxed);
-                self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                self.counters.retries.inc();
                 let backoff = self.cfg.retry.backoff(attempt, draw);
                 let wait = match &err {
                     SourceError::Throttled { retry_after } => backoff.max(*retry_after),
@@ -609,8 +678,20 @@ impl DataSource for ResilientSource {
             }
             last = Some(err);
         }
-        self.counters.exhausted.fetch_add(1, Ordering::Relaxed);
+        self.counters.exhausted.inc();
         Err(last.expect("loop ran at least once"))
+    }
+}
+
+impl DataSource for ResilientSource {
+    fn read(&self, id: SampleId) -> Result<Bytes, SourceError> {
+        // Only pay for the clock when a histogram is listening.
+        let t0 = self.counters.read_latency.is_active().then(Instant::now);
+        let result = self.read_impl(id);
+        if let Some(t0) = t0 {
+            self.counters.read_latency.record_duration(t0.elapsed());
+        }
+        result
     }
 
     fn read_many(&self, ids: &[SampleId]) -> Vec<Result<Bytes, SourceError>> {
@@ -625,6 +706,10 @@ impl DataSource for ResilientSource {
                 other => other,
             })
             .collect()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
     }
 
     fn write(&self, id: SampleId, data: Bytes) -> Result<(), SourceError> {
@@ -669,13 +754,13 @@ impl DataSource for ResilientSource {
             .map_or((0, 0, 0, 0), |b| b.transitions());
         let c = &self.counters;
         let mut stats = ResilienceStats {
-            reads: c.reads.load(Ordering::Relaxed),
-            retries: c.retries.load(Ordering::Relaxed),
-            exhausted: c.exhausted.load(Ordering::Relaxed),
-            hedges_fired: c.hedges_fired.load(Ordering::Relaxed),
-            hedges_won: c.hedges_won.load(Ordering::Relaxed),
-            deadline_misses: c.deadline_misses.load(Ordering::Relaxed),
-            throttled: c.throttled.load(Ordering::Relaxed),
+            reads: c.reads.get(),
+            retries: c.retries.get(),
+            exhausted: c.exhausted.get(),
+            hedges_fired: c.hedges_fired.get(),
+            hedges_won: c.hedges_won.get(),
+            deadline_misses: c.deadline_misses.get(),
+            throttled: c.throttled.get(),
             breaker_open_rejections: rejections,
             breaker_to_open: to_open,
             breaker_to_half_open: to_half_open,

@@ -15,6 +15,7 @@
 
 use crate::SampleId;
 use bytes::Bytes;
+use nopfs_obs::{names, Counter, Gauge, Registry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -27,8 +28,6 @@ struct State {
     closed: bool,
     /// High-water mark of `used`, for reporting.
     max_used: u64,
-    total_pushed: u64,
-    total_popped: u64,
     /// Registered producers currently alive (see [`ProducerGuard`]).
     producers: usize,
     /// Registered producers that died without completing: their owed
@@ -36,10 +35,41 @@ struct State {
     lost: usize,
 }
 
+/// The buffer's registry handles (`staging.*` metrics): cumulative
+/// push/pop counters plus a live occupancy gauge. Updated inside the
+/// state lock, so [`StagingStats`] snapshots stay internally
+/// consistent.
+#[derive(Debug)]
+struct Metrics {
+    pushed: Counter,
+    popped: Counter,
+    used_bytes: Gauge,
+    /// Registry values at construction: a buffer attached to existing
+    /// counter names (a relaunched worker in a shared registry) reports
+    /// only its own pushes/pops through [`StagingBuffer::stats`].
+    base_pushed: u64,
+    base_popped: u64,
+}
+
+impl Metrics {
+    fn new(registry: &Registry) -> Self {
+        let pushed = registry.counter(names::STAGING_PUSHED);
+        let popped = registry.counter(names::STAGING_POPPED);
+        Self {
+            base_pushed: pushed.get(),
+            base_popped: popped.get(),
+            pushed,
+            popped,
+            used_bytes: registry.gauge(names::STAGING_USED_BYTES),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
     capacity: u64,
     state: Mutex<State>,
+    metrics: Metrics,
     /// Signalled when space frees up (producers wait on this).
     space: Condvar,
     /// Signalled when data arrives (consumers wait on this).
@@ -59,6 +89,16 @@ impl StagingBuffer {
     /// # Panics
     /// Panics if `capacity == 0`.
     pub fn new(capacity: u64) -> Self {
+        Self::new_in_registry(capacity, &Registry::new())
+    }
+
+    /// Like [`Self::new`], but the `staging.*` metrics are registered
+    /// in `registry` (with its scope labels) so the buffer's push/pop
+    /// counters and occupancy gauge show up in live telemetry.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new_in_registry(capacity: u64, registry: &Registry) -> Self {
         assert!(capacity > 0, "staging buffer needs capacity");
         Self {
             inner: Arc::new(Inner {
@@ -68,11 +108,10 @@ impl StagingBuffer {
                     used: 0,
                     closed: false,
                     max_used: 0,
-                    total_pushed: 0,
-                    total_popped: 0,
                     producers: 0,
                     lost: 0,
                 }),
+                metrics: Metrics::new(registry),
                 space: Condvar::new(),
                 data: Condvar::new(),
             }),
@@ -122,7 +161,8 @@ impl StagingBuffer {
         }
         st.used += size;
         st.max_used = st.max_used.max(st.used);
-        st.total_pushed += 1;
+        self.inner.metrics.pushed.inc();
+        self.inner.metrics.used_bytes.set(st.used);
         st.queue.push_back((id, data));
         drop(st);
         self.inner.data.notify_one();
@@ -186,7 +226,8 @@ impl StagingBuffer {
         loop {
             if let Some((id, data)) = st.queue.pop_front() {
                 st.used -= data.len() as u64;
-                st.total_popped += 1;
+                self.inner.metrics.popped.inc();
+                self.inner.metrics.used_bytes.set(st.used);
                 drop(st);
                 self.inner.space.notify_all();
                 return Ok(Some((id, data)));
@@ -227,8 +268,8 @@ impl StagingBuffer {
     pub fn stats(&self) -> StagingStats {
         let st = self.inner.state.lock();
         StagingStats {
-            pushed: st.total_pushed,
-            popped: st.total_popped,
+            pushed: self.inner.metrics.pushed.get() - self.inner.metrics.base_pushed,
+            popped: self.inner.metrics.popped.get() - self.inner.metrics.base_popped,
             max_used_bytes: st.max_used,
         }
     }

@@ -24,11 +24,12 @@ use crate::backend::{BackendError, MemoryBackend, StorageBackend, ThrottledBacke
 use crate::metadata::MetadataStore;
 use crate::SampleId;
 use bytes::Bytes;
+use nopfs_obs::{names, Counter, Histogram, Registry};
 use nopfs_util::timing::TimeScale;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Errors a [`DataSource`] read or write can produce.
 ///
@@ -316,17 +317,76 @@ impl TierStats {
     }
 }
 
-#[derive(Debug, Default)]
+/// Per-tier counters, registered as `tier.*` metrics (labelled
+/// `tier=<name>`) in the stack's obs registry — [`TierStats`] is the
+/// typed view over them.
+///
+/// The registry is cumulative: a stack rebuilt against the same
+/// registry (an elastic worker restarting cold after a crash) reuses
+/// the existing counters. Each `Counters` therefore snapshots a
+/// baseline at construction and the stats view reports deltas, so a
+/// stack's [`TierStats`] covers exactly its own lifetime while
+/// telemetry sees running totals.
+#[derive(Debug)]
 struct Counters {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    bytes_read: AtomicU64,
-    fills: AtomicU64,
-    bytes_filled: AtomicU64,
-    promotions: AtomicU64,
-    demotions: AtomicU64,
-    evictions: AtomicU64,
-    bytes_evicted: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    bytes_read: Counter,
+    fills: Counter,
+    bytes_filled: Counter,
+    promotions: Counter,
+    demotions: Counter,
+    evictions: Counter,
+    bytes_evicted: Counter,
+    /// Per-read service latency (ns), recorded on hits.
+    read_latency: Histogram,
+    /// Registry values at construction, subtracted from stats views.
+    base: [u64; 9],
+}
+
+impl Counters {
+    fn new(registry: &Registry, tier_name: &str) -> Self {
+        let labels = [("tier", tier_name)];
+        let mut c = Self {
+            hits: registry.counter_with(names::TIER_HITS, &labels),
+            misses: registry.counter_with(names::TIER_MISSES, &labels),
+            bytes_read: registry.counter_with(names::TIER_BYTES_READ, &labels),
+            fills: registry.counter_with(names::TIER_FILLS, &labels),
+            bytes_filled: registry.counter_with(names::TIER_BYTES_FILLED, &labels),
+            promotions: registry.counter_with(names::TIER_PROMOTIONS, &labels),
+            demotions: registry.counter_with(names::TIER_DEMOTIONS, &labels),
+            evictions: registry.counter_with(names::TIER_EVICTIONS, &labels),
+            bytes_evicted: registry.counter_with(names::TIER_BYTES_EVICTED, &labels),
+            read_latency: registry.histogram_with(names::TIER_READ_LATENCY, &labels),
+            base: [0; 9],
+        };
+        c.base = c.totals();
+        c
+    }
+
+    /// Raw cumulative registry values, in [`Self::base`] field order.
+    fn totals(&self) -> [u64; 9] {
+        [
+            self.hits.get(),
+            self.misses.get(),
+            self.bytes_read.get(),
+            self.fills.get(),
+            self.bytes_filled.get(),
+            self.promotions.get(),
+            self.demotions.get(),
+            self.evictions.get(),
+            self.bytes_evicted.get(),
+        ]
+    }
+
+    /// Values since this stack was built (registry minus baseline).
+    fn since_build(&self) -> [u64; 9] {
+        let mut t = self.totals();
+        for (v, b) in t.iter_mut().zip(&self.base) {
+            *v -= b;
+        }
+        t
+    }
 }
 
 /// What [`TierStack::read`] does when a sample is found below the top
@@ -384,6 +444,22 @@ impl TierStack {
     /// Panics on an empty source list or more than 254 cache tiers
     /// (the catalog stores tier indices as `u8`).
     pub fn new(sources: Vec<Arc<dyn DataSource>>, promote: PromotePolicy) -> Self {
+        Self::new_in_registry(sources, promote, &Registry::new())
+    }
+
+    /// Like [`Self::new`], but the per-tier counters are registered in
+    /// `registry` (with whatever scope labels it carries) instead of a
+    /// fresh private one — the path by which a tenant's tier statistics
+    /// surface in the cluster's live telemetry.
+    ///
+    /// # Panics
+    /// Panics on an empty source list or more than 254 cache tiers
+    /// (the catalog stores tier indices as `u8`).
+    pub fn new_in_registry(
+        sources: Vec<Arc<dyn DataSource>>,
+        promote: PromotePolicy,
+        registry: &Registry,
+    ) -> Self {
         assert!(!sources.is_empty(), "a tier stack needs an origin");
         assert!(
             sources.len() - 1 < usize::from(u8::MAX),
@@ -393,10 +469,13 @@ impl TierStack {
             inner: Arc::new(StackInner {
                 tiers: sources
                     .into_iter()
-                    .map(|source| TierSlot {
-                        source,
-                        counters: Counters::default(),
-                        promoted: Mutex::new(VecDeque::new()),
+                    .map(|source| {
+                        let counters = Counters::new(registry, source.name());
+                        TierSlot {
+                            source,
+                            counters,
+                            promoted: Mutex::new(VecDeque::new()),
+                        }
                     })
                     .collect(),
                 catalog: MetadataStore::new(),
@@ -410,6 +489,11 @@ impl TierStack {
     /// to the origin (how flat, PFS-only loaders join the tiered API).
     pub fn origin_only(origin: Arc<dyn DataSource>) -> Self {
         Self::new(vec![origin], PromotePolicy::Never)
+    }
+
+    /// [`Self::origin_only`] with counters registered in `registry`.
+    pub fn origin_only_in_registry(origin: Arc<dyn DataSource>, registry: &Registry) -> Self {
+        Self::new_in_registry(vec![origin], PromotePolicy::Never, registry)
     }
 
     /// Number of tiers including the origin.
@@ -487,7 +571,7 @@ impl TierStack {
         let data = self.read_tier(origin, id)?;
         for (j, slot) in self.inner.tiers[..origin].iter().enumerate() {
             if stale != Some(j) {
-                slot.counters.misses.fetch_add(1, Ordering::Relaxed);
+                slot.counters.misses.inc();
             }
         }
         self.promote(origin, id, &data);
@@ -501,17 +585,20 @@ impl TierStack {
     /// [`SourceError::NotFound`] when the tier does not hold the sample.
     pub fn read_tier(&self, tier: usize, id: SampleId) -> Result<Bytes, SourceError> {
         let slot = &self.inner.tiers[tier];
+        // Only pay for the clock when a histogram is listening.
+        let t0 = slot.counters.read_latency.is_active().then(Instant::now);
         match slot.source.read(id) {
             Ok(data) => {
-                slot.counters.hits.fetch_add(1, Ordering::Relaxed);
-                slot.counters
-                    .bytes_read
-                    .fetch_add(data.len() as u64, Ordering::Relaxed);
+                if let Some(t0) = t0 {
+                    slot.counters.read_latency.record_duration(t0.elapsed());
+                }
+                slot.counters.hits.inc();
+                slot.counters.bytes_read.add(data.len() as u64);
                 Ok(data)
             }
             Err(e) => {
                 if matches!(e, SourceError::NotFound(_)) {
-                    slot.counters.misses.fetch_add(1, Ordering::Relaxed);
+                    slot.counters.misses.inc();
                 }
                 Err(e)
             }
@@ -536,13 +623,11 @@ impl TierStack {
         for r in &results {
             match r {
                 Ok(data) => {
-                    slot.counters.hits.fetch_add(1, Ordering::Relaxed);
-                    slot.counters
-                        .bytes_read
-                        .fetch_add(data.len() as u64, Ordering::Relaxed);
+                    slot.counters.hits.inc();
+                    slot.counters.bytes_read.add(data.len() as u64);
                 }
                 Err(SourceError::NotFound(_)) => {
-                    slot.counters.misses.fetch_add(1, Ordering::Relaxed);
+                    slot.counters.misses.inc();
                 }
                 Err(_) => {}
             }
@@ -586,10 +671,8 @@ impl TierStack {
         let size = data.len() as u64;
         let slot = &self.inner.tiers[tier];
         slot.source.write(id, data)?;
-        slot.counters.fills.fetch_add(1, Ordering::Relaxed);
-        slot.counters
-            .bytes_filled
-            .fetch_add(size, Ordering::Relaxed);
+        slot.counters.fills.inc();
+        slot.counters.bytes_filled.add(size);
         self.catalog(id, tier, size);
         Ok(())
     }
@@ -604,10 +687,8 @@ impl TierStack {
             .or_else(|| self.inner.sizes.read().get(&id).copied())
             .unwrap_or(0);
         if slot.source.evict(id) {
-            slot.counters.evictions.fetch_add(1, Ordering::Relaxed);
-            slot.counters
-                .bytes_evicted
-                .fetch_add(size, Ordering::Relaxed);
+            slot.counters.evictions.inc();
+            slot.counters.bytes_evicted.add(size);
             slot.promoted.lock().retain(|&k| k != id);
             self.uncatalog_from(id, tier);
             true
@@ -619,18 +700,19 @@ impl TierStack {
     /// Statistics snapshot for tier `tier`.
     pub fn stats(&self, tier: usize) -> TierStats {
         let slot = &self.inner.tiers[tier];
-        let c = &slot.counters;
+        let [hits, misses, bytes_read, fills, bytes_filled, promotions, demotions, evictions, bytes_evicted] =
+            slot.counters.since_build();
         TierStats {
             name: slot.source.name().to_string(),
-            hits: c.hits.load(Ordering::Relaxed),
-            misses: c.misses.load(Ordering::Relaxed),
-            bytes_read: c.bytes_read.load(Ordering::Relaxed),
-            fills: c.fills.load(Ordering::Relaxed),
-            bytes_filled: c.bytes_filled.load(Ordering::Relaxed),
-            promotions: c.promotions.load(Ordering::Relaxed),
-            demotions: c.demotions.load(Ordering::Relaxed),
-            evictions: c.evictions.load(Ordering::Relaxed),
-            bytes_evicted: c.bytes_evicted.load(Ordering::Relaxed),
+            hits,
+            misses,
+            bytes_read,
+            fills,
+            bytes_filled,
+            promotions,
+            demotions,
+            evictions,
+            bytes_evicted,
             capacity: slot.source.capacity(),
             used: slot.source.used(),
         }
@@ -651,7 +733,7 @@ impl TierStack {
 
     fn count_misses_above(&self, tier: usize) {
         for slot in &self.inner.tiers[..tier] {
-            slot.counters.misses.fetch_add(1, Ordering::Relaxed);
+            slot.counters.misses.inc();
         }
     }
 
@@ -694,11 +776,9 @@ impl TierStack {
                 continue;
             }
             if slot.source.write(id, data.clone()).is_ok() {
-                slot.counters.fills.fetch_add(1, Ordering::Relaxed);
-                slot.counters
-                    .bytes_filled
-                    .fetch_add(size, Ordering::Relaxed);
-                slot.counters.promotions.fetch_add(1, Ordering::Relaxed);
+                slot.counters.fills.inc();
+                slot.counters.bytes_filled.add(size);
+                slot.counters.promotions.inc();
                 if evictable {
                     slot.promoted.lock().push_back(id);
                 }
@@ -707,11 +787,8 @@ impl TierStack {
                 if from < self.origin_index() {
                     let lower = &self.inner.tiers[from];
                     if lower.source.evict(id) {
-                        lower.counters.evictions.fetch_add(1, Ordering::Relaxed);
-                        lower
-                            .counters
-                            .bytes_evicted
-                            .fetch_add(size, Ordering::Relaxed);
+                        lower.counters.evictions.inc();
+                        lower.counters.bytes_evicted.add(size);
                         lower.promoted.lock().retain(|&k| k != id);
                     }
                 }
@@ -757,10 +834,8 @@ impl TierStack {
             // tier-manager's demotion traffic would).
             let vdata = slot.source.read(victim).ok();
             if slot.source.evict(victim) {
-                slot.counters.evictions.fetch_add(1, Ordering::Relaxed);
-                slot.counters
-                    .bytes_evicted
-                    .fetch_add(vsize, Ordering::Relaxed);
+                slot.counters.evictions.inc();
+                slot.counters.bytes_evicted.add(vsize);
                 self.uncatalog_from(victim, tier);
                 if let Some(data) = vdata {
                     self.demote(tier + 1, victim, data);
@@ -780,11 +855,9 @@ impl TierStack {
                 continue;
             }
             if slot.source.write(id, data.clone()).is_ok() {
-                slot.counters.fills.fetch_add(1, Ordering::Relaxed);
-                slot.counters
-                    .bytes_filled
-                    .fetch_add(size, Ordering::Relaxed);
-                slot.counters.demotions.fetch_add(1, Ordering::Relaxed);
+                slot.counters.fills.inc();
+                slot.counters.bytes_filled.add(size);
+                slot.counters.demotions.inc();
                 // Demoted entries stay evictable read-path residents.
                 slot.promoted.lock().push_back(id);
                 self.catalog(id, tier, size);
@@ -847,9 +920,20 @@ pub fn build_stack(
     origin: Arc<dyn DataSource>,
     promote: PromotePolicy,
 ) -> TierStack {
+    build_stack_in_registry(specs, scale, origin, promote, &Registry::new())
+}
+
+/// [`build_stack`] with the per-tier counters registered in `registry`.
+pub fn build_stack_in_registry(
+    specs: &[TierSpec],
+    scale: TimeScale,
+    origin: Arc<dyn DataSource>,
+    promote: PromotePolicy,
+    registry: &Registry,
+) -> TierStack {
     let mut sources: Vec<Arc<dyn DataSource>> = specs.iter().map(|s| s.build(scale)).collect();
     sources.push(origin);
-    TierStack::new(sources, promote)
+    TierStack::new_in_registry(sources, promote, registry)
 }
 
 #[cfg(test)]

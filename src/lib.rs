@@ -37,6 +37,7 @@ pub use nopfs_cluster as cluster;
 pub use nopfs_core as core;
 pub use nopfs_datasets as datasets;
 pub use nopfs_net as net;
+pub use nopfs_obs as obs;
 pub use nopfs_perfmodel as perfmodel;
 pub use nopfs_pfs as pfs;
 pub use nopfs_policy as policy;
