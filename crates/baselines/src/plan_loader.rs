@@ -264,6 +264,26 @@ impl PlanCtx {
         }
     }
 
+    /// Vectored [`Self::pfs_read`]: the whole group goes down to the
+    /// origin as one batched read (one reader registration, coalesced
+    /// adjacent ranges); transient per-sample failures fall back to the
+    /// patient single-read loop. Bytes come back in input order.
+    fn pfs_read_many(&self, ks: &[SampleId]) -> Vec<Bytes> {
+        self.tiers
+            .read_origin_many(ks)
+            .into_iter()
+            .zip(ks)
+            .map(|(r, &k)| match r {
+                Ok(d) => d,
+                Err(SourceError::NotFound(_)) => panic!("sample {k} missing from the PFS"),
+                Err(_) => {
+                    self.stats.count_pfs_error();
+                    self.pfs_read(k)
+                }
+            })
+            .collect()
+    }
+
     /// Serves one access from the source the core decides, with PFS
     /// fallback when a cache or peer does not actually hold the sample
     /// (store-full inserts, epoch races).
@@ -366,18 +386,30 @@ impl PlanLoader {
 
         let mut threads = Vec::new();
 
-        // The prestage thread: bulk-load this worker's plan, then
-        // barrier so no rank trains before the cluster's caches are
-        // staged (the simulator's non-overlapped prestage phase).
+        // The prestage thread: bulk-load this worker's plan in vectored
+        // chunks (the prestage list is placement-ordered, so adjacent
+        // ids coalesce well at the origin), then barrier so no rank
+        // trains before the cluster's caches are staged (the
+        // simulator's non-overlapped prestage phase).
         {
+            const PRESTAGE_BATCH: usize = 16;
             let ctx = Arc::clone(&ctx);
             threads.push(std::thread::spawn(move || {
-                for (k, c) in ctx.core.prestage_list(ctx.rank) {
+                for chunk in ctx.core.prestage_list(ctx.rank).chunks(PRESTAGE_BATCH) {
                     if ctx.stop.load(Ordering::Relaxed) {
                         break; // peers still get the barrier below
                     }
-                    if ctx.tiers.locate(k).is_none() {
-                        let data = ctx.pfs_read(k);
+                    let missing: Vec<(SampleId, u8)> = chunk
+                        .iter()
+                        .copied()
+                        .filter(|&(k, _)| ctx.tiers.locate(k).is_none())
+                        .collect();
+                    if missing.is_empty() {
+                        continue;
+                    }
+                    let ids: Vec<SampleId> = missing.iter().map(|&(k, _)| k).collect();
+                    let datas = ctx.pfs_read_many(&ids);
+                    for ((k, c), data) in missing.into_iter().zip(datas) {
                         if ctx.tiers.fill(c as usize, k, data).is_ok() {
                             ctx.stats.count_prestage();
                         } else {

@@ -1,0 +1,231 @@
+//! Hot-path reader scaling: aggregate `TierStack::read` throughput as
+//! reader threads grow.
+//!
+//! The sharded fetch path exists for exactly one reason: at production
+//! worker counts the binding constraint is per-core read throughput,
+//! and a fetch path that funnels every sample through one global
+//! critical section stays flat no matter how many readers arrive. This
+//! bench measures that directly. A hot RAM tier (every sample cached,
+//! nothing ever falls to the origin) serves readers whose per-request
+//! cost is a modelled device service time — wall-clock latency that
+//! *overlaps* across outstanding requests, like real device queue
+//! depth. Two variants sweep 1→64 reader threads:
+//!
+//! - **sharded** — today's [`TierStack::read`]: the catalog, backend
+//!   store, and promotion bookkeeping are all sharded, so concurrent
+//!   readers of different samples take different locks and their
+//!   service times overlap;
+//! - **coarse** — the pre-sharding reference: one global fetch lock
+//!   held across the whole read (the serialization a single coarse
+//!   critical section imposes — effectively device queue depth 1), so
+//!   added readers only queue.
+//!
+//! Every read self-checks byte identity against the id-derived
+//! pattern. Emits `BENCH_fig_hotpath.json` (the perf-trajectory
+//! artifact). Knobs: `NOPFS_HOTPATH_MAX_THREADS`,
+//! `NOPFS_HOTPATH_READS` (per thread per point),
+//! `NOPFS_HOTPATH_SERVICE_US`.
+
+use bytes::Bytes;
+use nopfs_bench::env_u64;
+use nopfs_bench::report::{self, Json};
+use nopfs_storage::{
+    DataSource, MemoryBackend, PromotePolicy, SampleId, SourceError, SourceHealth, TierStack,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A source with a modelled per-request service time: each read pays
+/// `service` of wall-clock latency before the bytes come back. The
+/// wait happens in the calling thread with no lock held, so — like a
+/// real device with queue depth — concurrent requests overlap.
+struct Paced {
+    inner: Arc<dyn DataSource>,
+    service: Duration,
+}
+
+impl DataSource for Paced {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn read(&self, id: SampleId) -> Result<Bytes, SourceError> {
+        std::thread::sleep(self.service);
+        self.inner.read(id)
+    }
+
+    fn write(&self, id: SampleId, data: Bytes) -> Result<(), SourceError> {
+        self.inner.write(id, data)
+    }
+
+    fn contains(&self, id: SampleId) -> bool {
+        self.inner.contains(id)
+    }
+
+    fn capacity(&self) -> Option<u64> {
+        self.inner.capacity()
+    }
+
+    fn used(&self) -> u64 {
+        self.inner.used()
+    }
+
+    fn evict(&self, id: SampleId) -> bool {
+        self.inner.evict(id)
+    }
+
+    fn count(&self) -> usize {
+        self.inner.count()
+    }
+
+    fn size_of(&self, id: SampleId) -> Option<u64> {
+        self.inner.size_of(id)
+    }
+
+    fn health(&self) -> SourceHealth {
+        self.inner.health()
+    }
+}
+
+/// The id-derived sample pattern every read verifies against.
+fn sample_bytes(id: SampleId, size: usize) -> Bytes {
+    Bytes::from(vec![(id % 251) as u8; size])
+}
+
+/// A hot stack: `n` samples of `size` bytes filled (pinned) into a
+/// paced RAM tier over an unpaced origin that also holds everything —
+/// reads must never leave tier 0.
+fn hot_stack(n: u64, size: usize, service: Duration) -> TierStack {
+    let ram: Arc<dyn DataSource> = Arc::new(Paced {
+        inner: Arc::new(MemoryBackend::new("ram", u64::MAX)),
+        service,
+    });
+    let origin = MemoryBackend::new("pfs", u64::MAX);
+    for id in 0..n {
+        DataSource::write(&origin, id, sample_bytes(id, size)).expect("origin preload");
+    }
+    let stack = TierStack::new(vec![ram, Arc::new(origin)], PromotePolicy::IfFits);
+    for id in 0..n {
+        stack.fill(0, id, sample_bytes(id, size)).expect("fill ram");
+    }
+    stack
+}
+
+/// Runs `threads` readers, each performing `reads` shard-spreading
+/// reads through `read_one`, and returns aggregate samples/second.
+/// Every read is byte-checked.
+fn sweep_point<F>(threads: usize, reads: u64, n: u64, size: usize, read_one: F) -> f64
+where
+    F: Fn(SampleId) -> Bytes + Sync,
+{
+    let read_one = &read_one;
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads as u64 {
+            s.spawn(move || {
+                for i in 0..reads {
+                    // Stride by a large odd constant so concurrent
+                    // threads touch different samples (different
+                    // shards), like independent reader streams.
+                    let id = (t * reads + i).wrapping_mul(2_654_435_761) % n;
+                    let data = read_one(id);
+                    assert_eq!(
+                        data,
+                        sample_bytes(id, size),
+                        "byte identity broken for sample {id}"
+                    );
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    (threads as u64 * reads) as f64 / wall
+}
+
+fn main() {
+    let max_threads = env_u64("NOPFS_HOTPATH_MAX_THREADS", 64) as usize;
+    let reads = env_u64("NOPFS_HOTPATH_READS", 40);
+    let service = Duration::from_micros(env_u64("NOPFS_HOTPATH_SERVICE_US", 1_000));
+    let n = 1024u64;
+    let size = 4096usize;
+
+    report::banner(
+        "Hot path (reader scaling)",
+        "aggregate TierStack::read throughput, sharded vs coarse-lock, hot RAM tier",
+    );
+    report::config_line(&format!(
+        "{n} samples x {size} B, service {:?}/read, {reads} reads/thread/point",
+        service
+    ));
+
+    let sharded = hot_stack(n, size, service);
+    let coarse = hot_stack(n, size, service);
+    let coarse_lock = Mutex::new(());
+
+    let threads: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64]
+        .into_iter()
+        .filter(|&t| t <= max_threads)
+        .collect();
+
+    println!(
+        "{:>8} {:>14} {:>14} {:>12} {:>12}",
+        "threads", "sharded s/s", "coarse s/s", "sharded x", "coarse x"
+    );
+    let mut series = Vec::new();
+    let mut sharded_base = 0.0f64;
+    let mut coarse_base = 0.0f64;
+    let mut speedup_at_16 = None;
+    for &t in &threads {
+        let sharded_sps = sweep_point(t, reads, n, size, |id| sharded.read(id).expect("hot read"));
+        let coarse_sps = sweep_point(t, reads, n, size, |id| {
+            let _g = coarse_lock.lock();
+            coarse.read(id).expect("hot read")
+        });
+        if t == 1 {
+            sharded_base = sharded_sps;
+            coarse_base = coarse_sps;
+        }
+        let sharded_x = sharded_sps / sharded_base;
+        let coarse_x = coarse_sps / coarse_base;
+        if t == 16 {
+            speedup_at_16 = Some(sharded_x);
+        }
+        println!(
+            "{t:>8} {sharded_sps:>14.0} {coarse_sps:>14.0} {sharded_x:>11.2}x {coarse_x:>11.2}x"
+        );
+        series.push(Json::obj([
+            ("threads", Json::from(t as u64)),
+            ("sharded_samples_per_sec", Json::Num(sharded_sps)),
+            ("coarse_samples_per_sec", Json::Num(coarse_sps)),
+            ("sharded_speedup", Json::Num(sharded_x)),
+            ("coarse_speedup", Json::Num(coarse_x)),
+            ("sharded_per_thread", Json::Num(sharded_sps / t as f64)),
+        ]));
+    }
+
+    // Nothing may ever have left the hot tier: zero origin reads, and
+    // the paced tier's hit count equals the total read count.
+    let stats = sharded.all_stats();
+    assert_eq!(stats.last().expect("origin stats").hits, 0, "origin read");
+
+    let doc = Json::obj([
+        ("figure", Json::from("fig_hotpath")),
+        ("samples", Json::from(n)),
+        ("sample_bytes", Json::from(size as u64)),
+        ("service_us", Json::from(service.as_micros() as u64)),
+        ("reads_per_thread", Json::from(reads)),
+        ("series", Json::Arr(series)),
+    ]);
+    report::write_json("BENCH_fig_hotpath.json", &doc).expect("write JSON report");
+
+    // The acceptance gate: >=4x aggregate throughput at 16 readers on
+    // the sharded path (the coarse reference stays near-flat).
+    if let Some(x) = speedup_at_16 {
+        assert!(
+            x >= 4.0,
+            "sharded hot path only {x:.2}x at 16 threads (need >=4x)"
+        );
+        println!("\n    [PASS] sharded hot path {x:.2}x at 16 threads (>=4x required)");
+    }
+}

@@ -58,6 +58,17 @@ pub(crate) struct Shared {
     pub setup: SetupStats,
 }
 
+/// Samples per vectored class-prefetcher fill chunk: deep enough to
+/// coalesce adjacent origin ranges, shallow enough that progress (and
+/// the stop flag) is observed promptly.
+const FILL_BATCH: usize = 16;
+
+/// Stream positions a staging prefetcher claims per round. Each thread
+/// buffers at most this many fetched samples before staging them, so
+/// the claim size also bounds out-of-order memory beyond the stage's
+/// own capacity.
+const STAGE_BATCH: u64 = 8;
+
 /// Reads `id` from the hierarchy's origin with patient, bounded
 /// retries.
 ///
@@ -98,6 +109,38 @@ fn origin_read_retry(tiers: &TierStack, id: SampleId, stats: &StatsCollector) ->
     }
 }
 
+/// Vectored [`origin_read_retry`]: the whole group goes down to the
+/// origin as **one** [`TierStack::read_origin_many`] call (so a
+/// coalescing origin merges adjacent ids into fewer requests and the
+/// PFS counts the batch as one reader stream), then any id that failed
+/// transiently falls back to the patient single-read retry loop.
+/// Returns the bytes in input order.
+///
+/// # Panics
+/// Panics when an object is missing or still failing after the retry
+/// budget, exactly like [`origin_read_retry`].
+fn origin_read_many_retry(
+    tiers: &TierStack,
+    ids: &[SampleId],
+    stats: &StatsCollector,
+) -> Vec<Bytes> {
+    tiers
+        .read_origin_many(ids)
+        .into_iter()
+        .zip(ids)
+        .map(|(r, &id)| match r {
+            Ok(data) => data,
+            Err(SourceError::NotFound(_)) => {
+                panic!("sample {id} missing from the PFS: dataset not materialized?")
+            }
+            Err(_) => {
+                stats.count_pfs_error();
+                origin_read_retry(tiers, id, stats)
+            }
+        })
+        .collect()
+}
+
 struct WorkerCtx {
     rank: usize,
     shared: Arc<Shared>,
@@ -124,25 +167,72 @@ struct WorkerCtx {
 }
 
 impl WorkerCtx {
-    /// Picks a source and fetches one sample for the staging buffer.
-    fn fetch_for_staging(&self, k: SampleId) -> Bytes {
-        // Only pay for the clock when a tracer is listening.
+    /// Vectored staging fetch: per-sample source selection via
+    /// [`Self::staging_probe`], but every sample that resolves to
+    /// the origin is fetched in **one** batched
+    /// [`TierStack::read_origin_many`] round-trip instead of one origin
+    /// read (and one `t(γ)` reader registration) per sample. Bytes come
+    /// back in input order; statistics, self-healing fills, and trace
+    /// spans are per sample, unchanged.
+    fn fetch_many_for_staging(&self, ks: &[SampleId]) -> Vec<Bytes> {
         let t0 = self.obs.tracer.is_active().then(Instant::now);
-        let (data, served) = self.fetch_for_staging_inner(k);
-        if let Some(t0) = t0 {
-            self.obs.tracer.complete(
-                names::EV_FETCH,
-                "worker",
-                t0,
-                vec![("sample", k.into()), ("served", served.into())],
-            );
+        // Phase 1: pick a source per sample; local and remote samples
+        // are served immediately, origin-destined ones are queued.
+        let mut served: Vec<Option<(Bytes, &'static str)>> = Vec::with_capacity(ks.len());
+        let mut needs_fill = Vec::with_capacity(ks.len());
+        let mut origin_pos: Vec<usize> = Vec::new();
+        for (i, &k) in ks.iter().enumerate() {
+            let (s, nf) = self.staging_probe(k);
+            if s.is_none() {
+                origin_pos.push(i);
+            }
+            served.push(s);
+            needs_fill.push(nf);
         }
-        data
+        // Phase 2: one vectored origin read for everything that needs it.
+        if !origin_pos.is_empty() {
+            let ids: Vec<SampleId> = origin_pos.iter().map(|&i| ks[i]).collect();
+            let datas = origin_read_many_retry(&self.tiers, &ids, &self.stats);
+            for (&i, data) in origin_pos.iter().zip(datas) {
+                served[i] = Some((data, "pfs"));
+            }
+        }
+        // Phase 3: self-healing fills and trace spans, in input order.
+        ks.iter()
+            .zip(served.into_iter().zip(needs_fill))
+            .map(|(&k, (s, nf))| {
+                let (data, who) = s.expect("every staged sample is fetched");
+                if nf {
+                    self.self_healing_fill(k, &data);
+                }
+                if let Some(t0) = t0 {
+                    self.obs.tracer.complete(
+                        names::EV_FETCH,
+                        "worker",
+                        t0,
+                        vec![("sample", k.into()), ("served", who.into())],
+                    );
+                }
+                data
+            })
+            .collect()
     }
 
-    /// The fetch itself; returns the bytes and which source served them
-    /// (`local`/`remote`/`pfs`, the trace span's `served` arg).
-    fn fetch_for_staging_inner(&self, k: SampleId) -> (Bytes, &'static str) {
+    /// Self-healing fill: if this sample is assigned to one of our
+    /// tiers but the class prefetcher has not cached it yet, the
+    /// staging fetch doubles as the (pinned) fill.
+    fn self_healing_fill(&self, k: SampleId, data: &Bytes) {
+        if let Some(c) = self.shared.placement.assignment(self.rank).class_of(k) {
+            let _ = self.tiers.fill(c as usize, k, data.clone());
+        }
+    }
+
+    /// Phase 1 of a staging fetch: the source decision, plus the bytes
+    /// when a local tier or a remote peer can serve them. `None` means
+    /// the origin must supply the bytes (already counted as a PFS
+    /// fetch); the `bool` is whether the self-healing fill applies
+    /// (the sample was not cataloged locally when the fetch started).
+    fn staging_probe(&self, k: SampleId) -> (Option<(Bytes, &'static str)>, bool) {
         let sys = &self.shared.config.system;
         let size = self.shared.sizes[k as usize];
 
@@ -188,19 +278,18 @@ impl WorkerCtx {
             origin_ok,
         );
 
-        let (data, served) = match choice {
+        let served = match choice {
             Location::Local(_) => match self.tiers.get_cached(k) {
                 Some(d) => {
                     self.stats.count_local();
-                    (d, "local")
+                    Some((d, "local"))
                 }
                 // Catalog raced an eviction (not expected under NoPFS's
                 // no-eviction placement, but recoverable): `get_cached`
-                // repaired the stale entry, so the self-healing fill
-                // below can re-cache; go to the PFS for the bytes.
+                // repaired the stale entry; go to the PFS for the bytes.
                 None => {
                     self.stats.count_pfs();
-                    (origin_read_retry(&self.tiers, k, &self.stats), "pfs")
+                    None
                 }
             },
             Location::Remote(_) => {
@@ -208,33 +297,24 @@ impl WorkerCtx {
                 match self.request_remote(owner, k) {
                     Some(d) => {
                         self.stats.count_remote();
-                        (d, "remote")
+                        Some((d, "remote"))
                     }
                     None => {
                         // Heuristic false positive: the holder had not
                         // prefetched the sample yet. Not an error.
                         self.stats.count_false_positive();
                         self.stats.count_pfs();
-                        (origin_read_retry(&self.tiers, k, &self.stats), "pfs")
+                        None
                     }
                 }
             }
             Location::Pfs => {
                 self.stats.count_pfs();
-                (origin_read_retry(&self.tiers, k, &self.stats), "pfs")
+                None
             }
             Location::Staging => unreachable!("staging is never a fetch candidate"),
         };
-
-        // Self-healing fill: if this sample is assigned to one of our
-        // tiers but the class prefetcher has not cached it yet, the
-        // staging fetch doubles as the (pinned) fill.
-        if local_tier.is_none() {
-            if let Some(c) = self.shared.placement.assignment(self.rank).class_of(k) {
-                let _ = self.tiers.fill(c as usize, k, data.clone());
-            }
-        }
-        (data, served)
+        (served, local_tier.is_none())
     }
 
     fn request_remote(&self, owner: usize, k: SampleId) -> Option<Bytes> {
@@ -360,48 +440,69 @@ impl WorkerHandle {
         let mut threads = Vec::new();
 
         // Class prefetchers: one thread per cache tier, draining the
-        // assignment in first-access order.
+        // assignment in first-access order. Fills go down to the origin
+        // in vectored chunks so a coalescing PFS merges adjacent ids
+        // into fewer requests; progress advances per completed chunk
+        // (conservative: the remote heuristic only sees finished work).
         for class in 0..ctx.tiers.cache_tiers() {
             let ctx = Arc::clone(&ctx);
             threads.push(std::thread::spawn(move || {
                 let assignment = ctx.shared.placement.assignment(ctx.rank);
-                for (idx, &k) in assignment.prefetch_order(class).iter().enumerate() {
+                let order = assignment.prefetch_order(class);
+                let mut done = 0u64;
+                for chunk in order.chunks(FILL_BATCH) {
                     if ctx.stop.load(Ordering::Relaxed) {
                         break;
                     }
-                    if ctx.tiers.locate(k).is_none() {
-                        let data = origin_read_retry(&ctx.tiers, k, &ctx.stats);
-                        let _ = ctx.tiers.fill(class, k, data);
+                    let missing: Vec<SampleId> = chunk
+                        .iter()
+                        .copied()
+                        .filter(|&k| ctx.tiers.locate(k).is_none())
+                        .collect();
+                    if !missing.is_empty() {
+                        let datas = origin_read_many_retry(&ctx.tiers, &missing, &ctx.stats);
+                        for (k, data) in missing.into_iter().zip(datas) {
+                            let _ = ctx.tiers.fill(class, k, data);
+                        }
                     }
-                    ctx.progress[class].store(idx as u64 + 1, Ordering::Relaxed);
+                    done += chunk.len() as u64;
+                    ctx.progress[class].store(done, Ordering::Relaxed);
                 }
             }));
         }
 
-        // Staging prefetchers: p0 threads claiming stream positions.
+        // Staging prefetchers: p0 threads each claiming a run of stream
+        // positions per round, fetching the run through the vectored
+        // staging path. Pushing a claimed run in ascending order keeps
+        // the stage deadlock-free: the thread holding the globally next
+        // position always pushes it first, and the stage always admits
+        // the head position.
         let position = Arc::new(AtomicU64::new(0));
         for _ in 0..sys.staging.threads.max(1) {
             let ctx = Arc::clone(&ctx);
             let stream = Arc::clone(&stream);
             let position = Arc::clone(&position);
-            threads.push(std::thread::spawn(move || loop {
+            threads.push(std::thread::spawn(move || 'rounds: loop {
                 if ctx.stop.load(Ordering::Relaxed) {
                     break;
                 }
-                let pos = position.fetch_add(1, Ordering::SeqCst);
-                if pos >= stream.len() as u64 {
+                let base = position.fetch_add(STAGE_BATCH, Ordering::SeqCst);
+                if base >= stream.len() as u64 {
                     break;
                 }
-                let k = stream[pos as usize];
-                let data = ctx.fetch_for_staging(k);
-                // Preprocess-and-store: the model's write_i(k). Each of
-                // the p0 threads pays it independently, so the aggregate
-                // preprocessing rate scales with the thread count, as in
-                // the performance model.
-                let wt = ctx.shared.config.system.write_time(data.len() as u64);
-                ctx.shared.config.scale.wait(wt);
-                if !ctx.stage.push(pos, k, data) {
-                    break; // stage closed
+                let end = (base + STAGE_BATCH).min(stream.len() as u64);
+                let ks = &stream[base as usize..end as usize];
+                let datas = ctx.fetch_many_for_staging(ks);
+                for (off, (&k, data)) in ks.iter().zip(datas).enumerate() {
+                    // Preprocess-and-store: the model's write_i(k). Each
+                    // of the p0 threads pays it independently, so the
+                    // aggregate preprocessing rate scales with the
+                    // thread count, as in the performance model.
+                    let wt = ctx.shared.config.system.write_time(data.len() as u64);
+                    ctx.shared.config.scale.wait(wt);
+                    if !ctx.stage.push(base + off as u64, k, data) {
+                        break 'rounds; // stage closed
+                    }
                 }
             }));
         }

@@ -18,12 +18,13 @@
 use bytes::Bytes;
 use nopfs_obs::{names, Counter, Registry};
 use nopfs_perfmodel::ThroughputCurve;
+use nopfs_storage::ShardedMap;
 use nopfs_util::rate::TokenBucket;
 use nopfs_util::timing::TimeScale;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Object key: the dense sample id used across the workspace.
@@ -49,13 +50,17 @@ impl std::fmt::Display for PfsError {
 
 impl std::error::Error for PfsError {}
 
-/// Where object payloads live.
+/// Where object payloads live. Both variants keep their id-keyed maps
+/// sharded ([`ShardedMap`]) so concurrent readers of different objects
+/// never contend on one lock word — the PFS regulator models the
+/// *device's* `t(γ)` contention; the client data structures should add
+/// none of their own.
 enum Store {
-    Memory(RwLock<HashMap<ObjectId, Bytes>>),
+    Memory(ShardedMap<Bytes>),
     Disk {
         dir: PathBuf,
         /// Sizes are kept in memory so metadata queries don't touch disk.
-        sizes: RwLock<HashMap<ObjectId, u64>>,
+        sizes: ShardedMap<u64>,
     },
 }
 
@@ -139,13 +144,17 @@ struct PfsInner {
     stored_bytes: AtomicU64,
     /// Injected faults: id → remaining failures to serve.
     faults: Mutex<HashMap<ObjectId, u32>>,
+    /// Fast path: whether any fault was ever injected. Production reads
+    /// check this relaxed flag and skip the `faults` mutex entirely —
+    /// otherwise every read on every thread would serialize on it.
+    has_faults: AtomicBool,
 }
 
 impl Pfs {
     /// An in-memory PFS paced by `curve` (model bytes/s as a function of
     /// reader count) under `scale`.
     pub fn in_memory(curve: ThroughputCurve, scale: TimeScale) -> Self {
-        Self::build(Store::Memory(RwLock::new(HashMap::new())), curve, scale)
+        Self::build(Store::Memory(ShardedMap::new()), curve, scale)
     }
 
     /// Like [`Self::in_memory`], but the `pfs.*` traffic counters are
@@ -155,12 +164,7 @@ impl Pfs {
         scale: TimeScale,
         registry: &Registry,
     ) -> Self {
-        Self::build_in_registry(
-            Store::Memory(RwLock::new(HashMap::new())),
-            curve,
-            scale,
-            registry,
-        )
+        Self::build_in_registry(Store::Memory(ShardedMap::new()), curve, scale, registry)
     }
 
     /// A disk-backed PFS storing objects as files under `dir`
@@ -174,7 +178,7 @@ impl Pfs {
         Self::build(
             Store::Disk {
                 dir,
-                sizes: RwLock::new(HashMap::new()),
+                sizes: ShardedMap::new(),
             },
             curve,
             scale,
@@ -202,6 +206,7 @@ impl Pfs {
                 stats: Stats::new(registry),
                 stored_bytes: AtomicU64::new(0),
                 faults: Mutex::new(HashMap::new()),
+                has_faults: AtomicBool::new(false),
             }),
             base: 0,
         }
@@ -255,16 +260,13 @@ impl Pfs {
         self.inner.stats.writes.inc();
         self.inner.stats.bytes_written.add(size);
         let replaced = match &self.inner.store {
-            Store::Memory(map) => map
-                .write()
-                .insert(id, data)
-                .map_or(0, |old| old.len() as u64),
+            Store::Memory(map) => map.insert(id, data).map_or(0, |old| old.len() as u64),
             Store::Disk { dir, sizes } => {
                 let path = Self::object_path(dir, id);
                 std::fs::create_dir_all(path.parent().expect("object path has a parent"))
                     .expect("failed to create PFS fan-out directory");
                 std::fs::write(&path, &data).expect("failed to write PFS object");
-                sizes.write().insert(id, size).unwrap_or(0)
+                sizes.insert(id, size).unwrap_or(0)
             }
         };
         self.inner.stored_bytes.fetch_add(size, Ordering::Relaxed);
@@ -278,9 +280,9 @@ impl Pfs {
     pub fn remove(&self, id: ObjectId) -> bool {
         let id = self.global_id(id);
         let removed = match &self.inner.store {
-            Store::Memory(map) => map.write().remove(&id).map(|b| b.len() as u64),
+            Store::Memory(map) => map.remove(id).map(|b| b.len() as u64),
             Store::Disk { dir, sizes } => {
-                let size = sizes.write().remove(&id);
+                let size = sizes.remove(id);
                 if size.is_some() {
                     std::fs::remove_file(Self::object_path(dir, id)).ok();
                 }
@@ -305,8 +307,8 @@ impl Pfs {
     pub fn size_of(&self, id: ObjectId) -> Option<u64> {
         let id = self.global_id(id);
         match &self.inner.store {
-            Store::Memory(map) => map.read().get(&id).map(|b| b.len() as u64),
-            Store::Disk { sizes, .. } => sizes.read().get(&id).copied(),
+            Store::Memory(map) => map.with(id, |b| b.len() as u64),
+            Store::Disk { sizes, .. } => sizes.get(id),
         }
     }
 
@@ -318,8 +320,8 @@ impl Pfs {
     /// Number of stored objects, across every namespace.
     pub fn len(&self) -> usize {
         match &self.inner.store {
-            Store::Memory(map) => map.read().len(),
-            Store::Disk { sizes, .. } => sizes.read().len(),
+            Store::Memory(map) => map.len(),
+            Store::Disk { sizes, .. } => sizes.len(),
         }
     }
 
@@ -328,46 +330,80 @@ impl Pfs {
         self.len() == 0
     }
 
-    /// Reads an object, paying the contention-modelled cost: the caller
-    /// joins the reader set, the shared regulator's aggregate rate is
-    /// set to `t(γ)` for the live reader count `γ`, and the read is
-    /// paced through it.
-    pub fn read(&self, id: ObjectId) -> Result<Bytes, PfsError> {
-        // Errors carry the caller's (namespace-local) id; the store is
-        // addressed by the offset global id.
+    /// Injected-fault check for one read attempt. Fires before any
+    /// pacing, like a failed RPC. The relaxed `has_faults` flag keeps
+    /// fault-free production reads off the fault table's mutex.
+    fn check_fault(&self, id: ObjectId) -> Result<(), PfsError> {
+        if !self.inner.has_faults.load(Ordering::Relaxed) {
+            return Ok(());
+        }
         let gid = self.global_id(id);
-        // Injected faults fire before any pacing, like a failed RPC.
         if let Some(remaining) = self.inner.faults.lock().get_mut(&gid) {
             if *remaining > 0 {
                 *remaining -= 1;
                 return Err(PfsError::Io(format!("injected fault for object {id}")));
             }
         }
+        Ok(())
+    }
 
-        let guard = ReaderGuard::enter(&self.inner);
-        let data = match &self.inner.store {
-            Store::Memory(map) => map
-                .read()
-                .get(&gid)
-                .cloned()
-                .ok_or(PfsError::NotFound(id))?,
+    /// Fetches an object's bytes from the store, unpaced. Errors carry
+    /// the caller's (namespace-local) id; the store is addressed by the
+    /// offset global id.
+    fn load(&self, id: ObjectId) -> Result<Bytes, PfsError> {
+        let gid = self.global_id(id);
+        match &self.inner.store {
+            Store::Memory(map) => map.get(gid).ok_or(PfsError::NotFound(id)),
             Store::Disk { dir, .. } => {
                 let path = Self::object_path(dir, gid);
                 match std::fs::read(&path) {
-                    Ok(v) => Bytes::from(v),
+                    Ok(v) => Ok(Bytes::from(v)),
                     Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                        return Err(PfsError::NotFound(id))
+                        Err(PfsError::NotFound(id))
                     }
-                    Err(e) => return Err(PfsError::Io(e.to_string())),
+                    Err(e) => Err(PfsError::Io(e.to_string())),
                 }
             }
-        };
+        }
+    }
+
+    /// Reads an object, paying the contention-modelled cost: the caller
+    /// joins the reader set, the shared regulator's aggregate rate is
+    /// set to `t(γ)` for the live reader count `γ`, and the read is
+    /// paced through it.
+    pub fn read(&self, id: ObjectId) -> Result<Bytes, PfsError> {
+        self.check_fault(id)?;
+        let guard = ReaderGuard::enter(&self.inner);
+        let data = self.load(id)?;
         // Pace the transfer at the current per-reader share.
         self.inner.regulator.acquire(data.len() as u64);
         drop(guard);
         self.inner.stats.reads.inc();
         self.inner.stats.bytes_read.add(data.len() as u64);
         Ok(data)
+    }
+
+    /// Vectored read: one result per id, in order, with **one** reader
+    /// registration for the whole batch. A real PFS client contributes
+    /// one stream to `t(γ)` no matter how many objects it drains down
+    /// it, so a batch raises `γ` once instead of once per object —
+    /// per-object regulator pacing, fault checks, and statistics are
+    /// unchanged from [`Self::read`].
+    pub fn read_many(&self, ids: &[ObjectId]) -> Vec<Result<Bytes, PfsError>> {
+        let guard = ReaderGuard::enter(&self.inner);
+        let results: Vec<Result<Bytes, PfsError>> = ids
+            .iter()
+            .map(|&id| {
+                self.check_fault(id)?;
+                let data = self.load(id)?;
+                self.inner.regulator.acquire(data.len() as u64);
+                self.inner.stats.reads.inc();
+                self.inner.stats.bytes_read.add(data.len() as u64);
+                Ok(data)
+            })
+            .collect();
+        drop(guard);
+        results
     }
 
     /// Current number of in-flight readers (`γ`).
@@ -384,6 +420,7 @@ impl Pfs {
     /// (failure-injection hook for tests).
     pub fn inject_fault(&self, id: ObjectId, times: u32) {
         self.inner.faults.lock().insert(self.global_id(id), times);
+        self.inner.has_faults.store(true, Ordering::Relaxed);
     }
 
     /// Cumulative traffic statistics (shared across every namespace).
@@ -401,16 +438,29 @@ impl Pfs {
 /// authoritative origin every [`nopfs_storage::TierStack`] bottoms out
 /// in. Reads pace through the shared `t(γ)` regulator like any other
 /// PFS read, so tier traffic and direct traffic contend identically.
+impl From<PfsError> for nopfs_storage::SourceError {
+    fn from(e: PfsError) -> Self {
+        match e {
+            PfsError::NotFound(id) => nopfs_storage::SourceError::NotFound(id),
+            PfsError::Io(msg) => nopfs_storage::SourceError::Io(msg),
+        }
+    }
+}
+
 impl nopfs_storage::DataSource for Pfs {
     fn name(&self) -> &str {
         "pfs"
     }
 
     fn read(&self, id: ObjectId) -> Result<Bytes, nopfs_storage::SourceError> {
-        Pfs::read(self, id).map_err(|e| match e {
-            PfsError::NotFound(id) => nopfs_storage::SourceError::NotFound(id),
-            PfsError::Io(msg) => nopfs_storage::SourceError::Io(msg),
-        })
+        Pfs::read(self, id).map_err(Into::into)
+    }
+
+    fn read_many(&self, ids: &[ObjectId]) -> Vec<Result<Bytes, nopfs_storage::SourceError>> {
+        Pfs::read_many(self, ids)
+            .into_iter()
+            .map(|r| r.map_err(Into::into))
+            .collect()
     }
 
     fn write(&self, id: ObjectId, data: Bytes) -> Result<(), nopfs_storage::SourceError> {
@@ -586,6 +636,47 @@ mod tests {
         assert!(matches!(pfs.read(5), Err(PfsError::Io(_))));
         assert!(matches!(pfs.read(5), Err(PfsError::Io(_))));
         assert_eq!(pfs.read(5).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn read_many_matches_per_object_reads() {
+        let pfs = Pfs::in_memory(fast_curve(), TimeScale::realtime());
+        for id in 0..6u64 {
+            pfs.put(id, Bytes::from(vec![id as u8; 10 + id as usize]));
+        }
+        pfs.inject_fault(4, 1);
+        let res = pfs.read_many(&[0, 3, 99, 4, 5]);
+        assert_eq!(res[0].as_ref().unwrap(), &Bytes::from(vec![0u8; 10]));
+        assert_eq!(res[1].as_ref().unwrap().len(), 13);
+        assert_eq!(res[2], Err(PfsError::NotFound(99)));
+        assert!(matches!(res[3], Err(PfsError::Io(_))), "fault honored");
+        assert!(res[4].is_ok());
+        // Per-object statistics: 3 successes counted, like single reads.
+        assert_eq!(pfs.stats().reads, 3);
+        assert_eq!(pfs.stats().bytes_read, 10 + 13 + 15);
+        // The injected fault was consumed by the batch.
+        assert!(pfs.read(4).is_ok());
+        assert_eq!(pfs.reader_count(), 0, "batch guard released");
+    }
+
+    #[test]
+    fn read_many_registers_one_reader_for_the_batch() {
+        // A slow batch holds γ = 1 for its whole duration — the batch
+        // is one client stream, not one per object.
+        let pfs = Pfs::in_memory(ThroughputCurve::flat(2.0e6), TimeScale::realtime());
+        for id in 0..4u64 {
+            pfs.put(id, Bytes::from(vec![0u8; 100_000]));
+        }
+        let p2 = pfs.clone();
+        let h = std::thread::spawn(move || p2.read_many(&[0, 1, 2, 3]));
+        let mut max_gamma = 0;
+        for _ in 0..200 {
+            max_gamma = max_gamma.max(pfs.reader_count());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let res = h.join().unwrap();
+        assert!(res.iter().all(|r| r.is_ok()));
+        assert_eq!(max_gamma, 1, "batch counted as one reader, saw {max_gamma}");
     }
 
     #[test]

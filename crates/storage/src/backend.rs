@@ -10,15 +10,27 @@
 //! stand in for any device with `r_j(p)`/`w_j(p)` curves — how the
 //! runtime experiments model SSD tiers without SSD hardware.
 
+use crate::shard::ShardedMap;
 use crate::SampleId;
 use bytes::Bytes;
 use nopfs_util::rate::TokenBucket;
 use nopfs_util::timing::TimeScale;
-use parking_lot::RwLock;
-use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Reserves `size - existing` bytes of `capacity` in `used` with a CAS
+/// loop. Callers hold the id's shard write lock, which pins `existing`
+/// (same-id writers need the same shard lock); other shards' traffic
+/// just makes the CAS retry. Returns the free-space count on failure.
+fn reserve_bytes(used: &AtomicU64, capacity: u64, existing: u64, size: u64) -> Result<(), u64> {
+    used.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |u| {
+        let new_used = u - existing + size;
+        (new_used <= capacity).then_some(new_used)
+    })
+    .map(|_| ())
+    .map_err(|u| capacity.saturating_sub(u - existing))
+}
 
 /// Backend errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,11 +93,16 @@ pub trait StorageBackend: Send + Sync {
 }
 
 /// An in-memory backend (models RAM classes).
+///
+/// The id→bytes store is an N-way [`ShardedMap`], so concurrent readers
+/// of different samples take different locks, and capacity accounting
+/// is a CAS on a relaxed atomic rather than a global critical section —
+/// the fetch hot path never serializes on one lock word.
 pub struct MemoryBackend {
     name: String,
     capacity: u64,
     used: AtomicU64,
-    map: RwLock<HashMap<SampleId, Bytes>>,
+    map: ShardedMap<Bytes>,
 }
 
 impl MemoryBackend {
@@ -95,7 +112,7 @@ impl MemoryBackend {
             name: name.into(),
             capacity,
             used: AtomicU64::new(0),
-            map: RwLock::new(HashMap::new()),
+            map: ShardedMap::new(),
         }
     }
 }
@@ -115,32 +132,29 @@ impl StorageBackend for MemoryBackend {
 
     fn insert(&self, id: SampleId, data: Bytes) -> Result<(), BackendError> {
         let size = data.len() as u64;
-        let mut map = self.map.write();
-        let used = self.used.load(Ordering::Relaxed);
-        let existing = map.get(&id).map_or(0, |b| b.len() as u64);
-        let new_used = used - existing + size;
-        if new_used > self.capacity {
-            return Err(BackendError::Full {
+        let mut shard = self.map.shard(id).write();
+        let existing = shard.get(&id).map_or(0, |b| b.len() as u64);
+        reserve_bytes(&self.used, self.capacity, existing, size).map_err(|available| {
+            BackendError::Full {
                 needed: size,
-                available: self.capacity.saturating_sub(used - existing),
-            });
-        }
-        map.insert(id, data);
-        self.used.store(new_used, Ordering::Relaxed);
+                available,
+            }
+        })?;
+        shard.insert(id, data);
         Ok(())
     }
 
     fn get(&self, id: SampleId) -> Option<Bytes> {
-        self.map.read().get(&id).cloned()
+        self.map.get(id)
     }
 
     fn contains(&self, id: SampleId) -> bool {
-        self.map.read().contains_key(&id)
+        self.map.contains(id)
     }
 
     fn evict(&self, id: SampleId) -> bool {
-        let mut map = self.map.write();
-        if let Some(b) = map.remove(&id) {
+        let mut shard = self.map.shard(id).write();
+        if let Some(b) = shard.remove(&id) {
             self.used.fetch_sub(b.len() as u64, Ordering::Relaxed);
             true
         } else {
@@ -149,11 +163,11 @@ impl StorageBackend for MemoryBackend {
     }
 
     fn count(&self) -> usize {
-        self.map.read().len()
+        self.map.len()
     }
 
     fn size_of(&self, id: SampleId) -> Option<u64> {
-        self.map.read().get(&id).map(|b| b.len() as u64)
+        self.map.with(id, |b| b.len() as u64)
     }
 }
 
@@ -166,8 +180,9 @@ pub struct FsBackend {
     capacity: u64,
     dir: PathBuf,
     used: AtomicU64,
-    /// Present ids and sizes (avoids stat calls).
-    index: RwLock<HashMap<SampleId, u64>>,
+    /// Present ids and sizes (avoids stat calls), sharded so lookups on
+    /// different samples never contend.
+    index: ShardedMap<u64>,
 }
 
 impl FsBackend {
@@ -183,7 +198,7 @@ impl FsBackend {
             capacity,
             dir,
             used: AtomicU64::new(0),
-            index: RwLock::new(HashMap::new()),
+            index: ShardedMap::new(),
         }
     }
 
@@ -207,36 +222,43 @@ impl StorageBackend for FsBackend {
 
     fn insert(&self, id: SampleId, data: Bytes) -> Result<(), BackendError> {
         let size = data.len() as u64;
-        let mut index = self.index.write();
-        let existing = index.get(&id).copied().unwrap_or(0);
-        let used = self.used.load(Ordering::Relaxed);
-        let new_used = used - existing + size;
-        if new_used > self.capacity {
-            return Err(BackendError::Full {
+        let mut shard = self.index.shard(id).write();
+        let existing = shard.get(&id).copied().unwrap_or(0);
+        reserve_bytes(&self.used, self.capacity, existing, size).map_err(|available| {
+            BackendError::Full {
                 needed: size,
-                available: self.capacity.saturating_sub(used - existing),
-            });
+                available,
+            }
+        })?;
+        if let Err(e) = std::fs::write(self.path(id), &data) {
+            // Roll back the reservation: the file never landed. An
+            // overwrite by a smaller sample shrank `used`, so the
+            // rollback direction depends on the delta's sign.
+            if size >= existing {
+                self.used.fetch_sub(size - existing, Ordering::Relaxed);
+            } else {
+                self.used.fetch_add(existing - size, Ordering::Relaxed);
+            }
+            return Err(BackendError::Io(e.to_string()));
         }
-        std::fs::write(self.path(id), &data).map_err(|e| BackendError::Io(e.to_string()))?;
-        index.insert(id, size);
-        self.used.store(new_used, Ordering::Relaxed);
+        shard.insert(id, size);
         Ok(())
     }
 
     fn get(&self, id: SampleId) -> Option<Bytes> {
-        if !self.index.read().contains_key(&id) {
+        if !self.index.contains(id) {
             return None;
         }
         std::fs::read(self.path(id)).ok().map(Bytes::from)
     }
 
     fn contains(&self, id: SampleId) -> bool {
-        self.index.read().contains_key(&id)
+        self.index.contains(id)
     }
 
     fn evict(&self, id: SampleId) -> bool {
-        let mut index = self.index.write();
-        if let Some(size) = index.remove(&id) {
+        let mut shard = self.index.shard(id).write();
+        if let Some(size) = shard.remove(&id) {
             self.used.fetch_sub(size, Ordering::Relaxed);
             std::fs::remove_file(self.path(id)).ok();
             true
@@ -246,11 +268,11 @@ impl StorageBackend for FsBackend {
     }
 
     fn count(&self) -> usize {
-        self.index.read().len()
+        self.index.len()
     }
 
     fn size_of(&self, id: SampleId) -> Option<u64> {
-        self.index.read().get(&id).copied()
+        self.index.get(id)
     }
 }
 

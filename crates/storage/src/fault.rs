@@ -339,6 +339,22 @@ impl DataSource for RetryingSource {
         Err(last.expect("loop ran at least once"))
     }
 
+    /// Vectored read: one batched pass through the inner source's
+    /// [`DataSource::read_many`] (so a coalescing origin keeps its
+    /// batching), then each retryable straggler is re-driven through
+    /// the single-read retry path with its full backoff schedule.
+    /// Permanent errors are returned in place, unretried.
+    fn read_many(&self, ids: &[SampleId]) -> Vec<Result<Bytes, SourceError>> {
+        let mut results = self.inner.read_many(ids);
+        for (r, &id) in results.iter_mut().zip(ids) {
+            if matches!(r, Err(e) if e.is_retryable()) {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                *r = self.read(id);
+            }
+        }
+        results
+    }
+
     fn write(&self, id: SampleId, data: Bytes) -> Result<(), SourceError> {
         self.inner.write(id, data)
     }
@@ -673,6 +689,34 @@ mod tests {
                         .read(id)
                         .unwrap_or_else(|e| panic!("seed {seed} round {round}: {e}"));
                     assert_eq!(data[0], id as u8);
+                }
+            }
+            assert_eq!(retry.exhausted(), 0);
+        }
+    }
+
+    #[test]
+    fn read_many_retries_stragglers_and_keeps_permanent_errors() {
+        // Transient injection below the retry budget: every present id
+        // comes back clean from one vectored call; the absent id stays
+        // NotFound without burning retries.
+        for seed in 0..10u64 {
+            let faulty = Arc::new(FaultySource::new(
+                mem_with(&[0, 1, 2, 3]),
+                ErrorInjection::new(0.45, 2, seed),
+            ));
+            let retry = RetryingSource::new(faulty, fast_policy(4));
+            for round in 0..30 {
+                let res = retry.read_many(&[0, 1, 9, 2, 3]);
+                for (i, &id) in [0u64, 1, 9, 2, 3].iter().enumerate() {
+                    if id == 9 {
+                        assert_eq!(res[i], Err(SourceError::NotFound(9)));
+                    } else {
+                        let data = res[i]
+                            .as_ref()
+                            .unwrap_or_else(|e| panic!("seed {seed} round {round} id {id}: {e}"));
+                        assert_eq!(data[0], id as u8);
+                    }
                 }
             }
             assert_eq!(retry.exhausted(), 0);

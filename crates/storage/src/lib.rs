@@ -27,6 +27,9 @@
 //!   economics (latency floor, parallelism-dependent throughput,
 //!   coalescing) with seeded disturbances (spikes, throttles,
 //!   brownouts).
+//! - [`shard`] — [`shard::ShardedMap`], the N-way sharded concurrent
+//!   map behind every structure the fetch hot path touches, so readers
+//!   of different samples never contend on one lock word.
 //! - [`resilience`] — the full failure domain over any source:
 //!   [`resilience::ResilientSource`] composes per-read deadlines,
 //!   hedged requests, taxonomy-aware retry, and a circuit breaker,
@@ -39,6 +42,7 @@ pub mod metadata;
 pub mod objectstore;
 pub mod reorder;
 pub mod resilience;
+pub mod shard;
 pub mod staging;
 pub mod tier;
 
@@ -53,6 +57,7 @@ pub use resilience::{
     BreakerConfig, BreakerState, CircuitBreaker, HedgeConfig, ResilienceConfig, ResilienceStats,
     ResilientSource,
 };
+pub use shard::{ShardedMap, DEFAULT_SHARDS};
 pub use staging::{ProducerGuard, ProducerLost, StagingBuffer, StagingStats};
 pub use tier::{
     build_stack, build_stack_in_registry, DataSource, ErrorClass, PromotePolicy, SourceError,

@@ -8,14 +8,17 @@
 //! and queried by its staging prefetchers and the remote-serving
 //! thread, so it must be thread-safe.
 
+use crate::shard::ShardedMap;
 use crate::SampleId;
-use parking_lot::RwLock;
-use std::collections::HashMap;
 
 /// Thread-safe catalog of locally cached samples.
+///
+/// Backed by a [`ShardedMap`] so catalog lookups on the fetch hot path
+/// (every `TierStack::read` starts with one) don't contend on a single
+/// lock word across reader threads.
 #[derive(Debug, Default)]
 pub struct MetadataStore {
-    map: RwLock<HashMap<SampleId, u8>>,
+    map: ShardedMap<u8>,
 }
 
 impl MetadataStore {
@@ -24,24 +27,45 @@ impl MetadataStore {
         Self::default()
     }
 
-    /// Records that `id` is cached in storage class `class`.
-    pub fn mark_cached(&self, id: SampleId, class: u8) {
-        self.map.write().insert(id, class);
+    /// Records that `id` is cached in storage class `class`, returning
+    /// the class a previous entry pointed at (so the caller can retire
+    /// the superseded resident copy instead of orphaning it).
+    pub fn mark_cached(&self, id: SampleId, class: u8) -> Option<u8> {
+        self.map.insert(id, class)
+    }
+
+    /// Claims the catalog entry for `id` at `class` unless a *faster*
+    /// class already holds it (atomic check-and-set under the entry's
+    /// shard lock — the placement arbiter for racing promotions).
+    ///
+    /// Returns `Ok(prev)` when the claim won (`prev` is the displaced
+    /// slower entry, which the caller must retire) and `Err(faster)`
+    /// when a strictly faster copy is already cataloged (the caller
+    /// must withdraw its own copy).
+    ///
+    /// # Errors
+    /// `Err(existing)` when `existing < class`.
+    pub fn claim_fastest(&self, id: SampleId, class: u8) -> Result<Option<u8>, u8> {
+        let mut shard = self.map.shard(id).write();
+        match shard.get(&id) {
+            Some(&existing) if existing < class => Err(existing),
+            _ => Ok(shard.insert(id, class)),
+        }
     }
 
     /// The class caching `id`, if any.
     pub fn lookup(&self, id: SampleId) -> Option<u8> {
-        self.map.read().get(&id).copied()
+        self.map.get(id)
     }
 
     /// Whether `id` is cached locally.
     pub fn is_cached(&self, id: SampleId) -> bool {
-        self.map.read().contains_key(&id)
+        self.map.contains(id)
     }
 
     /// Removes `id` from the catalog (eviction), returning its class.
     pub fn remove(&self, id: SampleId) -> Option<u8> {
-        self.map.write().remove(&id)
+        self.map.remove(id)
     }
 
     /// Removes `id` only if it is currently cataloged in `class`
@@ -49,23 +73,18 @@ impl MetadataStore {
     /// that may have been re-cataloged concurrently). Returns whether
     /// the entry was removed.
     pub fn remove_if(&self, id: SampleId, class: u8) -> bool {
-        let mut map = self.map.write();
-        if map.get(&id) == Some(&class) {
-            map.remove(&id);
-            true
-        } else {
-            false
-        }
+        self.map.remove_if(id, &class)
     }
 
     /// Number of cached samples.
     pub fn cached_count(&self) -> usize {
-        self.map.read().len()
+        self.map.len()
     }
 
     /// Number cached in a specific class.
     pub fn cached_in_class(&self, class: u8) -> usize {
-        self.map.read().values().filter(|&&c| c == class).count()
+        self.map
+            .fold(0, |acc, _, &c| if c == class { acc + 1 } else { acc })
     }
 }
 

@@ -1,0 +1,239 @@
+//! N-way sharded concurrent maps for the fetch hot path.
+//!
+//! The paper's premise is that I/O, not compute, bounds training — yet
+//! a fetch path that funnels every sample through one global lock
+//! serializes readers on exactly the path NoPFS optimizes. At
+//! production worker counts the binding constraint is per-core read
+//! throughput (arxiv 2108.06322), so every map a read touches — the
+//! backend's id→bytes store, the catalog, the size table — is sharded
+//! here: sample ids hash onto `N` independent `RwLock<HashMap>` shards,
+//! concurrent readers of different samples take different locks, and
+//! the shared cache line a single lock word would bounce between cores
+//! disappears. Capacity accounting moves to relaxed atomics with a CAS
+//! reservation loop run while holding only the entry's shard lock, so
+//! not even the byte budget is a global section.
+//!
+//! Shard count defaults to [`DEFAULT_SHARDS`] (a power of two so the
+//! id→shard map is a multiply-and-mask, not a division). Dense sample
+//! ids are bit-mixed before masking so striding access patterns spread
+//! across shards instead of resonating with one.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Default shard count. 16 shards keep worst-case lock convoys to
+/// 1/16th of a global lock at negligible memory cost; the count is a
+/// constructor parameter for callers that know their concurrency.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Mixes a sample id into a shard index in `0..shards` (`shards` must
+/// be a power of two). Fibonacci multiplicative hashing: one multiply,
+/// one shift — cheap enough for a path that runs on every read.
+#[inline]
+fn shard_of(id: u64, mask: usize) -> usize {
+    // High bits of the golden-ratio product are well mixed even for
+    // dense/strided ids.
+    ((id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) as usize) & mask
+}
+
+/// An N-way sharded `HashMap<u64, V>`: the concurrent map behind every
+/// structure on the fetch hot path (backend stores, the cache catalog,
+/// size tables, promotion membership).
+///
+/// Reads and writes of different shards never contend; reads of the
+/// same shard share a `RwLock` read guard. All methods take `&self`.
+#[derive(Debug)]
+pub struct ShardedMap<V> {
+    shards: Vec<RwLock<HashMap<u64, V>>>,
+    mask: usize,
+}
+
+impl<V> Default for ShardedMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> ShardedMap<V> {
+    /// A map with [`DEFAULT_SHARDS`] shards.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A map with `shards` shards (rounded up to a power of two, min 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            mask: n - 1,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard lock holding `id`, for compound operations that must
+    /// hold the entry's lock across a check-then-act sequence (e.g.
+    /// capacity reservation: lock the shard, read the displaced entry's
+    /// size, CAS the byte budget, then insert).
+    #[inline]
+    pub fn shard(&self, id: u64) -> &RwLock<HashMap<u64, V>> {
+        &self.shards[shard_of(id, self.mask)]
+    }
+
+    /// Index of the shard holding `id` (in `0..shard_count()`), for
+    /// callers maintaining parallel per-shard structures (e.g. the
+    /// per-shard FIFO promotion queues beside a membership map).
+    #[inline]
+    pub fn index_of(&self, id: u64) -> usize {
+        shard_of(id, self.mask)
+    }
+
+    /// Inserts, returning the displaced value.
+    pub fn insert(&self, id: u64, value: V) -> Option<V> {
+        self.shard(id).write().insert(id, value)
+    }
+
+    /// Removes, returning the value if present.
+    pub fn remove(&self, id: u64) -> Option<V> {
+        self.shard(id).write().remove(&id)
+    }
+
+    /// Whether `id` is present.
+    pub fn contains(&self, id: u64) -> bool {
+        self.shard(id).read().contains_key(&id)
+    }
+
+    /// Total entries across all shards (takes each shard's read lock in
+    /// turn — a consistent-enough count for statistics, not a snapshot).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Applies `f` to the value under the entry's shard read lock.
+    pub fn with<R>(&self, id: u64, f: impl FnOnce(&V) -> R) -> Option<R> {
+        self.shard(id).read().get(&id).map(f)
+    }
+
+    /// Folds `f` over every entry, shard by shard (each shard's read
+    /// lock is held only for its own pass).
+    pub fn fold<A>(&self, init: A, mut f: impl FnMut(A, u64, &V) -> A) -> A {
+        let mut acc = init;
+        for shard in &self.shards {
+            for (k, v) in shard.read().iter() {
+                acc = f(acc, *k, v);
+            }
+        }
+        acc
+    }
+}
+
+impl<V: Clone> ShardedMap<V> {
+    /// Clones the value for `id` out of its shard.
+    pub fn get(&self, id: u64) -> Option<V> {
+        self.shard(id).read().get(&id).cloned()
+    }
+}
+
+impl<V: PartialEq> ShardedMap<V> {
+    /// Removes `id` only if its value equals `expected` (atomic
+    /// compare-and-remove under the shard lock). Returns whether the
+    /// entry was removed.
+    pub fn remove_if(&self, id: u64, expected: &V) -> bool {
+        let mut shard = self.shard(id).write();
+        if shard.get(&id) == Some(expected) {
+            shard.remove(&id);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedMap::<u8>::with_shards(0).shard_count(), 1);
+        assert_eq!(ShardedMap::<u8>::with_shards(1).shard_count(), 1);
+        assert_eq!(ShardedMap::<u8>::with_shards(5).shard_count(), 8);
+        assert_eq!(ShardedMap::<u8>::new().shard_count(), DEFAULT_SHARDS);
+    }
+
+    #[test]
+    fn basic_map_operations() {
+        let m = ShardedMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(1, "a"), None);
+        assert_eq!(m.insert(1, "b"), Some("a"));
+        m.insert(1_000_000, "far");
+        assert_eq!(m.get(1), Some("b"));
+        assert!(m.contains(1_000_000));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.with(1, |v| v.len()), Some(1));
+        assert_eq!(m.remove(1), Some("b"));
+        assert_eq!(m.remove(1), None);
+        assert!(!m.contains(1));
+    }
+
+    #[test]
+    fn remove_if_requires_matching_value() {
+        let m = ShardedMap::new();
+        m.insert(7, 3u8);
+        assert!(!m.remove_if(7, &4));
+        assert!(m.contains(7));
+        assert!(m.remove_if(7, &3));
+        assert!(!m.remove_if(7, &3));
+    }
+
+    #[test]
+    fn dense_ids_spread_across_shards() {
+        let m = ShardedMap::<u8>::with_shards(16);
+        let mut hit = vec![false; m.shard_count()];
+        for id in 0..64u64 {
+            hit[shard_of(id, m.mask)] = true;
+        }
+        let used = hit.iter().filter(|&&h| h).count();
+        assert!(used >= 8, "dense ids clumped into {used} of 16 shards");
+    }
+
+    #[test]
+    fn fold_visits_every_entry() {
+        let m = ShardedMap::new();
+        for id in 0..100u64 {
+            m.insert(id, id * 2);
+        }
+        let sum = m.fold(0u64, |acc, _, v| acc + v);
+        assert_eq!(sum, (0..100u64).map(|i| i * 2).sum());
+        assert_eq!(m.fold(0usize, |acc, _, _| acc + 1), 100);
+    }
+
+    #[test]
+    fn concurrent_writers_land_all_entries() {
+        let m = Arc::new(ShardedMap::new());
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        m.insert(t * 500 + i, t);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), 4_000);
+        for t in 0..8u64 {
+            assert_eq!(m.get(t * 500), Some(t));
+        }
+    }
+}

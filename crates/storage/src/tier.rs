@@ -22,12 +22,14 @@
 
 use crate::backend::{BackendError, MemoryBackend, StorageBackend, ThrottledBackend};
 use crate::metadata::MetadataStore;
+use crate::shard::ShardedMap;
 use crate::SampleId;
 use bytes::Bytes;
 use nopfs_obs::{names, Counter, Histogram, Registry};
 use nopfs_util::timing::TimeScale;
-use parking_lot::{Mutex, RwLock};
-use std::collections::{HashMap, VecDeque};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -407,12 +409,150 @@ pub enum PromotePolicy {
     Evicting,
 }
 
+/// Read-path promotions resident in a tier, FIFO by promotion order —
+/// the only entries [`PromotePolicy::Evicting`] may remove.
+///
+/// The old representation — one `Mutex<VecDeque>` scanned with
+/// `retain`/`contains` — made every eviction and every promotion an
+/// O(n) walk under a global lock, on the hot path. This one is
+/// epoch-stamped and sharded:
+///
+/// - **Membership** is a [`ShardedMap`] `id → (epoch, size)` — O(1)
+///   `contains`/`remove` with no queue scan, under only the id's shard
+///   lock.
+/// - **FIFO order** lives in per-shard queues of `(id, epoch)`. A
+///   removal (or re-promotion, which bumps the epoch) does not touch
+///   the queue; the stale entry is lazily skipped when it surfaces at a
+///   queue head, because its epoch no longer matches the membership
+///   map. [`Self::pop_oldest`] pops the minimum-epoch head across
+///   shards, so global FIFO order is exact, not approximate.
+/// - **Evictable bytes** is a running atomic, replacing the O(n)
+///   size-sum `make_room` used to do under the queue lock.
+#[derive(Debug, Default)]
+struct PromotedSet {
+    /// `id → (epoch, size)`: present iff the id is an evictable
+    /// read-path resident; the epoch names its live queue entry.
+    members: ShardedMap<(u64, u64)>,
+    /// Per-shard FIFO of `(id, epoch)`; entries whose epoch no longer
+    /// matches `members` are stale and skipped at pop.
+    queues: Vec<Mutex<VecDeque<(SampleId, u64)>>>,
+    /// Monotonic stamp source; higher epoch = promoted later.
+    epoch: AtomicU64,
+    /// Total bytes of live members.
+    bytes: AtomicU64,
+}
+
+impl PromotedSet {
+    fn new() -> Self {
+        let members = ShardedMap::new();
+        let queues = (0..members.shard_count())
+            .map(|_| Mutex::new(VecDeque::new()))
+            .collect();
+        Self {
+            members,
+            queues,
+            epoch: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether `id` is a live evictable resident. O(1).
+    fn contains(&self, id: SampleId) -> bool {
+        self.members.contains(id)
+    }
+
+    /// Total bytes of live members (the budget read-path eviction can
+    /// ever free). O(1).
+    fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Marks `id` as an evictable resident of `size` bytes, last in
+    /// FIFO order. Re-pushing bumps the epoch, which invalidates the
+    /// previous queue entry in place. O(1).
+    fn push(&self, id: SampleId, size: u64) {
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some((_, old_size)) = self.members.insert(id, (epoch, size)) {
+            self.bytes.fetch_sub(old_size, Ordering::Relaxed);
+        }
+        self.bytes.fetch_add(size, Ordering::Relaxed);
+        let mut q = self.queues[self.members.index_of(id)].lock();
+        // Opportunistically reap stale heads so a policy that never
+        // pops (IfFits) cannot grow the queue without bound.
+        while let Some(&(hid, hepoch)) = q.front() {
+            if self.live(hid, hepoch) {
+                break;
+            }
+            q.pop_front();
+        }
+        q.push_back((id, epoch));
+    }
+
+    /// Unmarks `id` (evicted or moved away). The queue entry is left
+    /// behind as stale — no scan. O(1).
+    fn remove(&self, id: SampleId) {
+        if let Some((_, size)) = self.members.remove(id) {
+            self.bytes.fetch_sub(size, Ordering::Relaxed);
+        }
+    }
+
+    fn live(&self, id: SampleId, epoch: u64) -> bool {
+        self.members.with(id, |&(e, _)| e == epoch).unwrap_or(false)
+    }
+
+    /// Claims and returns the oldest live member (exact global FIFO:
+    /// the minimum epoch across shard heads). `None` when no live
+    /// member remains.
+    fn pop_oldest(&self) -> Option<SampleId> {
+        loop {
+            // Pass 1: drop stale heads, note each shard's live head.
+            let mut best: Option<(usize, SampleId, u64)> = None;
+            for (qi, queue) in self.queues.iter().enumerate() {
+                let mut q = queue.lock();
+                while let Some(&(id, epoch)) = q.front() {
+                    if self.live(id, epoch) {
+                        if best.is_none_or(|(_, _, be)| epoch < be) {
+                            best = Some((qi, id, epoch));
+                        }
+                        break;
+                    }
+                    q.pop_front();
+                }
+            }
+            let (qi, id, epoch) = best?;
+            // Pass 2: re-take the winning shard's lock; a racing pop may
+            // have claimed the head in between, so verify before popping.
+            {
+                let mut q = self.queues[qi].lock();
+                match q.front() {
+                    Some(&(hid, hepoch)) if hid == id && hepoch == epoch => {
+                        q.pop_front();
+                    }
+                    _ => continue,
+                }
+            }
+            // Claim membership under the id's shard lock: only the
+            // matching epoch counts (a concurrent remove or re-push
+            // makes this pop stale, in which case rescan).
+            let mut shard = self.members.shard(id).write();
+            if let Some(&(e, size)) = shard.get(&id) {
+                if e == epoch {
+                    shard.remove(&id);
+                    drop(shard);
+                    self.bytes.fetch_sub(size, Ordering::Relaxed);
+                    return Some(id);
+                }
+            }
+        }
+    }
+}
+
 struct TierSlot {
     source: Arc<dyn DataSource>,
     counters: Counters,
     /// Read-path promotions resident in this tier, promotion order —
     /// the only entries [`PromotePolicy::Evicting`] may remove.
-    promoted: Mutex<VecDeque<SampleId>>,
+    promoted: PromotedSet,
 }
 
 struct StackInner {
@@ -421,7 +561,7 @@ struct StackInner {
     /// authoritative and not cataloged).
     catalog: MetadataStore,
     /// Sizes of cataloged samples, for eviction byte accounting.
-    sizes: RwLock<HashMap<SampleId, u64>>,
+    sizes: ShardedMap<u64>,
     promote: PromotePolicy,
 }
 
@@ -474,12 +614,12 @@ impl TierStack {
                         TierSlot {
                             source,
                             counters,
-                            promoted: Mutex::new(VecDeque::new()),
+                            promoted: PromotedSet::new(),
                         }
                     })
                     .collect(),
                 catalog: MetadataStore::new(),
-                sizes: RwLock::new(HashMap::new()),
+                sizes: ShardedMap::new(),
                 promote,
             }),
         }
@@ -578,6 +718,68 @@ impl TierStack {
         Ok(data)
     }
 
+    /// Vectored fetch: serves each id from the fastest tier holding it,
+    /// exactly like [`Self::read`], but groups the ids no cache tier
+    /// holds into **one** batched origin read. The batch is sorted by
+    /// id before it reaches [`DataSource::read_many`], so origins with
+    /// per-request overhead (object stores) coalesce adjacent ranges
+    /// into fewer requests; results come back one per input id, in
+    /// input order.
+    ///
+    /// Statistics, promotion, and stale-catalog repair are per id,
+    /// identical to `ids.iter().map(|&id| self.read(id))` — only the
+    /// origin round-trips differ.
+    pub fn read_many(&self, ids: &[SampleId]) -> Vec<Result<Bytes, SourceError>> {
+        let origin = self.origin_index();
+        let mut out: Vec<Option<Result<Bytes, SourceError>>> = ids.iter().map(|_| None).collect();
+        // Ids the cache tiers could not serve: (input position, id, the
+        // tier whose stale catalog hit already counted its own miss).
+        let mut to_origin: Vec<(usize, SampleId, Option<usize>)> = Vec::new();
+        for (pos, &id) in ids.iter().enumerate() {
+            let mut stale: Option<usize> = None;
+            if let Some(hit_tier) = self.locate(id) {
+                match self.read_tier(hit_tier, id) {
+                    Ok(data) => {
+                        self.count_misses_above(hit_tier);
+                        if hit_tier > 0 {
+                            self.promote(hit_tier, id, &data);
+                        }
+                        out[pos] = Some(Ok(data));
+                        continue;
+                    }
+                    Err(SourceError::NotFound(_)) => {
+                        self.uncatalog_from(id, hit_tier);
+                        stale = Some(hit_tier);
+                    }
+                    Err(e) => {
+                        out[pos] = Some(Err(e));
+                        continue;
+                    }
+                }
+            }
+            to_origin.push((pos, id, stale));
+        }
+        if !to_origin.is_empty() {
+            to_origin.sort_by_key(|&(_, id, _)| id);
+            let batch: Vec<SampleId> = to_origin.iter().map(|&(_, id, _)| id).collect();
+            let results = self.read_origin_many(&batch);
+            for ((pos, id, stale), r) in to_origin.into_iter().zip(results) {
+                if let Ok(data) = &r {
+                    for (j, slot) in self.inner.tiers[..origin].iter().enumerate() {
+                        if stale != Some(j) {
+                            slot.counters.misses.inc();
+                        }
+                    }
+                    self.promote(origin, id, data);
+                }
+                out[pos] = Some(r);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every id resolved"))
+            .collect()
+    }
+
     /// Reads `id` directly from tier `tier`, recording only that tier's
     /// hit or miss (no promotion, no fallback).
     ///
@@ -673,7 +875,16 @@ impl TierStack {
         slot.source.write(id, data)?;
         slot.counters.fills.inc();
         slot.counters.bytes_filled.add(size);
-        self.catalog(id, tier, size);
+        // A pinned fill always wins the catalog (the clairvoyant plan
+        // overrides read-path placement); retire any copy a racing
+        // promotion had cataloged elsewhere instead of orphaning it.
+        let prev = self.inner.catalog.mark_cached(id, tier as u8);
+        self.inner.sizes.insert(id, size);
+        if let Some(p) = prev {
+            if usize::from(p) != tier {
+                self.drop_copy(usize::from(p), id);
+            }
+        }
         Ok(())
     }
 
@@ -684,12 +895,12 @@ impl TierStack {
         let size = slot
             .source
             .size_of(id)
-            .or_else(|| self.inner.sizes.read().get(&id).copied())
+            .or_else(|| self.inner.sizes.get(id))
             .unwrap_or(0);
         if slot.source.evict(id) {
             slot.counters.evictions.inc();
             slot.counters.bytes_evicted.add(size);
-            slot.promoted.lock().retain(|&k| k != id);
+            slot.promoted.remove(id);
             self.uncatalog_from(id, tier);
             true
         } else {
@@ -737,9 +948,17 @@ impl TierStack {
         }
     }
 
-    fn catalog(&self, id: SampleId, tier: usize, size: u64) {
-        self.inner.catalog.mark_cached(id, tier as u8);
-        self.inner.sizes.write().insert(id, size);
+    /// Retires a superseded resident copy from a cache tier's backend,
+    /// promoted set, and eviction counters — *not* the catalog, which
+    /// already points at the surviving copy.
+    fn drop_copy(&self, tier: usize, id: SampleId) {
+        let slot = &self.inner.tiers[tier];
+        let size = slot.source.size_of(id).unwrap_or(0);
+        if slot.source.evict(id) {
+            slot.counters.evictions.inc();
+            slot.counters.bytes_evicted.add(size);
+            slot.promoted.remove(id);
+        }
     }
 
     /// Removes the catalog entry only if it still points at `tier` —
@@ -748,7 +967,7 @@ impl TierStack {
     /// copy (capacity spent, never served).
     fn uncatalog_from(&self, id: SampleId, tier: usize) {
         if self.inner.catalog.remove_if(id, tier as u8) {
-            self.inner.sizes.write().remove(&id);
+            self.inner.sizes.remove(id);
         }
     }
 
@@ -764,8 +983,7 @@ impl TierStack {
         }
         // Pinned fills never sit in a promoted queue; anything arriving
         // from the origin is by definition a read-path resident.
-        let evictable =
-            from == self.origin_index() || self.inner.tiers[from].promoted.lock().contains(&id);
+        let evictable = from == self.origin_index() || self.inner.tiers[from].promoted.contains(id);
         let size = data.len() as u64;
         for tier in 0..from.min(self.origin_index()) {
             let slot = &self.inner.tiers[tier];
@@ -776,23 +994,36 @@ impl TierStack {
                 continue;
             }
             if slot.source.write(id, data.clone()).is_ok() {
-                slot.counters.fills.inc();
-                slot.counters.bytes_filled.add(size);
-                slot.counters.promotions.inc();
-                if evictable {
-                    slot.promoted.lock().push_back(id);
-                }
-                // Move semantics between cache tiers: drop the slower
-                // copy so capacity is not spent twice.
-                if from < self.origin_index() {
-                    let lower = &self.inner.tiers[from];
-                    if lower.source.evict(id) {
-                        lower.counters.evictions.inc();
-                        lower.counters.bytes_evicted.add(size);
-                        lower.promoted.lock().retain(|&k| k != id);
+                // The catalog is the placement arbiter: racing
+                // promotions of the same sample may land copies in
+                // different tiers, and only the claim winner keeps
+                // its copy — the loser withdraws, so no resident
+                // bytes ever outlive their catalog entry.
+                match self.inner.catalog.claim_fastest(id, tier as u8) {
+                    Ok(prev) => {
+                        slot.counters.fills.inc();
+                        slot.counters.bytes_filled.add(size);
+                        slot.counters.promotions.inc();
+                        if evictable {
+                            slot.promoted.push(id, size);
+                        }
+                        self.inner.sizes.insert(id, size);
+                        // Move semantics: drop the slower copy (the
+                        // serving tier, or wherever a racing placement
+                        // had cataloged it) so capacity is not spent
+                        // twice.
+                        if let Some(p) = prev {
+                            if usize::from(p) != tier {
+                                self.drop_copy(usize::from(p), id);
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        // A strictly faster copy won the race; our
+                        // write never becomes visible — take it back.
+                        slot.source.evict(id);
                     }
                 }
-                self.catalog(id, tier, size);
                 return;
             }
         }
@@ -813,10 +1044,8 @@ impl TierStack {
         // If the pinned residents alone exceed the space the sample
         // needs, no amount of read-path eviction can make it fit —
         // bail out instead of flushing the tier's whole working set.
-        let evictable: u64 = {
-            let q = slot.promoted.lock();
-            q.iter().filter_map(|&k| slot.source.size_of(k)).sum()
-        };
+        // (`bytes()` is a running atomic, not an O(n) queue scan.)
+        let evictable = slot.promoted.bytes();
         if slot.source.used().saturating_sub(evictable) + size > cap {
             return;
         }
@@ -824,8 +1053,7 @@ impl TierStack {
             if slot.source.used() + size <= cap {
                 return;
             }
-            let victim = slot.promoted.lock().pop_front();
-            let Some(victim) = victim else {
+            let Some(victim) = slot.promoted.pop_oldest() else {
                 return;
             };
             let vsize = slot.source.size_of(victim).unwrap_or(0);
@@ -855,12 +1083,27 @@ impl TierStack {
                 continue;
             }
             if slot.source.write(id, data.clone()).is_ok() {
-                slot.counters.fills.inc();
-                slot.counters.bytes_filled.add(size);
-                slot.counters.demotions.inc();
-                // Demoted entries stay evictable read-path residents.
-                slot.promoted.lock().push_back(id);
-                self.catalog(id, tier, size);
+                match self.inner.catalog.claim_fastest(id, tier as u8) {
+                    Ok(prev) => {
+                        slot.counters.fills.inc();
+                        slot.counters.bytes_filled.add(size);
+                        slot.counters.demotions.inc();
+                        // Demoted entries stay evictable read-path
+                        // residents.
+                        slot.promoted.push(id, size);
+                        self.inner.sizes.insert(id, size);
+                        if let Some(p) = prev {
+                            if usize::from(p) != tier {
+                                self.drop_copy(usize::from(p), id);
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        // A racing read already re-promoted the victim
+                        // somewhere faster; withdraw the demoted copy.
+                        slot.source.evict(id);
+                    }
+                }
                 return;
             }
         }
@@ -1233,6 +1476,88 @@ mod tests {
         let s = stack.stats(0);
         assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(TierStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn promoted_set_is_exact_fifo_with_o1_removal() {
+        let p = PromotedSet::new();
+        for id in 0..8u64 {
+            p.push(id, 10);
+        }
+        assert_eq!(p.bytes(), 80);
+        assert!(p.contains(3));
+        // O(1) removal leaves a stale queue entry behind…
+        p.remove(0);
+        p.remove(2);
+        assert_eq!(p.bytes(), 60);
+        assert!(!p.contains(0));
+        // …which pop skips: global FIFO over the live members.
+        assert_eq!(p.pop_oldest(), Some(1));
+        // Re-pushing moves an id to the back of the FIFO.
+        p.push(3, 10);
+        assert_eq!(p.pop_oldest(), Some(4));
+        assert_eq!(p.pop_oldest(), Some(5));
+        assert_eq!(p.pop_oldest(), Some(6));
+        assert_eq!(p.pop_oldest(), Some(7));
+        assert_eq!(p.pop_oldest(), Some(3), "re-push lands last");
+        assert_eq!(p.pop_oldest(), None);
+        assert_eq!(p.bytes(), 0);
+    }
+
+    #[test]
+    fn read_many_matches_sequential_reads() {
+        // Two identical stacks; one read sample-by-sample, one vectored.
+        // Bytes, catalog placement, and every per-tier counter agree.
+        let build = || {
+            let stack = TierStack::new(
+                vec![mem("ram", 40), origin_with(8, 10)],
+                PromotePolicy::Evicting,
+            );
+            stack.fill(0, 7, Bytes::from(vec![7u8; 10])).unwrap();
+            stack
+        };
+        let seq = build();
+        let vec_ = build();
+        let ids = [7, 0, 1, 7, 5, 3];
+        let a: Vec<_> = ids.iter().map(|&id| seq.read(id)).collect();
+        let b = vec_.read_many(&ids);
+        assert_eq!(a, b);
+        assert_eq!(seq.all_stats(), vec_.all_stats());
+        for id in 0..8 {
+            assert_eq!(seq.locate(id), vec_.locate(id), "placement of {id}");
+        }
+    }
+
+    #[test]
+    fn read_many_reports_missing_ids_in_position() {
+        let stack = TierStack::new(
+            vec![mem("ram", 100), origin_with(4, 10)],
+            PromotePolicy::IfFits,
+        );
+        let res = stack.read_many(&[2, 99, 0]);
+        assert_eq!(res[0].as_ref().unwrap()[0], 2);
+        assert_eq!(res[1], Err(SourceError::NotFound(99)));
+        assert_eq!(res[2].as_ref().unwrap().len(), 10);
+        // Found ids were promoted; the missing one counted an origin miss.
+        assert_eq!(stack.locate(2), Some(0));
+        assert_eq!(stack.stats(1).misses, 1);
+    }
+
+    #[test]
+    fn read_many_repairs_stale_entries_with_one_miss() {
+        let stack = TierStack::new(
+            vec![mem("ram", 100), origin_with(4, 10)],
+            PromotePolicy::Never,
+        );
+        stack.fill(0, 1, Bytes::from(vec![1u8; 10])).unwrap();
+        assert!(stack.source(0).evict(1));
+        let res = stack.read_many(&[1, 2]);
+        assert!(res.iter().all(|r| r.is_ok()));
+        let ram = stack.stats(0);
+        // id 1: one stale miss; id 2: one ordinary miss.
+        assert_eq!((ram.hits, ram.misses), (0, 2));
+        assert_eq!(stack.stats(1).hits, 2);
+        assert_eq!(stack.locate(1), None, "stale entry repaired");
     }
 
     #[test]

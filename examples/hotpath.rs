@@ -1,0 +1,155 @@
+//! Hot-path scaling smoke: the CI acceptance gate for the sharded
+//! fetch path.
+//!
+//! A scaled-down version of the `hot_path` bench: a hot RAM tier with
+//! a modelled per-request service time serves concurrent readers
+//! through `TierStack::read`. The example self-checks the two
+//! properties the sharding refactor must deliver:
+//!
+//! 1. **scaling** — two reader threads achieve at least 1.5x the
+//!    aggregate throughput of one (service times overlap because no
+//!    global lock spans the fetch);
+//! 2. **stream equality** — the vectored `read_many` returns exactly
+//!    the bytes sequential `read` calls return, and every concurrent
+//!    read matches the id-derived pattern (sharding must never change
+//!    what the trainer sees).
+//!
+//! Exits non-zero if either check fails.
+
+use bytes::Bytes;
+use nopfs_storage::{DataSource, MemoryBackend, PromotePolicy, SampleId, SourceError, TierStack};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A source whose reads pay a modelled per-request service time in the
+/// calling thread, with no lock held — so concurrent requests overlap
+/// like real device queue depth.
+struct Paced {
+    inner: MemoryBackend,
+    service: Duration,
+}
+
+impl DataSource for Paced {
+    fn name(&self) -> &str {
+        DataSource::name(&self.inner)
+    }
+
+    fn read(&self, id: SampleId) -> Result<Bytes, SourceError> {
+        std::thread::sleep(self.service);
+        DataSource::read(&self.inner, id)
+    }
+
+    fn write(&self, id: SampleId, data: Bytes) -> Result<(), SourceError> {
+        DataSource::write(&self.inner, id, data)
+    }
+
+    fn contains(&self, id: SampleId) -> bool {
+        DataSource::contains(&self.inner, id)
+    }
+
+    fn capacity(&self) -> Option<u64> {
+        DataSource::capacity(&self.inner)
+    }
+
+    fn used(&self) -> u64 {
+        DataSource::used(&self.inner)
+    }
+
+    fn evict(&self, id: SampleId) -> bool {
+        DataSource::evict(&self.inner, id)
+    }
+
+    fn count(&self) -> usize {
+        DataSource::count(&self.inner)
+    }
+
+    fn size_of(&self, id: SampleId) -> Option<u64> {
+        DataSource::size_of(&self.inner, id)
+    }
+}
+
+fn sample_bytes(id: SampleId, size: usize) -> Bytes {
+    Bytes::from(vec![(id % 251) as u8; size])
+}
+
+/// A hot stack: all `n` samples pinned into a paced RAM tier; the
+/// origin also holds everything, but no read should ever reach it.
+fn hot_stack(n: u64, size: usize, service: Duration) -> TierStack {
+    let ram = Arc::new(Paced {
+        inner: MemoryBackend::new("ram", u64::MAX),
+        service,
+    });
+    let origin = MemoryBackend::new("pfs", u64::MAX);
+    for id in 0..n {
+        DataSource::write(&origin, id, sample_bytes(id, size)).expect("origin preload");
+    }
+    let stack = TierStack::new(vec![ram, Arc::new(origin)], PromotePolicy::IfFits);
+    for id in 0..n {
+        stack.fill(0, id, sample_bytes(id, size)).expect("fill ram");
+    }
+    stack
+}
+
+/// Aggregate samples/second for `threads` readers doing `reads` each,
+/// byte-checking every read.
+fn throughput(stack: &TierStack, threads: u64, reads: u64, n: u64, size: usize) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                for i in 0..reads {
+                    let id = (t * reads + i).wrapping_mul(2_654_435_761) % n;
+                    let data = stack.read(id).expect("hot read");
+                    assert_eq!(data, sample_bytes(id, size), "bytes diverged for {id}");
+                }
+            });
+        }
+    });
+    (threads * reads) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let n = 256u64;
+    let size = 2048usize;
+    let service = Duration::from_millis(2);
+    let reads = 25u64;
+
+    println!("=== hotpath — sharded fetch-path scaling smoke ===");
+
+    // Check 1: scaling. Two readers must overlap their service times.
+    let stack = hot_stack(n, size, service);
+    let one = throughput(&stack, 1, reads, n, size);
+    let two = throughput(&stack, 2, reads, n, size);
+    let speedup = two / one;
+    println!("    1 thread {one:>8.0} samples/s");
+    println!("    2 threads {two:>7.0} samples/s ({speedup:.2}x)");
+    assert!(
+        speedup >= 1.5,
+        "2 readers only {speedup:.2}x of 1 (need >=1.5x): fetch path serialized?"
+    );
+
+    // Check 2: stream equality. The vectored read returns exactly what
+    // sequential reads return, on identical stacks.
+    let seq_stack = hot_stack(n, size, service.min(Duration::from_micros(50)));
+    let vec_stack = hot_stack(n, size, service.min(Duration::from_micros(50)));
+    let ids: Vec<SampleId> = (0..n).rev().collect();
+    let sequential: Vec<Bytes> = ids
+        .iter()
+        .map(|&id| seq_stack.read(id).expect("sequential read"))
+        .collect();
+    let vectored: Vec<Bytes> = vec_stack
+        .read_many(&ids)
+        .into_iter()
+        .map(|r| r.expect("vectored read"))
+        .collect();
+    assert_eq!(sequential, vectored, "read_many diverged from read");
+
+    // No read may ever have left the hot tier.
+    for stack in [&stack, &seq_stack, &vec_stack] {
+        let stats = stack.all_stats();
+        assert_eq!(stats.last().expect("origin").hits, 0, "origin was read");
+    }
+
+    println!("    stream equality: read_many == sequential read over {n} samples");
+    println!("    [PASS] scaling {speedup:.2}x (>=1.5x) and byte-identical streams");
+}

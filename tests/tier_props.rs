@@ -113,6 +113,119 @@ proptest! {
         }
     }
 
+    /// Concurrent readers under random tier shapes and promotion
+    /// policies see exactly the bytes a sequential oracle sees: every
+    /// read (single or vectored) from any thread is byte-identical to
+    /// the origin's payload, while read-path promotions, FIFO
+    /// evictions, and spill demotions race freely underneath.
+    #[test]
+    fn concurrent_mixed_ops_preserve_byte_identity(
+        seed in any::<u64>(),
+        caps in prop::collection::vec(0u64..200, 1..4),
+        evicting in any::<bool>(),
+    ) {
+        let (pfs, payloads) = materialized_pfs(seed, 32);
+        let promote = if evicting { PromotePolicy::Evicting } else { PromotePolicy::IfFits };
+        let stack = stack_over(&pfs, &caps, promote);
+        let stack = &stack;
+        let payloads = &payloads;
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ (t + 1));
+                    for _ in 0..40 {
+                        match rng.next_below(4) {
+                            // Single reads: byte-identity under racing
+                            // promotions/evictions.
+                            0 | 1 => {
+                                let id = rng.next_below(32);
+                                let data = stack.read(id).expect("origin holds every sample");
+                                assert_eq!(data, payloads[id as usize], "sample {id} corrupted");
+                            }
+                            // Vectored reads: same contract, batched.
+                            2 => {
+                                let ids: Vec<u64> =
+                                    (0..4).map(|_| rng.next_below(32)).collect();
+                                for (r, &id) in stack.read_many(&ids).iter().zip(&ids) {
+                                    let data = r.as_ref().expect("origin holds every sample");
+                                    assert_eq!(data, &payloads[id as usize], "sample {id} corrupted");
+                                }
+                            }
+                            // Explicit evictions racing the readers.
+                            _ => {
+                                let id = rng.next_below(32);
+                                if let Some(tier) = stack.locate(id) {
+                                    stack.evict(tier, id);
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // Quiesced: the catalog and the backing sources agree exactly.
+        for (j, &cap) in caps.iter().enumerate() {
+            let s = stack.stats(j);
+            prop_assert!(s.used <= cap, "tier {} used {} > cap {}", j, s.used, cap);
+            prop_assert_eq!(s.used, stack.source(j).used());
+        }
+    }
+
+    /// Exact capacity accounting under concurrency: after racing
+    /// readers (promotions, FIFO evictions, spills) and evictors
+    /// quiesce, each tier's `used` equals its backend's accounting,
+    /// never exceeded its capacity mid-run, and draining every resident
+    /// sample returns it to exactly zero — no leaked or double-counted
+    /// bytes.
+    #[test]
+    fn concurrent_capacity_accounting_is_exact(
+        seed in any::<u64>(),
+        caps in prop::collection::vec(1u64..120, 1..3),
+    ) {
+        let (pfs, _) = materialized_pfs(seed, 24);
+        let stack = stack_over(&pfs, &caps, PromotePolicy::Evicting);
+        let stack = &stack;
+        let caps_ref = &caps;
+        std::thread::scope(|s| {
+            // Readers drive promotion/eviction/demotion churn.
+            for t in 0..3u64 {
+                s.spawn(move || {
+                    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ (0xA0 + t));
+                    for _ in 0..50 {
+                        let id = rng.next_below(24);
+                        stack.read(id).expect("origin holds every sample");
+                    }
+                });
+            }
+            // One evictor racing them, also spot-checking that used can
+            // never exceed capacity while the churn runs.
+            s.spawn(move || {
+                let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0xE0);
+                for _ in 0..50 {
+                    let id = rng.next_below(24);
+                    if let Some(tier) = stack.locate(id) {
+                        stack.evict(tier, id);
+                    }
+                    for (j, &cap) in caps_ref.iter().enumerate() {
+                        let used = stack.stats(j).used;
+                        assert!(used <= cap, "tier {j} used {used} > cap {cap} mid-run");
+                    }
+                }
+            });
+        });
+        // Drain everything; exact zero proves no byte was leaked by a
+        // racing reservation or double-freed by a racing eviction.
+        for id in 0..24 {
+            if let Some(tier) = stack.locate(id) {
+                stack.evict(tier, id);
+            }
+        }
+        for j in 0..caps.len() {
+            prop_assert_eq!(stack.stats(j).used, 0, "tier {} leaked bytes", j);
+            prop_assert_eq!(stack.source(j).count(), 0);
+        }
+    }
+
     /// A zero-capacity middle tier degrades the three-tier hierarchy to
     /// the paper's two-tier setup: identical bytes, identical top-tier
     /// and origin traffic, nothing ever resident in the dead tier.
